@@ -1,0 +1,57 @@
+//===- bench/naive_vs_cafa.cpp - Section 4.1's motivating count ---------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the Section 4.1 comparison: on a ConnectBot trace, a naive
+// detector that reports every pair of conflicting unordered memory
+// accesses produces on the order of 1,664 races, while CAFA's use-free
+// detector reports 3.  The same sweep over all ten apps shows the ratio
+// holds generally (the paper quotes only ConnectBot).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "cafa/Cafa.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace cafa;
+using namespace cafa::apps;
+
+int main(int argc, char **argv) {
+  bool AllApps = argc > 1 && std::string(argv[1]) == "--all";
+  std::vector<std::string> Names =
+      AllApps ? appNames() : std::vector<std::string>{"connectbot"};
+
+  std::printf("%-14s %12s %12s %10s\n", "Application", "naive races",
+              "CAFA races", "ratio");
+  for (const std::string &Name : Names) {
+    AppModel Model = buildApp(Name);
+    Trace T = runScenario(Model.S, RuntimeOptions());
+    TaskIndex Index(T);
+    HbIndex Hb(T, Index, HbOptions());
+
+    NaiveRaceResult Naive =
+        detectLowLevelRaces(T, Index, Hb, NaiveDetectorOptions());
+    AccessDb Db = extractAccesses(T, Index);
+    RaceReport Report =
+        detectUseFreeRaces(T, Index, Db, Hb, DetectorOptions());
+
+    std::printf("%-14s %12s %12zu %9.0fx\n", Name.c_str(),
+                withThousandsSep(Naive.StaticRaces).c_str(),
+                Report.Races.size(),
+                Report.Races.empty()
+                    ? 0.0
+                    : static_cast<double>(Naive.StaticRaces) /
+                          static_cast<double>(Report.Races.size()));
+    if (Naive.CappedPairs)
+      std::printf("  (pair-scan cap hit on %llu cells)\n",
+                  static_cast<unsigned long long>(Naive.CappedPairs));
+  }
+  std::printf("\npaper (ConnectBot, 30 s trace): 1,664 naive vs 3 CAFA\n");
+  return 0;
+}

@@ -1,0 +1,553 @@
+//===- apps/AppKit.cpp - Building blocks for application models --------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppKit.h"
+
+#include <cassert>
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppBuilder::AppBuilder(std::string AppName)
+    : M(std::make_shared<Module>()), B(*M), AppName(std::move(AppName)) {
+  App = M->addProcess(this->AppName);
+  Main = M->addQueue("main", App);
+}
+
+QueueId AppBuilder::backgroundQueue() {
+  if (!Background.isValid())
+    Background = M->addQueue("background", App);
+  return Background;
+}
+
+ProcessId AppBuilder::serviceProcess() {
+  if (!Service.isValid())
+    Service = M->addProcess(AppName + "-service");
+  return Service;
+}
+
+MethodId AppBuilder::victimMethod() {
+  if (!Victim.isValid()) {
+    B.beginMethod("Victim.run", 1);
+    B.work(2);
+    Victim = B.endMethod();
+  }
+  return Victim;
+}
+
+uint64_t AppBuilder::reserveWindow(uint64_t SpanMicros) {
+  uint64_t Start = TimeCursor;
+  TimeCursor += SpanMicros;
+  return Start;
+}
+
+void AppBuilder::atBoot(std::function<void(IrBuilder &)> Emitter) {
+  BootEmitters.push_back(std::move(Emitter));
+}
+
+FieldId AppBuilder::pointerField(const std::string &Name) {
+  FieldId Field = M->addStaticField(Name, /*IsObject=*/true);
+  ClassId Class = M->addClass(Name + ".Class");
+  atBoot([Field, Class](IrBuilder &B) {
+    B.newInstance(0, Class);
+    B.sputObject(Field, 0);
+  });
+  return Field;
+}
+
+void AppBuilder::external(uint64_t AtMicros, MethodId Handler,
+                          const std::string &Name, QueueId Queue) {
+  ExternalEventSpec Spec;
+  Spec.AtMicros = AtMicros;
+  Spec.Queue = Queue.isValid() ? Queue : Main;
+  Spec.Handler = Handler;
+  Spec.Name = Name;
+  Externals.push_back(std::move(Spec));
+  ++EventCount;
+}
+
+void AppBuilder::delayedPost(uint64_t AtMicros, MethodId Handler) {
+  QueueId Queue = Main;
+  int32_t DelayMs = static_cast<int32_t>(AtMicros / 1000);
+  atBoot([Queue, Handler, DelayMs](IrBuilder &B) {
+    B.sendEvent(Queue, Handler, DelayMs);
+  });
+  ++EventCount;
+}
+
+AppBuilder::Site AppBuilder::makeFreeMethod(const std::string &Name,
+                                            FieldId Field) {
+  B.beginMethod(Name, 1);
+  B.constNull(0);
+  Site S;
+  S.Pc = B.nextPc();
+  B.sputObject(Field, 0);
+  S.Method = B.endMethod();
+  return S;
+}
+
+AppBuilder::Site AppBuilder::makeUseMethod(const std::string &Name,
+                                           FieldId Field,
+                                           int32_t SleepBeforeMicros) {
+  MethodId Run = victimMethod();
+  B.beginMethod(Name, 2);
+  if (SleepBeforeMicros > 0)
+    B.sleep(SleepBeforeMicros);
+  Site S;
+  S.Pc = B.nextPc();
+  B.sgetObject(1, Field);
+  B.invokeVirtual(1, Run);
+  S.Method = B.endMethod();
+  return S;
+}
+
+void AppBuilder::forkWorkerAtBoot(MethodId Body) {
+  atBoot([Body](IrBuilder &B) { B.forkThread(0, Body); });
+  ++WorkerCount;
+}
+
+void AppBuilder::label(Site Use, Site Free, RaceLabel L, RaceCategory C,
+                       const std::string &Note) {
+  GroundTruthEntry E;
+  E.UseMethod = Use.Method;
+  E.UsePc = Use.Pc;
+  E.FreeMethod = Free.Method;
+  E.FreePc = Free.Pc;
+  E.Label = L;
+  E.ExpectedCategory = C;
+  E.Note = Note;
+  Truth.Entries.push_back(std::move(E));
+}
+
+// --- Harmful race seeds ----------------------------------------------------
+
+void AppBuilder::seedIntraThreadRace(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  Site Use = makeUseMethod(Name + "_onTimer", Field);
+  Site Free = makeFreeMethod(Name + "_onPause", Field);
+  uint64_t W = reserveWindow(30'000);
+  delayedPost(W + 5'000, Use.Method);
+  external(W + 20'000, Free.Method, Name + "_onPause");
+  label(Use, Free, RaceLabel::Harmful, RaceCategory::IntraThread,
+        "delayed event vs lifecycle free on the same looper");
+}
+
+void AppBuilder::seedRpcIntraThreadRace(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".providerUtils");
+  Site Use = makeUseMethod(Name + "_onServiceConnected", Field);
+  Site Free = makeFreeMethod(Name + "_onDestroy", Field);
+
+  ProcessId Svc = serviceProcess();
+  QueueId Queue = Main;
+  B.beginMethod(Name + "_onBind", 1);
+  B.work(2);
+  B.sendEvent(Queue, Use.Method, 0);
+  MethodId OnBind = B.endMethod();
+  ++EventCount; // the RPC thread posts onServiceConnected
+
+  B.beginMethod(Name + "_onResume", 1);
+  B.binderCall(Svc, OnBind);
+  MethodId OnResume = B.endMethod();
+
+  uint64_t W = reserveWindow(40'000);
+  external(W, OnResume, Name + "_onResume");
+  external(W + 30'000, Free.Method, Name + "_onDestroy");
+  label(Use, Free, RaceLabel::Harmful, RaceCategory::IntraThread,
+        "Figure 1: RPC-delivered event vs onDestroy free");
+}
+
+void AppBuilder::seedInterThreadRace(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  uint64_t W = reserveWindow(30'000);
+
+  B.beginMethod(Name + "_uiUpdate", 1);
+  B.work(1);
+  MethodId UiUpdate = B.endMethod();
+  ++EventCount; // posted by the worker below
+
+  // Worker: compute, use the pointer, then post a UI update.  The posted
+  // event is what fools a total-event-order detector into `use < free`.
+  MethodId Run = victimMethod();
+  QueueId Queue = Main;
+  B.beginMethod(Name + "_worker", 2);
+  B.sleep(static_cast<int32_t>(W + 5'000));
+  Site Use;
+  Use.Pc = B.nextPc();
+  B.sgetObject(1, Field);
+  B.invokeVirtual(1, Run);
+  B.sendEvent(Queue, UiUpdate, 0);
+  Use.Method = B.endMethod();
+  forkWorkerAtBoot(Use.Method);
+
+  Site Free = makeFreeMethod(Name + "_onStop", Field);
+  external(W + 20'000, Free.Method, Name + "_onStop");
+  label(Use, Free, RaceLabel::Harmful, RaceCategory::InterThread,
+        "worker use masked from a conventional detector by a posted "
+        "UI event");
+}
+
+void AppBuilder::seedConventionalRace(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  uint64_t W = reserveWindow(30'000);
+  Site Use = makeUseMethod(Name + "_worker", Field,
+                           static_cast<int32_t>(W + 5'000));
+  forkWorkerAtBoot(Use.Method);
+  Site Free = makeFreeMethod(Name + "_onStop", Field);
+  external(W + 20'000, Free.Method, Name + "_onStop");
+  label(Use, Free, RaceLabel::Harmful, RaceCategory::Conventional,
+        "plain cross-thread use vs event free; both detectors see it");
+}
+
+// --- False-positive seeds ----------------------------------------------------
+
+void AppBuilder::seedUninstrumentedListenerFp(const std::string &Name,
+                                              bool Instrumented) {
+  FieldId Field = pointerField(Name + ".ptr");
+  ClassId Class = M->addClass(Name + ".Fresh");
+  QueueId Bg = backgroundQueue();
+  ListenerId Listener =
+      M->addListener(Name + ".listener", Bg, Instrumented);
+
+  Site Use = makeUseMethod(Name + "_onCallback", Field);
+  ++EventCount; // the listener dispatch event
+  Site Free = makeFreeMethod(Name + "_onStop", Field);
+
+  // onStart: reallocate the pointer and register the callback.  With a
+  // traced listener, register < perform orders the free before the use;
+  // untraced, the detector sees them as concurrent.
+  B.beginMethod(Name + "_onStart", 1);
+  B.newInstance(0, Class);
+  B.sputObject(Field, 0);
+  B.registerListener(Listener, Use.Method);
+  MethodId OnStart = B.endMethod();
+
+  uint64_t W = reserveWindow(40'000);
+  external(W, Free.Method, Name + "_onStop");
+  external(W + 10'000, OnStart, Name + "_onStart");
+
+  // A sensor-poll worker fires the callback; a thread (not an external
+  // event) so the external-input rule cannot order it.
+  B.beginMethod(Name + "_sensorPoll", 1);
+  B.sleep(static_cast<int32_t>(W + 25'000));
+  B.triggerListener(Listener);
+  MethodId Poll = B.endMethod();
+  forkWorkerAtBoot(Poll);
+
+  label(Use, Free, RaceLabel::FalseTypeI, RaceCategory::Conventional,
+        "ordered in reality by an uninstrumented listener registration");
+}
+
+void AppBuilder::seedFlagGuardedFp(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  FieldId Flag = M->addStaticField(Name + ".enabled", /*IsObject=*/false);
+  atBoot([Flag](IrBuilder &B) {
+    B.constInt(0, 1);
+    B.sput(Flag, 0);
+  });
+
+  // Use guarded by the boolean flag; if-guard cannot see it (Type II).
+  MethodId Run = victimMethod();
+  B.beginMethod(Name + "_onTick", 2);
+  Label Skip = B.newLabel();
+  B.sget(0, Flag);
+  B.ifIntEqz(0, Skip);
+  Site Use;
+  Use.Pc = B.nextPc();
+  B.sgetObject(1, Field);
+  B.invokeVirtual(1, Run);
+  B.bind(Skip);
+  MethodId OnTick = B.endMethod();
+  Use.Method = OnTick;
+
+  // The pause path clears the flag, then frees -- commutative in truth.
+  B.beginMethod(Name + "_onPause", 1);
+  B.constInt(0, 0);
+  B.sput(Flag, 0);
+  B.constNull(0);
+  Site Free;
+  Free.Pc = B.nextPc();
+  B.sputObject(Field, 0);
+  Free.Method = B.endMethod();
+
+  uint64_t W = reserveWindow(30'000);
+  delayedPost(W + 5'000, OnTick);
+  external(W + 20'000, Free.Method, Name + "_onPause");
+  label(Use, Free, RaceLabel::FalseTypeII, RaceCategory::IntraThread,
+        "benign: guarded by a boolean flag invisible to if-guard");
+}
+
+void AppBuilder::seedAliasMismatchFp(const std::string &Name) {
+  FieldId Stable = M->addStaticField(Name + ".view", /*IsObject=*/true);
+  FieldId Racy = M->addStaticField(Name + ".cache", /*IsObject=*/true);
+  ClassId Class = M->addClass(Name + ".Shared");
+  atBoot([Stable, Racy, Class](IrBuilder &B) {
+    B.newInstance(0, Class);
+    B.sputObject(Stable, 0);
+    B.sputObject(Racy, 0); // alias: both fields hold the same object
+  });
+
+  // The handler reads both aliases and dereferences through the stable
+  // one; nearest-previous-read matching pins the deref on the racy read.
+  MethodId Run = victimMethod();
+  B.beginMethod(Name + "_onDraw", 3);
+  B.sgetObject(1, Stable);
+  Site Use;
+  Use.Pc = B.nextPc();
+  B.sgetObject(2, Racy);
+  B.invokeVirtual(1, Run);
+  Use.Method = B.endMethod();
+
+  Site Free = makeFreeMethod(Name + "_dropCache", Racy);
+
+  uint64_t W = reserveWindow(30'000);
+  delayedPost(W + 5'000, Use.Method);
+  external(W + 20'000, Free.Method, Name + "_dropCache");
+  label(Use, Free, RaceLabel::FalseTypeIII, RaceCategory::IntraThread,
+        "deref through a stable alias misattributed to the racy field");
+}
+
+// --- Benign patterns the filters must suppress -------------------------------
+
+void AppBuilder::addGuardedCommutativePair(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  MethodId Run = victimMethod();
+  // Figure 5 onFocus: `if (handler != null) handler.run()` -- javac
+  // re-reads the field inside the guarded region.
+  B.beginMethod(Name + "_onFocus", 2);
+  Label Skip = B.newLabel();
+  B.sgetObject(0, Field);
+  B.ifEqz(0, Skip);
+  B.sgetObject(1, Field);
+  B.invokeVirtual(1, Run);
+  B.bind(Skip);
+  MethodId OnFocus = B.endMethod();
+
+  Site Free = makeFreeMethod(Name + "_onPause", Field);
+  uint64_t W = reserveWindow(30'000);
+  delayedPost(W + 5'000, OnFocus);
+  external(W + 20'000, Free.Method, Name + "_onPause");
+}
+
+void AppBuilder::addAllocBeforeUsePair(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  ClassId Class = M->addClass(Name + ".Fresh");
+  MethodId Run = victimMethod();
+  // Figure 5 onResume: allocate, then use -- always safe.
+  B.beginMethod(Name + "_onResume", 2);
+  B.newInstance(0, Class);
+  B.sputObject(Field, 0);
+  B.sgetObject(1, Field);
+  B.invokeVirtual(1, Run);
+  MethodId OnResume = B.endMethod();
+
+  Site Free = makeFreeMethod(Name + "_onPause", Field);
+  uint64_t W = reserveWindow(30'000);
+  delayedPost(W + 5'000, OnResume);
+  external(W + 20'000, Free.Method, Name + "_onPause");
+}
+
+void AppBuilder::addFreeThenAllocPair(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  ClassId Class = M->addClass(Name + ".Fresh");
+  // Cleanup that frees and immediately reinitializes: the null value
+  // never escapes the event.
+  B.beginMethod(Name + "_recycle", 1);
+  B.constNull(0);
+  B.sputObject(Field, 0);
+  B.newInstance(0, Class);
+  B.sputObject(Field, 0);
+  MethodId Recycle = B.endMethod();
+
+  Site Use = makeUseMethod(Name + "_onShow", Field);
+  uint64_t W = reserveWindow(30'000);
+  delayedPost(W + 5'000, Use.Method);
+  external(W + 20'000, Recycle, Name + "_recycle");
+}
+
+void AppBuilder::addLockProtectedPair(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  LockId Lock = M->addLock(Name + ".lock");
+  MethodId Run = victimMethod();
+  uint64_t W = reserveWindow(30'000);
+
+  B.beginMethod(Name + "_readerThread", 2);
+  B.sleep(static_cast<int32_t>(W + 2'000));
+  B.monitorEnter(Lock);
+  B.sgetObject(1, Field);
+  B.invokeVirtual(1, Run);
+  B.monitorExit(Lock);
+  MethodId Reader = B.endMethod();
+  forkWorkerAtBoot(Reader);
+
+  B.beginMethod(Name + "_closerThread", 1);
+  B.sleep(static_cast<int32_t>(W + 15'000));
+  B.monitorEnter(Lock);
+  B.constNull(0);
+  B.sputObject(Field, 0);
+  B.monitorExit(Lock);
+  MethodId Closer = B.endMethod();
+  forkWorkerAtBoot(Closer);
+}
+
+void AppBuilder::addQueueOrderedPair(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  Site Use = makeUseMethod(Name + "_refresh", Field);
+  Site Free = makeFreeMethod(Name + "_teardown", Field);
+  uint64_t W = reserveWindow(30'000);
+  // Same sender, same delay: queue rule 1 guarantees FIFO, so the use
+  // always precedes the free.
+  delayedPost(W + 5'000, Use.Method);
+  delayedPost(W + 5'000, Free.Method);
+}
+
+void AppBuilder::addAtomicityOrderedPair(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  MethodId Run = victimMethod();
+  uint64_t W = reserveWindow(30'000);
+
+  Site Free = makeFreeMethod(Name + "_finalize", Field);
+
+  // The finalizer thread is forked before the use, then posts the free;
+  // fork < begin(T) < send < begin(F) gives begin(U) < end(F), so the
+  // atomicity rule orders the whole events U -> F.  A record-level path
+  // from the use itself does not exist.
+  QueueId Queue = Main;
+  B.beginMethod(Name + "_finalizerThread", 1);
+  B.sleep(10'000);
+  B.sendEvent(Queue, Free.Method, 0);
+  MethodId Finalizer = B.endMethod();
+  ++EventCount; // the posted free event
+
+  B.beginMethod(Name + "_onDetach", 2);
+  B.forkThread(0, Finalizer);
+  B.sgetObject(1, Field);
+  B.invokeVirtual(1, Run);
+  MethodId OnDetach = B.endMethod();
+
+  external(W, OnDetach, Name + "_onDetach");
+}
+
+void AppBuilder::addExternalOrderedPair(const std::string &Name) {
+  FieldId Field = pointerField(Name + ".ptr");
+  Site Use = makeUseMethod(Name + "_onShow", Field);
+  Site Free = makeFreeMethod(Name + "_onHide", Field);
+  uint64_t W = reserveWindow(30'000);
+  // Two user actions: the external-input rule chains them.
+  external(W, Use.Method, Name + "_onShow");
+  external(W + 10'000, Free.Method, Name + "_onHide");
+}
+
+// --- Noise and volume ----------------------------------------------------------
+
+void AppBuilder::addNaiveNoise(uint32_t NumFields, uint32_t ReaderInstances,
+                               uint32_t WriterInstances,
+                               uint32_t ExtraReadPcs) {
+  assert(ReaderInstances > 0 && WriterInstances > 0 &&
+         "noise needs at least one reader and one writer event");
+  std::vector<FieldId> Fields;
+  Fields.reserve(NumFields);
+  for (uint32_t I = 0; I != NumFields; ++I)
+    Fields.push_back(M->addStaticField(
+        "widget" + std::to_string(I) + ".state", /*IsObject=*/false));
+
+  // Reader: two reads per field (two racing pcs each), plus the
+  // fine-adjustment reads on the first field.
+  B.beginMethod("noise_onLayout", 1);
+  for (FieldId F : Fields) {
+    B.sget(0, F);
+    B.sget(0, F);
+  }
+  for (uint32_t I = 0; I != ExtraReadPcs && !Fields.empty(); ++I)
+    B.sget(0, Fields.front());
+  MethodId Reader = B.endMethod();
+
+  // Writer: two writes per field.
+  B.beginMethod("noise_onConfigChange", 1);
+  B.constInt(0, 1);
+  for (FieldId F : Fields) {
+    B.sput(F, 0);
+    B.sput(F, 0);
+  }
+  MethodId Writer = B.endMethod();
+
+  uint64_t W = reserveWindow(20'000 + 2'000 * WriterInstances);
+
+  // Reader events posted by a layout ticker thread (so they are not
+  // chained with the external writer events).
+  QueueId Queue = Main;
+  B.beginMethod("noise_layoutTicker", 2);
+  {
+    Label Loop = B.newLabel();
+    B.sleep(static_cast<int32_t>(W));
+    B.constInt(0, static_cast<int32_t>(ReaderInstances));
+    B.bind(Loop);
+    B.sendEvent(Queue, Reader, 0);
+    B.addInt(0, 0, -1);
+    B.ifIntNez(0, Loop);
+  }
+  MethodId Ticker = B.endMethod();
+  forkWorkerAtBoot(Ticker);
+  EventCount += ReaderInstances;
+
+  for (uint32_t I = 0; I != WriterInstances; ++I)
+    external(W + 10'000 + 2'000 * static_cast<uint64_t>(I), Writer,
+             "noise_onConfigChange");
+}
+
+void AppBuilder::fillVolumeTo(uint64_t TargetEvents, int32_t WorkPerTick) {
+  assert(TargetEvents >= EventCount &&
+         "volume target below already-planned events");
+  uint64_t Remaining = TargetEvents - EventCount;
+  if (Remaining == 0)
+    return;
+
+  B.beginMethod("tick", 1);
+  B.work(WorkPerTick);
+  MethodId Tick = B.endMethod();
+
+  uint64_t Posted = Remaining * 7 / 10;
+  uint64_t ExternalCount = Remaining - Posted;
+
+  if (Posted > 0) {
+    QueueId Queue = Main;
+    B.beginMethod("tickPoster", 2);
+    Label Loop = B.newLabel();
+    B.sleep(5'000);
+    B.constInt(0, static_cast<int32_t>(Posted));
+    B.bind(Loop);
+    B.sendEvent(Queue, Tick, 0);
+    B.addInt(0, 0, -1);
+    B.ifIntNez(0, Loop);
+    MethodId Poster = B.endMethod();
+    forkWorkerAtBoot(Poster);
+    EventCount += Posted;
+  }
+
+  // External ticks spread over the first ~90 ms, before seed windows.
+  uint64_t Span = 90'000;
+  for (uint64_t I = 0; I != ExternalCount; ++I)
+    external(5'000 + (I * Span) / (ExternalCount ? ExternalCount : 1),
+             Tick, "tick");
+}
+
+AppModel AppBuilder::finish(const Table1Row &PaperRow) {
+  // Assemble the bootstrap thread from the registered emitters.
+  B.beginMethod("appInit", 4);
+  for (const auto &Emitter : BootEmitters)
+    Emitter(B);
+  MethodId Init = B.endMethod();
+
+  AppModel Model;
+  Model.S.AppName = AppName;
+  Model.S.Program = M;
+  Model.S.ExternalEvents = std::move(Externals);
+  Model.S.BootThreads.push_back({0, Init, App, AppName + "-init"});
+  Model.Truth = std::move(Truth);
+  Model.PaperRow = PaperRow;
+  Model.PaperRow.App = AppName;
+  return Model;
+}

@@ -1,0 +1,52 @@
+//===- apps/Apps.h - The ten modeled applications --------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the ten applications of Section 6.1.  Each model
+/// reproduces the paper's per-app Table 1 row: the same event volume, the
+/// same number of seeded harmful races per category, and the same false
+/// positives per type, arising from the concurrency patterns the paper
+/// describes (pause-path frees, RPC-delivered events, flag-guarded uses,
+/// uninstrumented listeners, aliased pointer reads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_APPS_APPS_H
+#define CAFA_APPS_APPS_H
+
+#include "apps/AppKit.h"
+
+#include <string>
+#include <vector>
+
+namespace cafa {
+namespace apps {
+
+AppModel buildConnectBot(); ///< SSH client; the naive-detector case study
+AppModel buildMyTracks();   ///< GPS tracker; Figure 1's RPC race
+AppModel buildZXing();      ///< barcode scanner
+AppModel buildToDoList();   ///< to-do widget; intra-thread-race heavy
+AppModel buildBrowser();    ///< AOSP browser; largest report count
+AppModel buildFirefox();    ///< Mozilla browser
+AppModel buildVlc();        ///< media player
+AppModel buildFBReader();   ///< e-book reader
+AppModel buildCamera();     ///< AOSP camera
+AppModel buildMusic();      ///< AOSP audio player
+
+/// Names in Table 1 order.
+const std::vector<std::string> &appNames();
+
+/// Builds the app named \p Name; aborts on unknown names.
+AppModel buildApp(const std::string &Name);
+
+/// Builds all ten models in Table 1 order.
+std::vector<AppModel> buildAllApps();
+
+} // namespace apps
+} // namespace cafa
+
+#endif // CAFA_APPS_APPS_H

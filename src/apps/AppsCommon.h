@@ -1,0 +1,40 @@
+//===- apps/AppsCommon.h - Shared helpers for app models -------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers shared by the per-application builder files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_APPS_APPSCOMMON_H
+#define CAFA_APPS_APPSCOMMON_H
+
+#include "apps/AppKit.h"
+
+namespace cafa {
+namespace apps {
+
+/// Builds the paper's reference Table 1 row.
+inline Table1Row paperRow(uint64_t Events, uint64_t A, uint64_t B,
+                          uint64_t C, uint64_t I, uint64_t II,
+                          uint64_t III) {
+  Table1Row Row;
+  Row.Events = Events;
+  Row.TrueA = A;
+  Row.TrueB = B;
+  Row.TrueC = C;
+  Row.FpI = I;
+  Row.FpII = II;
+  Row.FpIII = III;
+  Row.Reported = A + B + C + I + II + III;
+  return Row;
+}
+
+} // namespace apps
+} // namespace cafa
+
+#endif // CAFA_APPS_APPSCOMMON_H

@@ -1,0 +1,67 @@
+//===- apps/Browser.cpp - AOSP browser model ----------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Browser (Section 6.1): the AOSP built-in browser.  The trace loads the
+// Google homepage, searches, follows a link, and navigates back.  The
+// network and WebView worker threads make this the report-heaviest row.
+// Table 1: 35 reports = 8 inter-thread + 19 conventional + 1 Type I +
+// 7 Type II false positives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+#include <string>
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildBrowser() {
+  AppBuilder App("browser");
+
+  static const char *const MaskedWorkers[] = {
+      "pageLoad",    "resourceFetch", "faviconStore", "historyWrite",
+      "cookieSync",  "tabSnapshot",   "jsCallback",   "geoPermission",
+  };
+  for (const char *Name : MaskedWorkers)
+    App.seedInterThreadRace(Name);
+
+  static const char *const PlainWorkers[] = {
+      "dnsPrefetch",   "cacheEvict",    "imageDecode",  "cssParse",
+      "domLayout",     "scrollPrefetch","downloadPoll", "formAutofill",
+      "sslVerify",     "pluginScan",    "bookmarkSync", "searchSuggest",
+      "thumbCapture",  "zoomRecalc",    "fontLoad",     "mediaProbe",
+      "certCacheWarm", "quotaCheck",    "spdyPing",
+  };
+  for (const char *Name : PlainWorkers)
+    App.seedConventionalRace(Name);
+
+  App.seedUninstrumentedListenerFp("webViewClient");
+
+  static const char *const Flags[] = {
+      "privateMode", "jsEnabled",    "pageFinished", "tabActive",
+      "reloadGuard", "progressShown", "findInPage",
+  };
+  for (const char *Name : Flags)
+    App.seedFlagGuardedFp(Name);
+
+  App.addGuardedCommutativePair("titleUpdate");
+  App.addAllocBeforeUsePair("tabOpen");
+  App.addFreeThenAllocPair("webViewRecycle");
+  App.addLockProtectedPair("cacheLock");
+
+  App.addNaiveNoise(/*NumFields=*/72, /*ReaderInstances=*/5,
+                    /*WriterInstances=*/3);
+
+  App.addQueueOrderedPair("tabCommit");
+  App.addAtomicityOrderedPair("webViewDetach");
+  App.addExternalOrderedPair("menuPanel");
+
+  App.fillVolumeTo(3'965, /*WorkPerTick=*/5);
+  return App.finish(paperRow(3'965, 0, 8, 19, 1, 7, 0));
+}

@@ -1,0 +1,58 @@
+//===- apps/Camera.cpp - AOSP camera model ------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Camera (Section 6.1): the AOSP built-in camera; the trace takes a
+// picture, switches to the home screen, returns and shoots again.  The
+// pause path releases the camera handle while capture-pipeline events are
+// still in flight (the Section 6.2 pattern).  Table 1: 9 reports =
+// 1 intra-thread + 1 inter-thread + 5 Type II + 2 Type III false
+// positives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildCamera() {
+  AppBuilder App("camera");
+
+  // A delayed shutter-sound/preview-restart event races onPause's
+  // camera-handle release on the main looper.
+  App.seedIntraThreadRace("previewRestart");
+
+  // The JPEG-save worker posts a thumbnail update masking the race from
+  // a conventional detector.
+  App.seedInterThreadRace("jpegSave");
+
+  static const char *const Flags[] = {
+      "previewActive", "focusLocked", "flashReady", "storageOk",
+      "faceDetectOn",
+  };
+  for (const char *Name : Flags)
+    App.seedFlagGuardedFp(Name);
+
+  // The preview surface and its cached alias confuse deref matching.
+  App.seedAliasMismatchFp("previewSurface");
+  App.seedAliasMismatchFp("overlayTexture");
+
+  App.addGuardedCommutativePair("zoomBarUpdate");
+  App.addAllocBeforeUsePair("modeSwitch");
+  App.addLockProtectedPair("hardwareLock");
+
+  App.addNaiveNoise(/*NumFields=*/56, /*ReaderInstances=*/5,
+                    /*WriterInstances=*/3);
+
+  App.addQueueOrderedPair("exifCommit");
+  App.addAtomicityOrderedPair("surfaceDetach");
+  App.addExternalOrderedPair("settingsPanel");
+
+  App.fillVolumeTo(7'287, /*WorkPerTick=*/2);
+  return App.finish(paperRow(7'287, 1, 1, 0, 0, 5, 2));
+}

@@ -1,0 +1,50 @@
+//===- apps/ConnectBot.cpp - SSH client model ---------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// ConnectBot 1.7 (Section 6.1): an SSH client.  The paper's trace covers
+// connecting to a host and logging in.  Table 1: 3 reports = 2 inter-thread
+// violations + 1 Type I false positive; Section 4.1 additionally reports
+// 1,664 naive low-level races on this trace, dominated by commutative
+// terminal-layout conflicts like Figure 2's resizeAllowed pattern -- the
+// addNaiveNoise widgets model exactly that shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildConnectBot() {
+  AppBuilder App("connectbot");
+
+  // The SSH relay thread delivers host status and terminal-bridge
+  // updates that race with the activity teardown path.
+  App.seedInterThreadRace("hostStatus");
+  App.seedInterThreadRace("terminalBridge");
+
+  // The password-prompt helper is wired through an Android framework
+  // listener package the prototype does not instrument.
+  App.seedUninstrumentedListenerFp("promptHelper");
+
+  // Benign commutative pairs the filters suppress.
+  App.addGuardedCommutativePair("consoleRedraw");
+  App.addAllocBeforeUsePair("sessionOpen");
+  App.addLockProtectedPair("bufferSync");
+
+  // Figure 2 noise: terminal layout/pause conflicts.  ~4 low-level races
+  // per widget field; the seeds above add a handful more, landing near
+  // the paper's 1,664.
+  App.addNaiveNoise(/*NumFields=*/412, /*ReaderInstances=*/6,
+                    /*WriterInstances=*/4, /*ExtraReadPcs=*/1);
+
+  App.addQueueOrderedPair("portForward");
+
+  App.fillVolumeTo(3'058, /*WorkPerTick=*/1);
+  return App.finish(paperRow(3'058, 0, 2, 0, 1, 0, 0));
+}

@@ -1,0 +1,52 @@
+//===- apps/FBReader.cpp - E-book reader model --------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// FBReader 1.9.6.1 (Section 6.1): e-book reader; the trace pages through
+// the tutorial, rotates the device, and returns to the first page.  The
+// rotation path tears down and rebuilds the view hierarchy, racing page
+// pre-render workers.  Table 1: 9 reports = 1 intra-thread + 3
+// inter-thread + 1 conventional + 2 Type I + 2 Type II false positives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildFBReader() {
+  AppBuilder App("fbreader");
+
+  // A delayed page-cache trim races the rotation teardown.
+  App.seedIntraThreadRace("pageCacheTrim");
+
+  App.seedInterThreadRace("pageRender");
+  App.seedInterThreadRace("footnotePopup");
+  App.seedInterThreadRace("libraryScan");
+
+  App.seedConventionalRace("hyphenationLoad");
+
+  App.seedUninstrumentedListenerFp("batteryLevel");
+  App.seedUninstrumentedListenerFp("tipsRotation");
+
+  App.seedFlagGuardedFp("animationEnabled");
+  App.seedFlagGuardedFp("nightMode");
+
+  App.addGuardedCommutativePair("tocRefresh");
+  App.addFreeThenAllocPair("bitmapRecycle");
+  App.addLockProtectedPair("bookModelLock");
+
+  App.addNaiveNoise(/*NumFields=*/44, /*ReaderInstances=*/5,
+                    /*WriterInstances=*/3);
+
+  App.addQueueOrderedPair("positionSave");
+  App.addAtomicityOrderedPair("viewDetach");
+
+  App.fillVolumeTo(3'528, /*WorkPerTick=*/3);
+  return App.finish(paperRow(3'528, 1, 3, 1, 2, 2, 0));
+}

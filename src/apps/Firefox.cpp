@@ -1,0 +1,69 @@
+//===- apps/Firefox.cpp - Mozilla Firefox model -------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Firefox 25 (Section 6.1): Mozilla's Android browser, exercised with the
+// same browse-search-back script as Browser.  Gecko's compositor and
+// background service threads produce both masked and plain cross-thread
+// races; its heavy use of framework listener packages yields the largest
+// Type I count.  Table 1: 25 reports = 6 inter-thread + 10 conventional +
+// 4 Type I + 5 Type II false positives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildFirefox() {
+  AppBuilder App("firefox");
+
+  static const char *const MaskedWorkers[] = {
+      "geckoEvent",   "compositorFrame", "sessionStore",
+      "telemetryPing", "awesomeBarQuery", "readerParse",
+  };
+  for (const char *Name : MaskedWorkers)
+    App.seedInterThreadRace(Name);
+
+  static const char *const PlainWorkers[] = {
+      "faviconFetch", "historyExpire", "syncAdapter",  "addonUpdate",
+      "safeBrowsing", "prefFlush",     "mediaDecode",  "fontShape",
+      "tileUpload",   "profileMigrate",
+  };
+  for (const char *Name : PlainWorkers)
+    App.seedConventionalRace(Name);
+
+  static const char *const Listeners[] = {
+      "gamepadMonitor", "batteryObserver", "orientationHook",
+      "clipboardWatch",
+  };
+  for (const char *Name : Listeners)
+    App.seedUninstrumentedListenerFp(Name);
+
+  static const char *const Flags[] = {
+      "geckoReady", "tabsRestored", "menuOpen", "fullscreen",
+      "textSelection",
+  };
+  for (const char *Name : Flags)
+    App.seedFlagGuardedFp(Name);
+
+  App.addGuardedCommutativePair("urlbarUpdate");
+  App.addAllocBeforeUsePair("tabStripOpen");
+  App.addFreeThenAllocPair("layerRecycle");
+  App.addLockProtectedPair("dbMutex");
+
+  App.addNaiveNoise(/*NumFields=*/80, /*ReaderInstances=*/5,
+                    /*WriterInstances=*/3);
+
+  App.addQueueOrderedPair("sessionCommit");
+  App.addAtomicityOrderedPair("geckoDetach");
+  App.addExternalOrderedPair("doorHanger");
+
+  App.fillVolumeTo(5'467, /*WorkPerTick=*/4);
+  return App.finish(paperRow(5'467, 0, 6, 10, 4, 5, 0));
+}

@@ -1,0 +1,46 @@
+//===- apps/Music.cpp - AOSP music player model -------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Music (Section 6.1): the AOSP audio player; the trace plays an MP3,
+// pauses to the home screen, and resumes.  Playback-progress timers race
+// the pause path on the main looper.  Table 1: 5 reports = 2 intra-thread
+// + 2 Type II + 1 Type III false positives.  (Section 6.4 calls out
+// Music's analysis time -- its event volume is near the top of the set.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildMusic() {
+  AppBuilder App("music");
+
+  // Progress/album-art refresh timers race the service unbind free.
+  App.seedIntraThreadRace("progressRefresh");
+  App.seedIntraThreadRace("albumArtSwap");
+
+  App.seedFlagGuardedFp("serviceBound");
+  App.seedFlagGuardedFp("shuffleMode");
+
+  App.seedAliasMismatchFp("nowPlayingRow");
+
+  App.addGuardedCommutativePair("lyricsScroll");
+  App.addFreeThenAllocPair("visualizerReset");
+  App.addLockProtectedPair("playerLock");
+
+  App.addNaiveNoise(/*NumFields=*/36, /*ReaderInstances=*/4,
+                    /*WriterInstances=*/3);
+
+  App.addQueueOrderedPair("queueCommit");
+  App.addExternalOrderedPair("nowPlayingPanel");
+
+  App.fillVolumeTo(6'684, /*WorkPerTick=*/1);
+  return App.finish(paperRow(6'684, 2, 0, 0, 0, 2, 1));
+}

@@ -1,0 +1,55 @@
+//===- apps/MyTracks.cpp - GPS tracker model ----------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// MyTracks 1.1.7 (Section 6.1): Google's GPS track recorder.  The trace
+// records a short track, pauses, and resumes.  Table 1: 8 reports =
+// 1 intra-thread (the Figure 1 providerUtils race, delivered through the
+// TrackRecordingService Binder connection) + 3 inter-thread violations +
+// 4 Type II false positives (boolean-guarded uses the heuristics cannot
+// prove commutative; cf. the startRecordingNewTrack TODO in Section 6.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildMyTracks() {
+  AppBuilder App("mytracks");
+
+  // Figure 1: onServiceConnected (posted by the recording service over
+  // Binder) races onDestroy's providerUtils free.
+  App.seedRpcIntraThreadRace("track");
+
+  // GPS/chart/stats worker threads race the activity teardown.
+  App.seedInterThreadRace("gpsSignal");
+  App.seedInterThreadRace("chartUpdate");
+  App.seedInterThreadRace("statsRefresh");
+
+  // Recording-state flags guard these uses; if-guard cannot see them.
+  App.seedFlagGuardedFp("recordingState");
+  App.seedFlagGuardedFp("sensorBinding");
+  App.seedFlagGuardedFp("mapOverlay");
+  App.seedFlagGuardedFp("voiceAnnouncer");
+
+  App.addGuardedCommutativePair("trackListRefresh");
+  App.addAllocBeforeUsePair("markerInsert");
+  App.addFreeThenAllocPair("statsAggregate");
+  App.addLockProtectedPair("providerSync");
+
+  App.addNaiveNoise(/*NumFields=*/64, /*ReaderInstances=*/5,
+                    /*WriterInstances=*/3);
+
+  App.addQueueOrderedPair("trackSave");
+  App.addAtomicityOrderedPair("sensorDetach");
+  App.addExternalOrderedPair("mapToggle");
+
+  App.fillVolumeTo(6'628, /*WorkPerTick=*/3);
+  return App.finish(paperRow(6'628, 1, 3, 0, 0, 4, 0));
+}

@@ -1,0 +1,57 @@
+//===- apps/Registry.cpp - App model registry ---------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include "support/Status.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+namespace {
+
+using BuilderFn = AppModel (*)();
+
+struct RegistryEntry {
+  const char *Name;
+  BuilderFn Build;
+};
+
+const RegistryEntry Registry[] = {
+    {"connectbot", buildConnectBot}, {"mytracks", buildMyTracks},
+    {"zxing", buildZXing},           {"todolist", buildToDoList},
+    {"browser", buildBrowser},       {"firefox", buildFirefox},
+    {"vlc", buildVlc},               {"fbreader", buildFBReader},
+    {"camera", buildCamera},         {"music", buildMusic},
+};
+
+} // namespace
+
+const std::vector<std::string> &cafa::apps::appNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> V;
+    for (const RegistryEntry &E : Registry)
+      V.push_back(E.Name);
+    return V;
+  }();
+  return Names;
+}
+
+AppModel cafa::apps::buildApp(const std::string &Name) {
+  for (const RegistryEntry &E : Registry)
+    if (Name == E.Name)
+      return E.Build();
+  reportFatalError(("unknown application model: " + Name).c_str());
+}
+
+std::vector<AppModel> cafa::apps::buildAllApps() {
+  std::vector<AppModel> Models;
+  Models.reserve(std::size(Registry));
+  for (const RegistryEntry &E : Registry)
+    Models.push_back(E.Build());
+  return Models;
+}

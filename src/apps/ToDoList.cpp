@@ -1,0 +1,51 @@
+//===- apps/ToDoList.cpp - To-do widget model ---------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// ToDoList 1.1.7 (Section 6.1): a home-screen to-do widget.  The trace
+// adds two notes and deletes them.  Almost all of its races are between
+// widget-refresh events and note-database teardown on the same looper --
+// the paper's standout intra-thread row (8 of 13 total category-(a)
+// violations), including the swallowed NullPointerException of Section
+// 6.2 that silently drops user input.  Table 1: 9 reports = 8
+// intra-thread + 1 Type II false positive.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildToDoList() {
+  AppBuilder App("todolist");
+
+  // Widget refresh timers race the note-database close path.
+  App.seedIntraThreadRace("noteAdd");
+  App.seedIntraThreadRace("noteDelete");
+  App.seedIntraThreadRace("noteCheck");
+  App.seedIntraThreadRace("widgetRefresh");
+  App.seedIntraThreadRace("listReload");
+  App.seedIntraThreadRace("dbFlush");
+  App.seedIntraThreadRace("cursorSwap");
+  App.seedIntraThreadRace("prefsReload");
+
+  // The update path is guarded by an isOpen flag (the catch-NPE hack).
+  App.seedFlagGuardedFp("dbUpdate");
+
+  App.addGuardedCommutativePair("widgetDraw");
+  App.addFreeThenAllocPair("cursorRecycle");
+
+  App.addNaiveNoise(/*NumFields=*/32, /*ReaderInstances=*/4,
+                    /*WriterInstances=*/3);
+
+  App.addQueueOrderedPair("noteSync");
+  App.addAtomicityOrderedPair("widgetDetach");
+
+  App.fillVolumeTo(7'122, /*WorkPerTick=*/1);
+  return App.finish(paperRow(7'122, 8, 0, 0, 0, 1, 0));
+}

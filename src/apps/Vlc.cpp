@@ -1,0 +1,49 @@
+//===- apps/Vlc.cpp - VLC media player model ----------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// VLC 0.2.0 (Section 6.1): media player; the trace plays a clip, pauses
+// to the home screen, and resumes.  Most reports are benign player-state
+// races guarded by playback flags.  Table 1: 7 reports = 1 conventional +
+// 5 Type II + 1 Type III false positives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildVlc() {
+  AppBuilder App("vlc");
+
+  // The native decoder thread races the surface teardown.
+  App.seedConventionalRace("decoderSurface");
+
+  static const char *const Flags[] = {
+      "isPlaying", "audioFocus", "overlayShown", "seekable",
+      "hardwareAccel",
+  };
+  for (const char *Name : Flags)
+    App.seedFlagGuardedFp(Name);
+
+  // The equalizer view is cached under two aliases.
+  App.seedAliasMismatchFp("equalizer");
+
+  App.addGuardedCommutativePair("osdUpdate");
+  App.addAllocBeforeUsePair("playlistOpen");
+  App.addLockProtectedPair("libvlcLock");
+
+  App.addNaiveNoise(/*NumFields=*/40, /*ReaderInstances=*/4,
+                    /*WriterInstances=*/3);
+
+  App.addQueueOrderedPair("playlistCommit");
+  App.addExternalOrderedPair("controlsOverlay");
+
+  App.fillVolumeTo(2'805, /*WorkPerTick=*/6);
+  return App.finish(paperRow(2'805, 0, 0, 1, 0, 5, 1));
+}

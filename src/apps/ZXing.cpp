@@ -1,0 +1,49 @@
+//===- apps/ZXing.cpp - Barcode scanner model ---------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// ZXing 4.5.1 (Section 6.1): camera barcode scanner.  The trace scans a
+// barcode, pauses to the home screen, resumes and scans again.  Section
+// 6.2 highlights its pause-path cleanup frees racing decode-thread events.
+// Table 1: 5 reports = 2 inter-thread + one of each false-positive type.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "apps/AppsCommon.h"
+
+using namespace cafa;
+using namespace cafa::apps;
+
+AppModel cafa::apps::buildZXing() {
+  AppBuilder App("zxing");
+
+  // The decode worker publishes results that race the onPause cleanup.
+  App.seedInterThreadRace("decodeResult");
+  App.seedInterThreadRace("previewFrame");
+
+  // Auto-focus callbacks come through an uninstrumented camera package.
+  App.seedUninstrumentedListenerFp("autoFocus");
+
+  // The torch toggle is guarded by a boolean the heuristics cannot see.
+  App.seedFlagGuardedFp("torchState");
+
+  // The viewfinder caches the surface object under two aliases.
+  App.seedAliasMismatchFp("viewfinder");
+
+  App.addGuardedCommutativePair("resultOverlay");
+  App.addAllocBeforeUsePair("scanRestart");
+  App.addLockProtectedPair("cameraHandle");
+
+  App.addNaiveNoise(/*NumFields=*/48, /*ReaderInstances=*/5,
+                    /*WriterInstances=*/3);
+
+  App.addQueueOrderedPair("beepPlayer");
+  App.addExternalOrderedPair("historyPanel");
+
+  App.fillVolumeTo(4'554, /*WorkPerTick=*/4);
+  return App.finish(paperRow(4'554, 0, 2, 0, 1, 1, 1));
+}

@@ -1,0 +1,49 @@
+//===- cafa/Cafa.cpp - Public facade of the CAFA library ---------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cafa/Cafa.h"
+
+#include "support/Timer.h"
+
+using namespace cafa;
+
+AnalysisResult cafa::analyzeTrace(const Trace &T,
+                                  const DetectorOptions &Options,
+                                  const DerefResolver *Resolver) {
+  AnalysisResult Result;
+  Result.TraceStatistics = computeTraceStats(T);
+
+  Timer Phase;
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index, Resolver);
+  Result.ExtractMillis = Phase.elapsedWallMillis();
+
+  Phase.restart();
+  HbIndex Hb(T, Index, Options.Hb);
+  Result.HbBuildMillis = Phase.elapsedWallMillis();
+  Result.HbStats = Hb.ruleStats();
+  Result.HbMemoryBytes = Hb.memoryBytes();
+
+  Phase.restart();
+  Result.Report = detectUseFreeRaces(T, Index, Db, Hb, Options);
+  Result.DetectMillis = Phase.elapsedWallMillis();
+  return Result;
+}
+
+AnalysisResult cafa::analyzeScenario(const Scenario &S,
+                                     const RuntimeOptions &RtOptions,
+                                     const DetectorOptions &DetOptions,
+                                     const GroundTruth *Truth,
+                                     Table1Row *RowOut) {
+  RuntimeOptions Rt = RtOptions;
+  Rt.Tracing = true; // analysis needs a trace regardless of caller intent
+  Trace T = runScenario(S, Rt);
+  AnalysisResult Result = analyzeTrace(T, DetOptions);
+  if (Truth && RowOut)
+    *RowOut = evaluateReport(Result.Report, *Truth, T, S.AppName);
+  return Result;
+}

@@ -1,0 +1,64 @@
+//===- cafa/Cafa.h - Public facade of the CAFA library ---------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-stop public API.  A downstream user typically does:
+///
+/// \code
+///   Scenario S = buildMyApp();                  // or apps::buildMyTracks()
+///   Trace T = runScenario(S, RuntimeOptions()); // instrumented execution
+///   AnalysisResult R = analyzeTrace(T, DetectorOptions());
+///   std::cout << renderRaceReport(R.Report, T);
+/// \endcode
+///
+/// Everything the facade exposes is also reachable through the individual
+/// libraries (rt, hb, detect) for finer control.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_CAFA_CAFA_H
+#define CAFA_CAFA_CAFA_H
+
+#include "detect/Baselines.h"
+#include "detect/DerefDataflow.h"
+#include "detect/GroundTruth.h"
+#include "detect/UseFreeDetector.h"
+#include "rt/Runtime.h"
+#include "trace/TraceStats.h"
+
+namespace cafa {
+
+/// Timings and statistics from one offline analysis.
+struct AnalysisResult {
+  RaceReport Report;
+  HbRuleStats HbStats;
+  TraceStats TraceStatistics;
+  /// Phase wall times in milliseconds.
+  double ExtractMillis = 0;
+  double HbBuildMillis = 0;
+  double DetectMillis = 0;
+  /// Approximate happens-before memory (graph + reachability oracle).
+  size_t HbMemoryBytes = 0;
+};
+
+/// Runs the full offline pipeline on \p T.  \p Resolver, when provided,
+/// enables the Section 6.3 static-dataflow deref matching (removes Type
+/// III false positives; requires the application bytecode).
+AnalysisResult analyzeTrace(const Trace &T, const DetectorOptions &Options,
+                            const DerefResolver *Resolver = nullptr);
+
+/// Runs scenario + analysis end to end.  \p Truth, when non-null, is
+/// joined into a Table 1 row stored in \p RowOut.
+AnalysisResult analyzeScenario(const Scenario &S,
+                               const RuntimeOptions &RtOptions,
+                               const DetectorOptions &DetOptions,
+                               const GroundTruth *Truth = nullptr,
+                               Table1Row *RowOut = nullptr);
+
+} // namespace cafa
+
+#endif // CAFA_CAFA_CAFA_H

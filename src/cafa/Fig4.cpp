@@ -1,0 +1,208 @@
+//===- cafa/Fig4.cpp - The paper's Figure 4 causality scenarios ---------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cafa/Fig4.h"
+
+#include "trace/TraceBuilder.h"
+
+using namespace cafa;
+
+std::vector<Fig4Scenario> cafa::buildFig4Scenarios() {
+  std::vector<Fig4Scenario> Out;
+
+  // (a) Atomicity rule.  Event A forks thread T which registers listener
+  // L; event B performs L.  fork(A,T) < perform(B,L) makes
+  // begin(A) < end(B), so atomicity orders the whole events: A -> B.
+  {
+    Fig4Scenario S;
+    S.Name = "4a-atomicity";
+    S.Explanation = "fork(A,T) < register(T,L) < perform(B,L) => A -> B "
+                    "by the atomicity rule";
+    S.Rule = "atomicity";
+    TraceBuilder TB;
+    QueueId Q = TB.addQueue("main");
+    TaskId A = TB.addEvent("A", Q, 0);
+    TaskId B = TB.addEvent("B", Q, 0);
+    // Two unrelated senders: their sends carry no order, so only the
+    // atomicity rule can relate A and B.
+    TaskId S1 = TB.addThread("S1");
+    TaskId S2 = TB.addThread("S2");
+    TaskId T = TB.addThread("T");
+    ListenerId L = TB.addListener("L");
+    TB.begin(S1).send(S1, A, 0).end(S1);
+    TB.begin(S2).send(S2, B, 0).end(S2);
+    TB.begin(A).fork(A, T).end(A);
+    TB.begin(T).registerListener(T, L);
+    TB.begin(B).performListener(B, L).end(B);
+    TB.end(T);
+    S.T = TB.take();
+    S.A = A;
+    S.B = B;
+    S.ExpectAB = true;
+    Out.push_back(std::move(S));
+  }
+
+  // (b) Queue rule 1: ordered sends with equal delays keep FIFO order.
+  {
+    Fig4Scenario S;
+    S.Name = "4b-queue1-fifo";
+    S.Explanation = "send(T,A,1) < send(T,B,1), equal delays => A -> B";
+    S.Rule = "queue-1";
+    TraceBuilder TB;
+    QueueId Q = TB.addQueue("main");
+    TaskId T = TB.addThread("T");
+    TaskId A = TB.addEvent("A", Q, 1);
+    TaskId B = TB.addEvent("B", Q, 1);
+    TB.begin(T).send(T, A, 1).send(T, B, 1).end(T);
+    TB.begin(A).end(A);
+    TB.begin(B).end(B);
+    S.T = TB.take();
+    S.A = A;
+    S.B = B;
+    S.ExpectAB = true;
+    Out.push_back(std::move(S));
+  }
+
+  // (c) Queue rule 1 negative: the earlier send has the larger delay, so
+  // the later event can overtake it -- no order either way.
+  {
+    Fig4Scenario S;
+    S.Name = "4c-queue1-delay";
+    S.Explanation = "send(T,A,5) < send(T,B,0): B may run first => no "
+                    "order";
+    S.Rule = "none";
+    TraceBuilder TB;
+    QueueId Q = TB.addQueue("main");
+    TaskId T = TB.addThread("T");
+    TaskId A = TB.addEvent("A", Q, 5);
+    TaskId B = TB.addEvent("B", Q, 0);
+    TB.begin(T).send(T, A, 5).send(T, B, 0).end(T);
+    TB.begin(B).end(B); // B overtakes A in this execution
+    TB.begin(A).end(A);
+    S.T = TB.take();
+    S.A = A;
+    S.B = B;
+    Out.push_back(std::move(S));
+  }
+
+  // (d) Queue rule 2: both sends inside event C on the same looper.  C
+  // ends before anything else runs (atomicity), so sendAtFront(C,B) <
+  // begin(A) is derivable and B jumps ahead: B -> A.
+  {
+    Fig4Scenario S;
+    S.Name = "4d-queue2-front";
+    S.Explanation = "send(C,A,0) < sendAtFront(C,B) < begin(A) (via "
+                    "atomicity on C) => B -> A";
+    S.Rule = "queue-2";
+    TraceBuilder TB;
+    QueueId Q = TB.addQueue("main");
+    TaskId C = TB.addEvent("C", Q, 0, false, /*External=*/true);
+    TaskId A = TB.addEvent("A", Q, 0);
+    TaskId B = TB.addEvent("B", Q, 0, /*AtFront=*/true);
+    TB.begin(C).send(C, A, 0).sendAtFront(C, B).end(C);
+    TB.begin(B).end(B);
+    TB.begin(A).end(A);
+    S.T = TB.take();
+    S.A = A;
+    S.B = B;
+    S.ExpectBA = true;
+    Out.push_back(std::move(S));
+  }
+
+  // (e) Queue rule 2 negative: A is already running when B is pushed to
+  // the front -- no order.
+  {
+    Fig4Scenario S;
+    S.Name = "4e-front-race";
+    S.Explanation = "A begins before sendAtFront(T,B): either order is "
+                    "possible => no order";
+    S.Rule = "none";
+    TraceBuilder TB;
+    QueueId Q = TB.addQueue("main");
+    TaskId T = TB.addThread("T");
+    TaskId A = TB.addEvent("A", Q, 0);
+    TaskId B = TB.addEvent("B", Q, 0, /*AtFront=*/true);
+    TB.begin(T).send(T, A, 0);
+    TB.begin(A);
+    TB.sendAtFront(T, B).end(T);
+    TB.end(A);
+    TB.begin(B).end(B);
+    S.T = TB.take();
+    S.A = A;
+    S.B = B;
+    Out.push_back(std::move(S));
+  }
+
+  // (f) Queue rule 2 negative, other interleaving observed: B ran first,
+  // but nothing guarantees it -- still no order.
+  {
+    Fig4Scenario S;
+    S.Name = "4f-front-race";
+    S.Explanation = "sendAtFront(T,B) not ordered before begin(A) => no "
+                    "order, even though B ran first here";
+    S.Rule = "none";
+    TraceBuilder TB;
+    QueueId Q = TB.addQueue("main");
+    TaskId T = TB.addThread("T");
+    TaskId A = TB.addEvent("A", Q, 0);
+    TaskId B = TB.addEvent("B", Q, 0, /*AtFront=*/true);
+    TB.begin(T).send(T, A, 0).sendAtFront(T, B).end(T);
+    TB.begin(B).end(B);
+    TB.begin(A).end(A);
+    S.T = TB.take();
+    S.A = A;
+    S.B = B;
+    Out.push_back(std::move(S));
+  }
+
+  // Extra: queue rule 3 -- an event already at the front precedes any
+  // later-sent event.
+  {
+    Fig4Scenario S;
+    S.Name = "rule3-front-first";
+    S.Explanation = "sendAtFront(T,A) < send(T,B,0) => A -> B";
+    S.Rule = "queue-3";
+    TraceBuilder TB;
+    QueueId Q = TB.addQueue("main");
+    TaskId T = TB.addThread("T");
+    TaskId A = TB.addEvent("A", Q, 0, /*AtFront=*/true);
+    TaskId B = TB.addEvent("B", Q, 0);
+    TB.begin(T).sendAtFront(T, A).send(T, B, 0).end(T);
+    TB.begin(A).end(A);
+    TB.begin(B).end(B);
+    S.T = TB.take();
+    S.A = A;
+    S.B = B;
+    S.ExpectAB = true;
+    Out.push_back(std::move(S));
+  }
+
+  // Extra: queue rule 4 -- two front-sends inside one event; the later
+  // one lands in front of the earlier one.
+  {
+    Fig4Scenario S;
+    S.Name = "rule4-front-front";
+    S.Explanation = "sendAtFront(C,A) < sendAtFront(C,B) < begin(A) "
+                    "(via atomicity on C) => B -> A";
+    S.Rule = "queue-4";
+    TraceBuilder TB;
+    QueueId Q = TB.addQueue("main");
+    TaskId C = TB.addEvent("C", Q, 0, false, /*External=*/true);
+    TaskId A = TB.addEvent("A", Q, 0, /*AtFront=*/true);
+    TaskId B = TB.addEvent("B", Q, 0, /*AtFront=*/true);
+    TB.begin(C).sendAtFront(C, A).sendAtFront(C, B).end(C);
+    TB.begin(B).end(B);
+    TB.begin(A).end(A);
+    S.T = TB.take();
+    S.A = A;
+    S.B = B;
+    S.ExpectBA = true;
+    Out.push_back(std::move(S));
+  }
+
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- cafa/Fig4.h - The paper's Figure 4 causality scenarios --*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six example traces of the paper's Figure 4 (plus two extras that
+/// exercise event-queue rules 3 and 4 directly), each with the
+/// happens-before verdict the causality model must derive.  Shared by the
+/// fig4_causality benchmark binary and the hb test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_CAFA_FIG4_H
+#define CAFA_CAFA_FIG4_H
+
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace cafa {
+
+/// One Figure 4 scenario: a trace, the two events of interest, and the
+/// expected event-level orders.
+struct Fig4Scenario {
+  std::string Name;
+  std::string Explanation;
+  Trace T;
+  TaskId A;
+  TaskId B;
+  /// Expected: end(A) happens before begin(B).
+  bool ExpectAB = false;
+  /// Expected: end(B) happens before begin(A).
+  bool ExpectBA = false;
+  /// The rule responsible (for display and for ablation checks):
+  /// "atomicity", "queue-1" ... "queue-4", or "none".
+  std::string Rule;
+};
+
+/// Builds all scenarios: Figure 4 (a)-(f) plus rules 3 and 4.
+std::vector<Fig4Scenario> buildFig4Scenarios();
+
+} // namespace cafa
+
+#endif // CAFA_CAFA_FIG4_H

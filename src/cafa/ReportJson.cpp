@@ -1,0 +1,112 @@
+//===- cafa/ReportJson.cpp - Machine-readable report output -------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cafa/ReportJson.h"
+
+#include "support/Format.h"
+
+#include <sstream>
+
+using namespace cafa;
+
+std::string cafa::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Renders one access as a JSON object.
+std::string accessJson(const PtrAccess &Acc, const Trace &T) {
+  return formatString(
+      "{\"method\": \"%s\", \"pc\": %u, \"task\": \"%s\", "
+      "\"record\": %u}",
+      jsonEscape(T.methodName(Acc.Method)).c_str(), Acc.Pc,
+      jsonEscape(T.taskName(Acc.Task)).c_str(), Acc.Record);
+}
+
+} // namespace
+
+std::string cafa::renderRaceReportJson(const RaceReport &Report,
+                                       const Trace &T) {
+  std::ostringstream OS;
+  OS << "{\n  \"races\": [";
+  bool First = true;
+  for (const UseFreeRace &Race : Report.Races) {
+    OS << (First ? "\n" : ",\n");
+    First = false;
+    OS << formatString(
+        "    {\"category\": \"%s\", \"dynamicCount\": %u,\n"
+        "     \"use\": %s,\n     \"free\": %s}",
+        raceCategoryName(Race.Category), Race.DynamicCount,
+        accessJson(Race.Use, T).c_str(), accessJson(Race.Free, T).c_str());
+  }
+  const FilterCounters &F = Report.Filters;
+  OS << "\n  ],\n";
+  OS << formatString(
+      "  \"filters\": {\"candidates\": %llu, \"orderedByHb\": %llu, "
+      "\"sameTask\": %llu, \"lockset\": %llu, \"ifGuard\": %llu, "
+      "\"intraEventAlloc\": %llu}\n",
+      static_cast<unsigned long long>(F.CandidatePairs),
+      static_cast<unsigned long long>(F.OrderedByHb),
+      static_cast<unsigned long long>(F.SameTask),
+      static_cast<unsigned long long>(F.LocksetProtected),
+      static_cast<unsigned long long>(F.IfGuardFiltered),
+      static_cast<unsigned long long>(F.IntraEventAlloc));
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string cafa::renderTable1Json(const std::vector<Table1Row> &Rows) {
+  std::ostringstream OS;
+  OS << "[";
+  bool First = true;
+  for (const Table1Row &Row : Rows) {
+    OS << (First ? "\n" : ",\n");
+    First = false;
+    OS << formatString(
+        "  {\"app\": \"%s\", \"events\": %llu, \"reported\": %llu, "
+        "\"trueA\": %llu, \"trueB\": %llu, \"trueC\": %llu, "
+        "\"fpI\": %llu, \"fpII\": %llu, \"fpIII\": %llu, "
+        "\"unexpected\": %llu, \"missed\": %llu}",
+        jsonEscape(Row.App).c_str(),
+        static_cast<unsigned long long>(Row.Events),
+        static_cast<unsigned long long>(Row.Reported),
+        static_cast<unsigned long long>(Row.TrueA),
+        static_cast<unsigned long long>(Row.TrueB),
+        static_cast<unsigned long long>(Row.TrueC),
+        static_cast<unsigned long long>(Row.FpI),
+        static_cast<unsigned long long>(Row.FpII),
+        static_cast<unsigned long long>(Row.FpIII),
+        static_cast<unsigned long long>(Row.Unexpected),
+        static_cast<unsigned long long>(Row.Missed));
+  }
+  OS << "\n]\n";
+  return OS.str();
+}

@@ -1,0 +1,46 @@
+//===- cafa/ReportJson.h - Machine-readable report output ------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON rendering of race reports and Table 1 rows, for CI pipelines and
+/// downstream tooling that consumes CAFA's findings programmatically.
+/// The schema is flat and stable:
+///
+/// \code
+/// {
+///   "races": [ { "category": "a", "dynamicCount": 1,
+///                "use":  {"method": "...", "pc": 3, "task": "..."},
+///                "free": {"method": "...", "pc": 7, "task": "..."} } ],
+///   "filters": { "candidates": 10, "orderedByHb": 2, ... }
+/// }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_CAFA_REPORTJSON_H
+#define CAFA_CAFA_REPORTJSON_H
+
+#include "detect/GroundTruth.h"
+#include "detect/RaceReport.h"
+
+#include <string>
+#include <vector>
+
+namespace cafa {
+
+/// Renders a race report as JSON (names resolved against \p T).
+std::string renderRaceReportJson(const RaceReport &Report, const Trace &T);
+
+/// Renders Table 1 rows as a JSON array.
+std::string renderTable1Json(const std::vector<Table1Row> &Rows);
+
+/// Escapes a string for embedding in JSON (exposed for tests).
+std::string jsonEscape(const std::string &S);
+
+} // namespace cafa
+
+#endif // CAFA_CAFA_REPORTJSON_H

@@ -1,0 +1,180 @@
+//===- detect/Accesses.cpp - Use/free/alloc extraction ----------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Accesses.h"
+
+#include "detect/DerefDataflow.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+using namespace cafa;
+
+namespace {
+
+/// Information about a pointer read awaiting a matching dereference.
+struct LastRead {
+  uint32_t Record = 0;
+  VarId Var;
+  MethodId Method;
+  uint32_t Pc = 0;
+  uint64_t Frame = 0;
+  std::vector<uint32_t> Lockset;
+};
+
+/// Per-task scan state.
+struct TaskScan {
+  std::vector<uint64_t> FrameStack;
+  std::vector<uint32_t> LockStack;
+  /// object id -> most recent pointer read producing it (heuristic
+  /// matching; Section 5.3).
+  std::unordered_map<uint64_t, LastRead> ReadsByObject;
+  /// Per open frame: load pc -> most recent read at that pc (precise
+  /// matching via the static resolver).
+  std::vector<std::unordered_map<uint32_t, LastRead>> FrameReadsByPc;
+};
+
+} // namespace
+
+AccessDb cafa::extractAccesses(const Trace &T, const TaskIndex &Index,
+                               const DerefResolver *Resolver) {
+  AccessDb Db;
+  std::vector<TaskScan> Scans(T.numTasks());
+  // Read record index -> index into Db.Uses (deduplicates promotions).
+  std::unordered_map<uint32_t, size_t> UseByReadRecord;
+  uint64_t TotalReads = 0;
+
+  // Promotes \p LR to a use (first dereference wins).
+  auto promoteUse = [&](const LastRead &LR, TaskId Task,
+                        uint32_t DerefRecord) {
+    if (UseByReadRecord.count(LR.Record))
+      return;
+    PtrAccess Use;
+    Use.Record = LR.Record;
+    Use.Task = Task;
+    Use.Var = LR.Var;
+    Use.Method = LR.Method;
+    Use.Pc = LR.Pc;
+    Use.Frame = LR.Frame;
+    Use.DerefRecord = DerefRecord;
+    Use.Lockset = LR.Lockset;
+    UseByReadRecord.emplace(LR.Record, Db.Uses.size());
+    Db.Uses.push_back(std::move(Use));
+  };
+
+  // Looks up the read matched by a querying site, preferring the static
+  // resolution when available.  Returns nullptr when nothing matches.
+  auto matchSite = [&](TaskScan &Scan, const TraceRecord &Rec,
+                       uint64_t Object) -> const LastRead * {
+    if (Resolver && Rec.Method.isValid() && !Scan.FrameReadsByPc.empty()) {
+      int64_t LoadPc = Resolver->loadFor(Rec.Method, Rec.Pc);
+      if (LoadPc != DerefResolver::Unresolved) {
+        auto &FrameMap = Scan.FrameReadsByPc.back();
+        auto It = FrameMap.find(static_cast<uint32_t>(LoadPc));
+        if (It != FrameMap.end())
+          return &It->second;
+        // Statically resolved but dynamically absent (should not happen
+        // for well-formed traces); fall through to the heuristic.
+      }
+    }
+    auto It = Scan.ReadsByObject.find(Object);
+    return It == Scan.ReadsByObject.end() ? nullptr : &It->second;
+  };
+
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numRecords()); I != E;
+       ++I) {
+    const TraceRecord &Rec = T.record(I);
+    TaskScan &Scan = Scans[Rec.Task.index()];
+
+    switch (Rec.Kind) {
+    case OpKind::MethodEnter:
+      Scan.FrameStack.push_back(Rec.frameId());
+      Scan.FrameReadsByPc.emplace_back();
+      break;
+    case OpKind::MethodExit:
+      if (!Scan.FrameStack.empty()) {
+        Scan.FrameStack.pop_back();
+        Scan.FrameReadsByPc.pop_back();
+      }
+      break;
+    case OpKind::LockAcquire:
+      Scan.LockStack.push_back(static_cast<uint32_t>(Rec.Arg0));
+      break;
+    case OpKind::LockRelease:
+      if (!Scan.LockStack.empty())
+        Scan.LockStack.pop_back();
+      break;
+
+    case OpKind::PtrRead: {
+      uint64_t Obj = Rec.Arg1;
+      if (Obj == 0)
+        break; // a null read can never be dereferenced safely; skip
+      ++TotalReads;
+      LastRead LR;
+      LR.Record = I;
+      LR.Var = Rec.var();
+      LR.Method = Rec.Method;
+      LR.Pc = Rec.Pc;
+      LR.Frame = Scan.FrameStack.empty() ? 0 : Scan.FrameStack.back();
+      LR.Lockset = Scan.LockStack;
+      std::sort(LR.Lockset.begin(), LR.Lockset.end());
+      if (!Scan.FrameReadsByPc.empty())
+        Scan.FrameReadsByPc.back()[Rec.Pc] = LR;
+      Scan.ReadsByObject[Obj] = std::move(LR);
+      break;
+    }
+
+    case OpKind::PtrWrite: {
+      PtrAccess Acc;
+      Acc.Record = I;
+      Acc.Task = Rec.Task;
+      Acc.Var = Rec.var();
+      Acc.Method = Rec.Method;
+      Acc.Pc = Rec.Pc;
+      Acc.Frame = Scan.FrameStack.empty() ? 0 : Scan.FrameStack.back();
+      Acc.Lockset = Scan.LockStack;
+      std::sort(Acc.Lockset.begin(), Acc.Lockset.end());
+      if (Rec.isFree())
+        Db.Frees.push_back(std::move(Acc));
+      else
+        Db.Allocs.push_back(std::move(Acc));
+      break;
+    }
+
+    case OpKind::Deref: {
+      const LastRead *LR = matchSite(Scan, Rec, Rec.Arg0);
+      if (!LR) {
+        ++Db.UnmatchedDerefs;
+        break;
+      }
+      promoteUse(*LR, Rec.Task, I);
+      break;
+    }
+
+    case OpKind::Branch: {
+      GuardBranch Br;
+      Br.Record = I;
+      Br.Task = Rec.Task;
+      Br.Kind = Rec.branchKind();
+      Br.Method = Rec.Method;
+      Br.Pc = Rec.Pc;
+      Br.TargetPc = Rec.branchTargetPc();
+      Br.Frame = Scan.FrameStack.empty() ? 0 : Scan.FrameStack.back();
+      if (const LastRead *LR = matchSite(Scan, Rec, Rec.Arg1))
+        Br.Var = LR->Var;
+      Db.Branches.push_back(std::move(Br));
+      break;
+    }
+
+    default:
+      break;
+    }
+  }
+
+  Db.UnmatchedReads = TotalReads - Db.Uses.size();
+  return Db;
+}

@@ -1,0 +1,167 @@
+//===- detect/DerefDataflow.cpp - Static deref-to-load matching --------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/DerefDataflow.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace cafa;
+
+namespace {
+
+/// Abstract register value for the reaching-load analysis.
+/// Lattice: Unreached (bottom) < Load(pc) < NotAUniqueLoad (top).
+struct AbsVal {
+  static constexpr int32_t Unreached = -2;
+  static constexpr int32_t Top = -1;
+  int32_t V = Unreached;
+
+  static AbsVal load(uint32_t Pc) { return {static_cast<int32_t>(Pc)}; }
+  static AbsVal top() { return {Top}; }
+  static AbsVal bottom() { return {Unreached}; }
+
+  bool isLoad() const { return V >= 0; }
+
+  /// Lattice join; returns true if this changed.
+  bool joinWith(AbsVal O) {
+    if (O.V == Unreached || V == O.V)
+      return false;
+    if (V == Unreached) {
+      V = O.V;
+      return true;
+    }
+    if (V == Top)
+      return false;
+    V = Top; // two different loads (or load vs top) merge to top
+    return true;
+  }
+};
+
+/// The register an instruction queries for an object pointer (the
+/// receiver of a deref, or the tested pointer of a guard branch), or
+/// NoReg if the instruction queries none.
+Reg queriedRegister(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::InvokeVirtual:
+  case Opcode::IPutObject:
+  case Opcode::IPut:
+    return I.A;
+  case Opcode::IGetObject:
+  case Opcode::IGet:
+    return I.B;
+  case Opcode::IfEqz:
+  case Opcode::IfNez:
+  case Opcode::IfEq: // the logged object is register A's
+    return I.A;
+  default:
+    return NoReg;
+  }
+}
+
+} // namespace
+
+DerefResolver::DerefResolver(const Module &M) {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.numMethods()); I != E;
+       ++I)
+    analyzeMethod(M, MethodId(I));
+}
+
+void DerefResolver::analyzeMethod(const Module &M, MethodId Method) {
+  const MethodDef &Def = M.methodDef(Method);
+  uint32_t NumPcs = static_cast<uint32_t>(Def.Code.size());
+  uint32_t NumRegs = Def.NumRegs;
+  if (NumPcs == 0)
+    return;
+
+  // In-state per pc: the abstract register file before the instruction.
+  std::vector<std::vector<AbsVal>> In(
+      NumPcs, std::vector<AbsVal>(NumRegs, AbsVal::bottom()));
+  // Entry: arguments are runtime-provided objects, not loads.
+  for (AbsVal &V : In[0])
+    V = AbsVal::top();
+
+  std::vector<bool> Dirty(NumPcs, false);
+  std::vector<uint32_t> Worklist = {0};
+  Dirty[0] = true;
+
+  auto propagate = [&](uint32_t To, const std::vector<AbsVal> &State) {
+    if (To >= NumPcs)
+      return;
+    bool Changed = false;
+    for (uint32_t R = 0; R != NumRegs; ++R)
+      Changed |= In[To][R].joinWith(State[R]);
+    if (Changed && !Dirty[To]) {
+      Dirty[To] = true;
+      Worklist.push_back(To);
+    }
+  };
+
+  while (!Worklist.empty()) {
+    uint32_t Pc = Worklist.back();
+    Worklist.pop_back();
+    Dirty[Pc] = false;
+    const Instr &I = Def.Code[Pc];
+
+    // Transfer function.
+    std::vector<AbsVal> Out = In[Pc];
+    switch (I.Op) {
+    case Opcode::IGetObject:
+    case Opcode::SGetObject:
+      Out[I.A] = AbsVal::load(Pc);
+      break;
+    case Opcode::Move:
+      Out[I.A] = Out[I.B];
+      break;
+    case Opcode::ConstNull:
+    case Opcode::ConstInt:
+    case Opcode::NewInstance:
+    case Opcode::AddInt:
+    case Opcode::IGet:
+    case Opcode::SGet:
+    case Opcode::ForkThread:
+      // Writes a non-load value into A.
+      if (I.A != NoReg && I.A < NumRegs)
+        Out[I.A] = AbsVal::top();
+      break;
+    default:
+      break; // no register definition
+    }
+
+    // Successors.
+    if (isBranch(I.Op)) {
+      propagate(static_cast<uint32_t>(static_cast<int64_t>(Pc) + I.Imm),
+                Out);
+      if (I.Op != Opcode::Goto)
+        propagate(Pc + 1, Out);
+    } else if (I.Op != Opcode::ReturnVoid) {
+      propagate(Pc + 1, Out);
+    }
+  }
+
+  // Harvest the sites.
+  for (uint32_t Pc = 0; Pc != NumPcs; ++Pc) {
+    Reg Queried = queriedRegister(Def.Code[Pc]);
+    if (Queried == NoReg || Queried >= NumRegs)
+      continue;
+    AbsVal V = In[Pc][Queried];
+    if (V.isLoad()) {
+      Table[(static_cast<uint64_t>(Method.value()) << 32) | Pc] =
+          static_cast<uint32_t>(V.V);
+      ++NumResolved;
+    } else {
+      ++NumUnresolved;
+    }
+  }
+}
+
+int64_t DerefResolver::loadFor(MethodId Method, uint32_t SitePc) const {
+  auto It =
+      Table.find((static_cast<uint64_t>(Method.value()) << 32) | SitePc);
+  return It == Table.end() ? Unresolved
+                           : static_cast<int64_t>(It->second);
+}

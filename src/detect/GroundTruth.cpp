@@ -1,0 +1,145 @@
+//===- detect/GroundTruth.cpp - Seeded-race labels and evaluation ------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/GroundTruth.h"
+
+#include "support/Format.h"
+#include "trace/TraceStats.h"
+
+#include <map>
+#include <sstream>
+
+using namespace cafa;
+
+const char *cafa::raceLabelName(RaceLabel Label) {
+  switch (Label) {
+  case RaceLabel::Harmful:
+    return "harmful";
+  case RaceLabel::FalseTypeI:
+    return "FP-I";
+  case RaceLabel::FalseTypeII:
+    return "FP-II";
+  case RaceLabel::FalseTypeIII:
+    return "FP-III";
+  }
+  return "?";
+}
+
+namespace {
+using PairKey = std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>;
+
+PairKey keyOf(MethodId UseMethod, uint32_t UsePc, MethodId FreeMethod,
+              uint32_t FreePc) {
+  return {UseMethod.value(), UsePc, FreeMethod.value(), FreePc};
+}
+} // namespace
+
+Table1Row cafa::evaluateReport(const RaceReport &Report,
+                               const GroundTruth &Truth, const Trace &T,
+                               const std::string &AppName) {
+  Table1Row Row;
+  Row.App = AppName;
+  Row.Events = T.numEvents();
+  Row.Reported = Report.Races.size();
+
+  std::map<PairKey, const GroundTruthEntry *> Labels;
+  for (const GroundTruthEntry &E : Truth.Entries)
+    Labels[keyOf(E.UseMethod, E.UsePc, E.FreeMethod, E.FreePc)] = &E;
+
+  std::map<PairKey, bool> Matched;
+  for (const UseFreeRace &Race : Report.Races) {
+    PairKey Key = keyOf(Race.Use.Method, Race.Use.Pc, Race.Free.Method,
+                        Race.Free.Pc);
+    auto It = Labels.find(Key);
+    if (It == Labels.end()) {
+      ++Row.Unexpected;
+      continue;
+    }
+    Matched[Key] = true;
+    switch (It->second->Label) {
+    case RaceLabel::Harmful:
+      switch (Race.Category) {
+      case RaceCategory::IntraThread:
+        ++Row.TrueA;
+        break;
+      case RaceCategory::InterThread:
+        ++Row.TrueB;
+        break;
+      case RaceCategory::Conventional:
+        ++Row.TrueC;
+        break;
+      }
+      break;
+    case RaceLabel::FalseTypeI:
+      ++Row.FpI;
+      break;
+    case RaceLabel::FalseTypeII:
+      ++Row.FpII;
+      break;
+    case RaceLabel::FalseTypeIII:
+      ++Row.FpIII;
+      break;
+    }
+  }
+
+  for (const auto &[Key, Entry] : Labels)
+    if (!Matched.count(Key))
+      ++Row.Missed;
+  return Row;
+}
+
+std::string cafa::renderTable1(const std::vector<Table1Row> &Rows) {
+  std::ostringstream OS;
+  OS << padRight("Application", 14) << padLeft("Events", 8)
+     << padLeft("Reported", 10) << padLeft("(a)", 5) << padLeft("(b)", 5)
+     << padLeft("(c)", 5) << padLeft("I", 5) << padLeft("II", 5)
+     << padLeft("III", 5) << padLeft("unexp", 7) << padLeft("miss", 6)
+     << '\n';
+  Table1Row Total;
+  Total.App = "Overall";
+  for (const Table1Row &Row : Rows) {
+    OS << padRight(Row.App, 14)
+       << padLeft(withThousandsSep(Row.Events), 8)
+       << padLeft(std::to_string(Row.Reported), 10)
+       << padLeft(std::to_string(Row.TrueA), 5)
+       << padLeft(std::to_string(Row.TrueB), 5)
+       << padLeft(std::to_string(Row.TrueC), 5)
+       << padLeft(std::to_string(Row.FpI), 5)
+       << padLeft(std::to_string(Row.FpII), 5)
+       << padLeft(std::to_string(Row.FpIII), 5)
+       << padLeft(std::to_string(Row.Unexpected), 7)
+       << padLeft(std::to_string(Row.Missed), 6) << '\n';
+    Total.Events += Row.Events;
+    Total.Reported += Row.Reported;
+    Total.TrueA += Row.TrueA;
+    Total.TrueB += Row.TrueB;
+    Total.TrueC += Row.TrueC;
+    Total.FpI += Row.FpI;
+    Total.FpII += Row.FpII;
+    Total.FpIII += Row.FpIII;
+    Total.Unexpected += Row.Unexpected;
+    Total.Missed += Row.Missed;
+  }
+  OS << padRight(Total.App, 14) << padLeft("", 8)
+     << padLeft(std::to_string(Total.Reported), 10)
+     << padLeft(std::to_string(Total.TrueA), 5)
+     << padLeft(std::to_string(Total.TrueB), 5)
+     << padLeft(std::to_string(Total.TrueC), 5)
+     << padLeft(std::to_string(Total.FpI), 5)
+     << padLeft(std::to_string(Total.FpII), 5)
+     << padLeft(std::to_string(Total.FpIII), 5)
+     << padLeft(std::to_string(Total.Unexpected), 7)
+     << padLeft(std::to_string(Total.Missed), 6) << '\n';
+  uint64_t TrueTotal = Total.trueTotal();
+  if (Total.Reported > 0)
+    OS << formatString("harmful: %llu of %llu reported (%.0f%%)\n",
+                       static_cast<unsigned long long>(TrueTotal),
+                       static_cast<unsigned long long>(Total.Reported),
+                       100.0 * static_cast<double>(TrueTotal) /
+                           static_cast<double>(Total.Reported));
+  return OS.str();
+}

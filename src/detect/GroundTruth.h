@@ -1,0 +1,95 @@
+//===- detect/GroundTruth.h - Seeded-race labels and evaluation -*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground truth for the evaluation.  The paper's authors triaged every
+/// reported race by hand into harmful races and three false-positive
+/// classes (Section 6.3).  Our application models seed each race on
+/// purpose, so they can label the static (use site, free site) pairs they
+/// plant; the evaluation harness joins detector reports against these
+/// labels to produce the Table 1 columns.  The detector itself never sees
+/// the labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_DETECT_GROUNDTRUTH_H
+#define CAFA_DETECT_GROUNDTRUTH_H
+
+#include "detect/RaceReport.h"
+
+#include <string>
+#include <vector>
+
+namespace cafa {
+
+/// How a seeded race should be judged when reported.
+enum class RaceLabel : uint8_t {
+  /// A true use-after-free hazard.
+  Harmful,
+  /// Type I FP: ordered in reality by an uninstrumented listener.
+  FalseTypeI,
+  /// Type II FP: benign, guarded by state the heuristics cannot see.
+  FalseTypeII,
+  /// Type III FP: the dereference was matched to the wrong pointer read.
+  FalseTypeIII,
+};
+
+/// Returns a short display name ("harmful", "FP-I", ...).
+const char *raceLabelName(RaceLabel Label);
+
+/// One labeled static pair.
+struct GroundTruthEntry {
+  MethodId UseMethod;
+  uint32_t UsePc = 0;
+  MethodId FreeMethod;
+  uint32_t FreePc = 0;
+  RaceLabel Label = RaceLabel::Harmful;
+  /// For harmful races: the Table 1 category the seed is designed to
+  /// fall into (checked against the detector's classification).
+  RaceCategory ExpectedCategory = RaceCategory::IntraThread;
+  /// Human explanation used in reports ("Figure 1 providerUtils race").
+  std::string Note;
+};
+
+/// All labels for one application model.
+struct GroundTruth {
+  std::vector<GroundTruthEntry> Entries;
+};
+
+/// One row of Table 1.
+struct Table1Row {
+  std::string App;
+  uint64_t Events = 0;
+  uint64_t Reported = 0;
+  uint64_t TrueA = 0; ///< intra-thread violations
+  uint64_t TrueB = 0; ///< inter-thread violations
+  uint64_t TrueC = 0; ///< conventional violations
+  uint64_t FpI = 0;
+  uint64_t FpII = 0;
+  uint64_t FpIII = 0;
+  /// Reported races with no ground-truth label (must be 0 for calibrated
+  /// app models; nonzero values are surfaced, never hidden).
+  uint64_t Unexpected = 0;
+  /// Labeled races the detector failed to report.
+  uint64_t Missed = 0;
+
+  uint64_t trueTotal() const { return TrueA + TrueB + TrueC; }
+};
+
+/// Joins \p Report against \p Truth.  Harmful entries are counted under
+/// the *detector's* (a)/(b)/(c) classification; FP entries under their
+/// labeled type.  Reported races with no label land in Unexpected,
+/// labeled pairs that were not reported in Missed.
+Table1Row evaluateReport(const RaceReport &Report, const GroundTruth &Truth,
+                         const Trace &T, const std::string &AppName);
+
+/// Renders rows in the layout of Table 1, with a totals line.
+std::string renderTable1(const std::vector<Table1Row> &Rows);
+
+} // namespace cafa
+
+#endif // CAFA_DETECT_GROUNDTRUTH_H

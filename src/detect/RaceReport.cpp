@@ -1,0 +1,64 @@
+//===- detect/RaceReport.cpp - Detector output structures --------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/RaceReport.h"
+
+#include "support/Format.h"
+
+#include <sstream>
+
+using namespace cafa;
+
+const char *cafa::raceCategoryName(RaceCategory C) {
+  switch (C) {
+  case RaceCategory::IntraThread:
+    return "a";
+  case RaceCategory::InterThread:
+    return "b";
+  case RaceCategory::Conventional:
+    return "c";
+  }
+  return "?";
+}
+
+size_t RaceReport::countCategory(RaceCategory C) const {
+  size_t N = 0;
+  for (const UseFreeRace &R : Races)
+    if (R.Category == C)
+      ++N;
+  return N;
+}
+
+std::string cafa::renderRaceLine(const UseFreeRace &Race, const Trace &T) {
+  return formatString(
+      "use %s:%u in %s  ~  free %s:%u in %s  [%s, x%u]",
+      T.methodName(Race.Use.Method).c_str(), Race.Use.Pc,
+      T.taskName(Race.Use.Task).c_str(),
+      T.methodName(Race.Free.Method).c_str(), Race.Free.Pc,
+      T.taskName(Race.Free.Task).c_str(),
+      raceCategoryName(Race.Category), Race.DynamicCount);
+}
+
+std::string cafa::renderRaceReport(const RaceReport &Report, const Trace &T) {
+  std::ostringstream OS;
+  OS << Report.Races.size() << " use-free race(s) reported\n";
+  size_t N = 0;
+  for (const UseFreeRace &Race : Report.Races)
+    OS << formatString("  #%zu  %s\n", ++N,
+                       renderRaceLine(Race, T).c_str());
+  const FilterCounters &F = Report.Filters;
+  OS << formatString(
+      "candidates=%llu orderedByHb=%llu sameTask=%llu lockset=%llu "
+      "ifGuard=%llu intraEventAlloc=%llu\n",
+      static_cast<unsigned long long>(F.CandidatePairs),
+      static_cast<unsigned long long>(F.OrderedByHb),
+      static_cast<unsigned long long>(F.SameTask),
+      static_cast<unsigned long long>(F.LocksetProtected),
+      static_cast<unsigned long long>(F.IfGuardFiltered),
+      static_cast<unsigned long long>(F.IntraEventAlloc));
+  return OS.str();
+}

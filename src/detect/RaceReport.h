@@ -1,0 +1,77 @@
+//===- detect/RaceReport.h - Detector output structures --------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The detector's output: use-free races deduplicated to static (use
+/// site, free site) pairs, with their Table 1 classification and the
+/// filter counters that explain what was pruned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_DETECT_RACEREPORT_H
+#define CAFA_DETECT_RACEREPORT_H
+
+#include "detect/Accesses.h"
+
+#include <string>
+#include <vector>
+
+namespace cafa {
+
+/// Table 1 true-race categories (assigned by the detector; whether the
+/// race is actually harmful is the evaluation harness's ground truth).
+enum class RaceCategory : uint8_t {
+  /// (a) between two events of the same looper thread.
+  IntraThread,
+  /// (b) between threads, missed by a conventional detector.
+  InterThread,
+  /// (c) between threads, also found by a conventional detector.
+  Conventional,
+};
+
+/// Returns "a"/"b"/"c" for rendering.
+const char *raceCategoryName(RaceCategory C);
+
+/// One reported use-free race (deduplicated static pair; the recorded
+/// accesses are the first dynamic instance observed).
+struct UseFreeRace {
+  PtrAccess Use;
+  PtrAccess Free;
+  RaceCategory Category = RaceCategory::IntraThread;
+  /// Number of dynamic (use, free) instances collapsed into this entry.
+  uint32_t DynamicCount = 1;
+};
+
+/// Why a candidate pair was suppressed.
+struct FilterCounters {
+  uint64_t OrderedByHb = 0;       ///< not a race: happens-before ordered
+  uint64_t SameTask = 0;          ///< same task: program order
+  uint64_t LocksetProtected = 0;  ///< common lock across threads
+  uint64_t IfGuardFiltered = 0;   ///< use proven non-null by a guard
+  uint64_t IntraEventAlloc = 0;   ///< allocation masks the free/use
+  uint64_t CandidatePairs = 0;    ///< dynamic pairs examined
+};
+
+/// The full detector output for one trace.
+struct RaceReport {
+  std::vector<UseFreeRace> Races;
+  FilterCounters Filters;
+
+  size_t numRaces() const { return Races.size(); }
+  size_t countCategory(RaceCategory C) const;
+};
+
+/// Renders a report for humans (one block per race, names resolved
+/// against \p T).
+std::string renderRaceReport(const RaceReport &Report, const Trace &T);
+
+/// Renders one race as a single line.
+std::string renderRaceLine(const UseFreeRace &Race, const Trace &T);
+
+} // namespace cafa
+
+#endif // CAFA_DETECT_RACEREPORT_H

@@ -1,0 +1,255 @@
+//===- detect/UseFreeDetector.cpp - The CAFA race detector -------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/UseFreeDetector.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace cafa;
+
+namespace {
+
+/// Returns true if both tasks are events processed by the same looper
+/// (the scope in which the commutativity heuristics apply).
+bool sameLooperEvents(const Trace &T, TaskId A, TaskId B) {
+  const TaskInfo &IA = T.taskInfo(A);
+  const TaskInfo &IB = T.taskInfo(B);
+  return IA.Kind == TaskKind::Event && IB.Kind == TaskKind::Event &&
+         IA.Queue.isValid() && IA.Queue == IB.Queue;
+}
+
+/// Returns true if two sorted locksets share an element.
+bool locksetsIntersect(const std::vector<uint32_t> &A,
+                       const std::vector<uint32_t> &B) {
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    if (A[I] == B[J])
+      return true;
+    if (A[I] < B[J])
+      ++I;
+    else
+      ++J;
+  }
+  return false;
+}
+
+/// Figure 6: returns true if a use at \p UsePc is inside the region the
+/// branch proves non-null.
+bool pcInGuardRegion(const Trace &T, const GuardBranch &Br, uint32_t UsePc) {
+  uint32_t CodeSize = T.methodInfo(Br.Method).CodeSize;
+  if (Br.Kind == BranchKind::IfEqz) {
+    // Logged when NOT taken; the fall-through path is non-null.
+    if (Br.TargetPc > Br.Pc)
+      return UsePc > Br.Pc && UsePc < Br.TargetPc; // forward: until target
+    return UsePc > Br.Pc && UsePc < CodeSize;      // backward: to func end
+  }
+  // IfNez / IfEq: logged when taken; the target path is non-null.
+  if (Br.TargetPc > Br.Pc)
+    return UsePc >= Br.TargetPc && UsePc < CodeSize; // forward jump
+  return UsePc >= Br.TargetPc && UsePc < Br.Pc;      // backward jump
+}
+
+/// Returns true if \p Br guards \p Use: same task, same frame instance,
+/// same matched pointer, branch executed before the use, use pc inside
+/// the non-null region.
+bool branchGuardsUse(const Trace &T, const GuardBranch &Br,
+                     const PtrAccess &Use) {
+  if (Br.Task != Use.Task || Br.Frame != Use.Frame ||
+      !Br.Var.isValid() || Br.Var != Use.Var)
+    return false;
+  if (Br.Record >= Use.Record)
+    return false;
+  return pcInGuardRegion(T, Br, Use.Pc);
+}
+
+/// Deduplication key: the static (use site, free site) pair.
+struct StaticKey {
+  uint32_t UseMethod, UsePc, FreeMethod, FreePc;
+  bool operator<(const StaticKey &O) const {
+    return std::tie(UseMethod, UsePc, FreeMethod, FreePc) <
+           std::tie(O.UseMethod, O.UsePc, O.FreeMethod, O.FreePc);
+  }
+};
+
+/// Indexes built once per detection run.
+struct DetectIndexes {
+  /// var id -> indices into Db.Frees.
+  std::vector<std::vector<uint32_t>> FreesByVar;
+  /// (task, var) -> sorted alloc record indices.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> AllocsByTaskVar;
+  /// (task, frame, var) -> indices into Db.Branches.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> BranchesByFrameVar;
+  /// Memoized if-guard verdicts per use (-1 unknown, 0 no, 1 yes).
+  std::vector<int8_t> GuardedMemo;
+
+  static uint64_t taskVarKey(TaskId Task, VarId Var) {
+    return (static_cast<uint64_t>(Task.value()) << 32) | Var.value();
+  }
+  static uint64_t frameVarKey(uint64_t Frame, VarId Var) {
+    // Frame ids are globally unique, so (frame, var) needs no task.
+    return (Frame << 20) ^ Var.value();
+  }
+
+  DetectIndexes(const AccessDb &Db) {
+    uint32_t MaxVar = 0;
+    for (const PtrAccess &A : Db.Frees)
+      MaxVar = std::max(MaxVar, A.Var.value() + 1);
+    for (const PtrAccess &A : Db.Uses)
+      MaxVar = std::max(MaxVar, A.Var.value() + 1);
+    FreesByVar.resize(MaxVar);
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Db.Frees.size()); I != E;
+         ++I)
+      FreesByVar[Db.Frees[I].Var.index()].push_back(I);
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Db.Allocs.size());
+         I != E; ++I) {
+      const PtrAccess &A = Db.Allocs[I];
+      AllocsByTaskVar[taskVarKey(A.Task, A.Var)].push_back(A.Record);
+    }
+    for (auto &[K, V] : AllocsByTaskVar)
+      std::sort(V.begin(), V.end());
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Db.Branches.size());
+         I != E; ++I) {
+      const GuardBranch &Br = Db.Branches[I];
+      if (Br.Var.isValid())
+        BranchesByFrameVar[frameVarKey(Br.Frame, Br.Var)].push_back(I);
+    }
+    GuardedMemo.assign(Db.Uses.size(), -1);
+  }
+
+  bool allocInTaskAfter(TaskId Task, VarId Var, uint32_t Record) const {
+    auto It = AllocsByTaskVar.find(taskVarKey(Task, Var));
+    if (It == AllocsByTaskVar.end())
+      return false;
+    return std::upper_bound(It->second.begin(), It->second.end(), Record) !=
+           It->second.end();
+  }
+  bool allocInTaskBefore(TaskId Task, VarId Var, uint32_t Record) const {
+    auto It = AllocsByTaskVar.find(taskVarKey(Task, Var));
+    if (It == AllocsByTaskVar.end())
+      return false;
+    return !It->second.empty() && It->second.front() < Record;
+  }
+};
+
+} // namespace
+
+bool cafa::isUseIfGuarded(const Trace &T, const AccessDb &Db,
+                          const PtrAccess &Use) {
+  for (const GuardBranch &Br : Db.Branches)
+    if (branchGuardsUse(T, Br, Use))
+      return true;
+  return false;
+}
+
+RaceReport cafa::detectUseFreeRaces(const Trace &T, const TaskIndex &Index,
+                                    const AccessDb &Db, const HbIndex &Hb,
+                                    const DetectorOptions &Options) {
+  RaceReport Report;
+  DetectIndexes Ix(Db);
+
+  // The conventional model for (b)/(c) classification, built on demand.
+  std::unique_ptr<HbIndex> ConvHb;
+  if (Options.Classify) {
+    HbOptions ConvOpts = Options.Hb;
+    ConvOpts.Model = OrderingModel::Conventional;
+    ConvHb = std::make_unique<HbIndex>(T, Index, ConvOpts);
+  }
+
+  auto isGuarded = [&](uint32_t UseIdx) {
+    int8_t &Memo = Ix.GuardedMemo[UseIdx];
+    if (Memo >= 0)
+      return Memo != 0;
+    const PtrAccess &Use = Db.Uses[UseIdx];
+    bool Guarded = false;
+    auto It = Ix.BranchesByFrameVar.find(
+        DetectIndexes::frameVarKey(Use.Frame, Use.Var));
+    if (It != Ix.BranchesByFrameVar.end()) {
+      for (uint32_t BrIdx : It->second) {
+        if (branchGuardsUse(T, Db.Branches[BrIdx], Use)) {
+          Guarded = true;
+          break;
+        }
+      }
+    }
+    Memo = Guarded ? 1 : 0;
+    return Guarded;
+  };
+
+  std::map<StaticKey, size_t> Dedup;
+
+  for (uint32_t UseIdx = 0, UE = static_cast<uint32_t>(Db.Uses.size());
+       UseIdx != UE; ++UseIdx) {
+    const PtrAccess &Use = Db.Uses[UseIdx];
+    if (Use.Var.index() >= Ix.FreesByVar.size())
+      continue;
+    for (uint32_t FreeIdx : Ix.FreesByVar[Use.Var.index()]) {
+      const PtrAccess &Free = Db.Frees[FreeIdx];
+      ++Report.Filters.CandidatePairs;
+
+      if (Use.Task == Free.Task) {
+        ++Report.Filters.SameTask;
+        continue;
+      }
+      if (Hb.ordered(Use.Record, Free.Record)) {
+        ++Report.Filters.OrderedByHb;
+        continue;
+      }
+      if (Options.LocksetFilter &&
+          locksetsIntersect(Use.Lockset, Free.Lockset)) {
+        ++Report.Filters.LocksetProtected;
+        continue;
+      }
+
+      bool SameLooper = sameLooperEvents(T, Use.Task, Free.Task);
+      if (SameLooper) {
+        if (Options.IfGuardFilter && isGuarded(UseIdx)) {
+          ++Report.Filters.IfGuardFiltered;
+          continue;
+        }
+        if (Options.IntraEventAllocFilter &&
+            (Ix.allocInTaskAfter(Free.Task, Free.Var, Free.Record) ||
+             Ix.allocInTaskBefore(Use.Task, Use.Var, Use.Record))) {
+          ++Report.Filters.IntraEventAlloc;
+          continue;
+        }
+      }
+
+      StaticKey Key{Use.Method.value(), Use.Pc, Free.Method.value(),
+                    Free.Pc};
+      auto It = Dedup.find(Key);
+      if (It != Dedup.end()) {
+        ++Report.Races[It->second].DynamicCount;
+        continue;
+      }
+
+      UseFreeRace Race;
+      Race.Use = Use;
+      Race.Free = Free;
+      if (SameLooper) {
+        Race.Category = RaceCategory::IntraThread;
+      } else if (ConvHb &&
+                 !ConvHb->ordered(Use.Record, Free.Record)) {
+        Race.Category = RaceCategory::Conventional;
+      } else {
+        Race.Category = RaceCategory::InterThread;
+      }
+      Dedup.emplace(Key, Report.Races.size());
+      Report.Races.push_back(std::move(Race));
+    }
+  }
+  return Report;
+}
+
+RaceReport cafa::detectUseFreeRaces(const Trace &T,
+                                    const DetectorOptions &Options) {
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  HbIndex Hb(T, Index, Options.Hb);
+  return detectUseFreeRaces(T, Index, Db, Hb, Options);
+}

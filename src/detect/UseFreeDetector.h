@@ -1,0 +1,57 @@
+//===- detect/UseFreeDetector.h - The CAFA race detector -------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The use-free race detector of Section 4: candidate (use, free) pairs
+/// on the same pointer cell that are unordered under the causality model,
+/// with three suppression mechanisms -- lockset mutual exclusion (the
+/// Section 3.2 stand-in for the removed unlock->lock edges), and the
+/// if-guard and intra-event-allocation commutativity heuristics of
+/// Section 4.3 (both applicable only between events of one looper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_DETECT_USEFREEDETECTOR_H
+#define CAFA_DETECT_USEFREEDETECTOR_H
+
+#include "detect/RaceReport.h"
+#include "hb/HbIndex.h"
+
+namespace cafa {
+
+/// Detector configuration (defaults reproduce the paper's tool).
+struct DetectorOptions {
+  /// Causality model construction.
+  HbOptions Hb;
+  /// Apply the if-guard commutativity heuristic.
+  bool IfGuardFilter = true;
+  /// Apply the intra-event-allocation commutativity heuristic.
+  bool IntraEventAllocFilter = true;
+  /// Suppress pairs protected by a common lock.
+  bool LocksetFilter = true;
+  /// Split non-(a) races into (b)/(c) by also running the conventional
+  /// model (costs a second happens-before construction).
+  bool Classify = true;
+};
+
+/// Runs the full CAFA pipeline on \p T: extract accesses, build the
+/// causality model, detect and filter use-free races, classify.
+RaceReport detectUseFreeRaces(const Trace &T, const DetectorOptions &Options);
+
+/// Same, but reuses an already-extracted \p Db and built \p Hb (the
+/// benchmarks time phases separately).
+RaceReport detectUseFreeRaces(const Trace &T, const TaskIndex &Index,
+                              const AccessDb &Db, const HbIndex &Hb,
+                              const DetectorOptions &Options);
+
+/// Returns true if \p Use is proven safe by a guarded branch, per the
+/// Figure 6 pc-interval rules.  Exposed for unit testing.
+bool isUseIfGuarded(const Trace &T, const AccessDb &Db, const PtrAccess &Use);
+
+} // namespace cafa
+
+#endif // CAFA_DETECT_USEFREEDETECTOR_H

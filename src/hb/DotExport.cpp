@@ -1,0 +1,112 @@
+//===- hb/DotExport.cpp - Graphviz rendering of the HB relation --------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/DotExport.h"
+
+#include "support/Format.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace cafa;
+
+namespace {
+
+/// Escapes a label for DOT.
+std::string dotEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string cafa::exportHbGraphDot(const HbIndex &Hb, const Trace &T) {
+  const HbGraph &G = Hb.graph();
+  std::ostringstream OS;
+  OS << "digraph cafa_hb {\n"
+     << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+  // One cluster per task that has nodes.
+  for (uint32_t Task = 0, E = static_cast<uint32_t>(T.numTasks());
+       Task != E; ++Task) {
+    const std::vector<NodeId> &Nodes = G.taskNodes(TaskId(Task));
+    if (Nodes.empty())
+      continue;
+    OS << formatString("  subgraph cluster_t%u {\n", Task)
+       << formatString("    label=\"%s\";\n",
+                       dotEscape(T.taskName(TaskId(Task))).c_str());
+    for (NodeId Node : Nodes) {
+      const TraceRecord &Rec = T.record(G.recordOfNode(Node));
+      OS << formatString("    n%u [label=\"%s\"];\n", Node.value(),
+                         opKindName(Rec.Kind));
+    }
+    OS << "  }\n";
+  }
+
+  for (uint32_t N = 0, E = static_cast<uint32_t>(G.numNodes()); N != E;
+       ++N) {
+    for (uint32_t Succ : G.successors(NodeId(N))) {
+      bool SameTask =
+          G.taskOfNode(NodeId(N)) == G.taskOfNode(NodeId(Succ));
+      OS << formatString("  n%u -> n%u%s;\n", N, Succ,
+                         SameTask ? " [style=dotted]" : "");
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string cafa::exportTaskOrderDot(const HbIndex &Hb, const Trace &T) {
+  // Tasks that actually began, in trace order.
+  std::vector<TaskId> Tasks;
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numTasks()); I != E;
+       ++I)
+    if (Hb.graph().beginNode(TaskId(I)).isValid())
+      Tasks.push_back(TaskId(I));
+
+  // Pairwise order, then transitive reduction (edge a->b is redundant if
+  // a->m->b for some m).
+  size_t N = Tasks.size();
+  std::vector<std::vector<bool>> Ord(N, std::vector<bool>(N, false));
+  for (size_t A = 0; A != N; ++A)
+    for (size_t B = 0; B != N; ++B)
+      if (A != B)
+        Ord[A][B] = Hb.taskOrdered(Tasks[A], Tasks[B]);
+
+  std::ostringstream OS;
+  OS << "digraph cafa_task_order {\n"
+     << "  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n";
+  for (size_t A = 0; A != N; ++A) {
+    const TaskInfo &Info = T.taskInfo(Tasks[A]);
+    const char *Shape =
+        Info.Kind == TaskKind::Event ? "box" : "ellipse";
+    OS << formatString(
+        "  t%u [label=\"%s\", shape=%s%s];\n", Tasks[A].value(),
+        dotEscape(T.taskName(Tasks[A])).c_str(), Shape,
+        Info.External ? ", style=filled, fillcolor=lightgrey" : "");
+  }
+  for (size_t A = 0; A != N; ++A) {
+    for (size_t B = 0; B != N; ++B) {
+      if (!Ord[A][B])
+        continue;
+      bool Redundant = false;
+      for (size_t Mid = 0; Mid != N && !Redundant; ++Mid)
+        Redundant = Mid != A && Mid != B && Ord[A][Mid] && Ord[Mid][B];
+      if (!Redundant)
+        OS << formatString("  t%u -> t%u;\n", Tasks[A].value(),
+                           Tasks[B].value());
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,38 @@
+//===- hb/DotExport.h - Graphviz rendering of the HB relation --*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (DOT) export of the happens-before structure, for debugging
+/// causality questions ("why does the detector think these events are
+/// concurrent?").  Two granularities:
+///
+///  - the full node graph: every relevant operation with its edges,
+///    clustered by task (large; use on small traces);
+///  - the event digest: one node per task, one edge per derived
+///    end(a) -> begin(b) relation, transitively reduced for readability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_HB_DOTEXPORT_H
+#define CAFA_HB_DOTEXPORT_H
+
+#include "hb/HbIndex.h"
+
+#include <string>
+
+namespace cafa {
+
+/// Renders the full operation-level graph (clustered by task).
+std::string exportHbGraphDot(const HbIndex &Hb, const Trace &T);
+
+/// Renders the task-level digest: nodes are tasks that began, edges are
+/// the transitive reduction of the derived task order.
+std::string exportTaskOrderDot(const HbIndex &Hb, const Trace &T);
+
+} // namespace cafa
+
+#endif // CAFA_HB_DOTEXPORT_H

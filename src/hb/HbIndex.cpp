@@ -1,0 +1,355 @@
+//===- hb/HbIndex.cpp - The CAFA causality model ----------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/HbIndex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace cafa;
+
+namespace {
+
+/// One send/sendAtFront operation targeting a queue.
+struct SendOp {
+  NodeId Node;
+  TaskId Event;
+  uint64_t DelayMs;
+  bool AtFront;
+};
+
+} // namespace
+
+/// Performs the rule evaluation for one HbIndex.
+struct HbIndex::Builder {
+  const Trace &T;
+  HbGraph &G;
+  const HbOptions &Opt;
+  HbRuleStats &Stats;
+
+  /// Events per queue in observed execution (begin-record) order.
+  std::vector<std::vector<TaskId>> QueueEvents;
+  /// Send operations per queue in record order.
+  std::vector<std::vector<SendOp>> QueueSends;
+
+  Builder(const Trace &T, HbGraph &G, const HbOptions &Opt,
+          HbRuleStats &Stats)
+      : T(T), G(G), Opt(Opt), Stats(Stats),
+        QueueEvents(T.numQueues()), QueueSends(T.numQueues()) {}
+
+  void collect() {
+    for (uint32_t I = 0, E = static_cast<uint32_t>(T.numRecords()); I != E;
+         ++I) {
+      const TraceRecord &Rec = T.record(I);
+      if (Rec.Kind == OpKind::TaskBegin) {
+        const TaskInfo &Info = T.taskInfo(Rec.Task);
+        if (Info.Kind == TaskKind::Event && Info.Queue.isValid())
+          QueueEvents[Info.Queue.index()].push_back(Rec.Task);
+        continue;
+      }
+      if (Rec.Kind == OpKind::Send || Rec.Kind == OpKind::SendAtFront) {
+        SendOp Op;
+        Op.Node = G.nodeForRecord(I);
+        Op.Event = Rec.targetTask();
+        Op.DelayMs = Rec.delayMs();
+        Op.AtFront = Rec.Kind == OpKind::SendAtFront;
+        QueueSends[Rec.queue().index()].push_back(Op);
+      }
+    }
+  }
+
+  /// Adds the edges that need no derived information.
+  void addBaseEdges() {
+    Stats.ProgramOrderEdges = G.numEdges();
+
+    // Maps for pairing rules.
+    std::vector<std::vector<NodeId>> MonitorNotifies;
+    std::vector<std::vector<NodeId>> ListenerRegisters;
+    std::unordered_map<uint64_t, NodeId> IpcSends;
+    std::vector<NodeId> ExternalBegins; // begin nodes, in begin order
+
+    auto growTo = [](std::vector<std::vector<NodeId>> &V, size_t Index) {
+      if (V.size() <= Index)
+        V.resize(Index + 1);
+    };
+
+    for (uint32_t I = 0, E = static_cast<uint32_t>(T.numRecords()); I != E;
+         ++I) {
+      const TraceRecord &Rec = T.record(I);
+      NodeId Node = G.nodeForRecord(I);
+      switch (Rec.Kind) {
+      case OpKind::TaskBegin: {
+        const TaskInfo &Info = T.taskInfo(Rec.Task);
+        if (Opt.Model == OrderingModel::Cafa &&
+            Opt.EnableExternalInputRule && Info.External)
+          ExternalBegins.push_back(Node);
+        break;
+      }
+      case OpKind::Fork: {
+        NodeId ChildBegin = G.beginNode(Rec.targetTask());
+        if (ChildBegin.isValid()) {
+          G.addEdge(Node, ChildBegin);
+          ++Stats.ForkJoinEdges;
+        }
+        break;
+      }
+      case OpKind::Join: {
+        NodeId ChildEnd = G.endNode(Rec.targetTask());
+        if (ChildEnd.isValid()) {
+          G.addEdge(ChildEnd, Node);
+          ++Stats.ForkJoinEdges;
+        }
+        break;
+      }
+      case OpKind::Notify: {
+        growTo(MonitorNotifies, Rec.monitor().index());
+        MonitorNotifies[Rec.monitor().index()].push_back(Node);
+        break;
+      }
+      case OpKind::Wait: {
+        // Signal-and-wait rule: every earlier notify on this monitor
+        // happens before this wait.
+        if (Rec.monitor().index() < MonitorNotifies.size()) {
+          for (NodeId Notify : MonitorNotifies[Rec.monitor().index()]) {
+            if (G.taskOfNode(Notify) == Rec.Task)
+              continue; // program order already covers it
+            G.addEdge(Notify, Node);
+            ++Stats.NotifyWaitEdges;
+          }
+        }
+        break;
+      }
+      case OpKind::RegisterListener: {
+        if (Opt.Model == OrderingModel::Cafa && Opt.EnableListenerRule) {
+          growTo(ListenerRegisters, Rec.listener().index());
+          ListenerRegisters[Rec.listener().index()].push_back(Node);
+        }
+        break;
+      }
+      case OpKind::PerformListener: {
+        if (Opt.Model == OrderingModel::Cafa && Opt.EnableListenerRule &&
+            Rec.listener().index() < ListenerRegisters.size()) {
+          for (NodeId Reg : ListenerRegisters[Rec.listener().index()]) {
+            G.addEdge(Reg, Node);
+            ++Stats.ListenerEdges;
+          }
+        }
+        break;
+      }
+      case OpKind::Send:
+      case OpKind::SendAtFront: {
+        NodeId TargetBegin = G.beginNode(Rec.targetTask());
+        if (TargetBegin.isValid()) {
+          G.addEdge(Node, TargetBegin);
+          ++Stats.SendEdges;
+        }
+        break;
+      }
+      case OpKind::IpcSend:
+        IpcSends[Rec.Arg0] = Node;
+        break;
+      case OpKind::IpcRecv: {
+        auto It = IpcSends.find(Rec.Arg0);
+        if (It != IpcSends.end()) {
+          G.addEdge(It->second, Node);
+          ++Stats.IpcEdges;
+        }
+        break;
+      }
+      default:
+        break;
+      }
+    }
+
+    // External input rule: chain externally generated events in the
+    // order they began (conservative; Section 3.3).
+    for (size_t I = 0; I + 1 < ExternalBegins.size(); ++I) {
+      NodeId End = G.endNode(G.taskOfNode(ExternalBegins[I]));
+      if (End.isValid()) {
+        G.addEdge(End, ExternalBegins[I + 1]);
+        ++Stats.ExternalChainEdges;
+      }
+    }
+
+    // Conventional model: a looper thread's events are totally ordered,
+    // as a thread-based detector would assume.
+    if (Opt.Model == OrderingModel::Conventional) {
+      for (const std::vector<TaskId> &Events : QueueEvents) {
+        for (size_t I = 0; I + 1 < Events.size(); ++I) {
+          NodeId End = G.endNode(Events[I]);
+          NodeId Begin = G.beginNode(Events[I + 1]);
+          if (End.isValid() && Begin.isValid()) {
+            G.addEdge(End, Begin);
+            ++Stats.ConventionalOrderEdges;
+          }
+        }
+      }
+    }
+  }
+
+  /// One fixpoint round of the atomicity and event-queue rules.
+  ///
+  /// Pairs are scanned in gap-diagonal order (all adjacent pairs first,
+  /// then distance 2, ...) and each round caps the number of edges it
+  /// collects.  Both choices fight the same degenerate case: a chain of
+  /// k same-delay sends satisfies rule 1 for all k^2/2 pairs, but after
+  /// the adjacent edges land and the oracle refreshes, every wider pair
+  /// is recognized as implied and skipped.  Without the diagonal order
+  /// the first round would insert the quadratic edge set wholesale,
+  /// which is sound but ruins both memory and closure time.
+  ///
+  /// \returns the number of edges added.
+  uint64_t applyDerivedRules(const Reachability &Reach) {
+    std::vector<std::pair<NodeId, NodeId>> NewEdges;
+    uint64_t Atomicity = 0, Q1 = 0, Q2 = 0, Q3 = 0, Q4 = 0;
+    const size_t ChunkCap = 4 * G.numNodes() + 1024;
+
+    auto propose = [&](NodeId From, NodeId To, uint64_t &Counter) {
+      if (!From.isValid() || !To.isValid())
+        return;
+      if (Reach.reaches(From, To))
+        return; // already implied
+      NewEdges.emplace_back(From, To);
+      ++Counter;
+    };
+    auto chunkFull = [&] { return NewEdges.size() >= ChunkCap; };
+
+    if (Opt.EnableAtomicityRule) {
+      for (const std::vector<TaskId> &Events : QueueEvents) {
+        for (size_t Gap = 1; Gap < Events.size() && !chunkFull(); ++Gap) {
+          for (size_t I = 0; I + Gap < Events.size() && !chunkFull();
+               ++I) {
+            size_t J = I + Gap;
+            NodeId BeginI = G.beginNode(Events[I]);
+            NodeId EndI = G.endNode(Events[I]);
+            NodeId EndJ = G.endNode(Events[J]);
+            NodeId BeginJ = G.beginNode(Events[J]);
+            if (!BeginI.isValid() || !EndJ.isValid() || !BeginJ.isValid())
+              continue;
+            // Atomicity: begin(eI) < end(eJ)  =>  end(eI) < begin(eJ).
+            if (Reach.reaches(BeginI, EndJ))
+              propose(EndI, BeginJ, Atomicity);
+          }
+        }
+      }
+    }
+
+    if (Opt.EnableQueueRules) {
+      for (const std::vector<SendOp> &Sends : QueueSends) {
+        for (size_t Gap = 1; Gap < Sends.size() && !chunkFull(); ++Gap) {
+          for (size_t A = 0; A + Gap < Sends.size() && !chunkFull();
+               ++A) {
+            const SendOp &S1 = Sends[A];
+            const SendOp &S2 = Sends[A + Gap];
+            // All rules require the sends to be ordered; sends appear in
+            // record order so only s1 < s2 (by position) can satisfy it.
+            if (!Reach.reaches(S1.Node, S2.Node))
+              continue;
+            NodeId Begin1 = G.beginNode(S1.Event);
+            NodeId Begin2 = G.beginNode(S2.Event);
+            NodeId End1 = G.endNode(S1.Event);
+            NodeId End2 = G.endNode(S2.Event);
+            if (!S1.AtFront && !S2.AtFront) {
+              // Rule 1: FIFO among ordered sends when delay1 <= delay2.
+              if (S1.DelayMs <= S2.DelayMs)
+                propose(End1, Begin2, Q1);
+            } else if (!S1.AtFront && S2.AtFront) {
+              // Rule 2: the front-enqueued event jumps ahead when it is
+              // enqueued before e1 can begin.
+              if (Begin1.isValid() && Reach.reaches(S2.Node, Begin1))
+                propose(End2, Begin1, Q2);
+            } else if (S1.AtFront && !S2.AtFront) {
+              // Rule 3: an already-front event precedes later sends.
+              propose(End1, Begin2, Q3);
+            } else {
+              // Rule 4: later front-send jumps ahead of an earlier
+              // front-send it provably precedes.
+              if (Begin1.isValid() && Reach.reaches(S2.Node, Begin1))
+                propose(End2, Begin1, Q4);
+            }
+          }
+        }
+      }
+    }
+
+    // Apply the batch (dedup first: atomicity and queue rules can derive
+    // the same event-level edge).
+    std::sort(NewEdges.begin(), NewEdges.end(),
+              [](const std::pair<NodeId, NodeId> &X,
+                 const std::pair<NodeId, NodeId> &Y) {
+                if (X.first != Y.first)
+                  return X.first < Y.first;
+                return X.second < Y.second;
+              });
+    NewEdges.erase(std::unique(NewEdges.begin(), NewEdges.end()),
+                   NewEdges.end());
+    for (auto [From, To] : NewEdges)
+      G.addEdge(From, To);
+
+    Stats.AtomicityEdges += Atomicity;
+    Stats.QueueRule1Edges += Q1;
+    Stats.QueueRule2Edges += Q2;
+    Stats.QueueRule3Edges += Q3;
+    Stats.QueueRule4Edges += Q4;
+    return NewEdges.size();
+  }
+};
+
+HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
+                 const HbOptions &Options)
+    : T(T), Index(Index),
+      Graph(std::make_unique<HbGraph>(T, Index)) {
+  Builder B(T, *Graph, Options, Stats);
+  B.collect();
+  B.addBaseEdges();
+  Reach = makeReachability(*Graph, Options.Reach == ReachMode::Closure);
+
+  if (Options.Model == OrderingModel::Cafa &&
+      (Options.EnableAtomicityRule || Options.EnableQueueRules)) {
+    for (uint32_t Round = 0; Round != Options.MaxFixpointRounds; ++Round) {
+      ++Stats.FixpointRounds;
+      if (B.applyDerivedRules(*Reach) == 0)
+        break;
+      Reach->refresh();
+    }
+  }
+}
+
+HbIndex::~HbIndex() = default;
+
+bool HbIndex::happensBefore(uint32_t A, uint32_t B) const {
+  if (A == B)
+    return false;
+  const TraceRecord &RecA = T.record(A);
+  const TraceRecord &RecB = T.record(B);
+  if (RecA.Task == RecB.Task)
+    return Index.localIndexOf(A) < Index.localIndexOf(B);
+  NodeId P = Graph->firstNodeAtOrAfter(A);
+  NodeId Q = Graph->lastNodeAtOrBefore(B);
+  if (!P.isValid() || !Q.isValid())
+    return false;
+  return Reach->reaches(P, Q);
+}
+
+bool HbIndex::taskOrdered(TaskId E1, TaskId E2) const {
+  if (E1 == E2)
+    return false;
+  NodeId End1 = Graph->endNode(E1);
+  NodeId Begin2 = Graph->beginNode(E2);
+  if (!End1.isValid() || !Begin2.isValid())
+    return false;
+  return Reach->reaches(End1, Begin2);
+}
+
+size_t HbIndex::memoryBytes() const {
+  size_t Adj = 0;
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Graph->numNodes()); I != E;
+       ++I)
+    Adj += Graph->successors(NodeId(I)).capacity() * 4;
+  return Adj + Reach->memoryBytes();
+}

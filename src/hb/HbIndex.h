@@ -1,0 +1,133 @@
+//===- hb/HbIndex.h - The CAFA causality model ------------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Construction of the happens-before relation for a trace under either
+/// the CAFA causality model (Section 3.3) or the conventional
+/// thread-based model Table 1 compares against.
+///
+/// CAFA rules implemented:
+///  - program order within each task (but *not* across events of a
+///    looper thread);
+///  - fork/join and notify/wait;
+///  - event listener: register(t,l) before perform(e,l);
+///  - send: send(t,e,d) / sendAtFront(t,e) before begin(e);
+///  - external input: externally generated events are chained;
+///  - Binder IPC: ipc-send(txn) before ipc-recv(txn);
+///  - atomicity: same-looper events e1,e2 with begin(e1) < end(e2) are
+///    fully ordered end(e1) < begin(e2);
+///  - event queue rules 1-4 over ordered sends (delay comparison,
+///    sendAtFront both directions).
+/// The last two are applied to a fixpoint because they consume the
+/// relation they extend.  Locks contribute no edges in either model (the
+/// predictive relaxation of Section 3.1); locksets are checked at
+/// detection time instead.
+///
+/// The conventional model replaces all event-aware rules with a total
+/// order over each looper's events in observed execution order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_HB_HBINDEX_H
+#define CAFA_HB_HBINDEX_H
+
+#include "hb/HbGraph.h"
+#include "hb/Reachability.h"
+
+#include <memory>
+
+namespace cafa {
+
+/// Which causality model to build.
+enum class OrderingModel : uint8_t {
+  /// The paper's event-aware model.
+  Cafa,
+  /// Thread-based baseline: every looper's events totally ordered, no
+  /// event-queue/atomicity/listener/external rules.
+  Conventional,
+};
+
+/// Which reachability oracle backs queries and rule evaluation.
+enum class ReachMode : uint8_t {
+  /// Bitset transitive closure: O(1) queries, O(N^2) bits.
+  Closure,
+  /// Pruned per-query search: slow queries, linear memory.
+  Bfs,
+};
+
+/// Build-time options (rule toggles exist for the ablation benchmarks).
+struct HbOptions {
+  OrderingModel Model = OrderingModel::Cafa;
+  ReachMode Reach = ReachMode::Closure;
+  bool EnableAtomicityRule = true;
+  bool EnableQueueRules = true;
+  bool EnableListenerRule = true;
+  bool EnableExternalInputRule = true;
+  /// Cap on fixpoint rounds.  Rounds are edge-capped (see
+  /// HbIndex.cpp::applyDerivedRules), so long send chains legitimately
+  /// take several rounds; the cap guards against bugs, not inputs.
+  uint32_t MaxFixpointRounds = 64;
+};
+
+/// Edge counts per rule, for tests and reporting.
+struct HbRuleStats {
+  uint64_t ProgramOrderEdges = 0;
+  uint64_t ForkJoinEdges = 0;
+  uint64_t NotifyWaitEdges = 0;
+  uint64_t ListenerEdges = 0;
+  uint64_t SendEdges = 0;
+  uint64_t ExternalChainEdges = 0;
+  uint64_t IpcEdges = 0;
+  uint64_t AtomicityEdges = 0;
+  uint64_t QueueRule1Edges = 0;
+  uint64_t QueueRule2Edges = 0;
+  uint64_t QueueRule3Edges = 0;
+  uint64_t QueueRule4Edges = 0;
+  uint64_t ConventionalOrderEdges = 0;
+  uint32_t FixpointRounds = 0;
+};
+
+/// The built happens-before relation, queryable at record granularity.
+class HbIndex {
+public:
+  HbIndex(const Trace &T, const TaskIndex &Index, const HbOptions &Options);
+  ~HbIndex();
+
+  HbIndex(const HbIndex &) = delete;
+  HbIndex &operator=(const HbIndex &) = delete;
+  HbIndex(HbIndex &&) = default;
+
+  /// Returns true if record \p A happens before record \p B.
+  bool happensBefore(uint32_t A, uint32_t B) const;
+
+  /// Returns true if the records are ordered either way.
+  bool ordered(uint32_t A, uint32_t B) const {
+    return happensBefore(A, B) || happensBefore(B, A);
+  }
+
+  /// Event-level order: end(\p E1) happens before begin(\p E2).
+  bool taskOrdered(TaskId E1, TaskId E2) const;
+
+  const HbRuleStats &ruleStats() const { return Stats; }
+  const HbGraph &graph() const { return *Graph; }
+
+  /// Approximate analyzer memory (graph + oracle), for scaling benches.
+  size_t memoryBytes() const;
+
+private:
+  struct Builder;
+
+  const Trace &T;
+  const TaskIndex &Index;
+  std::unique_ptr<HbGraph> Graph;
+  std::unique_ptr<Reachability> Reach;
+  HbRuleStats Stats;
+};
+
+} // namespace cafa
+
+#endif // CAFA_HB_HBINDEX_H

@@ -1,0 +1,118 @@
+//===- hb/Reachability.cpp - Reachability oracles over the HB DAG ----------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/Reachability.h"
+
+#include <cassert>
+
+using namespace cafa;
+
+void ClosureReachability::refresh() {
+  size_t N = G.numNodes();
+  Rows.resize(N);
+  for (BitVec &Row : Rows) {
+    if (Row.size() != N)
+      Row.resize(N);
+    Row.clear();
+  }
+  // Node ids ascend in trace-record order and every edge points forward,
+  // so descending node id is a reverse topological order: successors'
+  // rows are final when a node is processed.
+  for (size_t I = N; I-- > 0;) {
+    BitVec &Row = Rows[I];
+    for (uint32_t S : G.successors(NodeId(static_cast<uint32_t>(I)))) {
+      Row.set(S);
+      Row.orWith(Rows[S]);
+    }
+  }
+}
+
+size_t ClosureReachability::memoryBytes() const {
+  size_t Total = 0;
+  for (const BitVec &Row : Rows)
+    Total += Row.memoryBytes();
+  return Total;
+}
+
+BfsReachability::BfsReachability(const HbGraph &G)
+    : G(G), VisitedPos(G.trace().numTasks(), 0),
+      VisitedVersion(G.trace().numTasks(), 0) {}
+
+bool BfsReachability::reaches(NodeId From, NodeId To) const {
+  if (From == To)
+    return false;
+  ++Version;
+
+  TaskId ToTask = G.taskOfNode(To);
+  uint32_t ToPos = G.posOfNode(To);
+  bool Found = false;
+
+  // Range worklist: (task, lo, hi) = nodes of `task` at positions
+  // [lo, hi) whose successors still need expanding.  A task is expanded
+  // at most once per position thanks to the VisitedPos high-water mark.
+  struct Range {
+    TaskId Task;
+    uint32_t Lo, Hi;
+  };
+  std::vector<Range> Ranges;
+
+  auto pushFrom = [&](NodeId Node) {
+    TaskId Task = G.taskOfNode(Node);
+    uint32_t Lo = G.posOfNode(Node);
+    uint32_t Hi;
+    if (VisitedVersion[Task.index()] == Version) {
+      Hi = VisitedPos[Task.index()];
+      if (Lo >= Hi)
+        return; // already covered
+    } else {
+      Hi = static_cast<uint32_t>(G.taskNodes(Task).size());
+      VisitedVersion[Task.index()] = Version;
+    }
+    VisitedPos[Task.index()] = Lo;
+    if (Task == ToTask && ToPos >= Lo && ToPos < Hi)
+      Found = true;
+    Ranges.push_back({Task, Lo, Hi});
+  };
+
+  // Seed with the direct successors of From (program order within From's
+  // task is one of them: the edge to the next node).
+  for (uint32_t S : G.successors(From)) {
+    pushFrom(NodeId(S));
+    if (Found)
+      return true;
+  }
+
+  while (!Ranges.empty()) {
+    Range R = Ranges.back();
+    Ranges.pop_back();
+    const std::vector<NodeId> &Nodes = G.taskNodes(R.Task);
+    for (uint32_t P = R.Lo; P != R.Hi; ++P) {
+      for (uint32_t S : G.successors(Nodes[P])) {
+        NodeId Succ(S);
+        // Skip the intra-task program-order edge: it stays inside the
+        // range we are already scanning.
+        if (G.taskOfNode(Succ) == R.Task)
+          continue;
+        pushFrom(Succ);
+        if (Found)
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t BfsReachability::memoryBytes() const {
+  return VisitedPos.capacity() * 4 + VisitedVersion.capacity() * 4;
+}
+
+std::unique_ptr<Reachability> cafa::makeReachability(const HbGraph &G,
+                                                     bool UseClosure) {
+  if (UseClosure)
+    return std::make_unique<ClosureReachability>(G);
+  return std::make_unique<BfsReachability>(G);
+}

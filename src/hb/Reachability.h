@@ -1,0 +1,97 @@
+//===- hb/Reachability.h - Reachability oracles over the HB DAG -*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two interchangeable reachability oracles over the happens-before DAG
+/// (Section 4.2: "to test if two operations are ordered, we simply
+/// perform a reachability test on the happens-before graph"):
+///
+///  - ClosureReachability: full transitive closure as one bitset row per
+///    node, computed in reverse topological (= reverse trace) order.
+///    O(1) queries, O(N^2/8) bytes -- the default, and what makes the
+///    quadratic rule scans of the fixpoint affordable.
+///  - BfsReachability: per-query pruned search, no precomputation.  Slow
+///    queries, O(N) memory -- the memory-frugal alternative, compared in
+///    the ablation benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_HB_REACHABILITY_H
+#define CAFA_HB_REACHABILITY_H
+
+#include "hb/HbGraph.h"
+#include "support/BitVec.h"
+
+#include <memory>
+#include <vector>
+
+namespace cafa {
+
+/// Answers "is there a path From -> To" on the current graph edges.
+class Reachability {
+public:
+  virtual ~Reachability() = default;
+
+  /// Returns true if \p To is reachable from \p From by a nonempty path
+  /// (a node does not reach itself).
+  virtual bool reaches(NodeId From, NodeId To) const = 0;
+
+  /// Called by the rule engine after it adds edges; oracles refresh any
+  /// precomputed state.
+  virtual void refresh() = 0;
+
+  /// Approximate memory footprint in bytes (for the ablation bench).
+  virtual size_t memoryBytes() const = 0;
+};
+
+/// Bitset transitive closure.
+class ClosureReachability final : public Reachability {
+public:
+  explicit ClosureReachability(const HbGraph &G) : G(G) { refresh(); }
+
+  bool reaches(NodeId From, NodeId To) const override {
+    return Rows[From.index()].test(To.index());
+  }
+  void refresh() override;
+  size_t memoryBytes() const override;
+
+  /// Direct row access for cache-friendly pair scans in the rule engine.
+  const BitVec &row(NodeId Node) const { return Rows[Node.index()]; }
+
+private:
+  const HbGraph &G;
+  std::vector<BitVec> Rows;
+};
+
+/// On-demand search with per-task pruning: a visit to node n of task t
+/// implies all later nodes of t are reachable via program order, so each
+/// task is expanded at most once per query.
+class BfsReachability final : public Reachability {
+public:
+  explicit BfsReachability(const HbGraph &G);
+
+  bool reaches(NodeId From, NodeId To) const override;
+  void refresh() override {} // reads live edges; nothing cached
+  size_t memoryBytes() const override;
+
+private:
+  const HbGraph &G;
+  /// Scratch (mutable per query): per-task minimal visited node position,
+  /// versioned to avoid clearing between queries.
+  mutable std::vector<uint32_t> VisitedPos;
+  mutable std::vector<uint32_t> VisitedVersion;
+  mutable uint32_t Version = 0;
+  mutable std::vector<NodeId> Worklist;
+};
+
+/// Creates the oracle selected by \p UseClosure.
+std::unique_ptr<Reachability> makeReachability(const HbGraph &G,
+                                               bool UseClosure);
+
+} // namespace cafa
+
+#endif // CAFA_HB_REACHABILITY_H

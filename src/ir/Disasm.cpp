@@ -1,0 +1,171 @@
+//===- ir/Disasm.cpp - Mini-Dalvik disassembler -----------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Disasm.h"
+
+#include "support/Format.h"
+
+#include <sstream>
+
+using namespace cafa;
+
+static std::string regName(Reg R) {
+  if (R == NoReg)
+    return "-";
+  return formatString("v%u", R);
+}
+
+static std::string fieldName(const Module &M, uint32_t Ref) {
+  if (Ref >= M.numFields())
+    return formatString("<field %u>", Ref);
+  return M.names().str(M.fieldDef(FieldId(Ref)).Name);
+}
+
+std::string cafa::disassembleInstr(const Module &M, const Instr &I,
+                                   uint32_t Pc) {
+  const char *Name = opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::ReturnVoid:
+    return Name;
+  case Opcode::ConstNull:
+    return formatString("%s %s", Name, regName(I.A).c_str());
+  case Opcode::ConstInt:
+    return formatString("%s %s, #%d", Name, regName(I.A).c_str(), I.Imm);
+  case Opcode::Move:
+  case Opcode::AddInt:
+    return formatString("%s %s, %s%s", Name, regName(I.A).c_str(),
+                        regName(I.B).c_str(),
+                        I.Op == Opcode::AddInt
+                            ? formatString(", #%d", I.Imm).c_str()
+                            : "");
+  case Opcode::NewInstance:
+    return formatString("%s %s, %s", Name, regName(I.A).c_str(),
+                        M.names().str(M.classDef(ClassId(I.Ref)).Name)
+                            .c_str());
+  case Opcode::IGetObject:
+  case Opcode::IGet:
+    return formatString("%s %s <- %s.%s", Name, regName(I.A).c_str(),
+                        regName(I.B).c_str(), fieldName(M, I.Ref).c_str());
+  case Opcode::IPutObject:
+  case Opcode::IPut:
+    return formatString("%s %s.%s <- %s", Name, regName(I.A).c_str(),
+                        fieldName(M, I.Ref).c_str(), regName(I.B).c_str());
+  case Opcode::SGetObject:
+  case Opcode::SGet:
+    return formatString("%s %s <- %s", Name, regName(I.A).c_str(),
+                        fieldName(M, I.Ref).c_str());
+  case Opcode::SPutObject:
+  case Opcode::SPut:
+    return formatString("%s %s <- %s", Name, fieldName(M, I.Ref).c_str(),
+                        regName(I.A).c_str());
+  case Opcode::InvokeVirtual:
+    return formatString("%s %s.%s(%s)", Name, regName(I.A).c_str(),
+                        M.methodName(MethodId(I.Ref)).c_str(),
+                        regName(I.B).c_str());
+  case Opcode::InvokeStatic:
+    return formatString("%s %s(%s)", Name,
+                        M.methodName(MethodId(I.Ref)).c_str(),
+                        regName(I.A).c_str());
+  case Opcode::IfEqz:
+  case Opcode::IfNez:
+  case Opcode::IfIntEqz:
+  case Opcode::IfIntNez:
+    return formatString("%s %s, -> %d", Name, regName(I.A).c_str(),
+                        static_cast<int32_t>(Pc) + I.Imm);
+  case Opcode::IfEq:
+    return formatString("%s %s, %s, -> %d", Name, regName(I.A).c_str(),
+                        regName(I.B).c_str(),
+                        static_cast<int32_t>(Pc) + I.Imm);
+  case Opcode::Goto:
+    return formatString("%s -> %d", Name, static_cast<int32_t>(Pc) + I.Imm);
+  case Opcode::MonitorEnter:
+  case Opcode::MonitorExit:
+    return formatString("%s %s", Name,
+                        M.names().str(M.lockDef(LockId(I.Ref)).Name)
+                            .c_str());
+  case Opcode::WaitMonitor:
+  case Opcode::NotifyMonitor:
+    return formatString("%s %s", Name,
+                        M.names().str(M.monitorDef(MonitorId(I.Ref)).Name)
+                            .c_str());
+  case Opcode::ForkThread:
+    return formatString("%s %s <- %s(%s)", Name, regName(I.A).c_str(),
+                        M.methodName(MethodId(I.Ref)).c_str(),
+                        regName(I.B).c_str());
+  case Opcode::JoinThread:
+    return formatString("%s %s", Name, regName(I.A).c_str());
+  case Opcode::SendEvent:
+    return formatString("%s %s.%s delay=%dms (%s)", Name,
+                        M.names().str(M.queueDef(QueueId(I.Aux)).Name)
+                            .c_str(),
+                        M.methodName(MethodId(I.Ref)).c_str(), I.Imm,
+                        regName(I.A).c_str());
+  case Opcode::SendEventAtFront:
+    return formatString("%s %s.%s (%s)", Name,
+                        M.names().str(M.queueDef(QueueId(I.Aux)).Name)
+                            .c_str(),
+                        M.methodName(MethodId(I.Ref)).c_str(),
+                        regName(I.A).c_str());
+  case Opcode::RegisterListener:
+    return formatString("%s %s -> %s (%s)", Name,
+                        M.names()
+                            .str(M.listenerDef(ListenerId(I.Ref)).Name)
+                            .c_str(),
+                        M.methodName(MethodId(I.Aux)).c_str(),
+                        regName(I.A).c_str());
+  case Opcode::TriggerListener:
+    return formatString("%s %s", Name,
+                        M.names()
+                            .str(M.listenerDef(ListenerId(I.Ref)).Name)
+                            .c_str());
+  case Opcode::BinderCall:
+    return formatString("%s %s::%s(%s)", Name,
+                        M.names()
+                            .str(M.processDef(ProcessId(I.Aux)).Name)
+                            .c_str(),
+                        M.methodName(MethodId(I.Ref)).c_str(),
+                        regName(I.A).c_str());
+  case Opcode::PipeWrite:
+  case Opcode::PipeRead:
+    return formatString("%s %s (%s)", Name,
+                        M.names().str(M.pipeDef(PipeId(I.Ref)).Name)
+                            .c_str(),
+                        regName(I.A).c_str());
+  case Opcode::SendEventAtTime:
+    return formatString("%s %s.%s at=%dms (%s)", Name,
+                        M.names().str(M.queueDef(QueueId(I.Aux)).Name)
+                            .c_str(),
+                        M.methodName(MethodId(I.Ref)).c_str(), I.Imm,
+                        regName(I.A).c_str());
+  case Opcode::Work:
+    return formatString("%s #%d", Name, I.Imm);
+  case Opcode::Sleep:
+    return formatString("%s #%dus", Name, I.Imm);
+  }
+  return Name;
+}
+
+std::string cafa::disassembleMethod(const Module &M, MethodId Method) {
+  const MethodDef &Def = M.methodDef(Method);
+  std::ostringstream OS;
+  OS << "method " << M.methodName(Method) << " (regs=" << Def.NumRegs
+     << "):\n";
+  for (uint32_t Pc = 0, E = static_cast<uint32_t>(Def.Code.size()); Pc != E;
+       ++Pc)
+    OS << formatString("  %4u: %s\n", Pc,
+                       disassembleInstr(M, Def.Code[Pc], Pc).c_str());
+  return OS.str();
+}
+
+std::string cafa::disassembleModule(const Module &M) {
+  std::ostringstream OS;
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.numMethods()); I != E;
+       ++I)
+    OS << disassembleMethod(M, MethodId(I));
+  return OS.str();
+}

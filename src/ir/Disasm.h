@@ -1,0 +1,34 @@
+//===- ir/Disasm.h - Mini-Dalvik disassembler ------------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable printing of mini-Dalvik methods, used in diagnostics,
+/// examples, and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_IR_DISASM_H
+#define CAFA_IR_DISASM_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace cafa {
+
+/// Renders one instruction as text, e.g. "iput-object v0.providerUtils <- v2".
+std::string disassembleInstr(const Module &M, const Instr &I, uint32_t Pc);
+
+/// Renders a whole method with pc labels.
+std::string disassembleMethod(const Module &M, MethodId Method);
+
+/// Renders every method in the module.
+std::string disassembleModule(const Module &M);
+
+} // namespace cafa
+
+#endif // CAFA_IR_DISASM_H

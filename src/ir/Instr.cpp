@@ -1,0 +1,60 @@
+//===- ir/Instr.cpp - Mini-Dalvik instruction set --------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instr.h"
+
+#include <cassert>
+
+using namespace cafa;
+
+static const char *const OpcodeNames[] = {
+    "nop",           "const-null",     "const-int",
+    "move",          "new-instance",   "iget-object",
+    "iput-object",   "sget-object",    "sput-object",
+    "iget",          "iput",           "sget",
+    "sput",          "invoke-virtual", "invoke-static",
+    "return-void",   "if-eqz",         "if-nez",
+    "if-eq",         "if-int-eqz",     "if-int-nez",
+    "goto",          "add-int",        "monitor-enter",
+    "monitor-exit",  "wait",           "notify",
+    "fork-thread",   "join-thread",    "send-event",
+    "send-at-front", "register-listener", "trigger-listener",
+    "binder-call",   "pipe-write",
+    "pipe-read",     "send-at-time",
+    "work",          "sleep",
+};
+
+static_assert(sizeof(OpcodeNames) / sizeof(OpcodeNames[0]) == NumOpcodes,
+              "OpcodeNames must cover every Opcode");
+
+const char *cafa::opcodeName(Opcode Op) {
+  unsigned Index = static_cast<unsigned>(Op);
+  assert(Index < NumOpcodes && "invalid opcode");
+  return OpcodeNames[Index];
+}
+
+bool cafa::isBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::IfEqz:
+  case Opcode::IfNez:
+  case Opcode::IfEq:
+  case Opcode::IfIntEqz:
+  case Opcode::IfIntNez:
+  case Opcode::Goto:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool cafa::isGuardBranch(Opcode Op) {
+  return Op == Opcode::IfEqz || Op == Opcode::IfNez || Op == Opcode::IfEq;
+}
+
+bool cafa::isTerminator(Opcode Op) {
+  return Op == Opcode::ReturnVoid || Op == Opcode::Goto;
+}

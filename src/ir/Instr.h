@@ -1,0 +1,174 @@
+//===- ir/Instr.h - Mini-Dalvik instruction set ----------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-Dalvik instruction set executed by the runtime simulator.
+///
+/// This is a register machine deliberately shaped like the Dalvik subset
+/// the paper instruments (Section 5.3): the i-get-object / i-put-object /
+/// s-get-object / s-put-object family whose null writes are *frees*, the
+/// dereferencing instructions (field access and virtual invoke), and the
+/// three pointer-testing branches if-eqz / if-nez / if-eq that drive the
+/// if-guard heuristic.  On top of that it has the concurrency operations
+/// of the Android programming model: fork/join, monitor wait/notify,
+/// lock enter/exit, event send (with delay) and sendAtFront, listener
+/// register, and Binder RPC.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_IR_INSTR_H
+#define CAFA_IR_INSTR_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+
+namespace cafa {
+
+/// Register index within a method frame.  Register 0xFF is the "no
+/// register" sentinel for optional operands.
+using Reg = uint8_t;
+constexpr Reg NoReg = 0xFF;
+
+/// Mini-Dalvik opcodes.  Operand meaning is documented per opcode using
+/// the Instr field names A, B (registers), Imm (signed immediate /
+/// branch offset / delay), Ref and Aux (ids into module tables).
+enum class Opcode : uint8_t {
+  /// No operation (padding; keeps pc layouts stable in tests).
+  Nop,
+  /// A <- null.
+  ConstNull,
+  /// A <- Imm (scalar).
+  ConstInt,
+  /// A <- B (any value).
+  Move,
+  /// A <- new object of class Ref.
+  NewInstance,
+  /// A <- B.field[Ref]; object-pointer read, dereferences B.
+  IGetObject,
+  /// A.field[Ref] <- B; object-pointer write, dereferences A.  Writing
+  /// null is a *free*, writing an object is an *allocation*.
+  IPutObject,
+  /// A <- static object field Ref (pointer read, no dereference).
+  SGetObject,
+  /// static object field Ref <- A (pointer write).
+  SPutObject,
+  /// A <- B.field[Ref]; scalar read, dereferences B.
+  IGet,
+  /// A.field[Ref] <- B; scalar write, dereferences A.
+  IPut,
+  /// A <- static scalar field Ref.
+  SGet,
+  /// static scalar field Ref <- A.
+  SPut,
+  /// Virtual call of method Ref on receiver A (dereferences A; callee
+  /// sees the receiver in its v0).  B optionally passes one extra object
+  /// argument (callee v1).
+  InvokeVirtual,
+  /// Static call of method Ref; A optionally passes one object argument
+  /// (callee v0).
+  InvokeStatic,
+  /// Return from the current method.
+  ReturnVoid,
+  /// Branch by Imm (relative to this pc) if object in A is null.
+  IfEqz,
+  /// Branch by Imm if object in A is non-null.
+  IfNez,
+  /// Branch by Imm if objects in A and B are the same reference.
+  IfEq,
+  /// Branch by Imm if scalar in A is zero.  This is the boolean-flag
+  /// test the if-guard heuristic cannot see (Type II false positives).
+  IfIntEqz,
+  /// Branch by Imm if scalar in A is nonzero.
+  IfIntNez,
+  /// Unconditional branch by Imm.
+  Goto,
+  /// A <- B + Imm (scalar arithmetic for workloads).
+  AddInt,
+  /// Acquire lock Ref (lockset only; no happens-before edge).
+  MonitorEnter,
+  /// Release lock Ref.
+  MonitorExit,
+  /// Block on monitor Ref until notified.
+  WaitMonitor,
+  /// Wake one waiter of monitor Ref.
+  NotifyMonitor,
+  /// Fork a thread running method Ref; A receives the thread handle;
+  /// B optionally passes one object argument (thread v0).
+  ForkThread,
+  /// Join the thread whose handle is in A.
+  JoinThread,
+  /// Enqueue an event on queue Aux running handler Ref after Imm ms;
+  /// A optionally passes one object argument (handler v0).
+  SendEvent,
+  /// Enqueue an event at the *front* of queue Aux running handler Ref;
+  /// A optionally passes one object argument.  No delay (Android's
+  /// sendMessageAtFrontOfQueue takes none).
+  SendEventAtFront,
+  /// Register handler Aux for listener slot Ref; A optionally captures
+  /// one object argument delivered to the handler.
+  RegisterListener,
+  /// Fire listener slot Ref: enqueue an event on the queue recorded at
+  /// registration that performs the registered handler.
+  TriggerListener,
+  /// Asynchronous Binder RPC: run method Ref in process Aux on a fresh
+  /// IPC thread; A optionally passes one object argument.
+  BinderCall,
+  /// Write one message into pipe Ref; A optionally passes one object
+  /// with the message.  Each message carries a unique transaction id so
+  /// the analyzer can correlate it with the matching read (Section 5.2).
+  PipeWrite,
+  /// Blocking read of one message from pipe Ref; A optionally receives
+  /// the passed object.
+  PipeRead,
+  /// Enqueue an event on queue Aux running handler Ref once absolute
+  /// simulated time Imm (milliseconds) is reached; A optionally passes
+  /// one object argument.  Android's sendMessageAtTime; the runtime
+  /// converts it to the equivalent delay at send time.
+  SendEventAtTime,
+  /// Burn Imm units of interpreter work (models computation; costs both
+  /// simulated time and host CPU).
+  Work,
+  /// Advance simulated time by Imm microseconds at negligible host cost
+  /// (models a blocking sleep/poll; threads use it to schedule their
+  /// actions on the scenario timeline).
+  Sleep,
+};
+
+/// Number of opcodes (for dispatch tables and verification).
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Sleep) + 1;
+
+/// Returns the mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// One mini-Dalvik instruction.
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  Reg A = NoReg;
+  Reg B = NoReg;
+  /// Signed immediate: branch offset (relative), delay ms, constant, or
+  /// work amount, depending on Op.
+  int32_t Imm = 0;
+  /// Primary id operand (field, method, class, lock, monitor, listener).
+  uint32_t Ref = 0;
+  /// Secondary id operand (queue or process).
+  uint32_t Aux = 0;
+};
+
+/// Returns true for opcodes that use Imm as a pc-relative branch offset.
+bool isBranch(Opcode Op);
+
+/// Returns true for the pointer-testing branches the if-guard heuristic
+/// logs (if-eqz / if-nez / if-eq).
+bool isGuardBranch(Opcode Op);
+
+/// Returns true if execution cannot fall through this opcode.
+bool isTerminator(Opcode Op);
+
+} // namespace cafa
+
+#endif // CAFA_IR_INSTR_H

@@ -1,0 +1,365 @@
+//===- ir/IrBuilder.cpp - Method construction helper ----------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IrBuilder.h"
+
+using namespace cafa;
+
+IrBuilder &IrBuilder::beginMethod(std::string_view Name, uint16_t NumRegs) {
+  assert(!Building && "beginMethod while another method is open");
+  Building = true;
+  CurrentName = M.names().intern(Name);
+  CurrentRegs = NumRegs;
+  Code.clear();
+  LabelPcs.clear();
+  Fixups.clear();
+  return *this;
+}
+
+MethodId IrBuilder::endMethod() {
+  assert(Building && "endMethod without beginMethod");
+  // Methods must not fall off the end; append a return when the last
+  // instruction can fall through (or the body is empty).
+  if (Code.empty() || !isTerminator(Code.back().Op))
+    returnVoid();
+
+  for (auto [Pc, LabelIndex] : Fixups) {
+    assert(LabelIndex < LabelPcs.size() && "fixup references unknown label");
+    uint32_t Target = LabelPcs[LabelIndex];
+    assert(Target != 0xFFFFFFFFu && "branch to a label that was never bound");
+    Code[Pc].Imm = static_cast<int32_t>(Target) - static_cast<int32_t>(Pc);
+  }
+
+  MethodDef Def;
+  Def.Name = CurrentName;
+  Def.NumRegs = CurrentRegs;
+  Def.Code = std::move(Code);
+  Building = false;
+  Code.clear();
+  return M.addMethod(std::move(Def));
+}
+
+Label IrBuilder::newLabel() {
+  LabelPcs.push_back(0xFFFFFFFFu);
+  return Label(static_cast<uint32_t>(LabelPcs.size() - 1));
+}
+
+IrBuilder &IrBuilder::bind(Label L) {
+  assert(L.Index < LabelPcs.size() && "binding an unknown label");
+  assert(LabelPcs[L.Index] == 0xFFFFFFFFu && "label bound twice");
+  LabelPcs[L.Index] = nextPc();
+  return *this;
+}
+
+IrBuilder &IrBuilder::emit(Instr I) {
+  assert(Building && "emitting outside beginMethod/endMethod");
+  Code.push_back(I);
+  return *this;
+}
+
+IrBuilder &IrBuilder::emitBranch(Opcode Op, Reg A, Reg B, Label Target) {
+  assert(Target.Index < LabelPcs.size() && "branch to an unknown label");
+  Fixups.emplace_back(nextPc(), Target.Index);
+  Instr I;
+  I.Op = Op;
+  I.A = A;
+  I.B = B;
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::nop() { return emit({}); }
+
+IrBuilder &IrBuilder::constNull(Reg Dst) {
+  Instr I;
+  I.Op = Opcode::ConstNull;
+  I.A = Dst;
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::constInt(Reg Dst, int32_t Value) {
+  Instr I;
+  I.Op = Opcode::ConstInt;
+  I.A = Dst;
+  I.Imm = Value;
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::move(Reg Dst, Reg Src) {
+  Instr I;
+  I.Op = Opcode::Move;
+  I.A = Dst;
+  I.B = Src;
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::newInstance(Reg Dst, ClassId Class) {
+  Instr I;
+  I.Op = Opcode::NewInstance;
+  I.A = Dst;
+  I.Ref = Class.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::igetObject(Reg Dst, Reg Receiver, FieldId Field) {
+  Instr I;
+  I.Op = Opcode::IGetObject;
+  I.A = Dst;
+  I.B = Receiver;
+  I.Ref = Field.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::iputObject(Reg Receiver, FieldId Field, Reg Src) {
+  Instr I;
+  I.Op = Opcode::IPutObject;
+  I.A = Receiver;
+  I.B = Src;
+  I.Ref = Field.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::sgetObject(Reg Dst, FieldId Field) {
+  Instr I;
+  I.Op = Opcode::SGetObject;
+  I.A = Dst;
+  I.Ref = Field.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::sputObject(FieldId Field, Reg Src) {
+  Instr I;
+  I.Op = Opcode::SPutObject;
+  I.A = Src;
+  I.Ref = Field.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::iget(Reg Dst, Reg Receiver, FieldId Field) {
+  Instr I;
+  I.Op = Opcode::IGet;
+  I.A = Dst;
+  I.B = Receiver;
+  I.Ref = Field.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::iput(Reg Receiver, FieldId Field, Reg Src) {
+  Instr I;
+  I.Op = Opcode::IPut;
+  I.A = Receiver;
+  I.B = Src;
+  I.Ref = Field.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::sget(Reg Dst, FieldId Field) {
+  Instr I;
+  I.Op = Opcode::SGet;
+  I.A = Dst;
+  I.Ref = Field.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::sput(FieldId Field, Reg Src) {
+  Instr I;
+  I.Op = Opcode::SPut;
+  I.A = Src;
+  I.Ref = Field.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::addInt(Reg Dst, Reg Src, int32_t Imm) {
+  Instr I;
+  I.Op = Opcode::AddInt;
+  I.A = Dst;
+  I.B = Src;
+  I.Imm = Imm;
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::invokeVirtual(Reg Receiver, MethodId Callee, Reg Arg) {
+  Instr I;
+  I.Op = Opcode::InvokeVirtual;
+  I.A = Receiver;
+  I.B = Arg;
+  I.Ref = Callee.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::invokeStatic(MethodId Callee, Reg Arg) {
+  Instr I;
+  I.Op = Opcode::InvokeStatic;
+  I.A = Arg;
+  I.Ref = Callee.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::returnVoid() {
+  Instr I;
+  I.Op = Opcode::ReturnVoid;
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::ifEqz(Reg Obj, Label Target) {
+  return emitBranch(Opcode::IfEqz, Obj, NoReg, Target);
+}
+
+IrBuilder &IrBuilder::ifNez(Reg Obj, Label Target) {
+  return emitBranch(Opcode::IfNez, Obj, NoReg, Target);
+}
+
+IrBuilder &IrBuilder::ifEq(Reg ObjA, Reg ObjB, Label Target) {
+  return emitBranch(Opcode::IfEq, ObjA, ObjB, Target);
+}
+
+IrBuilder &IrBuilder::ifIntEqz(Reg Scalar, Label Target) {
+  return emitBranch(Opcode::IfIntEqz, Scalar, NoReg, Target);
+}
+
+IrBuilder &IrBuilder::ifIntNez(Reg Scalar, Label Target) {
+  return emitBranch(Opcode::IfIntNez, Scalar, NoReg, Target);
+}
+
+IrBuilder &IrBuilder::gotoLabel(Label Target) {
+  return emitBranch(Opcode::Goto, NoReg, NoReg, Target);
+}
+
+IrBuilder &IrBuilder::monitorEnter(LockId Lock) {
+  Instr I;
+  I.Op = Opcode::MonitorEnter;
+  I.Ref = Lock.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::monitorExit(LockId Lock) {
+  Instr I;
+  I.Op = Opcode::MonitorExit;
+  I.Ref = Lock.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::waitMonitor(MonitorId Monitor) {
+  Instr I;
+  I.Op = Opcode::WaitMonitor;
+  I.Ref = Monitor.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::notifyMonitor(MonitorId Monitor) {
+  Instr I;
+  I.Op = Opcode::NotifyMonitor;
+  I.Ref = Monitor.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::forkThread(Reg HandleDst, MethodId Body, Reg Arg) {
+  Instr I;
+  I.Op = Opcode::ForkThread;
+  I.A = HandleDst;
+  I.B = Arg;
+  I.Ref = Body.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::joinThread(Reg Handle) {
+  Instr I;
+  I.Op = Opcode::JoinThread;
+  I.A = Handle;
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::sendEvent(QueueId Queue, MethodId Handler,
+                                int32_t DelayMs, Reg Arg) {
+  assert(DelayMs >= 0 && "event delay cannot be negative");
+  Instr I;
+  I.Op = Opcode::SendEvent;
+  I.A = Arg;
+  I.Imm = DelayMs;
+  I.Ref = Handler.value();
+  I.Aux = Queue.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::sendEventAtFront(QueueId Queue, MethodId Handler,
+                                       Reg Arg) {
+  Instr I;
+  I.Op = Opcode::SendEventAtFront;
+  I.A = Arg;
+  I.Ref = Handler.value();
+  I.Aux = Queue.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::registerListener(ListenerId Listener, MethodId Handler,
+                                       Reg Arg) {
+  Instr I;
+  I.Op = Opcode::RegisterListener;
+  I.A = Arg;
+  I.Ref = Listener.value();
+  I.Aux = Handler.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::triggerListener(ListenerId Listener) {
+  Instr I;
+  I.Op = Opcode::TriggerListener;
+  I.Ref = Listener.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::binderCall(ProcessId Target, MethodId Remote, Reg Arg) {
+  Instr I;
+  I.Op = Opcode::BinderCall;
+  I.A = Arg;
+  I.Ref = Remote.value();
+  I.Aux = Target.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::pipeWrite(PipeId Pipe, Reg Arg) {
+  Instr I;
+  I.Op = Opcode::PipeWrite;
+  I.A = Arg;
+  I.Ref = Pipe.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::pipeRead(PipeId Pipe, Reg Dst) {
+  Instr I;
+  I.Op = Opcode::PipeRead;
+  I.A = Dst;
+  I.Ref = Pipe.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::sendEventAtTime(QueueId Queue, MethodId Handler,
+                                      int32_t AtMillis, Reg Arg) {
+  assert(AtMillis >= 0 && "absolute event time cannot be negative");
+  Instr I;
+  I.Op = Opcode::SendEventAtTime;
+  I.A = Arg;
+  I.Imm = AtMillis;
+  I.Ref = Handler.value();
+  I.Aux = Queue.value();
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::work(int32_t Units) {
+  assert(Units >= 0 && "work units cannot be negative");
+  Instr I;
+  I.Op = Opcode::Work;
+  I.Imm = Units;
+  return emit(I);
+}
+
+IrBuilder &IrBuilder::sleep(int32_t Micros) {
+  assert(Micros >= 0 && "sleep duration cannot be negative");
+  Instr I;
+  I.Op = Opcode::Sleep;
+  I.Imm = Micros;
+  return emit(I);
+}

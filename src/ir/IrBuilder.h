@@ -1,0 +1,126 @@
+//===- ir/IrBuilder.h - Method construction helper -------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fluent builder for mini-Dalvik methods with forward-reference labels.
+/// Application models use this the way Clang uses IRBuilder: declare a
+/// method, emit instructions, bind labels, finish.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_IR_IRBUILDER_H
+#define CAFA_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <string_view>
+#include <vector>
+
+namespace cafa {
+
+/// A branch target within the method being built.
+class Label {
+  friend class IrBuilder;
+  explicit Label(uint32_t Index) : Index(Index) {}
+  uint32_t Index;
+
+public:
+  Label() : Index(0xFFFFFFFFu) {}
+};
+
+/// Builds one method at a time into a Module.
+class IrBuilder {
+public:
+  explicit IrBuilder(Module &M) : M(M) {}
+
+  /// Starts a new method.  \p NumRegs is the frame's register count.
+  IrBuilder &beginMethod(std::string_view Name, uint16_t NumRegs);
+
+  /// Finishes the current method (resolving all labels, appending a
+  /// trailing return if the last instruction can fall through) and adds
+  /// it to the module.
+  MethodId endMethod();
+
+  /// Creates an unbound label.
+  Label newLabel();
+
+  /// Binds \p L to the next emitted instruction.
+  IrBuilder &bind(Label L);
+
+  /// Returns the pc the next instruction will get.
+  uint32_t nextPc() const { return static_cast<uint32_t>(Code.size()); }
+
+  // --- Data movement and heap access ------------------------------------
+  IrBuilder &nop();
+  IrBuilder &constNull(Reg Dst);
+  IrBuilder &constInt(Reg Dst, int32_t Value);
+  IrBuilder &move(Reg Dst, Reg Src);
+  IrBuilder &newInstance(Reg Dst, ClassId Class);
+  IrBuilder &igetObject(Reg Dst, Reg Receiver, FieldId Field);
+  IrBuilder &iputObject(Reg Receiver, FieldId Field, Reg Src);
+  IrBuilder &sgetObject(Reg Dst, FieldId Field);
+  IrBuilder &sputObject(FieldId Field, Reg Src);
+  IrBuilder &iget(Reg Dst, Reg Receiver, FieldId Field);
+  IrBuilder &iput(Reg Receiver, FieldId Field, Reg Src);
+  IrBuilder &sget(Reg Dst, FieldId Field);
+  IrBuilder &sput(FieldId Field, Reg Src);
+  IrBuilder &addInt(Reg Dst, Reg Src, int32_t Imm);
+
+  // --- Calls -------------------------------------------------------------
+  IrBuilder &invokeVirtual(Reg Receiver, MethodId Callee, Reg Arg = NoReg);
+  IrBuilder &invokeStatic(MethodId Callee, Reg Arg = NoReg);
+  IrBuilder &returnVoid();
+
+  // --- Branches ----------------------------------------------------------
+  IrBuilder &ifEqz(Reg Obj, Label Target);
+  IrBuilder &ifNez(Reg Obj, Label Target);
+  IrBuilder &ifEq(Reg ObjA, Reg ObjB, Label Target);
+  IrBuilder &ifIntEqz(Reg Scalar, Label Target);
+  IrBuilder &ifIntNez(Reg Scalar, Label Target);
+  IrBuilder &gotoLabel(Label Target);
+
+  // --- Concurrency -------------------------------------------------------
+  IrBuilder &monitorEnter(LockId Lock);
+  IrBuilder &monitorExit(LockId Lock);
+  IrBuilder &waitMonitor(MonitorId Monitor);
+  IrBuilder &notifyMonitor(MonitorId Monitor);
+  IrBuilder &forkThread(Reg HandleDst, MethodId Body, Reg Arg = NoReg);
+  IrBuilder &joinThread(Reg Handle);
+  IrBuilder &sendEvent(QueueId Queue, MethodId Handler, int32_t DelayMs,
+                       Reg Arg = NoReg);
+  IrBuilder &sendEventAtFront(QueueId Queue, MethodId Handler,
+                              Reg Arg = NoReg);
+  IrBuilder &registerListener(ListenerId Listener, MethodId Handler,
+                              Reg Arg = NoReg);
+  IrBuilder &triggerListener(ListenerId Listener);
+  IrBuilder &binderCall(ProcessId Target, MethodId Remote, Reg Arg = NoReg);
+  IrBuilder &pipeWrite(PipeId Pipe, Reg Arg = NoReg);
+  IrBuilder &pipeRead(PipeId Pipe, Reg Dst = NoReg);
+  IrBuilder &sendEventAtTime(QueueId Queue, MethodId Handler,
+                             int32_t AtMillis, Reg Arg = NoReg);
+  IrBuilder &work(int32_t Units);
+  IrBuilder &sleep(int32_t Micros);
+
+private:
+  IrBuilder &emit(Instr I);
+  IrBuilder &emitBranch(Opcode Op, Reg A, Reg B, Label Target);
+
+  Module &M;
+  bool Building = false;
+  StrId CurrentName;
+  uint16_t CurrentRegs = 0;
+  std::vector<Instr> Code;
+  /// Label index -> bound pc (0xFFFFFFFF while unbound).
+  std::vector<uint32_t> LabelPcs;
+  /// (instruction pc, label index) fixups resolved at endMethod().
+  std::vector<std::pair<uint32_t, uint32_t>> Fixups;
+};
+
+} // namespace cafa
+
+#endif // CAFA_IR_IRBUILDER_H

@@ -1,0 +1,21 @@
+//===- ir/Module.cpp - Mini-Dalvik program container ------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "support/Format.h"
+
+using namespace cafa;
+
+std::string Module::methodName(MethodId Id) const {
+  if (!Id.isValid() || Id.index() >= Methods.size())
+    return "<invalid method>";
+  const MethodDef &Def = Methods[Id.index()];
+  if (Def.Name.isValid())
+    return Names.str(Def.Name);
+  return formatString("<method %u>", Id.value());
+}

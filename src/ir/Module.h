@@ -1,0 +1,205 @@
+//===- ir/Module.h - Mini-Dalvik program container -------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module is the static description of one simulated Android system
+/// image: the application's classes, fields, methods, plus the runtime
+/// topology instructions refer to (processes, event queues, listeners,
+/// locks, monitors).  The application models in src/apps each build one
+/// Module with IrBuilder; the runtime interprets it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_IR_MODULE_H
+#define CAFA_IR_MODULE_H
+
+#include "ir/Instr.h"
+#include "support/Ids.h"
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace cafa {
+
+/// A class with object-pointer and scalar field slots.
+struct ClassDef {
+  StrId Name;
+};
+
+/// One field.  Instance fields belong to a class; static fields stand
+/// alone.  Object fields hold references (their null writes are frees);
+/// scalar fields hold integers.
+struct FieldDef {
+  StrId Name;
+  /// Owning class; invalid for static fields.
+  ClassId Owner;
+  bool IsObject = false;
+  bool IsStatic = false;
+};
+
+/// One method: straight-line register code.
+struct MethodDef {
+  StrId Name;
+  uint16_t NumRegs = 0;
+  std::vector<Instr> Code;
+};
+
+/// One simulated process.
+struct ProcessDef {
+  StrId Name;
+};
+
+/// One event queue, drained by a dedicated looper thread in Process.
+struct QueueDef {
+  StrId Name;
+  ProcessId Process;
+};
+
+/// One listener slot.  Uninstrumented listeners model the Android
+/// packages the paper's prototype does not trace (Type I FPs).
+struct ListenerDef {
+  StrId Name;
+  /// The queue on which the registered callback is performed (Android
+  /// delivers listener callbacks on a specific looper).
+  QueueId DeliveryQueue;
+  bool Instrumented = true;
+};
+
+/// A named lock (lockset analysis only).
+struct LockDef {
+  StrId Name;
+};
+
+/// A named monitor for wait/notify.
+struct MonitorDef {
+  StrId Name;
+};
+
+/// A unidirectional message pipe (Section 5.2's "Other IPC Channels":
+/// latency-critical IPC through pipes / Unix domain sockets, traced by
+/// tagging each message with a unique id).
+struct PipeDef {
+  StrId Name;
+};
+
+/// A complete mini-Dalvik program plus its runtime topology.
+class Module {
+public:
+  StringInterner &names() { return Names; }
+  const StringInterner &names() const { return Names; }
+
+  ClassId addClass(std::string_view Name) {
+    Classes.push_back({Names.intern(Name)});
+    return ClassId(static_cast<uint32_t>(Classes.size() - 1));
+  }
+  FieldId addField(std::string_view Name, ClassId Owner, bool IsObject) {
+    Fields.push_back({Names.intern(Name), Owner, IsObject, false});
+    return FieldId(static_cast<uint32_t>(Fields.size() - 1));
+  }
+  FieldId addStaticField(std::string_view Name, bool IsObject) {
+    Fields.push_back({Names.intern(Name), ClassId::invalid(), IsObject,
+                      true});
+    return FieldId(static_cast<uint32_t>(Fields.size() - 1));
+  }
+  ProcessId addProcess(std::string_view Name) {
+    Processes.push_back({Names.intern(Name)});
+    return ProcessId(static_cast<uint32_t>(Processes.size() - 1));
+  }
+  QueueId addQueue(std::string_view Name, ProcessId Process) {
+    Queues.push_back({Names.intern(Name), Process});
+    return QueueId(static_cast<uint32_t>(Queues.size() - 1));
+  }
+  ListenerId addListener(std::string_view Name, QueueId DeliveryQueue,
+                         bool Instrumented = true) {
+    Listeners.push_back({Names.intern(Name), DeliveryQueue, Instrumented});
+    return ListenerId(static_cast<uint32_t>(Listeners.size() - 1));
+  }
+  LockId addLock(std::string_view Name) {
+    Locks.push_back({Names.intern(Name)});
+    return LockId(static_cast<uint32_t>(Locks.size() - 1));
+  }
+  MonitorId addMonitor(std::string_view Name) {
+    Monitors.push_back({Names.intern(Name)});
+    return MonitorId(static_cast<uint32_t>(Monitors.size() - 1));
+  }
+  PipeId addPipe(std::string_view Name) {
+    Pipes.push_back({Names.intern(Name)});
+    return PipeId(static_cast<uint32_t>(Pipes.size() - 1));
+  }
+  MethodId addMethod(MethodDef Def) {
+    Methods.push_back(std::move(Def));
+    return MethodId(static_cast<uint32_t>(Methods.size() - 1));
+  }
+
+  size_t numClasses() const { return Classes.size(); }
+  size_t numFields() const { return Fields.size(); }
+  size_t numMethods() const { return Methods.size(); }
+  size_t numProcesses() const { return Processes.size(); }
+  size_t numQueues() const { return Queues.size(); }
+  size_t numListeners() const { return Listeners.size(); }
+  size_t numLocks() const { return Locks.size(); }
+  size_t numMonitors() const { return Monitors.size(); }
+  size_t numPipes() const { return Pipes.size(); }
+
+  const ClassDef &classDef(ClassId Id) const {
+    assert(Id.index() < Classes.size() && "class id out of range");
+    return Classes[Id.index()];
+  }
+  const FieldDef &fieldDef(FieldId Id) const {
+    assert(Id.index() < Fields.size() && "field id out of range");
+    return Fields[Id.index()];
+  }
+  const MethodDef &methodDef(MethodId Id) const {
+    assert(Id.index() < Methods.size() && "method id out of range");
+    return Methods[Id.index()];
+  }
+  const ProcessDef &processDef(ProcessId Id) const {
+    assert(Id.index() < Processes.size() && "process id out of range");
+    return Processes[Id.index()];
+  }
+  const QueueDef &queueDef(QueueId Id) const {
+    assert(Id.index() < Queues.size() && "queue id out of range");
+    return Queues[Id.index()];
+  }
+  const ListenerDef &listenerDef(ListenerId Id) const {
+    assert(Id.index() < Listeners.size() && "listener id out of range");
+    return Listeners[Id.index()];
+  }
+  const LockDef &lockDef(LockId Id) const {
+    assert(Id.index() < Locks.size() && "lock id out of range");
+    return Locks[Id.index()];
+  }
+  const MonitorDef &monitorDef(MonitorId Id) const {
+    assert(Id.index() < Monitors.size() && "monitor id out of range");
+    return Monitors[Id.index()];
+  }
+  const PipeDef &pipeDef(PipeId Id) const {
+    assert(Id.index() < Pipes.size() && "pipe id out of range");
+    return Pipes[Id.index()];
+  }
+
+  /// Returns the name of \p Id or a placeholder.
+  std::string methodName(MethodId Id) const;
+
+private:
+  StringInterner Names;
+  std::vector<ClassDef> Classes;
+  std::vector<FieldDef> Fields;
+  std::vector<MethodDef> Methods;
+  std::vector<ProcessDef> Processes;
+  std::vector<QueueDef> Queues;
+  std::vector<ListenerDef> Listeners;
+  std::vector<LockDef> Locks;
+  std::vector<MonitorDef> Monitors;
+  std::vector<PipeDef> Pipes;
+};
+
+} // namespace cafa
+
+#endif // CAFA_IR_MODULE_H

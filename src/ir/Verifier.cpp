@@ -1,0 +1,248 @@
+//===- ir/Verifier.cpp - Static module checking ----------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/Format.h"
+
+using namespace cafa;
+
+namespace {
+
+/// Context for diagnosing one method.
+struct MethodChecker {
+  const Module &M;
+  MethodId Method;
+  const MethodDef &Def;
+
+  Status fail(uint32_t Pc, const char *What) const {
+    return Status::error(formatString(
+        "method '%s' pc %u (%s): %s", M.methodName(Method).c_str(), Pc,
+        opcodeName(Def.Code[Pc].Op), What));
+  }
+
+  bool regOk(Reg R) const { return R != NoReg && R < Def.NumRegs; }
+  bool optRegOk(Reg R) const { return R == NoReg || R < Def.NumRegs; }
+
+  Status check() const;
+  Status checkInstr(uint32_t Pc, const Instr &I) const;
+};
+
+Status MethodChecker::check() const {
+  if (Def.Code.empty())
+    return Status::error(formatString("method '%s' has no code",
+                                      M.methodName(Method).c_str()));
+  if (!isTerminator(Def.Code.back().Op))
+    return fail(static_cast<uint32_t>(Def.Code.size() - 1),
+                "method may fall off its end");
+  for (uint32_t Pc = 0, E = static_cast<uint32_t>(Def.Code.size()); Pc != E;
+       ++Pc) {
+    if (Status S = checkInstr(Pc, Def.Code[Pc]); !S.ok())
+      return S;
+  }
+  return Status::success();
+}
+
+Status MethodChecker::checkInstr(uint32_t Pc, const Instr &I) const {
+  // Branch target bounds.
+  if (isBranch(I.Op)) {
+    int64_t Target = static_cast<int64_t>(Pc) + I.Imm;
+    if (Target < 0 || Target > static_cast<int64_t>(Def.Code.size()))
+      return fail(Pc, "branch target out of range");
+    if (I.Imm == 0)
+      return fail(Pc, "branch to itself would not terminate");
+  }
+
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::ReturnVoid:
+    break;
+  case Opcode::ConstNull:
+  case Opcode::ConstInt:
+    if (!regOk(I.A))
+      return fail(Pc, "destination register out of range");
+    break;
+  case Opcode::Move:
+  case Opcode::AddInt:
+    if (!regOk(I.A) || !regOk(I.B))
+      return fail(Pc, "register out of range");
+    break;
+  case Opcode::NewInstance:
+    if (!regOk(I.A))
+      return fail(Pc, "destination register out of range");
+    if (I.Ref >= M.numClasses())
+      return fail(Pc, "unknown class");
+    break;
+  case Opcode::IGetObject:
+  case Opcode::IGet:
+    if (!regOk(I.A) || !regOk(I.B))
+      return fail(Pc, "register out of range");
+    if (I.Ref >= M.numFields())
+      return fail(Pc, "unknown field");
+    if (M.fieldDef(FieldId(I.Ref)).IsStatic)
+      return fail(Pc, "instance access to a static field");
+    if (M.fieldDef(FieldId(I.Ref)).IsObject !=
+        (I.Op == Opcode::IGetObject))
+      return fail(Pc, "field kind mismatch (object vs scalar)");
+    break;
+  case Opcode::IPutObject:
+  case Opcode::IPut:
+    if (!regOk(I.A) || !regOk(I.B))
+      return fail(Pc, "register out of range");
+    if (I.Ref >= M.numFields())
+      return fail(Pc, "unknown field");
+    if (M.fieldDef(FieldId(I.Ref)).IsStatic)
+      return fail(Pc, "instance access to a static field");
+    if (M.fieldDef(FieldId(I.Ref)).IsObject !=
+        (I.Op == Opcode::IPutObject))
+      return fail(Pc, "field kind mismatch (object vs scalar)");
+    break;
+  case Opcode::SGetObject:
+  case Opcode::SPutObject:
+  case Opcode::SGet:
+  case Opcode::SPut:
+    if (!regOk(I.A))
+      return fail(Pc, "register out of range");
+    if (I.Ref >= M.numFields())
+      return fail(Pc, "unknown field");
+    if (!M.fieldDef(FieldId(I.Ref)).IsStatic)
+      return fail(Pc, "static access to an instance field");
+    if (M.fieldDef(FieldId(I.Ref)).IsObject !=
+        (I.Op == Opcode::SGetObject || I.Op == Opcode::SPutObject))
+      return fail(Pc, "field kind mismatch (object vs scalar)");
+    break;
+  case Opcode::InvokeVirtual:
+    if (!regOk(I.A) || !optRegOk(I.B))
+      return fail(Pc, "register out of range");
+    if (I.Ref >= M.numMethods())
+      return fail(Pc, "unknown callee");
+    break;
+  case Opcode::InvokeStatic:
+    if (!optRegOk(I.A))
+      return fail(Pc, "register out of range");
+    if (I.Ref >= M.numMethods())
+      return fail(Pc, "unknown callee");
+    break;
+  case Opcode::IfEqz:
+  case Opcode::IfNez:
+  case Opcode::IfIntEqz:
+  case Opcode::IfIntNez:
+    if (!regOk(I.A))
+      return fail(Pc, "register out of range");
+    break;
+  case Opcode::IfEq:
+    if (!regOk(I.A) || !regOk(I.B))
+      return fail(Pc, "register out of range");
+    break;
+  case Opcode::Goto:
+    break;
+  case Opcode::MonitorEnter:
+  case Opcode::MonitorExit:
+    if (I.Ref >= M.numLocks())
+      return fail(Pc, "unknown lock");
+    break;
+  case Opcode::WaitMonitor:
+  case Opcode::NotifyMonitor:
+    if (I.Ref >= M.numMonitors())
+      return fail(Pc, "unknown monitor");
+    break;
+  case Opcode::ForkThread:
+    if (!regOk(I.A) || !optRegOk(I.B))
+      return fail(Pc, "register out of range");
+    if (I.Ref >= M.numMethods())
+      return fail(Pc, "unknown thread body method");
+    break;
+  case Opcode::JoinThread:
+    if (!regOk(I.A))
+      return fail(Pc, "register out of range");
+    break;
+  case Opcode::SendEvent:
+  case Opcode::SendEventAtTime:
+    if (I.Imm < 0)
+      return fail(Pc, I.Op == Opcode::SendEvent
+                          ? "negative event delay"
+                          : "negative absolute event time");
+    [[fallthrough]];
+  case Opcode::SendEventAtFront:
+    if (!optRegOk(I.A))
+      return fail(Pc, "argument register out of range");
+    if (I.Ref >= M.numMethods())
+      return fail(Pc, "unknown event handler");
+    if (I.Aux >= M.numQueues())
+      return fail(Pc, "unknown event queue");
+    break;
+  case Opcode::RegisterListener:
+    if (!optRegOk(I.A))
+      return fail(Pc, "argument register out of range");
+    if (I.Ref >= M.numListeners())
+      return fail(Pc, "unknown listener");
+    if (I.Aux >= M.numMethods())
+      return fail(Pc, "unknown listener handler");
+    break;
+  case Opcode::TriggerListener:
+    if (I.Ref >= M.numListeners())
+      return fail(Pc, "unknown listener");
+    break;
+  case Opcode::BinderCall:
+    if (!optRegOk(I.A))
+      return fail(Pc, "argument register out of range");
+    if (I.Ref >= M.numMethods())
+      return fail(Pc, "unknown remote method");
+    if (I.Aux >= M.numProcesses())
+      return fail(Pc, "unknown target process");
+    break;
+  case Opcode::PipeWrite:
+  case Opcode::PipeRead:
+    if (!optRegOk(I.A))
+      return fail(Pc, "register out of range");
+    if (I.Ref >= M.numPipes())
+      return fail(Pc, "unknown pipe");
+    break;
+  case Opcode::Work:
+    if (I.Imm < 0)
+      return fail(Pc, "negative work amount");
+    break;
+  case Opcode::Sleep:
+    if (I.Imm < 0)
+      return fail(Pc, "negative sleep duration");
+    break;
+  }
+  return Status::success();
+}
+
+} // namespace
+
+Status cafa::verifyMethod(const Module &M, MethodId Method) {
+  MethodChecker Checker{M, Method, M.methodDef(Method)};
+  return Checker.check();
+}
+
+Status cafa::verifyModule(const Module &M) {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.numMethods()); I != E;
+       ++I) {
+    if (Status S = verifyMethod(M, MethodId(I)); !S.ok())
+      return S;
+  }
+  // Every queue must live in a declared process.
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.numQueues()); I != E;
+       ++I) {
+    const QueueDef &Q = M.queueDef(QueueId(I));
+    if (!Q.Process.isValid() || Q.Process.index() >= M.numProcesses())
+      return Status::error(
+          formatString("queue %u has no valid owning process", I));
+  }
+  // Every listener must deliver to a declared queue.
+  for (uint32_t I = 0, E = static_cast<uint32_t>(M.numListeners()); I != E;
+       ++I) {
+    const ListenerDef &L = M.listenerDef(ListenerId(I));
+    if (!L.DeliveryQueue.isValid() ||
+        L.DeliveryQueue.index() >= M.numQueues())
+      return Status::error(
+          formatString("listener %u has no valid delivery queue", I));
+  }
+  return Status::success();
+}

@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - Static module checking ------------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static verification of mini-Dalvik modules before interpretation:
+/// register indices within frames, branch targets within method bodies,
+/// id operands within module tables, and no fall-through off a method
+/// end.  Application models are hand-built, so catching malformed code at
+/// load time keeps interpreter faults from masquerading as race bugs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_IR_VERIFIER_H
+#define CAFA_IR_VERIFIER_H
+
+#include "ir/Module.h"
+#include "support/Status.h"
+
+namespace cafa {
+
+/// Verifies every method in \p M; returns the first problem found.
+Status verifyModule(const Module &M);
+
+/// Verifies a single method of \p M.
+Status verifyMethod(const Module &M, MethodId Method);
+
+} // namespace cafa
+
+#endif // CAFA_IR_VERIFIER_H

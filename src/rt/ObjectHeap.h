@@ -1,0 +1,129 @@
+//===- rt/ObjectHeap.h - Simulated VM heap ---------------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated VM heap: object allocation with unique ids (Section 5.2's
+/// per-object unique IDs), per-object field storage, static field storage,
+/// and the interning of (object, field) pairs into VarIds -- the memory
+/// cells at which races are detected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_RT_OBJECTHEAP_H
+#define CAFA_RT_OBJECTHEAP_H
+
+#include "ir/Module.h"
+#include "rt/Value.h"
+#include "support/Ids.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+namespace cafa {
+
+/// Identifies the memory cell behind a VarId (for report rendering).
+struct VarDesc {
+  /// Owning object; invalid for static fields.
+  ObjectId Object;
+  FieldId Field;
+};
+
+/// Heap of the simulated VM.  Object ids are dense, allocated from 1
+/// (0 is null), and never reused -- exactly the unique-object-id scheme
+/// the instrumented Dalvik VM uses.
+class ObjectHeap {
+public:
+  explicit ObjectHeap(const Module &M) : M(M) {}
+
+  /// Allocates a new object of class \p Class; fields start null/zero.
+  ObjectId allocate(ClassId Class) {
+    Objects.emplace_back();
+    Objects.back().Class = Class;
+    Objects.back().Fields.assign(M.numFields(), 0);
+    return ObjectId(static_cast<uint32_t>(Objects.size()));
+  }
+
+  /// Returns the raw bits of instance field \p Field of \p Obj.
+  uint64_t getField(ObjectId Obj, FieldId Field) const {
+    return slot(Obj)[Field.index()];
+  }
+  /// Stores raw bits into instance field \p Field of \p Obj.
+  void setField(ObjectId Obj, FieldId Field, uint64_t Bits) {
+    slotMutable(Obj)[Field.index()] = Bits;
+  }
+
+  /// Returns the raw bits of static field \p Field.
+  uint64_t getStatic(FieldId Field) const {
+    assert(Field.index() < M.numFields() && "static field out of range");
+    auto It = Statics.find(Field.value());
+    return It == Statics.end() ? 0 : It->second;
+  }
+  /// Stores raw bits into static field \p Field.
+  void setStatic(FieldId Field, uint64_t Bits) {
+    assert(Field.index() < M.numFields() && "static field out of range");
+    Statics[Field.value()] = Bits;
+  }
+
+  /// Interns the memory cell (\p Obj instance field / static field) into
+  /// a VarId; deterministic across runs.
+  VarId varFor(ObjectId Obj, FieldId Field) {
+    uint64_t Key = (static_cast<uint64_t>(Obj.isValid() ? Obj.value() : 0)
+                    << 32) |
+                   Field.value();
+    auto [It, Inserted] = VarIndex.emplace(
+        Key, static_cast<uint32_t>(VarTable.size()));
+    if (Inserted)
+      VarTable.push_back({Obj, Field});
+    return VarId(It->second);
+  }
+  VarId varForStatic(FieldId Field) {
+    return varFor(ObjectId::invalid(), Field);
+  }
+
+  /// Returns the descriptor of an interned var.
+  const VarDesc &varDesc(VarId Id) const {
+    assert(Id.index() < VarTable.size() && "var id out of range");
+    return VarTable[Id.index()];
+  }
+  size_t numVars() const { return VarTable.size(); }
+  size_t numObjects() const { return Objects.size(); }
+
+  /// Returns the class of \p Obj.
+  ClassId classOf(ObjectId Obj) const {
+    assert(Obj.value() >= 1 && Obj.index() <= Objects.size() &&
+           "dereference of null or unknown object");
+    return Objects[Obj.index() - 1].Class;
+  }
+
+private:
+  struct ObjectData {
+    ClassId Class;
+    std::vector<uint64_t> Fields;
+  };
+
+  const std::vector<uint64_t> &slot(ObjectId Obj) const {
+    assert(Obj.value() >= 1 && Obj.index() <= Objects.size() &&
+           "field access on null or unknown object");
+    return Objects[Obj.index() - 1].Fields;
+  }
+  std::vector<uint64_t> &slotMutable(ObjectId Obj) {
+    assert(Obj.value() >= 1 && Obj.index() <= Objects.size() &&
+           "field access on null or unknown object");
+    return Objects[Obj.index() - 1].Fields;
+  }
+
+  const Module &M;
+  std::vector<ObjectData> Objects;
+  std::unordered_map<uint32_t, uint64_t> Statics;
+  std::unordered_map<uint64_t, uint32_t> VarIndex;
+  std::vector<VarDesc> VarTable;
+};
+
+} // namespace cafa
+
+#endif // CAFA_RT_OBJECTHEAP_H

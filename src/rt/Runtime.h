@@ -1,0 +1,118 @@
+//===- rt/Runtime.h - Event-driven runtime simulator -----------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic discrete-event simulator standing in for the Android
+/// stack.  It interprets mini-Dalvik code under the event-driven model of
+/// Section 2.1: per-queue looper threads draining events in queued order
+/// once their time constraints elapse (with sendAtFront jumping the
+/// queue), regular threads with fork/join, monitors with wait/notify,
+/// non-HB locks, listener registration/dispatch, and Binder RPC across
+/// processes.  When tracing is enabled it plays the role of the paper's
+/// customized ROM: every operation of Figure 3 plus the Section 5.3
+/// low-level operations is appended to a logger device.
+///
+/// Determinism: scheduling depends only on the scenario and the options'
+/// seed, never on tracing, so an instrumented and an uninstrumented run
+/// execute the identical interleaving (this is what makes the Figure 8
+/// slowdown comparison meaningful).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_RT_RUNTIME_H
+#define CAFA_RT_RUNTIME_H
+
+#include "ir/Module.h"
+#include "rt/ObjectHeap.h"
+#include "rt/Scenario.h"
+#include "rt/Value.h"
+#include "support/Status.h"
+#include "trace/LoggerDevice.h"
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+namespace cafa {
+
+/// Knobs controlling one simulated run.
+struct RuntimeOptions {
+  /// Collect a trace (the "customized ROM"); false = stock ROM baseline.
+  bool Tracing = true;
+  /// Also serialize each record to the logger byte stream (realistic
+  /// per-record cost; only meaningful when Tracing).
+  bool MirrorStream = true;
+  /// Simulated cost of one bytecode instruction, in microseconds.
+  uint32_t InstrCostMicros = 2;
+  /// Host-CPU busy-work iterations per interpreted instruction.  This
+  /// calibrates the interpreter-to-tracing cost ratio that Figure 8's
+  /// slowdown band depends on.
+  uint32_t BaselineWorkUnits = 6;
+  /// Hard cap on interpreted instructions (runaway guard).
+  uint64_t MaxInstructions = 50'000'000;
+  /// Simulated fork-to-first-instruction latency in microseconds.
+  uint32_t ForkLatencyMicros = 100;
+  /// Simulated Binder dispatch latency in microseconds.
+  uint32_t RpcLatencyMicros = 300;
+};
+
+/// Counters reported after a run.
+struct RuntimeStats {
+  uint64_t InstructionsExecuted = 0;
+  uint64_t RecordsEmitted = 0;
+  uint64_t NullPointerExceptions = 0;
+  uint64_t TasksCreated = 0;
+  uint64_t EventsProcessed = 0;
+  /// Tasks still blocked when the simulation quiesced (usually a scenario
+  /// bug: a wait with no notify or a join of a stuck thread).
+  uint64_t BlockedAtQuiescence = 0;
+  /// Final simulated time in microseconds.
+  uint64_t SimEndMicros = 0;
+  /// Host CPU nanoseconds consumed inside run().
+  uint64_t HostCpuNanos = 0;
+};
+
+/// The simulator.  Typical use:
+/// \code
+///   Runtime Rt(Scenario, Options);
+///   Status S = Rt.run();
+///   Trace T = Rt.takeTrace();
+/// \endcode
+class Runtime {
+public:
+  Runtime(const Scenario &S, const RuntimeOptions &Options);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  /// Runs the simulation to quiescence.  Fails on verifier errors or the
+  /// instruction cap; NPEs abort the offending task but not the run.
+  Status run();
+
+  /// Returns the collected statistics (valid after run()).
+  const RuntimeStats &stats() const;
+
+  /// Moves the collected trace out (valid after run(); Tracing only).
+  Trace takeTrace();
+
+  /// Bytes written to the logger mirror stream (instrumented cost proxy).
+  size_t loggerStreamBytes() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// Convenience wrapper: runs \p S with \p Options and returns the trace.
+/// Aborts the process on scenario errors (app models are trusted code).
+Trace runScenario(const Scenario &S, const RuntimeOptions &Options,
+                  RuntimeStats *StatsOut = nullptr);
+
+} // namespace cafa
+
+#endif // CAFA_RT_RUNTIME_H

@@ -1,0 +1,62 @@
+//===- rt/Scenario.h - A runnable simulation setup -------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Scenario bundles a mini-Dalvik module with the stimuli that drive a
+/// run: external input events (user taps, sensor callbacks, network
+/// completions -- Section 3's "entities external to an application") and
+/// bootstrap threads (the app's main/onCreate path).  The application
+/// models in src/apps each produce one Scenario.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_RT_SCENARIO_H
+#define CAFA_RT_SCENARIO_H
+
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cafa {
+
+/// One event injected by the external world at a fixed simulated time.
+struct ExternalEventSpec {
+  /// Injection time in simulated microseconds.
+  uint64_t AtMicros = 0;
+  QueueId Queue;
+  MethodId Handler;
+  /// Display name ("onPause", "onLocationChanged", ...); defaults to the
+  /// handler's name when empty.
+  std::string Name;
+};
+
+/// One thread started directly by the scenario (the app bootstrap).
+struct BootThreadSpec {
+  uint64_t StartMicros = 0;
+  MethodId Body;
+  ProcessId Process;
+  std::string Name;
+};
+
+/// A complete simulation setup.
+struct Scenario {
+  /// Display name of the modeled application.
+  std::string AppName;
+  /// The program and topology.  Held by shared_ptr so app models can be
+  /// constructed once and run many times (benchmarks re-run scenarios).
+  std::shared_ptr<Module> Program;
+  std::vector<ExternalEventSpec> ExternalEvents;
+  std::vector<BootThreadSpec> BootThreads;
+
+  const Module &module() const { return *Program; }
+};
+
+} // namespace cafa
+
+#endif // CAFA_RT_SCENARIO_H

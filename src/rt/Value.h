@@ -1,0 +1,60 @@
+//===- rt/Value.h - Runtime register values --------------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tagged values held in interpreter registers.  Object fields store bare
+/// ObjectIds and scalar fields store bare integers (fields are statically
+/// typed), but registers are untyped in the IR so they carry a tag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_RT_VALUE_H
+#define CAFA_RT_VALUE_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+
+namespace cafa {
+
+/// One register slot: either a scalar integer or an object reference.
+/// ObjectId value 0 represents null.
+struct Value {
+  bool IsObject = false;
+  uint64_t Bits = 0;
+
+  static Value makeScalar(int64_t V) {
+    Value R;
+    R.IsObject = false;
+    R.Bits = static_cast<uint64_t>(V);
+    return R;
+  }
+  static Value makeObject(ObjectId Obj) {
+    Value R;
+    R.IsObject = true;
+    R.Bits = Obj.isValid() ? Obj.value() : 0;
+    return R;
+  }
+  static Value makeNull() {
+    Value R;
+    R.IsObject = true;
+    R.Bits = 0;
+    return R;
+  }
+
+  int64_t scalar() const { return static_cast<int64_t>(Bits); }
+  /// Returns the referenced object; ObjectId(0) encodes null.
+  ObjectId object() const { return ObjectId(static_cast<uint32_t>(Bits)); }
+  bool isNullRef() const { return IsObject && Bits == 0; }
+};
+
+/// The null object id (object ids are allocated starting from 1).
+inline ObjectId nullObject() { return ObjectId(0); }
+
+} // namespace cafa
+
+#endif // CAFA_RT_VALUE_H

@@ -1,0 +1,10 @@
+//===- support/BitVec.cpp - Dense dynamic bit vector ---------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVec.h"
+
+// BitVec is header-only; this file anchors the library target.

@@ -1,0 +1,55 @@
+//===- support/Format.cpp - printf-style string formatting ---------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+using namespace cafa;
+
+std::string cafa::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}
+
+std::string cafa::withThousandsSep(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Out;
+  size_t N = Digits.size();
+  for (size_t I = 0; I != N; ++I) {
+    if (I != 0 && (N - I) % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(Digits[I]);
+  }
+  return Out;
+}
+
+std::string cafa::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S.substr(0, Width);
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string cafa::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S.substr(0, Width);
+  return S + std::string(Width - S.size(), ' ');
+}

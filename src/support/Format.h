@@ -1,0 +1,35 @@
+//===- support/Format.h - printf-style string formatting -------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string-formatting helpers for diagnostics and report rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_FORMAT_H
+#define CAFA_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace cafa {
+
+/// Returns a std::string produced by printf-style formatting.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders \p Value with thousands separators, e.g. 1664 -> "1,664".
+std::string withThousandsSep(uint64_t Value);
+
+/// Left-pads or truncates \p S to exactly \p Width columns.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Right-pads or truncates \p S to exactly \p Width columns.
+std::string padRight(const std::string &S, size_t Width);
+
+} // namespace cafa
+
+#endif // CAFA_SUPPORT_FORMAT_H

@@ -1,0 +1,138 @@
+//===- support/Ids.h - Strongly typed integer identifiers ------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed integer identifiers used throughout the CAFA libraries.
+///
+/// Every entity in a trace (task, event queue, heap object, memory cell,
+/// monitor, listener, method, ...) is referred to by a compact 32-bit id.
+/// Using distinct wrapper types prevents accidentally mixing id spaces,
+/// which is an easy bug to write in a trace analyzer where everything is
+/// ultimately "just an integer".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_IDS_H
+#define CAFA_SUPPORT_IDS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cafa {
+
+/// A strongly typed wrapper around a 32-bit index.
+///
+/// \tparam Tag an empty struct that distinguishes otherwise identical id
+/// types at compile time.  Ids are totally ordered and hashable so they can
+/// be used as container keys.  Value 0xFFFFFFFF is reserved as the invalid
+/// sentinel returned by \ref invalid().
+template <typename Tag> class StrongId {
+public:
+  using ValueType = uint32_t;
+
+  constexpr StrongId() : Value(InvalidValue) {}
+  constexpr explicit StrongId(ValueType V) : Value(V) {}
+
+  /// Returns the sentinel id that compares unequal to every valid id.
+  static constexpr StrongId invalid() { return StrongId(); }
+
+  /// Returns true if this id holds a real (non-sentinel) value.
+  constexpr bool isValid() const { return Value != InvalidValue; }
+
+  /// Returns the raw integer value; must only be called on valid ids when
+  /// indexing containers.
+  constexpr ValueType value() const { return Value; }
+
+  /// Returns the raw value usable as a vector index.
+  constexpr size_t index() const { return static_cast<size_t>(Value); }
+
+  friend constexpr bool operator==(StrongId A, StrongId B) {
+    return A.Value == B.Value;
+  }
+  friend constexpr bool operator!=(StrongId A, StrongId B) {
+    return A.Value != B.Value;
+  }
+  friend constexpr bool operator<(StrongId A, StrongId B) {
+    return A.Value < B.Value;
+  }
+  friend constexpr bool operator<=(StrongId A, StrongId B) {
+    return A.Value <= B.Value;
+  }
+  friend constexpr bool operator>(StrongId A, StrongId B) {
+    return A.Value > B.Value;
+  }
+  friend constexpr bool operator>=(StrongId A, StrongId B) {
+    return A.Value >= B.Value;
+  }
+
+private:
+  static constexpr ValueType InvalidValue = 0xFFFFFFFFu;
+  ValueType Value;
+};
+
+/// A task is a unit of logically concurrent execution: either a regular
+/// thread or a single event processed by a looper thread (Section 3.2 of
+/// the paper).
+using TaskId = StrongId<struct TaskIdTag>;
+
+/// A looper thread's event queue.  Exactly one looper drains each queue.
+using QueueId = StrongId<struct QueueIdTag>;
+
+/// A simulated OS-level thread (looper or regular).
+using ThreadId = StrongId<struct ThreadIdTag>;
+
+/// A simulated process; Binder IPC crosses process boundaries.
+using ProcessId = StrongId<struct ProcessIdTag>;
+
+/// A heap object allocated by the simulated VM.  Object id 0 is reserved
+/// for null, matching the Dalvik convention of null references.
+using ObjectId = StrongId<struct ObjectIdTag>;
+
+/// A class (type) in a mini-Dalvik module.
+using ClassId = StrongId<struct ClassIdTag>;
+
+/// A field slot declared by a class or as a static field.
+using FieldId = StrongId<struct FieldIdTag>;
+
+/// A memory cell: one (object, field) instance or one static field.  This
+/// is the granularity at which races are detected ("the address of the
+/// object pointer" in Section 5.3).
+using VarId = StrongId<struct VarIdTag>;
+
+/// A method in a mini-Dalvik module.
+using MethodId = StrongId<struct MethodIdTag>;
+
+/// An event-listener registration slot (Section 3.2 register/perform).
+using ListenerId = StrongId<struct ListenerIdTag>;
+
+/// A monitor used by wait/notify.
+using MonitorId = StrongId<struct MonitorIdTag>;
+
+/// A lock guarding critical sections (lockset analysis only; no HB edges).
+using LockId = StrongId<struct LockIdTag>;
+
+/// A pipe / Unix-domain-socket style message channel.
+using PipeId = StrongId<struct PipeIdTag>;
+
+/// A Binder RPC transaction id used to correlate IPC send/receive.
+using TransactionId = StrongId<struct TransactionIdTag>;
+
+/// A node in the happens-before graph.
+using NodeId = StrongId<struct NodeIdTag>;
+
+} // namespace cafa
+
+namespace std {
+template <typename Tag> struct hash<cafa::StrongId<Tag>> {
+  size_t operator()(cafa::StrongId<Tag> Id) const {
+    return std::hash<uint32_t>()(Id.value());
+  }
+};
+} // namespace std
+
+#endif // CAFA_SUPPORT_IDS_H

@@ -1,0 +1,96 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable PRNG used by the runtime simulator and the
+/// application models.
+///
+/// Reproducibility matters here: the evaluation harness must regenerate the
+/// same traces (and therefore the same race reports) on every run, so we do
+/// not use std::mt19937 whose distributions are not specified bit-exactly
+/// across standard libraries.  SplitMix64 seeds an xoshiro256** generator;
+/// both are tiny, fast, and fully specified.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_RNG_H
+#define CAFA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cafa {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+inline uint64_t splitMix64(uint64_t &State) {
+  State += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+/// A deterministic xoshiro256** generator.
+class Rng {
+public:
+  /// Seeds the generator.  Equal seeds yield identical sequences on every
+  /// platform.
+  explicit Rng(uint64_t Seed = 0x5EEDCAFAull) {
+    uint64_t SM = Seed;
+    for (uint64_t &Word : State)
+      Word = splitMix64(SM);
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound).  \p Bound must be nonzero.
+  /// Uses rejection sampling so the result is exactly uniform.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below() requires a nonzero bound");
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform integer in the closed interval [Lo, Hi].
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den != 0 && "chance() requires a nonzero denominator");
+    return below(Den) < Num;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace cafa
+
+#endif // CAFA_SUPPORT_RNG_H

@@ -1,0 +1,18 @@
+//===- support/Status.cpp - Lightweight error propagation ----------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cafa;
+
+void cafa::reportFatalError(const char *Message) {
+  std::fprintf(stderr, "cafa fatal error: %s\n", Message);
+  std::abort();
+}

@@ -1,0 +1,107 @@
+//===- support/Status.h - Lightweight error propagation --------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Status / Expected pair for recoverable errors.
+///
+/// The CAFA libraries do not use C++ exceptions.  Programmatic errors are
+/// asserted; recoverable errors (malformed trace files, bad options) are
+/// propagated with \ref Status or \ref Expected, in the spirit of LLVM's
+/// Error / Expected scheme but without the checked-flag machinery, which
+/// this project does not need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_STATUS_H
+#define CAFA_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace cafa {
+
+/// The result of an operation that can fail with a diagnostic message.
+class Status {
+public:
+  /// Creates a success value.
+  Status() = default;
+
+  /// Creates a failure carrying \p Message.  Messages follow the LLVM
+  /// diagnostic style: lowercase first word, no trailing period.
+  static Status error(std::string Message) {
+    Status S;
+    S.Failed = true;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  /// Creates an explicit success value (for symmetry with error()).
+  static Status success() { return Status(); }
+
+  /// Returns true on success.
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the diagnostic message; empty on success.
+  const std::string &message() const { return Message; }
+
+private:
+  bool Failed = false;
+  std::string Message;
+};
+
+/// Either a value of type \p T or a failure Status.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure from an error Status.
+  Expected(Status S) : Err(std::move(S)) {
+    assert(!Err.ok() && "Expected constructed from a success Status");
+  }
+
+  /// Returns true if a value is present.
+  bool ok() const { return Err.ok(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the contained value; must only be called when ok().
+  T &get() {
+    assert(ok() && "accessing value of failed Expected");
+    return Value;
+  }
+  const T &get() const {
+    assert(ok() && "accessing value of failed Expected");
+    return Value;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Returns the failure Status; success() when ok().
+  const Status &status() const { return Err; }
+
+  /// Moves the value out; must only be called when ok().
+  T take() {
+    assert(ok() && "taking value of failed Expected");
+    return std::move(Value);
+  }
+
+private:
+  T Value{};
+  Status Err;
+};
+
+/// Aborts the process with \p Message.  Used for invariant violations that
+/// must be reported even in builds with assertions disabled.
+[[noreturn]] void reportFatalError(const char *Message);
+
+} // namespace cafa
+
+#endif // CAFA_SUPPORT_STATUS_H

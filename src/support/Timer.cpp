@@ -1,0 +1,23 @@
+//===- support/Timer.cpp - Wall and CPU time measurement -----------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <ctime>
+
+using namespace cafa;
+
+static uint64_t readClock(clockid_t Clock) {
+  timespec Ts;
+  clock_gettime(Clock, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(Ts.tv_nsec);
+}
+
+uint64_t cafa::wallTimeNanos() { return readClock(CLOCK_MONOTONIC); }
+
+uint64_t cafa::cpuTimeNanos() { return readClock(CLOCK_PROCESS_CPUTIME_ID); }

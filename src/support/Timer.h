@@ -1,0 +1,57 @@
+//===- support/Timer.h - Wall and CPU time measurement ---------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timers used by the evaluation harness.  Figure 8 of the paper reports
+/// CPU-time slowdown of instrumented runs, so we expose both wall time and
+/// process CPU time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_TIMER_H
+#define CAFA_SUPPORT_TIMER_H
+
+#include <cstdint>
+
+namespace cafa {
+
+/// Returns monotonic wall-clock time in nanoseconds.
+uint64_t wallTimeNanos();
+
+/// Returns this process's consumed CPU time in nanoseconds.
+uint64_t cpuTimeNanos();
+
+/// Measures elapsed wall and CPU time between construction and query.
+class Timer {
+public:
+  Timer() { restart(); }
+
+  /// Resets the start point to now.
+  void restart() {
+    StartWall = wallTimeNanos();
+    StartCpu = cpuTimeNanos();
+  }
+
+  /// Returns wall nanoseconds since construction/restart.
+  uint64_t elapsedWallNanos() const { return wallTimeNanos() - StartWall; }
+
+  /// Returns CPU nanoseconds since construction/restart.
+  uint64_t elapsedCpuNanos() const { return cpuTimeNanos() - StartCpu; }
+
+  /// Returns wall milliseconds since construction/restart.
+  double elapsedWallMillis() const {
+    return static_cast<double>(elapsedWallNanos()) / 1e6;
+  }
+
+private:
+  uint64_t StartWall = 0;
+  uint64_t StartCpu = 0;
+};
+
+} // namespace cafa
+
+#endif // CAFA_SUPPORT_TIMER_H

@@ -1,0 +1,37 @@
+//===- trace/LoggerDevice.cpp - In-memory trace sink ----------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/LoggerDevice.h"
+
+#include "trace/TraceIO.h"
+
+using namespace cafa;
+
+namespace {
+/// Sink defeating dead-code elimination of the device-write model.
+volatile uint32_t DeviceWriteSink = 0;
+} // namespace
+
+void LoggerDevice::append(const TraceRecord &Rec) {
+  TraceData.append(Rec);
+  if (!MirrorToStream)
+    return;
+  std::string Line = serializeRecordLine(Rec);
+  // Model the JNI + kernel copy of the real logger device write.
+  uint32_t Checksum = DeviceWriteSink;
+  for (uint32_t Pass = 0; Pass != WritePasses; ++Pass)
+    for (char C : Line)
+      Checksum = Checksum * 131 + static_cast<uint32_t>(C);
+  DeviceWriteSink = Checksum;
+  Stream += Line;
+  Stream += '\n';
+  // Cap the mirror buffer so long runs do not exhaust memory; a real
+  // logger device drains to ADB or flash, so dropping old bytes models
+  // the drain without changing the per-record cost.
+  if (Stream.size() > (32u << 20))
+    Stream.clear();
+}

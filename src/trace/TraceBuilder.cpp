@@ -1,0 +1,167 @@
+//===- trace/TraceBuilder.cpp - Fluent construction of traces ----------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceBuilder.h"
+
+#include <cassert>
+
+using namespace cafa;
+
+QueueId TraceBuilder::addQueue(const std::string &Name) {
+  QueueInfo Info;
+  Info.Name = T.names().intern(Name);
+  return T.addQueue(Info);
+}
+
+TaskId TraceBuilder::addThread(const std::string &Name) {
+  TaskInfo Info;
+  Info.Kind = TaskKind::Thread;
+  Info.Name = T.names().intern(Name);
+  return T.addTask(Info);
+}
+
+TaskId TraceBuilder::addEvent(const std::string &Name, QueueId Queue,
+                              uint64_t DelayMs, bool AtFront,
+                              bool External) {
+  TaskInfo Info;
+  Info.Kind = TaskKind::Event;
+  Info.Name = T.names().intern(Name);
+  Info.Queue = Queue;
+  Info.DelayMs = DelayMs;
+  Info.SentAtFront = AtFront;
+  Info.External = External;
+  return T.addTask(Info);
+}
+
+MethodId TraceBuilder::addMethod(const std::string &Name,
+                                 uint32_t CodeSize) {
+  MethodInfo Info;
+  Info.Name = T.names().intern(Name);
+  Info.CodeSize = CodeSize;
+  return T.addMethod(Info);
+}
+
+ListenerId TraceBuilder::addListener(const std::string &Name,
+                                     bool Instrumented) {
+  ListenerInfo Info;
+  Info.Name = T.names().intern(Name);
+  Info.Instrumented = Instrumented;
+  return T.addListener(Info);
+}
+
+TraceBuilder &TraceBuilder::append(TaskId Task, OpKind Kind, uint64_t A0,
+                                   uint64_t A1, uint64_t A2,
+                                   MethodId Method, uint32_t Pc) {
+  assert(Task.isValid() && "record needs a task");
+  TraceRecord Rec;
+  Rec.Task = Task;
+  Rec.Kind = Kind;
+  Rec.Method = Method;
+  Rec.Pc = Pc;
+  Rec.Arg0 = A0;
+  Rec.Arg1 = A1;
+  Rec.Arg2 = A2;
+  Rec.Time = ++Clock;
+  T.append(Rec);
+  return *this;
+}
+
+uint32_t TraceBuilder::lastRecord() const {
+  assert(T.numRecords() > 0 && "no records appended yet");
+  return static_cast<uint32_t>(T.numRecords() - 1);
+}
+
+TraceBuilder &TraceBuilder::begin(TaskId Task) {
+  return append(Task, OpKind::TaskBegin);
+}
+TraceBuilder &TraceBuilder::end(TaskId Task) {
+  return append(Task, OpKind::TaskEnd);
+}
+TraceBuilder &TraceBuilder::send(TaskId Task, TaskId Event,
+                                 uint64_t DelayMs) {
+  const TaskInfo &Info = T.taskInfo(Event);
+  assert(Info.Kind == TaskKind::Event && "send target must be an event");
+  return append(Task, OpKind::Send, Event.value(), DelayMs,
+                Info.Queue.value());
+}
+TraceBuilder &TraceBuilder::sendAtFront(TaskId Task, TaskId Event) {
+  const TaskInfo &Info = T.taskInfo(Event);
+  assert(Info.Kind == TaskKind::Event && "send target must be an event");
+  return append(Task, OpKind::SendAtFront, Event.value(), 0,
+                Info.Queue.value());
+}
+TraceBuilder &TraceBuilder::fork(TaskId Task, TaskId Thread) {
+  return append(Task, OpKind::Fork, Thread.value());
+}
+TraceBuilder &TraceBuilder::join(TaskId Task, TaskId Thread) {
+  return append(Task, OpKind::Join, Thread.value());
+}
+TraceBuilder &TraceBuilder::wait(TaskId Task, uint32_t Monitor) {
+  return append(Task, OpKind::Wait, Monitor);
+}
+TraceBuilder &TraceBuilder::notify(TaskId Task, uint32_t Monitor) {
+  return append(Task, OpKind::Notify, Monitor);
+}
+TraceBuilder &TraceBuilder::registerListener(TaskId Task,
+                                             ListenerId Listener) {
+  return append(Task, OpKind::RegisterListener, Listener.value());
+}
+TraceBuilder &TraceBuilder::performListener(TaskId Task,
+                                            ListenerId Listener) {
+  return append(Task, OpKind::PerformListener, Listener.value());
+}
+TraceBuilder &TraceBuilder::lockAcquire(TaskId Task, uint32_t Lock) {
+  return append(Task, OpKind::LockAcquire, Lock);
+}
+TraceBuilder &TraceBuilder::lockRelease(TaskId Task, uint32_t Lock) {
+  return append(Task, OpKind::LockRelease, Lock);
+}
+TraceBuilder &TraceBuilder::ipcSend(TaskId Task, uint32_t Transaction) {
+  return append(Task, OpKind::IpcSend, Transaction);
+}
+TraceBuilder &TraceBuilder::ipcRecv(TaskId Task, uint32_t Transaction) {
+  return append(Task, OpKind::IpcRecv, Transaction);
+}
+TraceBuilder &TraceBuilder::read(TaskId Task, uint32_t Var,
+                                 uint64_t Value) {
+  return append(Task, OpKind::Read, Var, Value);
+}
+TraceBuilder &TraceBuilder::write(TaskId Task, uint32_t Var,
+                                  uint64_t Value) {
+  return append(Task, OpKind::Write, Var, Value);
+}
+TraceBuilder &TraceBuilder::ptrRead(TaskId Task, uint32_t Var,
+                                    uint32_t Object, MethodId Method,
+                                    uint32_t Pc) {
+  return append(Task, OpKind::PtrRead, Var, Object, 0, Method, Pc);
+}
+TraceBuilder &TraceBuilder::ptrWrite(TaskId Task, uint32_t Var,
+                                     uint32_t Object, MethodId Method,
+                                     uint32_t Pc) {
+  return append(Task, OpKind::PtrWrite, Var, Object, 0, Method, Pc);
+}
+TraceBuilder &TraceBuilder::deref(TaskId Task, uint32_t Object,
+                                  DerefKind Kind, MethodId Method,
+                                  uint32_t Pc) {
+  return append(Task, OpKind::Deref, Object,
+                static_cast<uint64_t>(Kind), 0, Method, Pc);
+}
+TraceBuilder &TraceBuilder::branch(TaskId Task, BranchKind Kind,
+                                   uint32_t Object, MethodId Method,
+                                   uint32_t Pc, uint32_t TargetPc) {
+  return append(Task, OpKind::Branch, static_cast<uint64_t>(Kind), Object,
+                TargetPc, Method, Pc);
+}
+TraceBuilder &TraceBuilder::methodEnter(TaskId Task, MethodId Method,
+                                        uint64_t Frame) {
+  return append(Task, OpKind::MethodEnter, Frame, 0, 0, Method);
+}
+TraceBuilder &TraceBuilder::methodExit(TaskId Task, MethodId Method,
+                                       uint64_t Frame, bool ByThrow) {
+  return append(Task, OpKind::MethodExit, Frame, ByThrow ? 1 : 0, 0,
+                Method);
+}

@@ -1,0 +1,297 @@
+//===- trace/TraceIO.cpp - Trace text serialization -----------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include "support/Format.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace cafa;
+
+static const char *const MagicLine = "cafa-trace v1";
+
+// Names may contain spaces in principle; we escape spaces and backslashes
+// so each header line stays whitespace-separated.
+static std::string escapeName(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == ' ') {
+      Out += "\\s";
+    } else if (C == '\\') {
+      Out += "\\\\";
+    } else {
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+static std::string unescapeName(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (size_t I = 0; I != S.size(); ++I) {
+    if (S[I] == '\\' && I + 1 < S.size()) {
+      ++I;
+      Out.push_back(S[I] == 's' ? ' ' : S[I]);
+      continue;
+    }
+    Out.push_back(S[I]);
+  }
+  return Out;
+}
+
+template <typename IdT> static uint32_t idOrSentinel(IdT Id) {
+  return Id.isValid() ? Id.value() : 0xFFFFFFFFu;
+}
+
+std::string cafa::serializeRecordLine(const TraceRecord &Rec) {
+  return formatString(
+      "rec %u %s %u %u %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64,
+      Rec.Task.value(), opKindName(Rec.Kind), idOrSentinel(Rec.Method),
+      Rec.Pc, Rec.Arg0, Rec.Arg1, Rec.Arg2, Rec.Time);
+}
+
+std::string cafa::serializeTrace(const Trace &T) {
+  std::ostringstream OS;
+  OS << MagicLine << '\n';
+
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numMethods()); I != E;
+       ++I) {
+    const MethodInfo &M = T.methodInfo(MethodId(I));
+    OS << "method " << I << ' '
+       << escapeName(M.Name.isValid() ? T.names().str(M.Name) : "-") << ' '
+       << M.CodeSize << '\n';
+  }
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numQueues()); I != E;
+       ++I) {
+    const QueueInfo &Q = T.queueInfo(QueueId(I));
+    OS << "queue " << I << ' '
+       << escapeName(Q.Name.isValid() ? T.names().str(Q.Name) : "-") << ' '
+       << idOrSentinel(Q.Looper) << '\n';
+  }
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numListeners()); I != E;
+       ++I) {
+    const ListenerInfo &L = T.listenerInfo(ListenerId(I));
+    OS << "listener " << I << ' '
+       << escapeName(L.Name.isValid() ? T.names().str(L.Name) : "-") << ' '
+       << (L.Instrumented ? 1 : 0) << '\n';
+  }
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numTasks()); I != E;
+       ++I) {
+    const TaskInfo &Info = T.taskInfo(TaskId(I));
+    OS << "task " << I << ' '
+       << (Info.Kind == TaskKind::Thread ? "thread" : "event") << ' '
+       << escapeName(Info.Name.isValid() ? T.names().str(Info.Name) : "-")
+       << ' ' << idOrSentinel(Info.Process) << ' '
+       << idOrSentinel(Info.Queue) << ' ' << idOrSentinel(Info.Handler)
+       << ' ' << Info.DelayMs << ' ' << (Info.SentAtFront ? 1 : 0) << ' '
+       << (Info.External ? 1 : 0) << ' ' << idOrSentinel(Info.Parent) << ' '
+       << (Info.IsLooper ? 1 : 0) << '\n';
+  }
+  for (const TraceRecord &Rec : T.records())
+    OS << serializeRecordLine(Rec) << '\n';
+  return OS.str();
+}
+
+namespace {
+
+/// Splits one line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::istringstream IS(Line);
+  std::string Tok;
+  while (IS >> Tok)
+    Tokens.push_back(Tok);
+  return Tokens;
+}
+
+bool parseU32(const std::string &S, uint32_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (End == S.c_str() || *End != '\0' || V > 0xFFFFFFFFull)
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
+bool parseU64(const std::string &S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return End != S.c_str() && *End == '\0';
+}
+
+template <typename IdT> IdT idFromRaw(uint32_t Raw) {
+  return Raw == 0xFFFFFFFFu ? IdT::invalid() : IdT(Raw);
+}
+
+Status lineError(size_t LineNo, const char *What) {
+  return Status::error(
+      formatString("trace line %zu: %s", LineNo, What));
+}
+
+} // namespace
+
+Status cafa::parseTrace(const std::string &Text, Trace &Out) {
+  Out = Trace();
+  std::istringstream IS(Text);
+  std::string Line;
+  size_t LineNo = 0;
+
+  if (!std::getline(IS, Line) || Line != MagicLine)
+    return Status::error("missing or unrecognized trace header; expected "
+                         "'cafa-trace v1'");
+  ++LineNo;
+
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::vector<std::string> Tok = tokenize(Line);
+    if (Tok.empty())
+      continue;
+
+    if (Tok[0] == "method") {
+      if (Tok.size() != 4)
+        return lineError(LineNo, "malformed method line");
+      uint32_t Id, CodeSize;
+      if (!parseU32(Tok[1], Id) || !parseU32(Tok[3], CodeSize))
+        return lineError(LineNo, "bad number in method line");
+      MethodInfo Info;
+      if (Tok[2] != "-")
+        Info.Name = Out.names().intern(unescapeName(Tok[2]));
+      Info.CodeSize = CodeSize;
+      MethodId Got = Out.addMethod(Info);
+      if (Got.value() != Id)
+        return lineError(LineNo, "method ids must be dense and in order");
+      continue;
+    }
+
+    if (Tok[0] == "queue") {
+      if (Tok.size() != 4)
+        return lineError(LineNo, "malformed queue line");
+      uint32_t Id, Looper;
+      if (!parseU32(Tok[1], Id) || !parseU32(Tok[3], Looper))
+        return lineError(LineNo, "bad number in queue line");
+      QueueInfo Info;
+      if (Tok[2] != "-")
+        Info.Name = Out.names().intern(unescapeName(Tok[2]));
+      Info.Looper = idFromRaw<TaskId>(Looper);
+      QueueId Got = Out.addQueue(Info);
+      if (Got.value() != Id)
+        return lineError(LineNo, "queue ids must be dense and in order");
+      continue;
+    }
+
+    if (Tok[0] == "listener") {
+      if (Tok.size() != 4)
+        return lineError(LineNo, "malformed listener line");
+      uint32_t Id, Instr;
+      if (!parseU32(Tok[1], Id) || !parseU32(Tok[3], Instr))
+        return lineError(LineNo, "bad number in listener line");
+      ListenerInfo Info;
+      if (Tok[2] != "-")
+        Info.Name = Out.names().intern(unescapeName(Tok[2]));
+      Info.Instrumented = Instr != 0;
+      ListenerId Got = Out.addListener(Info);
+      if (Got.value() != Id)
+        return lineError(LineNo, "listener ids must be dense and in order");
+      continue;
+    }
+
+    if (Tok[0] == "task") {
+      if (Tok.size() != 12)
+        return lineError(LineNo, "malformed task line");
+      uint32_t Id, Process, Queue, Handler, Front, External, Parent, Looper;
+      uint64_t DelayMs;
+      if (!parseU32(Tok[1], Id) || !parseU32(Tok[4], Process) ||
+          !parseU32(Tok[5], Queue) || !parseU32(Tok[6], Handler) ||
+          !parseU64(Tok[7], DelayMs) || !parseU32(Tok[8], Front) ||
+          !parseU32(Tok[9], External) || !parseU32(Tok[10], Parent) ||
+          !parseU32(Tok[11], Looper))
+        return lineError(LineNo, "bad number in task line");
+      TaskInfo Info;
+      if (Tok[2] == "thread") {
+        Info.Kind = TaskKind::Thread;
+      } else if (Tok[2] == "event") {
+        Info.Kind = TaskKind::Event;
+      } else {
+        return lineError(LineNo, "task kind must be 'thread' or 'event'");
+      }
+      if (Tok[3] != "-")
+        Info.Name = Out.names().intern(unescapeName(Tok[3]));
+      Info.Process = idFromRaw<ProcessId>(Process);
+      Info.Queue = idFromRaw<QueueId>(Queue);
+      Info.Handler = idFromRaw<MethodId>(Handler);
+      Info.DelayMs = DelayMs;
+      Info.SentAtFront = Front != 0;
+      Info.External = External != 0;
+      Info.Parent = idFromRaw<TaskId>(Parent);
+      Info.IsLooper = Looper != 0;
+      TaskId Got = Out.addTask(Info);
+      if (Got.value() != Id)
+        return lineError(LineNo, "task ids must be dense and in order");
+      continue;
+    }
+
+    if (Tok[0] == "rec") {
+      if (Tok.size() != 9)
+        return lineError(LineNo, "malformed rec line");
+      uint32_t Task, Method, Pc;
+      uint64_t A0, A1, A2, Time;
+      OpKind Kind;
+      if (!parseU32(Tok[1], Task) || !opKindFromName(Tok[2].c_str(), Kind) ||
+          !parseU32(Tok[3], Method) || !parseU32(Tok[4], Pc) ||
+          !parseU64(Tok[5], A0) || !parseU64(Tok[6], A1) ||
+          !parseU64(Tok[7], A2) || !parseU64(Tok[8], Time))
+        return lineError(LineNo, "bad field in rec line");
+      if (Task >= Out.numTasks())
+        return lineError(LineNo, "rec references an undeclared task");
+      TraceRecord Rec;
+      Rec.Task = TaskId(Task);
+      Rec.Kind = Kind;
+      Rec.Method = idFromRaw<MethodId>(Method);
+      Rec.Pc = Pc;
+      Rec.Arg0 = A0;
+      Rec.Arg1 = A1;
+      Rec.Arg2 = A2;
+      Rec.Time = Time;
+      Out.append(Rec);
+      continue;
+    }
+
+    return lineError(LineNo, "unknown directive");
+  }
+  return Status::success();
+}
+
+Status cafa::writeTraceFile(const Trace &T, const std::string &Path) {
+  std::ofstream OS(Path, std::ios::binary);
+  if (!OS)
+    return Status::error(formatString("cannot open '%s' for writing",
+                                      Path.c_str()));
+  std::string Text = serializeTrace(T);
+  OS.write(Text.data(), static_cast<std::streamsize>(Text.size()));
+  if (!OS)
+    return Status::error(formatString("write to '%s' failed", Path.c_str()));
+  return Status::success();
+}
+
+Status cafa::readTraceFile(const std::string &Path, Trace &Out) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS)
+    return Status::error(formatString("cannot open '%s' for reading",
+                                      Path.c_str()));
+  std::ostringstream Buffer;
+  Buffer << IS.rdbuf();
+  return parseTrace(Buffer.str(), Out);
+}

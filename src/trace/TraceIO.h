@@ -1,0 +1,47 @@
+//===- trace/TraceIO.h - Trace text serialization --------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned line-oriented text serialization of traces.  This plays the
+/// role of the paper's logger-device stream read over ADB: the customized
+/// runtime writes it during execution, the offline analyzer parses it
+/// back.  The format is deliberately simple (one record per line) so that
+/// traces can be inspected and diffed by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_TRACE_TRACEIO_H
+#define CAFA_TRACE_TRACEIO_H
+
+#include "support/Status.h"
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace cafa {
+
+/// Serializes \p T into the v1 text format.
+std::string serializeTrace(const Trace &T);
+
+/// Serializes one record as a single line (no trailing newline).  Exposed
+/// separately because the logging tracer streams records incrementally.
+std::string serializeRecordLine(const TraceRecord &Rec);
+
+/// Parses text produced by serializeTrace().  On success *Out is
+/// replaced; on failure *Out is unspecified and the Status describes the
+/// first offending line.
+Status parseTrace(const std::string &Text, Trace &Out);
+
+/// Writes the serialized trace to \p Path.
+Status writeTraceFile(const Trace &T, const std::string &Path);
+
+/// Reads and parses a trace from \p Path.
+Status readTraceFile(const std::string &Path, Trace &Out);
+
+} // namespace cafa
+
+#endif // CAFA_TRACE_TRACEIO_H

@@ -1,0 +1,40 @@
+//===- trace/TraceRecordNames.cpp - OpKind mnemonics ----------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceRecord.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace cafa;
+
+static const char *const KindNames[] = {
+    "begin",     "end",      "rd",       "wr",       "fork",
+    "join",      "wait",     "notify",   "send",     "sendatfront",
+    "register",  "perform",  "lock",     "unlock",   "ipcsend",
+    "ipcrecv",   "ptrread",  "ptrwrite", "deref",    "branch",
+    "methenter", "methexit",
+};
+
+static_assert(sizeof(KindNames) / sizeof(KindNames[0]) == NumOpKinds,
+              "KindNames must cover every OpKind");
+
+const char *cafa::opKindName(OpKind Kind) {
+  unsigned Index = static_cast<unsigned>(Kind);
+  assert(Index < NumOpKinds && "invalid OpKind");
+  return KindNames[Index];
+}
+
+bool cafa::opKindFromName(const char *Name, OpKind &KindOut) {
+  for (unsigned I = 0; I != NumOpKinds; ++I) {
+    if (std::strcmp(Name, KindNames[I]) == 0) {
+      KindOut = static_cast<OpKind>(I);
+      return true;
+    }
+  }
+  return false;
+}

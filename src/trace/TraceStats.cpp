@@ -1,0 +1,68 @@
+//===- trace/TraceStats.cpp - Summary statistics for a trace --------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceStats.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace cafa;
+
+TraceStats cafa::computeTraceStats(const Trace &T) {
+  TraceStats Stats;
+  Stats.NumRecords = T.numRecords();
+  Stats.EventsPerQueue.assign(T.numQueues(), 0);
+
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numTasks()); I != E;
+       ++I) {
+    const TaskInfo &Info = T.taskInfo(TaskId(I));
+    if (Info.Kind == TaskKind::Event) {
+      ++Stats.NumEvents;
+      if (Info.External)
+        ++Stats.NumExternalEvents;
+      if (Info.SentAtFront)
+        ++Stats.NumFrontEvents;
+      if (Info.Queue.isValid() &&
+          Info.Queue.index() < Stats.EventsPerQueue.size())
+        ++Stats.EventsPerQueue[Info.Queue.index()];
+    } else {
+      ++Stats.NumThreads;
+    }
+  }
+
+  for (const TraceRecord &Rec : T.records()) {
+    ++Stats.KindCounts[static_cast<unsigned>(Rec.Kind)];
+    if (Rec.isFree())
+      ++Stats.NumFrees;
+    if (Rec.isAllocation())
+      ++Stats.NumAllocations;
+    Stats.EndTime = std::max(Stats.EndTime, Rec.Time);
+  }
+  return Stats;
+}
+
+std::string cafa::renderTraceStats(const TraceStats &Stats) {
+  std::ostringstream OS;
+  OS << "records: " << withThousandsSep(Stats.NumRecords)
+     << "  events: " << withThousandsSep(Stats.NumEvents)
+     << "  threads: " << Stats.NumThreads
+     << "  external: " << Stats.NumExternalEvents
+     << "  at-front: " << Stats.NumFrontEvents
+     << "  frees: " << Stats.NumFrees
+     << "  allocs: " << Stats.NumAllocations << '\n';
+  OS << "per-kind:";
+  for (unsigned I = 0; I != NumOpKinds; ++I) {
+    if (Stats.KindCounts[I] == 0)
+      continue;
+    OS << ' ' << opKindName(static_cast<OpKind>(I)) << '='
+       << Stats.KindCounts[I];
+  }
+  OS << '\n';
+  return OS.str();
+}

@@ -1,0 +1,58 @@
+//===- trace/TraceStats.h - Summary statistics for a trace -----*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics over a trace (counts per operation kind, event and
+/// thread totals, queue sizes).  The evaluation harness uses these for the
+/// "Events" column of Table 1 and for scaling plots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_TRACE_TRACESTATS_H
+#define CAFA_TRACE_TRACESTATS_H
+
+#include "trace/Trace.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace cafa {
+
+/// Aggregated counts over one trace.
+struct TraceStats {
+  /// Record count per OpKind.
+  std::array<uint64_t, NumOpKinds> KindCounts{};
+  /// Total records.
+  uint64_t NumRecords = 0;
+  /// Tasks of kind Event.
+  uint64_t NumEvents = 0;
+  /// Tasks of kind Thread.
+  uint64_t NumThreads = 0;
+  /// Events marked external.
+  uint64_t NumExternalEvents = 0;
+  /// Events enqueued with sendAtFront.
+  uint64_t NumFrontEvents = 0;
+  /// Events per queue, indexed by queue id.
+  std::vector<uint64_t> EventsPerQueue;
+  /// Frees (null pointer writes).
+  uint64_t NumFrees = 0;
+  /// Allocations (non-null pointer writes).
+  uint64_t NumAllocations = 0;
+  /// Simulated end time of the trace.
+  uint64_t EndTime = 0;
+};
+
+/// Computes statistics for \p T in one pass.
+TraceStats computeTraceStats(const Trace &T);
+
+/// Renders \p Stats as a human-readable multi-line summary.
+std::string renderTraceStats(const TraceStats &Stats);
+
+} // namespace cafa
+
+#endif // CAFA_TRACE_TRACESTATS_H

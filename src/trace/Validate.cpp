@@ -1,0 +1,167 @@
+//===- trace/Validate.cpp - Trace well-formedness checking ----------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Validate.h"
+
+#include "support/Format.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace cafa;
+
+namespace {
+
+/// Per-task running state used during the single validation pass.
+struct TaskState {
+  bool Begun = false;
+  bool Ended = false;
+  std::vector<uint64_t> LockStack;
+  std::vector<uint64_t> FrameStack;
+};
+
+Status recError(uint32_t Index, const TraceRecord &Rec, const Trace &T,
+                const char *What) {
+  return Status::error(formatString(
+      "record %u (%s in task '%s'): %s", Index, opKindName(Rec.Kind),
+      T.taskName(Rec.Task).c_str(), What));
+}
+
+} // namespace
+
+Status cafa::validateTrace(const Trace &T) {
+  std::vector<TaskState> States(T.numTasks());
+  // For each event task: index of the send record naming it, if any.
+  std::vector<bool> EventSent(T.numTasks(), false);
+  // Currently active event per queue (looper atomicity check).
+  std::vector<TaskId> ActiveEvent(T.numQueues(), TaskId::invalid());
+  std::unordered_set<uint64_t> SeenFrameIds;
+  uint64_t LastTime = 0;
+
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numRecords()); I != E;
+       ++I) {
+    const TraceRecord &Rec = T.record(I);
+    if (Rec.Task.index() >= T.numTasks())
+      return Status::error(
+          formatString("record %u references unknown task", I));
+    const TaskInfo &Info = T.taskInfo(Rec.Task);
+    TaskState &State = States[Rec.Task.index()];
+
+    if (Rec.Time < LastTime)
+      return recError(I, Rec, T, "timestamps must be nondecreasing");
+    LastTime = Rec.Time;
+
+    if (Rec.Kind == OpKind::TaskBegin) {
+      if (State.Begun)
+        return recError(I, Rec, T, "duplicate begin");
+      State.Begun = true;
+      if (Info.Kind == TaskKind::Event) {
+        if (!Info.External && !EventSent[Rec.Task.index()])
+          return recError(I, Rec, T,
+                          "non-external event begins before being sent");
+        if (!Info.Queue.isValid() || Info.Queue.index() >= T.numQueues())
+          return recError(I, Rec, T, "event has no valid queue");
+        TaskId &Active = ActiveEvent[Info.Queue.index()];
+        if (Active.isValid())
+          return recError(I, Rec, T,
+                          "events on one queue must not interleave");
+        Active = Rec.Task;
+      }
+      continue;
+    }
+
+    if (!State.Begun)
+      return recError(I, Rec, T, "operation before task begin");
+    if (State.Ended)
+      return recError(I, Rec, T, "operation after task end");
+
+    switch (Rec.Kind) {
+    case OpKind::TaskEnd: {
+      State.Ended = true;
+      if (!State.LockStack.empty())
+        return recError(I, Rec, T, "task ends holding a lock");
+      if (!State.FrameStack.empty())
+        return recError(I, Rec, T, "task ends inside a method frame");
+      if (Info.Kind == TaskKind::Event) {
+        TaskId &Active = ActiveEvent[Info.Queue.index()];
+        if (Active != Rec.Task)
+          return recError(I, Rec, T, "event end does not match active event");
+        Active = TaskId::invalid();
+      }
+      break;
+    }
+    case OpKind::Send:
+    case OpKind::SendAtFront: {
+      TaskId Target = Rec.targetTask();
+      if (Target.index() >= T.numTasks())
+        return recError(I, Rec, T, "send references unknown event");
+      const TaskInfo &TargetInfo = T.taskInfo(Target);
+      if (TargetInfo.Kind != TaskKind::Event)
+        return recError(I, Rec, T, "send target is not an event");
+      if (EventSent[Target.index()])
+        return recError(I, Rec, T, "event sent twice");
+      if (States[Target.index()].Begun)
+        return recError(I, Rec, T, "event sent after it began");
+      if (TargetInfo.Queue != Rec.queue())
+        return recError(I, Rec, T, "send queue disagrees with task table");
+      EventSent[Target.index()] = true;
+      break;
+    }
+    case OpKind::Fork: {
+      TaskId Target = Rec.targetTask();
+      if (Target.index() >= T.numTasks() ||
+          T.taskInfo(Target).Kind != TaskKind::Thread)
+        return recError(I, Rec, T, "fork target is not a thread");
+      break;
+    }
+    case OpKind::Join: {
+      TaskId Target = Rec.targetTask();
+      if (Target.index() >= T.numTasks() ||
+          T.taskInfo(Target).Kind != TaskKind::Thread)
+        return recError(I, Rec, T, "join target is not a thread");
+      if (!States[Target.index()].Ended)
+        return recError(I, Rec, T, "join of a thread that has not ended");
+      break;
+    }
+    case OpKind::LockAcquire:
+      State.LockStack.push_back(Rec.Arg0);
+      break;
+    case OpKind::LockRelease:
+      if (State.LockStack.empty() || State.LockStack.back() != Rec.Arg0)
+        return recError(I, Rec, T, "unbalanced lock release");
+      State.LockStack.pop_back();
+      break;
+    case OpKind::MethodEnter:
+      if (!SeenFrameIds.insert(Rec.frameId()).second)
+        return recError(I, Rec, T, "frame id reused");
+      State.FrameStack.push_back(Rec.frameId());
+      break;
+    case OpKind::MethodExit:
+      if (State.FrameStack.empty() ||
+          State.FrameStack.back() != Rec.frameId())
+        return recError(I, Rec, T, "unbalanced method exit");
+      State.FrameStack.pop_back();
+      break;
+    case OpKind::RegisterListener:
+    case OpKind::PerformListener:
+      if (Rec.listener().index() >= T.numListeners())
+        return recError(I, Rec, T, "unknown listener");
+      break;
+    default:
+      break;
+    }
+  }
+
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numTasks()); I != E;
+       ++I) {
+    // Tasks may legitimately still be live at trace cutoff (the paper
+    // stops tracing after 10-30 seconds of interaction), so an unended
+    // task is fine; an un-begun task with records was already rejected.
+    (void)I;
+  }
+  return Status::success();
+}

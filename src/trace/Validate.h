@@ -1,0 +1,41 @@
+//===- trace/Validate.h - Trace well-formedness checking -------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation of traces before analysis.  The happens-before
+/// builder assumes several invariants (begin/end bracketing, events sent
+/// before they begin, serialized events per looper, balanced frames and
+/// locks); validating them up front turns silent analyzer corruption into
+/// clear diagnostics, which matters when traces come from files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_TRACE_VALIDATE_H
+#define CAFA_TRACE_VALIDATE_H
+
+#include "support/Status.h"
+#include "trace/Trace.h"
+
+namespace cafa {
+
+/// Checks all trace invariants; returns the first violation found.
+///
+/// Invariants checked:
+///  - every task with records starts with TaskBegin and, if ended, ends
+///    with TaskEnd; no records outside the begin/end bracket;
+///  - timestamps are nondecreasing along the record stream;
+///  - every non-external event's begin is preceded by exactly one
+///    send/sendAtFront naming it, on the queue the task table declares;
+///  - events on the same queue never interleave (looper atomicity);
+///  - fork/join reference thread tasks; a joined thread has ended;
+///  - lock acquire/release and method enter/exit are properly nested per
+///    task, and frame ids are unique per invocation.
+Status validateTrace(const Trace &T);
+
+} // namespace cafa
+
+#endif // CAFA_TRACE_VALIDATE_H

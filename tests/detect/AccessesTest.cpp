@@ -1,0 +1,212 @@
+//===- tests/detect/AccessesTest.cpp ------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Accesses.h"
+
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+TEST(AccessesTest, UseRecognizedViaNearestPreviousRead) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.ptrRead(T1, /*Var=*/5, /*Object=*/9, M, /*Pc=*/3);
+  uint32_t Read = TB.lastRecord();
+  TB.deref(T1, 9, DerefKind::Invoke, M, 4);
+  uint32_t Deref = TB.lastRecord();
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  ASSERT_EQ(Db.Uses.size(), 1u);
+  EXPECT_EQ(Db.Uses[0].Record, Read);
+  EXPECT_EQ(Db.Uses[0].DerefRecord, Deref);
+  EXPECT_EQ(Db.Uses[0].Var, VarId(5));
+  EXPECT_EQ(Db.Uses[0].Pc, 3u);
+  EXPECT_EQ(Db.UnmatchedDerefs, 0u);
+}
+
+TEST(AccessesTest, MismatchAttributesDerefToNearestRead) {
+  // Two reads of different vars produce the same object; the dereference
+  // is attributed to the *second* (nearest) read -- the Type III source.
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.ptrRead(T1, /*Var=*/1, /*Object=*/9, M, 0);
+  TB.ptrRead(T1, /*Var=*/2, /*Object=*/9, M, 1);
+  uint32_t SecondRead = TB.lastRecord();
+  TB.deref(T1, 9, DerefKind::Invoke, M, 2);
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  ASSERT_EQ(Db.Uses.size(), 1u);
+  EXPECT_EQ(Db.Uses[0].Record, SecondRead);
+  EXPECT_EQ(Db.Uses[0].Var, VarId(2));
+  // The shadowed first read counts as unmatched.
+  EXPECT_EQ(Db.UnmatchedReads, 1u);
+}
+
+TEST(AccessesTest, ReadWithoutDerefIsNotAUse) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.ptrRead(T1, 5, 9, M, 0);
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  EXPECT_TRUE(Db.Uses.empty());
+  EXPECT_EQ(Db.UnmatchedReads, 1u);
+}
+
+TEST(AccessesTest, DerefWithoutReadIsUnmatched) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.deref(T1, 9, DerefKind::FieldAccess, M, 0);
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  EXPECT_TRUE(Db.Uses.empty());
+  EXPECT_EQ(Db.UnmatchedDerefs, 1u);
+}
+
+TEST(AccessesTest, ReadsDoNotMatchAcrossTasks) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t1");
+  TaskId T2 = TB.addThread("t2");
+  TB.begin(T1).begin(T2);
+  TB.ptrRead(T1, 5, 9, M, 0);
+  TB.deref(T2, 9, DerefKind::Invoke, M, 1); // other task
+  TB.end(T1).end(T2);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  EXPECT_TRUE(Db.Uses.empty());
+  EXPECT_EQ(Db.UnmatchedDerefs, 1u);
+}
+
+TEST(AccessesTest, NullReadsAreIgnored) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.ptrRead(T1, 5, /*Object=*/0, M, 0); // read null
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  EXPECT_TRUE(Db.Uses.empty());
+  EXPECT_EQ(Db.UnmatchedReads, 0u);
+}
+
+TEST(AccessesTest, FreesAndAllocationsSplitByValue) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.ptrWrite(T1, 5, 0, M, 0); // free
+  TB.ptrWrite(T1, 5, 7, M, 1); // allocation
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  ASSERT_EQ(Db.Frees.size(), 1u);
+  ASSERT_EQ(Db.Allocs.size(), 1u);
+  EXPECT_EQ(Db.Frees[0].Pc, 0u);
+  EXPECT_EQ(Db.Allocs[0].Pc, 1u);
+}
+
+TEST(AccessesTest, FrameAnnotationFollowsMethodStack) {
+  TraceBuilder TB;
+  MethodId Outer = TB.addMethod("outer", 32);
+  MethodId Inner = TB.addMethod("inner", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.methodEnter(T1, Outer, 100);
+  TB.ptrRead(T1, 1, 9, Outer, 0);
+  TB.deref(T1, 9, DerefKind::Invoke, Outer, 1);
+  TB.methodEnter(T1, Inner, 101);
+  TB.ptrRead(T1, 2, 8, Inner, 0);
+  TB.deref(T1, 8, DerefKind::Invoke, Inner, 1);
+  TB.methodExit(T1, Inner, 101);
+  TB.methodExit(T1, Outer, 100);
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  ASSERT_EQ(Db.Uses.size(), 2u);
+  EXPECT_EQ(Db.Uses[0].Frame, 100u);
+  EXPECT_EQ(Db.Uses[1].Frame, 101u);
+}
+
+TEST(AccessesTest, LocksetCapturedAtAccess) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.lockAcquire(T1, 3);
+  TB.lockAcquire(T1, 1);
+  TB.ptrWrite(T1, 5, 0, M, 0);
+  TB.lockRelease(T1, 1);
+  TB.ptrWrite(T1, 6, 0, M, 1);
+  TB.lockRelease(T1, 3);
+  TB.ptrWrite(T1, 7, 0, M, 2);
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  ASSERT_EQ(Db.Frees.size(), 3u);
+  EXPECT_EQ(Db.Frees[0].Lockset, (std::vector<uint32_t>{1, 3})); // sorted
+  EXPECT_EQ(Db.Frees[1].Lockset, (std::vector<uint32_t>{3}));
+  EXPECT_TRUE(Db.Frees[2].Lockset.empty());
+}
+
+TEST(AccessesTest, BranchMatchedToPointerVar) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.ptrRead(T1, 5, 9, M, 0);
+  TB.branch(T1, BranchKind::IfEqz, 9, M, 1, 6);
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  ASSERT_EQ(Db.Branches.size(), 1u);
+  EXPECT_EQ(Db.Branches[0].Var, VarId(5));
+  EXPECT_EQ(Db.Branches[0].Kind, BranchKind::IfEqz);
+  EXPECT_EQ(Db.Branches[0].TargetPc, 6u);
+}
+
+TEST(AccessesTest, BranchWithUnknownObjectHasNoVar) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 32);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.branch(T1, BranchKind::IfNez, 9, M, 1, 6); // no prior read of 9
+  TB.end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  ASSERT_EQ(Db.Branches.size(), 1u);
+  EXPECT_FALSE(Db.Branches[0].Var.isValid());
+}
+
+} // namespace

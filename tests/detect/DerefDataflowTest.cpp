@@ -1,0 +1,249 @@
+//===- tests/detect/DerefDataflowTest.cpp -------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The Section 6.3 extension: static reaching-load analysis, and its
+// effect on Type III false positives end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/DerefDataflow.h"
+
+#include "apps/AppKit.h"
+#include "apps/Apps.h"
+#include "cafa/Cafa.h"
+#include "ir/IrBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+using namespace cafa::apps;
+
+namespace {
+
+TEST(DerefDataflowTest, StraightLineResolves) {
+  Module M;
+  FieldId F = M.addStaticField("f", true);
+  IrBuilder B(M);
+  B.beginMethod("callee", 1);
+  MethodId Callee = B.endMethod();
+  B.beginMethod("m", 2);
+  uint32_t LoadPc = B.nextPc();
+  B.sgetObject(1, F); // pc 0
+  uint32_t SitePc = B.nextPc();
+  B.invokeVirtual(1, Callee); // pc 1
+  MethodId M1 = B.endMethod();
+
+  DerefResolver R(M);
+  EXPECT_EQ(R.loadFor(M1, SitePc), static_cast<int64_t>(LoadPc));
+  EXPECT_GE(R.resolvedSites(), 1u);
+}
+
+TEST(DerefDataflowTest, MovePropagatesTheLoad) {
+  Module M;
+  FieldId F = M.addStaticField("f", true);
+  IrBuilder B(M);
+  B.beginMethod("callee", 1);
+  MethodId Callee = B.endMethod();
+  B.beginMethod("m", 3);
+  uint32_t LoadPc = B.nextPc();
+  B.sgetObject(1, F);
+  B.move(2, 1);
+  uint32_t SitePc = B.nextPc();
+  B.invokeVirtual(2, Callee);
+  MethodId M1 = B.endMethod();
+  DerefResolver R(M);
+  EXPECT_EQ(R.loadFor(M1, SitePc), static_cast<int64_t>(LoadPc));
+}
+
+TEST(DerefDataflowTest, SecondLoadShadowsFirst) {
+  Module M;
+  FieldId F = M.addStaticField("f", true);
+  FieldId G = M.addStaticField("g", true);
+  IrBuilder B(M);
+  B.beginMethod("callee", 1);
+  MethodId Callee = B.endMethod();
+  B.beginMethod("m", 2);
+  B.sgetObject(1, F); // pc 0
+  uint32_t SecondLoad = B.nextPc();
+  B.sgetObject(1, G); // pc 1: overwrites v1
+  uint32_t SitePc = B.nextPc();
+  B.invokeVirtual(1, Callee);
+  MethodId M1 = B.endMethod();
+  DerefResolver R(M);
+  EXPECT_EQ(R.loadFor(M1, SitePc), static_cast<int64_t>(SecondLoad));
+}
+
+TEST(DerefDataflowTest, AliasedRegistersResolveIndependently) {
+  // The Type III shape: v1 = f; v2 = g; deref v1 -- statically the
+  // deref is f's load even though both fields hold the same object at
+  // runtime.
+  Module M;
+  FieldId F = M.addStaticField("f", true);
+  FieldId G = M.addStaticField("g", true);
+  IrBuilder B(M);
+  B.beginMethod("callee", 1);
+  MethodId Callee = B.endMethod();
+  B.beginMethod("m", 3);
+  uint32_t LoadF = B.nextPc();
+  B.sgetObject(1, F);
+  B.sgetObject(2, G);
+  uint32_t SitePc = B.nextPc();
+  B.invokeVirtual(1, Callee); // deref via v1 = f
+  MethodId M1 = B.endMethod();
+  DerefResolver R(M);
+  EXPECT_EQ(R.loadFor(M1, SitePc), static_cast<int64_t>(LoadF));
+}
+
+TEST(DerefDataflowTest, BranchMergeOfDifferentLoadsIsUnresolved) {
+  Module M;
+  FieldId F = M.addStaticField("f", true);
+  FieldId G = M.addStaticField("g", true);
+  FieldId Flag = M.addStaticField("flag", false);
+  IrBuilder B(M);
+  B.beginMethod("callee", 1);
+  MethodId Callee = B.endMethod();
+  B.beginMethod("m", 3);
+  Label Else = B.newLabel();
+  Label Join = B.newLabel();
+  B.sget(0, Flag);
+  B.ifIntEqz(0, Else);
+  B.sgetObject(1, F);
+  B.gotoLabel(Join);
+  B.bind(Else);
+  B.sgetObject(1, G);
+  B.bind(Join);
+  uint32_t SitePc = B.nextPc();
+  B.invokeVirtual(1, Callee);
+  MethodId M1 = B.endMethod();
+  DerefResolver R(M);
+  EXPECT_EQ(R.loadFor(M1, SitePc), DerefResolver::Unresolved);
+  EXPECT_GE(R.unresolvedSites(), 1u);
+}
+
+TEST(DerefDataflowTest, BranchMergeOfSameLoadResolves) {
+  Module M;
+  FieldId F = M.addStaticField("f", true);
+  FieldId Flag = M.addStaticField("flag", false);
+  IrBuilder B(M);
+  B.beginMethod("callee", 1);
+  MethodId Callee = B.endMethod();
+  B.beginMethod("m", 3);
+  Label Skip = B.newLabel();
+  uint32_t LoadPc = B.nextPc();
+  B.sgetObject(1, F);
+  B.sget(0, Flag);
+  B.ifIntEqz(0, Skip);
+  B.work(1);
+  B.bind(Skip);
+  uint32_t SitePc = B.nextPc();
+  B.invokeVirtual(1, Callee);
+  MethodId M1 = B.endMethod();
+  DerefResolver R(M);
+  EXPECT_EQ(R.loadFor(M1, SitePc), static_cast<int64_t>(LoadPc));
+}
+
+TEST(DerefDataflowTest, NewInstanceIsNotALoad) {
+  Module M;
+  ClassId C = M.addClass("C");
+  IrBuilder B(M);
+  B.beginMethod("callee", 1);
+  MethodId Callee = B.endMethod();
+  B.beginMethod("m", 2);
+  B.newInstance(1, C);
+  uint32_t SitePc = B.nextPc();
+  B.invokeVirtual(1, Callee);
+  MethodId M1 = B.endMethod();
+  DerefResolver R(M);
+  EXPECT_EQ(R.loadFor(M1, SitePc), DerefResolver::Unresolved);
+}
+
+TEST(DerefDataflowTest, LoopBackEdgeKeepsUniqueLoad) {
+  Module M;
+  FieldId F = M.addStaticField("f", true);
+  IrBuilder B(M);
+  B.beginMethod("callee", 1);
+  MethodId Callee = B.endMethod();
+  B.beginMethod("m", 3);
+  Label Loop = B.newLabel();
+  B.constInt(0, 3);
+  B.bind(Loop);
+  uint32_t LoadPc = B.nextPc();
+  B.sgetObject(1, F);
+  uint32_t SitePc = B.nextPc();
+  B.invokeVirtual(1, Callee);
+  B.addInt(0, 0, -1);
+  B.ifIntNez(0, Loop);
+  MethodId M1 = B.endMethod();
+  DerefResolver R(M);
+  EXPECT_EQ(R.loadFor(M1, SitePc), static_cast<int64_t>(LoadPc));
+}
+
+TEST(DerefDataflowTest, GuardBranchSitesResolveToo) {
+  Module M;
+  FieldId F = M.addStaticField("f", true);
+  IrBuilder B(M);
+  B.beginMethod("m", 2);
+  Label Skip = B.newLabel();
+  uint32_t LoadPc = B.nextPc();
+  B.sgetObject(1, F);
+  uint32_t BranchPc = B.nextPc();
+  B.ifEqz(1, Skip);
+  B.work(1);
+  B.bind(Skip);
+  MethodId M1 = B.endMethod();
+  DerefResolver R(M);
+  EXPECT_EQ(R.loadFor(M1, BranchPc), static_cast<int64_t>(LoadPc));
+}
+
+TEST(DerefDataflowTest, PreciseMatchingRemovesTypeIIIFalsePositive) {
+  // End to end: the alias-mismatch seed is reported with the runtime
+  // heuristic and vanishes with the static resolver, while a genuine
+  // race stays reported in both modes.
+  AppBuilder App("precise");
+  App.seedAliasMismatchFp("cacheAlias");
+  App.seedIntraThreadRace("realBug");
+  Table1Row Dummy;
+  AppModel Model = App.finish(Dummy);
+  Trace T = runScenario(Model.S, RuntimeOptions());
+
+  AnalysisResult Heuristic = analyzeTrace(T, DetectorOptions());
+  EXPECT_EQ(Heuristic.Report.Races.size(), 2u)
+      << renderRaceReport(Heuristic.Report, T);
+
+  DerefResolver Resolver(Model.S.module());
+  AnalysisResult Precise =
+      analyzeTrace(T, DetectorOptions(), &Resolver);
+  ASSERT_EQ(Precise.Report.Races.size(), 1u)
+      << renderRaceReport(Precise.Report, T);
+  // The surviving race is the real bug, not the alias artifact.
+  EXPECT_NE(T.methodName(Precise.Report.Races[0].Use.Method)
+                .find("realBug"),
+            std::string::npos);
+}
+
+TEST(DerefDataflowTest, Table1TypeIIIColumnDropsToZeroWithResolver) {
+  // Run the three apps with Type III seeds under the precise matcher:
+  // their FP-III counts must vanish and everything else must hold.
+  for (const char *Name : {"zxing", "vlc", "music"}) {
+    AppModel Model = buildApp(Name);
+    Trace T = runScenario(Model.S, RuntimeOptions());
+    DerefResolver Resolver(Model.S.module());
+    AnalysisResult R = analyzeTrace(T, DetectorOptions(), &Resolver);
+    Table1Row Row = evaluateReport(R.Report, Model.Truth, T, Name);
+    EXPECT_EQ(Row.FpIII, 0u) << Name;
+    EXPECT_EQ(Row.TrueA, Model.PaperRow.TrueA) << Name;
+    EXPECT_EQ(Row.TrueB, Model.PaperRow.TrueB) << Name;
+    EXPECT_EQ(Row.TrueC, Model.PaperRow.TrueC) << Name;
+    EXPECT_EQ(Row.FpI, Model.PaperRow.FpI) << Name;
+    EXPECT_EQ(Row.FpII, Model.PaperRow.FpII) << Name;
+    EXPECT_EQ(Row.Unexpected, 0u) << Name;
+    // The Type III pairs are now "missed" -- by design.
+    EXPECT_EQ(Row.Missed, Model.PaperRow.FpIII) << Name;
+  }
+}
+
+} // namespace

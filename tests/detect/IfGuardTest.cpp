@@ -1,0 +1,173 @@
+//===- tests/detect/IfGuardTest.cpp -------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The four Figure 6 geometries of the if-guard check (forward/backward
+// jumps of if-eqz and if-nez/if-eq), plus scoping rules: same frame, same
+// pointer, branch-before-use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/UseFreeDetector.h"
+
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+/// Builds a one-task trace with a read at \p UsePc guarded (or not) by a
+/// branch, and asks isUseIfGuarded.
+struct GuardFixture {
+  TraceBuilder TB;
+  MethodId M;
+  TaskId Task;
+  static constexpr uint32_t CodeSize = 40;
+
+  GuardFixture() {
+    M = TB.addMethod("m", CodeSize);
+    Task = TB.addThread("t");
+    TB.begin(Task);
+    TB.methodEnter(Task, M, 1);
+  }
+
+  /// Read of var 5 -> object 9 at \p Pc followed by a deref (makes it a
+  /// use).
+  void use(uint32_t Pc) {
+    TB.ptrRead(Task, 5, 9, M, Pc);
+    TB.deref(Task, 9, DerefKind::Invoke, M, Pc + 1);
+  }
+
+  /// A guarded branch at \p Pc jumping to \p TargetPc, testing the same
+  /// pointer (object 9, previously read from var 5 so it matches).
+  void guard(BranchKind Kind, uint32_t Pc, uint32_t TargetPc,
+             uint32_t Object = 9, uint32_t MatchVar = 5) {
+    // The matcher needs a previous read of the object; do it at the
+    // branch pc itself (javac emits the read right before the test).
+    TB.ptrRead(Task, MatchVar, Object, M, Pc);
+    TB.branch(Task, Kind, Object, M, Pc, TargetPc);
+  }
+
+  bool guarded() {
+    TB.methodExit(Task, M, 1);
+    TB.end(Task);
+    Trace T = TB.take();
+    TaskIndex Index(T);
+    AccessDb Db = extractAccesses(T, Index);
+    // The use is the LAST use in the db (the guard's read may or may not
+    // be a use).
+    if (Db.Uses.empty()) {
+      ADD_FAILURE() << "fixture produced no use";
+      return false;
+    }
+    return isUseIfGuarded(T, Db, Db.Uses.back());
+  }
+};
+
+TEST(IfGuardTest, IfEqzForwardGuardsRegionUpToTarget) {
+  // if-eqz at 5 jumping forward to 20 (logged when not taken): pcs in
+  // (5, 20) are non-null.
+  GuardFixture F;
+  F.guard(BranchKind::IfEqz, 5, 20);
+  F.use(10);
+  EXPECT_TRUE(F.guarded());
+}
+
+TEST(IfGuardTest, IfEqzForwardDoesNotGuardPastTarget) {
+  GuardFixture F;
+  F.guard(BranchKind::IfEqz, 5, 20);
+  F.use(25);
+  EXPECT_FALSE(F.guarded());
+}
+
+TEST(IfGuardTest, IfEqzBackwardGuardsToFunctionEnd) {
+  // if-eqz at 15 jumping backward to 2: fall-through region [16, end).
+  GuardFixture F;
+  F.guard(BranchKind::IfEqz, 15, 2);
+  F.use(30);
+  EXPECT_TRUE(F.guarded());
+}
+
+TEST(IfGuardTest, IfNezForwardGuardsTargetRegion) {
+  // if-nez at 5 jumping to 20 (logged when taken): [20, end) non-null.
+  GuardFixture F;
+  F.guard(BranchKind::IfNez, 5, 20);
+  F.use(22);
+  EXPECT_TRUE(F.guarded());
+}
+
+TEST(IfGuardTest, IfNezForwardDoesNotGuardFallthrough) {
+  GuardFixture F;
+  F.guard(BranchKind::IfNez, 5, 20);
+  F.use(10);
+  EXPECT_FALSE(F.guarded());
+}
+
+TEST(IfGuardTest, IfNezBackwardGuardsBetweenTargetAndBranch) {
+  // if-nez at 25 jumping back to 10: [10, 25) non-null.  The use happens
+  // after the branch at runtime but its pc is inside the region.
+  GuardFixture F;
+  F.guard(BranchKind::IfNez, 25, 10);
+  F.use(12);
+  EXPECT_TRUE(F.guarded());
+}
+
+TEST(IfGuardTest, IfEqBehavesLikeIfNez) {
+  GuardFixture F;
+  F.guard(BranchKind::IfEq, 5, 20);
+  F.use(22);
+  EXPECT_TRUE(F.guarded());
+}
+
+TEST(IfGuardTest, DifferentPointerDoesNotGuard) {
+  GuardFixture F;
+  // The branch tests object 8 read from var 6 -- a different pointer.
+  F.guard(BranchKind::IfEqz, 5, 20, /*Object=*/8, /*MatchVar=*/6);
+  F.use(10);
+  EXPECT_FALSE(F.guarded());
+}
+
+TEST(IfGuardTest, BranchAfterUseDoesNotGuard) {
+  GuardFixture F;
+  F.use(10); // runtime order: use first
+  F.guard(BranchKind::IfEqz, 5, 20);
+  EXPECT_FALSE(F.guarded());
+}
+
+TEST(IfGuardTest, DifferentFrameDoesNotGuard) {
+  // Guard in one invocation, use in a later invocation of the same
+  // method: no protection.
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 40);
+  TaskId Task = TB.addThread("t");
+  TB.begin(Task);
+  TB.methodEnter(Task, M, 1);
+  TB.ptrRead(Task, 5, 9, M, 5);
+  TB.branch(Task, BranchKind::IfEqz, 9, M, 5, 20);
+  TB.methodExit(Task, M, 1);
+  TB.methodEnter(Task, M, 2);
+  TB.ptrRead(Task, 5, 9, M, 10);
+  TB.deref(Task, 9, DerefKind::Invoke, M, 11);
+  TB.methodExit(Task, M, 2);
+  TB.end(Task);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  AccessDb Db = extractAccesses(T, Index);
+  ASSERT_FALSE(Db.Uses.empty());
+  EXPECT_FALSE(isUseIfGuarded(T, Db, Db.Uses.back()));
+}
+
+TEST(IfGuardTest, UseAtBranchPcNotGuarded) {
+  // Region bounds are exclusive of the branch pc itself.
+  GuardFixture F;
+  F.guard(BranchKind::IfEqz, 5, 20);
+  F.use(5);
+  EXPECT_FALSE(F.guarded());
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+//===- tests/hb/DotExportTest.cpp ---------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/DotExport.h"
+
+#include "cafa/Fig4.h"
+#include "support/Format.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+TEST(DotExportTest, NodeGraphContainsTasksOpsAndEdges) {
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  TaskId T1 = TB.addThread("sender");
+  TaskId E1 = TB.addEvent("onPause", Q);
+  TB.begin(T1).send(T1, E1, 0).end(T1);
+  TB.begin(E1).end(E1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  HbIndex Hb(T, Index, HbOptions());
+
+  std::string Dot = exportHbGraphDot(Hb, T);
+  EXPECT_NE(Dot.find("digraph cafa_hb"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"sender\""), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"onPause\""), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"send\""), std::string::npos);
+  // Cross-task send edge plus dotted program-order edges.
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dotted"), std::string::npos);
+}
+
+TEST(DotExportTest, TaskDigestIsTransitivelyReduced) {
+  // Three chained external events: a->b->c must not include the
+  // redundant a->c edge.
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  TaskId A = TB.addEvent("a", Q, 0, false, true);
+  TaskId B = TB.addEvent("b", Q, 0, false, true);
+  TaskId C = TB.addEvent("c", Q, 0, false, true);
+  TB.begin(A).end(A);
+  TB.begin(B).end(B);
+  TB.begin(C).end(C);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  HbIndex Hb(T, Index, HbOptions());
+
+  std::string Dot = exportTaskOrderDot(Hb, T);
+  std::string EdgeAB = formatString("t%u -> t%u", A.value(), B.value());
+  std::string EdgeBC = formatString("t%u -> t%u", B.value(), C.value());
+  std::string EdgeAC = formatString("t%u -> t%u", A.value(), C.value());
+  EXPECT_NE(Dot.find(EdgeAB), std::string::npos);
+  EXPECT_NE(Dot.find(EdgeBC), std::string::npos);
+  EXPECT_EQ(Dot.find(EdgeAC), std::string::npos);
+  // External events are rendered filled.
+  EXPECT_NE(Dot.find("fillcolor=lightgrey"), std::string::npos);
+}
+
+TEST(DotExportTest, Fig4ScenariosExportCleanly) {
+  for (Fig4Scenario &S : buildFig4Scenarios()) {
+    TaskIndex Index(S.T);
+    HbIndex Hb(S.T, Index, HbOptions());
+    std::string Dot = exportTaskOrderDot(Hb, S.T);
+    EXPECT_NE(Dot.find("digraph"), std::string::npos) << S.Name;
+    // Both protagonists appear.
+    EXPECT_NE(Dot.find("\"A\""), std::string::npos) << S.Name;
+    EXPECT_NE(Dot.find("\"B\""), std::string::npos) << S.Name;
+  }
+}
+
+TEST(DotExportTest, LabelsAreEscaped) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("we\"ird\\name");
+  TB.begin(T1).end(T1);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  HbIndex Hb(T, Index, HbOptions());
+  std::string Dot = exportTaskOrderDot(Hb, T);
+  EXPECT_NE(Dot.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+} // namespace

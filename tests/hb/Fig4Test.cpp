@@ -1,0 +1,101 @@
+//===- tests/hb/Fig4Test.cpp --------------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Figure 4 scenarios as parameterized tests, plus checks that
+// each derivation disappears when its responsible rule is disabled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cafa/Fig4.h"
+
+#include "hb/HbIndex.h"
+#include "trace/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+class Fig4Test : public testing::TestWithParam<size_t> {
+protected:
+  static std::vector<Fig4Scenario> &scenarios() {
+    static std::vector<Fig4Scenario> S = buildFig4Scenarios();
+    return S;
+  }
+};
+
+TEST_P(Fig4Test, TraceIsWellFormed) {
+  const Fig4Scenario &S = scenarios()[GetParam()];
+  Status V = validateTrace(S.T);
+  EXPECT_TRUE(V.ok()) << S.Name << ": " << V.message();
+}
+
+TEST_P(Fig4Test, DerivesExpectedOrder) {
+  const Fig4Scenario &S = scenarios()[GetParam()];
+  TaskIndex Index(S.T);
+  HbIndex Hb(S.T, Index, HbOptions());
+  EXPECT_EQ(Hb.taskOrdered(S.A, S.B), S.ExpectAB) << S.Name;
+  EXPECT_EQ(Hb.taskOrdered(S.B, S.A), S.ExpectBA) << S.Name;
+}
+
+TEST_P(Fig4Test, BfsOracleAgrees) {
+  const Fig4Scenario &S = scenarios()[GetParam()];
+  TaskIndex Index(S.T);
+  HbOptions Opt;
+  Opt.Reach = ReachMode::Bfs;
+  HbIndex Hb(S.T, Index, Opt);
+  EXPECT_EQ(Hb.taskOrdered(S.A, S.B), S.ExpectAB) << S.Name;
+  EXPECT_EQ(Hb.taskOrdered(S.B, S.A), S.ExpectBA) << S.Name;
+}
+
+TEST_P(Fig4Test, DisablingResponsibleRuleDropsTheOrder) {
+  const Fig4Scenario &S = scenarios()[GetParam()];
+  if (S.Rule == "none")
+    GTEST_SKIP() << "negative scenario; nothing to disable";
+  TaskIndex Index(S.T);
+  HbOptions Opt;
+  if (S.Rule == "atomicity")
+    Opt.EnableAtomicityRule = false;
+  else
+    Opt.EnableQueueRules = false;
+  HbIndex Hb(S.T, Index, Opt);
+  EXPECT_FALSE(Hb.taskOrdered(S.A, S.B)) << S.Name;
+  EXPECT_FALSE(Hb.taskOrdered(S.B, S.A)) << S.Name;
+}
+
+TEST_P(Fig4Test, RuleStatsAttributeTheEdge) {
+  const Fig4Scenario &S = scenarios()[GetParam()];
+  TaskIndex Index(S.T);
+  HbIndex Hb(S.T, Index, HbOptions());
+  const HbRuleStats &Stats = Hb.ruleStats();
+  if (S.Rule == "atomicity") {
+    EXPECT_GT(Stats.AtomicityEdges, 0u) << S.Name;
+  } else if (S.Rule == "queue-1") {
+    EXPECT_GT(Stats.QueueRule1Edges, 0u) << S.Name;
+  } else if (S.Rule == "queue-2") {
+    EXPECT_GT(Stats.QueueRule2Edges, 0u) << S.Name;
+  } else if (S.Rule == "queue-3") {
+    EXPECT_GT(Stats.QueueRule3Edges, 0u) << S.Name;
+  } else if (S.Rule == "queue-4") {
+    EXPECT_GT(Stats.QueueRule4Edges, 0u) << S.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, Fig4Test,
+    testing::Range<size_t>(0, buildFig4Scenarios().size()),
+    [](const testing::TestParamInfo<size_t> &Info) {
+      static std::vector<Fig4Scenario> S = buildFig4Scenarios();
+      std::string Name = S[Info.param].Name;
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace

@@ -1,0 +1,216 @@
+//===- tests/hb/ReachabilityTest.cpp ------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests: the two reachability oracles must agree on every query
+// over randomly generated (but structurally valid) traces, and the
+// happens-before relation must be a strict partial order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hb/HbIndex.h"
+
+#include "support/Rng.h"
+#include "trace/TraceBuilder.h"
+#include "trace/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+/// Generates a random structurally valid trace: several queues and
+/// threads, events sent with random delays / at-front flags, random
+/// fork/join, notify/wait, listener and IPC traffic, and memory accesses
+/// sprinkled throughout.
+Trace randomTrace(uint64_t Seed, size_t Steps) {
+  Rng R(Seed);
+  TraceBuilder TB;
+
+  std::vector<QueueId> Queues;
+  for (int I = 0, E = 1 + static_cast<int>(R.below(3)); I != E; ++I)
+    Queues.push_back(TB.addQueue("q" + std::to_string(I)));
+  std::vector<ListenerId> Listeners;
+  for (int I = 0; I != 2; ++I)
+    Listeners.push_back(TB.addListener("l" + std::to_string(I)));
+
+  struct LiveTask {
+    TaskId Id;
+    bool IsEvent;
+    QueueId Queue;
+  };
+  std::vector<LiveTask> Running;   // begun, not ended
+  std::vector<LiveTask> Pending;   // events sent, not begun
+  std::vector<TaskId> EndedThreads;
+  std::vector<TaskId> ActivePerQueue(Queues.size(), TaskId::invalid());
+  std::vector<bool> Registered(Listeners.size(), false);
+  uint32_t NextTxn = 1;
+  std::vector<uint32_t> SentTxns;
+
+  // Root threads.
+  for (int I = 0, E = 2 + static_cast<int>(R.below(3)); I != E; ++I) {
+    TaskId T = TB.addThread("thread" + std::to_string(I));
+    TB.begin(T);
+    Running.push_back({T, false, QueueId()});
+  }
+
+  size_t EventCounter = 0;
+  for (size_t Step = 0; Step != Steps; ++Step) {
+    // Pick a running task to perform the next operation.
+    LiveTask &Actor = Running[R.below(Running.size())];
+    switch (R.below(12)) {
+    case 0: { // send a new event
+      QueueId Q = Queues[R.below(Queues.size())];
+      bool AtFront = R.chance(1, 5);
+      uint64_t Delay = AtFront ? 0 : R.below(4);
+      TaskId E = TB.addEvent("event" + std::to_string(EventCounter++), Q,
+                             Delay, AtFront, false);
+      if (AtFront)
+        TB.sendAtFront(Actor.Id, E);
+      else
+        TB.send(Actor.Id, E, Delay);
+      Pending.push_back({E, true, Q});
+      break;
+    }
+    case 1: { // begin a pending event whose queue is idle
+      for (size_t I = 0; I != Pending.size(); ++I) {
+        LiveTask &P = Pending[I];
+        if (ActivePerQueue[P.Queue.index()].isValid())
+          continue;
+        TB.begin(P.Id);
+        if (R.chance(1, 4) && Registered[0])
+          TB.performListener(P.Id, Listeners[0]);
+        ActivePerQueue[P.Queue.index()] = P.Id;
+        Running.push_back(P);
+        Pending.erase(Pending.begin() + static_cast<long>(I));
+        break;
+      }
+      break;
+    }
+    case 2: { // end an event (frees its queue)
+      if (Actor.IsEvent) {
+        ActivePerQueue[Actor.Queue.index()] = TaskId::invalid();
+        TB.end(Actor.Id);
+        Running.erase(Running.begin() + (&Actor - Running.data()));
+      }
+      break;
+    }
+    case 3: { // fork a thread
+      TaskId T = TB.addThread("forked" + std::to_string(Step));
+      TB.fork(Actor.Id, T);
+      TB.begin(T);
+      Running.push_back({T, false, QueueId()});
+      break;
+    }
+    case 4: { // end + join an old thread
+      if (!Actor.IsEvent && Running.size() > 2 && R.chance(1, 2)) {
+        // End the actor so someone can join it later.
+        TB.end(Actor.Id);
+        EndedThreads.push_back(Actor.Id);
+        Running.erase(Running.begin() + (&Actor - Running.data()));
+      } else if (!EndedThreads.empty()) {
+        TB.join(Actor.Id, EndedThreads[R.below(EndedThreads.size())]);
+      }
+      break;
+    }
+    case 5:
+      TB.notify(Actor.Id, static_cast<uint32_t>(R.below(2)));
+      break;
+    case 6:
+      TB.wait(Actor.Id, static_cast<uint32_t>(R.below(2)));
+      break;
+    case 7: {
+      size_t L = R.below(Listeners.size());
+      TB.registerListener(Actor.Id, Listeners[L]);
+      Registered[L] = true;
+      break;
+    }
+    case 8: { // ipc send / recv pairing
+      if (R.chance(1, 2) || SentTxns.empty()) {
+        TB.ipcSend(Actor.Id, NextTxn);
+        SentTxns.push_back(NextTxn++);
+      } else {
+        TB.ipcRecv(Actor.Id, SentTxns.back());
+        SentTxns.pop_back();
+      }
+      break;
+    }
+    default:
+      if (R.chance(1, 2))
+        TB.read(Actor.Id, static_cast<uint32_t>(R.below(8)));
+      else
+        TB.write(Actor.Id, static_cast<uint32_t>(R.below(8)));
+      break;
+    }
+    if (Running.empty())
+      break;
+  }
+  // Close everything still running.
+  for (const LiveTask &L : Running)
+    TB.end(L.Id);
+  return TB.take();
+}
+
+class ReachabilityPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReachabilityPropertyTest, ClosureAndBfsAgreeOnRandomTraces) {
+  Trace T = randomTrace(GetParam(), 400);
+  ASSERT_TRUE(validateTrace(T).ok()) << validateTrace(T).message();
+  TaskIndex Index(T);
+
+  HbOptions ClosureOpt;
+  ClosureOpt.Reach = ReachMode::Closure;
+  HbIndex HbClosure(T, Index, ClosureOpt);
+  HbOptions BfsOpt;
+  BfsOpt.Reach = ReachMode::Bfs;
+  HbIndex HbBfs(T, Index, BfsOpt);
+
+  Rng R(GetParam() ^ 0xABCDEF);
+  uint32_t N = static_cast<uint32_t>(T.numRecords());
+  ASSERT_GT(N, 0u);
+  for (int I = 0; I != 3000; ++I) {
+    uint32_t A = static_cast<uint32_t>(R.below(N));
+    uint32_t B = static_cast<uint32_t>(R.below(N));
+    EXPECT_EQ(HbClosure.happensBefore(A, B), HbBfs.happensBefore(A, B))
+        << "records " << A << " -> " << B;
+  }
+}
+
+TEST_P(ReachabilityPropertyTest, HappensBeforeIsStrictPartialOrder) {
+  Trace T = randomTrace(GetParam() + 77, 300);
+  ASSERT_TRUE(validateTrace(T).ok());
+  TaskIndex Index(T);
+  HbIndex Hb(T, Index, HbOptions());
+
+  Rng R(GetParam());
+  uint32_t N = static_cast<uint32_t>(T.numRecords());
+  for (int I = 0; I != 500; ++I) {
+    uint32_t A = static_cast<uint32_t>(R.below(N));
+    uint32_t B = static_cast<uint32_t>(R.below(N));
+    uint32_t C = static_cast<uint32_t>(R.below(N));
+    // Irreflexivity.
+    EXPECT_FALSE(Hb.happensBefore(A, A));
+    // Antisymmetry.
+    if (Hb.happensBefore(A, B)) {
+      EXPECT_FALSE(Hb.happensBefore(B, A));
+    }
+    // Transitivity.
+    if (Hb.happensBefore(A, B) && Hb.happensBefore(B, C)) {
+      EXPECT_TRUE(Hb.happensBefore(A, C));
+    }
+    // Consistency with trace order: HB never points backward.
+    if (Hb.happensBefore(A, B)) {
+      EXPECT_LT(T.record(A).Time, T.record(B).Time + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReachabilityPropertyTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                         89));
+
+} // namespace

@@ -1,0 +1,77 @@
+//===- tests/integration/ReportJsonTest.cpp -----------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cafa/ReportJson.h"
+
+#include "apps/AppKit.h"
+#include "cafa/Cafa.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace cafa;
+using namespace cafa::apps;
+
+namespace {
+
+TEST(ReportJsonTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ReportJsonTest, RaceReportRendersAllFields) {
+  AppBuilder App("json");
+  App.seedIntraThreadRace("staleSession");
+  Table1Row Dummy;
+  AppModel Model = App.finish(Dummy);
+  Trace T = runScenario(Model.S, RuntimeOptions());
+  AnalysisResult R = analyzeTrace(T, DetectorOptions());
+  ASSERT_EQ(R.Report.Races.size(), 1u);
+
+  std::string Json = renderRaceReportJson(R.Report, T);
+  EXPECT_NE(Json.find("\"races\": ["), std::string::npos);
+  EXPECT_NE(Json.find("\"category\": \"a\""), std::string::npos);
+  EXPECT_NE(Json.find("staleSession_onTimer"), std::string::npos);
+  EXPECT_NE(Json.find("staleSession_onPause"), std::string::npos);
+  EXPECT_NE(Json.find("\"filters\""), std::string::npos);
+  EXPECT_NE(Json.find("\"candidates\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '['),
+            std::count(Json.begin(), Json.end(), ']'));
+}
+
+TEST(ReportJsonTest, EmptyReportIsValidJson) {
+  Trace T;
+  RaceReport Empty;
+  std::string Json = renderRaceReportJson(Empty, T);
+  EXPECT_NE(Json.find("\"races\": ["), std::string::npos);
+  EXPECT_EQ(std::count(Json.begin(), Json.end(), '{'),
+            std::count(Json.begin(), Json.end(), '}'));
+}
+
+TEST(ReportJsonTest, Table1Rows) {
+  Table1Row Row;
+  Row.App = "mytracks";
+  Row.Events = 6628;
+  Row.Reported = 8;
+  Row.TrueA = 1;
+  Row.TrueB = 3;
+  Row.FpII = 4;
+  std::string Json = renderTable1Json({Row});
+  EXPECT_NE(Json.find("\"app\": \"mytracks\""), std::string::npos);
+  EXPECT_NE(Json.find("\"events\": 6628"), std::string::npos);
+  EXPECT_NE(Json.find("\"trueB\": 3"), std::string::npos);
+  EXPECT_NE(Json.find("\"fpII\": 4"), std::string::npos);
+}
+
+} // namespace

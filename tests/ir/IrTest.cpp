@@ -1,0 +1,318 @@
+//===- tests/ir/IrTest.cpp ----------------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Disasm.h"
+#include "ir/IrBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+TEST(IrBuilderTest, EmitsInstructionsWithAscendingPcs) {
+  Module M;
+  FieldId F = M.addStaticField("f", true);
+  IrBuilder B(M);
+  B.beginMethod("m", 2);
+  EXPECT_EQ(B.nextPc(), 0u);
+  B.constNull(0);
+  EXPECT_EQ(B.nextPc(), 1u);
+  B.sputObject(F, 0);
+  EXPECT_EQ(B.nextPc(), 2u);
+  MethodId Id = B.endMethod();
+  const MethodDef &Def = M.methodDef(Id);
+  // const-null, sput-object, auto-appended return.
+  ASSERT_EQ(Def.Code.size(), 3u);
+  EXPECT_EQ(Def.Code[0].Op, Opcode::ConstNull);
+  EXPECT_EQ(Def.Code[1].Op, Opcode::SPutObject);
+  EXPECT_EQ(Def.Code[2].Op, Opcode::ReturnVoid);
+}
+
+TEST(IrBuilderTest, NoAutoReturnAfterTerminator) {
+  Module M;
+  IrBuilder B(M);
+  B.beginMethod("m", 1);
+  B.returnVoid();
+  MethodId Id = B.endMethod();
+  EXPECT_EQ(M.methodDef(Id).Code.size(), 1u);
+}
+
+TEST(IrBuilderTest, ForwardLabelFixup) {
+  Module M;
+  IrBuilder B(M);
+  B.beginMethod("m", 2);
+  Label L = B.newLabel();
+  B.constInt(0, 1);      // pc 0
+  B.ifIntEqz(0, L);      // pc 1 -> pc 4
+  B.constInt(1, 2);      // pc 2
+  B.constInt(1, 3);      // pc 3
+  B.bind(L);             // pc 4
+  B.returnVoid();        // pc 4
+  MethodId Id = B.endMethod();
+  const Instr &Branch = M.methodDef(Id).Code[1];
+  EXPECT_EQ(Branch.Imm, 3); // relative: 1 + 3 = 4
+}
+
+TEST(IrBuilderTest, BackwardLabelFixup) {
+  Module M;
+  IrBuilder B(M);
+  B.beginMethod("m", 2);
+  Label Loop = B.newLabel();
+  B.constInt(0, 3); // pc 0
+  B.bind(Loop);     // pc 1
+  B.addInt(0, 0, -1);   // pc 1
+  B.ifIntNez(0, Loop);  // pc 2 -> pc 1
+  MethodId Id = B.endMethod();
+  const Instr &Branch = M.methodDef(Id).Code[2];
+  EXPECT_EQ(Branch.Imm, -1);
+}
+
+TEST(VerifierTest, AcceptsWellFormedModule) {
+  Module M;
+  ProcessId P = M.addProcess("app");
+  QueueId Q = M.addQueue("main", P);
+  FieldId F = M.addStaticField("f", true);
+  ClassId C = M.addClass("C");
+  IrBuilder B(M);
+  B.beginMethod("handler", 2);
+  B.newInstance(0, C);
+  B.sputObject(F, 0);
+  MethodId Handler = B.endMethod();
+  B.beginMethod("main", 2);
+  B.sendEvent(Q, Handler, 10);
+  B.endMethod();
+  EXPECT_TRUE(verifyModule(M).ok()) << verifyModule(M).message();
+}
+
+/// A named malformed-instruction case for the parameterized verifier test.
+struct BadInstrCase {
+  const char *Name;
+  Instr I;
+  const char *ExpectMessage;
+};
+
+class VerifierRejectsTest : public testing::TestWithParam<BadInstrCase> {};
+
+TEST_P(VerifierRejectsTest, RejectsMalformedInstruction) {
+  const BadInstrCase &Case = GetParam();
+  Module M;
+  ProcessId P = M.addProcess("app");
+  M.addQueue("main", P);
+  M.addStaticField("sObj", true);
+  M.addStaticField("sInt", false);
+  ClassId C = M.addClass("C");
+  M.addField("iObj", C, true);
+  M.addLock("l");
+  M.addMonitor("m");
+  MethodDef Def;
+  Def.Name = M.names().intern("bad");
+  Def.NumRegs = 2;
+  Def.Code.push_back(Case.I);
+  Instr Ret;
+  Ret.Op = Opcode::ReturnVoid;
+  Def.Code.push_back(Ret);
+  MethodId Id = M.addMethod(std::move(Def));
+  Status S = verifyMethod(M, Id);
+  ASSERT_FALSE(S.ok()) << Case.Name;
+  EXPECT_NE(S.message().find(Case.ExpectMessage), std::string::npos)
+      << Case.Name << ": " << S.message();
+}
+
+Instr make(Opcode Op, Reg A, Reg B, int32_t Imm, uint32_t Ref,
+           uint32_t Aux) {
+  Instr I;
+  I.Op = Op;
+  I.A = A;
+  I.B = B;
+  I.Imm = Imm;
+  I.Ref = Ref;
+  I.Aux = Aux;
+  return I;
+}
+
+const BadInstrCase BadCases[] = {
+    {"reg-out-of-range", make(Opcode::ConstNull, 5, NoReg, 0, 0, 0),
+     "register out of range"},
+    {"unknown-class", make(Opcode::NewInstance, 0, NoReg, 0, 9, 0),
+     "unknown class"},
+    {"unknown-field", make(Opcode::SGetObject, 0, NoReg, 0, 99, 0),
+     "unknown field"},
+    {"static-access-to-instance", make(Opcode::SGetObject, 0, NoReg, 0,
+                                       /*iObj=*/2, 0),
+     "static access to an instance field"},
+    {"instance-access-to-static", make(Opcode::IGetObject, 0, 1, 0,
+                                       /*sObj=*/0, 0),
+     "instance access to a static field"},
+    {"field-kind-mismatch", make(Opcode::SGet, 0, NoReg, 0, /*sObj=*/0, 0),
+     "field kind mismatch"},
+    {"unknown-callee", make(Opcode::InvokeStatic, NoReg, NoReg, 0, 42, 0),
+     "unknown callee"},
+    {"branch-out-of-range", make(Opcode::Goto, NoReg, NoReg, 99, 0, 0),
+     "branch target out of range"},
+    {"branch-to-self", make(Opcode::IfIntEqz, 0, NoReg, 0, 0, 0),
+     "branch to itself"},
+    {"negative-delay", make(Opcode::SendEvent, NoReg, NoReg, -5, 0, 0),
+     "negative event delay"},
+    {"unknown-queue", make(Opcode::SendEvent, NoReg, NoReg, 0, 0, 7),
+     "unknown event queue"},
+    {"unknown-lock", make(Opcode::MonitorEnter, NoReg, NoReg, 0, 9, 0),
+     "unknown lock"},
+    {"unknown-monitor", make(Opcode::WaitMonitor, NoReg, NoReg, 0, 9, 0),
+     "unknown monitor"},
+    {"unknown-listener", make(Opcode::TriggerListener, NoReg, NoReg, 0, 3,
+                              0),
+     "unknown listener"},
+    {"unknown-process", make(Opcode::BinderCall, NoReg, NoReg, 0, 0, 9),
+     "unknown target process"},
+    {"negative-work", make(Opcode::Work, NoReg, NoReg, -1, 0, 0),
+     "negative work amount"},
+    {"negative-sleep", make(Opcode::Sleep, NoReg, NoReg, -1, 0, 0),
+     "negative sleep duration"},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllBadInstrs, VerifierRejectsTest,
+                         testing::ValuesIn(BadCases),
+                         [](const testing::TestParamInfo<BadInstrCase> &I) {
+                           std::string Name = I.param.Name;
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(VerifierTest, RejectsEmptyMethod) {
+  Module M;
+  MethodDef Def;
+  Def.Name = M.names().intern("empty");
+  MethodId Id = M.addMethod(std::move(Def));
+  Status S = verifyMethod(M, Id);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("no code"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsFallOffEnd) {
+  Module M;
+  MethodDef Def;
+  Def.Name = M.names().intern("falls");
+  Def.NumRegs = 1;
+  Instr I;
+  I.Op = Opcode::ConstNull;
+  I.A = 0;
+  Def.Code.push_back(I);
+  MethodId Id = M.addMethod(std::move(Def));
+  Status S = verifyMethod(M, Id);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("fall off"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsListenerWithoutQueue) {
+  Module M;
+  M.addListener("dangling", QueueId::invalid());
+  Status S = verifyModule(M);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("delivery queue"), std::string::npos);
+}
+
+TEST(DisasmTest, EveryOpcodeRenders) {
+  Module M;
+  ProcessId P = M.addProcess("app");
+  QueueId Q = M.addQueue("main", P);
+  FieldId SObj = M.addStaticField("sObj", true);
+  FieldId SInt = M.addStaticField("sInt", false);
+  ClassId C = M.addClass("C");
+  FieldId IObj = M.addField("iObj", C, true);
+  FieldId IInt = M.addField("iInt", C, false);
+  LockId L = M.addLock("l");
+  MonitorId Mon = M.addMonitor("mon");
+  ListenerId Lis = M.addListener("lis", Q);
+  PipeId Pipe = M.addPipe("pipe");
+
+  IrBuilder B(M);
+  B.beginMethod("callee", 1);
+  B.work(1);
+  MethodId Callee = B.endMethod();
+
+  B.beginMethod("all", 3);
+  Label End = B.newLabel();
+  B.nop();
+  B.constNull(0);
+  B.constInt(1, 42);
+  B.newInstance(0, C);
+  B.move(2, 0);
+  B.igetObject(2, 0, IObj);
+  B.iputObject(0, IObj, 2);
+  B.sgetObject(2, SObj);
+  B.sputObject(SObj, 2);
+  B.iget(1, 0, IInt);
+  B.iput(0, IInt, 1);
+  B.sget(1, SInt);
+  B.sput(SInt, 1);
+  B.addInt(1, 1, 5);
+  B.invokeVirtual(0, Callee);
+  B.invokeStatic(Callee);
+  B.ifEqz(0, End);
+  B.ifNez(0, End);
+  B.ifEq(0, 2, End);
+  B.ifIntEqz(1, End);
+  B.ifIntNez(1, End);
+  B.monitorEnter(L);
+  B.monitorExit(L);
+  B.waitMonitor(Mon);
+  B.notifyMonitor(Mon);
+  B.forkThread(1, Callee);
+  B.joinThread(1);
+  B.sendEvent(Q, Callee, 25);
+  B.sendEventAtFront(Q, Callee);
+  B.registerListener(Lis, Callee);
+  B.triggerListener(Lis);
+  B.binderCall(P, Callee);
+  B.pipeWrite(Pipe, 0);
+  B.pipeRead(Pipe, 0);
+  B.sendEventAtTime(Q, Callee, 75);
+  B.work(3);
+  B.sleep(100);
+  B.gotoLabel(End);
+  B.bind(End);
+  B.returnVoid();
+  MethodId All = B.endMethod();
+
+  ASSERT_TRUE(verifyModule(M).ok()) << verifyModule(M).message();
+  std::string Text = disassembleMethod(M, All);
+  // Every opcode mnemonic that was emitted must appear.
+  for (const char *Needle :
+       {"nop", "const-null", "const-int", "new-instance", "move",
+        "iget-object", "iput-object", "sget-object", "sput-object",
+        "iget", "iput", "sget", "sput", "add-int", "invoke-virtual",
+        "invoke-static", "if-eqz", "if-nez", "if-eq", "if-int-eqz",
+        "if-int-nez", "monitor-enter", "monitor-exit", "wait", "notify",
+        "fork-thread", "join-thread", "send-event", "send-at-front",
+        "register-listener", "trigger-listener", "binder-call",
+        "pipe-write", "pipe-read", "send-at-time", "work", "sleep",
+        "goto", "return-void"})
+    EXPECT_NE(Text.find(Needle), std::string::npos) << Needle;
+  // Module-level disassembly includes both methods.
+  std::string ModText = disassembleModule(M);
+  EXPECT_NE(ModText.find("method callee"), std::string::npos);
+  EXPECT_NE(ModText.find("method all"), std::string::npos);
+}
+
+TEST(InstrTest, Predicates) {
+  EXPECT_TRUE(isBranch(Opcode::Goto));
+  EXPECT_TRUE(isBranch(Opcode::IfEqz));
+  EXPECT_FALSE(isBranch(Opcode::Work));
+  EXPECT_TRUE(isGuardBranch(Opcode::IfEqz));
+  EXPECT_TRUE(isGuardBranch(Opcode::IfNez));
+  EXPECT_TRUE(isGuardBranch(Opcode::IfEq));
+  EXPECT_FALSE(isGuardBranch(Opcode::IfIntEqz));
+  EXPECT_TRUE(isTerminator(Opcode::ReturnVoid));
+  EXPECT_TRUE(isTerminator(Opcode::Goto));
+  EXPECT_FALSE(isTerminator(Opcode::IfEqz));
+}
+
+} // namespace

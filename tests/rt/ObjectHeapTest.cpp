@@ -1,0 +1,93 @@
+//===- tests/rt/ObjectHeapTest.cpp --------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/ObjectHeap.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+Module makeModule() {
+  Module M;
+  ClassId C = M.addClass("C");
+  M.addField("obj", C, true);
+  M.addField("num", C, false);
+  M.addStaticField("sObj", true);
+  return M;
+}
+
+TEST(ObjectHeapTest, ObjectIdsStartAtOneAndAreDense) {
+  Module M = makeModule();
+  ObjectHeap Heap(M);
+  ObjectId A = Heap.allocate(ClassId(0));
+  ObjectId B = Heap.allocate(ClassId(0));
+  EXPECT_EQ(A.value(), 1u); // 0 is null
+  EXPECT_EQ(B.value(), 2u);
+  EXPECT_EQ(Heap.numObjects(), 2u);
+  EXPECT_EQ(Heap.classOf(A), ClassId(0));
+}
+
+TEST(ObjectHeapTest, FieldsStartZeroedAndStoreBits) {
+  Module M = makeModule();
+  ObjectHeap Heap(M);
+  ObjectId Obj = Heap.allocate(ClassId(0));
+  EXPECT_EQ(Heap.getField(Obj, FieldId(0)), 0u); // null pointer
+  EXPECT_EQ(Heap.getField(Obj, FieldId(1)), 0u); // zero scalar
+  Heap.setField(Obj, FieldId(1), 42);
+  EXPECT_EQ(Heap.getField(Obj, FieldId(1)), 42u);
+  // A second object is unaffected.
+  ObjectId Other = Heap.allocate(ClassId(0));
+  EXPECT_EQ(Heap.getField(Other, FieldId(1)), 0u);
+}
+
+TEST(ObjectHeapTest, StaticsStartZeroed) {
+  Module M = makeModule();
+  ObjectHeap Heap(M);
+  EXPECT_EQ(Heap.getStatic(FieldId(2)), 0u);
+  Heap.setStatic(FieldId(2), 7);
+  EXPECT_EQ(Heap.getStatic(FieldId(2)), 7u);
+}
+
+TEST(ObjectHeapTest, VarInterningIsStablePerCell) {
+  Module M = makeModule();
+  ObjectHeap Heap(M);
+  ObjectId A = Heap.allocate(ClassId(0));
+  ObjectId B = Heap.allocate(ClassId(0));
+  VarId V1 = Heap.varFor(A, FieldId(0));
+  VarId V2 = Heap.varFor(A, FieldId(0));
+  VarId V3 = Heap.varFor(B, FieldId(0));
+  VarId V4 = Heap.varFor(A, FieldId(1));
+  VarId V5 = Heap.varForStatic(FieldId(2));
+  EXPECT_EQ(V1, V2);
+  EXPECT_NE(V1, V3);
+  EXPECT_NE(V1, V4);
+  EXPECT_NE(V1, V5);
+  EXPECT_EQ(Heap.numVars(), 4u);
+  // Descriptor round-trips.
+  EXPECT_EQ(Heap.varDesc(V1).Object, A);
+  EXPECT_EQ(Heap.varDesc(V1).Field, FieldId(0));
+  EXPECT_FALSE(Heap.varDesc(V5).Object.isValid());
+}
+
+TEST(ValueTest, TaggedValues) {
+  Value S = Value::makeScalar(-5);
+  EXPECT_FALSE(S.IsObject);
+  EXPECT_EQ(S.scalar(), -5);
+  Value O = Value::makeObject(ObjectId(9));
+  EXPECT_TRUE(O.IsObject);
+  EXPECT_EQ(O.object(), ObjectId(9));
+  EXPECT_FALSE(O.isNullRef());
+  Value N = Value::makeNull();
+  EXPECT_TRUE(N.isNullRef());
+  EXPECT_EQ(N.object().value(), 0u);
+  // makeObject of an invalid id is null too.
+  EXPECT_TRUE(Value::makeObject(ObjectId::invalid()).isNullRef());
+}
+
+} // namespace

@@ -1,0 +1,303 @@
+//===- tests/rt/PipesAndTimeTest.cpp ------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The pipe IPC channel (Section 5.2's "Other IPC Channels") and
+// absolute-time event sends (Section 2.1's time constraints).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cafa/Cafa.h"
+#include "ir/IrBuilder.h"
+#include "trace/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+struct Fixture {
+  std::shared_ptr<Module> M = std::make_shared<Module>();
+  IrBuilder B{*M};
+  ProcessId App;
+  QueueId Main;
+  Scenario S;
+
+  Fixture() {
+    App = M->addProcess("app");
+    Main = M->addQueue("main", App);
+    S.AppName = "pipes";
+    S.Program = M;
+  }
+
+  Trace run(RuntimeStats *Stats = nullptr) {
+    return runScenario(S, RuntimeOptions(), Stats);
+  }
+};
+
+TEST(PipeTest, BlockingReadWaitsForWriter) {
+  Fixture F;
+  PipeId P = F.M->addPipe("input");
+  FieldId Marker = F.M->addStaticField("marker", false);
+
+  F.B.beginMethod("reader", 1);
+  F.B.pipeRead(P);
+  F.B.constInt(0, 1);
+  F.B.sput(Marker, 0);
+  MethodId Reader = F.B.endMethod();
+
+  F.B.beginMethod("writer", 1);
+  F.B.sleep(5'000);
+  F.B.constInt(0, 2);
+  F.B.sput(Marker, 0);
+  F.B.pipeWrite(P);
+  MethodId Writer = F.B.endMethod();
+
+  F.S.BootThreads.push_back({0, Reader, F.App, "reader"});
+  F.S.BootThreads.push_back({0, Writer, F.App, "writer"});
+
+  RuntimeStats Stats;
+  Trace T = F.run(&Stats);
+  EXPECT_EQ(Stats.BlockedAtQuiescence, 0u);
+  ASSERT_TRUE(validateTrace(T).ok());
+
+  // The writer's marker (2) is written before the reader's (1).
+  std::vector<int64_t> Writes;
+  for (const TraceRecord &Rec : T.records())
+    if (Rec.Kind == OpKind::Write)
+      Writes.push_back(static_cast<int64_t>(Rec.Arg1));
+  EXPECT_EQ(Writes, (std::vector<int64_t>{2, 1}));
+}
+
+TEST(PipeTest, MessagesCarryObjectsFifo) {
+  Fixture F;
+  PipeId P = F.M->addPipe("frames");
+  ClassId C = F.M->addClass("Frame");
+  FieldId Tag = F.M->addField("tag", C, false);
+  FieldId Marker = F.M->addStaticField("marker", false);
+
+  // Writer sends two tagged objects.
+  F.B.beginMethod("writer", 2);
+  for (int TagVal : {7, 8}) {
+    F.B.newInstance(0, C);
+    F.B.constInt(1, TagVal);
+    F.B.iput(0, Tag, 1);
+    F.B.pipeWrite(P, 0);
+  }
+  MethodId Writer = F.B.endMethod();
+
+  // Reader receives both and records their tags in order.
+  F.B.beginMethod("reader", 2);
+  for (int I = 0; I != 2; ++I) {
+    F.B.pipeRead(P, 0);
+    F.B.iget(1, 0, Tag);
+    F.B.sput(Marker, 1);
+  }
+  MethodId Reader = F.B.endMethod();
+
+  F.S.BootThreads.push_back({0, Writer, F.App, "writer"});
+  F.S.BootThreads.push_back({0, Reader, F.App, "reader"});
+
+  Trace T = F.run();
+  // Only the reader's writes (the writer's iput of the tag also logs).
+  std::vector<int64_t> Tags;
+  for (const TraceRecord &Rec : T.records())
+    if (Rec.Kind == OpKind::Write && T.taskName(Rec.Task) == "reader")
+      Tags.push_back(static_cast<int64_t>(Rec.Arg1));
+  EXPECT_EQ(Tags, (std::vector<int64_t>{7, 8}));
+}
+
+TEST(PipeTest, PipeMessageCreatesHappensBeforeEdge) {
+  // A use before the pipe write and a free after the pipe read are
+  // ordered through the transaction edge: no race.
+  Fixture F;
+  PipeId P = F.M->addPipe("sync");
+  FieldId Ptr = F.M->addStaticField("ptr", true);
+  ClassId C = F.M->addClass("C");
+  MethodId Run = [&] {
+    F.B.beginMethod("run", 1);
+    F.B.work(1);
+    return F.B.endMethod();
+  }();
+
+  F.B.beginMethod("userThread", 2);
+  F.B.sgetObject(1, Ptr);
+  F.B.invokeVirtual(1, Run); // use
+  F.B.pipeWrite(P);
+  MethodId User = F.B.endMethod();
+
+  F.B.beginMethod("freerThread", 1);
+  F.B.pipeRead(P);
+  F.B.constNull(0);
+  F.B.sputObject(Ptr, 0); // free, after the message
+  MethodId Freer = F.B.endMethod();
+
+  F.B.beginMethod("boot", 1);
+  F.B.newInstance(0, C);
+  F.B.sputObject(Ptr, 0);
+  MethodId Boot = F.B.endMethod();
+
+  F.S.BootThreads.push_back({0, Boot, F.App, "boot"});
+  F.S.BootThreads.push_back({1'000, User, F.App, "user"});
+  F.S.BootThreads.push_back({1'000, Freer, F.App, "freer"});
+
+  Trace T = F.run();
+  AnalysisResult R = analyzeTrace(T, DetectorOptions());
+  EXPECT_TRUE(R.Report.Races.empty()) << renderRaceReport(R.Report, T);
+  EXPECT_EQ(R.Report.Filters.OrderedByHb, 1u);
+}
+
+TEST(PipeTest, UnpairedPipesLeaveTasksConcurrent) {
+  // Two different pipes: no cross edge, the race is reported.
+  Fixture F;
+  PipeId P1 = F.M->addPipe("p1");
+  PipeId P2 = F.M->addPipe("p2");
+  FieldId Ptr = F.M->addStaticField("ptr", true);
+  ClassId C = F.M->addClass("C");
+  MethodId Run = [&] {
+    F.B.beginMethod("run", 1);
+    F.B.work(1);
+    return F.B.endMethod();
+  }();
+
+  F.B.beginMethod("userThread", 2);
+  F.B.sgetObject(1, Ptr);
+  F.B.invokeVirtual(1, Run);
+  F.B.pipeWrite(P1);
+  MethodId User = F.B.endMethod();
+
+  F.B.beginMethod("feeder", 1);
+  F.B.sleep(2'000);
+  F.B.pipeWrite(P2);
+  MethodId Feeder = F.B.endMethod();
+
+  F.B.beginMethod("freerThread", 1);
+  F.B.pipeRead(P2); // reads the *other* pipe
+  F.B.constNull(0);
+  F.B.sputObject(Ptr, 0);
+  MethodId Freer = F.B.endMethod();
+
+  F.B.beginMethod("boot", 1);
+  F.B.newInstance(0, C);
+  F.B.sputObject(Ptr, 0);
+  MethodId Boot = F.B.endMethod();
+
+  F.S.BootThreads.push_back({0, Boot, F.App, "boot"});
+  F.S.BootThreads.push_back({1'000, User, F.App, "user"});
+  F.S.BootThreads.push_back({1'000, Feeder, F.App, "feeder"});
+  F.S.BootThreads.push_back({1'000, Freer, F.App, "freer"});
+
+  Trace T = F.run();
+  AnalysisResult R = analyzeTrace(T, DetectorOptions());
+  EXPECT_EQ(R.Report.Races.size(), 1u);
+}
+
+TEST(PipeTest, ReaderWithNoWriterBlocksAtQuiescence) {
+  Fixture F;
+  PipeId P = F.M->addPipe("dead");
+  F.B.beginMethod("reader", 1);
+  F.B.pipeRead(P);
+  MethodId Reader = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Reader, F.App, "reader"});
+  RuntimeStats Stats;
+  F.run(&Stats);
+  EXPECT_EQ(Stats.BlockedAtQuiescence, 1u);
+}
+
+TEST(SendAtTimeTest, EventFiresAtAbsoluteTime) {
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  F.B.beginMethod("handler", 1);
+  F.B.constInt(0, 1);
+  F.B.sput(Marker, 0);
+  MethodId Handler = F.B.endMethod();
+
+  F.B.beginMethod("boot", 1);
+  F.B.sendEventAtTime(F.Main, Handler, /*AtMillis=*/40);
+  MethodId Boot = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Boot, F.App, "boot"});
+
+  Trace T = F.run();
+  // The handler's write is stamped at ~40 ms simulated time.
+  for (const TraceRecord &Rec : T.records()) {
+    if (Rec.Kind == OpKind::Write) {
+      EXPECT_GE(Rec.Time, 39'000u);
+      EXPECT_LT(Rec.Time, 42'000u);
+    }
+  }
+  // The send record carries the equivalent delay.
+  for (const TraceRecord &Rec : T.records()) {
+    if (Rec.Kind == OpKind::Send) {
+      EXPECT_NEAR(static_cast<double>(Rec.delayMs()), 40.0, 1.0);
+    }
+  }
+}
+
+TEST(SendAtTimeTest, ElapsedTargetFiresImmediately) {
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  F.B.beginMethod("handler", 1);
+  F.B.constInt(0, 1);
+  F.B.sput(Marker, 0);
+  MethodId Handler = F.B.endMethod();
+
+  F.B.beginMethod("boot", 1);
+  F.B.sleep(50'000); // now at 50 ms
+  F.B.sendEventAtTime(F.Main, Handler, /*AtMillis=*/10); // in the past
+  MethodId Boot = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Boot, F.App, "boot"});
+
+  Trace T = F.run();
+  for (const TraceRecord &Rec : T.records()) {
+    if (Rec.Kind == OpKind::Send) {
+      EXPECT_EQ(Rec.delayMs(), 0u);
+    }
+  }
+  for (const TraceRecord &Rec : T.records()) {
+    if (Rec.Kind == OpKind::Write) {
+      EXPECT_LT(Rec.Time, 55'000u);
+    }
+  }
+}
+
+TEST(SendAtTimeTest, OrderedEqualTargetsGetQueueRule1Edge) {
+  // Two at-time sends from one task with the same target time convert to
+  // the same delay: queue rule 1 orders the events.
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  F.B.beginMethod("h1", 1);
+  F.B.constInt(0, 1);
+  F.B.sput(Marker, 0);
+  MethodId H1 = F.B.endMethod();
+  F.B.beginMethod("h2", 1);
+  F.B.constInt(0, 2);
+  F.B.sput(Marker, 0);
+  MethodId H2 = F.B.endMethod();
+
+  F.B.beginMethod("boot", 1);
+  F.B.sendEventAtTime(F.Main, H1, 20);
+  F.B.sendEventAtTime(F.Main, H2, 20);
+  MethodId Boot = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Boot, F.App, "boot"});
+
+  Trace T = F.run();
+  TaskIndex Index(T);
+  HbIndex Hb(T, Index, HbOptions());
+  // Find the two event tasks.
+  TaskId E1, E2;
+  for (uint32_t I = 0; I != T.numTasks(); ++I) {
+    if (T.taskName(TaskId(I)) == "h1")
+      E1 = TaskId(I);
+    if (T.taskName(TaskId(I)) == "h2")
+      E2 = TaskId(I);
+  }
+  ASSERT_TRUE(E1.isValid() && E2.isValid());
+  EXPECT_TRUE(Hb.taskOrdered(E1, E2));
+  EXPECT_FALSE(Hb.taskOrdered(E2, E1));
+}
+
+} // namespace

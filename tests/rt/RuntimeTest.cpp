@@ -1,0 +1,516 @@
+//===- tests/rt/RuntimeTest.cpp -----------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Behavioral tests of the runtime simulator: event queue semantics
+// (FIFO, delays, sendAtFront), thread primitives (fork/join, monitors,
+// locks), listeners, Binder IPC, NPE unwinding, determinism, and the
+// instrumentation's record stream.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Runtime.h"
+
+#include "ir/IrBuilder.h"
+#include "trace/TraceIO.h"
+#include "trace/Validate.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+/// Scaffold for building small scenarios.
+struct Fixture {
+  std::shared_ptr<Module> M = std::make_shared<Module>();
+  IrBuilder B{*M};
+  ProcessId App;
+  QueueId Main;
+  Scenario S;
+
+  Fixture() {
+    App = M->addProcess("app");
+    Main = M->addQueue("main", App);
+    S.AppName = "test";
+    S.Program = M;
+  }
+
+  /// A handler that writes \p Marker to static scalar \p Field (used to
+  /// observe execution order via write-record order).
+  MethodId markerHandler(const char *Name, FieldId Field, int32_t Marker) {
+    B.beginMethod(Name, 1);
+    B.constInt(0, Marker);
+    B.sput(Field, 0);
+    return B.endMethod();
+  }
+
+  Trace run(RuntimeStats *Stats = nullptr) {
+    return runScenario(S, RuntimeOptions(), Stats);
+  }
+};
+
+/// Returns the Arg1 payloads of all scalar writes to \p Var, in trace
+/// order -- the observed execution order of marker handlers.
+std::vector<int64_t> writesTo(const Trace &T, uint32_t Var) {
+  std::vector<int64_t> Out;
+  for (const TraceRecord &Rec : T.records())
+    if (Rec.Kind == OpKind::Write && Rec.Arg0 == Var)
+      Out.push_back(static_cast<int64_t>(Rec.Arg1));
+  return Out;
+}
+
+/// Finds the var id used by writes in the trace (single-field fixtures).
+uint32_t onlyWrittenVar(const Trace &T) {
+  for (const TraceRecord &Rec : T.records())
+    if (Rec.Kind == OpKind::Write)
+      return static_cast<uint32_t>(Rec.Arg0);
+  ADD_FAILURE() << "no scalar write in trace";
+  return 0;
+}
+
+TEST(RuntimeTest, EventsProcessedInFifoOrder) {
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  MethodId H1 = F.markerHandler("h1", Marker, 1);
+  MethodId H2 = F.markerHandler("h2", Marker, 2);
+  MethodId H3 = F.markerHandler("h3", Marker, 3);
+  F.B.beginMethod("sender", 1);
+  F.B.sendEvent(F.Main, H1, 0);
+  F.B.sendEvent(F.Main, H2, 0);
+  F.B.sendEvent(F.Main, H3, 0);
+  MethodId Sender = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Sender, F.App, "sender"});
+
+  Trace T = F.run();
+  EXPECT_EQ(writesTo(T, onlyWrittenVar(T)),
+            (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(RuntimeTest, DelayedEventIsOvertakenByReadyOne) {
+  // Figure 4c: A sent first with delay 5 ms, B second with delay 0;
+  // B must execute before A.
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  MethodId HA = F.markerHandler("ha", Marker, 1);
+  MethodId HB = F.markerHandler("hb", Marker, 2);
+  F.B.beginMethod("sender", 1);
+  F.B.sendEvent(F.Main, HA, 5);
+  F.B.sendEvent(F.Main, HB, 0);
+  MethodId Sender = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Sender, F.App, "sender"});
+
+  Trace T = F.run();
+  EXPECT_EQ(writesTo(T, onlyWrittenVar(T)), (std::vector<int64_t>{2, 1}));
+}
+
+TEST(RuntimeTest, SendAtFrontJumpsTheQueue) {
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  MethodId H1 = F.markerHandler("h1", Marker, 1);
+  MethodId H2 = F.markerHandler("h2", Marker, 2);
+  MethodId HFront = F.markerHandler("hf", Marker, 9);
+
+  // An event C enqueues two normal events then pushes one to the front;
+  // since C finishes before the looper picks again, the front event runs
+  // first (the paper's Figure 4d situation).
+  F.B.beginMethod("c", 1);
+  F.B.sendEvent(F.Main, H1, 0);
+  F.B.sendEvent(F.Main, H2, 0);
+  F.B.sendEventAtFront(F.Main, HFront);
+  MethodId C = F.B.endMethod();
+  F.S.ExternalEvents.push_back({1'000, F.Main, C, "c"});
+
+  Trace T = F.run();
+  EXPECT_EQ(writesTo(T, onlyWrittenVar(T)),
+            (std::vector<int64_t>{9, 1, 2}));
+}
+
+TEST(RuntimeTest, JoinWaitsForThreadEnd) {
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  F.B.beginMethod("child", 1);
+  F.B.sleep(5'000);
+  F.B.constInt(0, 1);
+  F.B.sput(Marker, 0);
+  MethodId Child = F.B.endMethod();
+
+  F.B.beginMethod("parent", 2);
+  F.B.forkThread(0, Child);
+  F.B.joinThread(0);
+  F.B.constInt(1, 2);
+  F.B.sput(Marker, 1);
+  MethodId Parent = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Parent, F.App, "parent"});
+
+  RuntimeStats Stats;
+  Trace T = F.run(&Stats);
+  EXPECT_EQ(Stats.BlockedAtQuiescence, 0u);
+  // Child's write precedes parent's post-join write.
+  EXPECT_EQ(writesTo(T, onlyWrittenVar(T)), (std::vector<int64_t>{1, 2}));
+  // The join record appears after the child's end record.
+  int JoinAt = -1, ChildEndAt = -1;
+  for (uint32_t I = 0; I != T.numRecords(); ++I) {
+    if (T.record(I).Kind == OpKind::Join)
+      JoinAt = static_cast<int>(I);
+    if (T.record(I).Kind == OpKind::TaskEnd &&
+        T.taskName(T.record(I).Task).find("child") != std::string::npos)
+      ChildEndAt = static_cast<int>(I);
+  }
+  ASSERT_GE(JoinAt, 0);
+  ASSERT_GE(ChildEndAt, 0);
+  EXPECT_GT(JoinAt, ChildEndAt);
+}
+
+TEST(RuntimeTest, WaitBlocksUntilNotify) {
+  Fixture F;
+  MonitorId Mon = F.M->addMonitor("mon");
+  FieldId Marker = F.M->addStaticField("marker", false);
+
+  F.B.beginMethod("waiter", 1);
+  F.B.waitMonitor(Mon);
+  F.B.constInt(0, 1);
+  F.B.sput(Marker, 0);
+  MethodId Waiter = F.B.endMethod();
+
+  F.B.beginMethod("notifier", 1);
+  F.B.sleep(5'000);
+  F.B.constInt(0, 2);
+  F.B.sput(Marker, 0);
+  F.B.notifyMonitor(Mon);
+  MethodId Notifier = F.B.endMethod();
+
+  F.S.BootThreads.push_back({0, Waiter, F.App, "waiter"});
+  F.S.BootThreads.push_back({0, Notifier, F.App, "notifier"});
+
+  RuntimeStats Stats;
+  Trace T = F.run(&Stats);
+  EXPECT_EQ(Stats.BlockedAtQuiescence, 0u);
+  // Notifier's write (2) must precede the waiter's (1).
+  EXPECT_EQ(writesTo(T, onlyWrittenVar(T)), (std::vector<int64_t>{2, 1}));
+}
+
+TEST(RuntimeTest, PendingNotifyIsConsumedByLaterWait) {
+  Fixture F;
+  MonitorId Mon = F.M->addMonitor("mon");
+  F.B.beginMethod("notifier", 1);
+  F.B.notifyMonitor(Mon);
+  MethodId Notifier = F.B.endMethod();
+  F.B.beginMethod("waiter", 1);
+  F.B.sleep(5'000); // wait long after the notify happened
+  F.B.waitMonitor(Mon);
+  MethodId Waiter = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Notifier, F.App, "notifier"});
+  F.S.BootThreads.push_back({0, Waiter, F.App, "waiter"});
+
+  RuntimeStats Stats;
+  F.run(&Stats);
+  EXPECT_EQ(Stats.BlockedAtQuiescence, 0u);
+}
+
+TEST(RuntimeTest, WaitWithNoNotifyBlocksForever) {
+  Fixture F;
+  MonitorId Mon = F.M->addMonitor("mon");
+  F.B.beginMethod("waiter", 1);
+  F.B.waitMonitor(Mon);
+  MethodId Waiter = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Waiter, F.App, "waiter"});
+  RuntimeStats Stats;
+  F.run(&Stats);
+  EXPECT_EQ(Stats.BlockedAtQuiescence, 1u);
+}
+
+TEST(RuntimeTest, ContendedLockSerializesCriticalSections) {
+  Fixture F;
+  LockId L = F.M->addLock("l");
+  FieldId Marker = F.M->addStaticField("marker", false);
+
+  // Two threads enter the same critical section; the lock must hand over
+  // cleanly (acquire/release records strictly alternate).
+  for (int I = 0; I != 2; ++I) {
+    F.B.beginMethod(I == 0 ? "t0" : "t1", 1);
+    F.B.monitorEnter(L);
+    F.B.constInt(0, I + 1);
+    F.B.sput(Marker, 0);
+    F.B.work(200);
+    F.B.monitorExit(L);
+    MethodId Body = F.B.endMethod();
+    F.S.BootThreads.push_back(
+        {0, Body, F.App, I == 0 ? "t0" : "t1"});
+  }
+
+  RuntimeStats Stats;
+  Trace T = F.run(&Stats);
+  EXPECT_EQ(Stats.BlockedAtQuiescence, 0u);
+  int Depth = 0;
+  for (const TraceRecord &Rec : T.records()) {
+    if (Rec.Kind == OpKind::LockAcquire) {
+      ++Depth;
+      EXPECT_EQ(Depth, 1) << "lock held twice concurrently";
+    } else if (Rec.Kind == OpKind::LockRelease) {
+      --Depth;
+      EXPECT_EQ(Depth, 0);
+    }
+  }
+}
+
+TEST(RuntimeTest, ListenerDispatchesToRegisteredHandler) {
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  ListenerId L = F.M->addListener("lis", F.Main);
+  MethodId Handler = F.markerHandler("cb", Marker, 7);
+
+  F.B.beginMethod("registrar", 1);
+  F.B.registerListener(L, Handler);
+  MethodId Registrar = F.B.endMethod();
+  F.B.beginMethod("firer", 1);
+  F.B.sleep(5'000);
+  F.B.triggerListener(L);
+  MethodId Firer = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Registrar, F.App, "registrar"});
+  F.S.BootThreads.push_back({0, Firer, F.App, "firer"});
+
+  Trace T = F.run();
+  EXPECT_EQ(writesTo(T, onlyWrittenVar(T)), (std::vector<int64_t>{7}));
+  // Register, send and perform records all present (instrumented).
+  bool SawRegister = false, SawPerform = false;
+  for (const TraceRecord &Rec : T.records()) {
+    SawRegister |= Rec.Kind == OpKind::RegisterListener;
+    SawPerform |= Rec.Kind == OpKind::PerformListener;
+  }
+  EXPECT_TRUE(SawRegister);
+  EXPECT_TRUE(SawPerform);
+}
+
+TEST(RuntimeTest, UnregisteredTriggerIsNoOp) {
+  Fixture F;
+  ListenerId L = F.M->addListener("lis", F.Main);
+  F.B.beginMethod("firer", 1);
+  F.B.triggerListener(L);
+  MethodId Firer = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Firer, F.App, "firer"});
+  RuntimeStats Stats;
+  Trace T = F.run(&Stats);
+  EXPECT_EQ(Stats.EventsProcessed, 0u);
+  for (const TraceRecord &Rec : T.records())
+    EXPECT_NE(Rec.Kind, OpKind::Send);
+}
+
+TEST(RuntimeTest, UninstrumentedListenerOmitsRecordsButDispatches) {
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  ListenerId L = F.M->addListener("lis", F.Main, /*Instrumented=*/false);
+  MethodId Handler = F.markerHandler("cb", Marker, 7);
+  F.B.beginMethod("registrar", 1);
+  F.B.registerListener(L, Handler);
+  F.B.triggerListener(L);
+  MethodId Registrar = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Registrar, F.App, "registrar"});
+
+  Trace T = F.run();
+  // The callback ran...
+  EXPECT_EQ(writesTo(T, onlyWrittenVar(T)), (std::vector<int64_t>{7}));
+  // ...but neither register nor perform was traced; the framework send
+  // still is (Section 5.2: Handler/Looper are instrumented).
+  bool SawSend = false;
+  for (const TraceRecord &Rec : T.records()) {
+    EXPECT_NE(Rec.Kind, OpKind::RegisterListener);
+    EXPECT_NE(Rec.Kind, OpKind::PerformListener);
+    SawSend |= Rec.Kind == OpKind::Send;
+  }
+  EXPECT_TRUE(SawSend);
+}
+
+TEST(RuntimeTest, BinderCallRunsInTargetProcessWithIpcRecords) {
+  Fixture F;
+  ProcessId Svc = F.M->addProcess("service");
+  FieldId Marker = F.M->addStaticField("marker", false);
+  MethodId Remote = F.markerHandler("remoteBody", Marker, 5);
+  F.B.beginMethod("caller", 1);
+  F.B.binderCall(Svc, Remote);
+  MethodId Caller = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Caller, F.App, "caller"});
+
+  Trace T = F.run();
+  EXPECT_EQ(writesTo(T, onlyWrittenVar(T)), (std::vector<int64_t>{5}));
+  int SendAt = -1, RecvAt = -1;
+  uint64_t Txn = 0;
+  for (uint32_t I = 0; I != T.numRecords(); ++I) {
+    const TraceRecord &Rec = T.record(I);
+    if (Rec.Kind == OpKind::IpcSend) {
+      SendAt = static_cast<int>(I);
+      Txn = Rec.Arg0;
+    }
+    if (Rec.Kind == OpKind::IpcRecv) {
+      RecvAt = static_cast<int>(I);
+      EXPECT_EQ(Rec.Arg0, Txn);
+      EXPECT_EQ(T.taskInfo(Rec.Task).Process, Svc);
+    }
+  }
+  ASSERT_GE(SendAt, 0);
+  ASSERT_GE(RecvAt, 0);
+  EXPECT_GT(RecvAt, SendAt);
+}
+
+TEST(RuntimeTest, NullDereferenceAbortsTaskNotRun) {
+  Fixture F;
+  FieldId Ptr = F.M->addStaticField("ptr", true);
+  FieldId Marker = F.M->addStaticField("marker", false);
+  F.B.beginMethod("crasher", 2);
+  F.B.sgetObject(0, Ptr); // null: never initialized
+  F.B.igetObject(1, 0, F.M->addField("f", F.M->addClass("C"), true));
+  MethodId Crasher = F.B.endMethod();
+  MethodId After = F.markerHandler("after", Marker, 3);
+  F.S.ExternalEvents.push_back({1'000, F.Main, Crasher, "crasher"});
+  F.S.ExternalEvents.push_back({5'000, F.Main, After, "after"});
+
+  RuntimeStats Stats;
+  Trace T = F.run(&Stats);
+  EXPECT_EQ(Stats.NullPointerExceptions, 1u);
+  // The run continued: the later event executed.
+  EXPECT_EQ(writesTo(T, onlyWrittenVar(T)), (std::vector<int64_t>{3}));
+  // The crashing frame exited by throw.
+  bool SawThrowExit = false;
+  for (const TraceRecord &Rec : T.records())
+    if (Rec.Kind == OpKind::MethodExit && Rec.exitedByThrow())
+      SawThrowExit = true;
+  EXPECT_TRUE(SawThrowExit);
+  // The trace is still well-formed.
+  EXPECT_TRUE(validateTrace(T).ok()) << validateTrace(T).message();
+}
+
+TEST(RuntimeTest, InstructionCapFailsTheRun) {
+  Fixture F;
+  F.B.beginMethod("spin", 1);
+  Label Loop = F.B.newLabel();
+  F.B.bind(Loop);
+  F.B.constInt(0, 1);
+  F.B.gotoLabel(Loop);
+  MethodId Spin = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Spin, F.App, "spin"});
+  RuntimeOptions Opt;
+  Opt.MaxInstructions = 10'000;
+  Runtime Rt(F.S, Opt);
+  Status S = Rt.run();
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("instruction cap"), std::string::npos);
+}
+
+TEST(RuntimeTest, VerifierFailureSurfacesFromRun) {
+  Fixture F;
+  MethodDef Bad;
+  Bad.Name = F.M->names().intern("bad");
+  Bad.NumRegs = 1;
+  Instr I;
+  I.Op = Opcode::ConstNull;
+  I.A = 9; // out of range
+  Bad.Code.push_back(I);
+  Instr Ret;
+  Ret.Op = Opcode::ReturnVoid;
+  Bad.Code.push_back(Ret);
+  MethodId BadId = F.M->addMethod(std::move(Bad));
+  F.S.BootThreads.push_back({0, BadId, F.App, "bad"});
+  Runtime Rt(F.S, RuntimeOptions());
+  EXPECT_FALSE(Rt.run().ok());
+}
+
+TEST(RuntimeTest, DeterministicTraceAcrossRuns) {
+  Fixture F;
+  FieldId Marker = F.M->addStaticField("marker", false);
+  MethodId H1 = F.markerHandler("h1", Marker, 1);
+  F.B.beginMethod("sender", 2);
+  Label Loop = F.B.newLabel();
+  F.B.constInt(0, 20);
+  F.B.bind(Loop);
+  F.B.sendEvent(F.Main, H1, 0);
+  F.B.addInt(0, 0, -1);
+  F.B.ifIntNez(0, Loop);
+  MethodId Sender = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Sender, F.App, "sender"});
+
+  Trace T1 = runScenario(F.S, RuntimeOptions());
+  Trace T2 = runScenario(F.S, RuntimeOptions());
+  EXPECT_EQ(serializeTrace(T1), serializeTrace(T2));
+}
+
+TEST(RuntimeTest, SleepAdvancesSimTimeCheaply) {
+  Fixture F;
+  F.B.beginMethod("sleeper", 1);
+  F.B.sleep(250'000);
+  MethodId Sleeper = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Sleeper, F.App, "sleeper"});
+  RuntimeStats Stats;
+  F.run(&Stats);
+  EXPECT_GE(Stats.SimEndMicros, 250'000u);
+  EXPECT_LT(Stats.InstructionsExecuted, 10u);
+}
+
+TEST(RuntimeTest, EventArgumentReachesHandler) {
+  Fixture F;
+  ClassId C = F.M->addClass("C");
+  FieldId IntField = F.M->addField("x", C, false);
+  FieldId Marker = F.M->addStaticField("marker", false);
+
+  // Handler receives an object in v0 and copies its field to the marker.
+  F.B.beginMethod("handler", 2);
+  F.B.iget(1, 0, IntField);
+  F.B.sput(Marker, 1);
+  MethodId Handler = F.B.endMethod();
+
+  F.B.beginMethod("sender", 2);
+  F.B.newInstance(0, C);
+  F.B.constInt(1, 41);
+  F.B.iput(0, IntField, 1);
+  F.B.sendEvent(F.Main, Handler, 0, /*Arg=*/0);
+  MethodId Sender = F.B.endMethod();
+  F.S.BootThreads.push_back({0, Sender, F.App, "sender"});
+
+  Trace T = F.run();
+  std::vector<int64_t> MarkerWrites;
+  for (const TraceRecord &Rec : T.records())
+    if (Rec.Kind == OpKind::Write)
+      MarkerWrites.push_back(static_cast<int64_t>(Rec.Arg1));
+  ASSERT_FALSE(MarkerWrites.empty());
+  EXPECT_EQ(MarkerWrites.back(), 41);
+}
+
+TEST(RuntimeTest, TraceValidatesForAllPrimitives) {
+  // A scenario touching every primitive produces a validator-clean trace.
+  Fixture F;
+  ProcessId Svc = F.M->addProcess("svc");
+  LockId L = F.M->addLock("l");
+  MonitorId Mon = F.M->addMonitor("mon");
+  ListenerId Lis = F.M->addListener("lis", F.Main);
+  FieldId Marker = F.M->addStaticField("marker", false);
+
+  MethodId Cb = F.markerHandler("cb", Marker, 1);
+  MethodId Remote = F.markerHandler("remote", Marker, 2);
+
+  F.B.beginMethod("worker", 1);
+  F.B.monitorEnter(L);
+  F.B.monitorExit(L);
+  F.B.notifyMonitor(Mon);
+  MethodId Worker = F.B.endMethod();
+
+  F.B.beginMethod("mainBody", 2);
+  F.B.registerListener(Lis, Cb);
+  F.B.forkThread(0, Worker);
+  F.B.waitMonitor(Mon);
+  F.B.joinThread(0);
+  F.B.triggerListener(Lis);
+  F.B.binderCall(Svc, Remote);
+  MethodId MainBody = F.B.endMethod();
+  F.S.BootThreads.push_back({0, MainBody, F.App, "main"});
+
+  RuntimeStats Stats;
+  Trace T = F.run(&Stats);
+  EXPECT_EQ(Stats.BlockedAtQuiescence, 0u);
+  EXPECT_EQ(Stats.NullPointerExceptions, 0u);
+  Status V = validateTrace(T);
+  EXPECT_TRUE(V.ok()) << V.message();
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- tests/support/BitVecTest.cpp -------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVec.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cafa;
+
+namespace {
+
+TEST(BitVecTest, StartsEmpty) {
+  BitVec V(100);
+  EXPECT_EQ(V.size(), 100u);
+  EXPECT_TRUE(V.none());
+  EXPECT_EQ(V.count(), 0u);
+  for (size_t I = 0; I < 100; ++I)
+    EXPECT_FALSE(V.test(I));
+}
+
+TEST(BitVecTest, SetResetTest) {
+  BitVec V(130);
+  V.set(0);
+  V.set(63);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(63));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 4u);
+  V.reset(63);
+  EXPECT_FALSE(V.test(63));
+  EXPECT_EQ(V.count(), 3u);
+}
+
+TEST(BitVecTest, Clear) {
+  BitVec V(70);
+  V.set(3);
+  V.set(69);
+  V.clear();
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitVecTest, OrWithReportsChange) {
+  BitVec A(128), B(128);
+  B.set(5);
+  B.set(100);
+  EXPECT_TRUE(A.orWith(B));
+  EXPECT_TRUE(A.test(5));
+  EXPECT_TRUE(A.test(100));
+  // Second OR changes nothing.
+  EXPECT_FALSE(A.orWith(B));
+}
+
+TEST(BitVecTest, AnyCommon) {
+  BitVec A(200), B(200);
+  A.set(150);
+  B.set(151);
+  EXPECT_FALSE(A.anyCommon(B));
+  B.set(150);
+  EXPECT_TRUE(A.anyCommon(B));
+}
+
+TEST(BitVecTest, ForEachSetBitAscending) {
+  BitVec V(300);
+  std::vector<size_t> Want = {0, 1, 63, 64, 65, 128, 299};
+  for (size_t I : Want)
+    V.set(I);
+  std::vector<size_t> Got;
+  V.forEachSetBit([&](size_t I) { Got.push_back(I); });
+  EXPECT_EQ(Got, Want);
+}
+
+TEST(BitVecTest, ResizeKeepsBitsAndClearsTail) {
+  BitVec V(10);
+  V.set(9);
+  V.resize(100);
+  EXPECT_TRUE(V.test(9));
+  EXPECT_FALSE(V.test(99));
+  EXPECT_EQ(V.count(), 1u);
+  // Shrinking drops out-of-range bits from count().
+  V.set(90);
+  V.resize(50);
+  EXPECT_EQ(V.count(), 1u);
+}
+
+TEST(BitVecTest, NonMultipleOf64CountExact) {
+  BitVec V(67);
+  for (size_t I = 0; I < 67; ++I)
+    V.set(I);
+  EXPECT_EQ(V.count(), 67u);
+}
+
+/// Property: BitVec agrees with a std::set reference model under random
+/// operations.
+TEST(BitVecTest, PropertyMatchesReferenceModel) {
+  Rng R(42);
+  for (int Round = 0; Round != 20; ++Round) {
+    size_t N = 1 + R.below(500);
+    BitVec V(N);
+    std::set<size_t> Ref;
+    for (int Op = 0; Op != 300; ++Op) {
+      size_t I = R.below(N);
+      if (R.chance(1, 3)) {
+        V.reset(I);
+        Ref.erase(I);
+      } else {
+        V.set(I);
+        Ref.insert(I);
+      }
+    }
+    EXPECT_EQ(V.count(), Ref.size());
+    std::vector<size_t> Got;
+    V.forEachSetBit([&](size_t I) { Got.push_back(I); });
+    EXPECT_EQ(Got, std::vector<size_t>(Ref.begin(), Ref.end()));
+  }
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+//===- tests/support/SupportTest.cpp ------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/Ids.h"
+#include "support/Rng.h"
+#include "support/Status.h"
+#include "support/StringInterner.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace cafa;
+
+namespace {
+
+// --- Ids ----------------------------------------------------------------
+
+TEST(IdsTest, InvalidSentinel) {
+  TaskId Id;
+  EXPECT_FALSE(Id.isValid());
+  EXPECT_EQ(Id, TaskId::invalid());
+  TaskId Valid(0);
+  EXPECT_TRUE(Valid.isValid());
+  EXPECT_NE(Valid, Id);
+}
+
+TEST(IdsTest, OrderingAndHash) {
+  EXPECT_LT(TaskId(1), TaskId(2));
+  EXPECT_LE(TaskId(2), TaskId(2));
+  EXPECT_GT(TaskId(3), TaskId(2));
+  std::unordered_set<TaskId> Set;
+  Set.insert(TaskId(7));
+  EXPECT_TRUE(Set.count(TaskId(7)));
+  EXPECT_FALSE(Set.count(TaskId(8)));
+}
+
+TEST(IdsTest, DistinctIdSpacesDoNotMix) {
+  // Compile-time property: TaskId and QueueId are unrelated types.
+  static_assert(!std::is_convertible_v<TaskId, QueueId>,
+                "id spaces must not convert into each other");
+  static_assert(!std::is_convertible_v<uint32_t, TaskId>,
+                "raw integers must not implicitly become ids");
+  SUCCEED();
+}
+
+// --- Status / Expected -----------------------------------------------------
+
+TEST(StatusTest, SuccessAndError) {
+  Status Ok;
+  EXPECT_TRUE(Ok.ok());
+  EXPECT_TRUE(Ok.message().empty());
+  Status Err = Status::error("file is corrupt");
+  EXPECT_FALSE(Err.ok());
+  EXPECT_EQ(Err.message(), "file is corrupt");
+}
+
+TEST(StatusTest, ExpectedHoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(E.ok());
+  EXPECT_EQ(*E, 42);
+  EXPECT_EQ(E.take(), 42);
+}
+
+TEST(StatusTest, ExpectedHoldsError) {
+  Expected<int> E(Status::error("nope"));
+  EXPECT_FALSE(E.ok());
+  EXPECT_EQ(E.status().message(), "nope");
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(R.below(Bound), Bound);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng R(11);
+  int Hits = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits += R.chance(1, 4);
+  EXPECT_GT(Hits, 2100);
+  EXPECT_LT(Hits, 2900);
+}
+
+// --- Format ---------------------------------------------------------------------
+
+TEST(FormatTest, FormatString) {
+  EXPECT_EQ(formatString("x=%d y=%s", 5, "ok"), "x=5 y=ok");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(FormatTest, ThousandsSeparator) {
+  EXPECT_EQ(withThousandsSep(0), "0");
+  EXPECT_EQ(withThousandsSep(999), "999");
+  EXPECT_EQ(withThousandsSep(1000), "1,000");
+  EXPECT_EQ(withThousandsSep(1664), "1,664");
+  EXPECT_EQ(withThousandsSep(1234567890), "1,234,567,890");
+}
+
+TEST(FormatTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abc");
+  EXPECT_EQ(padRight("abcdef", 3), "abc");
+}
+
+// --- StringInterner -----------------------------------------------------------
+
+TEST(StringInternerTest, InternsAndDeduplicates) {
+  StringInterner Pool;
+  StrId A = Pool.intern("onPause");
+  StrId B = Pool.intern("onResume");
+  StrId A2 = Pool.intern("onPause");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Pool.str(A), "onPause");
+  EXPECT_EQ(Pool.str(B), "onResume");
+  EXPECT_EQ(Pool.size(), 2u);
+}
+
+TEST(StringInternerTest, EmptyAndLongStrings) {
+  StringInterner Pool;
+  StrId Empty = Pool.intern("");
+  EXPECT_EQ(Pool.str(Empty), "");
+  std::string Long(5000, 'x');
+  StrId L = Pool.intern(Long);
+  EXPECT_EQ(Pool.str(L), Long);
+}
+
+// --- Timer -----------------------------------------------------------------------
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  Timer T;
+  uint64_t W1 = T.elapsedWallNanos();
+  uint64_t W2 = T.elapsedWallNanos();
+  EXPECT_LE(W1, W2);
+  T.restart();
+  // After restart the counter starts over (can only check it is small
+  // relative to a second).
+  EXPECT_LT(T.elapsedWallMillis(), 1000.0);
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+//===- tests/trace/TraceBuilderTest.cpp ---------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+TEST(TraceBuilderTest, TimestampsAutoIncrement) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1).read(T1, 0).write(T1, 1).end(T1);
+  const Trace &T = TB.trace();
+  ASSERT_EQ(T.numRecords(), 4u);
+  for (uint32_t I = 1; I != 4; ++I)
+    EXPECT_LT(T.record(I - 1).Time, T.record(I).Time);
+}
+
+TEST(TraceBuilderTest, LastRecordTracksAppends) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  EXPECT_EQ(TB.lastRecord(), 0u);
+  TB.read(T1, 5);
+  EXPECT_EQ(TB.lastRecord(), 1u);
+}
+
+TEST(TraceBuilderTest, SendFillsQueueFromTaskTable) {
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  TaskId T1 = TB.addThread("t");
+  TaskId E1 = TB.addEvent("e", Q, 7);
+  TB.begin(T1).send(T1, E1, 7);
+  const TraceRecord &Send = TB.trace().record(TB.lastRecord());
+  EXPECT_EQ(Send.queue(), Q);
+  EXPECT_EQ(Send.targetTask(), E1);
+  EXPECT_EQ(Send.delayMs(), 7u);
+}
+
+TEST(TraceBuilderTest, SideTablesCarryMetadata) {
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  MethodId M = TB.addMethod("onPause", 17);
+  ListenerId L = TB.addListener("focus", /*Instrumented=*/false);
+  TaskId E = TB.addEvent("e", Q, 3, /*AtFront=*/true, /*External=*/true);
+  const Trace &T = TB.trace();
+  EXPECT_EQ(T.methodName(M), "onPause");
+  EXPECT_EQ(T.methodInfo(M).CodeSize, 17u);
+  EXPECT_FALSE(T.listenerInfo(L).Instrumented);
+  EXPECT_TRUE(T.taskInfo(E).SentAtFront);
+  EXPECT_TRUE(T.taskInfo(E).External);
+  EXPECT_EQ(T.taskInfo(E).DelayMs, 3u);
+  EXPECT_EQ(T.taskInfo(E).Queue, Q);
+}
+
+TEST(TraceBuilderTest, RecordsCarryMethodAndPc) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 30);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1);
+  TB.ptrRead(T1, 4, 9, M, 12);
+  const TraceRecord &Rec = TB.trace().record(TB.lastRecord());
+  EXPECT_EQ(Rec.Method, M);
+  EXPECT_EQ(Rec.Pc, 12u);
+  EXPECT_EQ(Rec.var(), VarId(4));
+  EXPECT_EQ(Rec.object(), ObjectId(9));
+}
+
+TEST(TraceBuilderTest, TakeMovesTheTrace) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1).end(T1);
+  Trace T = TB.take();
+  EXPECT_EQ(T.numRecords(), 2u);
+  EXPECT_EQ(T.numTasks(), 1u);
+}
+
+} // namespace

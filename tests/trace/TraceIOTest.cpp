@@ -1,0 +1,161 @@
+//===- tests/trace/TraceIOTest.cpp --------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include "trace/TraceBuilder.h"
+#include "trace/Validate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace cafa;
+
+namespace {
+
+Trace makeSampleTrace() {
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main queue"); // space exercises escaping
+  TB.addMethod("onPause", 12);
+  MethodId M = TB.addMethod("on Resume", 30);
+  TB.addListener("focus", false);
+  TaskId T1 = TB.addThread("worker");
+  TaskId E1 = TB.addEvent("onPause", Q, 25, false, false);
+  TaskId E2 = TB.addEvent("tap", Q, 0, false, true);
+  TB.begin(T1).send(T1, E1, 25);
+  TB.begin(E2).ptrRead(E2, 4, 9, M, 7).deref(E2, 9, DerefKind::Invoke, M, 8);
+  TB.end(E2);
+  TB.begin(E1).ptrWrite(E1, 4, 0, M, 3).end(E1);
+  TB.end(T1);
+  return TB.take();
+}
+
+/// Structural equality of two traces.
+void expectTracesEqual(const Trace &A, const Trace &B) {
+  ASSERT_EQ(A.numRecords(), B.numRecords());
+  ASSERT_EQ(A.numTasks(), B.numTasks());
+  ASSERT_EQ(A.numQueues(), B.numQueues());
+  ASSERT_EQ(A.numMethods(), B.numMethods());
+  ASSERT_EQ(A.numListeners(), B.numListeners());
+  for (uint32_t I = 0; I != A.numRecords(); ++I) {
+    const TraceRecord &X = A.record(I);
+    const TraceRecord &Y = B.record(I);
+    EXPECT_EQ(X.Task, Y.Task) << "record " << I;
+    EXPECT_EQ(X.Kind, Y.Kind) << "record " << I;
+    EXPECT_EQ(X.Method, Y.Method) << "record " << I;
+    EXPECT_EQ(X.Pc, Y.Pc) << "record " << I;
+    EXPECT_EQ(X.Arg0, Y.Arg0) << "record " << I;
+    EXPECT_EQ(X.Arg1, Y.Arg1) << "record " << I;
+    EXPECT_EQ(X.Arg2, Y.Arg2) << "record " << I;
+    EXPECT_EQ(X.Time, Y.Time) << "record " << I;
+  }
+  for (uint32_t I = 0; I != A.numTasks(); ++I) {
+    const TaskInfo &X = A.taskInfo(TaskId(I));
+    const TaskInfo &Y = B.taskInfo(TaskId(I));
+    EXPECT_EQ(X.Kind, Y.Kind);
+    EXPECT_EQ(A.taskName(TaskId(I)), B.taskName(TaskId(I)));
+    EXPECT_EQ(X.Queue, Y.Queue);
+    EXPECT_EQ(X.DelayMs, Y.DelayMs);
+    EXPECT_EQ(X.SentAtFront, Y.SentAtFront);
+    EXPECT_EQ(X.External, Y.External);
+  }
+  for (uint32_t I = 0; I != A.numMethods(); ++I) {
+    EXPECT_EQ(A.methodName(MethodId(I)), B.methodName(MethodId(I)));
+    EXPECT_EQ(A.methodInfo(MethodId(I)).CodeSize,
+              B.methodInfo(MethodId(I)).CodeSize);
+  }
+  for (uint32_t I = 0; I != A.numListeners(); ++I)
+    EXPECT_EQ(A.listenerInfo(ListenerId(I)).Instrumented,
+              B.listenerInfo(ListenerId(I)).Instrumented);
+}
+
+TEST(TraceIOTest, SerializeParseRoundTrip) {
+  Trace Original = makeSampleTrace();
+  std::string Text = serializeTrace(Original);
+  Trace Parsed;
+  Status S = parseTrace(Text, Parsed);
+  ASSERT_TRUE(S.ok()) << S.message();
+  expectTracesEqual(Original, Parsed);
+}
+
+TEST(TraceIOTest, FileRoundTrip) {
+  Trace Original = makeSampleTrace();
+  std::string Path = testing::TempDir() + "/cafa_trace_io_test.trace";
+  ASSERT_TRUE(writeTraceFile(Original, Path).ok());
+  Trace Parsed;
+  Status S = readTraceFile(Path, Parsed);
+  ASSERT_TRUE(S.ok()) << S.message();
+  expectTracesEqual(Original, Parsed);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, MissingHeaderRejected) {
+  Trace Out;
+  Status S = parseTrace("not a trace\n", Out);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("header"), std::string::npos);
+}
+
+TEST(TraceIOTest, UnknownDirectiveRejected) {
+  Trace Out;
+  Status S = parseTrace("cafa-trace v1\nbogus 1 2 3\n", Out);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("unknown directive"), std::string::npos);
+}
+
+TEST(TraceIOTest, MalformedRecLineRejected) {
+  Trace Out;
+  Status S = parseTrace("cafa-trace v1\n"
+                        "task 0 thread t - 4294967295 4294967295 "
+                        "4294967295 0 0 0 4294967295 0\n"
+                        "rec 0 rd 0\n",
+                        Out);
+  EXPECT_FALSE(S.ok());
+}
+
+TEST(TraceIOTest, RecForUndeclaredTaskRejected) {
+  Trace Out;
+  Status S = parseTrace(
+      "cafa-trace v1\nrec 5 rd 4294967295 0 0 0 0 1\n", Out);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("undeclared task"), std::string::npos);
+}
+
+TEST(TraceIOTest, NonDenseIdsRejected) {
+  Trace Out;
+  Status S = parseTrace("cafa-trace v1\nmethod 3 foo 10\n", Out);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("dense"), std::string::npos);
+}
+
+TEST(TraceIOTest, CommentsAndBlankLinesIgnored) {
+  Trace Out;
+  Status S = parseTrace("cafa-trace v1\n\n# a comment\n", Out);
+  EXPECT_TRUE(S.ok()) << S.message();
+  EXPECT_EQ(Out.numRecords(), 0u);
+}
+
+TEST(TraceIOTest, NameEscapingSurvivesSpacesAndBackslashes) {
+  TraceBuilder TB;
+  TB.addQueue("queue with spaces");
+  TB.addMethod("weird\\name", 1);
+  std::string Text = serializeTrace(TB.trace());
+  Trace Parsed;
+  ASSERT_TRUE(parseTrace(Text, Parsed).ok());
+  EXPECT_EQ(Parsed.names().str(Parsed.queueInfo(QueueId(0)).Name),
+            "queue with spaces");
+  EXPECT_EQ(Parsed.methodName(MethodId(0)), "weird\\name");
+}
+
+TEST(TraceIOTest, ReadMissingFileFails) {
+  Trace Out;
+  Status S = readTraceFile("/nonexistent/path/file.trace", Out);
+  EXPECT_FALSE(S.ok());
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+//===- tests/trace/ValidateTest.cpp -------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Validate.h"
+
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+/// Expects validation to fail with a message containing \p Needle.
+void expectInvalid(const Trace &T, const char *Needle) {
+  Status S = validateTrace(T);
+  ASSERT_FALSE(S.ok()) << "expected validation failure: " << Needle;
+  EXPECT_NE(S.message().find(Needle), std::string::npos) << S.message();
+}
+
+TEST(ValidateTest, AcceptsWellFormedTrace) {
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  TaskId T1 = TB.addThread("t");
+  TaskId E1 = TB.addEvent("e", Q);
+  TB.begin(T1).send(T1, E1, 0);
+  TB.begin(E1).end(E1);
+  TB.end(T1);
+  EXPECT_TRUE(validateTrace(TB.trace()).ok());
+}
+
+TEST(ValidateTest, RejectsDuplicateBegin) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1).begin(T1);
+  expectInvalid(TB.trace(), "duplicate begin");
+}
+
+TEST(ValidateTest, RejectsOperationBeforeBegin) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t");
+  TB.read(T1, 0);
+  expectInvalid(TB.trace(), "before task begin");
+}
+
+TEST(ValidateTest, RejectsOperationAfterEnd) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1).end(T1).read(T1, 0);
+  expectInvalid(TB.trace(), "after task end");
+}
+
+TEST(ValidateTest, RejectsUnsentEventBegin) {
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  TaskId E1 = TB.addEvent("e", Q);
+  TB.begin(E1);
+  expectInvalid(TB.trace(), "before being sent");
+}
+
+TEST(ValidateTest, AcceptsExternalEventWithoutSend) {
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  TaskId E1 = TB.addEvent("e", Q, 0, false, /*External=*/true);
+  TB.begin(E1).end(E1);
+  EXPECT_TRUE(validateTrace(TB.trace()).ok());
+}
+
+TEST(ValidateTest, RejectsDoubleSend) {
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  TaskId T1 = TB.addThread("t");
+  TaskId E1 = TB.addEvent("e", Q);
+  TB.begin(T1).send(T1, E1, 0).send(T1, E1, 0);
+  expectInvalid(TB.trace(), "sent twice");
+}
+
+TEST(ValidateTest, RejectsInterleavedEventsOnOneQueue) {
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  TaskId E1 = TB.addEvent("e1", Q, 0, false, true);
+  TaskId E2 = TB.addEvent("e2", Q, 0, false, true);
+  TB.begin(E1).begin(E2);
+  expectInvalid(TB.trace(), "must not interleave");
+}
+
+TEST(ValidateTest, AcceptsInterleavedEventsOnDifferentQueues) {
+  TraceBuilder TB;
+  QueueId Q1 = TB.addQueue("main");
+  QueueId Q2 = TB.addQueue("bg");
+  TaskId E1 = TB.addEvent("e1", Q1, 0, false, true);
+  TaskId E2 = TB.addEvent("e2", Q2, 0, false, true);
+  TB.begin(E1).begin(E2).end(E2).end(E1);
+  EXPECT_TRUE(validateTrace(TB.trace()).ok());
+}
+
+TEST(ValidateTest, RejectsJoinOfRunningThread) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t1");
+  TaskId T2 = TB.addThread("t2");
+  TB.begin(T1).begin(T2).join(T1, T2);
+  expectInvalid(TB.trace(), "has not ended");
+}
+
+TEST(ValidateTest, RejectsUnbalancedLockRelease) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1).lockRelease(T1, 3);
+  expectInvalid(TB.trace(), "unbalanced lock release");
+}
+
+TEST(ValidateTest, RejectsEndWhileHoldingLock) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1).lockAcquire(T1, 3).end(T1);
+  expectInvalid(TB.trace(), "holding a lock");
+}
+
+TEST(ValidateTest, RejectsUnbalancedMethodExit) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 4);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1).methodExit(T1, M, 1);
+  expectInvalid(TB.trace(), "unbalanced method exit");
+}
+
+TEST(ValidateTest, RejectsFrameIdReuse) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 4);
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1)
+      .methodEnter(T1, M, 7)
+      .methodExit(T1, M, 7)
+      .methodEnter(T1, M, 7);
+  expectInvalid(TB.trace(), "frame id reused");
+}
+
+TEST(ValidateTest, RejectsNonMonotonicTimestamps) {
+  TraceBuilder TB;
+  TaskId T1 = TB.addThread("t");
+  TB.begin(T1).read(T1, 0);
+  Trace T = TB.take();
+  // Corrupt the second record's time by rebuilding a raw trace.
+  Trace Bad;
+  TaskInfo Info;
+  Info.Kind = TaskKind::Thread;
+  TaskId BT = Bad.addTask(Info);
+  TraceRecord R1;
+  R1.Task = BT;
+  R1.Kind = OpKind::TaskBegin;
+  R1.Time = 10;
+  Bad.append(R1);
+  TraceRecord R2;
+  R2.Task = BT;
+  R2.Kind = OpKind::Read;
+  R2.Time = 5;
+  Bad.append(R2);
+  expectInvalid(Bad, "nondecreasing");
+}
+
+TEST(ValidateTest, RejectsSendQueueMismatch) {
+  TraceBuilder TB;
+  QueueId Q1 = TB.addQueue("main");
+  TB.addQueue("bg");
+  TaskId T1 = TB.addThread("t");
+  TaskId E1 = TB.addEvent("e", Q1);
+  TB.begin(T1);
+  // Forge a send naming the wrong queue.
+  Trace T = TB.take();
+  TraceRecord Rec;
+  Rec.Task = T1;
+  Rec.Kind = OpKind::Send;
+  Rec.Arg0 = E1.value();
+  Rec.Arg1 = 0;
+  Rec.Arg2 = 1; // wrong queue
+  Rec.Time = 100;
+  T.append(Rec);
+  expectInvalid(T, "queue disagrees");
+}
+
+} // namespace
