@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deref_matching.dir/ablation_deref_matching.cpp.o"
+  "CMakeFiles/ablation_deref_matching.dir/ablation_deref_matching.cpp.o.d"
+  "ablation_deref_matching"
+  "ablation_deref_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deref_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

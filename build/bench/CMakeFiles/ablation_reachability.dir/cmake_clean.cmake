@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reachability.dir/ablation_reachability.cpp.o"
+  "CMakeFiles/ablation_reachability.dir/ablation_reachability.cpp.o.d"
+  "ablation_reachability"
+  "ablation_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_causality.dir/fig4_causality.cpp.o"
+  "CMakeFiles/fig4_causality.dir/fig4_causality.cpp.o.d"
+  "fig4_causality"
+  "fig4_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

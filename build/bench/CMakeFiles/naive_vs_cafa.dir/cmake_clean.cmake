@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_vs_cafa.dir/naive_vs_cafa.cpp.o"
+  "CMakeFiles/naive_vs_cafa.dir/naive_vs_cafa.cpp.o.d"
+  "naive_vs_cafa"
+  "naive_vs_cafa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_vs_cafa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

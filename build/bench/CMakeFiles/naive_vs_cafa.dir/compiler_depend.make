@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for naive_vs_cafa.
+# This may be replaced when dependencies are built.

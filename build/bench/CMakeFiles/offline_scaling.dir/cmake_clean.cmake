@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_scaling.dir/offline_scaling.cpp.o"
+  "CMakeFiles/offline_scaling.dir/offline_scaling.cpp.o.d"
+  "offline_scaling"
+  "offline_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_races.dir/table1_races.cpp.o"
+  "CMakeFiles/table1_races.dir/table1_races.cpp.o.d"
+  "table1_races"
+  "table1_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commutative_events.dir/commutative_events.cpp.o"
+  "CMakeFiles/commutative_events.dir/commutative_events.cpp.o.d"
+  "commutative_events"
+  "commutative_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commutative_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

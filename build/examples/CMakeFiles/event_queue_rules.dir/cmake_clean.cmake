@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_queue_rules.dir/event_queue_rules.cpp.o"
+  "CMakeFiles/event_queue_rules.dir/event_queue_rules.cpp.o.d"
+  "event_queue_rules"
+  "event_queue_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_queue_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

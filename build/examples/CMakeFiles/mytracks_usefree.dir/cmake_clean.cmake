@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mytracks_usefree.dir/mytracks_usefree.cpp.o"
+  "CMakeFiles/mytracks_usefree.dir/mytracks_usefree.cpp.o.d"
+  "mytracks_usefree"
+  "mytracks_usefree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mytracks_usefree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mytracks_usefree.
+# This may be replaced when dependencies are built.

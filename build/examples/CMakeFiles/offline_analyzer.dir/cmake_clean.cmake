@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_analyzer.dir/offline_analyzer.cpp.o"
+  "CMakeFiles/offline_analyzer.dir/offline_analyzer.cpp.o.d"
+  "offline_analyzer"
+  "offline_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

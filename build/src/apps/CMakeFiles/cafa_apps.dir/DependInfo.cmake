@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/AppKit.cpp" "src/apps/CMakeFiles/cafa_apps.dir/AppKit.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/AppKit.cpp.o.d"
+  "/root/repo/src/apps/Browser.cpp" "src/apps/CMakeFiles/cafa_apps.dir/Browser.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/Browser.cpp.o.d"
+  "/root/repo/src/apps/Camera.cpp" "src/apps/CMakeFiles/cafa_apps.dir/Camera.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/Camera.cpp.o.d"
+  "/root/repo/src/apps/ConnectBot.cpp" "src/apps/CMakeFiles/cafa_apps.dir/ConnectBot.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/ConnectBot.cpp.o.d"
+  "/root/repo/src/apps/FBReader.cpp" "src/apps/CMakeFiles/cafa_apps.dir/FBReader.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/FBReader.cpp.o.d"
+  "/root/repo/src/apps/Firefox.cpp" "src/apps/CMakeFiles/cafa_apps.dir/Firefox.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/Firefox.cpp.o.d"
+  "/root/repo/src/apps/Music.cpp" "src/apps/CMakeFiles/cafa_apps.dir/Music.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/Music.cpp.o.d"
+  "/root/repo/src/apps/MyTracks.cpp" "src/apps/CMakeFiles/cafa_apps.dir/MyTracks.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/MyTracks.cpp.o.d"
+  "/root/repo/src/apps/Registry.cpp" "src/apps/CMakeFiles/cafa_apps.dir/Registry.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/Registry.cpp.o.d"
+  "/root/repo/src/apps/ToDoList.cpp" "src/apps/CMakeFiles/cafa_apps.dir/ToDoList.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/ToDoList.cpp.o.d"
+  "/root/repo/src/apps/Vlc.cpp" "src/apps/CMakeFiles/cafa_apps.dir/Vlc.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/Vlc.cpp.o.d"
+  "/root/repo/src/apps/ZXing.cpp" "src/apps/CMakeFiles/cafa_apps.dir/ZXing.cpp.o" "gcc" "src/apps/CMakeFiles/cafa_apps.dir/ZXing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/cafa_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cafa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/cafa_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cafa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/cafa_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cafa_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_apps.dir/AppKit.cpp.o"
+  "CMakeFiles/cafa_apps.dir/AppKit.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/Browser.cpp.o"
+  "CMakeFiles/cafa_apps.dir/Browser.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/Camera.cpp.o"
+  "CMakeFiles/cafa_apps.dir/Camera.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/ConnectBot.cpp.o"
+  "CMakeFiles/cafa_apps.dir/ConnectBot.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/FBReader.cpp.o"
+  "CMakeFiles/cafa_apps.dir/FBReader.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/Firefox.cpp.o"
+  "CMakeFiles/cafa_apps.dir/Firefox.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/Music.cpp.o"
+  "CMakeFiles/cafa_apps.dir/Music.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/MyTracks.cpp.o"
+  "CMakeFiles/cafa_apps.dir/MyTracks.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/Registry.cpp.o"
+  "CMakeFiles/cafa_apps.dir/Registry.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/ToDoList.cpp.o"
+  "CMakeFiles/cafa_apps.dir/ToDoList.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/Vlc.cpp.o"
+  "CMakeFiles/cafa_apps.dir/Vlc.cpp.o.d"
+  "CMakeFiles/cafa_apps.dir/ZXing.cpp.o"
+  "CMakeFiles/cafa_apps.dir/ZXing.cpp.o.d"
+  "libcafa_apps.a"
+  "libcafa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

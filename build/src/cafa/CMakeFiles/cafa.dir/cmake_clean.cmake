@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa.dir/Cafa.cpp.o"
+  "CMakeFiles/cafa.dir/Cafa.cpp.o.d"
+  "CMakeFiles/cafa.dir/Fig4.cpp.o"
+  "CMakeFiles/cafa.dir/Fig4.cpp.o.d"
+  "CMakeFiles/cafa.dir/ReportJson.cpp.o"
+  "CMakeFiles/cafa.dir/ReportJson.cpp.o.d"
+  "libcafa.a"
+  "libcafa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/Accesses.cpp" "src/detect/CMakeFiles/cafa_detect.dir/Accesses.cpp.o" "gcc" "src/detect/CMakeFiles/cafa_detect.dir/Accesses.cpp.o.d"
+  "/root/repo/src/detect/Baselines.cpp" "src/detect/CMakeFiles/cafa_detect.dir/Baselines.cpp.o" "gcc" "src/detect/CMakeFiles/cafa_detect.dir/Baselines.cpp.o.d"
+  "/root/repo/src/detect/DerefDataflow.cpp" "src/detect/CMakeFiles/cafa_detect.dir/DerefDataflow.cpp.o" "gcc" "src/detect/CMakeFiles/cafa_detect.dir/DerefDataflow.cpp.o.d"
+  "/root/repo/src/detect/GroundTruth.cpp" "src/detect/CMakeFiles/cafa_detect.dir/GroundTruth.cpp.o" "gcc" "src/detect/CMakeFiles/cafa_detect.dir/GroundTruth.cpp.o.d"
+  "/root/repo/src/detect/RaceReport.cpp" "src/detect/CMakeFiles/cafa_detect.dir/RaceReport.cpp.o" "gcc" "src/detect/CMakeFiles/cafa_detect.dir/RaceReport.cpp.o.d"
+  "/root/repo/src/detect/UseFreeDetector.cpp" "src/detect/CMakeFiles/cafa_detect.dir/UseFreeDetector.cpp.o" "gcc" "src/detect/CMakeFiles/cafa_detect.dir/UseFreeDetector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hb/CMakeFiles/cafa_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cafa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cafa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

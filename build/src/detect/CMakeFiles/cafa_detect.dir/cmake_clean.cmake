@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_detect.dir/Accesses.cpp.o"
+  "CMakeFiles/cafa_detect.dir/Accesses.cpp.o.d"
+  "CMakeFiles/cafa_detect.dir/Baselines.cpp.o"
+  "CMakeFiles/cafa_detect.dir/Baselines.cpp.o.d"
+  "CMakeFiles/cafa_detect.dir/DerefDataflow.cpp.o"
+  "CMakeFiles/cafa_detect.dir/DerefDataflow.cpp.o.d"
+  "CMakeFiles/cafa_detect.dir/GroundTruth.cpp.o"
+  "CMakeFiles/cafa_detect.dir/GroundTruth.cpp.o.d"
+  "CMakeFiles/cafa_detect.dir/RaceReport.cpp.o"
+  "CMakeFiles/cafa_detect.dir/RaceReport.cpp.o.d"
+  "CMakeFiles/cafa_detect.dir/UseFreeDetector.cpp.o"
+  "CMakeFiles/cafa_detect.dir/UseFreeDetector.cpp.o.d"
+  "libcafa_detect.a"
+  "libcafa_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

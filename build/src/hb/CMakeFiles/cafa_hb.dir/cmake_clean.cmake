@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_hb.dir/DotExport.cpp.o"
+  "CMakeFiles/cafa_hb.dir/DotExport.cpp.o.d"
+  "CMakeFiles/cafa_hb.dir/HbGraph.cpp.o"
+  "CMakeFiles/cafa_hb.dir/HbGraph.cpp.o.d"
+  "CMakeFiles/cafa_hb.dir/HbIndex.cpp.o"
+  "CMakeFiles/cafa_hb.dir/HbIndex.cpp.o.d"
+  "CMakeFiles/cafa_hb.dir/Reachability.cpp.o"
+  "CMakeFiles/cafa_hb.dir/Reachability.cpp.o.d"
+  "libcafa_hb.a"
+  "libcafa_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcafa_hb.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for cafa_hb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_ir.dir/Disasm.cpp.o"
+  "CMakeFiles/cafa_ir.dir/Disasm.cpp.o.d"
+  "CMakeFiles/cafa_ir.dir/Instr.cpp.o"
+  "CMakeFiles/cafa_ir.dir/Instr.cpp.o.d"
+  "CMakeFiles/cafa_ir.dir/IrBuilder.cpp.o"
+  "CMakeFiles/cafa_ir.dir/IrBuilder.cpp.o.d"
+  "CMakeFiles/cafa_ir.dir/Module.cpp.o"
+  "CMakeFiles/cafa_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/cafa_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/cafa_ir.dir/Verifier.cpp.o.d"
+  "libcafa_ir.a"
+  "libcafa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_rt.dir/Runtime.cpp.o"
+  "CMakeFiles/cafa_rt.dir/Runtime.cpp.o.d"
+  "libcafa_rt.a"
+  "libcafa_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

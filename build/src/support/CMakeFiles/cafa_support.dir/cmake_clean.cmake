@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_support.dir/BitVec.cpp.o"
+  "CMakeFiles/cafa_support.dir/BitVec.cpp.o.d"
+  "CMakeFiles/cafa_support.dir/Format.cpp.o"
+  "CMakeFiles/cafa_support.dir/Format.cpp.o.d"
+  "CMakeFiles/cafa_support.dir/Status.cpp.o"
+  "CMakeFiles/cafa_support.dir/Status.cpp.o.d"
+  "CMakeFiles/cafa_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/cafa_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/cafa_support.dir/Timer.cpp.o"
+  "CMakeFiles/cafa_support.dir/Timer.cpp.o.d"
+  "libcafa_support.a"
+  "libcafa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/LoggerDevice.cpp" "src/trace/CMakeFiles/cafa_trace.dir/LoggerDevice.cpp.o" "gcc" "src/trace/CMakeFiles/cafa_trace.dir/LoggerDevice.cpp.o.d"
+  "/root/repo/src/trace/Trace.cpp" "src/trace/CMakeFiles/cafa_trace.dir/Trace.cpp.o" "gcc" "src/trace/CMakeFiles/cafa_trace.dir/Trace.cpp.o.d"
+  "/root/repo/src/trace/TraceBuilder.cpp" "src/trace/CMakeFiles/cafa_trace.dir/TraceBuilder.cpp.o" "gcc" "src/trace/CMakeFiles/cafa_trace.dir/TraceBuilder.cpp.o.d"
+  "/root/repo/src/trace/TraceIO.cpp" "src/trace/CMakeFiles/cafa_trace.dir/TraceIO.cpp.o" "gcc" "src/trace/CMakeFiles/cafa_trace.dir/TraceIO.cpp.o.d"
+  "/root/repo/src/trace/TraceRecordNames.cpp" "src/trace/CMakeFiles/cafa_trace.dir/TraceRecordNames.cpp.o" "gcc" "src/trace/CMakeFiles/cafa_trace.dir/TraceRecordNames.cpp.o.d"
+  "/root/repo/src/trace/TraceStats.cpp" "src/trace/CMakeFiles/cafa_trace.dir/TraceStats.cpp.o" "gcc" "src/trace/CMakeFiles/cafa_trace.dir/TraceStats.cpp.o.d"
+  "/root/repo/src/trace/Validate.cpp" "src/trace/CMakeFiles/cafa_trace.dir/Validate.cpp.o" "gcc" "src/trace/CMakeFiles/cafa_trace.dir/Validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cafa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

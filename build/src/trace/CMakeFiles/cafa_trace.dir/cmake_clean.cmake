@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_trace.dir/LoggerDevice.cpp.o"
+  "CMakeFiles/cafa_trace.dir/LoggerDevice.cpp.o.d"
+  "CMakeFiles/cafa_trace.dir/Trace.cpp.o"
+  "CMakeFiles/cafa_trace.dir/Trace.cpp.o.d"
+  "CMakeFiles/cafa_trace.dir/TraceBuilder.cpp.o"
+  "CMakeFiles/cafa_trace.dir/TraceBuilder.cpp.o.d"
+  "CMakeFiles/cafa_trace.dir/TraceIO.cpp.o"
+  "CMakeFiles/cafa_trace.dir/TraceIO.cpp.o.d"
+  "CMakeFiles/cafa_trace.dir/TraceRecordNames.cpp.o"
+  "CMakeFiles/cafa_trace.dir/TraceRecordNames.cpp.o.d"
+  "CMakeFiles/cafa_trace.dir/TraceStats.cpp.o"
+  "CMakeFiles/cafa_trace.dir/TraceStats.cpp.o.d"
+  "CMakeFiles/cafa_trace.dir/Validate.cpp.o"
+  "CMakeFiles/cafa_trace.dir/Validate.cpp.o.d"
+  "libcafa_trace.a"
+  "libcafa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("trace")
+subdirs("ir")
+subdirs("rt")
+subdirs("hb")
+subdirs("detect")
+subdirs("apps")
+subdirs("integration")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_apps_tests.dir/AppKitTest.cpp.o"
+  "CMakeFiles/cafa_apps_tests.dir/AppKitTest.cpp.o.d"
+  "CMakeFiles/cafa_apps_tests.dir/AppsTest.cpp.o"
+  "CMakeFiles/cafa_apps_tests.dir/AppsTest.cpp.o.d"
+  "cafa_apps_tests"
+  "cafa_apps_tests.pdb"
+  "cafa_apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_detect_tests.dir/AccessesTest.cpp.o"
+  "CMakeFiles/cafa_detect_tests.dir/AccessesTest.cpp.o.d"
+  "CMakeFiles/cafa_detect_tests.dir/BaselinesTest.cpp.o"
+  "CMakeFiles/cafa_detect_tests.dir/BaselinesTest.cpp.o.d"
+  "CMakeFiles/cafa_detect_tests.dir/DerefDataflowTest.cpp.o"
+  "CMakeFiles/cafa_detect_tests.dir/DerefDataflowTest.cpp.o.d"
+  "CMakeFiles/cafa_detect_tests.dir/IfGuardTest.cpp.o"
+  "CMakeFiles/cafa_detect_tests.dir/IfGuardTest.cpp.o.d"
+  "CMakeFiles/cafa_detect_tests.dir/UseFreeDetectorTest.cpp.o"
+  "CMakeFiles/cafa_detect_tests.dir/UseFreeDetectorTest.cpp.o.d"
+  "cafa_detect_tests"
+  "cafa_detect_tests.pdb"
+  "cafa_detect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_detect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

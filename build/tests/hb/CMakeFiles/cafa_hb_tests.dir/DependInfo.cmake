@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hb/DotExportTest.cpp" "tests/hb/CMakeFiles/cafa_hb_tests.dir/DotExportTest.cpp.o" "gcc" "tests/hb/CMakeFiles/cafa_hb_tests.dir/DotExportTest.cpp.o.d"
+  "/root/repo/tests/hb/Fig4Test.cpp" "tests/hb/CMakeFiles/cafa_hb_tests.dir/Fig4Test.cpp.o" "gcc" "tests/hb/CMakeFiles/cafa_hb_tests.dir/Fig4Test.cpp.o.d"
+  "/root/repo/tests/hb/HbGraphTest.cpp" "tests/hb/CMakeFiles/cafa_hb_tests.dir/HbGraphTest.cpp.o" "gcc" "tests/hb/CMakeFiles/cafa_hb_tests.dir/HbGraphTest.cpp.o.d"
+  "/root/repo/tests/hb/HbIndexTest.cpp" "tests/hb/CMakeFiles/cafa_hb_tests.dir/HbIndexTest.cpp.o" "gcc" "tests/hb/CMakeFiles/cafa_hb_tests.dir/HbIndexTest.cpp.o.d"
+  "/root/repo/tests/hb/ReachabilityTest.cpp" "tests/hb/CMakeFiles/cafa_hb_tests.dir/ReachabilityTest.cpp.o" "gcc" "tests/hb/CMakeFiles/cafa_hb_tests.dir/ReachabilityTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cafa/CMakeFiles/cafa.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cafa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/cafa_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/cafa_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cafa_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cafa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cafa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cafa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

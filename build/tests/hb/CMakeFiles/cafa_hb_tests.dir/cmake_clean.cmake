@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_hb_tests.dir/DotExportTest.cpp.o"
+  "CMakeFiles/cafa_hb_tests.dir/DotExportTest.cpp.o.d"
+  "CMakeFiles/cafa_hb_tests.dir/Fig4Test.cpp.o"
+  "CMakeFiles/cafa_hb_tests.dir/Fig4Test.cpp.o.d"
+  "CMakeFiles/cafa_hb_tests.dir/HbGraphTest.cpp.o"
+  "CMakeFiles/cafa_hb_tests.dir/HbGraphTest.cpp.o.d"
+  "CMakeFiles/cafa_hb_tests.dir/HbIndexTest.cpp.o"
+  "CMakeFiles/cafa_hb_tests.dir/HbIndexTest.cpp.o.d"
+  "CMakeFiles/cafa_hb_tests.dir/ReachabilityTest.cpp.o"
+  "CMakeFiles/cafa_hb_tests.dir/ReachabilityTest.cpp.o.d"
+  "cafa_hb_tests"
+  "cafa_hb_tests.pdb"
+  "cafa_hb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_hb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_integration_tests.dir/PipelineTest.cpp.o"
+  "CMakeFiles/cafa_integration_tests.dir/PipelineTest.cpp.o.d"
+  "CMakeFiles/cafa_integration_tests.dir/ReportJsonTest.cpp.o"
+  "CMakeFiles/cafa_integration_tests.dir/ReportJsonTest.cpp.o.d"
+  "CMakeFiles/cafa_integration_tests.dir/SmokeTest.cpp.o"
+  "CMakeFiles/cafa_integration_tests.dir/SmokeTest.cpp.o.d"
+  "cafa_integration_tests"
+  "cafa_integration_tests.pdb"
+  "cafa_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_ir_tests.dir/IrTest.cpp.o"
+  "CMakeFiles/cafa_ir_tests.dir/IrTest.cpp.o.d"
+  "cafa_ir_tests"
+  "cafa_ir_tests.pdb"
+  "cafa_ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

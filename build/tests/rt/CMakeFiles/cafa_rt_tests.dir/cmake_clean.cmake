@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_rt_tests.dir/ObjectHeapTest.cpp.o"
+  "CMakeFiles/cafa_rt_tests.dir/ObjectHeapTest.cpp.o.d"
+  "CMakeFiles/cafa_rt_tests.dir/PipesAndTimeTest.cpp.o"
+  "CMakeFiles/cafa_rt_tests.dir/PipesAndTimeTest.cpp.o.d"
+  "CMakeFiles/cafa_rt_tests.dir/RuntimeFuzzTest.cpp.o"
+  "CMakeFiles/cafa_rt_tests.dir/RuntimeFuzzTest.cpp.o.d"
+  "CMakeFiles/cafa_rt_tests.dir/RuntimeTest.cpp.o"
+  "CMakeFiles/cafa_rt_tests.dir/RuntimeTest.cpp.o.d"
+  "cafa_rt_tests"
+  "cafa_rt_tests.pdb"
+  "cafa_rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

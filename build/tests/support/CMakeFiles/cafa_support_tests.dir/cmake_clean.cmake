@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_support_tests.dir/BitVecTest.cpp.o"
+  "CMakeFiles/cafa_support_tests.dir/BitVecTest.cpp.o.d"
+  "CMakeFiles/cafa_support_tests.dir/SupportTest.cpp.o"
+  "CMakeFiles/cafa_support_tests.dir/SupportTest.cpp.o.d"
+  "cafa_support_tests"
+  "cafa_support_tests.pdb"
+  "cafa_support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/TraceBuilderTest.cpp" "tests/trace/CMakeFiles/cafa_trace_tests.dir/TraceBuilderTest.cpp.o" "gcc" "tests/trace/CMakeFiles/cafa_trace_tests.dir/TraceBuilderTest.cpp.o.d"
+  "/root/repo/tests/trace/TraceIOTest.cpp" "tests/trace/CMakeFiles/cafa_trace_tests.dir/TraceIOTest.cpp.o" "gcc" "tests/trace/CMakeFiles/cafa_trace_tests.dir/TraceIOTest.cpp.o.d"
+  "/root/repo/tests/trace/TraceTest.cpp" "tests/trace/CMakeFiles/cafa_trace_tests.dir/TraceTest.cpp.o" "gcc" "tests/trace/CMakeFiles/cafa_trace_tests.dir/TraceTest.cpp.o.d"
+  "/root/repo/tests/trace/ValidateTest.cpp" "tests/trace/CMakeFiles/cafa_trace_tests.dir/ValidateTest.cpp.o" "gcc" "tests/trace/CMakeFiles/cafa_trace_tests.dir/ValidateTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cafa/CMakeFiles/cafa.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cafa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/cafa_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/cafa_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cafa_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cafa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cafa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cafa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafa_trace_tests.dir/TraceBuilderTest.cpp.o"
+  "CMakeFiles/cafa_trace_tests.dir/TraceBuilderTest.cpp.o.d"
+  "CMakeFiles/cafa_trace_tests.dir/TraceIOTest.cpp.o"
+  "CMakeFiles/cafa_trace_tests.dir/TraceIOTest.cpp.o.d"
+  "CMakeFiles/cafa_trace_tests.dir/TraceTest.cpp.o"
+  "CMakeFiles/cafa_trace_tests.dir/TraceTest.cpp.o.d"
+  "CMakeFiles/cafa_trace_tests.dir/ValidateTest.cpp.o"
+  "CMakeFiles/cafa_trace_tests.dir/ValidateTest.cpp.o.d"
+  "cafa_trace_tests"
+  "cafa_trace_tests.pdb"
+  "cafa_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafa_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
