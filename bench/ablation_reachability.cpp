@@ -6,11 +6,13 @@
 //===----------------------------------------------------------------------===//
 //
 // Ablation B: the reachability oracle behind the happens-before graph.
-// Sweeps a synthetic app over event counts and compares the bitset
-// transitive closure (O(1) queries, quadratic memory) against the pruned
-// BFS (linear memory, per-query search) on total analysis time and
-// happens-before memory.  This is the trade-off Section 4.2 alludes to
-// when rejecting vector clocks for event-driven traces.
+// Sweeps a synthetic app over event counts and compares three oracles on
+// total analysis time and happens-before memory: the full-rebuild bitset
+// transitive closure (O(1) queries, quadratic memory, rebuilt every
+// fixpoint round), the pruned BFS (linear memory, per-query search), and
+// the incremental closure (same matrix, delta propagation per round).
+// This is the trade-off Section 4.2 alludes to when rejecting vector
+// clocks for event-driven traces; see docs/hb-reachability.md.
 //
 // Uses google-benchmark so per-size timings come with proper repetition.
 //
@@ -79,14 +81,23 @@ void BM_AnalyzeBfs(benchmark::State &State) {
   analyzeWith(State, ReachMode::Bfs);
 }
 
+void BM_AnalyzeIncremental(benchmark::State &State) {
+  analyzeWith(State, ReachMode::Incremental);
+}
+
 } // namespace
 
 // The BFS oracle pays per-query search inside the quadratic rule scans,
 // so it is only practical on small traces -- which is exactly the point
-// of the ablation.  Closure gets one extra size to show its headroom.
+// of the ablation.  The closures get extra sizes to show their headroom,
+// and the incremental closure one more to show where delta propagation
+// pulls ahead of the per-round rebuild.
 BENCHMARK(BM_AnalyzeClosure)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
     ->Unit(benchmark::kMillisecond)->Iterations(2);
 BENCHMARK(BM_AnalyzeBfs)->Arg(250)->Arg(500)->Arg(1000)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_AnalyzeIncremental)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
 
 BENCHMARK_MAIN();

@@ -11,7 +11,10 @@
 // event-heavy ToDoList and Music).  We sweep a synthetic app over event
 // counts and report the analysis phase breakdown (access extraction,
 // happens-before construction incl. the fixpoint, race detection) and
-// the happens-before memory footprint.
+// the happens-before memory footprint -- once with the full-rebuild
+// closure oracle (the original implementation) and once with the
+// incremental closure (the default), so the sweep doubles as the
+// before/after curve for the delta-propagation engine.
 //
 //===----------------------------------------------------------------------===//
 
@@ -46,21 +49,34 @@ int main(int argc, char **argv) {
   uint64_t MaxEvents = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                 : 8000;
 
-  std::printf("%8s %10s %12s %12s %12s %12s %12s\n", "events", "records",
-              "extract(ms)", "hb(ms)", "detect(ms)", "total(ms)",
-              "hb-mem(MB)");
+  std::printf("%8s %10s %12s %14s %14s %8s %12s %12s\n", "events",
+              "records", "extract(ms)", "hb-rebuild(ms)", "hb-incr(ms)",
+              "speedup", "detect(ms)", "hb-mem(MB)");
   for (uint64_t Events = 500; Events <= MaxEvents; Events *= 2) {
     Scenario S = buildSynthetic(Events);
     Trace T = runScenario(S, RuntimeOptions());
-    AnalysisResult R = analyzeTrace(T, DetectorOptions());
-    double Total = R.ExtractMillis + R.HbBuildMillis + R.DetectMillis;
-    std::printf("%8s %10s %12.1f %12.1f %12.1f %12.1f %12.1f\n",
+
+    DetectorOptions Rebuild;
+    Rebuild.Hb.Reach = ReachMode::Closure;
+    AnalysisResult Before = analyzeTrace(T, Rebuild);
+
+    DetectorOptions Incremental;
+    Incremental.Hb.Reach = ReachMode::Incremental;
+    AnalysisResult After = analyzeTrace(T, Incremental);
+
+    double Speedup = After.HbBuildMillis > 0
+                         ? Before.HbBuildMillis / After.HbBuildMillis
+                         : 0.0;
+    std::printf("%8s %10s %12.1f %14.1f %14.1f %7.2fx %12.1f %12.1f\n",
                 withThousandsSep(Events).c_str(),
                 withThousandsSep(T.numRecords()).c_str(),
-                R.ExtractMillis, R.HbBuildMillis, R.DetectMillis, Total,
-                static_cast<double>(R.HbMemoryBytes) / 1e6);
+                After.ExtractMillis, Before.HbBuildMillis,
+                After.HbBuildMillis, Speedup, After.DetectMillis,
+                static_cast<double>(After.HbMemoryBytes) / 1e6);
   }
   std::printf("\nshape to compare with the paper: happens-before "
-              "construction dominates and grows superlinearly in events\n");
+              "construction dominates and grows superlinearly in events;\n"
+              "the incremental oracle shrinks the constant (same reports, "
+              "same asymptote of the quadratic rule scans)\n");
   return 0;
 }

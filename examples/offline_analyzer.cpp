@@ -12,7 +12,11 @@
 //   $ ./offline_analyzer record zxing /tmp/zxing.trace   # collect
 //   $ ./offline_analyzer analyze /tmp/zxing.trace        # analyze later
 //   $ ./offline_analyzer analyze /tmp/zxing.trace --json # CI-friendly
+//   $ ./offline_analyzer analyze /tmp/zxing.trace --reach=closure
 //   $ ./offline_analyzer dot /tmp/zxing.trace            # Graphviz digest
+//
+// --reach selects the happens-before reachability oracle (incremental /
+// closure / bfs; see docs/hb-reachability.md for when to pick which).
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +37,8 @@ static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage:\n"
                "  %s record <app> <trace-file>      collect a trace\n"
-               "  %s analyze <trace-file> [--json]  analyze a trace file\n"
+               "  %s analyze <trace-file> [--json]\n"
+               "     [--reach=incremental|closure|bfs]  analyze a trace\n"
                "  %s dot <trace-file>               task-order Graphviz\n"
                "apps:",
                Prog, Prog, Prog);
@@ -60,7 +65,21 @@ int main(int argc, char **argv) {
   }
 
   if (argc >= 3 && std::strcmp(argv[1], "analyze") == 0) {
-    bool Json = argc >= 4 && std::strcmp(argv[3], "--json") == 0;
+    bool Json = false;
+    DetectorOptions Options;
+    for (int I = 3; I != argc; ++I) {
+      if (std::strcmp(argv[I], "--json") == 0) {
+        Json = true;
+      } else if (std::strcmp(argv[I], "--reach=incremental") == 0) {
+        Options.Hb.Reach = ReachMode::Incremental;
+      } else if (std::strcmp(argv[I], "--reach=closure") == 0) {
+        Options.Hb.Reach = ReachMode::Closure;
+      } else if (std::strcmp(argv[I], "--reach=bfs") == 0) {
+        Options.Hb.Reach = ReachMode::Bfs;
+      } else {
+        return usage(argv[0]);
+      }
+    }
     Trace T;
     if (Status S = readTraceFile(argv[2], T); !S.ok()) {
       std::fprintf(stderr, "error: %s\n", S.message().c_str());
@@ -70,7 +89,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "invalid trace: %s\n", S.message().c_str());
       return 1;
     }
-    AnalysisResult R = analyzeTrace(T, DetectorOptions());
+    AnalysisResult R = analyzeTrace(T, Options);
     if (Json) {
       std::printf("%s", renderRaceReportJson(R.Report, T).c_str());
       return 0;

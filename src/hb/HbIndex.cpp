@@ -9,6 +9,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 
 using namespace cafa;
@@ -192,88 +195,423 @@ struct HbIndex::Builder {
     }
   }
 
+  /// Scratch for applyDerivedRules' chain pruning: Covered[i] marks an
+  /// adjacent conclusion end(i) -> begin(i+1) that holds in the oracle
+  /// or in this round's batch; Run[i] counts consecutive covered links
+  /// starting at i.
+  std::vector<uint8_t> Covered;
+  std::vector<uint32_t> Run;
+  uint64_t VisitAtom = 0, SkipAtom = 0, VisitSend = 0, SkipSend = 0;
+
+  /// Semi-naive scan frontier, one per queue and rule family.  Pairs are
+  /// scanned in gap-diagonal order; everything lexicographically below
+  /// (Gap, I) has been evaluated at least once ("seen") in an earlier
+  /// round.  Seen pairs are re-evaluated only when a premise-source row
+  /// changed in the last oracle update; unseen pairs always evaluate and
+  /// are the only place the per-round edge cap may cut the scan, so the
+  /// seen region's sweep always completes -- the invariant that makes
+  /// the change-driven skip sound.
+  struct ScanCursor {
+    uint32_t Gap = 2;
+    uint32_t I = 0;
+  };
+  std::vector<ScanCursor> AtomCursor, SendCursor;
+
+  /// Reverse maps from a node id to its role in the rule premises, so a
+  /// gained reachability fact (From now reaches To) can be dispatched to
+  /// exactly the rule instances it can newly fire.  Premises are:
+  ///   atomicity   begin(eI) < end(eJ)    Begin source, End target
+  ///   queue 1..4  s1 < s2 (post nodes)   Send source and target
+  ///   queue 2/4   s2 < begin(e1)         Send source, Begin target
+  /// FactSources/FactTargets are those same sets as masks, installed
+  /// into the oracle as its gained-fact filter.
+  struct NodeRole {
+    enum Kind : uint8_t { None, Begin, End, Send } K = None;
+    uint32_t Q = 0;   ///< queue index
+    uint32_t Pos = 0; ///< position in QueueEvents[Q] / QueueSends[Q]
+    /// For Begin nodes: the send that posted this event (as a position
+    /// in QueueSends[SendQ]), or SendQ == UINT32_MAX if none recorded.
+    uint32_t SendQ = UINT32_MAX;
+    uint32_t SendPos = 0;
+  };
+  std::vector<NodeRole> Roles;
+  BitVec FactSources, FactTargets;
+
+  /// Fills Roles and the fact filter masks.  Call after collect() and
+  /// addBaseEdges(), once the graph's node universe is final.
+  void buildFactTables() {
+    size_t N = G.numNodes();
+    Roles.assign(N, {});
+    FactSources.resize(N);
+    FactTargets.resize(N);
+    for (size_t Q = 0; Q != QueueEvents.size(); ++Q) {
+      const std::vector<TaskId> &Events = QueueEvents[Q];
+      if (Events.size() < 2)
+        continue; // no pairs, no premises
+      for (size_t Pos = 0; Pos != Events.size(); ++Pos) {
+        NodeId B = G.beginNode(Events[Pos]);
+        NodeId E = G.endNode(Events[Pos]);
+        if (B.isValid()) {
+          NodeRole &R = Roles[B.index()];
+          R.K = NodeRole::Begin;
+          R.Q = static_cast<uint32_t>(Q);
+          R.Pos = static_cast<uint32_t>(Pos);
+          FactSources.set(B.index());
+        }
+        if (E.isValid()) {
+          NodeRole &R = Roles[E.index()];
+          R.K = NodeRole::End;
+          R.Q = static_cast<uint32_t>(Q);
+          R.Pos = static_cast<uint32_t>(Pos);
+          FactTargets.set(E.index());
+        }
+      }
+    }
+    for (size_t Q = 0; Q != QueueSends.size(); ++Q) {
+      const std::vector<SendOp> &Sends = QueueSends[Q];
+      if (Sends.size() < 2)
+        continue;
+      for (size_t Pos = 0; Pos != Sends.size(); ++Pos) {
+        const SendOp &S = Sends[Pos];
+        if (S.Node.isValid()) {
+          NodeRole &R = Roles[S.Node.index()];
+          R.K = NodeRole::Send;
+          R.Q = static_cast<uint32_t>(Q);
+          R.Pos = static_cast<uint32_t>(Pos);
+          FactSources.set(S.Node.index());
+          FactTargets.set(S.Node.index());
+        }
+        NodeId B = G.beginNode(S.Event);
+        if (B.isValid()) {
+          // Rules 2/4 premise target: this event's begin node, reached
+          // from a later front-send's post node.
+          Roles[B.index()].SendQ = static_cast<uint32_t>(Q);
+          Roles[B.index()].SendPos = static_cast<uint32_t>(Pos);
+          FactTargets.set(B.index());
+        }
+      }
+    }
+  }
+
   /// One fixpoint round of the atomicity and event-queue rules.
   ///
   /// Pairs are scanned in gap-diagonal order (all adjacent pairs first,
   /// then distance 2, ...) and each round caps the number of edges it
   /// collects.  Both choices fight the same degenerate case: a chain of
-  /// k same-delay sends satisfies rule 1 for all k^2/2 pairs, but after
-  /// the adjacent edges land and the oracle refreshes, every wider pair
-  /// is recognized as implied and skipped.  Without the diagonal order
-  /// the first round would insert the quadratic edge set wholesale,
-  /// which is sound but ruins both memory and closure time.
+  /// k same-delay sends satisfies rule 1 for all k^2/2 pairs, but only
+  /// the k-1 adjacent edges carry information -- every wider pair is
+  /// implied by chaining them through program order.
   ///
-  /// \returns the number of edges added.
-  uint64_t applyDerivedRules(const Reachability &Reach) {
+  /// The chain structure is also what lets the scan prune: gap 1
+  /// records which adjacent conclusions are *covered* (already implied,
+  /// or proposed into this round's batch), and a wider pair whose whole
+  /// window is covered is skipped without a query -- its conclusion is
+  /// implied by the covered links, so proposing it would either be
+  /// rejected or insert a redundant edge.
+  ///
+  /// On top of that, rounds after the first are *semi-naive* when the
+  /// oracle reports deltas:
+  ///
+  ///  - \p Gained (exact mode) lists the premise-shaped reachability
+  ///    facts that became true in the last update.  Each fact is
+  ///    dispatched through Roles to the rule instances it can newly
+  ///    fire, and the already-seen region of every scan is skipped
+  ///    entirely -- a seen pair either fired when its premise first
+  ///    appeared (its conclusion is in the graph and propose() drops it
+  ///    as implied) or its premise has still never held.  Steady-state
+  ///    round cost collapses from quadratic pair re-scans to the
+  ///    dispatch of a shrinking fact list.
+  ///  - \p ChangedRows (coarse mode, when only row-level dirt is known)
+  ///    keeps the scans but skips seen pairs whose premise-source rows
+  ///    did not grow.
+  ///  - nullptr for both (rebuild-based closure, BFS) re-scans
+  ///    everything -- a from-scratch oracle cannot say what changed,
+  ///    which is precisely the engine gap bench/offline_scaling
+  ///    measures.
+  ///
+  /// Every skip is of a pair that provably proposes nothing new, so the
+  /// fixpoint -- and therefore every report -- is identical across
+  /// oracles; only time and memory differ.
+  ///
+  /// \returns the edges added this round (already inserted into the
+  /// graph), for the oracle's delta path.
+  std::vector<HbEdge>
+  applyDerivedRules(const Reachability &Oracle, const uint8_t *ChangedRows,
+                    const std::vector<GainedWord> *Gained) {
     std::vector<std::pair<NodeId, NodeId>> NewEdges;
     uint64_t Atomicity = 0, Q1 = 0, Q2 = 0, Q3 = 0, Q4 = 0;
-    const size_t ChunkCap = 4 * G.numNodes() + 1024;
+    // Keep rounds small: the incremental oracle makes a round-boundary
+    // refresh cheap, and the sooner the oracle reflects a chain's
+    // adjacent edges, the more wide-gap pairs the next scan skips as
+    // implied -- tighter rounds insert strictly fewer redundant edges.
+    const size_t ChunkCap = G.numNodes() / 8 + 1024;
+
+    // Pair scans issue millions of queries per round; closure-backed
+    // oracles expose their rows so the hot path is an inline bit test.
+    const BitVec *Rows = Oracle.rowsOrNull();
+    auto reaches = [&](NodeId From, NodeId To) {
+      return Rows ? Rows[From.index()].test(To.index())
+                  : Oracle.reaches(From, To);
+    };
+    // Did this node's reachable set grow in the last oracle update?
+    // Conservative on nullptr (no delta information) and invalid nodes.
+    auto rowChanged = [&](NodeId Node) {
+      return !ChangedRows || !Node.isValid() || ChangedRows[Node.index()];
+    };
 
     auto propose = [&](NodeId From, NodeId To, uint64_t &Counter) {
       if (!From.isValid() || !To.isValid())
         return;
-      if (Reach.reaches(From, To))
+      if (reaches(From, To))
         return; // already implied
       NewEdges.emplace_back(From, To);
       ++Counter;
     };
     auto chunkFull = [&] { return NewEdges.size() >= ChunkCap; };
 
+    // Run[i] = number of consecutive covered links starting at link i;
+    // a window of Gap covered links implies the wide conclusion
+    // end(i) -> begin(i+Gap) by chaining through program order.
+    auto computeRuns = [&](size_t K) {
+      Run.assign(K - 1, 0);
+      for (size_t I = K - 1; I-- > 0;)
+        Run[I] = Covered[I] ? (I + 1 < K - 1 ? Run[I + 1] : 0) + 1 : 0;
+    };
+
+    // Evaluates one ordered send pair against queue rules 1-4; the
+    // returned Link tells whether the forward conclusion
+    // end(e1) -> begin(e2) is covered afterwards.  Only adjacent pairs
+    // need it (WantLink), so other callers skip its query.
+    auto evalSendPair = [&](const SendOp &S1, const SendOp &S2,
+                            bool WantLink) {
+      NodeId Begin1 = G.beginNode(S1.Event);
+      NodeId Begin2 = G.beginNode(S2.Event);
+      NodeId End1 = G.endNode(S1.Event);
+      NodeId End2 = G.endNode(S2.Event);
+      bool Link = WantLink && End1.isValid() && Begin2.isValid() &&
+                  reaches(End1, Begin2);
+      // All rules require the sends to be ordered; sends appear in
+      // record order so only s1 < s2 (by position) can satisfy it.
+      if (!reaches(S1.Node, S2.Node))
+        return Link;
+      if (!S1.AtFront && !S2.AtFront) {
+        // Rule 1: FIFO among ordered sends when delay1 <= delay2.
+        if (S1.DelayMs <= S2.DelayMs) {
+          propose(End1, Begin2, Q1);
+          Link |= End1.isValid() && Begin2.isValid();
+        }
+      } else if (!S1.AtFront && S2.AtFront) {
+        // Rule 2: the front-enqueued event jumps ahead when it is
+        // enqueued before e1 can begin.
+        if (Begin1.isValid() && reaches(S2.Node, Begin1))
+          propose(End2, Begin1, Q2);
+      } else if (S1.AtFront && !S2.AtFront) {
+        // Rule 3: an already-front event precedes later sends.
+        propose(End1, Begin2, Q3);
+        Link |= End1.isValid() && Begin2.isValid();
+      } else {
+        // Rule 4: later front-send jumps ahead of an earlier
+        // front-send it provably precedes.
+        if (Begin1.isValid() && reaches(S2.Node, Begin1))
+          propose(End2, Begin1, Q4);
+      }
+      return Link;
+    };
+
+    // Was the pair at (Gap, I) of a queue with K elements evaluated in
+    // an earlier round?  Unseen pairs are skipped by the dispatch below
+    // -- the resumed scan reaches them with an oracle that still holds
+    // the fact (monotone), so nothing is lost.
+    auto pairSeen = [](const ScanCursor &C, size_t K, uint32_t Gap,
+                       uint32_t I) {
+      if (C.Gap >= K)
+        return true; // queue fully scanned at least once
+      if (Gap < 2)
+        return false; // the gap-1 pass still re-evaluates these
+      return Gap < C.Gap || (Gap == C.Gap && I < C.I);
+    };
+
+    // Semi-naive dispatch: route every premise fact that appeared in the
+    // last oracle update to the already-seen rule instances it can newly
+    // fire.  This stands in for re-scanning the seen region of every
+    // queue below.
+    if (Gained) {
+      for (const GainedWord &GW : *Gained) {
+        const NodeRole &U = Roles[GW.From];
+        if (U.K == NodeRole::None)
+          continue;
+        for (uint64_t Bits = GW.Bits; Bits; Bits &= Bits - 1) {
+          uint32_t V = GW.WordIdx * 64 +
+                       static_cast<uint32_t>(__builtin_ctzll(Bits));
+          const NodeRole &VR = Roles[V];
+          if (U.K == NodeRole::Begin) {
+            // Atomicity premise begin(eI) < end(eJ) just became true.
+            if (Opt.EnableAtomicityRule && VR.K == NodeRole::End &&
+                VR.Q == U.Q && VR.Pos > U.Pos &&
+                pairSeen(AtomCursor[U.Q], QueueEvents[U.Q].size(),
+                         VR.Pos - U.Pos, U.Pos)) {
+              ++VisitAtom;
+              const std::vector<TaskId> &Events = QueueEvents[U.Q];
+              propose(G.endNode(Events[U.Pos]), G.beginNode(Events[VR.Pos]),
+                      Atomicity);
+            }
+          } else if (U.K == NodeRole::Send && Opt.EnableQueueRules) {
+            // Queue-rule premise s1 < s2 just became true.
+            if (VR.K == NodeRole::Send && VR.Q == U.Q && VR.Pos > U.Pos &&
+                pairSeen(SendCursor[U.Q], QueueSends[U.Q].size(),
+                         VR.Pos - U.Pos, U.Pos)) {
+              ++VisitSend;
+              evalSendPair(QueueSends[U.Q][U.Pos], QueueSends[U.Q][VR.Pos],
+                           /*WantLink=*/false);
+            }
+            // Rules 2/4 premise s2 < begin(e1) just became true, where
+            // e1 was posted by an earlier send of the same queue.
+            if (VR.SendQ == U.Q && U.Pos > VR.SendPos &&
+                pairSeen(SendCursor[U.Q], QueueSends[U.Q].size(),
+                         U.Pos - VR.SendPos, VR.SendPos)) {
+              ++VisitSend;
+              evalSendPair(QueueSends[U.Q][VR.SendPos],
+                           QueueSends[U.Q][U.Pos],
+                           /*WantLink=*/false);
+            }
+          }
+        }
+      }
+    }
+
     if (Opt.EnableAtomicityRule) {
-      for (const std::vector<TaskId> &Events : QueueEvents) {
-        for (size_t Gap = 1; Gap < Events.size() && !chunkFull(); ++Gap) {
-          for (size_t I = 0; I + Gap < Events.size() && !chunkFull();
+      if (AtomCursor.size() != QueueEvents.size())
+        AtomCursor.assign(QueueEvents.size(), {});
+      for (size_t Qi = 0; Qi != QueueEvents.size(); ++Qi) {
+        const std::vector<TaskId> &Events = QueueEvents[Qi];
+        ScanCursor &C = AtomCursor[Qi];
+        size_t K = Events.size();
+        if (K < 2)
+          continue;
+        if (Gained && C.Gap >= K)
+          continue; // fully seen: the fact dispatch covers this queue
+        // Gap 1: evaluate adjacent pairs and record the covered links.
+        // Runs in full every round (linear, and Covered must be fresh);
+        // a cap cut here leaves the tail uncovered, which is safe.
+        Covered.assign(K - 1, 0);
+        for (size_t I = 0; I + 1 < K && !chunkFull(); ++I) {
+          NodeId BeginI = G.beginNode(Events[I]);
+          NodeId EndI = G.endNode(Events[I]);
+          NodeId EndJ = G.endNode(Events[I + 1]);
+          NodeId BeginJ = G.beginNode(Events[I + 1]);
+          bool Link = EndI.isValid() && BeginJ.isValid() &&
+                      reaches(EndI, BeginJ);
+          if (BeginI.isValid() && EndJ.isValid() && BeginJ.isValid() &&
+              reaches(BeginI, EndJ)) {
+            // Atomicity: begin(eI) < end(eJ)  =>  end(eI) < begin(eJ).
+            propose(EndI, BeginJ, Atomicity);
+            Link |= EndI.isValid(); // implied before, or in the batch now
+          }
+          Covered[I] = Link;
+        }
+        computeRuns(K);
+        if (K >= 2 && Run[0] == K - 1) {
+          // Every wider conclusion is implied by the covered chain, now
+          // and forever (edges are never removed) -- the whole queue
+          // counts as seen.
+          C = {static_cast<uint32_t>(K), 0};
+          continue;
+        }
+        bool Cut = false;
+        // With exact fact dispatch the seen region needs no re-scan at
+        // all -- resume where the cap last cut.  Otherwise walk it with
+        // the coarse row-level skip.
+        const size_t CGap = C.Gap, CI = C.I;
+        for (size_t Gap = Gained ? CGap : 2; Gap < K && !Cut; ++Gap) {
+          for (size_t I = (Gained && Gap == CGap) ? CI : 0; I + Gap < K;
                ++I) {
+            if (Run[I] >= Gap) {
+              ++SkipAtom;
+              continue; // conclusion implied by chained covered links
+            }
             size_t J = I + Gap;
             NodeId BeginI = G.beginNode(Events[I]);
+            bool Seen =
+                !Gained && (Gap < CGap || (Gap == CGap && I < CI));
+            if (Seen) {
+              // The only premise query sources from begin(eI); if its
+              // row did not grow, the pair evaluates as it did before.
+              if (!rowChanged(BeginI)) {
+                ++SkipAtom;
+                continue;
+              }
+            } else if (chunkFull()) {
+              C = {static_cast<uint32_t>(Gap), static_cast<uint32_t>(I)};
+              Cut = true;
+              break; // everything past the cursor stays unseen
+            }
+            ++VisitAtom;
             NodeId EndI = G.endNode(Events[I]);
             NodeId EndJ = G.endNode(Events[J]);
             NodeId BeginJ = G.beginNode(Events[J]);
             if (!BeginI.isValid() || !EndJ.isValid() || !BeginJ.isValid())
               continue;
             // Atomicity: begin(eI) < end(eJ)  =>  end(eI) < begin(eJ).
-            if (Reach.reaches(BeginI, EndJ))
+            if (reaches(BeginI, EndJ))
               propose(EndI, BeginJ, Atomicity);
           }
         }
+        if (!Cut)
+          C = {static_cast<uint32_t>(K), 0}; // every pair seen at least once
       }
     }
 
     if (Opt.EnableQueueRules) {
-      for (const std::vector<SendOp> &Sends : QueueSends) {
-        for (size_t Gap = 1; Gap < Sends.size() && !chunkFull(); ++Gap) {
-          for (size_t A = 0; A + Gap < Sends.size() && !chunkFull();
+      if (SendCursor.size() != QueueSends.size())
+        SendCursor.assign(QueueSends.size(), {});
+      for (size_t Qi = 0; Qi != QueueSends.size(); ++Qi) {
+        const std::vector<SendOp> &Sends = QueueSends[Qi];
+        ScanCursor &C = SendCursor[Qi];
+        size_t K = Sends.size();
+        if (K < 2)
+          continue;
+        if (Gained && C.Gap >= K)
+          continue; // fully seen: the fact dispatch covers this queue
+        // Gap 1: evaluate adjacent pairs and record the covered links.
+        Covered.assign(K - 1, 0);
+        for (size_t A = 0; A + 1 < K && !chunkFull(); ++A)
+          Covered[A] =
+              evalSendPair(Sends[A], Sends[A + 1], /*WantLink=*/true);
+        computeRuns(K);
+        bool Cut = false;
+        const size_t CGap = C.Gap, CI = C.I;
+        for (size_t Gap = Gained ? CGap : 2; Gap < K && !Cut; ++Gap) {
+          for (size_t A = (Gained && Gap == CGap) ? CI : 0; A + Gap < K;
                ++A) {
             const SendOp &S1 = Sends[A];
             const SendOp &S2 = Sends[A + Gap];
-            // All rules require the sends to be ordered; sends appear in
-            // record order so only s1 < s2 (by position) can satisfy it.
-            if (!Reach.reaches(S1.Node, S2.Node))
+            // A covered window implies the forward conclusion of rules
+            // 1 and 3; only a front-enqueued s2 (rules 2 and 4, reverse
+            // conclusion) still needs evaluating.
+            if (Run[A] >= Gap && !S2.AtFront) {
+              ++SkipSend;
               continue;
-            NodeId Begin1 = G.beginNode(S1.Event);
-            NodeId Begin2 = G.beginNode(S2.Event);
-            NodeId End1 = G.endNode(S1.Event);
-            NodeId End2 = G.endNode(S2.Event);
-            if (!S1.AtFront && !S2.AtFront) {
-              // Rule 1: FIFO among ordered sends when delay1 <= delay2.
-              if (S1.DelayMs <= S2.DelayMs)
-                propose(End1, Begin2, Q1);
-            } else if (!S1.AtFront && S2.AtFront) {
-              // Rule 2: the front-enqueued event jumps ahead when it is
-              // enqueued before e1 can begin.
-              if (Begin1.isValid() && Reach.reaches(S2.Node, Begin1))
-                propose(End2, Begin1, Q2);
-            } else if (S1.AtFront && !S2.AtFront) {
-              // Rule 3: an already-front event precedes later sends.
-              propose(End1, Begin2, Q3);
-            } else {
-              // Rule 4: later front-send jumps ahead of an earlier
-              // front-send it provably precedes.
-              if (Begin1.isValid() && Reach.reaches(S2.Node, Begin1))
-                propose(End2, Begin1, Q4);
             }
+            bool Seen =
+                !Gained && (Gap < CGap || (Gap == CGap && A < CI));
+            if (Seen) {
+              // Every premise query sources from s1's or s2's post node;
+              // if neither row grew, the pair evaluates as before.
+              if (!rowChanged(S1.Node) && !rowChanged(S2.Node)) {
+                ++SkipSend;
+                continue;
+              }
+            } else if (chunkFull()) {
+              C = {static_cast<uint32_t>(Gap), static_cast<uint32_t>(A)};
+              Cut = true;
+              break; // everything past the cursor stays unseen
+            }
+            ++VisitSend;
+            evalSendPair(S1, S2, /*WantLink=*/false);
           }
         }
+        if (!Cut)
+          C = {static_cast<uint32_t>(K), 0}; // every pair seen at least once
       }
     }
 
@@ -288,15 +626,19 @@ struct HbIndex::Builder {
               });
     NewEdges.erase(std::unique(NewEdges.begin(), NewEdges.end()),
                    NewEdges.end());
-    for (auto [From, To] : NewEdges)
+    std::vector<HbEdge> Batch;
+    Batch.reserve(NewEdges.size());
+    for (auto [From, To] : NewEdges) {
       G.addEdge(From, To);
+      Batch.push_back({From, To});
+    }
 
     Stats.AtomicityEdges += Atomicity;
     Stats.QueueRule1Edges += Q1;
     Stats.QueueRule2Edges += Q2;
     Stats.QueueRule3Edges += Q3;
     Stats.QueueRule4Edges += Q4;
-    return NewEdges.size();
+    return Batch;
   }
 };
 
@@ -304,18 +646,68 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
                  const HbOptions &Options)
     : T(T), Index(Index),
       Graph(std::make_unique<HbGraph>(T, Index)) {
+  bool Profile = std::getenv("CAFA_HB_PROFILE") != nullptr;
+  auto Now = [] { return std::chrono::steady_clock::now(); };
+  auto Ms = [](auto A, auto B) {
+    return std::chrono::duration<double, std::milli>(B - A).count();
+  };
+
+  auto TGraph = Now();
   Builder B(T, *Graph, Options, Stats);
   B.collect();
   B.addBaseEdges();
-  Reach = makeReachability(*Graph, Options.Reach == ReachMode::Closure);
+  auto TBase = Now();
+  Reach = makeReachability(*Graph, Options.Reach);
+  auto TInit = Now();
+  if (Profile)
+    std::fprintf(stderr, "graph+base=%.1fms init=%.1fms nodes=%zu edges=%zu\n",
+                 Ms(TGraph, TBase), Ms(TBase, TInit), Graph->numNodes(),
+                 Graph->numEdges());
 
   if (Options.Model == OrderingModel::Cafa &&
       (Options.EnableAtomicityRule || Options.EnableQueueRules)) {
+    // Semi-naive evaluation: round 0 scans everything; later rounds ask
+    // the oracle what changed -- exact premise facts if it can say
+    // (incremental sweep), per-row dirt as the coarse fallback, full
+    // re-scans when it rebuilds from scratch and cannot know.
+    B.buildFactTables();
+    Reach->setFactFilter(B.FactSources, B.FactTargets);
+    const uint8_t *ChangedRows = nullptr;
+    const std::vector<GainedWord> *Gained = nullptr;
     for (uint32_t Round = 0; Round != Options.MaxFixpointRounds; ++Round) {
       ++Stats.FixpointRounds;
-      if (B.applyDerivedRules(*Reach) == 0)
+      auto T0 = Now();
+      std::vector<HbEdge> Delta =
+          B.applyDerivedRules(*Reach, ChangedRows, Gained);
+      auto T1 = Now();
+      if (Delta.empty()) {
+        if (Profile)
+          std::fprintf(stderr,
+                       "round %u: empty scan=%.1fms atom=%llu/%llu "
+                       "send=%llu/%llu\n",
+                       Round, Ms(T0, T1),
+                       (unsigned long long)B.VisitAtom,
+                       (unsigned long long)B.SkipAtom,
+                       (unsigned long long)B.VisitSend,
+                       (unsigned long long)B.SkipSend);
         break;
-      Reach->refresh();
+      }
+      // Delta protocol: the graph already holds this round's edges; the
+      // oracle either folds them in incrementally or rebuilds.
+      Reach->addEdges(Delta);
+      ChangedRows = Reach->changedRows();
+      Gained = Reach->gainedWords();
+      auto T2 = Now();
+      if (Profile)
+        std::fprintf(stderr,
+                     "round %u: delta=%zu scan=%.1fms update=%.1fms "
+                     "atom=%llu/%llu send=%llu/%llu facts=%zu\n",
+                     Round, Delta.size(), Ms(T0, T1), Ms(T1, T2),
+                     (unsigned long long)B.VisitAtom,
+                     (unsigned long long)B.SkipAtom,
+                     (unsigned long long)B.VisitSend,
+                     (unsigned long long)B.SkipSend,
+                     Gained ? Gained->size() : size_t(0));
     }
   }
 }

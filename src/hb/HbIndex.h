@@ -51,18 +51,11 @@ enum class OrderingModel : uint8_t {
   Conventional,
 };
 
-/// Which reachability oracle backs queries and rule evaluation.
-enum class ReachMode : uint8_t {
-  /// Bitset transitive closure: O(1) queries, O(N^2) bits.
-  Closure,
-  /// Pruned per-query search: slow queries, linear memory.
-  Bfs,
-};
-
 /// Build-time options (rule toggles exist for the ablation benchmarks).
+/// ReachMode (the reachability oracle selection) lives in Reachability.h.
 struct HbOptions {
   OrderingModel Model = OrderingModel::Cafa;
-  ReachMode Reach = ReachMode::Closure;
+  ReachMode Reach = ReachMode::Incremental;
   bool EnableAtomicityRule = true;
   bool EnableQueueRules = true;
   bool EnableListenerRule = true;

@@ -7,6 +7,7 @@
 
 #include "hb/Reachability.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace cafa;
@@ -21,12 +22,13 @@ void ClosureReachability::refresh() {
   }
   // Node ids ascend in trace-record order and every edge points forward,
   // so descending node id is a reverse topological order: successors'
-  // rows are final when a node is processed.
+  // rows are final when a node is processed.  A row holds only bits
+  // above its own node, so each union can start at the successor's word.
   for (size_t I = N; I-- > 0;) {
     BitVec &Row = Rows[I];
     for (uint32_t S : G.successors(NodeId(static_cast<uint32_t>(I)))) {
       Row.set(S);
-      Row.orWith(Rows[S]);
+      Row.orWithFrom(Rows[S], S);
     }
   }
 }
@@ -35,6 +37,130 @@ size_t ClosureReachability::memoryBytes() const {
   size_t Total = 0;
   for (const BitVec &Row : Rows)
     Total += Row.memoryBytes();
+  return Total;
+}
+
+void IncrementalClosureReachability::refresh() {
+  size_t N = G.numNodes();
+  Rows.resize(N);
+  for (BitVec &Row : Rows) {
+    if (Row.size() != N)
+      Row.resize(N);
+    Row.clear();
+  }
+  // Same reverse-topological sweep as the full closure; rows hold only
+  // bits above their own node id, so each union can start at the
+  // successor's word.
+  for (size_t I = N; I-- > 0;) {
+    BitVec &Row = Rows[I];
+    for (uint32_t S : G.successors(NodeId(static_cast<uint32_t>(I)))) {
+      Row.set(S);
+      Row.orWithFrom(Rows[S], S);
+    }
+  }
+  KnownEdges = G.numEdges();
+  // A full rebuild loses track of which rows changed and which facts
+  // appeared.
+  DirtyValid = false;
+  FactsValid = false;
+}
+
+void IncrementalClosureReachability::addEdges(
+    std::span<const HbEdge> Edges) {
+  // The protocol: the rule engine inserts exactly one round's edges into
+  // the graph, then hands that batch here.  If the graph drifted (nodes
+  // appeared, or edges were added behind our back), the delta cannot be
+  // expressed -- rebuild.
+  if (Rows.size() != G.numNodes() ||
+      KnownEdges + Edges.size() != G.numEdges()) {
+    refresh();
+    return;
+  }
+  KnownEdges = G.numEdges();
+  bool Collect = HasFilter && SrcMask.size() == G.numNodes() &&
+                 TgtMask.size() == G.numNodes();
+  Gained.clear();
+  FactsValid = Collect; // an empty list is an exact "nothing changed"
+  if (Edges.empty()) {
+    Dirty.assign(G.numNodes(), 0);
+    DirtyValid = true;
+    return;
+  }
+
+  // Sort the batch by source id descending so one reverse-topological
+  // sweep consumes it with a moving cursor.
+  SortedBatch.assign(Edges.begin(), Edges.end());
+  std::sort(SortedBatch.begin(), SortedBatch.end(),
+            [](const HbEdge &A, const HbEdge &B) { return B.From < A.From; });
+
+  // Nodes above the largest batch source cannot reach any new edge (all
+  // paths to it would have to run backward), so the sweep starts there.
+  uint32_t MaxFrom = SortedBatch.front().From.value();
+  Dirty.assign(G.numNodes(), 0);
+  if (Collect && SnapRow.size() != G.numNodes())
+    SnapRow.resize(G.numNodes());
+
+  size_t Next = 0;
+  for (uint32_t I = MaxFrom + 1; I-- > 0;) {
+    BitVec &Row = Rows[I];
+    bool HasBatch =
+        Next != SortedBatch.size() && SortedBatch[Next].From.value() == I;
+    // Snapshot the live half of a row that may change and whose gained
+    // facts the filter wants, so the diff below enumerates exactly the
+    // bits this sweep adds.  Rows only change through a batch edge or a
+    // dirty successor, so everything else skips the copy.
+    bool Snap = false;
+    if (Collect && SrcMask.test(I)) {
+      bool MayChange = HasBatch;
+      if (!MayChange)
+        for (uint32_t S : G.successors(NodeId(I)))
+          if (Dirty[S]) {
+            MayChange = true;
+            break;
+          }
+      if (MayChange) {
+        SnapRow.assignFrom(Row, I);
+        Snap = true;
+      }
+    }
+    bool Changed = false;
+    // Absorb this node's batch edges: row gains {To} union row(To).
+    // To > I, and the sweep already finalized every node above I, so
+    // row(To) is final for this batch.
+    for (; Next != SortedBatch.size() && SortedBatch[Next].From.value() == I;
+         ++Next) {
+      uint32_t To = SortedBatch[Next].To.value();
+      assert(To > I && "HB edges must point forward in trace order");
+      if (!Row.test(To)) {
+        Row.set(To);
+        Changed = true;
+      }
+      Changed |= Row.orWithFrom(Rows[To], To);
+    }
+    // Re-absorb every successor whose row grew earlier in this sweep;
+    // clean successors are already contained by the closure invariant.
+    for (uint32_t S : G.successors(NodeId(I)))
+      if (Dirty[S])
+        Changed |= Row.orWithFrom(Rows[S], S);
+    Dirty[I] = Changed;
+    if (Snap && Changed) {
+      for (size_t W = I >> 6, E = Row.numWords(); W != E; ++W) {
+        uint64_t D = (Row.word(W) ^ SnapRow.word(W)) & TgtMask.word(W);
+        if (D)
+          Gained.push_back({I, static_cast<uint32_t>(W), D});
+      }
+    }
+  }
+  DirtyValid = true;
+}
+
+size_t IncrementalClosureReachability::memoryBytes() const {
+  size_t Total = 0;
+  for (const BitVec &Row : Rows)
+    Total += Row.memoryBytes();
+  Total += Dirty.capacity() + SortedBatch.capacity() * sizeof(HbEdge);
+  Total += SrcMask.memoryBytes() + TgtMask.memoryBytes() +
+           SnapRow.memoryBytes() + Gained.capacity() * sizeof(GainedWord);
   return Total;
 }
 
@@ -111,8 +237,14 @@ size_t BfsReachability::memoryBytes() const {
 }
 
 std::unique_ptr<Reachability> cafa::makeReachability(const HbGraph &G,
-                                                     bool UseClosure) {
-  if (UseClosure)
+                                                     ReachMode Mode) {
+  switch (Mode) {
+  case ReachMode::Closure:
     return std::make_unique<ClosureReachability>(G);
-  return std::make_unique<BfsReachability>(G);
+  case ReachMode::Bfs:
+    return std::make_unique<BfsReachability>(G);
+  case ReachMode::Incremental:
+    return std::make_unique<IncrementalClosureReachability>(G);
+  }
+  return std::make_unique<IncrementalClosureReachability>(G);
 }

@@ -6,17 +6,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Two interchangeable reachability oracles over the happens-before DAG
+/// Three interchangeable reachability oracles over the happens-before DAG
 /// (Section 4.2: "to test if two operations are ordered, we simply
 /// perform a reachability test on the happens-before graph"):
 ///
 ///  - ClosureReachability: full transitive closure as one bitset row per
-///    node, computed in reverse topological (= reverse trace) order.
-///    O(1) queries, O(N^2/8) bytes -- the default, and what makes the
-///    quadratic rule scans of the fixpoint affordable.
+///    node, recomputed from scratch on every refresh().  O(1) queries,
+///    O(N^2/8) bytes -- the reference oracle and the fallback when the
+///    graph changes in ways an incremental update cannot express.
 ///  - BfsReachability: per-query pruned search, no precomputation.  Slow
 ///    queries, O(N) memory -- the memory-frugal alternative, compared in
 ///    the ablation benchmark.
+///  - IncrementalClosureReachability: same closure matrix and O(1)
+///    queries, but after the initial build each fixpoint round only
+///    propagates the newly inserted edges backward through the existing
+///    rows (addEdges), instead of rebuilding all N rows.  The default.
+///
+/// See docs/hb-reachability.md for the architecture of this layer, the
+/// complexity trade-offs, and the fixpoint-round delta protocol.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,9 +34,39 @@
 #include "support/BitVec.h"
 
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace cafa {
+
+/// One happens-before edge, as handed to the delta-aware oracle path.
+struct HbEdge {
+  NodeId From;
+  NodeId To;
+};
+
+/// One word's worth of reachability facts gained by a delta update:
+/// node From now reaches node 64 * WordIdx + b for every set bit b of
+/// Bits.  Word granularity keeps collection O(changed words) instead of
+/// O(changed bits); consumers unpack with ctz loops.
+struct GainedWord {
+  uint32_t From;
+  uint32_t WordIdx;
+  uint64_t Bits;
+};
+
+/// Which reachability oracle backs queries and rule evaluation.
+enum class ReachMode : uint8_t {
+  /// Bitset transitive closure, fully rebuilt every round: O(1) queries,
+  /// O(N^2) bits.
+  Closure,
+  /// Pruned per-query search: slow queries, linear memory.
+  Bfs,
+  /// Bitset transitive closure maintained incrementally across fixpoint
+  /// rounds: O(1) queries, O(N^2) bits, but each round costs only the
+  /// backward propagation of that round's delta edges.
+  Incremental,
+};
 
 /// Answers "is there a path From -> To" on the current graph edges.
 class Reachability {
@@ -40,15 +77,58 @@ public:
   /// (a node does not reach itself).
   virtual bool reaches(NodeId From, NodeId To) const = 0;
 
-  /// Called by the rule engine after it adds edges; oracles refresh any
-  /// precomputed state.
+  /// Rebuilds any precomputed state from the graph's current edges.
   virtual void refresh() = 0;
+
+  /// Delta path, called by the rule engine after it inserts a fixpoint
+  /// round's \p Edges into the graph.  The graph already contains the
+  /// edges when this runs.  Oracles that can update incrementally
+  /// override this; the default falls back to a full refresh(), so every
+  /// oracle answers identically afterwards.
+  virtual void addEdges(std::span<const HbEdge> Edges) { refresh(); }
+
+  /// Returns the closure row array (indexed by node id) if this oracle
+  /// precomputes one, else nullptr.  The rule engine's pair scans issue
+  /// millions of queries per round; testing a row bit inline instead of
+  /// making a virtual reaches() call per pair is a measurable win, and
+  /// non-closure oracles simply keep the virtual path.
+  virtual const BitVec *rowsOrNull() const { return nullptr; }
+
+  /// Returns per-node flags (indexed by node id) marking the rows whose
+  /// reachable set grew during the last addEdges() call, or nullptr when
+  /// that is unknown (after a full refresh(), or for oracles without
+  /// delta tracking).  A nullptr means "assume every row changed".  The
+  /// rule engine uses this for semi-naive re-scanning: a pair whose
+  /// premise-source rows are all unchanged since its last evaluation
+  /// provably evaluates to the same outcome and is skipped.
+  virtual const uint8_t *changedRows() const { return nullptr; }
+
+  /// Installs the premise fact filter for gainedFacts().  Delta-tracking
+  /// oracles copy the masks and, on each subsequent addEdges(), record
+  /// every reachability fact From -> To that became true with \p Sources
+  /// testing From and \p Targets testing To.  The base class ignores the
+  /// call: an oracle that rebuilds from scratch cannot say which facts
+  /// are new.
+  virtual void setFactFilter(const BitVec & /*Sources*/,
+                             const BitVec & /*Targets*/) {}
+
+  /// Returns the filtered facts that became true during the last
+  /// addEdges() call (word-packed), or nullptr when unknown (no filter
+  /// installed, a full refresh() intervened, or no delta tracking).
+  /// nullptr means "assume anything may have changed"; an empty vector
+  /// is an exact "nothing relevant changed".  This is what lets the
+  /// rule engine run true semi-naive rounds: instead of re-scanning
+  /// every pair it evaluates only the pairs whose premise just
+  /// appeared.
+  virtual const std::vector<GainedWord> *gainedWords() const {
+    return nullptr;
+  }
 
   /// Approximate memory footprint in bytes (for the ablation bench).
   virtual size_t memoryBytes() const = 0;
 };
 
-/// Bitset transitive closure.
+/// Bitset transitive closure, rebuilt from scratch on refresh().
 class ClosureReachability final : public Reachability {
 public:
   explicit ClosureReachability(const HbGraph &G) : G(G) { refresh(); }
@@ -58,6 +138,7 @@ public:
   }
   void refresh() override;
   size_t memoryBytes() const override;
+  const BitVec *rowsOrNull() const override { return Rows.data(); }
 
   /// Direct row access for cache-friendly pair scans in the rule engine.
   const BitVec &row(NodeId Node) const { return Rows[Node.index()]; }
@@ -65,6 +146,81 @@ public:
 private:
   const HbGraph &G;
   std::vector<BitVec> Rows;
+};
+
+/// Bitset transitive closure maintained incrementally.
+///
+/// After the initial build, each fixpoint round hands its freshly
+/// inserted edges to addEdges(), which runs one reverse-topological
+/// sweep over the id prefix [0, max batch source]: node n absorbs
+/// {v} union row(v) for each batch edge n -> v, then re-absorbs row(s)
+/// for each successor s whose row grew earlier in the same sweep
+/// ("dirty").  Edge insertion is monotone, so rows only grow and never
+/// need clearing, and a node with no batch edge and no dirty successor
+/// costs a flag scan of its adjacency list -- not a row union.  The
+/// sweep is therefore bounded above by one full rebuild and is far
+/// cheaper once the closure stabilizes and deltas shrink.
+///
+/// Two structural facts of the HB DAG make this work:
+///  - node ids ascend in trace-record order and every edge points
+///    forward, so descending id is a reverse topological order and a
+///    node's row holds only bits above its own id (which lets every
+///    union start at the successor's word, BitVec::orWithFrom, skipping
+///    the dead low half of the row on average);
+///  - program order chains each task's nodes, so typical adjacency
+///    lists hold one chain edge plus few cross-task edges and the
+///    clean-node scan is cheap.
+class IncrementalClosureReachability final : public Reachability {
+public:
+  explicit IncrementalClosureReachability(const HbGraph &G) : G(G) {
+    refresh();
+  }
+
+  bool reaches(NodeId From, NodeId To) const override {
+    return Rows[From.index()].test(To.index());
+  }
+  void refresh() override;
+  void addEdges(std::span<const HbEdge> Edges) override;
+  size_t memoryBytes() const override;
+  const BitVec *rowsOrNull() const override { return Rows.data(); }
+  const uint8_t *changedRows() const override {
+    return DirtyValid ? Dirty.data() : nullptr;
+  }
+  void setFactFilter(const BitVec &Sources, const BitVec &Targets) override {
+    SrcMask = Sources;
+    TgtMask = Targets;
+    HasFilter = true;
+    FactsValid = false;
+  }
+  const std::vector<GainedWord> *gainedWords() const override {
+    return FactsValid ? &Gained : nullptr;
+  }
+
+  /// Direct row access (same contract as ClosureReachability::row).
+  const BitVec &row(NodeId Node) const { return Rows[Node.index()]; }
+
+private:
+  const HbGraph &G;
+  std::vector<BitVec> Rows;
+  /// Edges reflected in Rows; addEdges falls back to a full refresh()
+  /// if the graph drifted from what it was told about.
+  size_t KnownEdges = 0;
+  /// Scratch for addEdges: the batch sorted by source id descending,
+  /// and a per-node "row grew during this sweep" flag.  The flags double
+  /// as the changedRows() report, valid only after a delta sweep (a full
+  /// refresh loses track of which rows changed).
+  std::vector<HbEdge> SortedBatch;
+  std::vector<uint8_t> Dirty;
+  bool DirtyValid = false;
+  /// Premise fact filter (copies -- the caller's masks may not outlive
+  /// us) and the facts gained in the last delta sweep.  SnapRow is the
+  /// pre-sweep snapshot of the row being updated, diffed after its
+  /// unions to enumerate exactly the bits the sweep added.
+  BitVec SrcMask, TgtMask;
+  bool HasFilter = false;
+  std::vector<GainedWord> Gained;
+  bool FactsValid = false;
+  BitVec SnapRow;
 };
 
 /// On-demand search with per-task pruning: a visit to node n of task t
@@ -88,9 +244,9 @@ private:
   mutable std::vector<NodeId> Worklist;
 };
 
-/// Creates the oracle selected by \p UseClosure.
+/// Creates the oracle selected by \p Mode.
 std::unique_ptr<Reachability> makeReachability(const HbGraph &G,
-                                               bool UseClosure);
+                                               ReachMode Mode);
 
 } // namespace cafa
 

@@ -76,6 +76,40 @@ public:
     return Changed != 0;
   }
 
+  /// ORs \p Other into this vector, skipping all words before the one
+  /// holding \p FromBit.  The caller asserts Other has no set bit below
+  /// \p FromBit (e.g. closure rows over a DAG in topological order only
+  /// hold bits above the row's own node).  \returns true if any bit
+  /// changed.
+  bool orWithFrom(const BitVec &Other, size_t FromBit) {
+    assert(NumBits == Other.NumBits && "universe size mismatch");
+    uint64_t Changed = 0;
+    for (size_t I = FromBit >> 6, E = Words.size(); I < E; ++I) {
+      uint64_t Old = Words[I];
+      uint64_t New = Old | Other.Words[I];
+      Words[I] = New;
+      Changed |= Old ^ New;
+    }
+    return Changed != 0;
+  }
+
+  /// Returns the number of 64-bit backing words.
+  size_t numWords() const { return Words.size(); }
+
+  /// Returns backing word \p I (bits [64*I, 64*I+63]).
+  uint64_t word(size_t I) const { return Words[I]; }
+
+  /// Copies \p Other's words from the word holding \p FromBit onward,
+  /// leaving earlier words untouched.  Universe sizes must match.  Used
+  /// to snapshot the live half of a closure row before a delta sweep
+  /// mutates it, so the sweep can enumerate exactly the bits it added.
+  void assignFrom(const BitVec &Other, size_t FromBit) {
+    assert(NumBits == Other.NumBits && "universe size mismatch");
+    size_t W = FromBit >> 6;
+    std::memcpy(Words.data() + W, Other.Words.data() + W,
+                (Words.size() - W) * 8);
+  }
+
   /// Returns true if this vector and \p Other share any set bit.
   bool anyCommon(const BitVec &Other) const {
     assert(NumBits == Other.NumBits && "universe size mismatch");

@@ -5,9 +5,11 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Property tests: the two reachability oracles must agree on every query
-// over randomly generated (but structurally valid) traces, and the
-// happens-before relation must be a strict partial order.
+// Property tests: the three reachability oracles must agree on every
+// query over randomly generated (but structurally valid) traces -- both
+// through the full HbIndex fixpoint and under raw random DAGs with
+// incremental edge batches -- and the happens-before relation must be a
+// strict partial order.
 //
 //===----------------------------------------------------------------------===//
 
@@ -157,7 +159,7 @@ Trace randomTrace(uint64_t Seed, size_t Steps) {
 
 class ReachabilityPropertyTest : public testing::TestWithParam<uint64_t> {};
 
-TEST_P(ReachabilityPropertyTest, ClosureAndBfsAgreeOnRandomTraces) {
+TEST_P(ReachabilityPropertyTest, AllOraclesAgreeOnRandomTraces) {
   Trace T = randomTrace(GetParam(), 400);
   ASSERT_TRUE(validateTrace(T).ok()) << validateTrace(T).message();
   TaskIndex Index(T);
@@ -168,6 +170,9 @@ TEST_P(ReachabilityPropertyTest, ClosureAndBfsAgreeOnRandomTraces) {
   HbOptions BfsOpt;
   BfsOpt.Reach = ReachMode::Bfs;
   HbIndex HbBfs(T, Index, BfsOpt);
+  HbOptions IncOpt;
+  IncOpt.Reach = ReachMode::Incremental;
+  HbIndex HbInc(T, Index, IncOpt);
 
   Rng R(GetParam() ^ 0xABCDEF);
   uint32_t N = static_cast<uint32_t>(T.numRecords());
@@ -175,7 +180,10 @@ TEST_P(ReachabilityPropertyTest, ClosureAndBfsAgreeOnRandomTraces) {
   for (int I = 0; I != 3000; ++I) {
     uint32_t A = static_cast<uint32_t>(R.below(N));
     uint32_t B = static_cast<uint32_t>(R.below(N));
-    EXPECT_EQ(HbClosure.happensBefore(A, B), HbBfs.happensBefore(A, B))
+    bool Expected = HbClosure.happensBefore(A, B);
+    EXPECT_EQ(Expected, HbBfs.happensBefore(A, B))
+        << "records " << A << " -> " << B;
+    EXPECT_EQ(Expected, HbInc.happensBefore(A, B))
         << "records " << A << " -> " << B;
   }
 }
@@ -212,5 +220,130 @@ TEST_P(ReachabilityPropertyTest, HappensBeforeIsStrictPartialOrder) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ReachabilityPropertyTest,
                          testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                          89));
+
+/// Differential test of the oracle layer itself: random DAGs (the
+/// program-order skeleton of a random trace) grown by random batches of
+/// forward edges, with the incremental oracle exercising an arbitrary
+/// interleaving of its addEdges delta path and full refresh() rebuilds.
+/// After every batch all three oracles must agree on reaches(u, v) --
+/// the two closures exhaustively, the BFS on a sample.
+class IncrementalDifferentialTest : public testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IncrementalDifferentialTest, OraclesAgreeUnderIncrementalBatches) {
+  uint64_t Seed = GetParam();
+  Trace T = randomTrace(Seed * 7919 + 17, 150);
+  ASSERT_TRUE(validateTrace(T).ok());
+  TaskIndex Index(T);
+  HbGraph G(T, Index); // program-order chains only
+
+  ClosureReachability Closure(G);
+  BfsReachability Bfs(G);
+  IncrementalClosureReachability Inc(G);
+
+  Rng R(Seed ^ 0x5EED5EEDull);
+  uint32_t N = static_cast<uint32_t>(G.numNodes());
+  ASSERT_GT(N, 1u);
+
+  // Exercise the delta-report surface too: with an all-ones fact filter,
+  // gainedWords() must enumerate exactly the facts each delta sweep adds
+  // and changedRows() must cover every row that grew.
+  BitVec AllNodes(N);
+  for (uint32_t I = 0; I != N; ++I)
+    AllNodes.set(I);
+  Inc.setFactFilter(AllNodes, AllNodes);
+
+  for (int Batch = 0; Batch != 4; ++Batch) {
+    // Brute-force pre-batch relation, for diffing the delta reports.
+    std::vector<uint8_t> Prev;
+    if (N <= 160) {
+      Prev.assign(size_t(N) * N, 0);
+      for (uint32_t U = 0; U != N; ++U)
+        for (uint32_t V = 0; V != N; ++V)
+          Prev[size_t(U) * N + V] = Inc.reaches(NodeId(U), NodeId(V));
+    }
+    // Grow the DAG by a random batch of forward edges (node ids ascend
+    // in record order, so A < B keeps every edge forward / acyclic).
+    std::vector<HbEdge> Edges;
+    for (size_t I = 0, E = 1 + R.below(8); I != E; ++I) {
+      uint32_t A = static_cast<uint32_t>(R.below(N));
+      uint32_t B = static_cast<uint32_t>(R.below(N));
+      if (A == B)
+        continue;
+      if (A > B)
+        std::swap(A, B);
+      G.addEdge(NodeId(A), NodeId(B));
+      Edges.push_back({NodeId(A), NodeId(B)});
+    }
+
+    Closure.refresh();
+    bool UsedDelta = !R.chance(1, 3);
+    if (UsedDelta)
+      Inc.addEdges(Edges);
+    else
+      Inc.refresh(); // interleave full rebuilds with delta updates
+
+    // The two closure oracles must agree bit for bit.
+    if (N <= 160) {
+      for (uint32_t U = 0; U != N; ++U)
+        for (uint32_t V = 0; V != N; ++V)
+          ASSERT_EQ(Closure.reaches(NodeId(U), NodeId(V)),
+                    Inc.reaches(NodeId(U), NodeId(V)))
+              << "seed " << Seed << " batch " << Batch << " " << U << "->"
+              << V;
+    } else {
+      for (int Q = 0; Q != 4000; ++Q) {
+        uint32_t U = static_cast<uint32_t>(R.below(N));
+        uint32_t V = static_cast<uint32_t>(R.below(N));
+        ASSERT_EQ(Closure.reaches(NodeId(U), NodeId(V)),
+                  Inc.reaches(NodeId(U), NodeId(V)))
+            << "seed " << Seed << " batch " << Batch << " " << U << "->"
+            << V;
+      }
+    }
+    // The search oracle agrees on a sample (per-query cost is higher).
+    for (int Q = 0; Q != 250; ++Q) {
+      uint32_t U = static_cast<uint32_t>(R.below(N));
+      uint32_t V = static_cast<uint32_t>(R.below(N));
+      ASSERT_EQ(Closure.reaches(NodeId(U), NodeId(V)),
+                Bfs.reaches(NodeId(U), NodeId(V)))
+          << "seed " << Seed << " batch " << Batch << " " << U << "->" << V;
+    }
+
+    // Delta reports: a full rebuild cannot say what changed; a delta
+    // sweep must report exactly the facts it added.
+    if (!UsedDelta) {
+      EXPECT_EQ(Inc.changedRows(), nullptr);
+      EXPECT_EQ(Inc.gainedWords(), nullptr);
+    } else if (N <= 160) {
+      const uint8_t *CR = Inc.changedRows();
+      const std::vector<GainedWord> *GW = Inc.gainedWords();
+      ASSERT_NE(CR, nullptr);
+      ASSERT_NE(GW, nullptr);
+      std::vector<uint8_t> Reported(size_t(N) * N, 0);
+      for (const GainedWord &W : *GW)
+        for (uint64_t Bits = W.Bits; Bits; Bits &= Bits - 1)
+          Reported[size_t(W.From) * N + W.WordIdx * 64 +
+                   static_cast<uint32_t>(__builtin_ctzll(Bits))] = 1;
+      for (uint32_t U = 0; U != N; ++U) {
+        bool RowGrew = false;
+        for (uint32_t V = 0; V != N; ++V) {
+          bool New = Inc.reaches(NodeId(U), NodeId(V)) &&
+                     !Prev[size_t(U) * N + V];
+          RowGrew |= New;
+          ASSERT_EQ(static_cast<bool>(Reported[size_t(U) * N + V]), New)
+              << "seed " << Seed << " batch " << Batch << " gained fact "
+              << U << "->" << V;
+        }
+        if (RowGrew)
+          ASSERT_TRUE(CR[U]) << "seed " << Seed << " batch " << Batch
+                             << " row " << U << " grew but is not dirty";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds100, IncrementalDifferentialTest,
+                         testing::Range<uint64_t>(0, 100));
 
 } // namespace

@@ -114,8 +114,8 @@ TEST(PipelineTest, AnalysisResultCarriesPhaseStats) {
   EXPECT_GE(R.HbBuildMillis, 0.0);
 }
 
-TEST(PipelineTest, BfsOracleReproducesAppReport) {
-  // End-to-end agreement of the two oracles on an app-shaped trace.
+TEST(PipelineTest, AllOraclesReproduceTheAppReport) {
+  // End-to-end agreement of the three oracles on an app-shaped trace.
   // (Small volume: the BFS oracle pays per-query search inside the
   // quadratic rule scans, which is the point of the ablation bench.)
   AppBuilder App("mini");
@@ -132,6 +132,7 @@ TEST(PipelineTest, BfsOracleReproducesAppReport) {
 
   DetectorOptions Closure;
   Closure.Classify = false;
+  Closure.Hb.Reach = ReachMode::Closure;
   HbIndex HbClosure(T, Index, Closure.Hb);
   RaceReport A = detectUseFreeRaces(T, Index, Db, HbClosure, Closure);
 
@@ -141,10 +142,19 @@ TEST(PipelineTest, BfsOracleReproducesAppReport) {
   HbIndex HbBfs(T, Index, Bfs.Hb);
   RaceReport B = detectUseFreeRaces(T, Index, Db, HbBfs, Bfs);
 
+  DetectorOptions Inc;
+  Inc.Classify = false;
+  Inc.Hb.Reach = ReachMode::Incremental;
+  HbIndex HbInc(T, Index, Inc.Hb);
+  RaceReport C = detectUseFreeRaces(T, Index, Db, HbInc, Inc);
+
   ASSERT_EQ(A.Races.size(), B.Races.size());
+  ASSERT_EQ(A.Races.size(), C.Races.size());
   for (size_t I = 0; I != A.Races.size(); ++I) {
     EXPECT_EQ(A.Races[I].Use.Record, B.Races[I].Use.Record);
     EXPECT_EQ(A.Races[I].Free.Record, B.Races[I].Free.Record);
+    EXPECT_EQ(A.Races[I].Use.Record, C.Races[I].Use.Record);
+    EXPECT_EQ(A.Races[I].Free.Record, C.Races[I].Free.Record);
   }
 }
 

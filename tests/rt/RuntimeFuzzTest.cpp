@@ -213,10 +213,14 @@ TEST_P(RuntimeFuzzTest, OraclesAgreeOnRandomPrograms) {
 
   TaskIndex Index(T);
   HbOptions ClosureOpt;
+  ClosureOpt.Reach = ReachMode::Closure;
   HbIndex HbClosure(T, Index, ClosureOpt);
   HbOptions BfsOpt;
   BfsOpt.Reach = ReachMode::Bfs;
   HbIndex HbBfs(T, Index, BfsOpt);
+  HbOptions IncOpt;
+  IncOpt.Reach = ReachMode::Incremental;
+  HbIndex HbInc(T, Index, IncOpt);
 
   Rng R(GetParam());
   uint32_t N = static_cast<uint32_t>(T.numRecords());
@@ -224,7 +228,10 @@ TEST_P(RuntimeFuzzTest, OraclesAgreeOnRandomPrograms) {
   for (int I = 0; I != 1500; ++I) {
     uint32_t A = static_cast<uint32_t>(R.below(N));
     uint32_t B = static_cast<uint32_t>(R.below(N));
-    ASSERT_EQ(HbClosure.happensBefore(A, B), HbBfs.happensBefore(A, B))
+    bool Expected = HbClosure.happensBefore(A, B);
+    ASSERT_EQ(Expected, HbBfs.happensBefore(A, B))
+        << "seed " << GetParam() << " records " << A << "->" << B;
+    ASSERT_EQ(Expected, HbInc.happensBefore(A, B))
         << "seed " << GetParam() << " records " << A << "->" << B;
   }
 }
