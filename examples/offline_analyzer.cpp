@@ -17,6 +17,17 @@
 //
 // --reach selects the happens-before reachability oracle (incremental /
 // closure / bfs; see docs/hb-reachability.md for when to pick which).
+// Damaged dumps are salvaged by default (--strict insists on a pristine
+// file); --mem-limit=<bytes> and --deadline=<ms> engage the graceful-
+// degradation ladder (docs/robustness.md).
+//
+// Scripted callers triage on the exit code -- the report goes to stdout,
+// every diagnostic to stderr:
+//   0  clean analysis, no races
+//   1  clean analysis, races reported
+//   2  unreadable input (parse/ingest failure) or usage error
+//   3  analysis completed degraded: the input needed salvage repairs, or
+//      a deadline cut the analysis short (report flagged partial)
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,9 +36,11 @@
 #include "cafa/ReportJson.h"
 #include "hb/DotExport.h"
 #include "trace/TraceIO.h"
+#include "trace/TraceReader.h"
 #include "trace/Validate.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace cafa;
@@ -37,9 +50,12 @@ static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage:\n"
                "  %s record <app> <trace-file>      collect a trace\n"
-               "  %s analyze <trace-file> [--json]\n"
-               "     [--reach=incremental|closure|bfs]  analyze a trace\n"
+               "  %s analyze <trace-file> [--json] [--strict|--salvage]\n"
+               "     [--reach=incremental|closure|bfs]\n"
+               "     [--mem-limit=<bytes>] [--deadline=<ms>]  analyze\n"
                "  %s dot <trace-file>               task-order Graphviz\n"
+               "exit codes: 0 no races, 1 races, 2 unreadable input,\n"
+               "            3 degraded/partial analysis\n"
                "apps:",
                Prog, Prog, Prog);
   for (const std::string &Name : appNames())
@@ -67,47 +83,78 @@ int main(int argc, char **argv) {
   if (argc >= 3 && std::strcmp(argv[1], "analyze") == 0) {
     bool Json = false;
     DetectorOptions Options;
+    SalvageOptions Ingest;
     for (int I = 3; I != argc; ++I) {
       if (std::strcmp(argv[I], "--json") == 0) {
         Json = true;
+      } else if (std::strcmp(argv[I], "--strict") == 0) {
+        Ingest.Strict = true;
+      } else if (std::strcmp(argv[I], "--salvage") == 0) {
+        Ingest.Strict = false; // the default; kept for explicit scripts
       } else if (std::strcmp(argv[I], "--reach=incremental") == 0) {
         Options.Hb.Reach = ReachMode::Incremental;
       } else if (std::strcmp(argv[I], "--reach=closure") == 0) {
         Options.Hb.Reach = ReachMode::Closure;
       } else if (std::strcmp(argv[I], "--reach=bfs") == 0) {
         Options.Hb.Reach = ReachMode::Bfs;
+      } else if (std::strncmp(argv[I], "--mem-limit=", 12) == 0) {
+        Options.Hb.MemLimitBytes =
+            std::strtoull(argv[I] + 12, nullptr, 10);
+      } else if (std::strncmp(argv[I], "--deadline=", 11) == 0) {
+        Options.DeadlineMillis = std::strtod(argv[I] + 11, nullptr);
       } else {
         return usage(argv[0]);
       }
     }
+
     Trace T;
-    if (Status S = readTraceFile(argv[2], T); !S.ok()) {
-      std::fprintf(stderr, "error: %s\n", S.message().c_str());
-      return 1;
+    IngestReport Ingested;
+    if (Status S = readTraceFileSalvaged(argv[2], T, Ingested, Ingest);
+        !S.ok()) {
+      std::fprintf(stderr, "error: %s\n%s", S.message().c_str(),
+                   Ingested.summary().c_str());
+      return 2;
     }
-    if (Status S = validateTrace(T); !S.ok()) {
+    if (!Ingested.clean())
+      std::fprintf(stderr, "%s", Ingested.summary().c_str());
+    ValidateOptions VOpt;
+    VOpt.AllowUnsentEvents = true;
+    if (Status S = validateTrace(T, VOpt); !S.ok()) {
       std::fprintf(stderr, "invalid trace: %s\n", S.message().c_str());
-      return 1;
+      return 2;
     }
+
     AnalysisResult R = analyzeTrace(T, Options);
-    if (Json) {
-      std::printf("%s", renderRaceReportJson(R.Report, T).c_str());
-      return 0;
+    if (R.Degradation.DowngradedForMemory)
+      std::fprintf(stderr,
+                   "note: reachability oracle downgraded %s -> %s to fit "
+                   "--mem-limit (results unaffected)\n",
+                   reachModeName(R.Degradation.RequestedReach),
+                   reachModeName(R.Degradation.UsedReach));
+    if (R.Report.Partial)
+      std::fprintf(stderr, "warning: partial analysis (%s)\n",
+                   R.Report.PartialCause.c_str());
+    if (!Json) {
+      std::fprintf(stderr, "%s",
+                   renderTraceStats(R.TraceStatistics).c_str());
+      std::fprintf(stderr,
+                   "analysis: extract %.1f ms, happens-before %.1f ms "
+                   "(%u fixpoint rounds), detect %.1f ms\n\n",
+                   R.ExtractMillis, R.HbBuildMillis,
+                   R.HbStats.FixpointRounds, R.DetectMillis);
     }
-    std::printf("%s", renderTraceStats(R.TraceStatistics).c_str());
-    std::printf("analysis: extract %.1f ms, happens-before %.1f ms "
-                "(%u fixpoint rounds), detect %.1f ms\n\n",
-                R.ExtractMillis, R.HbBuildMillis,
-                R.HbStats.FixpointRounds, R.DetectMillis);
-    std::printf("%s", renderRaceReport(R.Report, T).c_str());
-    return 0;
+    std::printf("%s", Json ? renderRaceReportJson(R.Report, T).c_str()
+                           : renderRaceReport(R.Report, T).c_str());
+    if (R.Report.Partial || !Ingested.clean())
+      return 3;
+    return R.Report.Races.empty() ? 0 : 1;
   }
 
   if (argc >= 3 && std::strcmp(argv[1], "dot") == 0) {
     Trace T;
     if (Status S = readTraceFile(argv[2], T); !S.ok()) {
       std::fprintf(stderr, "error: %s\n", S.message().c_str());
-      return 1;
+      return 2;
     }
     TaskIndex Index(T);
     HbIndex Hb(T, Index, HbOptions());

@@ -9,6 +9,8 @@
 
 #include "support/Timer.h"
 
+#include <algorithm>
+
 using namespace cafa;
 
 AnalysisResult cafa::analyzeTrace(const Trace &T,
@@ -17,19 +19,35 @@ AnalysisResult cafa::analyzeTrace(const Trace &T,
   AnalysisResult Result;
   Result.TraceStatistics = computeTraceStats(T);
 
+  // DeadlineMillis bounds the whole pipeline here: each phase gets what
+  // the previous phases left over (floored at a hair above zero so a
+  // blown budget still means "stop at the first checkpoint", not "run
+  // unbounded").
+  Timer Total;
+  DetectorOptions Opt = Options;
+  auto Remaining = [&] {
+    return std::max(Options.DeadlineMillis - Total.elapsedWallMillis(),
+                    0.001);
+  };
+
   Timer Phase;
   TaskIndex Index(T);
   AccessDb Db = extractAccesses(T, Index, Resolver);
   Result.ExtractMillis = Phase.elapsedWallMillis();
 
+  if (Opt.DeadlineMillis > 0)
+    Opt.Hb.DeadlineMillis = Remaining();
   Phase.restart();
-  HbIndex Hb(T, Index, Options.Hb);
+  HbIndex Hb(T, Index, Opt.Hb);
   Result.HbBuildMillis = Phase.elapsedWallMillis();
   Result.HbStats = Hb.ruleStats();
   Result.HbMemoryBytes = Hb.memoryBytes();
+  Result.Degradation = Hb.degradation();
 
+  if (Opt.DeadlineMillis > 0)
+    Opt.DeadlineMillis = Remaining();
   Phase.restart();
-  Result.Report = detectUseFreeRaces(T, Index, Db, Hb, Options);
+  Result.Report = detectUseFreeRaces(T, Index, Db, Hb, Opt);
   Result.DetectMillis = Phase.elapsedWallMillis();
   return Result;
 }

@@ -43,11 +43,21 @@ struct AnalysisResult {
   double DetectMillis = 0;
   /// Approximate happens-before memory (graph + reachability oracle).
   size_t HbMemoryBytes = 0;
+  /// What the graceful-degradation ladder did to the primary
+  /// happens-before build (oracle downgrade under Hb.MemLimitBytes,
+  /// blown fixpoint deadline).  Report.Partial mirrors the deadline bit.
+  HbDegradation Degradation;
 };
 
 /// Runs the full offline pipeline on \p T.  \p Resolver, when provided,
 /// enables the Section 6.3 static-dataflow deref matching (removes Type
 /// III false positives; requires the application bytecode).
+///
+/// Degradation: \p Options.DeadlineMillis is interpreted here as the
+/// budget for the *whole* pipeline; the happens-before and detection
+/// phases each receive whatever the preceding phases left over, so one
+/// number bounds the end-to-end analysis.  On expiry the returned
+/// Report is flagged Partial with a machine-readable cause.
 AnalysisResult analyzeTrace(const Trace &T, const DetectorOptions &Options,
                             const DerefResolver *Resolver = nullptr);
 

@@ -72,14 +72,19 @@ std::string cafa::renderRaceReportJson(const RaceReport &Report,
   OS << formatString(
       "  \"filters\": {\"candidates\": %llu, \"orderedByHb\": %llu, "
       "\"sameTask\": %llu, \"lockset\": %llu, \"ifGuard\": %llu, "
-      "\"intraEventAlloc\": %llu}\n",
+      "\"intraEventAlloc\": %llu},\n",
       static_cast<unsigned long long>(F.CandidatePairs),
       static_cast<unsigned long long>(F.OrderedByHb),
       static_cast<unsigned long long>(F.SameTask),
       static_cast<unsigned long long>(F.LocksetProtected),
       static_cast<unsigned long long>(F.IfGuardFiltered),
       static_cast<unsigned long long>(F.IntraEventAlloc));
-  OS << "}\n";
+  OS << formatString("  \"partial\": %s",
+                     Report.Partial ? "true" : "false");
+  if (Report.Partial)
+    OS << formatString(",\n  \"partialCause\": \"%s\"",
+                       jsonEscape(Report.PartialCause).c_str());
+  OS << "\n}\n";
   return OS.str();
 }
 

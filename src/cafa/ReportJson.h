@@ -15,8 +15,17 @@
 ///   "races": [ { "category": "a", "dynamicCount": 1,
 ///                "use":  {"method": "...", "pc": 3, "task": "..."},
 ///                "free": {"method": "...", "pc": 7, "task": "..."} } ],
-///   "filters": { "candidates": 10, "orderedByHb": 2, ... }
+///   "filters": { "candidates": 10, "orderedByHb": 2, ... },
+///   "partial": false
 /// }
+/// \endcode
+///
+/// When the analysis hit a degradation deadline, "partial" is true and a
+/// "partialCause" string ("hb-deadline" or "detect-deadline") follows:
+///
+/// \code
+///   "partial": true,
+///   "partialCause": "detect-deadline"
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//

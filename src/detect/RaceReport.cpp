@@ -60,5 +60,9 @@ std::string cafa::renderRaceReport(const RaceReport &Report, const Trace &T) {
       static_cast<unsigned long long>(F.LocksetProtected),
       static_cast<unsigned long long>(F.IfGuardFiltered),
       static_cast<unsigned long long>(F.IntraEventAlloc));
+  if (Report.Partial)
+    OS << formatString("PARTIAL result (%s): analysis stopped early; "
+                       "races may be missing or unfiltered\n",
+                       Report.PartialCause.c_str());
   return OS.str();
 }

@@ -60,6 +60,16 @@ struct FilterCounters {
 struct RaceReport {
   std::vector<UseFreeRace> Races;
   FilterCounters Filters;
+  /// True when the analysis hit a degradation deadline and stopped
+  /// early: the happens-before relation may under-approximate (extra
+  /// candidates survive) and candidate pairs past the cutoff were never
+  /// scanned (races may be missing).  Consumers must not treat a
+  /// partial report as a clean bill of health.
+  bool Partial = false;
+  /// Machine-readable cause when Partial is set: "hb-deadline" (the
+  /// fixpoint was cut) or "detect-deadline" (the pair scan was cut).
+  /// The first deadline hit wins.
+  std::string PartialCause;
 
   size_t numRaces() const { return Races.size(); }
   size_t countCategory(RaceCategory C) const;

@@ -7,6 +7,8 @@
 
 #include "detect/UseFreeDetector.h"
 
+#include "support/Timer.h"
+
 #include <algorithm>
 #include <map>
 #include <unordered_map>
@@ -151,11 +153,21 @@ RaceReport cafa::detectUseFreeRaces(const Trace &T, const TaskIndex &Index,
                                     const AccessDb &Db, const HbIndex &Hb,
                                     const DetectorOptions &Options) {
   RaceReport Report;
+  if (Hb.degradation().DeadlineExceeded) {
+    // The happens-before fixpoint was cut short: the relation
+    // under-approximates, so extra candidates may survive the ordering
+    // filter.  Everything reported is still a genuine candidate.
+    Report.Partial = true;
+    Report.PartialCause = "hb-deadline";
+  }
   DetectIndexes Ix(Db);
 
   // The conventional model for (b)/(c) classification, built on demand.
+  // Skipped once the pipeline is already past a deadline: a second
+  // happens-before construction would dig the hole deeper, and the
+  // (b)/(c) split is a refinement, not a soundness requirement.
   std::unique_ptr<HbIndex> ConvHb;
-  if (Options.Classify) {
+  if (Options.Classify && !Report.Partial) {
     HbOptions ConvOpts = Options.Hb;
     ConvOpts.Model = OrderingModel::Conventional;
     ConvHb = std::make_unique<HbIndex>(T, Index, ConvOpts);
@@ -183,12 +195,25 @@ RaceReport cafa::detectUseFreeRaces(const Trace &T, const TaskIndex &Index,
 
   std::map<StaticKey, size_t> Dedup;
 
+  // Deadline bookkeeping: a Timer query per pair would dominate the
+  // scan, so the clock is only consulted every ~4k pairs.
+  Timer DetectTimer;
+  uint64_t PairsSinceCheck = 0;
+  bool OutOfTime = false;
+
   for (uint32_t UseIdx = 0, UE = static_cast<uint32_t>(Db.Uses.size());
-       UseIdx != UE; ++UseIdx) {
+       UseIdx != UE && !OutOfTime; ++UseIdx) {
     const PtrAccess &Use = Db.Uses[UseIdx];
     if (Use.Var.index() >= Ix.FreesByVar.size())
       continue;
     for (uint32_t FreeIdx : Ix.FreesByVar[Use.Var.index()]) {
+      if (Options.DeadlineMillis > 0 && ++PairsSinceCheck >= 4096) {
+        PairsSinceCheck = 0;
+        if (DetectTimer.elapsedWallMillis() > Options.DeadlineMillis) {
+          OutOfTime = true;
+          break;
+        }
+      }
       const PtrAccess &Free = Db.Frees[FreeIdx];
       ++Report.Filters.CandidatePairs;
 
@@ -242,6 +267,10 @@ RaceReport cafa::detectUseFreeRaces(const Trace &T, const TaskIndex &Index,
       Dedup.emplace(Key, Report.Races.size());
       Report.Races.push_back(std::move(Race));
     }
+  }
+  if (OutOfTime && !Report.Partial) {
+    Report.Partial = true;
+    Report.PartialCause = "detect-deadline";
   }
   return Report;
 }

@@ -36,6 +36,13 @@ struct DetectorOptions {
   /// Split non-(a) races into (b)/(c) by also running the conventional
   /// model (costs a second happens-before construction).
   bool Classify = true;
+  /// Graceful degradation: when positive, a wall-clock budget in
+  /// milliseconds for the candidate-pair scan, measured from detector
+  /// entry.  On expiry the scan stops and the report comes back with
+  /// Partial = true and PartialCause = "detect-deadline".  analyzeTrace
+  /// treats this as the *whole-pipeline* budget and hands the detector
+  /// whatever the extract and happens-before phases left over.  0 = off.
+  double DeadlineMillis = 0;
 };
 
 /// Runs the full CAFA pipeline on \p T: extract accesses, build the

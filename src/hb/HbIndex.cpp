@@ -657,7 +657,23 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
   B.collect();
   B.addBaseEdges();
   auto TBase = Now();
-  Reach = makeReachability(*Graph, Options.Reach);
+
+  // Memory rung of the degradation ladder: step to the next-cheaper
+  // oracle until the estimated footprint fits.  All oracles answer
+  // reachability queries identically, so a downgrade changes build time
+  // and memory but keeps every downstream report bit-identical.
+  ReachMode Mode = Options.Reach;
+  Degrade.RequestedReach = Mode;
+  if (Options.MemLimitBytes != 0) {
+    while (Mode != ReachMode::Bfs &&
+           estimateReachabilityMemory(Graph->numNodes(), Mode) >
+               Options.MemLimitBytes)
+      Mode = Mode == ReachMode::Incremental ? ReachMode::Closure
+                                            : ReachMode::Bfs;
+    Degrade.DowngradedForMemory = Mode != Degrade.RequestedReach;
+  }
+  Degrade.UsedReach = Mode;
+  Reach = makeReachability(*Graph, Mode);
   auto TInit = Now();
   if (Profile)
     std::fprintf(stderr, "graph+base=%.1fms init=%.1fms nodes=%zu edges=%zu\n",
@@ -675,6 +691,15 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
     const uint8_t *ChangedRows = nullptr;
     const std::vector<GainedWord> *Gained = nullptr;
     for (uint32_t Round = 0; Round != Options.MaxFixpointRounds; ++Round) {
+      // Time rung of the degradation ladder: stop starting rounds past
+      // the deadline.  Edges already derived stay -- the relation only
+      // ever under-approximates, which can add race candidates
+      // downstream but never hides one.
+      if (Options.DeadlineMillis > 0 &&
+          Ms(TGraph, Now()) > Options.DeadlineMillis) {
+        Degrade.DeadlineExceeded = true;
+        break;
+      }
       ++Stats.FixpointRounds;
       auto T0 = Now();
       std::vector<HbEdge> Delta =

@@ -64,6 +64,35 @@ struct HbOptions {
   /// HbIndex.cpp::applyDerivedRules), so long send chains legitimately
   /// take several rounds; the cap guards against bugs, not inputs.
   uint32_t MaxFixpointRounds = 64;
+  /// Graceful degradation, memory rung: when nonzero, the reachability
+  /// oracle is stepped down the ladder Incremental -> Closure -> Bfs
+  /// until estimateReachabilityMemory() fits under this many bytes.
+  /// The oracles answer queries identically, so stepping down changes
+  /// build time and memory but never the resulting reports.  0 = off.
+  size_t MemLimitBytes = 0;
+  /// Graceful degradation, time rung: when positive, the derived-rule
+  /// fixpoint stops starting new rounds once this much wall time (ms)
+  /// has elapsed since construction began.  The relation is then an
+  /// under-approximation -- missing HB edges can only *add* race
+  /// candidates, never hide one -- and degradation().DeadlineExceeded
+  /// is set so downstream reports get flagged partial.  0 = off.
+  double DeadlineMillis = 0;
+};
+
+/// What the graceful-degradation ladder actually did while building one
+/// HbIndex (see HbOptions::MemLimitBytes / DeadlineMillis).
+struct HbDegradation {
+  /// The oracle the caller asked for.
+  ReachMode RequestedReach = ReachMode::Incremental;
+  /// The oracle actually built (== RequestedReach unless downgraded).
+  ReachMode UsedReach = ReachMode::Incremental;
+  /// UsedReach was stepped down the ladder to fit MemLimitBytes.
+  bool DowngradedForMemory = false;
+  /// DeadlineMillis expired before the fixpoint converged; the relation
+  /// under-approximates and reports derived from it are partial.
+  bool DeadlineExceeded = false;
+
+  bool degraded() const { return DowngradedForMemory || DeadlineExceeded; }
 };
 
 /// Edge counts per rule, for tests and reporting.
@@ -108,6 +137,9 @@ public:
   const HbRuleStats &ruleStats() const { return Stats; }
   const HbGraph &graph() const { return *Graph; }
 
+  /// What the degradation ladder did (oracle downgrade, blown deadline).
+  const HbDegradation &degradation() const { return Degrade; }
+
   /// Approximate analyzer memory (graph + oracle), for scaling benches.
   size_t memoryBytes() const;
 
@@ -119,6 +151,7 @@ private:
   std::unique_ptr<HbGraph> Graph;
   std::unique_ptr<Reachability> Reach;
   HbRuleStats Stats;
+  HbDegradation Degrade;
 };
 
 } // namespace cafa

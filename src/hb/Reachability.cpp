@@ -248,3 +248,34 @@ std::unique_ptr<Reachability> cafa::makeReachability(const HbGraph &G,
   }
   return std::make_unique<IncrementalClosureReachability>(G);
 }
+
+const char *cafa::reachModeName(ReachMode Mode) {
+  switch (Mode) {
+  case ReachMode::Closure:
+    return "closure";
+  case ReachMode::Bfs:
+    return "bfs";
+  case ReachMode::Incremental:
+    return "incremental";
+  }
+  return "unknown";
+}
+
+size_t cafa::estimateReachabilityMemory(size_t NumNodes, ReachMode Mode) {
+  // One closure row is N bits, rounded up to whole 64-bit words.
+  size_t RowBytes = ((NumNodes + 63) / 64) * 8;
+  switch (Mode) {
+  case ReachMode::Closure:
+    return NumNodes * RowBytes;
+  case ReachMode::Incremental:
+    // Rows, plus the per-node dirty flags, plus the snapshot row and the
+    // two fact-filter masks.  Strictly above the Closure estimate, which
+    // keeps the degradation ladder monotone.
+    return NumNodes * RowBytes + NumNodes + 3 * RowBytes;
+  case ReachMode::Bfs:
+    // Per-task visited-position/version scratch plus the worklist; tasks
+    // never outnumber nodes, so per-node is a safe upper bound.
+    return NumNodes * 12;
+  }
+  return NumNodes * RowBytes;
+}

@@ -248,6 +248,19 @@ private:
 std::unique_ptr<Reachability> makeReachability(const HbGraph &G,
                                                ReachMode Mode);
 
+/// Returns a stable lowercase name for \p Mode ("incremental", "closure",
+/// "bfs"), for CLI flags and degradation diagnostics.
+const char *reachModeName(ReachMode Mode);
+
+/// Upper-bound estimate of what the \p Mode oracle will allocate for a
+/// graph of \p NumNodes nodes, in bytes, *before* building it.  The
+/// graceful-degradation ladder (HbOptions::MemLimitBytes) uses this to
+/// step Incremental -> Closure -> Bfs until the estimate fits; the
+/// estimate must therefore be monotone along that ladder and err high,
+/// never low.  Closure-based modes are dominated by the N x N bit
+/// matrix; Bfs keeps only per-task scratch, bounded above by per-node.
+size_t estimateReachabilityMemory(size_t NumNodes, ReachMode Mode);
+
 } // namespace cafa
 
 #endif // CAFA_HB_REACHABILITY_H

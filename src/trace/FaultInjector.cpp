@@ -1,0 +1,223 @@
+//===- trace/FaultInjector.cpp - Deterministic trace corruption -----------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/FaultInjector.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <vector>
+
+using namespace cafa;
+
+const char *cafa::faultKindName(FaultKind Kind) {
+  switch (Kind) {
+  case FaultKind::TruncateAtOffset:
+    return "truncate-at-offset";
+  case FaultKind::BitFlipByte:
+    return "bit-flip-byte";
+  case FaultKind::DropLine:
+    return "drop-line";
+  case FaultKind::DuplicateLine:
+    return "duplicate-line";
+  case FaultKind::SwapAdjacentLines:
+    return "swap-adjacent-lines";
+  case FaultKind::GarbageLine:
+    return "garbage-line";
+  case FaultKind::GarbageBytes:
+    return "garbage-bytes";
+  case FaultKind::CorruptField:
+    return "corrupt-field";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Splits \p Text into lines *including* their trailing newline, so that
+/// re-joining the pieces reproduces the input byte for byte.
+std::vector<std::string> splitKeepNewlines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start < Text.size()) {
+    size_t NL = Text.find('\n', Start);
+    if (NL == std::string::npos) {
+      Lines.push_back(Text.substr(Start));
+      break;
+    }
+    Lines.push_back(Text.substr(Start, NL - Start + 1));
+    Start = NL + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines)
+    Out += L;
+  return Out;
+}
+
+/// Picks a victim line index, skipping line 0 (the header) when there is
+/// a choice: damaging the header exercises one fixed code path, and every
+/// kind already covers it via TruncateAtOffset/GarbageBytes at offset 0.
+size_t pickLine(Rng &R, size_t NumLines) {
+  if (NumLines <= 1)
+    return 0;
+  return 1 + static_cast<size_t>(R.below(NumLines - 1));
+}
+
+char randomPrintable(Rng &R) {
+  return static_cast<char>('!' + R.below('~' - '!' + 1));
+}
+
+InjectedFault unchanged(const std::string &Text, const char *Why) {
+  return {Text, formatString("input unchanged (%s)", Why)};
+}
+
+} // namespace
+
+InjectedFault cafa::injectFault(const std::string &Text, FaultKind Kind,
+                                uint64_t Seed) {
+  // Mix the kind into the seed so sweeping kinds at a fixed seed still
+  // explores distinct offsets.
+  Rng R(Seed * 1000003ull + static_cast<uint64_t>(Kind));
+
+  switch (Kind) {
+  case FaultKind::TruncateAtOffset: {
+    if (Text.empty())
+      return unchanged(Text, "empty input");
+    size_t Cut = static_cast<size_t>(R.below(Text.size()));
+    return {Text.substr(0, Cut),
+            formatString("truncated to %zu of %zu bytes", Cut, Text.size())};
+  }
+
+  case FaultKind::BitFlipByte: {
+    if (Text.empty())
+      return unchanged(Text, "empty input");
+    size_t At = static_cast<size_t>(R.below(Text.size()));
+    unsigned Bit = static_cast<unsigned>(R.below(8));
+    std::string Out = Text;
+    Out[At] = static_cast<char>(Out[At] ^ (1u << Bit));
+    return {std::move(Out),
+            formatString("flipped bit %u of byte %zu ('%c' -> 0x%02x)", Bit,
+                         At, Text[At], static_cast<unsigned char>(
+                                           Text[At] ^ (1u << Bit)))};
+  }
+
+  case FaultKind::DropLine: {
+    std::vector<std::string> Lines = splitKeepNewlines(Text);
+    if (Lines.size() < 2)
+      return unchanged(Text, "too few lines");
+    size_t At = pickLine(R, Lines.size());
+    std::string Victim = Lines[At];
+    Lines.erase(Lines.begin() + static_cast<ptrdiff_t>(At));
+    return {joinLines(Lines),
+            formatString("dropped line %zu: %s", At + 1, Victim.c_str())};
+  }
+
+  case FaultKind::DuplicateLine: {
+    std::vector<std::string> Lines = splitKeepNewlines(Text);
+    if (Lines.empty())
+      return unchanged(Text, "empty input");
+    size_t At = pickLine(R, Lines.size());
+    Lines.insert(Lines.begin() + static_cast<ptrdiff_t>(At), Lines[At]);
+    return {joinLines(Lines), formatString("duplicated line %zu", At + 1)};
+  }
+
+  case FaultKind::SwapAdjacentLines: {
+    std::vector<std::string> Lines = splitKeepNewlines(Text);
+    if (Lines.size() < 3)
+      return unchanged(Text, "too few lines");
+    // Pick the first of the swapped pair among lines 1..n-2.
+    size_t At = 1 + static_cast<size_t>(R.below(Lines.size() - 2));
+    std::swap(Lines[At], Lines[At + 1]);
+    return {joinLines(Lines),
+            formatString("swapped lines %zu and %zu", At + 1, At + 2)};
+  }
+
+  case FaultKind::GarbageLine: {
+    std::vector<std::string> Lines = splitKeepNewlines(Text);
+    std::string Noise;
+    size_t Len = 1 + static_cast<size_t>(R.below(40));
+    for (size_t I = 0; I != Len; ++I)
+      Noise.push_back(randomPrintable(R));
+    Noise.push_back('\n');
+    size_t At = Lines.empty()
+                    ? 0
+                    : static_cast<size_t>(R.below(Lines.size() + 1));
+    Lines.insert(Lines.begin() + static_cast<ptrdiff_t>(At), Noise);
+    return {joinLines(Lines),
+            formatString("inserted garbage line at %zu: %s", At + 1,
+                         Noise.c_str())};
+  }
+
+  case FaultKind::GarbageBytes: {
+    if (Text.empty())
+      return unchanged(Text, "empty input");
+    size_t At = static_cast<size_t>(R.below(Text.size()));
+    size_t Len = 1 + static_cast<size_t>(R.below(16));
+    if (At + Len > Text.size())
+      Len = Text.size() - At;
+    std::string Out = Text;
+    for (size_t I = 0; I != Len; ++I)
+      Out[At + I] = static_cast<char>(R.below(256));
+    return {std::move(Out),
+            formatString("overwrote %zu bytes at offset %zu with noise",
+                         Len, At)};
+  }
+
+  case FaultKind::CorruptField: {
+    std::vector<std::string> Lines = splitKeepNewlines(Text);
+    if (Lines.size() < 2)
+      return unchanged(Text, "too few lines");
+    size_t At = pickLine(R, Lines.size());
+    std::string &Line = Lines[At];
+    // Find the whitespace-separated fields of the victim line.
+    std::vector<std::pair<size_t, size_t>> Fields; // (begin, length)
+    size_t I = 0;
+    while (I < Line.size()) {
+      while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\n'))
+        ++I;
+      size_t Begin = I;
+      while (I < Line.size() && Line[I] != ' ' && Line[I] != '\n')
+        ++I;
+      if (I > Begin)
+        Fields.push_back({Begin, I - Begin});
+    }
+    if (Fields.empty())
+      return unchanged(Text, "victim line has no fields");
+    auto [Begin, Len] =
+        Fields[static_cast<size_t>(R.below(Fields.size()))];
+    // Replace the field with either a huge number, a negative-looking
+    // token, or short noise -- the classic corrupt-id shapes.
+    std::string Replacement;
+    switch (R.below(3)) {
+    case 0:
+      Replacement = formatString(
+          "%llu", static_cast<unsigned long long>(R.next()));
+      break;
+    case 1:
+      Replacement = "-1";
+      break;
+    default: {
+      size_t N = 1 + static_cast<size_t>(R.below(6));
+      for (size_t K = 0; K != N; ++K)
+        Replacement.push_back(randomPrintable(R));
+      break;
+    }
+    }
+    std::string Old = Line.substr(Begin, Len);
+    Line = Line.substr(0, Begin) + Replacement + Line.substr(Begin + Len);
+    return {joinLines(Lines),
+            formatString("line %zu: field '%s' -> '%s'", At + 1,
+                         Old.c_str(), Replacement.c_str())};
+  }
+  }
+  return unchanged(Text, "unknown fault kind");
+}

@@ -1,0 +1,65 @@
+//===- trace/FaultInjector.h - Deterministic trace corruption --*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic corruption of serialized traces, modelling the ways a
+/// logger-device stream gets damaged in practice: the connection drops
+/// mid-record (truncation), bytes flip in transit, the log rotates away a
+/// line, a retry duplicates one, buffering reorders neighbours, or a
+/// foreign process interleaves garbage.
+///
+/// Used by the fault-injection test harness (tests/trace) to assert the
+/// salvage pipeline's contract: no mutation may crash the analyzer, and
+/// every record the corruption did not touch must survive ingestion.
+/// Mutations are pure functions of (input, kind, seed) -- identical calls
+/// yield identical corrupted traces on every platform -- so a failing
+/// seed is directly replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_TRACE_FAULTINJECTOR_H
+#define CAFA_TRACE_FAULTINJECTOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace cafa {
+
+/// One family of trace corruption.
+enum class FaultKind : uint8_t {
+  TruncateAtOffset,  ///< cut the stream at a random byte offset
+  BitFlipByte,       ///< flip one random bit of one random byte
+  DropLine,          ///< delete one random line
+  DuplicateLine,     ///< repeat one random line immediately
+  SwapAdjacentLines, ///< exchange two neighbouring lines
+  GarbageLine,       ///< insert a line of random printable noise
+  GarbageBytes,      ///< overwrite a short random span with random bytes
+  CorruptField,      ///< replace one whitespace-separated field of a line
+};
+
+/// Number of distinct FaultKind values (for sweep loops).
+constexpr unsigned NumFaultKinds =
+    static_cast<unsigned>(FaultKind::CorruptField) + 1;
+
+/// Returns a stable lowercase name for \p Kind (for test diagnostics).
+const char *faultKindName(FaultKind Kind);
+
+/// A corrupted trace plus a replayable description of the damage.
+struct InjectedFault {
+  std::string Text;        ///< the mutated stream
+  std::string Description; ///< what was damaged, for failure messages
+};
+
+/// Applies one \p Kind mutation to \p Text, deterministically derived
+/// from \p Seed.  The input is never modified; inputs too small for the
+/// requested mutation come back unchanged with a description saying so.
+InjectedFault injectFault(const std::string &Text, FaultKind Kind,
+                          uint64_t Seed);
+
+} // namespace cafa
+
+#endif // CAFA_TRACE_FAULTINJECTOR_H

@@ -8,6 +8,7 @@
 #include "trace/TraceIO.h"
 
 #include "support/Format.h"
+#include "trace/TraceTextFormat.h"
 
 #include <cinttypes>
 #include <cstdio>
@@ -16,43 +17,7 @@
 #include <sstream>
 
 using namespace cafa;
-
-static const char *const MagicLine = "cafa-trace v1";
-
-// Names may contain spaces in principle; we escape spaces and backslashes
-// so each header line stays whitespace-separated.
-static std::string escapeName(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    if (C == ' ') {
-      Out += "\\s";
-    } else if (C == '\\') {
-      Out += "\\\\";
-    } else {
-      Out.push_back(C);
-    }
-  }
-  return Out;
-}
-
-static std::string unescapeName(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (size_t I = 0; I != S.size(); ++I) {
-    if (S[I] == '\\' && I + 1 < S.size()) {
-      ++I;
-      Out.push_back(S[I] == 's' ? ' ' : S[I]);
-      continue;
-    }
-    Out.push_back(S[I]);
-  }
-  return Out;
-}
-
-template <typename IdT> static uint32_t idOrSentinel(IdT Id) {
-  return Id.isValid() ? Id.value() : 0xFFFFFFFFu;
-}
+using namespace cafa::tracetext;
 
 std::string cafa::serializeRecordLine(const TraceRecord &Rec) {
   return formatString(
@@ -105,35 +70,6 @@ std::string cafa::serializeTrace(const Trace &T) {
 
 namespace {
 
-/// Splits one line into whitespace-separated tokens.
-std::vector<std::string> tokenize(const std::string &Line) {
-  std::vector<std::string> Tokens;
-  std::istringstream IS(Line);
-  std::string Tok;
-  while (IS >> Tok)
-    Tokens.push_back(Tok);
-  return Tokens;
-}
-
-bool parseU32(const std::string &S, uint32_t &Out) {
-  char *End = nullptr;
-  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
-  if (End == S.c_str() || *End != '\0' || V > 0xFFFFFFFFull)
-    return false;
-  Out = static_cast<uint32_t>(V);
-  return true;
-}
-
-bool parseU64(const std::string &S, uint64_t &Out) {
-  char *End = nullptr;
-  Out = std::strtoull(S.c_str(), &End, 10);
-  return End != S.c_str() && *End == '\0';
-}
-
-template <typename IdT> IdT idFromRaw(uint32_t Raw) {
-  return Raw == 0xFFFFFFFFu ? IdT::invalid() : IdT(Raw);
-}
-
 Status lineError(size_t LineNo, const char *What) {
   return Status::error(
       formatString("trace line %zu: %s", LineNo, What));
@@ -142,7 +78,9 @@ Status lineError(size_t LineNo, const char *What) {
 } // namespace
 
 Status cafa::parseTrace(const std::string &Text, Trace &Out) {
-  Out = Trace();
+  // Strong guarantee: parse into a local trace and hand it over only on
+  // success, so a failure leaves *Out exactly as the caller passed it.
+  Trace Parsed;
   std::istringstream IS(Text);
   std::string Line;
   size_t LineNo = 0;
@@ -168,9 +106,9 @@ Status cafa::parseTrace(const std::string &Text, Trace &Out) {
         return lineError(LineNo, "bad number in method line");
       MethodInfo Info;
       if (Tok[2] != "-")
-        Info.Name = Out.names().intern(unescapeName(Tok[2]));
+        Info.Name = Parsed.names().intern(unescapeName(Tok[2]));
       Info.CodeSize = CodeSize;
-      MethodId Got = Out.addMethod(Info);
+      MethodId Got = Parsed.addMethod(Info);
       if (Got.value() != Id)
         return lineError(LineNo, "method ids must be dense and in order");
       continue;
@@ -184,9 +122,9 @@ Status cafa::parseTrace(const std::string &Text, Trace &Out) {
         return lineError(LineNo, "bad number in queue line");
       QueueInfo Info;
       if (Tok[2] != "-")
-        Info.Name = Out.names().intern(unescapeName(Tok[2]));
+        Info.Name = Parsed.names().intern(unescapeName(Tok[2]));
       Info.Looper = idFromRaw<TaskId>(Looper);
-      QueueId Got = Out.addQueue(Info);
+      QueueId Got = Parsed.addQueue(Info);
       if (Got.value() != Id)
         return lineError(LineNo, "queue ids must be dense and in order");
       continue;
@@ -200,9 +138,9 @@ Status cafa::parseTrace(const std::string &Text, Trace &Out) {
         return lineError(LineNo, "bad number in listener line");
       ListenerInfo Info;
       if (Tok[2] != "-")
-        Info.Name = Out.names().intern(unescapeName(Tok[2]));
+        Info.Name = Parsed.names().intern(unescapeName(Tok[2]));
       Info.Instrumented = Instr != 0;
-      ListenerId Got = Out.addListener(Info);
+      ListenerId Got = Parsed.addListener(Info);
       if (Got.value() != Id)
         return lineError(LineNo, "listener ids must be dense and in order");
       continue;
@@ -228,7 +166,7 @@ Status cafa::parseTrace(const std::string &Text, Trace &Out) {
         return lineError(LineNo, "task kind must be 'thread' or 'event'");
       }
       if (Tok[3] != "-")
-        Info.Name = Out.names().intern(unescapeName(Tok[3]));
+        Info.Name = Parsed.names().intern(unescapeName(Tok[3]));
       Info.Process = idFromRaw<ProcessId>(Process);
       Info.Queue = idFromRaw<QueueId>(Queue);
       Info.Handler = idFromRaw<MethodId>(Handler);
@@ -237,7 +175,7 @@ Status cafa::parseTrace(const std::string &Text, Trace &Out) {
       Info.External = External != 0;
       Info.Parent = idFromRaw<TaskId>(Parent);
       Info.IsLooper = Looper != 0;
-      TaskId Got = Out.addTask(Info);
+      TaskId Got = Parsed.addTask(Info);
       if (Got.value() != Id)
         return lineError(LineNo, "task ids must be dense and in order");
       continue;
@@ -254,7 +192,7 @@ Status cafa::parseTrace(const std::string &Text, Trace &Out) {
           !parseU64(Tok[5], A0) || !parseU64(Tok[6], A1) ||
           !parseU64(Tok[7], A2) || !parseU64(Tok[8], Time))
         return lineError(LineNo, "bad field in rec line");
-      if (Task >= Out.numTasks())
+      if (Task >= Parsed.numTasks())
         return lineError(LineNo, "rec references an undeclared task");
       TraceRecord Rec;
       Rec.Task = TaskId(Task);
@@ -265,12 +203,13 @@ Status cafa::parseTrace(const std::string &Text, Trace &Out) {
       Rec.Arg1 = A1;
       Rec.Arg2 = A2;
       Rec.Time = Time;
-      Out.append(Rec);
+      Parsed.append(Rec);
       continue;
     }
 
     return lineError(LineNo, "unknown directive");
   }
+  Out = std::move(Parsed);
   return Status::success();
 }
 

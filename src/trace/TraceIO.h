@@ -32,8 +32,10 @@ std::string serializeTrace(const Trace &T);
 std::string serializeRecordLine(const TraceRecord &Rec);
 
 /// Parses text produced by serializeTrace().  On success *Out is
-/// replaced; on failure *Out is unspecified and the Status describes the
-/// first offending line.
+/// replaced; on failure *Out is left exactly as the caller passed it
+/// (strong guarantee) and the Status describes the first offending line.
+/// Rejects the input at the first malformed line; use TraceReader
+/// (trace/TraceReader.h) to salvage what a damaged stream still holds.
 Status parseTrace(const std::string &Text, Trace &Out);
 
 /// Writes the serialized trace to \p Path.

@@ -34,6 +34,10 @@ Status recError(uint32_t Index, const TraceRecord &Rec, const Trace &T,
 } // namespace
 
 Status cafa::validateTrace(const Trace &T) {
+  return validateTrace(T, ValidateOptions());
+}
+
+Status cafa::validateTrace(const Trace &T, const ValidateOptions &Options) {
   std::vector<TaskState> States(T.numTasks());
   // For each event task: index of the send record naming it, if any.
   std::vector<bool> EventSent(T.numTasks(), false);
@@ -60,7 +64,8 @@ Status cafa::validateTrace(const Trace &T) {
         return recError(I, Rec, T, "duplicate begin");
       State.Begun = true;
       if (Info.Kind == TaskKind::Event) {
-        if (!Info.External && !EventSent[Rec.Task.index()])
+        if (!Info.External && !EventSent[Rec.Task.index()] &&
+            !Options.AllowUnsentEvents)
           return recError(I, Rec, T,
                           "non-external event begins before being sent");
         if (!Info.Queue.isValid() || Info.Queue.index() >= T.numQueues())

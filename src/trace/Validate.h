@@ -22,6 +22,17 @@
 
 namespace cafa {
 
+/// Relaxations of individual invariants, used by the salvage pipeline.
+struct ValidateOptions {
+  /// Accept a non-external event whose begin is not preceded by a
+  /// send/sendAtFront naming it.  The salvage parser admits such events
+  /// when the send line was lost to corruption: the event merely loses
+  /// its send edge, which is conservative for race detection (fewer
+  /// happens-before edges can only surface more candidate pairs, never
+  /// hide one).
+  bool AllowUnsentEvents = false;
+};
+
 /// Checks all trace invariants; returns the first violation found.
 ///
 /// Invariants checked:
@@ -35,6 +46,9 @@ namespace cafa {
 ///  - lock acquire/release and method enter/exit are properly nested per
 ///    task, and frame ids are unique per invocation.
 Status validateTrace(const Trace &T);
+
+/// Same, with selected invariants relaxed per \p Options.
+Status validateTrace(const Trace &T, const ValidateOptions &Options);
 
 } // namespace cafa
 

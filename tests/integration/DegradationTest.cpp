@@ -1,0 +1,169 @@
+//===- tests/integration/DegradationTest.cpp ----------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The graceful-degradation ladder end to end: a memory ceiling steps the
+// reachability oracle down Incremental -> Closure -> Bfs with
+// bit-identical reports, and a blown wall-clock deadline produces a
+// partial report flagged with a machine-readable cause.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppKit.h"
+#include "cafa/Cafa.h"
+#include "cafa/ReportJson.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+Trace buildAppTrace() {
+  apps::AppBuilder App("degrade");
+  App.seedIntraThreadRace("alpha");
+  App.seedInterThreadRace("beta");
+  App.addGuardedCommutativePair("delta");
+  App.fillVolumeTo(300);
+  Table1Row Dummy;
+  apps::AppModel Model = App.finish(Dummy);
+  return runScenario(Model.S, RuntimeOptions());
+}
+
+TEST(DegradationTest, EstimatesAreMonotoneAlongTheLadder) {
+  for (size_t N : {200u, 5000u, 100000u}) {
+    size_t Inc = estimateReachabilityMemory(N, ReachMode::Incremental);
+    size_t Clo = estimateReachabilityMemory(N, ReachMode::Closure);
+    size_t Bfs = estimateReachabilityMemory(N, ReachMode::Bfs);
+    EXPECT_LT(Bfs, Clo) << N;
+    EXPECT_LT(Clo, Inc) << N;
+  }
+}
+
+TEST(DegradationTest, MemoryCeilingFallsBackToBfsBitIdentical) {
+  Trace T = buildAppTrace();
+
+  AnalysisResult Full = analyzeTrace(T, DetectorOptions());
+  EXPECT_EQ(Full.Degradation.UsedReach, ReachMode::Incremental);
+  EXPECT_FALSE(Full.Degradation.degraded());
+
+  DetectorOptions Tiny;
+  Tiny.Hb.MemLimitBytes = 1; // nothing closure-shaped fits
+  AnalysisResult Lim = analyzeTrace(T, Tiny);
+  EXPECT_EQ(Lim.Degradation.RequestedReach, ReachMode::Incremental);
+  EXPECT_EQ(Lim.Degradation.UsedReach, ReachMode::Bfs);
+  EXPECT_TRUE(Lim.Degradation.DowngradedForMemory);
+  EXPECT_FALSE(Lim.Degradation.DeadlineExceeded);
+  EXPECT_FALSE(Lim.Report.Partial);
+
+  // The oracles answer identically, so the entire rendered report --
+  // races, categories, dynamic counts, filter counters -- must match
+  // byte for byte.
+  EXPECT_EQ(renderRaceReportJson(Full.Report, T),
+            renderRaceReportJson(Lim.Report, T));
+  EXPECT_GT(Full.Report.Races.size(), 0u); // the comparison is not vacuous
+}
+
+TEST(DegradationTest, MemoryCeilingUsesMiddleRungWhenItFits) {
+  Trace T = buildAppTrace();
+  TaskIndex Index(T);
+
+  // Learn the node count from an unconstrained build, then pick a limit
+  // that admits Closure but not Incremental (the incremental estimate is
+  // strictly larger by construction).
+  HbOptions Free;
+  HbIndex Unlimited(T, Index, Free);
+  size_t N = Unlimited.graph().numNodes();
+  ASSERT_GT(N, 0u);
+
+  HbOptions Capped;
+  Capped.MemLimitBytes = estimateReachabilityMemory(N, ReachMode::Closure);
+  HbIndex Limited(T, Index, Capped);
+  EXPECT_EQ(Limited.degradation().UsedReach, ReachMode::Closure);
+  EXPECT_TRUE(Limited.degradation().DowngradedForMemory);
+
+  // Same relation: spot-check every pair of the first records of a few
+  // tasks through the public query interface.
+  AccessDb Db = extractAccesses(T, Index);
+  DetectorOptions DOpt;
+  DOpt.Classify = false;
+  RaceReport A = detectUseFreeRaces(T, Index, Db, Unlimited, DOpt);
+  RaceReport B = detectUseFreeRaces(T, Index, Db, Limited, DOpt);
+  EXPECT_EQ(renderRaceReportJson(A, T), renderRaceReportJson(B, T));
+}
+
+TEST(DegradationTest, BlownHbDeadlineYieldsPartialReport) {
+  Trace T = buildAppTrace();
+
+  DetectorOptions Opt;
+  Opt.DeadlineMillis = 1e-6; // expires before the first fixpoint round
+  AnalysisResult R = analyzeTrace(T, Opt);
+
+  EXPECT_TRUE(R.Degradation.DeadlineExceeded);
+  ASSERT_TRUE(R.Report.Partial);
+  EXPECT_EQ(R.Report.PartialCause, "hb-deadline");
+
+  std::string Json = renderRaceReportJson(R.Report, T);
+  EXPECT_NE(Json.find("\"partial\": true"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"partialCause\": \"hb-deadline\""),
+            std::string::npos)
+      << Json;
+  EXPECT_NE(renderRaceReport(R.Report, T).find("PARTIAL"),
+            std::string::npos);
+
+  // A missing-edge relation only ever surfaces *more* candidates.
+  AnalysisResult Full = analyzeTrace(T, DetectorOptions());
+  EXPECT_GE(R.Report.Filters.CandidatePairs -
+                R.Report.Filters.OrderedByHb,
+            Full.Report.Filters.CandidatePairs -
+                Full.Report.Filters.OrderedByHb);
+}
+
+TEST(DegradationTest, BlownDetectDeadlineCutsTheScan) {
+  // Two unordered threads with 70 uses x 70 frees of one pointer cell:
+  // 4900 candidate pairs, comfortably past the detector's 4096-pair
+  // deadline checkpoint.
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 256);
+  TaskId A = TB.addThread("user");
+  TaskId B = TB.addThread("freer");
+  TB.begin(A);
+  for (uint32_t I = 0; I != 70; ++I) {
+    TB.ptrRead(A, 5, 9, M, I);
+    TB.deref(A, 9, DerefKind::Invoke, M, I);
+  }
+  TB.end(A);
+  TB.begin(B);
+  for (uint32_t I = 0; I != 70; ++I)
+    TB.ptrWrite(B, 5, 0, M, 100 + I);
+  TB.end(B);
+  Trace T = TB.take();
+
+  DetectorOptions Fast;
+  Fast.Classify = false;
+  Fast.DeadlineMillis = 1e-6;
+  RaceReport R = detectUseFreeRaces(T, Fast);
+  ASSERT_TRUE(R.Partial);
+  EXPECT_EQ(R.PartialCause, "detect-deadline");
+  EXPECT_GT(R.Filters.CandidatePairs, 0u);
+  EXPECT_LT(R.Filters.CandidatePairs, 4900u); // the scan really stopped
+
+  // Without a deadline the same trace scans every pair.
+  DetectorOptions NoLimit;
+  NoLimit.Classify = false;
+  RaceReport FullR = detectUseFreeRaces(T, NoLimit);
+  EXPECT_FALSE(FullR.Partial);
+  EXPECT_EQ(FullR.Filters.CandidatePairs, 4900u);
+}
+
+TEST(DegradationTest, ReachModeNamesAreStable) {
+  EXPECT_STREQ(reachModeName(ReachMode::Incremental), "incremental");
+  EXPECT_STREQ(reachModeName(ReachMode::Closure), "closure");
+  EXPECT_STREQ(reachModeName(ReachMode::Bfs), "bfs");
+}
+
+} // namespace

@@ -7,6 +7,7 @@
 
 #include "trace/TraceIO.h"
 
+#include "support/Rng.h"
 #include "trace/TraceBuilder.h"
 #include "trace/Validate.h"
 
@@ -59,19 +60,34 @@ void expectTracesEqual(const Trace &A, const Trace &B) {
     const TaskInfo &Y = B.taskInfo(TaskId(I));
     EXPECT_EQ(X.Kind, Y.Kind);
     EXPECT_EQ(A.taskName(TaskId(I)), B.taskName(TaskId(I)));
+    EXPECT_EQ(X.Process, Y.Process);
     EXPECT_EQ(X.Queue, Y.Queue);
+    EXPECT_EQ(X.Handler, Y.Handler);
     EXPECT_EQ(X.DelayMs, Y.DelayMs);
     EXPECT_EQ(X.SentAtFront, Y.SentAtFront);
     EXPECT_EQ(X.External, Y.External);
+    EXPECT_EQ(X.Parent, Y.Parent);
+    EXPECT_EQ(X.IsLooper, Y.IsLooper);
+  }
+  for (uint32_t I = 0; I != A.numQueues(); ++I) {
+    const QueueInfo &X = A.queueInfo(QueueId(I));
+    const QueueInfo &Y = B.queueInfo(QueueId(I));
+    EXPECT_EQ(X.Name.isValid() ? A.names().str(X.Name) : std::string(),
+              Y.Name.isValid() ? B.names().str(Y.Name) : std::string());
+    EXPECT_EQ(X.Looper, Y.Looper);
   }
   for (uint32_t I = 0; I != A.numMethods(); ++I) {
     EXPECT_EQ(A.methodName(MethodId(I)), B.methodName(MethodId(I)));
     EXPECT_EQ(A.methodInfo(MethodId(I)).CodeSize,
               B.methodInfo(MethodId(I)).CodeSize);
   }
-  for (uint32_t I = 0; I != A.numListeners(); ++I)
-    EXPECT_EQ(A.listenerInfo(ListenerId(I)).Instrumented,
-              B.listenerInfo(ListenerId(I)).Instrumented);
+  for (uint32_t I = 0; I != A.numListeners(); ++I) {
+    const ListenerInfo &X = A.listenerInfo(ListenerId(I));
+    const ListenerInfo &Y = B.listenerInfo(ListenerId(I));
+    EXPECT_EQ(X.Name.isValid() ? A.names().str(X.Name) : std::string(),
+              Y.Name.isValid() ? B.names().str(Y.Name) : std::string());
+    EXPECT_EQ(X.Instrumented, Y.Instrumented);
+  }
 }
 
 TEST(TraceIOTest, SerializeParseRoundTrip) {
@@ -156,6 +172,120 @@ TEST(TraceIOTest, ReadMissingFileFails) {
   Trace Out;
   Status S = readTraceFile("/nonexistent/path/file.trace", Out);
   EXPECT_FALSE(S.ok());
+}
+
+TEST(TraceIOTest, ParseFailureLeavesOutputUntouched) {
+  // parseTrace documents the strong error guarantee: on failure the
+  // output trace is exactly what the caller passed in, never a
+  // half-parsed hybrid.
+  Trace Out = makeSampleTrace();
+  std::string Bad =
+      serializeTrace(Out) + "rec 0 rd not-a-number 0 0 0 0 99\n";
+  ASSERT_FALSE(parseTrace(Bad, Out).ok());
+  expectTracesEqual(Out, makeSampleTrace());
+
+  // Same contract when the header itself is missing.
+  ASSERT_FALSE(parseTrace("not a trace\n", Out).ok());
+  expectTracesEqual(Out, makeSampleTrace());
+}
+
+/// Builds a structurally arbitrary trace from \p Seed: every record
+/// kind, full-range argument values, sentinel and valid cross-table
+/// references, and names exercising the escaping rules.
+Trace makeRandomTrace(uint64_t Seed) {
+  Rng R(Seed);
+  Trace T;
+
+  auto randomName = [&](const char *Prefix) {
+    std::string S = Prefix;
+    // Includes the two escaped characters (space, backslash) plus
+    // ordinary ones.
+    static const char Alphabet[] = "ab z\\_-.X9";
+    size_t Len = R.below(10);
+    for (size_t I = 0; I != Len; ++I)
+      S.push_back(Alphabet[R.below(sizeof(Alphabet) - 1)]);
+    return T.names().intern(S);
+  };
+
+  size_t NumMethods = 1 + R.below(4);
+  for (size_t I = 0; I != NumMethods; ++I) {
+    MethodInfo M;
+    if (!R.chance(1, 4))
+      M.Name = randomName("m ");
+    M.CodeSize = static_cast<uint32_t>(R.next());
+    T.addMethod(M);
+  }
+  size_t NumQueues = 1 + R.below(3);
+  for (size_t I = 0; I != NumQueues; ++I) {
+    QueueInfo Q;
+    if (!R.chance(1, 4))
+      Q.Name = randomName("q\\");
+    if (R.chance(1, 2))
+      Q.Looper = TaskId(static_cast<uint32_t>(R.below(8)));
+    T.addQueue(Q);
+  }
+  size_t NumListeners = R.below(3);
+  for (size_t I = 0; I != NumListeners; ++I) {
+    ListenerInfo L;
+    if (!R.chance(1, 4))
+      L.Name = randomName("l");
+    L.Instrumented = R.chance(1, 2);
+    T.addListener(L);
+  }
+  size_t NumTasks = 2 + R.below(6);
+  for (size_t I = 0; I != NumTasks; ++I) {
+    TaskInfo Info;
+    Info.Kind = R.chance(1, 2) ? TaskKind::Event : TaskKind::Thread;
+    if (!R.chance(1, 4))
+      Info.Name = randomName("t ");
+    if (R.chance(1, 2))
+      Info.Process = ProcessId(static_cast<uint32_t>(R.below(4)));
+    if (R.chance(2, 3))
+      Info.Queue = QueueId(static_cast<uint32_t>(R.below(NumQueues)));
+    if (R.chance(1, 2))
+      Info.Handler = MethodId(static_cast<uint32_t>(R.below(NumMethods)));
+    Info.DelayMs = R.next();
+    Info.SentAtFront = R.chance(1, 3);
+    Info.External = R.chance(1, 3);
+    if (R.chance(1, 2))
+      Info.Parent = TaskId(static_cast<uint32_t>(R.below(NumTasks)));
+    Info.IsLooper = R.chance(1, 4);
+    T.addTask(Info);
+  }
+
+  size_t NumRecords = 20 + R.below(60);
+  for (size_t I = 0; I != NumRecords; ++I) {
+    TraceRecord Rec;
+    Rec.Task = TaskId(static_cast<uint32_t>(R.below(NumTasks)));
+    Rec.Kind = static_cast<OpKind>(R.below(NumOpKinds));
+    if (R.chance(1, 2))
+      Rec.Method = MethodId(static_cast<uint32_t>(R.below(NumMethods)));
+    Rec.Pc = static_cast<uint32_t>(R.next());
+    Rec.Arg0 = R.next();
+    Rec.Arg1 = R.next();
+    Rec.Arg2 = R.next();
+    Rec.Time = R.next();
+    T.append(Rec);
+  }
+  return T;
+}
+
+TEST(TraceIOTest, RandomizedRoundTripIsIdentity) {
+  // The property pin: parseTrace(serializeTrace(T)) == T over 100
+  // randomized traces covering every record kind, full-range values,
+  // sentinel ids, and names with spaces and backslashes.
+  for (uint64_t Seed = 0; Seed != 100; ++Seed) {
+    Trace Original = makeRandomTrace(Seed);
+    Trace Parsed;
+    Status S = parseTrace(serializeTrace(Original), Parsed);
+    ASSERT_TRUE(S.ok()) << "seed " << Seed << ": " << S.message();
+    expectTracesEqual(Original, Parsed);
+    if (::testing::Test::HasFatalFailure() ||
+        ::testing::Test::HasNonfatalFailure()) {
+      ADD_FAILURE() << "round-trip diverged at seed " << Seed;
+      return;
+    }
+  }
 }
 
 } // namespace

@@ -62,6 +62,25 @@ TEST(ValidateTest, RejectsUnsentEventBegin) {
   expectInvalid(TB.trace(), "before being sent");
 }
 
+TEST(ValidateTest, AllowUnsentEventsRelaxesOnlyTheSendRule) {
+  // The salvage pipeline's relaxation: an unsent non-external event is
+  // admitted under AllowUnsentEvents...
+  TraceBuilder TB;
+  QueueId Q = TB.addQueue("main");
+  TaskId E1 = TB.addEvent("e", Q);
+  TB.begin(E1).end(E1);
+  ASSERT_FALSE(validateTrace(TB.trace()).ok());
+  ValidateOptions Opt;
+  Opt.AllowUnsentEvents = true;
+  EXPECT_TRUE(validateTrace(TB.trace(), Opt).ok());
+
+  // ...but every other invariant still holds under the relaxation.
+  TraceBuilder Bad;
+  TaskId T1 = Bad.addThread("t");
+  Bad.begin(T1).begin(T1);
+  EXPECT_FALSE(validateTrace(Bad.trace(), Opt).ok());
+}
+
 TEST(ValidateTest, AcceptsExternalEventWithoutSend) {
   TraceBuilder TB;
   QueueId Q = TB.addQueue("main");
