@@ -21,6 +21,14 @@
 // file); --mem-limit=<bytes> and --deadline=<ms> engage the graceful-
 // degradation ladder (docs/robustness.md).
 //
+// Crash-safe checkpointing (docs/robustness.md): --checkpoint-dir=<dir>
+// snapshots analysis progress there (atomically, at --checkpoint-every=
+// <ms> cadence and always when a deadline cuts a phase); --resume picks
+// an interrupted analysis back up from the snapshot and continues to a
+// report bit-identical to an uninterrupted run.  A corrupt or mismatched
+// snapshot is rejected with a diagnostic and the analysis restarts
+// cleanly.
+//
 // Scripted callers triage on the exit code -- the report goes to stdout,
 // every diagnostic to stderr:
 //   0  clean analysis, no races
@@ -28,6 +36,9 @@
 //   2  unreadable input (parse/ingest failure) or usage error
 //   3  analysis completed degraded: the input needed salvage repairs, or
 //      a deadline cut the analysis short (report flagged partial)
+//   4  clean analysis resumed from a checkpoint and completed (races
+//      or not -- the report says; distinguishes "finished the
+//      interrupted job" for orchestrating scripts)
 //
 //===----------------------------------------------------------------------===//
 
@@ -52,10 +63,13 @@ static int usage(const char *Prog) {
                "  %s record <app> <trace-file>      collect a trace\n"
                "  %s analyze <trace-file> [--json] [--strict|--salvage]\n"
                "     [--reach=incremental|closure|bfs]\n"
-               "     [--mem-limit=<bytes>] [--deadline=<ms>]  analyze\n"
+               "     [--mem-limit=<bytes>] [--deadline=<ms>]\n"
+               "     [--checkpoint-dir=<dir>] [--checkpoint-every=<ms>]\n"
+               "     [--resume]                     analyze\n"
                "  %s dot <trace-file>               task-order Graphviz\n"
                "exit codes: 0 no races, 1 races, 2 unreadable input,\n"
-               "            3 degraded/partial analysis\n"
+               "            3 degraded/partial analysis,\n"
+               "            4 resumed from checkpoint and completed\n"
                "apps:",
                Prog, Prog, Prog);
   for (const std::string &Name : appNames())
@@ -84,6 +98,7 @@ int main(int argc, char **argv) {
     bool Json = false;
     DetectorOptions Options;
     SalvageOptions Ingest;
+    CheckpointOptions Ckpt;
     for (int I = 3; I != argc; ++I) {
       if (std::strcmp(argv[I], "--json") == 0) {
         Json = true;
@@ -102,9 +117,20 @@ int main(int argc, char **argv) {
             std::strtoull(argv[I] + 12, nullptr, 10);
       } else if (std::strncmp(argv[I], "--deadline=", 11) == 0) {
         Options.DeadlineMillis = std::strtod(argv[I] + 11, nullptr);
+      } else if (std::strncmp(argv[I], "--checkpoint-dir=", 17) == 0) {
+        Ckpt.Directory = argv[I] + 17;
+      } else if (std::strncmp(argv[I], "--checkpoint-every=", 19) == 0) {
+        Ckpt.EveryMillis = std::strtod(argv[I] + 19, nullptr);
+      } else if (std::strcmp(argv[I], "--resume") == 0) {
+        Ckpt.Resume = true;
       } else {
         return usage(argv[0]);
       }
+    }
+    if ((Ckpt.Resume || Ckpt.EveryMillis > 0) && !Ckpt.enabled()) {
+      std::fprintf(stderr, "error: --resume/--checkpoint-every need "
+                           "--checkpoint-dir=<dir>\n");
+      return 2;
     }
 
     Trace T;
@@ -124,7 +150,39 @@ int main(int argc, char **argv) {
       return 2;
     }
 
-    AnalysisResult R = analyzeTrace(T, Options);
+    AnalysisResult R = analyzeTrace(T, Options, Ckpt);
+    const ResumeOutcome &Res = R.Resume;
+    if (Res.Attempted) {
+      if (Res.Resumed)
+        std::fprintf(stderr,
+                     "note: resumed from checkpoint (phase %s, %u fixpoint "
+                     "rounds done)\n",
+                     Res.Phase.c_str(), Res.HbRoundsDone);
+      else if (Res.NoSnapshot)
+        std::fprintf(stderr,
+                     "note: no checkpoint found, starting fresh\n");
+      else
+        std::fprintf(stderr,
+                     "warning: checkpoint rejected (%s), restarting "
+                     "analysis cleanly\n",
+                     Res.RejectReason.c_str());
+    }
+    if (!Res.SaveError.empty())
+      std::fprintf(stderr,
+                   "warning: checkpoint save failed (%s); analysis "
+                   "continues but is not resumable\n",
+                   Res.SaveError.c_str());
+    if (Res.HasBaseline) {
+      std::fprintf(stderr,
+                   "note: vs interrupted run: %u race(s) confirmed, %u "
+                   "new, %zu retracted\n",
+                   Res.ConfirmedRaces, Res.NewRaces,
+                   Res.RetractedRaces.size());
+      for (const std::string &Label : Res.RetractedRaces)
+        std::fprintf(stderr, "note: retracted (provisional race "
+                             "disappeared): %s\n",
+                     Label.c_str());
+    }
     if (R.Degradation.DowngradedForMemory)
       std::fprintf(stderr,
                    "note: reachability oracle downgraded %s -> %s to fit "
@@ -147,6 +205,8 @@ int main(int argc, char **argv) {
                            : renderRaceReport(R.Report, T).c_str());
     if (R.Report.Partial || !Ingested.clean())
       return 3;
+    if (Res.Resumed)
+      return 4;
     return R.Report.Races.empty() ? 0 : 1;
   }
 

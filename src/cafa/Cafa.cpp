@@ -10,11 +10,21 @@
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <set>
+#include <tuple>
 
 using namespace cafa;
 
 AnalysisResult cafa::analyzeTrace(const Trace &T,
                                   const DetectorOptions &Options,
+                                  const DerefResolver *Resolver) {
+  return analyzeTrace(T, Options, CheckpointOptions(), Resolver);
+}
+
+AnalysisResult cafa::analyzeTrace(const Trace &T,
+                                  const DetectorOptions &Options,
+                                  const CheckpointOptions &CkptOpt,
                                   const DerefResolver *Resolver) {
   AnalysisResult Result;
   Result.TraceStatistics = computeTraceStats(T);
@@ -30,25 +40,178 @@ AnalysisResult cafa::analyzeTrace(const Trace &T,
                     0.001);
   };
 
+  // Checkpoint identity: every snapshot carries the trace fingerprint
+  // and the semantic-options digest, and resume refuses anything that
+  // does not match -- continuing another trace's fixpoint would produce
+  // confidently wrong reports, the one unacceptable failure mode.
+  ResumeOutcome &RO = Result.Resume;
+  bool CkptOn = CkptOpt.enabled();
+  std::string Path;
+  uint64_t Fp = 0, Digest = 0;
+  if (CkptOn) {
+    Path = checkpointPath(CkptOpt.Directory);
+    Fp = traceFingerprint(T);
+    Digest = detectorOptionsDigest(Options, Resolver != nullptr);
+  }
+  bool WroteSnapshot = false;
+  auto RecordSaveError = [&](const Status &S) {
+    if (S.ok())
+      WroteSnapshot = true;
+    else if (RO.SaveError.empty())
+      RO.SaveError = S.message();
+  };
+  auto StampIdentity = [&](AnalysisSnapshot &Out) {
+    Out.TraceFingerprint = Fp;
+    Out.NumRecords = T.numRecords();
+    Out.OptionsDigest = Digest;
+  };
+
+  AnalysisSnapshot Snap;
+  bool HaveSnap = false;
+  if (CkptOn && CkptOpt.Resume) {
+    RO.Attempted = true;
+    if (std::FILE *F = std::fopen(Path.c_str(), "rb")) {
+      std::fclose(F);
+      Status S = loadAnalysisSnapshot(Snap, Path);
+      if (!S.ok())
+        RO.RejectReason = S.message();
+      else if (Snap.NumRecords != T.numRecords() ||
+               Snap.TraceFingerprint != Fp)
+        RO.RejectReason = "snapshot does not match this trace";
+      else if (Snap.OptionsDigest != Digest)
+        RO.RejectReason =
+            "snapshot was taken under different analysis options";
+      else
+        HaveSnap = true;
+    } else {
+      RO.NoSnapshot = true;
+    }
+  }
+
   Timer Phase;
   TaskIndex Index(T);
   AccessDb Db = extractAccesses(T, Index, Resolver);
   Result.ExtractMillis = Phase.elapsedWallMillis();
 
+  HbCheckpointing HbCk;
+  if (CkptOn) {
+    HbCk.EveryMillis = CkptOpt.EveryMillis;
+    HbCk.Save = [&](const HbFrontier &F) {
+      AnalysisSnapshot Out;
+      StampIdentity(Out);
+      Out.Phase = SnapshotPhase::HbFixpoint;
+      Out.Hb = F;
+      RecordSaveError(saveAnalysisSnapshot(Out, Path));
+    };
+  }
+  if (HaveSnap) {
+    HbCk.Resume = &Snap.Hb;
+    RO.Resumed = true;
+    RO.Phase =
+        Snap.Phase == SnapshotPhase::Detect ? "detect" : "hb-fixpoint";
+    RO.HbRoundsDone = Snap.Hb.RoundsDone;
+  }
+
   if (Opt.DeadlineMillis > 0)
     Opt.Hb.DeadlineMillis = Remaining();
   Phase.restart();
-  HbIndex Hb(T, Index, Opt.Hb);
+  HbIndex Hb(T, Index, Opt.Hb, CkptOn ? &HbCk : nullptr);
   Result.HbBuildMillis = Phase.elapsedWallMillis();
   Result.HbStats = Hb.ruleStats();
   Result.HbMemoryBytes = Hb.memoryBytes();
   Result.Degradation = Hb.degradation();
 
+  // Detector-phase checkpointing only makes sense over a saturated
+  // relation: a frontier scanned against a cut relation would bake its
+  // too-weak "unordered" verdicts into the resumed report, so such
+  // state is never saved and never reused.
+  bool DetectCkptOn = CkptOn && !Hb.degradation().DeadlineExceeded;
+  DetectCheckpointing DetCk;
+  DetectFrontier LastDetect;
+  bool HaveLastDetect = false;
+  HbFrontier HbFinal;
+  if (DetectCkptOn) {
+    HbFinal = Hb.exportFrontier();
+    DetCk.EveryMillis = CkptOpt.EveryMillis;
+    DetCk.Save = [&](const DetectFrontier &F) {
+      LastDetect = F;
+      HaveLastDetect = true;
+      AnalysisSnapshot Out;
+      StampIdentity(Out);
+      Out.Phase = SnapshotPhase::Detect;
+      Out.Hb = HbFinal;
+      Out.HasDetect = true;
+      Out.Detect = F;
+      RecordSaveError(saveAnalysisSnapshot(Out, Path));
+    };
+    if (HaveSnap && Snap.Phase == SnapshotPhase::Detect && Snap.HasDetect &&
+        Snap.Hb.Saturated)
+      DetCk.Resume = &Snap.Detect;
+  }
+
   if (Opt.DeadlineMillis > 0)
     Opt.DeadlineMillis = Remaining();
   Phase.restart();
-  Result.Report = detectUseFreeRaces(T, Index, Db, Hb, Opt);
+  Result.Report = detectUseFreeRaces(T, Index, Db, Hb, Opt,
+                                     DetectCkptOn ? &DetCk : nullptr);
   Result.DetectMillis = Phase.elapsedWallMillis();
+
+  if (!CkptOn)
+    return Result;
+
+  auto raceKey = [](uint32_t UseMethod, uint32_t UsePc, uint32_t FreeMethod,
+                    uint32_t FreePc) {
+    return std::make_tuple(UseMethod, UsePc, FreeMethod, FreePc);
+  };
+  if (Result.Report.Partial) {
+    // Final partial rewrite: keep the frontier resumable and attach the
+    // partial report's races, so the run that finishes the job can diff
+    // its complete report against this provisional one.
+    AnalysisSnapshot Out;
+    StampIdentity(Out);
+    if (DetectCkptOn && HaveLastDetect) {
+      Out.Phase = SnapshotPhase::Detect;
+      Out.Hb = HbFinal;
+      Out.HasDetect = true;
+      Out.Detect = LastDetect;
+    } else {
+      Out.Phase = SnapshotPhase::HbFixpoint;
+      Out.Hb = Hb.exportFrontier();
+    }
+    Out.HasPartialRaces = true;
+    Out.PartialRaces.reserve(Result.Report.Races.size());
+    for (const UseFreeRace &Race : Result.Report.Races)
+      Out.PartialRaces.push_back({Race.Use.Method.value(), Race.Use.Pc,
+                                  Race.Free.Method.value(), Race.Free.Pc,
+                                  renderRaceLine(Race, T)});
+    RecordSaveError(saveAnalysisSnapshot(Out, Path));
+  } else {
+    // Complete run: diff against the partial baseline (if the snapshot
+    // carried one), then retire the snapshot -- a stale file must not
+    // shadow a finished analysis.
+    if (HaveSnap && Snap.HasPartialRaces) {
+      RO.HasBaseline = true;
+      std::set<std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>> Final;
+      for (const UseFreeRace &Race : Result.Report.Races)
+        Final.insert(raceKey(Race.Use.Method.value(), Race.Use.Pc,
+                             Race.Free.Method.value(), Race.Free.Pc));
+      for (const PartialRaceKey &K : Snap.PartialRaces) {
+        if (Final.count(raceKey(K.UseMethod, K.UsePc, K.FreeMethod,
+                                K.FreePc)))
+          ++RO.ConfirmedRaces;
+        else
+          RO.RetractedRaces.push_back(K.Label);
+      }
+      RO.NewRaces =
+          static_cast<uint32_t>(Result.Report.Races.size()) -
+          RO.ConfirmedRaces;
+    }
+    // Never delete a snapshot we rejected and did not overwrite: it
+    // belongs to a different trace/options run (or is evidence of
+    // corruption worth inspecting), not to this analysis.
+    if (RO.RejectReason.empty() || WroteSnapshot)
+      std::remove(Path.c_str());
+  }
   return Result;
 }
 

@@ -23,6 +23,7 @@
 #ifndef CAFA_CAFA_CAFA_H
 #define CAFA_CAFA_CAFA_H
 
+#include "cafa/Checkpoint.h"
 #include "detect/Baselines.h"
 #include "detect/DerefDataflow.h"
 #include "detect/GroundTruth.h"
@@ -47,6 +48,10 @@ struct AnalysisResult {
   /// happens-before build (oracle downgrade under Hb.MemLimitBytes,
   /// blown fixpoint deadline).  Report.Partial mirrors the deadline bit.
   HbDegradation Degradation;
+  /// What the checkpoint/resume machinery did (see CheckpointOptions).
+  /// Provenance only -- never feeds back into Report, so resumed runs
+  /// stay bit-identical to uninterrupted ones.
+  ResumeOutcome Resume;
 };
 
 /// Runs the full offline pipeline on \p T.  \p Resolver, when provided,
@@ -59,6 +64,19 @@ struct AnalysisResult {
 /// number bounds the end-to-end analysis.  On expiry the returned
 /// Report is flagged Partial with a machine-readable cause.
 AnalysisResult analyzeTrace(const Trace &T, const DetectorOptions &Options,
+                            const DerefResolver *Resolver = nullptr);
+
+/// Same, with crash-safe checkpoint/resume (see cafa/Checkpoint.h).
+/// With \p Ckpt enabled, analysis progress is snapshotted into
+/// Ckpt.Directory at the configured cadence and always when a deadline
+/// cuts a phase; with Ckpt.Resume, a validated snapshot restores the
+/// interrupted fixpoint or pair scan mid-flight and the run continues
+/// to a report bit-identical to an uninterrupted one.  A corrupt or
+/// mismatched snapshot degrades to a clean restart (Result.Resume says
+/// why) -- never a wrong answer.  The snapshot is deleted once the
+/// analysis completes cleanly.
+AnalysisResult analyzeTrace(const Trace &T, const DetectorOptions &Options,
+                            const CheckpointOptions &Ckpt,
                             const DerefResolver *Resolver = nullptr);
 
 /// Runs scenario + analysis end to end.  \p Truth, when non-null, is

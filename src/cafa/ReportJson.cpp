@@ -58,13 +58,18 @@ std::string cafa::renderRaceReportJson(const RaceReport &Report,
   std::ostringstream OS;
   OS << "{\n  \"races\": [";
   bool First = true;
+  // Only a cut happens-before relation makes findings provisional; the
+  // field is omitted entirely from complete reports so resumed runs stay
+  // byte-identical to uninterrupted ones.
+  const char *Provisional =
+      Report.racesProvisional() ? ", \"provisional\": true" : "";
   for (const UseFreeRace &Race : Report.Races) {
     OS << (First ? "\n" : ",\n");
     First = false;
     OS << formatString(
-        "    {\"category\": \"%s\", \"dynamicCount\": %u,\n"
+        "    {\"category\": \"%s\", \"dynamicCount\": %u%s,\n"
         "     \"use\": %s,\n     \"free\": %s}",
-        raceCategoryName(Race.Category), Race.DynamicCount,
+        raceCategoryName(Race.Category), Race.DynamicCount, Provisional,
         accessJson(Race.Use, T).c_str(), accessJson(Race.Free, T).c_str());
   }
   const FilterCounters &F = Report.Filters;
@@ -81,9 +86,13 @@ std::string cafa::renderRaceReportJson(const RaceReport &Report,
       static_cast<unsigned long long>(F.IntraEventAlloc));
   OS << formatString("  \"partial\": %s",
                      Report.Partial ? "true" : "false");
-  if (Report.Partial)
+  if (Report.Partial) {
     OS << formatString(",\n  \"partialCause\": \"%s\"",
                        jsonEscape(Report.PartialCause).c_str());
+    if (!Report.PartialDetail.empty())
+      OS << formatString(",\n  \"partialDetail\": \"%s\"",
+                         jsonEscape(Report.PartialDetail).c_str());
+  }
   OS << "\n}\n";
   return OS.str();
 }

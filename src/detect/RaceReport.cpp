@@ -47,9 +47,15 @@ std::string cafa::renderRaceReport(const RaceReport &Report, const Trace &T) {
   std::ostringstream OS;
   OS << Report.Races.size() << " use-free race(s) reported\n";
   size_t N = 0;
+  // A race found against a cut happens-before relation may be ordered
+  // away once the fixpoint saturates; mark it so a partial report is
+  // never mistaken for a confirmed finding.  Complete reports render
+  // without any marker -- resumed runs stay byte-identical to
+  // uninterrupted ones.
+  const char *Suffix = Report.racesProvisional() ? "  (provisional)" : "";
   for (const UseFreeRace &Race : Report.Races)
-    OS << formatString("  #%zu  %s\n", ++N,
-                       renderRaceLine(Race, T).c_str());
+    OS << formatString("  #%zu  %s%s\n", ++N,
+                       renderRaceLine(Race, T).c_str(), Suffix);
   const FilterCounters &F = Report.Filters;
   OS << formatString(
       "candidates=%llu orderedByHb=%llu sameTask=%llu lockset=%llu "
@@ -60,9 +66,12 @@ std::string cafa::renderRaceReport(const RaceReport &Report, const Trace &T) {
       static_cast<unsigned long long>(F.LocksetProtected),
       static_cast<unsigned long long>(F.IfGuardFiltered),
       static_cast<unsigned long long>(F.IntraEventAlloc));
-  if (Report.Partial)
+  if (Report.Partial) {
     OS << formatString("PARTIAL result (%s): analysis stopped early; "
                        "races may be missing or unfiltered\n",
                        Report.PartialCause.c_str());
+    if (!Report.PartialDetail.empty())
+      OS << formatString("  %s\n", Report.PartialDetail.c_str());
+  }
   return OS.str();
 }

@@ -70,9 +70,22 @@ struct RaceReport {
   /// fixpoint was cut) or "detect-deadline" (the pair scan was cut).
   /// The first deadline hit wins.
   std::string PartialCause;
+  /// Elaboration of PartialCause, when one exists.  For "hb-deadline"
+  /// this names the rule families the cut left short of their fixpoint
+  /// (e.g. "unsaturated rules: atomicity, event-queue") -- the missing
+  /// edges are drawn from exactly these rules, so every reported race is
+  /// *provisional*: it may be ordered away once the fixpoint saturates.
+  /// Empty when Partial is false or no detail is known.
+  std::string PartialDetail;
 
   size_t numRaces() const { return Races.size(); }
   size_t countCategory(RaceCategory C) const;
+
+  /// True when the races in this report could still be ordered away by
+  /// a saturated fixpoint: the happens-before relation was cut short,
+  /// so "unordered" verdicts are provisional.  Detect-deadline cuts do
+  /// not set this -- the relation was complete, only the scan stopped.
+  bool racesProvisional() const { return Partial && PartialCause == "hb-deadline"; }
 };
 
 /// Renders a report for humans (one block per race, names resolved

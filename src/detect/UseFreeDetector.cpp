@@ -151,7 +151,8 @@ bool cafa::isUseIfGuarded(const Trace &T, const AccessDb &Db,
 
 RaceReport cafa::detectUseFreeRaces(const Trace &T, const TaskIndex &Index,
                                     const AccessDb &Db, const HbIndex &Hb,
-                                    const DetectorOptions &Options) {
+                                    const DetectorOptions &Options,
+                                    DetectCheckpointing *Ckpt) {
   RaceReport Report;
   if (Hb.degradation().DeadlineExceeded) {
     // The happens-before fixpoint was cut short: the relation
@@ -159,6 +160,13 @@ RaceReport cafa::detectUseFreeRaces(const Trace &T, const TaskIndex &Index,
     // filter.  Everything reported is still a genuine candidate.
     Report.Partial = true;
     Report.PartialCause = "hb-deadline";
+    const std::vector<std::string> &Rules =
+        Hb.degradation().UnsaturatedRules;
+    if (!Rules.empty()) {
+      Report.PartialDetail = "unsaturated rules:";
+      for (size_t I = 0; I != Rules.size(); ++I)
+        Report.PartialDetail += (I ? ", " : " ") + Rules[I];
+    }
   }
   DetectIndexes Ix(Db);
 
@@ -195,25 +203,111 @@ RaceReport cafa::detectUseFreeRaces(const Trace &T, const TaskIndex &Index,
 
   std::map<StaticKey, size_t> Dedup;
 
+  // Resume path: restore the races, counters, and cursor of a frozen
+  // scan.  Records are validated against the freshly extracted accesses
+  // -- any mismatch means the frontier belongs to a different trace or
+  // extractor and the scan silently restarts from scratch, which is
+  // always correct, just slower.
+  uint32_t StartUse = 0, StartFree = 0;
+  if (Ckpt && Ckpt->Resume) {
+    const DetectFrontier &R = *Ckpt->Resume;
+    std::unordered_map<uint32_t, uint32_t> UseByRecord, FreeByRecord;
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Db.Uses.size()); I != E;
+         ++I)
+      UseByRecord.emplace(Db.Uses[I].Record, I);
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Db.Frees.size()); I != E;
+         ++I)
+      FreeByRecord.emplace(Db.Frees[I].Record, I);
+    bool Ok = R.UseIdx <= Db.Uses.size();
+    if (Ok && R.UseIdx < Db.Uses.size()) {
+      const PtrAccess &U = Db.Uses[R.UseIdx];
+      Ok = U.Var.index() < Ix.FreesByVar.size()
+               ? R.FreePos <= Ix.FreesByVar[U.Var.index()].size()
+               : R.FreePos == 0;
+    }
+    std::vector<UseFreeRace> Restored;
+    for (const DetectFrontier::RaceEntry &E : R.Races) {
+      auto UIt = UseByRecord.find(E.UseRecord);
+      auto FIt = FreeByRecord.find(E.FreeRecord);
+      if (UIt == UseByRecord.end() || FIt == FreeByRecord.end() ||
+          E.Category > static_cast<uint8_t>(RaceCategory::Conventional)) {
+        Ok = false;
+        break;
+      }
+      UseFreeRace Race;
+      Race.Use = Db.Uses[UIt->second];
+      Race.Free = Db.Frees[FIt->second];
+      Race.Category = static_cast<RaceCategory>(E.Category);
+      Race.DynamicCount = E.DynamicCount;
+      Restored.push_back(std::move(Race));
+    }
+    if (Ok) {
+      StartUse = R.UseIdx;
+      StartFree = R.FreePos;
+      Report.Filters = R.Filters;
+      Report.Races = std::move(Restored);
+      for (size_t I = 0; I != Report.Races.size(); ++I) {
+        const UseFreeRace &Race = Report.Races[I];
+        Dedup.emplace(StaticKey{Race.Use.Method.value(), Race.Use.Pc,
+                                Race.Free.Method.value(), Race.Free.Pc},
+                      I);
+      }
+      Ckpt->ResumeAccepted = true;
+    }
+  }
+
+  // Snapshots the scan at the next unprocessed pair (\p UseIdx, \p J).
+  auto freezeScan = [&](uint32_t UseIdx, uint32_t J) {
+    DetectFrontier F;
+    F.UseIdx = UseIdx;
+    F.FreePos = J;
+    F.Filters = Report.Filters;
+    F.Races.reserve(Report.Races.size());
+    for (const UseFreeRace &Race : Report.Races)
+      F.Races.push_back({Race.Use.Record, Race.Free.Record,
+                         static_cast<uint8_t>(Race.Category),
+                         Race.DynamicCount});
+    return F;
+  };
+
   // Deadline bookkeeping: a Timer query per pair would dominate the
-  // scan, so the clock is only consulted every ~4k pairs.
+  // scan, so the clock is only consulted every ~4k pairs.  Checkpoint
+  // cadence rides the same poll.
   Timer DetectTimer;
+  bool WantClock = Options.DeadlineMillis > 0 ||
+                   (Ckpt && Ckpt->Save && Ckpt->EveryMillis > 0);
   uint64_t PairsSinceCheck = 0;
+  double LastSaveMs = 0;
   bool OutOfTime = false;
 
-  for (uint32_t UseIdx = 0, UE = static_cast<uint32_t>(Db.Uses.size());
+  for (uint32_t UseIdx = StartUse,
+                UE = static_cast<uint32_t>(Db.Uses.size());
        UseIdx != UE && !OutOfTime; ++UseIdx) {
     const PtrAccess &Use = Db.Uses[UseIdx];
     if (Use.Var.index() >= Ix.FreesByVar.size())
       continue;
-    for (uint32_t FreeIdx : Ix.FreesByVar[Use.Var.index()]) {
-      if (Options.DeadlineMillis > 0 && ++PairsSinceCheck >= 4096) {
+    const std::vector<uint32_t> &FreeList = Ix.FreesByVar[Use.Var.index()];
+    for (uint32_t J = UseIdx == StartUse ? StartFree : 0,
+                  JE = static_cast<uint32_t>(FreeList.size());
+         J != JE; ++J) {
+      if (WantClock && ++PairsSinceCheck >= 4096) {
         PairsSinceCheck = 0;
-        if (DetectTimer.elapsedWallMillis() > Options.DeadlineMillis) {
+        double Elapsed = DetectTimer.elapsedWallMillis();
+        if (Options.DeadlineMillis > 0 && Elapsed > Options.DeadlineMillis) {
+          // Pair (UseIdx, J) is not yet processed: it is exactly where a
+          // resumed scan picks up.
+          if (Ckpt && Ckpt->Save)
+            Ckpt->Save(freezeScan(UseIdx, J));
           OutOfTime = true;
           break;
         }
+        if (Ckpt && Ckpt->Save && Ckpt->EveryMillis > 0 &&
+            Elapsed - LastSaveMs >= Ckpt->EveryMillis) {
+          LastSaveMs = Elapsed;
+          Ckpt->Save(freezeScan(UseIdx, J));
+        }
       }
+      uint32_t FreeIdx = FreeList[J];
       const PtrAccess &Free = Db.Frees[FreeIdx];
       ++Report.Filters.CandidatePairs;
 

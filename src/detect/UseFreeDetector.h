@@ -21,6 +21,8 @@
 #include "detect/RaceReport.h"
 #include "hb/HbIndex.h"
 
+#include <functional>
+
 namespace cafa {
 
 /// Detector configuration (defaults reproduce the paper's tool).
@@ -45,15 +47,57 @@ struct DetectorOptions {
   double DeadlineMillis = 0;
 };
 
+/// Everything needed to freeze the candidate-pair scan at a pair
+/// boundary and restore it in another process.  The scan order
+/// (Db.Uses outer, FreesByVar[use.var] inner) is deterministic, so a
+/// cursor plus the accumulated races and counters resumes to exactly
+/// the report an uninterrupted scan produces.
+struct DetectFrontier {
+  /// Next unprocessed pair: use index into Db.Uses, position into that
+  /// use's FreesByVar list.  Everything lexicographically below has been
+  /// scanned and is reflected in Races/Filters.
+  uint32_t UseIdx = 0;
+  uint32_t FreePos = 0;
+  FilterCounters Filters;
+  /// One reported race, keyed by the trace records of its first dynamic
+  /// instance (stable across processes; the full PtrAccess is
+  /// rehydrated from a freshly extracted AccessDb on resume).
+  struct RaceEntry {
+    uint32_t UseRecord = 0;
+    uint32_t FreeRecord = 0;
+    uint8_t Category = 0;
+    uint32_t DynamicCount = 1;
+  };
+  std::vector<RaceEntry> Races;
+};
+
+/// Checkpoint hooks for the pair scan.  Save, when set, is called at
+/// cadence ticks (EveryMillis of wall time since detector entry,
+/// polled at the same ~4k-pair granularity as the deadline clock) and
+/// always when the detect deadline cuts the scan.  Resume seeds the
+/// scan from a saved frontier; the detector validates it against the
+/// extracted accesses and sets ResumeAccepted, silently starting from
+/// scratch on any mismatch (a stale frontier must degrade to a clean
+/// run, never a wrong report).
+struct DetectCheckpointing {
+  double EveryMillis = 0;
+  std::function<void(const DetectFrontier &)> Save;
+  const DetectFrontier *Resume = nullptr;
+  bool ResumeAccepted = false;
+};
+
 /// Runs the full CAFA pipeline on \p T: extract accesses, build the
 /// causality model, detect and filter use-free races, classify.
 RaceReport detectUseFreeRaces(const Trace &T, const DetectorOptions &Options);
 
 /// Same, but reuses an already-extracted \p Db and built \p Hb (the
-/// benchmarks time phases separately).
+/// benchmarks time phases separately).  \p Ckpt, when non-null, enables
+/// crash-safe checkpoint/resume of the pair scan (see
+/// DetectCheckpointing).
 RaceReport detectUseFreeRaces(const Trace &T, const TaskIndex &Index,
                               const AccessDb &Db, const HbIndex &Hb,
-                              const DetectorOptions &Options);
+                              const DetectorOptions &Options,
+                              DetectCheckpointing *Ckpt = nullptr);
 
 /// Returns true if \p Use is proven safe by a guarded branch, per the
 /// Figure 6 pc-interval rules.  Exposed for unit testing.

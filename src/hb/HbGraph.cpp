@@ -81,11 +81,21 @@ NodeId HbGraph::lastNodeAtOrBefore(uint32_t RecordIndex) const {
   return It == Nodes.begin() ? NodeId::invalid() : *(It - 1);
 }
 
-void HbGraph::addEdge(NodeId From, NodeId To) {
-  assert(From.isValid() && To.isValid() && "edge endpoint invalid");
-  assert(From != To && "self edge");
-  assert(NodeRecords[From.index()] < NodeRecords[To.index()] &&
-         "happens-before edges must point forward in trace order");
+bool HbGraph::addEdge(NodeId From, NodeId To) {
+  // Salvaged traces are untrusted input: damaged records can propose an
+  // ordering that contradicts the observed linearization (a send logged
+  // after its event's begin, a self-wait, an out-of-range replayed
+  // checkpoint edge).  Trace order is the ground truth, so such edges
+  // are dropped -- and since a missing happens-before edge only ever
+  // *adds* race candidates, dropping is the conservative repair.
+  if (!From.isValid() || !To.isValid() || From == To ||
+      From.index() >= NodeRecords.size() ||
+      To.index() >= NodeRecords.size() ||
+      NodeRecords[From.index()] >= NodeRecords[To.index()]) {
+    ++RejectedEdgeCount;
+    return false;
+  }
   Successors[From.index()].push_back(To.value());
   ++EdgeCount;
+  return true;
 }

@@ -17,9 +17,11 @@
 /// number of instructions (Section 4.2 motivates moving away from
 /// per-access vector clocks).
 ///
-/// Invariant: every edge points forward in trace-record order (the trace
-/// is a valid linearization), so the graph is acyclic and record order is
-/// a topological order.
+/// Invariant: every edge points forward in trace-record order, so the
+/// graph is acyclic and record order is a topological order.  addEdge()
+/// enforces this even against salvaged traces whose damaged records
+/// contradict their own linearization -- contradicting edges are
+/// rejected (counted in numRejectedEdges()), never inserted.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -76,9 +78,16 @@ public:
   /// Last node of record's task at-or-before the record (for targets).
   NodeId lastNodeAtOrBefore(uint32_t RecordIndex) const;
 
-  /// Adds edge From -> To; ignores duplicates lazily (callers dedup via
-  /// reachability).  Asserts the forward-in-record-order invariant.
-  void addEdge(NodeId From, NodeId To);
+  /// Adds edge From -> To and returns true; ignores duplicates lazily
+  /// (callers dedup via reachability).  Edges violating the
+  /// forward-in-record-order invariant (possible with salvaged traces
+  /// that contradict their own linearization) are dropped and counted
+  /// instead of added, returning false -- trace order is ground truth,
+  /// and a missing edge is the conservative direction for detection.
+  bool addEdge(NodeId From, NodeId To);
+
+  /// Edges addEdge() refused because they contradicted trace order.
+  size_t numRejectedEdges() const { return RejectedEdgeCount; }
 
   /// Successor node ids of \p Node.
   const std::vector<uint32_t> &successors(NodeId Node) const {
@@ -102,6 +111,7 @@ private:
   std::vector<NodeId> EndNodes;
   std::vector<std::vector<uint32_t>> Successors;
   size_t EdgeCount = 0;
+  size_t RejectedEdgeCount = 0;
 };
 
 } // namespace cafa

@@ -210,12 +210,9 @@ struct HbIndex::Builder {
   /// changed in the last oracle update; unseen pairs always evaluate and
   /// are the only place the per-round edge cap may cut the scan, so the
   /// seen region's sweep always completes -- the invariant that makes
-  /// the change-driven skip sound.
-  struct ScanCursor {
-    uint32_t Gap = 2;
-    uint32_t I = 0;
-  };
-  std::vector<ScanCursor> AtomCursor, SendCursor;
+  /// the change-driven skip sound.  The cursor type lives in HbIndex.h
+  /// (HbScanCursor) because checkpoints persist these frontiers.
+  std::vector<HbScanCursor> AtomCursor, SendCursor;
 
   /// Reverse maps from a node id to its role in the rule premises, so a
   /// gained reachability fact (From now reaches To) can be dispatched to
@@ -422,7 +419,7 @@ struct HbIndex::Builder {
     // an earlier round?  Unseen pairs are skipped by the dispatch below
     // -- the resumed scan reaches them with an oracle that still holds
     // the fact (monotone), so nothing is lost.
-    auto pairSeen = [](const ScanCursor &C, size_t K, uint32_t Gap,
+    auto pairSeen = [](const HbScanCursor &C, size_t K, uint32_t Gap,
                        uint32_t I) {
       if (C.Gap >= K)
         return true; // queue fully scanned at least once
@@ -484,7 +481,7 @@ struct HbIndex::Builder {
         AtomCursor.assign(QueueEvents.size(), {});
       for (size_t Qi = 0; Qi != QueueEvents.size(); ++Qi) {
         const std::vector<TaskId> &Events = QueueEvents[Qi];
-        ScanCursor &C = AtomCursor[Qi];
+        HbScanCursor &C = AtomCursor[Qi];
         size_t K = Events.size();
         if (K < 2)
           continue;
@@ -566,7 +563,7 @@ struct HbIndex::Builder {
         SendCursor.assign(QueueSends.size(), {});
       for (size_t Qi = 0; Qi != QueueSends.size(); ++Qi) {
         const std::vector<SendOp> &Sends = QueueSends[Qi];
-        ScanCursor &C = SendCursor[Qi];
+        HbScanCursor &C = SendCursor[Qi];
         size_t K = Sends.size();
         if (K < 2)
           continue;
@@ -628,10 +625,13 @@ struct HbIndex::Builder {
                    NewEdges.end());
     std::vector<HbEdge> Batch;
     Batch.reserve(NewEdges.size());
-    for (auto [From, To] : NewEdges) {
-      G.addEdge(From, To);
-      Batch.push_back({From, To});
-    }
+    // Only edges the graph actually accepted may reach the oracle and
+    // the checkpoint frontier: a rejected contradiction (corrupted
+    // trace) must neither teach the oracle a fact the graph does not
+    // hold nor stall convergence by re-entering the delta every round.
+    for (auto [From, To] : NewEdges)
+      if (G.addEdge(From, To))
+        Batch.push_back({From, To});
 
     Stats.AtomicityEdges += Atomicity;
     Stats.QueueRule1Edges += Q1;
@@ -643,7 +643,7 @@ struct HbIndex::Builder {
 };
 
 HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
-                 const HbOptions &Options)
+                 const HbOptions &Options, const HbCheckpointing *Checkpoint)
     : T(T), Index(Index),
       Graph(std::make_unique<HbGraph>(T, Index)) {
   bool Profile = std::getenv("CAFA_HB_PROFILE") != nullptr;
@@ -656,41 +656,98 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
   Builder B(T, *Graph, Options, Stats);
   B.collect();
   B.addBaseEdges();
+
+  // Resume path: replay the checkpointed derived edges onto the fresh
+  // base graph.  Base construction is deterministic, so after the replay
+  // the graph matches the checkpointed run's graph edge for edge; the
+  // counters are then restored wholesale (their base components are
+  // identical by the same argument).
+  const HbFrontier *R = Checkpoint ? Checkpoint->Resume : nullptr;
+  if (R) {
+    for (const HbEdge &E : R->DerivedEdges)
+      Graph->addEdge(E.From, E.To);
+    Stats = R->Stats;
+    Kept.DerivedEdges = R->DerivedEdges;
+  }
   auto TBase = Now();
 
-  // Memory rung of the degradation ladder: step to the next-cheaper
-  // oracle until the estimated footprint fits.  All oracles answer
-  // reachability queries identically, so a downgrade changes build time
-  // and memory but keeps every downstream report bit-identical.
+  // Memory rung of the degradation ladder: build under a byte budget
+  // that counts real allocations, stepping to the next-cheaper oracle
+  // whenever the measured footprint overruns MemLimitBytes.  All
+  // oracles answer reachability queries identically, so a downgrade
+  // changes build time and memory but keeps every downstream report
+  // bit-identical.  BFS keeps no precomputed state and is the
+  // always-accepted floor.  A resume with attached closure rows imports
+  // them instead of recomputing the O(N^2/64) sweep.
   ReachMode Mode = Options.Reach;
   Degrade.RequestedReach = Mode;
-  if (Options.MemLimitBytes != 0) {
-    while (Mode != ReachMode::Bfs &&
-           estimateReachabilityMemory(Graph->numNodes(), Mode) >
-               Options.MemLimitBytes)
-      Mode = Mode == ReachMode::Incremental ? ReachMode::Closure
-                                            : ReachMode::Bfs;
-    Degrade.DowngradedForMemory = Mode != Degrade.RequestedReach;
+  for (;;) {
+    Reach = makeReachability(*Graph, Mode, Options.MemLimitBytes,
+                             /*Defer=*/true);
+    bool Ready = false;
+    if (R && !R->ClosureRows.empty())
+      Ready = Reach->importClosureRows(R->ClosureRows.data(),
+                                       R->ClosureRows.size(), R->RowWords);
+    if (!Ready && !Reach->budgetExceeded()) {
+      Reach->refresh();
+      Ready = !Reach->budgetExceeded();
+    }
+    if (Ready || Mode == ReachMode::Bfs)
+      break;
+    Mode = Mode == ReachMode::Incremental ? ReachMode::Closure
+                                          : ReachMode::Bfs;
   }
+  Degrade.DowngradedForMemory = Mode != Degrade.RequestedReach;
   Degrade.UsedReach = Mode;
-  Reach = makeReachability(*Graph, Mode);
+  Degrade.MeasuredReachBytes = Reach->memoryBytes();
   auto TInit = Now();
   if (Profile)
     std::fprintf(stderr, "graph+base=%.1fms init=%.1fms nodes=%zu edges=%zu\n",
                  Ms(TGraph, TBase), Ms(TBase, TInit), Graph->numNodes(),
                  Graph->numEdges());
 
+  // Syncs everything but the edges (which accumulate live) into Kept so
+  // exportFrontier() can freeze a consistent snapshot at any boundary.
+  auto SyncKept = [&] {
+    Kept.UsedReach = Degrade.UsedReach;
+    Kept.RoundsDone = Stats.FixpointRounds;
+    Kept.Saturated = Converged;
+    Kept.Stats = Stats;
+    Kept.AtomCursors = B.AtomCursor;
+    Kept.SendCursors = B.SendCursor;
+    Kept.UnsaturatedRules = Degrade.UnsaturatedRules;
+  };
+
+  if (R) {
+    // Restore the scan frontiers: pairs the checkpointed run already
+    // evaluated are not re-proposed (their conclusions are in the
+    // replayed edges).  The first resumed round runs with no delta
+    // information (nullptr below), i.e. a conservative full pass over
+    // the unseen region -- re-evaluating a seen pair is always sound,
+    // it just proposes nothing new.
+    if (R->AtomCursors.size() == B.QueueEvents.size())
+      B.AtomCursor = R->AtomCursors;
+    if (R->SendCursors.size() == B.QueueSends.size())
+      B.SendCursor = R->SendCursors;
+  }
+
+  Converged = true;
   if (Options.Model == OrderingModel::Cafa &&
-      (Options.EnableAtomicityRule || Options.EnableQueueRules)) {
+      (Options.EnableAtomicityRule || Options.EnableQueueRules) &&
+      !(R && R->Saturated)) {
     // Semi-naive evaluation: round 0 scans everything; later rounds ask
     // the oracle what changed -- exact premise facts if it can say
     // (incremental sweep), per-row dirt as the coarse fallback, full
     // re-scans when it rebuilds from scratch and cannot know.
     B.buildFactTables();
     Reach->setFactFilter(B.FactSources, B.FactTargets);
+    Converged = false;
     const uint8_t *ChangedRows = nullptr;
     const std::vector<GainedWord> *Gained = nullptr;
-    for (uint32_t Round = 0; Round != Options.MaxFixpointRounds; ++Round) {
+    double LastSaveMs = 0;
+    uint32_t StartRound = Stats.FixpointRounds;
+    for (uint32_t Round = StartRound; Round != Options.MaxFixpointRounds;
+         ++Round) {
       // Time rung of the degradation ladder: stop starting rounds past
       // the deadline.  Edges already derived stay -- the relation only
       // ever under-approximates, which can add race candidates
@@ -706,6 +763,7 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
           B.applyDerivedRules(*Reach, ChangedRows, Gained);
       auto T1 = Now();
       if (Delta.empty()) {
+        Converged = true;
         if (Profile)
           std::fprintf(stderr,
                        "round %u: empty scan=%.1fms atom=%llu/%llu "
@@ -722,6 +780,16 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
       Reach->addEdges(Delta);
       ChangedRows = Reach->changedRows();
       Gained = Reach->gainedWords();
+      Kept.DerivedEdges.insert(Kept.DerivedEdges.end(), Delta.begin(),
+                               Delta.end());
+      // Cadence checkpoint: the oracle now reflects every inserted edge,
+      // so this round boundary is a consistent freeze point.
+      if (Checkpoint && Checkpoint->Save && Checkpoint->EveryMillis > 0 &&
+          Ms(TGraph, Now()) - LastSaveMs >= Checkpoint->EveryMillis) {
+        LastSaveMs = Ms(TGraph, Now());
+        SyncKept();
+        Checkpoint->Save(exportFrontier());
+      }
       auto T2 = Now();
       if (Profile)
         std::fprintf(stderr,
@@ -734,10 +802,41 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
                      (unsigned long long)B.SkipSend,
                      Gained ? Gained->size() : size_t(0));
     }
+    if (!Converged) {
+      // The cut relation is missing edges from exactly the rule families
+      // the fixpoint was still deriving.
+      if (Options.EnableAtomicityRule)
+        Degrade.UnsaturatedRules.push_back("atomicity");
+      if (Options.EnableQueueRules)
+        Degrade.UnsaturatedRules.push_back("event-queue");
+      // Deadline cut: always leave a frontier behind so the interrupted
+      // work is resumable regardless of cadence.
+      if (Checkpoint && Checkpoint->Save) {
+        SyncKept();
+        Checkpoint->Save(exportFrontier());
+      }
+    }
   }
+  SyncKept();
 }
 
 HbIndex::~HbIndex() = default;
+
+HbFrontier HbIndex::exportFrontier() const {
+  // Above this, serializing the row matrix costs more than the refresh()
+  // it would save on resume; the frontier then carries only edges and
+  // cursors.
+  constexpr size_t MaxRowBlobBytes = size_t(256) << 20;
+  HbFrontier F = Kept;
+  std::vector<uint64_t> Words;
+  size_t WordsPerRow = 0;
+  if (Reach->exportClosureRows(Words, WordsPerRow) &&
+      Words.size() * 8 <= MaxRowBlobBytes) {
+    F.ClosureRows = std::move(Words);
+    F.RowWords = WordsPerRow;
+  }
+  return F;
+}
 
 bool HbIndex::happensBefore(uint32_t A, uint32_t B) const {
   if (A == B)

@@ -38,7 +38,10 @@
 #include "hb/HbGraph.h"
 #include "hb/Reachability.h"
 
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace cafa {
 
@@ -91,6 +94,18 @@ struct HbDegradation {
   /// DeadlineMillis expired before the fixpoint converged; the relation
   /// under-approximates and reports derived from it are partial.
   bool DeadlineExceeded = false;
+  /// Measured footprint of the oracle actually kept, in bytes.  The
+  /// ladder steps rungs from budgeted builds that count real
+  /// allocations (see makeReachability's BudgetBytes), so this is the
+  /// number MemLimitBytes was actually compared against -- not the
+  /// estimateReachabilityMemory() over-approximation.
+  size_t MeasuredReachBytes = 0;
+  /// Rule families a blown deadline left short of their fixpoint
+  /// ("atomicity", "event-queue").  Empty when the fixpoint saturated.
+  /// Downstream reporting uses this to say *which* orderings may be
+  /// missing, and checkpoints carry it so a resumed run can label races
+  /// that only existed because of the missing edges.
+  std::vector<std::string> UnsaturatedRules;
 
   bool degraded() const { return DowngradedForMemory || DeadlineExceeded; }
 };
@@ -113,10 +128,70 @@ struct HbRuleStats {
   uint32_t FixpointRounds = 0;
 };
 
+/// Scan-frontier position of one queue's gap-diagonal pair scan: every
+/// pair lexicographically below (Gap, I) has been evaluated at least
+/// once.  Gap >= the queue's element count means "fully scanned".
+struct HbScanCursor {
+  uint32_t Gap = 2;
+  uint32_t I = 0;
+};
+
+/// Everything needed to freeze the derived-rule fixpoint at a round
+/// boundary and restore it in another process.  Rounds are never cut
+/// mid-scan (the deadline is checked before each round and the per-round
+/// edge cap only moves the scan cursors), so a round boundary is always
+/// a consistent frontier: the graph holds base + DerivedEdges, the
+/// cursors say which pairs were already evaluated, and the closure rows
+/// (when attached) mirror exactly those edges.
+///
+/// Resuming replays DerivedEdges onto a freshly built base graph,
+/// restores the cursors, and continues the fixpoint.  The closure is the
+/// unique least fixpoint of monotone rules and the scans are
+/// deterministic, so the resumed run converges to the same relation --
+/// and therefore the same reports -- as an uninterrupted one.
+struct HbFrontier {
+  /// Oracle in use when the frontier was taken.  Informational: closure
+  /// rows are mode-independent, so a resume may import them into a
+  /// different closure-based rung.
+  ReachMode UsedReach = ReachMode::Incremental;
+  /// Fixpoint rounds completed at the freeze point.
+  uint32_t RoundsDone = 0;
+  /// The fixpoint converged; a resume can skip rule evaluation entirely.
+  bool Saturated = false;
+  /// Rule-edge counters at the freeze point (base counters included).
+  HbRuleStats Stats;
+  /// Every derived edge inserted so far, in insertion order.
+  std::vector<HbEdge> DerivedEdges;
+  /// Per-queue scan frontiers for the atomicity / event-queue scans.
+  std::vector<HbScanCursor> AtomCursors;
+  std::vector<HbScanCursor> SendCursors;
+  /// Serialized closure rows (row-major, RowWords words per row), or
+  /// empty when the matrix was too large to attach -- the resume then
+  /// recomputes it with refresh(), which is pure time, not lost work.
+  size_t RowWords = 0;
+  std::vector<uint64_t> ClosureRows;
+  /// Rule families still short of their fixpoint (mirrors
+  /// HbDegradation::UnsaturatedRules at the freeze point).
+  std::vector<std::string> UnsaturatedRules;
+};
+
+/// Checkpoint hooks for HbIndex construction.  All fields optional:
+/// Save, when set, is called with a consistent frontier at every cadence
+/// tick (EveryMillis of wall time since the build started) and always
+/// when the deadline rung cuts the fixpoint; Resume, when set, seeds
+/// construction from a previously saved frontier instead of starting
+/// the fixpoint from round zero.
+struct HbCheckpointing {
+  double EveryMillis = 0;
+  std::function<void(const HbFrontier &)> Save;
+  const HbFrontier *Resume = nullptr;
+};
+
 /// The built happens-before relation, queryable at record granularity.
 class HbIndex {
 public:
-  HbIndex(const Trace &T, const TaskIndex &Index, const HbOptions &Options);
+  HbIndex(const Trace &T, const TaskIndex &Index, const HbOptions &Options,
+          const HbCheckpointing *Checkpoint = nullptr);
   ~HbIndex();
 
   HbIndex(const HbIndex &) = delete;
@@ -140,6 +215,17 @@ public:
   /// What the degradation ladder did (oracle downgrade, blown deadline).
   const HbDegradation &degradation() const { return Degrade; }
 
+  /// True when the derived-rule fixpoint ran to convergence (also true
+  /// when no fixpoint was needed, e.g. the conventional model).  False
+  /// exactly when the deadline rung cut it short.
+  bool saturated() const { return Converged; }
+
+  /// Freezes the current state as a resumable frontier (see HbFrontier).
+  /// Closure rows are attached when the oracle has them and the blob
+  /// stays under an internal size cap; otherwise the frontier carries
+  /// only the edges and cursors and a resume recomputes the rows.
+  HbFrontier exportFrontier() const;
+
   /// Approximate analyzer memory (graph + oracle), for scaling benches.
   size_t memoryBytes() const;
 
@@ -152,6 +238,12 @@ private:
   std::unique_ptr<Reachability> Reach;
   HbRuleStats Stats;
   HbDegradation Degrade;
+  /// Live frontier (everything but the closure rows, which are exported
+  /// on demand): derived edges accumulate as rounds commit, cursors and
+  /// counters are synced at every save point and at the end of
+  /// construction.
+  HbFrontier Kept;
+  bool Converged = false;
 };
 
 } // namespace cafa

@@ -12,14 +12,71 @@
 
 using namespace cafa;
 
-void ClosureReachability::refresh() {
-  size_t N = G.numNodes();
+namespace {
+
+/// Budget-tracked allocation of one N x N row matrix.  Counts each row
+/// as it is committed and aborts past the budget (0 = unlimited),
+/// releasing everything so a failed probe leaves no high-water mark
+/// behind.  \p Used carries footprint already committed by the caller
+/// (the incremental oracle's delta-tracking extras).
+bool allocateRowMatrix(std::vector<BitVec> &Rows, size_t N, size_t Budget,
+                       size_t Used) {
   Rows.resize(N);
   for (BitVec &Row : Rows) {
-    if (Row.size() != N)
-      Row.resize(N);
-    Row.clear();
+    Row.resize(N);
+    if (Budget) {
+      Used += Row.memoryBytes();
+      if (Used > Budget) {
+        Rows.clear();
+        Rows.shrink_to_fit();
+        return false;
+      }
+    }
   }
+  return true;
+}
+
+/// Row export shared by both closure oracles (the matrix content depends
+/// only on the graph, not the oracle flavor).
+bool exportRows(const std::vector<BitVec> &Rows,
+                std::vector<uint64_t> &WordsOut, size_t &WordsPerRowOut) {
+  WordsPerRowOut = Rows.empty() ? 0 : Rows.front().numWords();
+  WordsOut.clear();
+  WordsOut.reserve(Rows.size() * WordsPerRowOut);
+  for (const BitVec &Row : Rows)
+    for (size_t W = 0, E = Row.numWords(); W != E; ++W)
+      WordsOut.push_back(Row.word(W));
+  return true;
+}
+
+/// Row import counterpart; the caller has already allocated Rows to the
+/// graph's shape and verified the blob's dimensions match.
+void importRows(std::vector<BitVec> &Rows, const uint64_t *Words,
+                size_t WordsPerRow) {
+  for (size_t I = 0, N = Rows.size(); I != N; ++I)
+    for (size_t W = 0; W != WordsPerRow; ++W)
+      Rows[I].setWord(W, Words[I * WordsPerRow + W]);
+}
+
+} // namespace
+
+bool ClosureReachability::allocateRows() {
+  size_t N = G.numNodes();
+  if (Rows.size() == N && (N == 0 || Rows.back().size() == N))
+    return !Exceeded;
+  if (!allocateRowMatrix(Rows, N, Budget, /*Used=*/0)) {
+    Exceeded = true;
+    return false;
+  }
+  return true;
+}
+
+void ClosureReachability::refresh() {
+  if (!allocateRows())
+    return; // budget exceeded: the ladder discards this oracle
+  size_t N = G.numNodes();
+  for (BitVec &Row : Rows)
+    Row.clear();
   // Node ids ascend in trace-record order and every edge points forward,
   // so descending node id is a reverse topological order: successors'
   // rows are final when a node is processed.  A row holds only bits
@@ -33,6 +90,23 @@ void ClosureReachability::refresh() {
   }
 }
 
+bool ClosureReachability::exportClosureRows(std::vector<uint64_t> &WordsOut,
+                                            size_t &WordsPerRowOut) const {
+  return exportRows(Rows, WordsOut, WordsPerRowOut);
+}
+
+bool ClosureReachability::importClosureRows(const uint64_t *Words,
+                                            size_t NumWords,
+                                            size_t WordsPerRow) {
+  size_t N = G.numNodes();
+  if (WordsPerRow != (N + 63) / 64 || NumWords != N * WordsPerRow)
+    return false;
+  if (!allocateRows())
+    return false;
+  importRows(Rows, Words, WordsPerRow);
+  return true;
+}
+
 size_t ClosureReachability::memoryBytes() const {
   size_t Total = 0;
   for (const BitVec &Row : Rows)
@@ -40,14 +114,35 @@ size_t ClosureReachability::memoryBytes() const {
   return Total;
 }
 
-void IncrementalClosureReachability::refresh() {
+bool IncrementalClosureReachability::allocateRows() {
   size_t N = G.numNodes();
-  Rows.resize(N);
-  for (BitVec &Row : Rows) {
-    if (Row.size() != N)
-      Row.resize(N);
-    Row.clear();
+  if (Rows.size() == N && (N == 0 || Rows.back().size() == N))
+    return !Exceeded;
+  // The delta-tracking extras (dirty flags, snapshot row, fact-filter
+  // masks) are committed up front and counted against the budget: a
+  // fixpoint run will allocate them anyway, and counting them here keeps
+  // the measured footprint strictly above the plain closure's so the
+  // degradation ladder stays monotone.
+  Dirty.assign(N, 0);
+  SnapRow.resize(N);
+  SrcMask.resize(N);
+  TgtMask.resize(N);
+  size_t Extras =
+      Dirty.capacity() +
+      SnapRow.memoryBytes() + SrcMask.memoryBytes() + TgtMask.memoryBytes();
+  if (!allocateRowMatrix(Rows, N, Budget, Extras)) {
+    Exceeded = true;
+    return false;
   }
+  return true;
+}
+
+void IncrementalClosureReachability::refresh() {
+  if (!allocateRows())
+    return; // budget exceeded: the ladder discards this oracle
+  size_t N = G.numNodes();
+  for (BitVec &Row : Rows)
+    Row.clear();
   // Same reverse-topological sweep as the full closure; rows hold only
   // bits above their own node id, so each union can start at the
   // successor's word.
@@ -63,6 +158,29 @@ void IncrementalClosureReachability::refresh() {
   // appeared.
   DirtyValid = false;
   FactsValid = false;
+}
+
+bool IncrementalClosureReachability::exportClosureRows(
+    std::vector<uint64_t> &WordsOut, size_t &WordsPerRowOut) const {
+  return exportRows(Rows, WordsOut, WordsPerRowOut);
+}
+
+bool IncrementalClosureReachability::importClosureRows(const uint64_t *Words,
+                                                       size_t NumWords,
+                                                       size_t WordsPerRow) {
+  size_t N = G.numNodes();
+  if (WordsPerRow != (N + 63) / 64 || NumWords != N * WordsPerRow)
+    return false;
+  if (!allocateRows())
+    return false;
+  importRows(Rows, Words, WordsPerRow);
+  // The imported matrix must cover the graph's current edges (the caller
+  // restores graph and rows from the same checkpoint), and an import
+  // carries no delta history.
+  KnownEdges = G.numEdges();
+  DirtyValid = false;
+  FactsValid = false;
+  return true;
 }
 
 void IncrementalClosureReachability::addEdges(
@@ -237,16 +355,21 @@ size_t BfsReachability::memoryBytes() const {
 }
 
 std::unique_ptr<Reachability> cafa::makeReachability(const HbGraph &G,
-                                                     ReachMode Mode) {
+                                                     ReachMode Mode,
+                                                     size_t BudgetBytes,
+                                                     bool Defer) {
   switch (Mode) {
   case ReachMode::Closure:
-    return std::make_unique<ClosureReachability>(G);
+    return std::make_unique<ClosureReachability>(G, BudgetBytes, Defer);
   case ReachMode::Bfs:
+    // No precomputed state: nothing to budget, nothing to defer.
     return std::make_unique<BfsReachability>(G);
   case ReachMode::Incremental:
-    return std::make_unique<IncrementalClosureReachability>(G);
+    return std::make_unique<IncrementalClosureReachability>(G, BudgetBytes,
+                                                            Defer);
   }
-  return std::make_unique<IncrementalClosureReachability>(G);
+  return std::make_unique<IncrementalClosureReachability>(G, BudgetBytes,
+                                                          Defer);
 }
 
 const char *cafa::reachModeName(ReachMode Mode) {

@@ -124,14 +124,57 @@ public:
     return nullptr;
   }
 
-  /// Approximate memory footprint in bytes (for the ablation bench).
+  /// Approximate memory footprint in bytes (for the ablation bench, and
+  /// the *measured* reading the degradation ladder records after a
+  /// budgeted build).
   virtual size_t memoryBytes() const = 0;
+
+  /// True when a memory-budgeted build (see makeReachability's
+  /// BudgetBytes) gave up before its precomputed state fit the budget.
+  /// The oracle is then unusable and the degradation ladder must step
+  /// down a rung.  Budget-free oracles always return false.
+  virtual bool budgetExceeded() const { return false; }
+
+  /// Serializes the closure row matrix for checkpointing: \p WordsOut
+  /// receives numNodes() x WordsPerRow raw 64-bit words, row-major.
+  /// Returns false for oracles with no precomputed rows (BFS) -- the
+  /// resumed run then recomputes via refresh().  Rows depend only on the
+  /// graph's edges, never on the oracle flavor, so a row blob exported
+  /// from one closure-based mode imports into the other.
+  virtual bool exportClosureRows(std::vector<uint64_t> & /*WordsOut*/,
+                                 size_t & /*WordsPerRowOut*/) const {
+    return false;
+  }
+
+  /// Restores a row matrix exported by exportClosureRows() over a graph
+  /// with identical node/edge content, skipping the O(N^2) rebuild.
+  /// Returns false when the blob's shape does not match this graph (the
+  /// caller falls back to refresh()) or the memory budget is exceeded
+  /// (check budgetExceeded() to tell the cases apart).
+  virtual bool importClosureRows(const uint64_t * /*Words*/,
+                                 size_t /*NumWords*/,
+                                 size_t /*WordsPerRow*/) {
+    return false;
+  }
 };
 
 /// Bitset transitive closure, rebuilt from scratch on refresh().
+///
+/// \p BudgetBytes, when nonzero, turns construction into a *measured*
+/// allocation: rows are counted as they are allocated and the build
+/// aborts (budgetExceeded()) the moment the running total passes the
+/// budget -- the adaptive-degradation ladder probes actual footprints
+/// instead of trusting estimateReachabilityMemory().  \p Defer skips the
+/// initial build so a checkpoint resume can importClosureRows() without
+/// paying for a refresh it would throw away.
 class ClosureReachability final : public Reachability {
 public:
-  explicit ClosureReachability(const HbGraph &G) : G(G) { refresh(); }
+  explicit ClosureReachability(const HbGraph &G, size_t BudgetBytes = 0,
+                               bool Defer = false)
+      : G(G), Budget(BudgetBytes) {
+    if (!Defer)
+      refresh();
+  }
 
   bool reaches(NodeId From, NodeId To) const override {
     return Rows[From.index()].test(To.index());
@@ -139,13 +182,24 @@ public:
   void refresh() override;
   size_t memoryBytes() const override;
   const BitVec *rowsOrNull() const override { return Rows.data(); }
+  bool budgetExceeded() const override { return Exceeded; }
+  bool exportClosureRows(std::vector<uint64_t> &WordsOut,
+                         size_t &WordsPerRowOut) const override;
+  bool importClosureRows(const uint64_t *Words, size_t NumWords,
+                         size_t WordsPerRow) override;
 
   /// Direct row access for cache-friendly pair scans in the rule engine.
   const BitVec &row(NodeId Node) const { return Rows[Node.index()]; }
 
 private:
+  /// Sizes the row matrix under the budget; false (with Exceeded set)
+  /// when it does not fit.  Idempotent once allocated.
+  bool allocateRows();
+
   const HbGraph &G;
   std::vector<BitVec> Rows;
+  size_t Budget = 0;
+  bool Exceeded = false;
 };
 
 /// Bitset transitive closure maintained incrementally.
@@ -172,8 +226,18 @@ private:
 ///    clean-node scan is cheap.
 class IncrementalClosureReachability final : public Reachability {
 public:
-  explicit IncrementalClosureReachability(const HbGraph &G) : G(G) {
-    refresh();
+  /// BudgetBytes/Defer: same contract as ClosureReachability.  The
+  /// budgeted build allocates the delta-tracking extras (dirty flags,
+  /// snapshot row, fact-filter masks) eagerly so the measured footprint
+  /// covers what a fixpoint run will actually commit, keeping the
+  /// measured ladder strictly above the plain closure's -- the same
+  /// ordering the static estimates promise.
+  explicit IncrementalClosureReachability(const HbGraph &G,
+                                          size_t BudgetBytes = 0,
+                                          bool Defer = false)
+      : G(G), Budget(BudgetBytes) {
+    if (!Defer)
+      refresh();
   }
 
   bool reaches(NodeId From, NodeId To) const override {
@@ -183,6 +247,11 @@ public:
   void addEdges(std::span<const HbEdge> Edges) override;
   size_t memoryBytes() const override;
   const BitVec *rowsOrNull() const override { return Rows.data(); }
+  bool budgetExceeded() const override { return Exceeded; }
+  bool exportClosureRows(std::vector<uint64_t> &WordsOut,
+                         size_t &WordsPerRowOut) const override;
+  bool importClosureRows(const uint64_t *Words, size_t NumWords,
+                         size_t WordsPerRow) override;
   const uint8_t *changedRows() const override {
     return DirtyValid ? Dirty.data() : nullptr;
   }
@@ -200,8 +269,14 @@ public:
   const BitVec &row(NodeId Node) const { return Rows[Node.index()]; }
 
 private:
+  /// Sizes the rows and delta-tracking extras under the budget; false
+  /// (with Exceeded set) when they do not fit.  Idempotent.
+  bool allocateRows();
+
   const HbGraph &G;
   std::vector<BitVec> Rows;
+  size_t Budget = 0;
+  bool Exceeded = false;
   /// Edges reflected in Rows; addEdges falls back to a full refresh()
   /// if the graph drifted from what it was told about.
   size_t KnownEdges = 0;
@@ -244,9 +319,15 @@ private:
   mutable std::vector<NodeId> Worklist;
 };
 
-/// Creates the oracle selected by \p Mode.
+/// Creates the oracle selected by \p Mode.  \p BudgetBytes, when
+/// nonzero, bounds what a closure-based oracle may allocate (the build
+/// aborts into budgetExceeded() instead of overshooting); BFS carries no
+/// precomputed state and ignores the budget -- it is the ladder's floor.
+/// \p Defer skips the initial build (see ClosureReachability).
 std::unique_ptr<Reachability> makeReachability(const HbGraph &G,
-                                               ReachMode Mode);
+                                               ReachMode Mode,
+                                               size_t BudgetBytes = 0,
+                                               bool Defer = false);
 
 /// Returns a stable lowercase name for \p Mode ("incremental", "closure",
 /// "bfs"), for CLI flags and degradation diagnostics.
@@ -254,11 +335,13 @@ const char *reachModeName(ReachMode Mode);
 
 /// Upper-bound estimate of what the \p Mode oracle will allocate for a
 /// graph of \p NumNodes nodes, in bytes, *before* building it.  The
-/// graceful-degradation ladder (HbOptions::MemLimitBytes) uses this to
-/// step Incremental -> Closure -> Bfs until the estimate fits; the
-/// estimate must therefore be monotone along that ladder and err high,
-/// never low.  Closure-based modes are dominated by the N x N bit
-/// matrix; Bfs keeps only per-task scratch, bounded above by per-node.
+/// graceful-degradation ladder (HbOptions::MemLimitBytes) now steps
+/// rungs from the *measured* footprint of a budgeted build (see
+/// makeReachability's BudgetBytes); this estimate remains the planning
+/// aid for sizing limits up front, stays monotone along the ladder
+/// (Bfs < Closure < Incremental), and errs high, never low.
+/// Closure-based modes are dominated by the N x N bit matrix; Bfs keeps
+/// only per-task scratch, bounded above by per-node.
 size_t estimateReachabilityMemory(size_t NumNodes, ReachMode Mode);
 
 } // namespace cafa

@@ -1,0 +1,446 @@
+//===- tests/integration/CheckpointTest.cpp -----------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Crash-safe checkpoint/resume at the library level: a deadline-cut
+// analysis leaves a snapshot behind, a resumed run restores the frontier
+// mid-flight and produces a report bit-identical to an uninterrupted
+// run, and every corrupt or mismatched snapshot degrades to a clean
+// restart -- never a wrong answer.  The process-level (SIGKILL) side of
+// the same guarantee lives in CrashRecoveryTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppKit.h"
+#include "cafa/Cafa.h"
+#include "cafa/ReportJson.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sys/stat.h>
+
+using namespace cafa;
+
+namespace {
+
+Trace buildAppTrace() {
+  apps::AppBuilder App("ckpt");
+  App.seedIntraThreadRace("alpha");
+  App.seedInterThreadRace("beta");
+  App.addGuardedCommutativePair("delta");
+  App.fillVolumeTo(300);
+  Table1Row Dummy;
+  apps::AppModel Model = App.finish(Dummy);
+  return runScenario(Model.S, RuntimeOptions());
+}
+
+// Two unordered threads with 70 uses x 70 frees of one cell: 4900
+// candidate pairs, past the detector's 4096-pair clock poll, so a tiny
+// detect deadline cuts the scan after a forced checkpoint save.
+Trace buildWideScanTrace() {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 256);
+  TaskId A = TB.addThread("user");
+  TaskId B = TB.addThread("freer");
+  TB.begin(A);
+  for (uint32_t I = 0; I != 70; ++I) {
+    TB.ptrRead(A, 5, 9, M, I);
+    TB.deref(A, 9, DerefKind::Invoke, M, I);
+  }
+  TB.end(A);
+  TB.begin(B);
+  for (uint32_t I = 0; I != 70; ++I)
+    TB.ptrWrite(B, 5, 0, M, 100 + I);
+  TB.end(B);
+  return TB.take();
+}
+
+/// A fresh checkpoint directory with no stale snapshot in it.
+std::string freshCheckpointDir(const char *Name) {
+  std::string Dir = testing::TempDir() + "/cafa_ckpt_" + Name;
+  ::mkdir(Dir.c_str(), 0755);
+  std::remove(checkpointPath(Dir).c_str());
+  return Dir;
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFile(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+TEST(CheckpointTest, HbDeadlineCutThenResumeIsBitIdentical) {
+  Trace T = buildAppTrace();
+  std::string Dir = freshCheckpointDir("hb_cut");
+
+  AnalysisResult Clean = analyzeTrace(T, DetectorOptions());
+  ASSERT_FALSE(Clean.Report.Partial);
+  ASSERT_GT(Clean.Report.Races.size(), 0u);
+
+  // Cut the fixpoint before its first round; the cut must leave a
+  // resumable snapshot behind even with no cadence configured.
+  DetectorOptions Tiny;
+  Tiny.DeadlineMillis = 1e-6;
+  CheckpointOptions Ckpt;
+  Ckpt.Directory = Dir;
+  AnalysisResult Cut = analyzeTrace(T, Tiny, Ckpt);
+  ASSERT_TRUE(Cut.Report.Partial);
+  EXPECT_EQ(Cut.Report.PartialCause, "hb-deadline");
+  EXPECT_TRUE(fileExists(checkpointPath(Dir)));
+
+  // Resume without a deadline: the run completes, and both renderings
+  // match the uninterrupted run byte for byte.
+  Ckpt.Resume = true;
+  AnalysisResult Resumed = analyzeTrace(T, DetectorOptions(), Ckpt);
+  EXPECT_TRUE(Resumed.Resume.Attempted);
+  EXPECT_TRUE(Resumed.Resume.Resumed) << Resumed.Resume.RejectReason;
+  EXPECT_FALSE(Resumed.Report.Partial);
+  EXPECT_EQ(renderRaceReport(Resumed.Report, T),
+            renderRaceReport(Clean.Report, T));
+  EXPECT_EQ(renderRaceReportJson(Resumed.Report, T),
+            renderRaceReportJson(Clean.Report, T));
+
+  // A finished analysis retires its snapshot.
+  EXPECT_FALSE(fileExists(checkpointPath(Dir)));
+}
+
+TEST(CheckpointTest, ResumeDiffsProvisionalRacesAgainstFinalReport) {
+  Trace T = buildAppTrace();
+  std::string Dir = freshCheckpointDir("diff");
+
+  DetectorOptions Tiny;
+  Tiny.DeadlineMillis = 1e-6;
+  CheckpointOptions Ckpt;
+  Ckpt.Directory = Dir;
+  AnalysisResult Cut = analyzeTrace(T, Tiny, Ckpt);
+  ASSERT_TRUE(Cut.Report.Partial);
+
+  // The partial report's races are provisional: the relation was cut,
+  // so some may disappear once the fixpoint saturates.  Both renderers
+  // must say so.
+  EXPECT_TRUE(Cut.Report.racesProvisional());
+  if (!Cut.Report.Races.empty()) {
+    EXPECT_NE(renderRaceReport(Cut.Report, T).find("(provisional)"),
+              std::string::npos);
+    EXPECT_NE(
+        renderRaceReportJson(Cut.Report, T).find("\"provisional\": true"),
+        std::string::npos);
+  }
+  EXPECT_FALSE(Cut.Report.PartialDetail.empty());
+
+  Ckpt.Resume = true;
+  AnalysisResult Resumed = analyzeTrace(T, DetectorOptions(), Ckpt);
+  ASSERT_TRUE(Resumed.Resume.Resumed) << Resumed.Resume.RejectReason;
+  ASSERT_TRUE(Resumed.Resume.HasBaseline);
+  EXPECT_EQ(Resumed.Resume.ConfirmedRaces +
+                Resumed.Resume.RetractedRaces.size(),
+            Cut.Report.Races.size());
+  EXPECT_EQ(Resumed.Resume.ConfirmedRaces + Resumed.Resume.NewRaces,
+            Resumed.Report.Races.size());
+
+  // A complete report never carries provisional markers -- that is what
+  // keeps resumed output identical to an uninterrupted run's.
+  EXPECT_FALSE(Resumed.Report.racesProvisional());
+  EXPECT_EQ(renderRaceReport(Resumed.Report, T).find("(provisional)"),
+            std::string::npos);
+}
+
+TEST(CheckpointTest, DetectScanCutThenResumeIsBitIdentical) {
+  Trace T = buildWideScanTrace();
+  TaskIndex Index(T);
+  HbIndex Hb(T, Index, HbOptions());
+  AccessDb Db = extractAccesses(T, Index);
+
+  DetectorOptions Opt;
+  Opt.Classify = false;
+  RaceReport Clean = detectUseFreeRaces(T, Index, Db, Hb, Opt);
+  ASSERT_FALSE(Clean.Partial);
+  ASSERT_EQ(Clean.Filters.CandidatePairs, 4900u);
+
+  // Cut the scan at its first clock poll; the deadline forces a save.
+  DetectFrontier Saved;
+  bool Wrote = false;
+  DetectCheckpointing CutCk;
+  CutCk.Save = [&](const DetectFrontier &F) {
+    Saved = F;
+    Wrote = true;
+  };
+  DetectorOptions Tiny = Opt;
+  Tiny.DeadlineMillis = 1e-6;
+  RaceReport Cut = detectUseFreeRaces(T, Index, Db, Hb, Tiny, &CutCk);
+  ASSERT_TRUE(Cut.Partial);
+  EXPECT_EQ(Cut.PartialCause, "detect-deadline");
+  ASSERT_TRUE(Wrote);
+  EXPECT_LT(Cut.Filters.CandidatePairs, 4900u);
+
+  // Resume from the saved frontier: the remaining pairs are scanned and
+  // the rendered report matches the uninterrupted one byte for byte.
+  DetectCheckpointing ResumeCk;
+  ResumeCk.Resume = &Saved;
+  RaceReport Resumed = detectUseFreeRaces(T, Index, Db, Hb, Opt, &ResumeCk);
+  EXPECT_TRUE(ResumeCk.ResumeAccepted);
+  EXPECT_FALSE(Resumed.Partial);
+  EXPECT_EQ(Resumed.Filters.CandidatePairs, 4900u);
+  EXPECT_EQ(renderRaceReportJson(Resumed, T),
+            renderRaceReportJson(Clean, T));
+  EXPECT_EQ(renderRaceReport(Resumed, T), renderRaceReport(Clean, T));
+}
+
+TEST(CheckpointTest, MidFlightHbFrontierResumesToSameRelation) {
+  Trace T = buildAppTrace();
+  TaskIndex Index(T);
+
+  HbIndex Clean(T, Index, HbOptions());
+  ASSERT_TRUE(Clean.saturated());
+
+  // Freeze the fixpoint after one round, well short of saturation.
+  HbOptions OneRound;
+  OneRound.MaxFixpointRounds = 1;
+  HbIndex Stopped(T, Index, OneRound);
+  HbFrontier F = Stopped.exportFrontier();
+  EXPECT_EQ(F.RoundsDone, 1u);
+  ASSERT_FALSE(F.Saturated);
+  EXPECT_FALSE(F.DerivedEdges.empty());
+
+  // Resume: the replayed frontier continues to the same fixpoint, and
+  // the resumed round counter keeps counting from where it stopped.
+  HbCheckpointing Ck;
+  Ck.Resume = &F;
+  HbIndex Resumed(T, Index, HbOptions(), &Ck);
+  EXPECT_TRUE(Resumed.saturated());
+  EXPECT_GT(Resumed.ruleStats().FixpointRounds, 1u);
+
+  AccessDb Db = extractAccesses(T, Index);
+  DetectorOptions Opt;
+  RaceReport A = detectUseFreeRaces(T, Index, Db, Clean, Opt);
+  RaceReport B = detectUseFreeRaces(T, Index, Db, Resumed, Opt);
+  EXPECT_EQ(renderRaceReportJson(A, T), renderRaceReportJson(B, T));
+}
+
+TEST(CheckpointTest, SnapshotSurvivesAnEncodeDecodeRoundTrip) {
+  AnalysisSnapshot Snap;
+  Snap.TraceFingerprint = 0x1122334455667788ull;
+  Snap.NumRecords = 42;
+  Snap.OptionsDigest = 0x99aabbccddeeff00ull;
+  Snap.Phase = SnapshotPhase::Detect;
+  Snap.Hb.UsedReach = ReachMode::Closure;
+  Snap.Hb.RoundsDone = 7;
+  Snap.Hb.Saturated = true;
+  Snap.Hb.Stats.FixpointRounds = 7;
+  Snap.Hb.Stats.AtomicityEdges = 13;
+  Snap.Hb.DerivedEdges = {{NodeId(3), NodeId(4)}, {NodeId(9), NodeId(1)}};
+  Snap.Hb.AtomCursors = {{4, 2}, {2, 0}};
+  Snap.Hb.SendCursors = {{8, 5}};
+  Snap.Hb.RowWords = 1;
+  Snap.Hb.ClosureRows = {0xdeadbeefull, 0x12345678ull};
+  Snap.Hb.UnsaturatedRules = {"atomicity"};
+  Snap.HasDetect = true;
+  Snap.Detect.UseIdx = 11;
+  Snap.Detect.FreePos = 3;
+  Snap.Detect.Filters.CandidatePairs = 4096;
+  Snap.Detect.Races = {{5, 6, 2, 3}};
+  Snap.HasPartialRaces = true;
+  Snap.PartialRaces = {{1, 2, 3, 4, "label one"}, {5, 6, 7, 8, "two"}};
+
+  std::string Dir = freshCheckpointDir("roundtrip");
+  std::string Path = checkpointPath(Dir);
+  ASSERT_TRUE(saveAnalysisSnapshot(Snap, Path).ok());
+
+  AnalysisSnapshot Back;
+  ASSERT_TRUE(loadAnalysisSnapshot(Back, Path).ok());
+  EXPECT_EQ(Back.TraceFingerprint, Snap.TraceFingerprint);
+  EXPECT_EQ(Back.NumRecords, Snap.NumRecords);
+  EXPECT_EQ(Back.OptionsDigest, Snap.OptionsDigest);
+  EXPECT_EQ(Back.Phase, Snap.Phase);
+  EXPECT_EQ(Back.Hb.UsedReach, Snap.Hb.UsedReach);
+  EXPECT_EQ(Back.Hb.RoundsDone, Snap.Hb.RoundsDone);
+  EXPECT_EQ(Back.Hb.Saturated, Snap.Hb.Saturated);
+  EXPECT_EQ(Back.Hb.Stats.AtomicityEdges, Snap.Hb.Stats.AtomicityEdges);
+  ASSERT_EQ(Back.Hb.DerivedEdges.size(), 2u);
+  EXPECT_EQ(Back.Hb.DerivedEdges[1].From.value(), 9u);
+  ASSERT_EQ(Back.Hb.AtomCursors.size(), 2u);
+  EXPECT_EQ(Back.Hb.AtomCursors[0].Gap, 4u);
+  EXPECT_EQ(Back.Hb.AtomCursors[0].I, 2u);
+  EXPECT_EQ(Back.Hb.RowWords, 1u);
+  EXPECT_EQ(Back.Hb.ClosureRows, Snap.Hb.ClosureRows);
+  ASSERT_EQ(Back.Hb.UnsaturatedRules.size(), 1u);
+  EXPECT_EQ(Back.Hb.UnsaturatedRules[0], "atomicity");
+  ASSERT_TRUE(Back.HasDetect);
+  EXPECT_EQ(Back.Detect.UseIdx, 11u);
+  EXPECT_EQ(Back.Detect.FreePos, 3u);
+  EXPECT_EQ(Back.Detect.Filters.CandidatePairs, 4096u);
+  ASSERT_EQ(Back.Detect.Races.size(), 1u);
+  EXPECT_EQ(Back.Detect.Races[0].DynamicCount, 3u);
+  ASSERT_TRUE(Back.HasPartialRaces);
+  ASSERT_EQ(Back.PartialRaces.size(), 2u);
+  EXPECT_EQ(Back.PartialRaces[0].Label, "label one");
+  EXPECT_EQ(Back.PartialRaces[1].FreePc, 8u);
+}
+
+TEST(CheckpointTest, CorruptSnapshotsAreRejectedWithACleanRestart) {
+  Trace T = buildAppTrace();
+  std::string Dir = freshCheckpointDir("corrupt");
+  std::string Path = checkpointPath(Dir);
+
+  AnalysisResult Clean = analyzeTrace(T, DetectorOptions());
+
+  DetectorOptions Tiny;
+  Tiny.DeadlineMillis = 1e-6;
+  CheckpointOptions Ckpt;
+  Ckpt.Directory = Dir;
+  analyzeTrace(T, Tiny, Ckpt);
+  ASSERT_TRUE(fileExists(Path));
+  std::string Good = readFile(Path);
+  ASSERT_GT(Good.size(), 40u);
+
+  Ckpt.Resume = true;
+  struct Mutation {
+    const char *Name;
+    std::string Bytes;
+  };
+  std::string Flipped = Good;
+  Flipped[Good.size() / 2] =
+      static_cast<char>(Flipped[Good.size() / 2] ^ 0x40);
+  std::string BadMagic = Good;
+  BadMagic[0] = 'X';
+  const Mutation Mutations[] = {
+      {"bit flip in the payload", Flipped},
+      {"truncated file", Good.substr(0, Good.size() / 2)},
+      {"bad magic", BadMagic},
+      {"empty file", std::string()},
+  };
+  for (const Mutation &M : Mutations) {
+    writeFile(Path, M.Bytes);
+    AnalysisResult R = analyzeTrace(T, DetectorOptions(), Ckpt);
+    EXPECT_TRUE(R.Resume.Attempted) << M.Name;
+    EXPECT_FALSE(R.Resume.Resumed) << M.Name;
+    EXPECT_FALSE(R.Resume.RejectReason.empty()) << M.Name;
+    // The rejected snapshot degrades to a clean full analysis -- the
+    // report matches an uninterrupted run exactly.
+    EXPECT_EQ(renderRaceReportJson(R.Report, T),
+              renderRaceReportJson(Clean.Report, T))
+        << M.Name;
+  }
+
+  // Missing snapshot: also a clean start, but flagged differently.
+  std::remove(Path.c_str());
+  AnalysisResult R = analyzeTrace(T, DetectorOptions(), Ckpt);
+  EXPECT_TRUE(R.Resume.Attempted);
+  EXPECT_TRUE(R.Resume.NoSnapshot);
+  EXPECT_FALSE(R.Resume.Resumed);
+  EXPECT_TRUE(R.Resume.RejectReason.empty());
+}
+
+TEST(CheckpointTest, MismatchedTraceOrOptionsAreRejected) {
+  Trace T = buildAppTrace();
+  std::string Dir = freshCheckpointDir("mismatch");
+
+  DetectorOptions Tiny;
+  Tiny.DeadlineMillis = 1e-6;
+  CheckpointOptions Ckpt;
+  Ckpt.Directory = Dir;
+  analyzeTrace(T, Tiny, Ckpt);
+  ASSERT_TRUE(fileExists(checkpointPath(Dir)));
+
+  // A different trace must not adopt this trace's fixpoint.
+  apps::AppBuilder App("other");
+  App.seedInterThreadRace("gamma");
+  App.fillVolumeTo(120);
+  Table1Row Dummy;
+  apps::AppModel Model = App.finish(Dummy);
+  Trace Other = runScenario(Model.S, RuntimeOptions());
+
+  Ckpt.Resume = true;
+  AnalysisResult R = analyzeTrace(Other, DetectorOptions(), Ckpt);
+  EXPECT_FALSE(R.Resume.Resumed);
+  EXPECT_NE(R.Resume.RejectReason.find("does not match this trace"),
+            std::string::npos)
+      << R.Resume.RejectReason;
+
+  // Same trace, different semantic options: also rejected.
+  DetectorOptions Conv;
+  Conv.Hb.Model = OrderingModel::Conventional;
+  AnalysisResult R2 = analyzeTrace(T, Conv, Ckpt);
+  EXPECT_FALSE(R2.Resume.Resumed);
+  EXPECT_NE(R2.Resume.RejectReason.find("different analysis options"),
+            std::string::npos)
+      << R2.Resume.RejectReason;
+
+  // Pure budget knobs are *not* semantic: a snapshot taken under one
+  // deadline/oracle budget resumes under another.
+  DetectorOptions OtherBudget;
+  OtherBudget.Hb.Reach = ReachMode::Bfs;
+  OtherBudget.Hb.MemLimitBytes = 1 << 20;
+  AnalysisResult R3 = analyzeTrace(T, OtherBudget, Ckpt);
+  EXPECT_TRUE(R3.Resume.Resumed) << R3.Resume.RejectReason;
+}
+
+TEST(CheckpointTest, CadenceSavesDuringACleanRunLeaveNoSnapshotBehind) {
+  Trace T = buildAppTrace();
+  std::string Dir = freshCheckpointDir("cadence");
+
+  CheckpointOptions Ckpt;
+  Ckpt.Directory = Dir;
+  Ckpt.EveryMillis = 1e-7; // save at every opportunity
+  AnalysisResult R = analyzeTrace(T, DetectorOptions(), Ckpt);
+  EXPECT_FALSE(R.Report.Partial);
+  EXPECT_TRUE(R.Resume.SaveError.empty()) << R.Resume.SaveError;
+
+  // Intermediate snapshots were written, but a clean completion retires
+  // the file so a stale snapshot can't shadow a finished analysis.
+  EXPECT_FALSE(fileExists(checkpointPath(Dir)));
+
+  AnalysisResult Clean = analyzeTrace(T, DetectorOptions());
+  EXPECT_EQ(renderRaceReportJson(R.Report, T),
+            renderRaceReportJson(Clean.Report, T));
+}
+
+TEST(CheckpointTest, FingerprintAndDigestSeparateInputsAndSemantics) {
+  Trace T = buildAppTrace();
+  Trace T2 = buildAppTrace(); // deterministic runtime: same content
+  EXPECT_EQ(traceFingerprint(T), traceFingerprint(T2));
+
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 16);
+  TaskId A = TB.addThread("t");
+  TB.begin(A);
+  TB.ptrWrite(A, 1, 2, M, 0);
+  TB.end(A);
+  Trace Small = TB.take();
+  EXPECT_NE(traceFingerprint(T), traceFingerprint(Small));
+
+  DetectorOptions Base;
+  EXPECT_EQ(detectorOptionsDigest(Base, false),
+            detectorOptionsDigest(DetectorOptions(), false));
+  EXPECT_NE(detectorOptionsDigest(Base, false),
+            detectorOptionsDigest(Base, true));
+  DetectorOptions NoAtom;
+  NoAtom.Hb.EnableAtomicityRule = false;
+  EXPECT_NE(detectorOptionsDigest(Base, false),
+            detectorOptionsDigest(NoAtom, false));
+  // Budget knobs don't change the digest.
+  DetectorOptions Budget;
+  Budget.Hb.Reach = ReachMode::Bfs;
+  Budget.Hb.MemLimitBytes = 123;
+  Budget.DeadlineMillis = 5;
+  EXPECT_EQ(detectorOptionsDigest(Base, false),
+            detectorOptionsDigest(Budget, false));
+}
+
+} // namespace
