@@ -35,8 +35,9 @@ int main() {
         evaluateReport(Heuristic.Report, Model.Truth, T, Name);
 
     DerefResolver Resolver(Model.S.module());
-    AnalysisResult Precise =
-        analyzeTrace(T, DetectorOptions(), &Resolver);
+    AnalysisOptions PreciseOpt;
+    PreciseOpt.Resolver = &Resolver;
+    AnalysisResult Precise = analyzeTrace(T, PreciseOpt);
     Table1Row RowP = evaluateReport(Precise.Report, Model.Truth, T, Name);
 
     std::printf("%-14s %13llu / %-3llu %13llu / %-3llu %14llu of %llu\n",

@@ -24,11 +24,12 @@
 #include "support/Format.h"
 #include "support/Timer.h"
 #include "trace/FaultInjector.h"
+#include "trace/IngestSession.h"
 #include "trace/TraceIO.h"
-#include "trace/TraceReader.h"
 
 #include <cstdio>
 #include <string>
+#include <thread>
 
 using namespace cafa;
 using namespace cafa::apps;
@@ -89,7 +90,7 @@ void sweepCorruption(const Trace &Pristine) {
     Timer SalvageTime;
     Trace T;
     IngestReport Ingest;
-    Status S = salvageTrace(Damaged, T, Ingest);
+    Status S = ingestTrace(Damaged, T, Ingest);
     double SalvageMs = SalvageTime.elapsedWallMillis();
     if (!S.ok()) {
       std::printf("%7.1f%% %10s %10s %12.1f %12s %8s %8s %10s\n",
@@ -115,6 +116,80 @@ void sweepCorruption(const Trace &Pristine) {
                 withThousandsSep(Ingest.IncidentsTotal).c_str(),
                 withThousandsSep(Ingest.LinesDropped).c_str(), SalvageMs,
                 AnalyzeMs, R.Report.Races.size(), Delta, Verdict);
+  }
+}
+
+/// Ingest thread-count axis: wall time and speedup of sharded salvage
+/// ingestion at 1/2/4/8 lexer threads over the same serialized dump,
+/// with the bit-identity contract checked on every row (serialized
+/// trace and report summary must match the 1-thread reference exactly).
+/// Speedup is relative to the 1-thread sharded run; rows beyond the
+/// machine's core count cannot speed up and say so honestly.
+void sweepIngestThreads(const Trace &Pristine) {
+  std::string Text = serializeTrace(Pristine);
+  size_t Lines = 1;
+  for (char C : Text)
+    Lines += C == '\n';
+
+  // Small shards so even this bench-sized dump splits into enough
+  // pieces to keep every worker busy.
+  IngestOptions Base;
+  Base.ShardBytes = 64 << 10;
+
+  std::printf("\ningest thread axis (%s lines, %s bytes, %u hardware "
+              "threads, %llu-byte shards):\n",
+              withThousandsSep(Lines).c_str(),
+              withThousandsSep(Text.size()).c_str(),
+              std::thread::hardware_concurrency(),
+              static_cast<unsigned long long>(Base.ShardBytes));
+  std::printf("%8s %12s %8s %10s\n", "threads", "ingest(ms)", "speedup",
+              "verdict");
+
+  std::string RefText;
+  std::string RefSummary;
+  double RefMs = 0;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    IngestOptions IOpt = Base;
+    IOpt.Threads = Threads;
+
+    // Median of three: ingest at these sizes is milliseconds, where a
+    // single stray scheduler tick would otherwise dominate the row.
+    double BestMs = 0;
+    Trace T;
+    IngestReport Report;
+    for (int Rep = 0; Rep != 3; ++Rep) {
+      Trace Candidate;
+      IngestReport CandReport;
+      Timer IngestTime;
+      Status S = ingestTrace(Text, Candidate, CandReport, IOpt);
+      double Ms = IngestTime.elapsedWallMillis();
+      if (!S.ok()) {
+        std::printf("%8u %12s %8s %10s\n", Threads, "-", "-", "FAILED");
+        return;
+      }
+      if (Rep == 0 || Ms < BestMs) {
+        BestMs = Ms;
+        T = std::move(Candidate);
+        Report = CandReport;
+      }
+    }
+
+    std::string GotText = serializeTrace(T);
+    std::string GotSummary = Report.summary();
+    const char *Verdict;
+    if (Threads == 1) {
+      RefText = std::move(GotText);
+      RefSummary = std::move(GotSummary);
+      RefMs = BestMs;
+      Verdict = "reference";
+    } else {
+      Verdict = (GotText == RefText && GotSummary == RefSummary)
+                    ? "identical"
+                    : "DIFFERS";
+    }
+    double Speedup = BestMs > 0 ? RefMs / BestMs : 0;
+    std::printf("%8u %12.1f %7.2fx %10s\n", Threads, BestMs, Speedup,
+                Verdict);
   }
 }
 
@@ -158,5 +233,10 @@ int main(int argc, char **argv) {
   // damage ratio, not event count.
   Trace T = runScenario(buildSynthetic(2000), RuntimeOptions());
   sweepCorruption(T);
+
+  // Thread axis over the largest swept trace, so the shards are big
+  // enough for the parallel lexers to have real work.
+  Trace Large = runScenario(buildSynthetic(MaxEvents), RuntimeOptions());
+  sweepIngestThreads(Large);
   return 0;
 }

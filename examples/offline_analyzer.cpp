@@ -21,13 +21,21 @@
 // file); --mem-limit=<bytes> and --deadline=<ms> engage the graceful-
 // degradation ladder (docs/robustness.md).
 //
+// Ingestion is sharded across --ingest-threads=<n> worker threads
+// (default: hardware concurrency; the CAFA_INGEST_THREADS environment
+// variable overrides the default).  The salvaged trace and its report
+// are bit-identical at every thread count, so the flag is purely a
+// wall-clock knob (docs/trace-format.md, "Sharded ingestion").
+//
 // Crash-safe checkpointing (docs/robustness.md): --checkpoint-dir=<dir>
 // snapshots analysis progress there (atomically, at --checkpoint-every=
 // <ms> cadence and always when a deadline cuts a phase); --resume picks
 // an interrupted analysis back up from the snapshot and continues to a
 // report bit-identical to an uninterrupted run.  A corrupt or mismatched
 // snapshot is rejected with a diagnostic and the analysis restarts
-// cleanly.
+// cleanly.  The same directory also holds the *ingest* checkpoint: a
+// crash mid-ingest resumes from the last merged shard instead of
+// re-reading the whole dump.
 //
 // Scripted callers triage on the exit code -- the report goes to stdout,
 // every diagnostic to stderr:
@@ -46,8 +54,8 @@
 #include "cafa/Cafa.h"
 #include "cafa/ReportJson.h"
 #include "hb/DotExport.h"
+#include "trace/IngestSession.h"
 #include "trace/TraceIO.h"
-#include "trace/TraceReader.h"
 #include "trace/Validate.h"
 
 #include <cstdio>
@@ -62,6 +70,7 @@ static int usage(const char *Prog) {
                "usage:\n"
                "  %s record <app> <trace-file>      collect a trace\n"
                "  %s analyze <trace-file> [--json] [--strict|--salvage]\n"
+               "     [--ingest-threads=<n>]\n"
                "     [--reach=incremental|closure|bfs]\n"
                "     [--mem-limit=<bytes>] [--deadline=<ms>]\n"
                "     [--checkpoint-dir=<dir>] [--checkpoint-every=<ms>]\n"
@@ -97,15 +106,21 @@ int main(int argc, char **argv) {
   if (argc >= 3 && std::strcmp(argv[1], "analyze") == 0) {
     bool Json = false;
     DetectorOptions Options;
-    SalvageOptions Ingest;
+    IngestOptions Ingest;
     CheckpointOptions Ckpt;
     for (int I = 3; I != argc; ++I) {
       if (std::strcmp(argv[I], "--json") == 0) {
         Json = true;
       } else if (std::strcmp(argv[I], "--strict") == 0) {
-        Ingest.Strict = true;
+        Ingest.Salvage.Strict = true;
       } else if (std::strcmp(argv[I], "--salvage") == 0) {
-        Ingest.Strict = false; // the default; kept for explicit scripts
+        Ingest.Salvage.Strict = false; // the default; kept for scripts
+      } else if (std::strncmp(argv[I], "--ingest-threads=", 17) == 0) {
+        char *End = nullptr;
+        unsigned long N = std::strtoul(argv[I] + 17, &End, 10);
+        if (End == argv[I] + 17 || *End != '\0' || N == 0)
+          return usage(argv[0]);
+        Ingest.Threads = static_cast<unsigned>(N);
       } else if (std::strcmp(argv[I], "--reach=incremental") == 0) {
         Options.Hb.Reach = ReachMode::Incremental;
       } else if (std::strcmp(argv[I], "--reach=closure") == 0) {
@@ -133,11 +148,33 @@ int main(int argc, char **argv) {
       return 2;
     }
 
+    // The ingest checkpoint shares the analysis checkpoint directory:
+    // one --checkpoint-dir covers the whole pipeline.
+    Ingest.CheckpointDirectory = Ckpt.Directory;
+    Ingest.Resume = Ckpt.Resume;
+
     Trace T;
     IngestReport Ingested;
-    if (Status S = readTraceFileSalvaged(argv[2], T, Ingested, Ingest);
-        !S.ok()) {
-      std::fprintf(stderr, "error: %s\n%s", S.message().c_str(),
+    IngestSession Session(Ingest);
+    Status FeedStatus = Session.feedFile(argv[2]);
+    Status IngestStatus =
+        FeedStatus.ok() ? Session.finish(T, Ingested) : FeedStatus;
+    const IngestResumeOutcome &IRes = Session.resumeOutcome();
+    if (IRes.Attempted) {
+      if (IRes.Resumed)
+        std::fprintf(stderr,
+                     "note: ingest resumed from checkpoint (%llu bytes / "
+                     "%llu shards already merged)\n",
+                     static_cast<unsigned long long>(IRes.BytesSkipped),
+                     static_cast<unsigned long long>(IRes.ShardsSkipped));
+      else if (!IRes.NoSnapshot)
+        std::fprintf(stderr,
+                     "warning: ingest checkpoint rejected (%s), "
+                     "re-ingesting from the start\n",
+                     IRes.RejectReason.c_str());
+    }
+    if (!IngestStatus.ok()) {
+      std::fprintf(stderr, "error: %s\n%s", IngestStatus.message().c_str(),
                    Ingested.summary().c_str());
       return 2;
     }
@@ -150,7 +187,9 @@ int main(int argc, char **argv) {
       return 2;
     }
 
-    AnalysisResult R = analyzeTrace(T, Options, Ckpt);
+    AnalysisOptions AOpt(Options);
+    AOpt.Checkpoint = Ckpt;
+    AnalysisResult R = analyzeTrace(T, AOpt);
     const ResumeOutcome &Res = R.Resume;
     if (Res.Attempted) {
       if (Res.Resumed)

@@ -25,8 +25,8 @@
 
 #include "cafa/Cafa.h"
 #include "trace/FaultInjector.h"
+#include "trace/IngestSession.h"
 #include "trace/TraceIO.h"
-#include "trace/TraceReader.h"
 #include "trace/Validate.h"
 
 #include <cstdint>
@@ -51,7 +51,13 @@ uint64_t fnv1a(const uint8_t *Data, size_t Size) {
 bool pipelineOnce(const std::string &Text) {
   Trace T;
   IngestReport Ingest;
-  if (!salvageTrace(Text, T, Ingest).ok())
+  // Tiny shards + two lexer threads: every input exercises the sharded
+  // merge path (mid-record shard cuts, name-id remapping), not just the
+  // single-shard fast case.
+  IngestOptions IOpt;
+  IOpt.Threads = 2;
+  IOpt.ShardBytes = 64;
+  if (!ingestTrace(Text, T, Ingest, IOpt).ok())
     return false;
 
   // Salvaged traces may legitimately contain events that were begun but
@@ -88,7 +94,7 @@ int runOne(const uint8_t *Data, size_t Size) {
   // hit.
   Trace T;
   IngestReport Ingest;
-  if (!salvageTrace(Text, T, Ingest).ok())
+  if (!ingestTrace(Text, T, Ingest).ok())
     return 0;
   uint64_t H = fnv1a(Data, Size);
   FaultKind Kind = static_cast<FaultKind>(H % NumFaultKinds);

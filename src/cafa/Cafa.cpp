@@ -5,6 +5,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+// This TU implements the deprecated analyzeTrace forwarders.
+#define CAFA_NO_DEPRECATION_WARNINGS
+
 #include "cafa/Cafa.h"
 
 #include "support/Timer.h"
@@ -19,13 +22,26 @@ using namespace cafa;
 AnalysisResult cafa::analyzeTrace(const Trace &T,
                                   const DetectorOptions &Options,
                                   const DerefResolver *Resolver) {
-  return analyzeTrace(T, Options, CheckpointOptions(), Resolver);
+  AnalysisOptions AO(Options);
+  AO.Resolver = Resolver;
+  return analyzeTrace(T, AO);
 }
 
 AnalysisResult cafa::analyzeTrace(const Trace &T,
                                   const DetectorOptions &Options,
                                   const CheckpointOptions &CkptOpt,
                                   const DerefResolver *Resolver) {
+  AnalysisOptions AO(Options);
+  AO.Checkpoint = CkptOpt;
+  AO.Resolver = Resolver;
+  return analyzeTrace(T, AO);
+}
+
+AnalysisResult cafa::analyzeTrace(const Trace &T,
+                                  const AnalysisOptions &Analysis) {
+  const DetectorOptions &Options = Analysis.Detector;
+  const CheckpointOptions &CkptOpt = Analysis.Checkpoint;
+  const DerefResolver *Resolver = Analysis.Resolver;
   AnalysisResult Result;
   Result.TraceStatistics = computeTraceStats(T);
 

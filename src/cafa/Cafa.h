@@ -29,6 +29,7 @@
 #include "detect/GroundTruth.h"
 #include "detect/UseFreeDetector.h"
 #include "rt/Runtime.h"
+#include "support/Deprecated.h"
 #include "trace/TraceStats.h"
 
 namespace cafa {
@@ -54,27 +55,51 @@ struct AnalysisResult {
   ResumeOutcome Resume;
 };
 
-/// Runs the full offline pipeline on \p T.  \p Resolver, when provided,
-/// enables the Section 6.3 static-dataflow deref matching (removes Type
-/// III false positives; requires the application bytecode).
-///
-/// Degradation: \p Options.DeadlineMillis is interpreted here as the
-/// budget for the *whole* pipeline; the happens-before and detection
-/// phases each receive whatever the preceding phases left over, so one
-/// number bounds the end-to-end analysis.  On expiry the returned
-/// Report is flagged Partial with a machine-readable cause.
-AnalysisResult analyzeTrace(const Trace &T, const DetectorOptions &Options,
-                            const DerefResolver *Resolver = nullptr);
+/// Everything one offline analysis run can be configured with, in one
+/// aggregate so analyzeTrace() needs exactly one overload:
+///  - Detector: detection + happens-before tuning (detect/).
+///  - Checkpoint: crash-safe snapshot/resume of the analysis phases
+///    (cafa/Checkpoint.h); default-disabled.
+///  - Resolver: Section 6.3 static-dataflow deref matching (removes
+///    Type III false positives; requires the application bytecode).
+struct AnalysisOptions {
+  DetectorOptions Detector;
+  CheckpointOptions Checkpoint;
+  const DerefResolver *Resolver = nullptr;
 
-/// Same, with crash-safe checkpoint/resume (see cafa/Checkpoint.h).
-/// With \p Ckpt enabled, analysis progress is snapshotted into
-/// Ckpt.Directory at the configured cadence and always when a deadline
-/// cuts a phase; with Ckpt.Resume, a validated snapshot restores the
-/// interrupted fixpoint or pair scan mid-flight and the run continues
-/// to a report bit-identical to an uninterrupted one.  A corrupt or
-/// mismatched snapshot degrades to a clean restart (Result.Resume says
-/// why) -- never a wrong answer.  The snapshot is deleted once the
-/// analysis completes cleanly.
+  AnalysisOptions() = default;
+  /// Implicit on purpose: `analyzeTrace(T, DetectorOptions{...})` --
+  /// the overwhelmingly common call shape -- binds to the unified
+  /// overload without touching the call site.
+  AnalysisOptions(const DetectorOptions &Det) : Detector(Det) {}
+};
+
+/// Runs the full offline pipeline on \p T.
+///
+/// Degradation: Options.Detector.DeadlineMillis is interpreted here as
+/// the budget for the *whole* pipeline; the happens-before and
+/// detection phases each receive whatever the preceding phases left
+/// over, so one number bounds the end-to-end analysis.  On expiry the
+/// returned Report is flagged Partial with a machine-readable cause.
+///
+/// Checkpointing: with Options.Checkpoint enabled, analysis progress is
+/// snapshotted into Checkpoint.Directory at the configured cadence and
+/// always when a deadline cuts a phase; with Checkpoint.Resume, a
+/// validated snapshot restores the interrupted fixpoint or pair scan
+/// mid-flight and the run continues to a report bit-identical to an
+/// uninterrupted one.  A corrupt or mismatched snapshot degrades to a
+/// clean restart (Result.Resume says why) -- never a wrong answer.  The
+/// snapshot is deleted once the analysis completes cleanly.
+AnalysisResult analyzeTrace(const Trace &T,
+                            const AnalysisOptions &Options = AnalysisOptions());
+
+/// Deprecated: pass the resolver via AnalysisOptions::Resolver.
+CAFA_DEPRECATED("pass the resolver in AnalysisOptions::Resolver")
+AnalysisResult analyzeTrace(const Trace &T, const DetectorOptions &Options,
+                            const DerefResolver *Resolver);
+
+/// Deprecated: pass the checkpoint config via AnalysisOptions::Checkpoint.
+CAFA_DEPRECATED("pass the checkpoint config in AnalysisOptions::Checkpoint")
 AnalysisResult analyzeTrace(const Trace &T, const DetectorOptions &Options,
                             const CheckpointOptions &Ckpt,
                             const DerefResolver *Resolver = nullptr);

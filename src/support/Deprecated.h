@@ -1,0 +1,28 @@
+//===- support/Deprecated.h - Deprecation annotation macro -----*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CAFA_DEPRECATED(Msg) marks a legacy API surface that newer code should
+/// not call, with a migration note shown in the compiler warning.
+///
+/// Translation units that *pin* legacy behaviour on purpose (back-compat
+/// tests, the wrappers' own implementation files) define
+/// CAFA_NO_DEPRECATION_WARNINGS before including any CAFA header to
+/// compile the annotations away.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_DEPRECATED_H
+#define CAFA_SUPPORT_DEPRECATED_H
+
+#if defined(CAFA_NO_DEPRECATION_WARNINGS)
+#define CAFA_DEPRECATED(Msg)
+#else
+#define CAFA_DEPRECATED(Msg) [[deprecated(Msg)]]
+#endif
+
+#endif // CAFA_SUPPORT_DEPRECATED_H

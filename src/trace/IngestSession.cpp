@@ -1,0 +1,599 @@
+//===- trace/IngestSession.cpp - Unified trace ingestion API --------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Sharded salvage ingestion.  The session cuts the input byte stream into
+// shards at line boundaries (the salvage parser's natural
+// resynchronization points), lexes shards concurrently in a small worker
+// pool, and merges the lexed fragments strictly in original byte order
+// through one SalvageMachine.  Because every stateful decision happens in
+// the merge pass, the Trace and IngestReport are bit-identical at every
+// thread count; the workers only move the embarrassingly parallel
+// tokenize/parse/intern work off the merge thread.
+//
+// Shard cuts depend only on the input bytes and IngestOptions::ShardBytes
+// -- never on scheduling -- which makes the merge checkpoint meaningful:
+// a snapshot taken after shard k describes a prefix of the input that any
+// later run can verify by re-hashing, then skip.
+//
+// Ingest snapshot layout (magic "CAFAING1", via support/Snapshot framing):
+//   u64 options digest   (semantic salvage options + mode; thread count
+//                         and shard size deliberately excluded -- they
+//                         cannot change the output)
+//   u64 prefix bytes     (input bytes fully merged at snapshot time)
+//   u64 prefix FNV-1a    (hash of exactly those bytes)
+//   u64 shards merged    (progress accounting for the resume outcome)
+//   ...                  SalvageMachine::encodeState payload
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/IngestSession.h"
+
+#include "support/Format.h"
+#include "support/Snapshot.h"
+#include "trace/SalvageEngine.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace cafa;
+
+namespace {
+
+constexpr const char IngestSnapshotMagic[] = "CAFAING1";
+constexpr uint32_t IngestSnapshotVersion = 1;
+constexpr uint64_t FnvSeed = 0xcbf29ce484222325ull;
+
+} // namespace
+
+std::string IngestReport::summary() const {
+  std::string S = formatString(
+      "ingest: %llu lines, %llu records kept, %llu lines dropped, "
+      "%llu repaired, %llu synthesized",
+      static_cast<unsigned long long>(LinesTotal),
+      static_cast<unsigned long long>(RecordsKept),
+      static_cast<unsigned long long>(LinesDropped),
+      static_cast<unsigned long long>(RecordsRepaired),
+      static_cast<unsigned long long>(RecordsSynthesized));
+  if (TableEntriesSynthesized)
+    S += formatString(", %llu placeholder table entries",
+                      static_cast<unsigned long long>(TableEntriesSynthesized));
+  if (UnsentEventBegins)
+    S += formatString(", %llu unsent event begins",
+                      static_cast<unsigned long long>(UnsentEventBegins));
+  if (MissingHeader)
+    S += ", header missing";
+  if (TruncatedFinalLine)
+    S += ", final line truncated";
+  for (const IngestDiagnostic &D : Diagnostics) {
+    if (D.LineNo)
+      S += formatString("\n  line %zu: %s", D.LineNo, D.Message.c_str());
+    else
+      S += formatString("\n  end of input: %s", D.Message.c_str());
+  }
+  if (IncidentsTotal > Diagnostics.size())
+    S += formatString(
+        "\n  ... and %llu more incidents",
+        static_cast<unsigned long long>(IncidentsTotal - Diagnostics.size()));
+  S += '\n';
+  return S;
+}
+
+std::string cafa::ingestCheckpointPath(const std::string &Directory) {
+  return Directory + "/ingest.snapshot";
+}
+
+unsigned IngestSession::resolveThreads(unsigned Requested) {
+  unsigned N = Requested;
+  if (N == 0) {
+    if (const char *Env = std::getenv("CAFA_INGEST_THREADS")) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Env, &End, 10);
+      if (End != Env && *End == '\0' && V >= 1)
+        N = static_cast<unsigned>(V > 256 ? 256 : V);
+    }
+  }
+  if (N == 0)
+    N = std::thread::hardware_concurrency();
+  if (N == 0)
+    N = 1;
+  return N > 256 ? 256u : N;
+}
+
+//===----------------------------------------------------------------------===//
+// Session implementation
+//===----------------------------------------------------------------------===//
+
+struct IngestSession::Impl {
+  IngestOptions Opt;
+  unsigned Threads;
+  uint64_t ShardBytes;
+  ingest::SalvageMachine Machine;
+  IngestResumeOutcome Resume;
+
+  bool Finished = false;
+  bool UsedRawFeed = false;
+  bool AnyInput = false;
+  char LastByte = '\n';
+
+  // Parse mode buffers the whole input; the strict parser is not
+  // incremental (it has the strong whole-input guarantee instead).
+  std::string ParseBuffer;
+
+  // Bytes fed but not yet cut into a shard.
+  std::string Buffer;
+
+  // Sequential cut-time bookkeeping: hash/offset of everything already
+  // cut into shards (== the merged prefix once those shards merge).
+  uint64_t DispatchHash = FnvSeed;
+  uint64_t DispatchOffset = 0;
+  uint64_t NextIndex = 0;
+
+  // Merge bookkeeping (session thread only).
+  uint64_t NextMerge = 0;
+  uint64_t TotalShardsMerged = 0; ///< incl. shards skipped by resume
+  uint64_t MergedThisRun = 0;
+  uint64_t BytesSinceSnap = 0;
+  bool WroteSnapshot = false;
+  bool AbortRequested = false;
+
+  /// One shard travelling through the pool.
+  struct Job {
+    uint64_t Index = 0;
+    uint64_t Bytes = 0;
+    uint64_t EndHash = 0;   ///< prefix hash through this shard
+    uint64_t EndOffset = 0; ///< prefix bytes through this shard
+    std::string Text;
+    ingest::ShardFragment Frag;
+    bool Done = false;
+  };
+
+  // Worker pool (lazy-started; only used when Threads > 1).
+  std::mutex Mu;
+  std::condition_variable WorkCv;
+  std::condition_variable DoneCv;
+  std::deque<std::shared_ptr<Job>> WorkQueue;
+  std::map<uint64_t, std::shared_ptr<Job>> InFlight;
+  std::vector<std::thread> Workers;
+  bool StopWorkers = false;
+
+  explicit Impl(const IngestOptions &Options)
+      : Opt(Options), Threads(IngestSession::resolveThreads(Options.Threads)),
+        ShardBytes(Options.ShardBytes ? Options.ShardBytes : 1),
+        Machine(Options.Salvage) {}
+
+  ~Impl() { shutdownWorkers(/*Discard=*/true); }
+
+  bool checkpointEnabled() const { return !Opt.CheckpointDirectory.empty(); }
+
+  /// Digest of every option that can change the *output*.  Thread count
+  /// and shard size are excluded: they only change scheduling, so a
+  /// resume may legally use different values.
+  uint64_t optionsDigest() const {
+    uint64_t H = FnvSeed;
+    H = fnv1a64Mix(H, Opt.Salvage.Strict ? 1 : 0);
+    H = fnv1a64Mix(H, Opt.Salvage.MaxDiagnostics);
+    H = fnv1a64Mix(H, Opt.Salvage.MaxDroppedLines);
+    uint64_t RatioBits;
+    std::memcpy(&RatioBits, &Opt.Salvage.MaxDroppedRatio, sizeof(RatioBits));
+    H = fnv1a64Mix(H, RatioBits);
+    H = fnv1a64Mix(H, Opt.Salvage.MaxSynthesizedEntries);
+    H = fnv1a64Mix(H, Opt.Salvage.MaxEntityId);
+    H = fnv1a64Mix(H, Opt.Salvage.RepairTruncation ? 1 : 0);
+    H = fnv1a64Mix(H, static_cast<uint64_t>(Opt.Mode));
+    return H;
+  }
+
+  // --- Worker pool ------------------------------------------------------
+
+  void startWorkersLocked() {
+    if (!Workers.empty() || StopWorkers)
+      return;
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I != Threads; ++I)
+      Workers.emplace_back([this] { workerMain(); });
+  }
+
+  void workerMain() {
+    std::unique_lock<std::mutex> L(Mu);
+    for (;;) {
+      WorkCv.wait(L, [&] { return StopWorkers || !WorkQueue.empty(); });
+      if (WorkQueue.empty())
+        return; // StopWorkers and nothing left to lex
+      std::shared_ptr<Job> J = WorkQueue.front();
+      WorkQueue.pop_front();
+      L.unlock();
+      ingest::lexShard(J->Text, J->Frag);
+      std::string().swap(J->Text); // free the raw bytes eagerly
+      L.lock();
+      J->Done = true;
+      DoneCv.notify_all();
+    }
+  }
+
+  void shutdownWorkers(bool Discard) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      StopWorkers = true;
+      if (Discard)
+        WorkQueue.clear();
+    }
+    WorkCv.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+    Workers.clear();
+  }
+
+  // --- Merge ------------------------------------------------------------
+
+  /// Applies one lexed shard to the machine, in index order.  Session
+  /// thread only.
+  void applyJob(const Job &J) {
+    if (AbortRequested || Machine.failed())
+      return;
+    Machine.beginShard(J.Frag.Names);
+    const bool FinalShard = J.Frag.EndsWithoutNewline;
+    for (const ingest::LexedLine &L : J.Frag.Lines) {
+      // The historical reader marked a truncated final line just before
+      // processing it -- but only if it had not already hard-failed, so
+      // the flag placement is failure-order sensitive.
+      if (FinalShard && L.RelLine == J.Frag.LineCount && !Machine.failed())
+        Machine.noteTruncatedFinalLine();
+      Machine.admit(L);
+      if (Machine.failed())
+        break;
+    }
+    if (FinalShard && !Machine.failed())
+      Machine.noteTruncatedFinalLine();
+    Machine.endShard(J.Frag.LineCount);
+
+    ++TotalShardsMerged;
+    ++MergedThisRun;
+    BytesSinceSnap += J.Bytes;
+    if (!Machine.failed())
+      maybeSnapshot(J);
+    if (Opt.DebugAbortAfterShards &&
+        MergedThisRun >= Opt.DebugAbortAfterShards)
+      AbortRequested = true;
+  }
+
+  void maybeSnapshot(const Job &J) {
+    if (!checkpointEnabled() || BytesSinceSnap < Opt.CheckpointEveryBytes)
+      return;
+    writeSnapshot(J.EndHash, J.EndOffset);
+    BytesSinceSnap = 0;
+  }
+
+  void writeSnapshot(uint64_t PrefixHash, uint64_t PrefixBytes) {
+    SnapshotWriter W;
+    W.u64(optionsDigest());
+    W.u64(PrefixBytes);
+    W.u64(PrefixHash);
+    W.u64(TotalShardsMerged);
+    Machine.encodeState(W);
+    Status S =
+        W.writeFileAtomic(ingestCheckpointPath(Opt.CheckpointDirectory),
+                          IngestSnapshotMagic, IngestSnapshotVersion);
+    // Checkpointing is best-effort: a write failure must not fail the
+    // ingest, it only costs resume coverage.
+    if (S.ok())
+      WroteSnapshot = true;
+  }
+
+  /// Merges every consecutive completed fragment starting at NextMerge.
+  /// Called with \p L held; the machine work runs unlocked so workers
+  /// are never stalled behind the merge.
+  void drainReadyLocked(std::unique_lock<std::mutex> &L) {
+    for (;;) {
+      std::vector<std::shared_ptr<Job>> Ready;
+      auto It = InFlight.find(NextMerge);
+      while (It != InFlight.end() && It->second->Done) {
+        Ready.push_back(It->second);
+        InFlight.erase(It);
+        ++NextMerge;
+        It = InFlight.find(NextMerge);
+      }
+      if (Ready.empty())
+        return;
+      L.unlock();
+      for (const std::shared_ptr<Job> &J : Ready)
+        applyJob(*J);
+      L.lock();
+    }
+  }
+
+  // --- Sharding ---------------------------------------------------------
+
+  void dispatchShard(std::string Text) {
+    auto J = std::make_shared<Job>();
+    J->Index = NextIndex++;
+    J->Bytes = Text.size();
+    DispatchHash = fnv1a64(Text.data(), Text.size(), DispatchHash);
+    DispatchOffset += Text.size();
+    J->EndHash = DispatchHash;
+    J->EndOffset = DispatchOffset;
+
+    if (Threads <= 1) {
+      ingest::lexShard(Text, J->Frag);
+      applyJob(*J);
+      return;
+    }
+
+    J->Text = std::move(Text);
+    std::unique_lock<std::mutex> L(Mu);
+    startWorkersLocked();
+    // Backpressure: keep at most ~2 fragments per worker in flight so a
+    // fast reader cannot buffer the whole dump in lexed form.
+    const size_t MaxInFlight = static_cast<size_t>(Threads) * 2 + 2;
+    for (;;) {
+      drainReadyLocked(L);
+      if (InFlight.size() < MaxInFlight)
+        break;
+      DoneCv.wait(L);
+    }
+    InFlight.emplace(J->Index, J);
+    WorkQueue.push_back(J);
+    WorkCv.notify_one();
+  }
+
+  /// Cuts as many shards as the buffer allows.  A shard ends at the
+  /// first newline at or past ShardBytes, so cuts are a function of the
+  /// bytes alone; \p Final flushes the unterminated tail.
+  void cutShards(bool Final) {
+    for (;;) {
+      if (Machine.failed() || AbortRequested) {
+        Buffer.clear();
+        return;
+      }
+      size_t CutEnd;
+      if (Buffer.size() >= ShardBytes) {
+        size_t NL = Buffer.find('\n', static_cast<size_t>(ShardBytes - 1));
+        if (NL == std::string::npos) {
+          if (!Final)
+            return; // a longer-than-shard line: wait for its newline
+          CutEnd = Buffer.size();
+        } else {
+          CutEnd = NL + 1;
+        }
+      } else {
+        if (!Final || Buffer.empty())
+          return;
+        CutEnd = Buffer.size();
+      }
+      dispatchShard(Buffer.substr(0, CutEnd));
+      Buffer.erase(0, CutEnd);
+    }
+  }
+
+  // --- Input ------------------------------------------------------------
+
+  void feedImpl(std::string_view Chunk) {
+    if (Finished || Chunk.empty())
+      return;
+    AnyInput = true;
+    LastByte = Chunk.back();
+    if (Opt.Mode == IngestMode::Parse) {
+      ParseBuffer.append(Chunk);
+      return;
+    }
+    if (Machine.failed() || AbortRequested)
+      return; // hard-failed: drop the remaining stream, keep LastByte
+    Buffer.append(Chunk);
+    cutShards(/*Final=*/false);
+  }
+
+  void rejectResume(std::string Reason) {
+    Resume.RejectReason = std::move(Reason);
+  }
+
+  static void rewindStream(std::ifstream &IS) {
+    IS.clear();
+    IS.seekg(0, std::ios::beg);
+  }
+
+  /// Attempts to restore merge state from an ingest snapshot, leaving
+  /// \p IS positioned after the covered prefix on success and rewound to
+  /// the start on rejection.  Rejections always fall back to a clean
+  /// full restart; a resume can therefore never produce a wrong merge,
+  /// only save or not save work.
+  void tryResume(std::ifstream &IS) {
+    const std::string Path = ingestCheckpointPath(Opt.CheckpointDirectory);
+    {
+      std::ifstream Probe(Path, std::ios::binary);
+      if (!Probe) {
+        Resume.NoSnapshot = true;
+        return;
+      }
+    }
+    SnapshotReader R;
+    Status S = R.loadFile(Path, IngestSnapshotMagic, IngestSnapshotVersion);
+    if (!S.ok()) {
+      rejectResume(S.message());
+      return;
+    }
+    uint64_t Digest, PrefixBytes, PrefixHash, Shards;
+    if (!R.u64(Digest) || !R.u64(PrefixBytes) || !R.u64(PrefixHash) ||
+        !R.u64(Shards)) {
+      rejectResume("ingest snapshot header malformed");
+      return;
+    }
+    if (Digest != optionsDigest()) {
+      rejectResume("ingest options changed since the snapshot was taken");
+      return;
+    }
+
+    // Re-hash the file prefix the snapshot claims to cover.
+    uint64_t H = FnvSeed;
+    uint64_t Left = PrefixBytes;
+    char PrefixLast = '\n';
+    char Buf[1 << 16];
+    while (Left > 0 && IS) {
+      size_t Want = Left < sizeof(Buf) ? static_cast<size_t>(Left)
+                                       : sizeof(Buf);
+      IS.read(Buf, static_cast<std::streamsize>(Want));
+      std::streamsize N = IS.gcount();
+      if (N <= 0)
+        break;
+      H = fnv1a64(Buf, static_cast<size_t>(N), H);
+      PrefixLast = Buf[N - 1];
+      Left -= static_cast<uint64_t>(N);
+    }
+    if (Left > 0) {
+      rewindStream(IS);
+      rejectResume("ingest snapshot covers more input than the file holds");
+      return;
+    }
+    if (H != PrefixHash) {
+      rewindStream(IS);
+      rejectResume("input prefix does not match the ingest snapshot");
+      return;
+    }
+
+    ingest::SalvageMachine Restored(Opt.Salvage);
+    if (!Restored.decodeState(R) || !R.atEnd()) {
+      rewindStream(IS);
+      rejectResume("ingest snapshot payload corrupt");
+      return;
+    }
+
+    Machine = std::move(Restored);
+    Resume.Resumed = true;
+    Resume.BytesSkipped = PrefixBytes;
+    Resume.ShardsSkipped = Shards;
+    DispatchHash = PrefixHash;
+    DispatchOffset = PrefixBytes;
+    TotalShardsMerged = Shards;
+    if (PrefixBytes > 0) {
+      AnyInput = true;
+      LastByte = PrefixLast;
+    }
+  }
+
+  Status feedFileImpl(const std::string &Path) {
+    if (Finished)
+      return Status::error("IngestSession::feedFile() after finish()");
+    std::ifstream IS(Path, std::ios::binary);
+    if (!IS)
+      return Status::error(
+          formatString("cannot open '%s' for reading", Path.c_str()));
+
+    if (Opt.Resume && checkpointEnabled() &&
+        Opt.Mode == IngestMode::Salvage) {
+      Resume.Attempted = true;
+      if (UsedRawFeed || AnyInput)
+        rejectResume("resume requires the file to be the session's only "
+                     "input");
+      else
+        tryResume(IS);
+    }
+
+    char Buf[1 << 16];
+    while (IS) {
+      IS.read(Buf, sizeof(Buf));
+      std::streamsize N = IS.gcount();
+      if (N > 0)
+        feedImpl(std::string_view(Buf, static_cast<size_t>(N)));
+    }
+    return Status::success();
+  }
+
+  // --- Finish -----------------------------------------------------------
+
+  Status finishImpl(Trace &Out, IngestReport &ReportOut) {
+    if (Finished)
+      return Status::error("IngestSession::finish() called twice");
+    Finished = true;
+
+    if (Opt.Mode == IngestMode::Parse) {
+      ReportOut = IngestReport();
+      Status S = ingest::parseTraceImpl(ParseBuffer, Out);
+      if (S.ok())
+        ReportOut.RecordsKept = Out.numRecords();
+      return S;
+    }
+
+    cutShards(/*Final=*/true);
+    if (Threads > 1) {
+      std::unique_lock<std::mutex> L(Mu);
+      for (;;) {
+        drainReadyLocked(L);
+        if (InFlight.empty())
+          break;
+        DoneCv.wait(L);
+      }
+    }
+    shutdownWorkers(/*Discard=*/true);
+
+    if (AbortRequested)
+      return Status::error(formatString(
+          "ingest interrupted after %llu shards (DebugAbortAfterShards)",
+          static_cast<unsigned long long>(MergedThisRun)));
+
+    // A stream that did not end in a newline has a truncated final line
+    // -- unless the machine already hard-failed earlier, in which case
+    // the tail was never consumed (matching the streaming reader).
+    if (AnyInput && LastByte != '\n' && !Machine.failed())
+      Machine.noteTruncatedFinalLine();
+
+    Status S = Machine.finish(Out, ReportOut);
+
+    // Retire our own snapshot on success; foreign/rejected snapshots we
+    // neither resumed from nor overwrote are preserved for inspection.
+    if (S.ok() && checkpointEnabled() && (WroteSnapshot || Resume.Resumed))
+      std::remove(ingestCheckpointPath(Opt.CheckpointDirectory).c_str());
+    return S;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Public surface
+//===----------------------------------------------------------------------===//
+
+IngestSession::IngestSession(const IngestOptions &Options)
+    : P(new Impl(Options)) {}
+
+IngestSession::~IngestSession() = default;
+
+void IngestSession::feed(std::string_view Chunk) {
+  P->UsedRawFeed = true;
+  P->feedImpl(Chunk);
+}
+
+Status IngestSession::feedFile(const std::string &Path) {
+  return P->feedFileImpl(Path);
+}
+
+Status IngestSession::finish(Trace &Out, IngestReport &ReportOut) {
+  return P->finishImpl(Out, ReportOut);
+}
+
+const IngestResumeOutcome &IngestSession::resumeOutcome() const {
+  return P->Resume;
+}
+
+Status cafa::ingestTrace(const std::string &Text, Trace &Out,
+                         IngestReport &Report, const IngestOptions &Options) {
+  IngestSession S(Options);
+  S.feed(Text);
+  return S.finish(Out, Report);
+}
+
+Status cafa::ingestTraceFile(const std::string &Path, Trace &Out,
+                             IngestReport &Report,
+                             const IngestOptions &Options) {
+  IngestSession S(Options);
+  Status FS = S.feedFile(Path);
+  if (!FS.ok())
+    return FS;
+  return S.finish(Out, Report);
+}

@@ -1,0 +1,221 @@
+//===- trace/IngestSession.h - Unified trace ingestion API -----*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single public entry point for turning trace text into a Trace.
+///
+/// IngestSession subsumes the three historical entry points (parseTrace,
+/// TraceReader, salvageTrace — all still available as deprecated thin
+/// wrappers): configure an IngestOptions, feed the stream in arbitrary
+/// chunks (or point it at a file), then finish() to receive the Trace and
+/// a structured IngestReport.
+///
+/// Two ingestion modes:
+///  - IngestMode::Salvage (default): the fault-tolerant repair pipeline
+///    documented in docs/robustness.md — malformed lines are dropped at
+///    per-line resynchronization points under error budgets, structural
+///    violations are repaired when a sound repair exists, and every
+///    decision is accounted in the IngestReport;
+///  - IngestMode::Parse: the historical strict parser — fail on the first
+///    offending byte with a strong guarantee (the output Trace is
+///    untouched on error).
+///
+/// Salvage mode shards the input into byte ranges aligned to line
+/// boundaries and runs the expensive line-local work (tokenizing, numeric
+/// parsing, name interning) in IngestOptions::Threads worker threads.
+/// The stateful salvage decisions (drop/repair/synthesize) are made in a
+/// deterministic merge pass over the lexed shards in original byte
+/// order, so the resulting Trace and IngestReport are **bit-identical at
+/// every thread count** — parallelism changes wall-clock time, nothing
+/// else.  See docs/trace-format.md ("Sharded ingestion") for the
+/// shard-boundary and id-remap design.
+///
+/// The merge pass can checkpoint its progress through the same
+/// support/Snapshot layer the analysis pipeline uses (PR 3): give the
+/// session a CheckpointDirectory and a crash mid-ingest resumes from the
+/// last durable shard cut instead of re-reading the whole dump.  Resume
+/// is only honored for file-based ingestion (feedFile), because the
+/// session must re-verify that the already-merged prefix matches the
+/// snapshot before skipping it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_TRACE_INGESTSESSION_H
+#define CAFA_TRACE_INGESTSESSION_H
+
+#include "support/Status.h"
+#include "trace/Trace.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafa {
+
+/// Tuning knobs for the salvage parser.
+struct SalvageOptions {
+  /// Treat every incident (drop or repair) as fatal: the reader then
+  /// accepts exactly the traces that pass parseTrace() + validateTrace().
+  bool Strict = false;
+  /// Keep at most this many detailed diagnostics in the report (all
+  /// incidents are still counted).
+  uint32_t MaxDiagnostics = 16;
+  /// Error budget, absolute: fail once more than this many lines have
+  /// been dropped.
+  uint64_t MaxDroppedLines = UINT64_MAX;
+  /// Error budget, relative: fail (at finish) when more than this
+  /// fraction of non-blank input lines was dropped.
+  double MaxDroppedRatio = 0.5;
+  /// Cap on placeholder side-table entries synthesized for dangling
+  /// references; lines needing more are dropped instead (guards against
+  /// a corrupted id conjuring a four-billion-entry table).
+  uint32_t MaxSynthesizedEntries = 1 << 16;
+  /// Upper bound on entity ids (monitors, pointer cells) the analyzer
+  /// indexes dense arrays with; records above it are dropped.
+  uint64_t MaxEntityId = 1 << 20;
+  /// Synthesize terminator records for events left open at end of input
+  /// (truncated traces).
+  bool RepairTruncation = true;
+};
+
+/// One noteworthy decision made during salvage.
+struct IngestDiagnostic {
+  size_t LineNo = 0; ///< 1-based input line; 0 for end-of-input repairs.
+  std::string Message;
+};
+
+/// What the salvage parser kept, dropped, and repaired.
+struct IngestReport {
+  uint64_t LinesTotal = 0;            ///< non-blank, non-comment lines seen
+  uint64_t LinesDropped = 0;          ///< lines discarded entirely
+  uint64_t RecordsKept = 0;           ///< input records admitted to the trace
+  uint64_t RecordsRepaired = 0;       ///< admitted after an in-place fixup
+  uint64_t RecordsSynthesized = 0;    ///< bookkeeping records fabricated
+  uint64_t TableEntriesSynthesized = 0; ///< placeholder side-table rows
+  uint64_t UnsentEventBegins = 0;     ///< events admitted without a send
+  bool MissingHeader = false;         ///< no 'cafa-trace v1' first line
+  bool TruncatedFinalLine = false;    ///< input ended without a newline
+  uint64_t IncidentsTotal = 0;        ///< drops + repairs, all categories
+  /// The first SalvageOptions::MaxDiagnostics incidents, with line numbers.
+  std::vector<IngestDiagnostic> Diagnostics;
+
+  /// True when the input parsed without a single drop or repair.
+  bool clean() const { return IncidentsTotal == 0 && !MissingHeader; }
+
+  /// Renders a human-readable multi-line summary, newline-terminated.
+  std::string summary() const;
+};
+
+/// Which parsing pipeline an IngestSession runs.
+enum class IngestMode : uint8_t {
+  Salvage, ///< fault-tolerant drop/repair/synthesize pipeline (default)
+  Parse,   ///< strict: fail on the first offending byte, strong guarantee
+};
+
+/// Configuration for an IngestSession.
+struct IngestOptions {
+  IngestMode Mode = IngestMode::Salvage;
+
+  /// Salvage-mode tuning knobs (ignored in Parse mode).
+  SalvageOptions Salvage;
+
+  /// Lexer worker threads for salvage mode.  0 means auto: the
+  /// CAFA_INGEST_THREADS environment variable if set, else
+  /// std::thread::hardware_concurrency().  The output is bit-identical
+  /// at every thread count.
+  unsigned Threads = 0;
+
+  /// Target shard size in bytes; each shard is extended to the next
+  /// line boundary.  Shard cuts depend only on the input bytes and this
+  /// value, never on thread scheduling, so they are reproducible across
+  /// runs (which checkpoint/resume relies on).
+  uint64_t ShardBytes = 4ull << 20;
+
+  /// When non-empty, the merge phase writes crash-safe progress
+  /// snapshots ("ingest.snapshot") into this directory.  Coexists with
+  /// the analysis checkpoint in the same directory.
+  std::string CheckpointDirectory;
+
+  /// Snapshot cadence: write a merge snapshot after at least this many
+  /// input bytes have been merged since the last one.
+  uint64_t CheckpointEveryBytes = 64ull << 20;
+
+  /// Attempt to resume from an existing ingest snapshot.  Only honored
+  /// by feedFile() (the already-merged prefix must be re-hashable);
+  /// mismatches reject to a clean full restart, never a wrong merge.
+  bool Resume = false;
+
+  /// Testing hook: abort the merge with an error after this many shards
+  /// (0 = disabled).  Simulates a crash mid-merge deterministically.
+  uint32_t DebugAbortAfterShards = 0;
+};
+
+/// What happened when IngestOptions::Resume asked for a resume.
+struct IngestResumeOutcome {
+  bool Attempted = false;  ///< Resume was requested and evaluated
+  bool NoSnapshot = false; ///< no snapshot file existed (fresh run)
+  bool Resumed = false;    ///< merge state restored from the snapshot
+  /// Why a present snapshot was rejected (empty when unused/accepted).
+  std::string RejectReason;
+  uint64_t BytesSkipped = 0;  ///< input prefix covered by the snapshot
+  uint64_t ShardsSkipped = 0; ///< shards already merged by the crashed run
+};
+
+/// Streaming trace ingestion.  Feed the input in arbitrary chunks (or
+/// via feedFile), then finish() once to take the Trace and the report.
+class IngestSession {
+public:
+  explicit IngestSession(const IngestOptions &Options = IngestOptions());
+  ~IngestSession();
+
+  IngestSession(const IngestSession &) = delete;
+  IngestSession &operator=(const IngestSession &) = delete;
+
+  /// Consumes the next chunk of the stream.  Chunk boundaries need not
+  /// align with lines.
+  void feed(std::string_view Chunk);
+
+  /// Streams \p Path into the session.  This is the entry point that
+  /// honors IngestOptions::Resume; it must be the session's only input
+  /// source.  Returns an error if the file cannot be opened.
+  Status feedFile(const std::string &Path);
+
+  /// Completes ingestion: drains the workers, merges the remaining
+  /// shards, applies end-of-input repairs, and moves the result into
+  /// \p Out.  Fails (leaving \p Out untouched) in Parse mode on any
+  /// syntax error, and in Salvage mode only under Strict or a blown
+  /// error budget; \p ReportOut is filled either way in salvage mode.
+  Status finish(Trace &Out, IngestReport &ReportOut);
+
+  /// Details of the resume decision (valid after feedFile).
+  const IngestResumeOutcome &resumeOutcome() const;
+
+  /// The thread count \p Requested resolves to (0 = auto: environment,
+  /// then hardware concurrency).
+  static unsigned resolveThreads(unsigned Requested);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> P;
+};
+
+/// Path of the ingest snapshot inside a checkpoint directory.
+std::string ingestCheckpointPath(const std::string &Directory);
+
+/// One-shot convenience: ingest \p Text under \p Options.
+Status ingestTrace(const std::string &Text, Trace &Out, IngestReport &Report,
+                   const IngestOptions &Options = IngestOptions());
+
+/// One-shot convenience: ingest the file at \p Path under \p Options.
+Status ingestTraceFile(const std::string &Path, Trace &Out,
+                       IngestReport &Report,
+                       const IngestOptions &Options = IngestOptions());
+
+} // namespace cafa
+
+#endif // CAFA_TRACE_INGESTSESSION_H

@@ -1,0 +1,1451 @@
+//===- trace/SalvageEngine.cpp - Lex/admit split for salvage --------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The salvage pipeline merges three passes the strict pipeline runs
+// separately -- parsing, validation, and repair -- because a sound repair
+// decision needs the running validation state: whether the task has begun,
+// what it holds locked, which event owns its queue.  Each input line is
+// either admitted (possibly after an in-place fixup), admitted together
+// with synthesized bookkeeping records that restore an invariant, or
+// dropped.  Synthesized records are restricted to kinds the detectors
+// never report on (begin/end, lock release/acquire, method enter/exit),
+// so salvage can widen the candidate space but cannot invent an access.
+//
+// This file splits that pipeline for parallel ingestion: lexShard() is
+// the stateless per-line half (tokenize, parse numbers, intern names)
+// and runs concurrently over byte-range shards; SalvageMachine is the
+// stateful half and runs over the lexed shards in original byte order.
+// The admission logic is a line-for-line port of the historical
+// streaming TraceReader -- every diagnostic string, every budget check,
+// and the intern-before-drop ordering are preserved so the output is
+// byte-compatible with the single-pass parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/SalvageEngine.h"
+
+#include "support/Format.h"
+#include "support/Snapshot.h"
+#include "trace/TraceTextFormat.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace cafa;
+using namespace cafa::ingest;
+
+namespace {
+
+constexpr uint32_t SentinelId = 0xFFFFFFFFu;
+
+//===----------------------------------------------------------------------===//
+// Lexing helpers (must replicate TraceTextFormat semantics exactly)
+//===----------------------------------------------------------------------===//
+
+/// The whitespace set istringstream extraction skips in the "C" locale.
+inline bool isSpaceByte(char C) {
+  return C == ' ' || C == '\t' || C == '\n' || C == '\v' || C == '\f' ||
+         C == '\r';
+}
+
+constexpr size_t MaxTok = 12; // the widest directive (task) has 12 tokens
+
+/// Splits \p Line into whitespace-separated tokens.  Returns the token
+/// count; MaxTok + 1 signals "more than MaxTok" (every directive's
+/// token-count equality check then fails, matching the vector-based
+/// tokenizer's behavior).
+size_t splitTokens(std::string_view Line, std::string_view *Toks) {
+  size_t N = 0;
+  size_t I = 0;
+  while (true) {
+    while (I < Line.size() && isSpaceByte(Line[I]))
+      ++I;
+    if (I >= Line.size())
+      return N;
+    size_t Begin = I;
+    while (I < Line.size() && !isSpaceByte(Line[I]))
+      ++I;
+    if (N == MaxTok)
+      return MaxTok + 1;
+    Toks[N++] = Line.substr(Begin, I - Begin);
+  }
+}
+
+/// strtoull(.., 10) semantics on a token: optional single +/- sign,
+/// decimal digits only, unsigned wraparound on negation, saturation to
+/// UINT64_MAX on overflow (still a successful parse).
+bool parseU64Sv(std::string_view S, uint64_t &Out) {
+  size_t I = 0;
+  bool Neg = false;
+  if (I < S.size() && (S[I] == '+' || S[I] == '-')) {
+    Neg = S[I] == '-';
+    ++I;
+  }
+  if (I == S.size())
+    return false;
+  uint64_t V = 0;
+  bool Overflow = false;
+  for (; I != S.size(); ++I) {
+    char C = S[I];
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t D = static_cast<uint64_t>(C - '0');
+    if (!Overflow) {
+      if (V > (UINT64_MAX - D) / 10)
+        Overflow = true;
+      else
+        V = V * 10 + D;
+    }
+  }
+  if (Overflow)
+    V = UINT64_MAX; // strtoull saturates and ignores the sign on overflow
+  else if (Neg)
+    V = 0 - V;
+  Out = V;
+  return true;
+}
+
+bool parseU32Sv(std::string_view S, uint32_t &Out) {
+  uint64_t V;
+  if (!parseU64Sv(S, V) || V > 0xFFFFFFFFull)
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
+bool opKindFromSv(std::string_view S, OpKind &Out) {
+  char Buf[16];
+  if (S.size() >= sizeof(Buf))
+    return false;
+  std::memcpy(Buf, S.data(), S.size());
+  Buf[S.size()] = '\0';
+  return opKindFromName(Buf, Out);
+}
+
+StrId internName(std::string_view S, StringInterner &Names) {
+  if (S.find('\\') == std::string_view::npos)
+    return Names.intern(S);
+  std::string Un;
+  Un.reserve(S.size());
+  for (size_t I = 0; I != S.size(); ++I) {
+    if (S[I] == '\\' && I + 1 < S.size()) {
+      ++I;
+      Un.push_back(S[I] == 's' ? ' ' : S[I]);
+      continue;
+    }
+    Un.push_back(S[I]);
+  }
+  return Names.intern(Un);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-line lexing
+//===----------------------------------------------------------------------===//
+
+LexedLine &emit(ShardFragment &Out, uint32_t Rel, LineKind Kind) {
+  Out.Lines.emplace_back();
+  LexedLine &L = Out.Lines.back();
+  L.RelLine = Rel;
+  L.Kind = Kind;
+  return L;
+}
+
+void emitDrop(ShardFragment &Out, uint32_t Rel, const char *Msg) {
+  emit(Out, Rel, LineKind::Drop).DropMsg = Msg;
+}
+
+void lexRec(const std::string_view *Toks, size_t N, uint32_t Rel,
+            ShardFragment &Out) {
+  if (N != 9) {
+    emitDrop(Out, Rel, "malformed rec line");
+    return;
+  }
+  uint32_t TaskRaw, MethodRaw, Pc;
+  uint64_t A0, A1, A2, Time;
+  OpKind Kind;
+  if (!parseU32Sv(Toks[1], TaskRaw) || !opKindFromSv(Toks[2], Kind) ||
+      !parseU32Sv(Toks[3], MethodRaw) || !parseU32Sv(Toks[4], Pc) ||
+      !parseU64Sv(Toks[5], A0) || !parseU64Sv(Toks[6], A1) ||
+      !parseU64Sv(Toks[7], A2) || !parseU64Sv(Toks[8], Time)) {
+    emitDrop(Out, Rel, "bad field in rec line");
+    return;
+  }
+  LexedLine &L = emit(Out, Rel, LineKind::Rec);
+  L.Op = Kind;
+  L.Id = TaskRaw;
+  L.Aux = MethodRaw;
+  L.Pc = Pc;
+  L.Arg0 = A0;
+  L.Arg1 = A1;
+  L.Arg2 = A2;
+  L.Time = Time;
+}
+
+/// Shared lexer for the three id/name/number declaration directives.
+void lexDecl(LineKind Kind, const char *MalformedMsg, const char *BadNumMsg,
+             const std::string_view *Toks, size_t N, uint32_t Rel,
+             ShardFragment &Out) {
+  if (N != 4) {
+    emitDrop(Out, Rel, MalformedMsg);
+    return;
+  }
+  uint32_t Id, Aux;
+  if (!parseU32Sv(Toks[1], Id) || !parseU32Sv(Toks[3], Aux)) {
+    emitDrop(Out, Rel, BadNumMsg);
+    return;
+  }
+  LexedLine &L = emit(Out, Rel, Kind);
+  L.Id = Id;
+  L.Aux = Aux;
+  if (Toks[2] != "-")
+    L.Name = internName(Toks[2], Out.Names);
+}
+
+void lexTask(const std::string_view *Toks, size_t N, uint32_t Rel,
+             ShardFragment &Out) {
+  if (N != 12) {
+    emitDrop(Out, Rel, "malformed task line");
+    return;
+  }
+  uint32_t Id, Process, Queue, Handler, Front, External, Parent, Looper;
+  uint64_t DelayMs;
+  if (!parseU32Sv(Toks[1], Id) || !parseU32Sv(Toks[4], Process) ||
+      !parseU32Sv(Toks[5], Queue) || !parseU32Sv(Toks[6], Handler) ||
+      !parseU64Sv(Toks[7], DelayMs) || !parseU32Sv(Toks[8], Front) ||
+      !parseU32Sv(Toks[9], External) || !parseU32Sv(Toks[10], Parent) ||
+      !parseU32Sv(Toks[11], Looper)) {
+    emitDrop(Out, Rel, "bad number in task line");
+    return;
+  }
+  uint8_t Flags = 0;
+  if (Toks[2] == "thread") {
+    ;
+  } else if (Toks[2] == "event") {
+    Flags |= TaskFlagEvent;
+  } else {
+    emitDrop(Out, Rel, "task kind must be 'thread' or 'event'");
+    return;
+  }
+  if (Front)
+    Flags |= TaskFlagFront;
+  if (External)
+    Flags |= TaskFlagExternal;
+  if (Looper)
+    Flags |= TaskFlagLooper;
+  LexedLine &L = emit(Out, Rel, LineKind::Task);
+  L.TaskFlags = Flags;
+  L.Id = Id;
+  L.Aux2 = Process;
+  L.QueueRef = Queue;
+  L.Pc = Handler;
+  L.Parent = Parent;
+  L.Arg0 = DelayMs;
+  if (Toks[3] != "-")
+    L.Name = internName(Toks[3], Out.Names);
+}
+
+void lexLine(std::string_view Line, uint32_t Rel, ShardFragment &Out) {
+  if (!Line.empty() && Line.back() == '\r')
+    Line.remove_suffix(1);
+  if (Line == tracetext::MagicLine) {
+    emit(Out, Rel, LineKind::Magic);
+    return;
+  }
+  // Blank and comment lines carry no content, but the machine's
+  // first-line header logic must still see *a* first line, so the lexer
+  // materializes exactly the shard's leading line even when blank.
+  if (Line.empty() || Line[0] == '#') {
+    if (Rel == 1)
+      emit(Out, Rel, LineKind::Blank);
+    return;
+  }
+  std::string_view Toks[MaxTok];
+  size_t N = splitTokens(Line, Toks);
+  if (N == 0) {
+    if (Rel == 1)
+      emit(Out, Rel, LineKind::Blank);
+    return;
+  }
+  std::string_view D = Toks[0];
+  if (D == "rec")
+    lexRec(Toks, N, Rel, Out);
+  else if (D == "method")
+    lexDecl(LineKind::Method, "malformed method line",
+            "bad number in method line", Toks, N, Rel, Out);
+  else if (D == "queue")
+    lexDecl(LineKind::Queue, "malformed queue line",
+            "bad number in queue line", Toks, N, Rel, Out);
+  else if (D == "listener")
+    lexDecl(LineKind::Listener, "malformed listener line",
+            "bad number in listener line", Toks, N, Rel, Out);
+  else if (D == "task")
+    lexTask(Toks, N, Rel, Out);
+  else
+    emit(Out, Rel, LineKind::Unknown).Token = std::string(D);
+}
+
+} // namespace
+
+void cafa::ingest::lexShard(std::string_view Text, ShardFragment &Out) {
+  Out.Lines.reserve(static_cast<size_t>(
+      std::count(Text.begin(), Text.end(), '\n') + 1));
+  uint64_t Rel = 0;
+  size_t Pos = 0;
+  const size_t Size = Text.size();
+  while (Pos < Size) {
+    size_t NL = Text.find('\n', Pos);
+    size_t End = NL == std::string_view::npos ? Size : NL;
+    ++Rel;
+    lexLine(Text.substr(Pos, End - Pos), static_cast<uint32_t>(Rel), Out);
+    if (NL == std::string_view::npos) {
+      Out.EndsWithoutNewline = true;
+      break;
+    }
+    Pos = NL + 1;
+  }
+  Out.LineCount = Rel;
+}
+
+//===----------------------------------------------------------------------===//
+// SalvageMachine: accounting
+//===----------------------------------------------------------------------===//
+
+SalvageMachine::SalvageMachine(const SalvageOptions &Options) : Opt(Options) {}
+
+void SalvageMachine::hardFail(const std::string &Msg) {
+  if (!Failed) {
+    Failed = true;
+    Fail = Status::error(Msg);
+  }
+}
+
+void SalvageMachine::diag(size_t Ln, const std::string &Msg) {
+  if (Report.Diagnostics.size() < Opt.MaxDiagnostics)
+    Report.Diagnostics.push_back({Ln, Msg});
+}
+
+void SalvageMachine::incident(size_t Ln, const std::string &Msg) {
+  ++Report.IncidentsTotal;
+  diag(Ln, Msg);
+  if (Opt.Strict)
+    hardFail(Ln ? formatString("strict mode: line %zu: %s", Ln, Msg.c_str())
+                : formatString("strict mode: %s", Msg.c_str()));
+}
+
+void SalvageMachine::dropLine(size_t Ln, const std::string &Msg) {
+  incident(Ln, Msg);
+  ++Report.LinesDropped;
+  if (Report.LinesDropped > Opt.MaxDroppedLines)
+    hardFail(formatString(
+        "error budget exceeded: %llu lines dropped (cap %llu)",
+        static_cast<unsigned long long>(Report.LinesDropped),
+        static_cast<unsigned long long>(Opt.MaxDroppedLines)));
+}
+
+//===----------------------------------------------------------------------===//
+// SalvageMachine: side-table growth
+//===----------------------------------------------------------------------===//
+
+bool SalvageMachine::budgetFor(uint64_t Needed) {
+  return Report.TableEntriesSynthesized + Needed <= Opt.MaxSynthesizedEntries;
+}
+
+void SalvageMachine::pushTask(const TaskInfo &Info, bool Synth) {
+  T.addTask(Info);
+  States.emplace_back();
+  EventSent.push_back(false);
+  SynthTask.push_back(Synth);
+}
+void SalvageMachine::pushQueue(const QueueInfo &Info, bool Synth) {
+  T.addQueue(Info);
+  ActiveEvent.push_back(TaskId::invalid());
+  SynthQueue.push_back(Synth);
+}
+void SalvageMachine::pushMethod(const MethodInfo &Info, bool Synth) {
+  T.addMethod(Info);
+  SynthMethod.push_back(Synth);
+}
+void SalvageMachine::pushListener(const ListenerInfo &Info, bool Synth) {
+  T.addListener(Info);
+  SynthListener.push_back(Synth);
+}
+
+bool SalvageMachine::padTasks(uint64_t Count) {
+  if (Count <= T.numTasks())
+    return true;
+  uint64_t Needed = Count - T.numTasks();
+  if (!budgetFor(Needed))
+    return false;
+  Report.TableEntriesSynthesized += Needed;
+  while (T.numTasks() < Count)
+    pushTask(TaskInfo(), true);
+  return true;
+}
+bool SalvageMachine::padQueues(uint64_t Count) {
+  if (Count <= T.numQueues())
+    return true;
+  uint64_t Needed = Count - T.numQueues();
+  if (!budgetFor(Needed))
+    return false;
+  Report.TableEntriesSynthesized += Needed;
+  while (T.numQueues() < Count)
+    pushQueue(QueueInfo(), true);
+  return true;
+}
+bool SalvageMachine::padMethods(uint64_t Count) {
+  if (Count <= T.numMethods())
+    return true;
+  uint64_t Needed = Count - T.numMethods();
+  if (!budgetFor(Needed))
+    return false;
+  Report.TableEntriesSynthesized += Needed;
+  while (T.numMethods() < Count)
+    pushMethod(MethodInfo(), true);
+  return true;
+}
+bool SalvageMachine::padListeners(uint64_t Count) {
+  if (Count <= T.numListeners())
+    return true;
+  uint64_t Needed = Count - T.numListeners();
+  if (!budgetFor(Needed))
+    return false;
+  Report.TableEntriesSynthesized += Needed;
+  while (T.numListeners() < Count)
+    pushListener(ListenerInfo(), true);
+  return true;
+}
+
+bool SalvageMachine::notePaddedGap(bool Padded, size_t Ln, const char *What,
+                                   uint32_t Id) {
+  if (!Padded) {
+    dropLine(Ln, formatString("gap before %s %u exceeds the synthesis budget",
+                              What, Id));
+    return false;
+  }
+  incident(Ln, formatString("gap before %s %u; synthesized placeholders",
+                            What, Id));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// SalvageMachine: record synthesis
+//===----------------------------------------------------------------------===//
+
+void SalvageMachine::synthRecord(TaskId Task, OpKind Kind, uint64_t A0) {
+  TraceRecord R;
+  R.Task = Task;
+  R.Kind = Kind;
+  R.Arg0 = A0;
+  R.Time = LastTime;
+  T.append(R);
+  ++Report.RecordsSynthesized;
+}
+
+void SalvageMachine::unwindStacks(TaskId Task) {
+  TaskState &S = States[Task.index()];
+  while (!S.FrameStack.empty()) {
+    synthRecord(Task, OpKind::MethodExit, S.FrameStack.back());
+    S.FrameStack.pop_back();
+  }
+  while (!S.LockStack.empty()) {
+    synthRecord(Task, OpKind::LockRelease, S.LockStack.back());
+    S.LockStack.pop_back();
+  }
+}
+
+void SalvageMachine::synthEnd(TaskId Task) {
+  unwindStacks(Task);
+  synthRecord(Task, OpKind::TaskEnd);
+  States[Task.index()].Ended = true;
+  const TaskInfo &Info = T.taskInfo(Task);
+  if (Info.Kind == TaskKind::Event && Info.Queue.isValid() &&
+      Info.Queue.index() < ActiveEvent.size() &&
+      ActiveEvent[Info.Queue.index()] == Task)
+    ActiveEvent[Info.Queue.index()] = TaskId::invalid();
+}
+
+void SalvageMachine::fixEventQueue(TaskId Task, size_t Ln) {
+  TaskInfo &Info = T.taskInfoMutable(Task);
+  if (Info.Kind != TaskKind::Event)
+    return;
+  if (Info.Queue.isValid() && Info.Queue.index() < T.numQueues())
+    return;
+  if (Info.Queue.isValid() &&
+      padQueues(static_cast<uint64_t>(Info.Queue.index()) + 1)) {
+    incident(Ln, formatString("task %u: undeclared queue %u; synthesized a "
+                              "placeholder",
+                              Task.value(), Info.Queue.value()));
+    return;
+  }
+  Info.Kind = TaskKind::Thread;
+  Info.Queue = QueueId::invalid();
+  incident(Ln, formatString("task %u: event with no usable queue demoted to a "
+                            "thread",
+                            Task.value()));
+}
+
+void SalvageMachine::prepareBegin(TaskId Task, size_t Ln) {
+  fixEventQueue(Task, Ln);
+  const TaskInfo &Info = T.taskInfo(Task);
+  if (Info.Kind != TaskKind::Event)
+    return;
+  uint32_t Q = Info.Queue.index();
+  if (ActiveEvent[Q].isValid()) {
+    incident(Ln, formatString("queue %u: event %u still open; synthesized its "
+                              "terminator",
+                              Q, ActiveEvent[Q].value()));
+    synthEnd(ActiveEvent[Q]);
+  }
+  if (!Info.External && !EventSent[Task.index()]) {
+    ++Report.UnsentEventBegins;
+    incident(Ln, formatString("event %u begins without a send record",
+                              Task.value()));
+  }
+}
+
+void SalvageMachine::synthBegin(TaskId Task, size_t Ln) {
+  prepareBegin(Task, Ln);
+  synthRecord(Task, OpKind::TaskBegin);
+  States[Task.index()].Begun = true;
+  const TaskInfo &Info = T.taskInfo(Task);
+  if (Info.Kind == TaskKind::Event)
+    ActiveEvent[Info.Queue.index()] = Task;
+}
+
+//===----------------------------------------------------------------------===//
+// SalvageMachine: shard stream
+//===----------------------------------------------------------------------===//
+
+StrId SalvageMachine::remapName(StrId ShardId) {
+  if (!ShardId.isValid())
+    return StrId::invalid();
+  if (NameRemap.size() <= ShardId.index())
+    NameRemap.resize(ShardNames->size(), StrId::invalid());
+  StrId &Mapped = NameRemap[ShardId.index()];
+  if (!Mapped.isValid())
+    Mapped = T.names().intern(ShardNames->str(ShardId));
+  return Mapped;
+}
+
+void SalvageMachine::beginShard(const StringInterner &Names) {
+  ShardNames = &Names;
+  NameRemap.clear();
+}
+
+void SalvageMachine::endShard(uint64_t ShardLineCount) {
+  LineBase += ShardLineCount;
+  ShardNames = nullptr;
+}
+
+void SalvageMachine::admit(const LexedLine &L) {
+  if (Failed)
+    return;
+  uint64_t Ln = LineBase + L.RelLine;
+  LineNo = Ln;
+  if (!SeenFirstLine) {
+    SeenFirstLine = true;
+    if (L.Kind == LineKind::Magic)
+      return;
+    Report.MissingHeader = true;
+    diag(Ln, "missing 'cafa-trace v1' header");
+    if (Opt.Strict) {
+      hardFail("strict mode: missing or unrecognized trace header; "
+               "expected 'cafa-trace v1'");
+      return;
+    }
+    // Fall through: the first line may itself be a directive.
+  }
+  switch (L.Kind) {
+  case LineKind::Blank:
+    return;
+  case LineKind::Magic:
+    // A header line anywhere but line 1 is just an unknown directive
+    // whose first token is "cafa-trace".
+    ++Report.LinesTotal;
+    dropLine(Ln, "unknown directive 'cafa-trace'");
+    return;
+  case LineKind::Unknown:
+    ++Report.LinesTotal;
+    dropLine(Ln, formatString("unknown directive '%s'", L.Token.c_str()));
+    return;
+  case LineKind::Drop:
+    ++Report.LinesTotal;
+    dropLine(Ln, L.DropMsg);
+    return;
+  case LineKind::Rec:
+    ++Report.LinesTotal;
+    handleRec(L, Ln);
+    return;
+  case LineKind::Method:
+    ++Report.LinesTotal;
+    handleMethod(L, Ln);
+    return;
+  case LineKind::Queue:
+    ++Report.LinesTotal;
+    handleQueue(L, Ln);
+    return;
+  case LineKind::Listener:
+    ++Report.LinesTotal;
+    handleListener(L, Ln);
+    return;
+  case LineKind::Task:
+    ++Report.LinesTotal;
+    handleTask(L, Ln);
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SalvageMachine: side-table directives
+//===----------------------------------------------------------------------===//
+
+void SalvageMachine::handleMethod(const LexedLine &L, size_t Ln) {
+  MethodInfo Info;
+  // Intern before the re-declare check: the historical parser interned
+  // unconditionally after the numeric parse, and the interner's id
+  // assignment order is part of the bit-identity contract.
+  Info.Name = remapName(L.Name);
+  Info.CodeSize = L.Aux;
+  uint32_t Id = L.Id;
+  if (Id < T.numMethods()) {
+    if (!SynthMethod[Id]) {
+      dropLine(Ln, formatString("method %u re-declared", Id));
+      return;
+    }
+    T.methodInfoMutable(MethodId(Id)) = Info;
+    SynthMethod[Id] = false;
+    incident(Ln, formatString("method %u declared out of order; backfilled "
+                              "the placeholder",
+                              Id));
+    return;
+  }
+  if (Id > T.numMethods()) {
+    if (!notePaddedGap(padMethods(Id), Ln, "method", Id))
+      return;
+  }
+  pushMethod(Info, false);
+}
+
+void SalvageMachine::handleQueue(const LexedLine &L, size_t Ln) {
+  QueueInfo Info;
+  Info.Name = remapName(L.Name);
+  Info.Looper = tracetext::idFromRaw<TaskId>(L.Aux);
+  uint32_t Id = L.Id;
+  if (Id < T.numQueues()) {
+    if (!SynthQueue[Id]) {
+      dropLine(Ln, formatString("queue %u re-declared", Id));
+      return;
+    }
+    T.queueInfoMutable(QueueId(Id)) = Info;
+    SynthQueue[Id] = false;
+    incident(Ln, formatString("queue %u declared out of order; backfilled "
+                              "the placeholder",
+                              Id));
+    return;
+  }
+  if (Id > T.numQueues()) {
+    if (!notePaddedGap(padQueues(Id), Ln, "queue", Id))
+      return;
+  }
+  pushQueue(Info, false);
+}
+
+void SalvageMachine::handleListener(const LexedLine &L, size_t Ln) {
+  ListenerInfo Info;
+  Info.Name = remapName(L.Name);
+  Info.Instrumented = L.Aux != 0;
+  uint32_t Id = L.Id;
+  if (Id < T.numListeners()) {
+    if (!SynthListener[Id]) {
+      dropLine(Ln, formatString("listener %u re-declared", Id));
+      return;
+    }
+    T.listenerInfoMutable(ListenerId(Id)) = Info;
+    SynthListener[Id] = false;
+    incident(Ln, formatString("listener %u declared out of order; backfilled "
+                              "the placeholder",
+                              Id));
+    return;
+  }
+  if (Id > T.numListeners()) {
+    if (!notePaddedGap(padListeners(Id), Ln, "listener", Id))
+      return;
+  }
+  pushListener(Info, false);
+}
+
+void SalvageMachine::handleTask(const LexedLine &L, size_t Ln) {
+  TaskInfo Info;
+  Info.Kind = (L.TaskFlags & TaskFlagEvent) ? TaskKind::Event
+                                            : TaskKind::Thread;
+  Info.Name = remapName(L.Name);
+  Info.Process = tracetext::idFromRaw<ProcessId>(L.Aux2);
+  Info.Queue = tracetext::idFromRaw<QueueId>(L.QueueRef);
+  Info.Handler = tracetext::idFromRaw<MethodId>(L.Pc);
+  Info.DelayMs = L.Arg0;
+  Info.SentAtFront = (L.TaskFlags & TaskFlagFront) != 0;
+  Info.External = (L.TaskFlags & TaskFlagExternal) != 0;
+  Info.Parent = tracetext::idFromRaw<TaskId>(L.Parent);
+  Info.IsLooper = (L.TaskFlags & TaskFlagLooper) != 0;
+  uint32_t Id = L.Id;
+  if (Id < T.numTasks()) {
+    // Backfill is only sound while nothing has committed to the
+    // placeholder's identity (no records, no send naming it).
+    if (!SynthTask[Id] || States[Id].Begun || EventSent[Id]) {
+      dropLine(Ln, formatString("task %u re-declared", Id));
+      return;
+    }
+    T.taskInfoMutable(TaskId(Id)) = Info;
+    SynthTask[Id] = false;
+    incident(Ln, formatString("task %u declared out of order; backfilled "
+                              "the placeholder",
+                              Id));
+    return;
+  }
+  if (Id > T.numTasks()) {
+    if (!notePaddedGap(padTasks(Id), Ln, "task", Id))
+      return;
+  }
+  pushTask(Info, false);
+}
+
+//===----------------------------------------------------------------------===//
+// SalvageMachine: record directives
+//===----------------------------------------------------------------------===//
+
+void SalvageMachine::admitRecord(const TraceRecord &Rec, bool Repaired,
+                                 const std::string &Note, size_t Ln) {
+  T.append(Rec);
+  ++Report.RecordsKept;
+  LastTime = Rec.Time;
+  if (Repaired) {
+    ++Report.RecordsRepaired;
+    incident(Ln, Note);
+  }
+}
+
+void SalvageMachine::handleRec(const LexedLine &L, size_t Ln) {
+  uint32_t TaskRaw = L.Id;
+  uint32_t MethodRaw = L.Aux;
+  OpKind Kind = L.Op;
+  uint64_t A0 = L.Arg0, A1 = L.Arg1, A2 = L.Arg2, Time = L.Time;
+  if (TaskRaw == SentinelId) {
+    dropLine(Ln, "rec with invalid task id");
+    return;
+  }
+  if (TaskRaw >= T.numTasks()) {
+    if (!padTasks(static_cast<uint64_t>(TaskRaw) + 1)) {
+      dropLine(Ln, formatString("rec references undeclared task %u beyond "
+                                "the synthesis budget",
+                                TaskRaw));
+      return;
+    }
+    incident(Ln, formatString("rec references undeclared task %u; "
+                              "synthesized placeholder tasks",
+                              TaskRaw));
+  }
+  TaskId Task(TaskRaw);
+
+  bool Repaired = false;
+  std::string RepairNote;
+  auto noteRepair = [&](const std::string &Msg) {
+    Repaired = true;
+    if (!RepairNote.empty())
+      RepairNote += "; ";
+    RepairNote += Msg;
+  };
+
+  if (Time < LastTime) {
+    Time = LastTime;
+    noteRepair("timestamp regressed; clamped");
+  }
+
+  TraceRecord Rec;
+  Rec.Task = Task;
+  Rec.Kind = Kind;
+  Rec.Method = tracetext::idFromRaw<MethodId>(MethodRaw);
+  Rec.Pc = L.Pc;
+  Rec.Arg0 = A0;
+  Rec.Arg1 = A1;
+  Rec.Arg2 = A2;
+  Rec.Time = Time;
+
+  // Non-branch records survive an unknown method (report rendering
+  // tolerates it); branches are handled in their case below because the
+  // guard machinery indexes the method table.
+  if (Kind != OpKind::Branch && Rec.Method.isValid() &&
+      Rec.Method.index() >= T.numMethods()) {
+    Rec.Method = MethodId::invalid();
+    noteRepair(formatString("unknown method %u cleared", MethodRaw));
+  }
+
+  // Task lifecycle framing.
+  if (Kind == OpKind::TaskBegin) {
+    if (States[TaskRaw].Begun || States[TaskRaw].Ended) {
+      dropLine(Ln, "duplicate task begin");
+      return;
+    }
+    prepareBegin(Task, Ln);
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    States[TaskRaw].Begun = true;
+    const TaskInfo &Info = T.taskInfo(Task);
+    if (Info.Kind == TaskKind::Event)
+      ActiveEvent[Info.Queue.index()] = Task;
+    return;
+  }
+  if (States[TaskRaw].Ended) {
+    dropLine(Ln, "operation after task end");
+    return;
+  }
+  if (!States[TaskRaw].Begun) {
+    incident(Ln, formatString("task %u operates before its begin; "
+                              "synthesized one",
+                              TaskRaw));
+    synthBegin(Task, Ln);
+    if (Failed)
+      return;
+  }
+
+  switch (Kind) {
+  case OpKind::TaskBegin:
+    return; // handled above
+
+  case OpKind::TaskEnd: {
+    TaskState &S = States[TaskRaw];
+    if (!S.LockStack.empty() || !S.FrameStack.empty()) {
+      noteRepair(formatString(
+          "task ends holding %zu locks / %zu frames; synthesized the "
+          "balance",
+          S.LockStack.size(), S.FrameStack.size()));
+      unwindStacks(Task);
+    }
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    S.Ended = true;
+    const TaskInfo &Info = T.taskInfo(Task);
+    if (Info.Kind == TaskKind::Event && Info.Queue.isValid() &&
+        Info.Queue.index() < ActiveEvent.size() &&
+        ActiveEvent[Info.Queue.index()] == Task)
+      ActiveEvent[Info.Queue.index()] = TaskId::invalid();
+    return;
+  }
+
+  case OpKind::Send:
+  case OpKind::SendAtFront: {
+    if (A0 >= SentinelId) {
+      dropLine(Ln, "send with unusable target id");
+      return;
+    }
+    uint32_t Target = static_cast<uint32_t>(A0);
+    if (Target >= T.numTasks()) {
+      if (!padTasks(static_cast<uint64_t>(Target) + 1)) {
+        dropLine(Ln, formatString("send target %u beyond the synthesis "
+                                  "budget",
+                                  Target));
+        return;
+      }
+      noteRepair(formatString(
+          "send target %u undeclared; synthesized a placeholder", Target));
+    }
+    TaskInfo &TI = T.taskInfoMutable(TaskId(Target));
+    if (TI.Kind != TaskKind::Event) {
+      if (SynthTask[Target] && !States[Target].Begun) {
+        TI.Kind = TaskKind::Event;
+        noteRepair(formatString("placeholder task %u assumed to be an "
+                                "event",
+                                Target));
+      } else {
+        dropLine(Ln, "send target is not an event");
+        return;
+      }
+    }
+    if (EventSent[Target]) {
+      dropLine(Ln, "event sent twice");
+      return;
+    }
+    if (States[Target].Begun) {
+      dropLine(Ln, "event sent after it began");
+      return;
+    }
+    if (TI.Queue.isValid() && TI.Queue.index() < T.numQueues()) {
+      if (Rec.Arg2 != TI.Queue.value()) {
+        Rec.Arg2 = TI.Queue.value();
+        noteRepair("send queue rewritten to the task table's");
+      }
+    } else if (A2 < SentinelId && padQueues(A2 + 1)) {
+      TI.Queue = QueueId(static_cast<uint32_t>(A2));
+      noteRepair("task-table queue adopted from the send record");
+    } else {
+      dropLine(Ln, "send with no usable queue");
+      return;
+    }
+    EventSent[Target] = true;
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+  }
+
+  case OpKind::Fork: {
+    if (A0 >= SentinelId) {
+      dropLine(Ln, "fork with unusable target id");
+      return;
+    }
+    uint32_t Target = static_cast<uint32_t>(A0);
+    if (Target >= T.numTasks()) {
+      if (!padTasks(static_cast<uint64_t>(Target) + 1)) {
+        dropLine(Ln, formatString("fork target %u beyond the synthesis "
+                                  "budget",
+                                  Target));
+        return;
+      }
+      noteRepair(formatString(
+          "fork target %u undeclared; synthesized a placeholder", Target));
+    }
+    if (T.taskInfo(TaskId(Target)).Kind != TaskKind::Thread) {
+      dropLine(Ln, "fork target is not a thread");
+      return;
+    }
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+  }
+
+  case OpKind::Join: {
+    if (A0 >= SentinelId) {
+      dropLine(Ln, "join with unusable target id");
+      return;
+    }
+    uint32_t Target = static_cast<uint32_t>(A0);
+    if (Target >= T.numTasks()) {
+      if (!padTasks(static_cast<uint64_t>(Target) + 1)) {
+        dropLine(Ln, formatString("join target %u beyond the synthesis "
+                                  "budget",
+                                  Target));
+        return;
+      }
+      noteRepair(formatString(
+          "join target %u undeclared; synthesized a placeholder", Target));
+    }
+    if (T.taskInfo(TaskId(Target)).Kind != TaskKind::Thread) {
+      dropLine(Ln, "join target is not a thread");
+      return;
+    }
+    if (!States[Target].Ended) {
+      noteRepair(formatString(
+          "join of unended thread %u; synthesized its end", Target));
+      if (!States[Target].Begun)
+        synthBegin(TaskId(Target), Ln);
+      synthEnd(TaskId(Target));
+    }
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+  }
+
+  case OpKind::Wait:
+  case OpKind::Notify:
+    // The HB builder sizes per-monitor arrays by the largest id seen;
+    // a corrupted id must not conjure a multi-gigabyte allocation.
+    if (A0 > Opt.MaxEntityId) {
+      dropLine(Ln, "monitor id out of bounds");
+      return;
+    }
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+
+  case OpKind::Read:
+  case OpKind::Write:
+  case OpKind::PtrRead:
+  case OpKind::PtrWrite:
+    // The detector sizes its frees-by-variable index by the largest
+    // variable id seen.
+    if (A0 > Opt.MaxEntityId) {
+      dropLine(Ln, "variable id out of bounds");
+      return;
+    }
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+
+  case OpKind::Deref:
+  case OpKind::IpcSend:
+  case OpKind::IpcRecv:
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+
+  case OpKind::Branch:
+    if (A0 > 2) {
+      dropLine(Ln, "unknown branch kind");
+      return;
+    }
+    if (A2 > 0xFFFFFFFFull) {
+      dropLine(Ln, "branch target pc out of range");
+      return;
+    }
+    if (!Rec.Method.isValid() || Rec.Method.index() >= T.numMethods()) {
+      dropLine(Ln, "branch outside any known method");
+      return;
+    }
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+
+  case OpKind::RegisterListener:
+  case OpKind::PerformListener: {
+    if (A0 >= SentinelId) {
+      dropLine(Ln, "listener id out of bounds");
+      return;
+    }
+    uint32_t L2 = static_cast<uint32_t>(A0);
+    if (L2 >= T.numListeners()) {
+      if (!padListeners(static_cast<uint64_t>(L2) + 1)) {
+        dropLine(Ln, formatString("listener %u beyond the synthesis budget",
+                                  L2));
+        return;
+      }
+      noteRepair(formatString(
+          "listener %u undeclared; synthesized a placeholder", L2));
+    }
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+  }
+
+  case OpKind::LockAcquire:
+    States[TaskRaw].LockStack.push_back(A0);
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+
+  case OpKind::LockRelease: {
+    TaskState &S = States[TaskRaw];
+    if (S.LockStack.empty() || S.LockStack.back() != A0) {
+      bool Held = std::find(S.LockStack.begin(), S.LockStack.end(), A0) !=
+                  S.LockStack.end();
+      if (Held) {
+        noteRepair("release out of order; synthesized releases for "
+                   "inner locks");
+        while (S.LockStack.back() != A0) {
+          synthRecord(Task, OpKind::LockRelease, S.LockStack.back());
+          S.LockStack.pop_back();
+        }
+      } else {
+        noteRepair("release without acquire; synthesized one");
+        synthRecord(Task, OpKind::LockAcquire, A0);
+        S.LockStack.push_back(A0);
+      }
+    }
+    S.LockStack.pop_back();
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+  }
+
+  case OpKind::MethodEnter:
+    if (!SeenFrameIds.insert(A0).second) {
+      dropLine(Ln, "frame id reused");
+      return;
+    }
+    States[TaskRaw].FrameStack.push_back(A0);
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+
+  case OpKind::MethodExit: {
+    TaskState &S = States[TaskRaw];
+    if (S.FrameStack.empty() || S.FrameStack.back() != A0) {
+      bool Open = std::find(S.FrameStack.begin(), S.FrameStack.end(), A0) !=
+                  S.FrameStack.end();
+      if (Open) {
+        noteRepair("exit of an outer frame; synthesized exits for inner "
+                   "frames");
+        while (S.FrameStack.back() != A0) {
+          synthRecord(Task, OpKind::MethodExit, S.FrameStack.back());
+          S.FrameStack.pop_back();
+        }
+      } else if (SeenFrameIds.insert(A0).second) {
+        noteRepair("exit without enter; synthesized one");
+        synthRecord(Task, OpKind::MethodEnter, A0);
+        S.FrameStack.push_back(A0);
+      } else {
+        dropLine(Ln, "unmatched method exit");
+        return;
+      }
+    }
+    S.FrameStack.pop_back();
+    admitRecord(Rec, Repaired, RepairNote, Ln);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SalvageMachine: end of input
+//===----------------------------------------------------------------------===//
+
+Status SalvageMachine::finish(Trace &Out, IngestReport &ReportOut) {
+  if (!SeenFirstLine && !Failed) {
+    Report.MissingHeader = true;
+    if (Opt.Strict)
+      hardFail("strict mode: empty input");
+  }
+
+  // Close events the stream left open (trace truncated mid-handler).
+  // Strict mode skips this: an unended task is legal in a validated
+  // trace (the runtime stops logging after a fixed interaction window),
+  // so strict accepts it unchanged.
+  if (!Failed && !Opt.Strict && Opt.RepairTruncation) {
+    for (uint32_t I = 0, E = static_cast<uint32_t>(T.numTasks()); I != E;
+         ++I) {
+      if (!States[I].Begun || States[I].Ended)
+        continue;
+      if (T.taskInfo(TaskId(I)).Kind != TaskKind::Event)
+        continue;
+      incident(0, formatString("input ended while event %u was executing; "
+                               "synthesized its terminator",
+                               I));
+      synthEnd(TaskId(I));
+    }
+  }
+
+  // Bound every dormant cross-reference so downstream dense indexing
+  // stays in range even for tasks that never produced a record.
+  if (!Failed && !Opt.Strict) {
+    for (uint32_t I = 0, E = static_cast<uint32_t>(T.numTasks()); I != E;
+         ++I) {
+      TaskInfo &Info = T.taskInfoMutable(TaskId(I));
+      if (Info.Queue.isValid() && Info.Queue.index() >= T.numQueues()) {
+        Info.Queue = QueueId::invalid();
+        if (Info.Kind == TaskKind::Event)
+          Info.Kind = TaskKind::Thread;
+        incident(0, formatString("task %u: dangling queue reference cleared",
+                                 I));
+      }
+      if (Info.Parent.isValid() && Info.Parent.index() >= T.numTasks()) {
+        Info.Parent = TaskId::invalid();
+        incident(0, formatString("task %u: dangling parent reference cleared",
+                                 I));
+      }
+      if (Info.Handler.isValid() && Info.Handler.index() >= T.numMethods()) {
+        Info.Handler = MethodId::invalid();
+        incident(0, formatString("task %u: dangling handler reference "
+                                 "cleared",
+                                 I));
+      }
+    }
+    for (uint32_t I = 0, E = static_cast<uint32_t>(T.numQueues()); I != E;
+         ++I) {
+      QueueInfo &Info = T.queueInfoMutable(QueueId(I));
+      if (Info.Looper.isValid() && Info.Looper.index() >= T.numTasks()) {
+        Info.Looper = TaskId::invalid();
+        incident(0, formatString("queue %u: dangling looper reference "
+                                 "cleared",
+                                 I));
+      }
+    }
+  }
+
+  if (!Failed && Report.LinesTotal > 0) {
+    double Ratio = static_cast<double>(Report.LinesDropped) /
+                   static_cast<double>(Report.LinesTotal);
+    if (Ratio > Opt.MaxDroppedRatio)
+      hardFail(formatString(
+          "error budget exceeded: dropped %llu of %llu lines "
+          "(%.0f%% > %.0f%% cap)",
+          static_cast<unsigned long long>(Report.LinesDropped),
+          static_cast<unsigned long long>(Report.LinesTotal),
+          Ratio * 100.0, Opt.MaxDroppedRatio * 100.0));
+  }
+
+  ReportOut = std::move(Report);
+  if (Failed)
+    return Fail;
+  Out = std::move(T);
+  return Status::success();
+}
+
+//===----------------------------------------------------------------------===//
+// SalvageMachine: snapshot round-trip
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Sanity bound on decoded element counts; real counts are bounded by
+/// the payload length anyway (every element costs bytes), this just
+/// keeps a corrupt count from driving a huge loop before reads fail.
+constexpr uint64_t MaxDecodeCount = 1ull << 28;
+
+void encodeStrId(SnapshotWriter &W, StrId Id) {
+  W.u32(tracetext::idOrSentinel(Id));
+}
+
+template <typename IdT> bool decodeId(SnapshotReader &R, IdT &Out) {
+  uint32_t Raw;
+  if (!R.u32(Raw))
+    return false;
+  Out = tracetext::idFromRaw<IdT>(Raw);
+  return true;
+}
+
+} // namespace
+
+void SalvageMachine::encodeState(SnapshotWriter &W) const {
+  // Stream position.
+  W.u64(LineBase);
+  W.u8(SeenFirstLine ? 1 : 0);
+  W.u64(LastTime);
+
+  // Report.
+  W.u64(Report.LinesTotal);
+  W.u64(Report.LinesDropped);
+  W.u64(Report.RecordsKept);
+  W.u64(Report.RecordsRepaired);
+  W.u64(Report.RecordsSynthesized);
+  W.u64(Report.TableEntriesSynthesized);
+  W.u64(Report.UnsentEventBegins);
+  W.u8(Report.MissingHeader ? 1 : 0);
+  W.u8(Report.TruncatedFinalLine ? 1 : 0);
+  W.u64(Report.IncidentsTotal);
+  W.u32(static_cast<uint32_t>(Report.Diagnostics.size()));
+  for (const IngestDiagnostic &D : Report.Diagnostics) {
+    W.u64(D.LineNo);
+    W.str(D.Message);
+  }
+
+  // Interner (ids are dense indices, so order is the content).
+  W.u32(static_cast<uint32_t>(T.names().size()));
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.names().size()); I != E;
+       ++I)
+    W.str(T.names().str(StrId(I)));
+
+  // Records.
+  W.u64(T.numRecords());
+  for (const TraceRecord &R : T.records()) {
+    W.u32(tracetext::idOrSentinel(R.Task));
+    W.u8(static_cast<uint8_t>(R.Kind));
+    W.u32(tracetext::idOrSentinel(R.Method));
+    W.u32(R.Pc);
+    W.u64(R.Arg0);
+    W.u64(R.Arg1);
+    W.u64(R.Arg2);
+    W.u64(R.Time);
+  }
+
+  // Side tables + their validator mirrors, element-wise so the decoder
+  // can rebuild both in one pass.
+  W.u32(static_cast<uint32_t>(T.numTasks()));
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numTasks()); I != E; ++I) {
+    const TaskInfo &Info = T.taskInfo(TaskId(I));
+    W.u8(Info.Kind == TaskKind::Event ? 1 : 0);
+    encodeStrId(W, Info.Name);
+    W.u32(tracetext::idOrSentinel(Info.Process));
+    W.u32(tracetext::idOrSentinel(Info.Queue));
+    W.u32(tracetext::idOrSentinel(Info.Handler));
+    W.u64(Info.DelayMs);
+    W.u8(Info.SentAtFront ? 1 : 0);
+    W.u8(Info.External ? 1 : 0);
+    W.u32(tracetext::idOrSentinel(Info.Parent));
+    W.u8(Info.IsLooper ? 1 : 0);
+    const TaskState &S = States[I];
+    W.u8(S.Begun ? 1 : 0);
+    W.u8(S.Ended ? 1 : 0);
+    W.u32(static_cast<uint32_t>(S.LockStack.size()));
+    W.u64s(S.LockStack.data(), S.LockStack.size());
+    W.u32(static_cast<uint32_t>(S.FrameStack.size()));
+    W.u64s(S.FrameStack.data(), S.FrameStack.size());
+    W.u8(EventSent[I] ? 1 : 0);
+    W.u8(SynthTask[I] ? 1 : 0);
+  }
+
+  W.u32(static_cast<uint32_t>(T.numQueues()));
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numQueues()); I != E;
+       ++I) {
+    const QueueInfo &Info = T.queueInfo(QueueId(I));
+    encodeStrId(W, Info.Name);
+    W.u32(tracetext::idOrSentinel(Info.Looper));
+    W.u32(tracetext::idOrSentinel(ActiveEvent[I]));
+    W.u8(SynthQueue[I] ? 1 : 0);
+  }
+
+  W.u32(static_cast<uint32_t>(T.numMethods()));
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numMethods()); I != E;
+       ++I) {
+    const MethodInfo &Info = T.methodInfo(MethodId(I));
+    encodeStrId(W, Info.Name);
+    W.u32(Info.CodeSize);
+    W.u8(SynthMethod[I] ? 1 : 0);
+  }
+
+  W.u32(static_cast<uint32_t>(T.numListeners()));
+  for (uint32_t I = 0, E = static_cast<uint32_t>(T.numListeners()); I != E;
+       ++I) {
+    const ListenerInfo &Info = T.listenerInfo(ListenerId(I));
+    encodeStrId(W, Info.Name);
+    W.u8(Info.Instrumented ? 1 : 0);
+    W.u8(SynthListener[I] ? 1 : 0);
+  }
+
+  // Frame-id history, sorted so the encoding is deterministic.
+  std::vector<uint64_t> Frames(SeenFrameIds.begin(), SeenFrameIds.end());
+  std::sort(Frames.begin(), Frames.end());
+  W.u64(Frames.size());
+  W.u64s(Frames.data(), Frames.size());
+}
+
+bool SalvageMachine::decodeState(SnapshotReader &R) {
+  uint8_t B;
+  if (!R.u64(LineBase) || !R.u8(B))
+    return false;
+  SeenFirstLine = B != 0;
+  if (!R.u64(LastTime))
+    return false;
+
+  if (!R.u64(Report.LinesTotal) || !R.u64(Report.LinesDropped) ||
+      !R.u64(Report.RecordsKept) || !R.u64(Report.RecordsRepaired) ||
+      !R.u64(Report.RecordsSynthesized) ||
+      !R.u64(Report.TableEntriesSynthesized) ||
+      !R.u64(Report.UnsentEventBegins))
+    return false;
+  if (!R.u8(B))
+    return false;
+  Report.MissingHeader = B != 0;
+  if (!R.u8(B))
+    return false;
+  Report.TruncatedFinalLine = B != 0;
+  if (!R.u64(Report.IncidentsTotal))
+    return false;
+  uint32_t DiagCount;
+  if (!R.u32(DiagCount) || DiagCount > MaxDecodeCount)
+    return false;
+  Report.Diagnostics.clear();
+  for (uint32_t I = 0; I != DiagCount; ++I) {
+    IngestDiagnostic D;
+    uint64_t Ln;
+    if (!R.u64(Ln) || !R.str(D.Message))
+      return false;
+    D.LineNo = static_cast<size_t>(Ln);
+    Report.Diagnostics.push_back(std::move(D));
+  }
+
+  uint32_t NameCount;
+  if (!R.u32(NameCount) || NameCount > MaxDecodeCount)
+    return false;
+  for (uint32_t I = 0; I != NameCount; ++I) {
+    std::string S;
+    if (!R.str(S))
+      return false;
+    // Duplicate strings would silently renumber every name reference.
+    if (T.names().intern(S).value() != I)
+      return false;
+  }
+
+  uint64_t RecCount;
+  if (!R.u64(RecCount) || RecCount > MaxDecodeCount)
+    return false;
+  for (uint64_t I = 0; I != RecCount; ++I) {
+    TraceRecord Rec;
+    uint8_t Kind;
+    if (!decodeId(R, Rec.Task) || !R.u8(Kind) || Kind >= NumOpKinds ||
+        !decodeId(R, Rec.Method) || !R.u32(Rec.Pc) || !R.u64(Rec.Arg0) ||
+        !R.u64(Rec.Arg1) || !R.u64(Rec.Arg2) || !R.u64(Rec.Time))
+      return false;
+    Rec.Kind = static_cast<OpKind>(Kind);
+    T.append(Rec);
+  }
+
+  uint32_t TaskCount;
+  if (!R.u32(TaskCount) || TaskCount > MaxDecodeCount)
+    return false;
+  for (uint32_t I = 0; I != TaskCount; ++I) {
+    TaskInfo Info;
+    uint8_t Kind, Front, External, Looper, Begun, Ended, Sent, Synth;
+    if (!R.u8(Kind))
+      return false;
+    Info.Kind = Kind ? TaskKind::Event : TaskKind::Thread;
+    if (!decodeId(R, Info.Name) || !decodeId(R, Info.Process) ||
+        !decodeId(R, Info.Queue) || !decodeId(R, Info.Handler) ||
+        !R.u64(Info.DelayMs) || !R.u8(Front) || !R.u8(External) ||
+        !decodeId(R, Info.Parent) || !R.u8(Looper))
+      return false;
+    if (Info.Name.isValid() && Info.Name.index() >= T.names().size())
+      return false;
+    Info.SentAtFront = Front != 0;
+    Info.External = External != 0;
+    Info.IsLooper = Looper != 0;
+    TaskState S;
+    uint32_t Depth;
+    if (!R.u8(Begun) || !R.u8(Ended) || !R.u32(Depth) ||
+        Depth > MaxDecodeCount)
+      return false;
+    S.Begun = Begun != 0;
+    S.Ended = Ended != 0;
+    S.LockStack.resize(Depth);
+    if (!R.u64s(S.LockStack.data(), Depth))
+      return false;
+    if (!R.u32(Depth) || Depth > MaxDecodeCount)
+      return false;
+    S.FrameStack.resize(Depth);
+    if (!R.u64s(S.FrameStack.data(), Depth))
+      return false;
+    if (!R.u8(Sent) || !R.u8(Synth))
+      return false;
+    T.addTask(Info);
+    States.push_back(std::move(S));
+    EventSent.push_back(Sent != 0);
+    SynthTask.push_back(Synth != 0);
+  }
+
+  uint32_t QueueCount;
+  if (!R.u32(QueueCount) || QueueCount > MaxDecodeCount)
+    return false;
+  for (uint32_t I = 0; I != QueueCount; ++I) {
+    QueueInfo Info;
+    TaskId Active;
+    uint8_t Synth;
+    if (!decodeId(R, Info.Name) || !decodeId(R, Info.Looper) ||
+        !decodeId(R, Active) || !R.u8(Synth))
+      return false;
+    if (Info.Name.isValid() && Info.Name.index() >= T.names().size())
+      return false;
+    if (Active.isValid() && Active.index() >= T.numTasks())
+      return false;
+    T.addQueue(Info);
+    ActiveEvent.push_back(Active);
+    SynthQueue.push_back(Synth != 0);
+  }
+
+  uint32_t MethodCount;
+  if (!R.u32(MethodCount) || MethodCount > MaxDecodeCount)
+    return false;
+  for (uint32_t I = 0; I != MethodCount; ++I) {
+    MethodInfo Info;
+    uint8_t Synth;
+    if (!decodeId(R, Info.Name) || !R.u32(Info.CodeSize) || !R.u8(Synth))
+      return false;
+    if (Info.Name.isValid() && Info.Name.index() >= T.names().size())
+      return false;
+    T.addMethod(Info);
+    SynthMethod.push_back(Synth != 0);
+  }
+
+  uint32_t ListenerCount;
+  if (!R.u32(ListenerCount) || ListenerCount > MaxDecodeCount)
+    return false;
+  for (uint32_t I = 0; I != ListenerCount; ++I) {
+    ListenerInfo Info;
+    uint8_t Instr, Synth;
+    if (!decodeId(R, Info.Name) || !R.u8(Instr) || !R.u8(Synth))
+      return false;
+    if (Info.Name.isValid() && Info.Name.index() >= T.names().size())
+      return false;
+    Info.Instrumented = Instr != 0;
+    T.addListener(Info);
+    SynthListener.push_back(Synth != 0);
+  }
+
+  uint64_t FrameCount;
+  if (!R.u64(FrameCount) || FrameCount > MaxDecodeCount)
+    return false;
+  for (uint64_t I = 0; I != FrameCount; ++I) {
+    uint64_t F;
+    if (!R.u64(F))
+      return false;
+    SeenFrameIds.insert(F);
+  }
+
+  return true;
+}

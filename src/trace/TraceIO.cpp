@@ -5,9 +5,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+// This TU defines the deprecated parseTrace() forwarder.
+#define CAFA_NO_DEPRECATION_WARNINGS
+
 #include "trace/TraceIO.h"
 
 #include "support/Format.h"
+#include "trace/SalvageEngine.h"
 #include "trace/TraceTextFormat.h"
 
 #include <cinttypes>
@@ -77,7 +81,7 @@ Status lineError(size_t LineNo, const char *What) {
 
 } // namespace
 
-Status cafa::parseTrace(const std::string &Text, Trace &Out) {
+Status cafa::ingest::parseTraceImpl(const std::string &Text, Trace &Out) {
   // Strong guarantee: parse into a local trace and hand it over only on
   // success, so a failure leaves *Out exactly as the caller passed it.
   Trace Parsed;
@@ -213,6 +217,10 @@ Status cafa::parseTrace(const std::string &Text, Trace &Out) {
   return Status::success();
 }
 
+Status cafa::parseTrace(const std::string &Text, Trace &Out) {
+  return ingest::parseTraceImpl(Text, Out);
+}
+
 Status cafa::writeTraceFile(const Trace &T, const std::string &Path) {
   std::ofstream OS(Path, std::ios::binary);
   if (!OS)
@@ -232,5 +240,5 @@ Status cafa::readTraceFile(const std::string &Path, Trace &Out) {
                                       Path.c_str()));
   std::ostringstream Buffer;
   Buffer << IS.rdbuf();
-  return parseTrace(Buffer.str(), Out);
+  return ingest::parseTraceImpl(Buffer.str(), Out);
 }

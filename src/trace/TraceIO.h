@@ -17,6 +17,7 @@
 #ifndef CAFA_TRACE_TRACEIO_H
 #define CAFA_TRACE_TRACEIO_H
 
+#include "support/Deprecated.h"
 #include "support/Status.h"
 #include "trace/Trace.h"
 
@@ -34,8 +35,11 @@ std::string serializeRecordLine(const TraceRecord &Rec);
 /// Parses text produced by serializeTrace().  On success *Out is
 /// replaced; on failure *Out is left exactly as the caller passed it
 /// (strong guarantee) and the Status describes the first offending line.
-/// Rejects the input at the first malformed line; use TraceReader
-/// (trace/TraceReader.h) to salvage what a damaged stream still holds.
+/// Deprecated: use ingestTrace() with IngestMode::Parse
+/// (trace/IngestSession.h), which runs the same strict parser behind the
+/// unified ingestion API and also fills an IngestReport.
+CAFA_DEPRECATED("use cafa::ingestTrace with IngestMode::Parse "
+                "(trace/IngestSession.h)")
 Status parseTrace(const std::string &Text, Trace &Out);
 
 /// Writes the serialized trace to \p Path.

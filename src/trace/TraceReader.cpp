@@ -1,1002 +1,42 @@
-//===- trace/TraceReader.cpp - Streaming salvage trace parser -------------===//
+//===- trace/TraceReader.cpp - Deprecated salvage entry points ------------===//
 //
 // Part of the CAFA reproduction project.
 // SPDX-License-Identifier: MIT
 //
 //===----------------------------------------------------------------------===//
 //
-// The salvage parser merges three passes the strict pipeline runs
-// separately -- parsing, validation, and (new here) repair -- because a
-// sound repair decision needs the running validation state: whether the
-// task has begun, what it holds locked, which event owns its queue.  Each
-// input line is either admitted (possibly after an in-place fixup),
-// admitted together with synthesized bookkeeping records that restore an
-// invariant, or dropped.  Synthesized records are restricted to kinds the
-// detectors never report on (begin/end, lock release/acquire, method
-// enter/exit), so salvage can widen the candidate space but cannot invent
-// an access.
+// Thin shims keeping the pre-IngestSession salvage API alive.  Everything
+// forwards to an IngestSession pinned to one thread; the salvage policy
+// itself lives in trace/SalvageEngine.cpp and is shared, so these
+// wrappers cannot drift from the replacement they deprecate.
 //
 //===----------------------------------------------------------------------===//
 
+// This TU *implements* the deprecated surface; compiling it must not warn.
+#define CAFA_NO_DEPRECATION_WARNINGS
+
 #include "trace/TraceReader.h"
 
-#include "support/Format.h"
-#include "trace/TraceTextFormat.h"
-
-#include <algorithm>
-#include <fstream>
-#include <unordered_set>
-
 using namespace cafa;
-using namespace cafa::tracetext;
 
 namespace {
-constexpr uint32_t SentinelId = 0xFFFFFFFFu;
-} // namespace
 
-std::string IngestReport::summary() const {
-  std::string S = formatString(
-      "ingest: %llu lines, %llu records kept, %llu lines dropped, "
-      "%llu repaired, %llu synthesized",
-      static_cast<unsigned long long>(LinesTotal),
-      static_cast<unsigned long long>(RecordsKept),
-      static_cast<unsigned long long>(LinesDropped),
-      static_cast<unsigned long long>(RecordsRepaired),
-      static_cast<unsigned long long>(RecordsSynthesized));
-  if (TableEntriesSynthesized)
-    S += formatString(", %llu placeholder table entries",
-                      static_cast<unsigned long long>(TableEntriesSynthesized));
-  if (UnsentEventBegins)
-    S += formatString(", %llu unsent event begins",
-                      static_cast<unsigned long long>(UnsentEventBegins));
-  if (MissingHeader)
-    S += ", header missing";
-  if (TruncatedFinalLine)
-    S += ", final line truncated";
-  for (const IngestDiagnostic &D : Diagnostics) {
-    if (D.LineNo)
-      S += formatString("\n  line %zu: %s", D.LineNo, D.Message.c_str());
-    else
-      S += formatString("\n  end of input: %s", D.Message.c_str());
-  }
-  if (IncidentsTotal > Diagnostics.size())
-    S += formatString(
-        "\n  ... and %llu more incidents",
-        static_cast<unsigned long long>(IncidentsTotal - Diagnostics.size()));
-  S += '\n';
-  return S;
+IngestOptions wrapOptions(const SalvageOptions &Options) {
+  IngestOptions O;
+  O.Mode = IngestMode::Salvage;
+  O.Salvage = Options;
+  O.Threads = 1;
+  return O;
 }
 
+} // namespace
+
 struct TraceReader::Impl {
-  SalvageOptions Opt;
-  Trace T;
-  IngestReport Report;
-  bool Failed = false;
-  Status Fail = Status::success();
+  IngestSession Session;
   bool Finished = false;
 
-  std::string Pending; ///< partial line carried across feed() chunks
-  size_t LineNo = 0;
-  bool SeenFirstLine = false;
-
-  /// Mirror of the validator's per-task running state.
-  struct TaskState {
-    bool Begun = false;
-    bool Ended = false;
-    std::vector<uint64_t> LockStack;
-    std::vector<uint64_t> FrameStack;
-  };
-  std::vector<TaskState> States;       // parallel to the task table
-  std::vector<bool> EventSent;         // parallel to the task table
-  std::vector<bool> SynthTask;         // entry is a placeholder we invented
-  std::vector<bool> SynthQueue;
-  std::vector<bool> SynthMethod;
-  std::vector<bool> SynthListener;
-  std::vector<TaskId> ActiveEvent;     // parallel to the queue table
-  std::unordered_set<uint64_t> SeenFrameIds;
-  uint64_t LastTime = 0;
-
-  explicit Impl(const SalvageOptions &O) : Opt(O) {}
-
-  // --- Accounting -------------------------------------------------------
-
-  void hardFail(const std::string &Msg) {
-    if (!Failed) {
-      Failed = true;
-      Fail = Status::error(Msg);
-    }
-  }
-
-  void diag(size_t Ln, const std::string &Msg) {
-    if (Report.Diagnostics.size() < Opt.MaxDiagnostics)
-      Report.Diagnostics.push_back({Ln, Msg});
-  }
-
-  void incident(size_t Ln, const std::string &Msg) {
-    ++Report.IncidentsTotal;
-    diag(Ln, Msg);
-    if (Opt.Strict)
-      hardFail(Ln ? formatString("strict mode: line %zu: %s", Ln, Msg.c_str())
-                  : formatString("strict mode: %s", Msg.c_str()));
-  }
-
-  void dropLine(size_t Ln, const std::string &Msg) {
-    incident(Ln, Msg);
-    ++Report.LinesDropped;
-    if (Report.LinesDropped > Opt.MaxDroppedLines)
-      hardFail(formatString(
-          "error budget exceeded: %llu lines dropped (cap %llu)",
-          static_cast<unsigned long long>(Report.LinesDropped),
-          static_cast<unsigned long long>(Opt.MaxDroppedLines)));
-  }
-
-  // --- Side-table growth ------------------------------------------------
-
-  bool budgetFor(uint64_t Needed) {
-    return Report.TableEntriesSynthesized + Needed <=
-           Opt.MaxSynthesizedEntries;
-  }
-
-  void pushTask(const TaskInfo &Info, bool Synth) {
-    T.addTask(Info);
-    States.emplace_back();
-    EventSent.push_back(false);
-    SynthTask.push_back(Synth);
-  }
-  void pushQueue(const QueueInfo &Info, bool Synth) {
-    T.addQueue(Info);
-    ActiveEvent.push_back(TaskId::invalid());
-    SynthQueue.push_back(Synth);
-  }
-  void pushMethod(const MethodInfo &Info, bool Synth) {
-    T.addMethod(Info);
-    SynthMethod.push_back(Synth);
-  }
-  void pushListener(const ListenerInfo &Info, bool Synth) {
-    T.addListener(Info);
-    SynthListener.push_back(Synth);
-  }
-
-  bool padTasks(uint64_t Count) {
-    if (Count <= T.numTasks())
-      return true;
-    uint64_t Needed = Count - T.numTasks();
-    if (!budgetFor(Needed))
-      return false;
-    Report.TableEntriesSynthesized += Needed;
-    while (T.numTasks() < Count)
-      pushTask(TaskInfo(), true);
-    return true;
-  }
-  bool padQueues(uint64_t Count) {
-    if (Count <= T.numQueues())
-      return true;
-    uint64_t Needed = Count - T.numQueues();
-    if (!budgetFor(Needed))
-      return false;
-    Report.TableEntriesSynthesized += Needed;
-    while (T.numQueues() < Count)
-      pushQueue(QueueInfo(), true);
-    return true;
-  }
-  bool padMethods(uint64_t Count) {
-    if (Count <= T.numMethods())
-      return true;
-    uint64_t Needed = Count - T.numMethods();
-    if (!budgetFor(Needed))
-      return false;
-    Report.TableEntriesSynthesized += Needed;
-    while (T.numMethods() < Count)
-      pushMethod(MethodInfo(), true);
-    return true;
-  }
-  bool padListeners(uint64_t Count) {
-    if (Count <= T.numListeners())
-      return true;
-    uint64_t Needed = Count - T.numListeners();
-    if (!budgetFor(Needed))
-      return false;
-    Report.TableEntriesSynthesized += Needed;
-    while (T.numListeners() < Count)
-      pushListener(ListenerInfo(), true);
-    return true;
-  }
-
-  // --- Record synthesis -------------------------------------------------
-
-  void synthRecord(TaskId Task, OpKind Kind, uint64_t A0 = 0) {
-    TraceRecord R;
-    R.Task = Task;
-    R.Kind = Kind;
-    R.Arg0 = A0;
-    R.Time = LastTime;
-    T.append(R);
-    ++Report.RecordsSynthesized;
-  }
-
-  /// Synthesizes the releases/exits that empty both per-task stacks.
-  void unwindStacks(TaskId Task) {
-    TaskState &S = States[Task.index()];
-    while (!S.FrameStack.empty()) {
-      synthRecord(Task, OpKind::MethodExit, S.FrameStack.back());
-      S.FrameStack.pop_back();
-    }
-    while (!S.LockStack.empty()) {
-      synthRecord(Task, OpKind::LockRelease, S.LockStack.back());
-      S.LockStack.pop_back();
-    }
-  }
-
-  /// Synthesizes a well-formed terminator for a begun, unended task.
-  void synthEnd(TaskId Task) {
-    unwindStacks(Task);
-    synthRecord(Task, OpKind::TaskEnd);
-    States[Task.index()].Ended = true;
-    const TaskInfo &Info = T.taskInfo(Task);
-    if (Info.Kind == TaskKind::Event && Info.Queue.isValid() &&
-        Info.Queue.index() < ActiveEvent.size() &&
-        ActiveEvent[Info.Queue.index()] == Task)
-      ActiveEvent[Info.Queue.index()] = TaskId::invalid();
-  }
-
-  /// Makes an event's queue reference usable (placeholder queue within
-  /// budget, else demotion to a plain thread).
-  void fixEventQueue(TaskId Task, size_t Ln) {
-    TaskInfo &Info = T.taskInfoMutable(Task);
-    if (Info.Kind != TaskKind::Event)
-      return;
-    if (Info.Queue.isValid() && Info.Queue.index() < T.numQueues())
-      return;
-    if (Info.Queue.isValid() &&
-        padQueues(static_cast<uint64_t>(Info.Queue.index()) + 1)) {
-      incident(Ln, formatString(
-                       "task %u: undeclared queue %u; synthesized a "
-                       "placeholder",
-                       Task.value(), Info.Queue.value()));
-      return;
-    }
-    Info.Kind = TaskKind::Thread;
-    Info.Queue = QueueId::invalid();
-    incident(Ln, formatString(
-                     "task %u: event with no usable queue demoted to a "
-                     "thread",
-                     Task.value()));
-  }
-
-  /// Restores every invariant a TaskBegin for \p Task depends on.
-  void prepareBegin(TaskId Task, size_t Ln) {
-    fixEventQueue(Task, Ln);
-    const TaskInfo &Info = T.taskInfo(Task);
-    if (Info.Kind != TaskKind::Event)
-      return;
-    uint32_t Q = Info.Queue.index();
-    if (ActiveEvent[Q].isValid()) {
-      incident(Ln, formatString(
-                       "queue %u: event %u still open; synthesized its "
-                       "terminator",
-                       Q, ActiveEvent[Q].value()));
-      synthEnd(ActiveEvent[Q]);
-    }
-    if (!Info.External && !EventSent[Task.index()]) {
-      ++Report.UnsentEventBegins;
-      incident(Ln, formatString("event %u begins without a send record",
-                                Task.value()));
-    }
-  }
-
-  void synthBegin(TaskId Task, size_t Ln) {
-    prepareBegin(Task, Ln);
-    synthRecord(Task, OpKind::TaskBegin);
-    States[Task.index()].Begun = true;
-    const TaskInfo &Info = T.taskInfo(Task);
-    if (Info.Kind == TaskKind::Event)
-      ActiveEvent[Info.Queue.index()] = Task;
-  }
-
-  // --- Line handling ----------------------------------------------------
-
-  void feedImpl(std::string_view Chunk) {
-    if (Failed || Finished)
-      return;
-    size_t Start = 0;
-    while (Start <= Chunk.size()) {
-      size_t NL = Chunk.find('\n', Start);
-      if (NL == std::string_view::npos) {
-        Pending.append(Chunk.substr(Start));
-        return;
-      }
-      Pending.append(Chunk.substr(Start, NL - Start));
-      std::string Line;
-      Line.swap(Pending);
-      processLine(std::move(Line));
-      Start = NL + 1;
-      if (Failed)
-        return;
-    }
-  }
-
-  void processLine(std::string Line) {
-    if (Failed)
-      return;
-    ++LineNo;
-    if (!Line.empty() && Line.back() == '\r')
-      Line.pop_back();
-    if (!SeenFirstLine) {
-      SeenFirstLine = true;
-      if (Line == MagicLine)
-        return;
-      Report.MissingHeader = true;
-      diag(LineNo, "missing 'cafa-trace v1' header");
-      if (Opt.Strict) {
-        hardFail("strict mode: missing or unrecognized trace header; "
-                 "expected 'cafa-trace v1'");
-        return;
-      }
-      // Fall through: the first line may itself be a directive.
-    }
-    if (Line.empty() || Line[0] == '#')
-      return;
-    std::vector<std::string> Tok = tokenize(Line);
-    if (Tok.empty())
-      return;
-    ++Report.LinesTotal;
-    const std::string &D = Tok[0];
-    if (D == "rec")
-      handleRec(Tok, LineNo);
-    else if (D == "method")
-      handleMethod(Tok, LineNo);
-    else if (D == "queue")
-      handleQueue(Tok, LineNo);
-    else if (D == "listener")
-      handleListener(Tok, LineNo);
-    else if (D == "task")
-      handleTask(Tok, LineNo);
-    else
-      dropLine(LineNo, formatString("unknown directive '%s'", D.c_str()));
-  }
-
-  // --- Side-table directives --------------------------------------------
-
-  void handleMethod(const std::vector<std::string> &Tok, size_t Ln) {
-    if (Tok.size() != 4) {
-      dropLine(Ln, "malformed method line");
-      return;
-    }
-    uint32_t Id, CodeSize;
-    if (!parseU32(Tok[1], Id) || !parseU32(Tok[3], CodeSize)) {
-      dropLine(Ln, "bad number in method line");
-      return;
-    }
-    MethodInfo Info;
-    if (Tok[2] != "-")
-      Info.Name = T.names().intern(unescapeName(Tok[2]));
-    Info.CodeSize = CodeSize;
-    if (Id < T.numMethods()) {
-      if (!SynthMethod[Id]) {
-        dropLine(Ln, formatString("method %u re-declared", Id));
-        return;
-      }
-      T.methodInfoMutable(MethodId(Id)) = Info;
-      SynthMethod[Id] = false;
-      incident(Ln, formatString(
-                       "method %u declared out of order; backfilled the "
-                       "placeholder",
-                       Id));
-      return;
-    }
-    if (Id > T.numMethods()) {
-      if (!notePaddedGap(padMethods(Id), Ln, "method", Id))
-        return;
-    }
-    pushMethod(Info, false);
-  }
-
-  void handleQueue(const std::vector<std::string> &Tok, size_t Ln) {
-    if (Tok.size() != 4) {
-      dropLine(Ln, "malformed queue line");
-      return;
-    }
-    uint32_t Id, Looper;
-    if (!parseU32(Tok[1], Id) || !parseU32(Tok[3], Looper)) {
-      dropLine(Ln, "bad number in queue line");
-      return;
-    }
-    QueueInfo Info;
-    if (Tok[2] != "-")
-      Info.Name = T.names().intern(unescapeName(Tok[2]));
-    Info.Looper = idFromRaw<TaskId>(Looper);
-    if (Id < T.numQueues()) {
-      if (!SynthQueue[Id]) {
-        dropLine(Ln, formatString("queue %u re-declared", Id));
-        return;
-      }
-      T.queueInfoMutable(QueueId(Id)) = Info;
-      SynthQueue[Id] = false;
-      incident(Ln, formatString(
-                       "queue %u declared out of order; backfilled the "
-                       "placeholder",
-                       Id));
-      return;
-    }
-    if (Id > T.numQueues()) {
-      if (!notePaddedGap(padQueues(Id), Ln, "queue", Id))
-        return;
-    }
-    pushQueue(Info, false);
-  }
-
-  void handleListener(const std::vector<std::string> &Tok, size_t Ln) {
-    if (Tok.size() != 4) {
-      dropLine(Ln, "malformed listener line");
-      return;
-    }
-    uint32_t Id, Instr;
-    if (!parseU32(Tok[1], Id) || !parseU32(Tok[3], Instr)) {
-      dropLine(Ln, "bad number in listener line");
-      return;
-    }
-    ListenerInfo Info;
-    if (Tok[2] != "-")
-      Info.Name = T.names().intern(unescapeName(Tok[2]));
-    Info.Instrumented = Instr != 0;
-    if (Id < T.numListeners()) {
-      if (!SynthListener[Id]) {
-        dropLine(Ln, formatString("listener %u re-declared", Id));
-        return;
-      }
-      T.listenerInfoMutable(ListenerId(Id)) = Info;
-      SynthListener[Id] = false;
-      incident(Ln, formatString(
-                       "listener %u declared out of order; backfilled the "
-                       "placeholder",
-                       Id));
-      return;
-    }
-    if (Id > T.numListeners()) {
-      if (!notePaddedGap(padListeners(Id), Ln, "listener", Id))
-        return;
-    }
-    pushListener(Info, false);
-  }
-
-  void handleTask(const std::vector<std::string> &Tok, size_t Ln) {
-    if (Tok.size() != 12) {
-      dropLine(Ln, "malformed task line");
-      return;
-    }
-    uint32_t Id, Process, Queue, Handler, Front, External, Parent, Looper;
-    uint64_t DelayMs;
-    if (!parseU32(Tok[1], Id) || !parseU32(Tok[4], Process) ||
-        !parseU32(Tok[5], Queue) || !parseU32(Tok[6], Handler) ||
-        !parseU64(Tok[7], DelayMs) || !parseU32(Tok[8], Front) ||
-        !parseU32(Tok[9], External) || !parseU32(Tok[10], Parent) ||
-        !parseU32(Tok[11], Looper)) {
-      dropLine(Ln, "bad number in task line");
-      return;
-    }
-    TaskInfo Info;
-    if (Tok[2] == "thread") {
-      Info.Kind = TaskKind::Thread;
-    } else if (Tok[2] == "event") {
-      Info.Kind = TaskKind::Event;
-    } else {
-      dropLine(Ln, "task kind must be 'thread' or 'event'");
-      return;
-    }
-    if (Tok[3] != "-")
-      Info.Name = T.names().intern(unescapeName(Tok[3]));
-    Info.Process = idFromRaw<ProcessId>(Process);
-    Info.Queue = idFromRaw<QueueId>(Queue);
-    Info.Handler = idFromRaw<MethodId>(Handler);
-    Info.DelayMs = DelayMs;
-    Info.SentAtFront = Front != 0;
-    Info.External = External != 0;
-    Info.Parent = idFromRaw<TaskId>(Parent);
-    Info.IsLooper = Looper != 0;
-    if (Id < T.numTasks()) {
-      // Backfill is only sound while nothing has committed to the
-      // placeholder's identity (no records, no send naming it).
-      if (!SynthTask[Id] || States[Id].Begun || EventSent[Id]) {
-        dropLine(Ln, formatString("task %u re-declared", Id));
-        return;
-      }
-      T.taskInfoMutable(TaskId(Id)) = Info;
-      SynthTask[Id] = false;
-      incident(Ln, formatString(
-                       "task %u declared out of order; backfilled the "
-                       "placeholder",
-                       Id));
-      return;
-    }
-    if (Id > T.numTasks()) {
-      if (!notePaddedGap(padTasks(Id), Ln, "task", Id))
-        return;
-    }
-    pushTask(Info, false);
-  }
-
-  /// Shared accounting for dense-id gaps in side-table declarations.
-  bool notePaddedGap(bool Padded, size_t Ln, const char *What,
-                         uint32_t Id) {
-    if (!Padded) {
-      dropLine(Ln, formatString(
-                       "gap before %s %u exceeds the synthesis budget",
-                       What, Id));
-      return false;
-    }
-    incident(Ln,
-             formatString("gap before %s %u; synthesized placeholders",
-                          What, Id));
-    return true;
-  }
-
-  // --- Record directives ------------------------------------------------
-
-  void admit(const TraceRecord &Rec, bool Repaired,
-             const std::string &Note, size_t Ln) {
-    T.append(Rec);
-    ++Report.RecordsKept;
-    LastTime = Rec.Time;
-    if (Repaired) {
-      ++Report.RecordsRepaired;
-      incident(Ln, Note);
-    }
-  }
-
-  void handleRec(const std::vector<std::string> &Tok, size_t Ln) {
-    if (Tok.size() != 9) {
-      dropLine(Ln, "malformed rec line");
-      return;
-    }
-    uint32_t TaskRaw, MethodRaw, Pc;
-    uint64_t A0, A1, A2, Time;
-    OpKind Kind;
-    if (!parseU32(Tok[1], TaskRaw) || !opKindFromName(Tok[2].c_str(), Kind) ||
-        !parseU32(Tok[3], MethodRaw) || !parseU32(Tok[4], Pc) ||
-        !parseU64(Tok[5], A0) || !parseU64(Tok[6], A1) ||
-        !parseU64(Tok[7], A2) || !parseU64(Tok[8], Time)) {
-      dropLine(Ln, "bad field in rec line");
-      return;
-    }
-    if (TaskRaw == SentinelId) {
-      dropLine(Ln, "rec with invalid task id");
-      return;
-    }
-    if (TaskRaw >= T.numTasks()) {
-      if (!padTasks(static_cast<uint64_t>(TaskRaw) + 1)) {
-        dropLine(Ln, formatString(
-                         "rec references undeclared task %u beyond the "
-                         "synthesis budget",
-                         TaskRaw));
-        return;
-      }
-      incident(Ln, formatString(
-                       "rec references undeclared task %u; synthesized "
-                       "placeholder tasks",
-                       TaskRaw));
-    }
-    TaskId Task(TaskRaw);
-
-    bool Repaired = false;
-    std::string RepairNote;
-    auto noteRepair = [&](const std::string &Msg) {
-      Repaired = true;
-      if (!RepairNote.empty())
-        RepairNote += "; ";
-      RepairNote += Msg;
-    };
-
-    if (Time < LastTime) {
-      Time = LastTime;
-      noteRepair("timestamp regressed; clamped");
-    }
-
-    TraceRecord Rec;
-    Rec.Task = Task;
-    Rec.Kind = Kind;
-    Rec.Method = idFromRaw<MethodId>(MethodRaw);
-    Rec.Pc = Pc;
-    Rec.Arg0 = A0;
-    Rec.Arg1 = A1;
-    Rec.Arg2 = A2;
-    Rec.Time = Time;
-
-    // Non-branch records survive an unknown method (report rendering
-    // tolerates it); branches are handled in their case below because the
-    // guard machinery indexes the method table.
-    if (Kind != OpKind::Branch && Rec.Method.isValid() &&
-        Rec.Method.index() >= T.numMethods()) {
-      Rec.Method = MethodId::invalid();
-      noteRepair(formatString("unknown method %u cleared", MethodRaw));
-    }
-
-    // Task lifecycle framing.
-    if (Kind == OpKind::TaskBegin) {
-      if (States[TaskRaw].Begun || States[TaskRaw].Ended) {
-        dropLine(Ln, "duplicate task begin");
-        return;
-      }
-      prepareBegin(Task, Ln);
-      admit(Rec, Repaired, RepairNote, Ln);
-      States[TaskRaw].Begun = true;
-      const TaskInfo &Info = T.taskInfo(Task);
-      if (Info.Kind == TaskKind::Event)
-        ActiveEvent[Info.Queue.index()] = Task;
-      return;
-    }
-    if (States[TaskRaw].Ended) {
-      dropLine(Ln, "operation after task end");
-      return;
-    }
-    if (!States[TaskRaw].Begun) {
-      incident(Ln, formatString(
-                       "task %u operates before its begin; synthesized one",
-                       TaskRaw));
-      synthBegin(Task, Ln);
-      if (Failed)
-        return;
-    }
-
-    switch (Kind) {
-    case OpKind::TaskBegin:
-      return; // handled above
-
-    case OpKind::TaskEnd: {
-      TaskState &S = States[TaskRaw];
-      if (!S.LockStack.empty() || !S.FrameStack.empty()) {
-        noteRepair(formatString(
-            "task ends holding %zu locks / %zu frames; synthesized the "
-            "balance",
-            S.LockStack.size(), S.FrameStack.size()));
-        unwindStacks(Task);
-      }
-      admit(Rec, Repaired, RepairNote, Ln);
-      S.Ended = true;
-      const TaskInfo &Info = T.taskInfo(Task);
-      if (Info.Kind == TaskKind::Event && Info.Queue.isValid() &&
-          Info.Queue.index() < ActiveEvent.size() &&
-          ActiveEvent[Info.Queue.index()] == Task)
-        ActiveEvent[Info.Queue.index()] = TaskId::invalid();
-      return;
-    }
-
-    case OpKind::Send:
-    case OpKind::SendAtFront: {
-      if (A0 >= SentinelId) {
-        dropLine(Ln, "send with unusable target id");
-        return;
-      }
-      uint32_t Target = static_cast<uint32_t>(A0);
-      if (Target >= T.numTasks()) {
-        if (!padTasks(static_cast<uint64_t>(Target) + 1)) {
-          dropLine(Ln, formatString(
-                           "send target %u beyond the synthesis budget",
-                           Target));
-          return;
-        }
-        noteRepair(formatString(
-            "send target %u undeclared; synthesized a placeholder",
-            Target));
-      }
-      TaskInfo &TI = T.taskInfoMutable(TaskId(Target));
-      if (TI.Kind != TaskKind::Event) {
-        if (SynthTask[Target] && !States[Target].Begun) {
-          TI.Kind = TaskKind::Event;
-          noteRepair(formatString("placeholder task %u assumed to be an "
-                                  "event",
-                                  Target));
-        } else {
-          dropLine(Ln, "send target is not an event");
-          return;
-        }
-      }
-      if (EventSent[Target]) {
-        dropLine(Ln, "event sent twice");
-        return;
-      }
-      if (States[Target].Begun) {
-        dropLine(Ln, "event sent after it began");
-        return;
-      }
-      if (TI.Queue.isValid() && TI.Queue.index() < T.numQueues()) {
-        if (Rec.Arg2 != TI.Queue.value()) {
-          Rec.Arg2 = TI.Queue.value();
-          noteRepair("send queue rewritten to the task table's");
-        }
-      } else if (A2 < SentinelId && padQueues(A2 + 1)) {
-        TI.Queue = QueueId(static_cast<uint32_t>(A2));
-        noteRepair("task-table queue adopted from the send record");
-      } else {
-        dropLine(Ln, "send with no usable queue");
-        return;
-      }
-      EventSent[Target] = true;
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-    }
-
-    case OpKind::Fork: {
-      if (A0 >= SentinelId) {
-        dropLine(Ln, "fork with unusable target id");
-        return;
-      }
-      uint32_t Target = static_cast<uint32_t>(A0);
-      if (Target >= T.numTasks()) {
-        if (!padTasks(static_cast<uint64_t>(Target) + 1)) {
-          dropLine(Ln, formatString(
-                           "fork target %u beyond the synthesis budget",
-                           Target));
-          return;
-        }
-        noteRepair(formatString(
-            "fork target %u undeclared; synthesized a placeholder",
-            Target));
-      }
-      if (T.taskInfo(TaskId(Target)).Kind != TaskKind::Thread) {
-        dropLine(Ln, "fork target is not a thread");
-        return;
-      }
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-    }
-
-    case OpKind::Join: {
-      if (A0 >= SentinelId) {
-        dropLine(Ln, "join with unusable target id");
-        return;
-      }
-      uint32_t Target = static_cast<uint32_t>(A0);
-      if (Target >= T.numTasks()) {
-        if (!padTasks(static_cast<uint64_t>(Target) + 1)) {
-          dropLine(Ln, formatString(
-                           "join target %u beyond the synthesis budget",
-                           Target));
-          return;
-        }
-        noteRepair(formatString(
-            "join target %u undeclared; synthesized a placeholder",
-            Target));
-      }
-      if (T.taskInfo(TaskId(Target)).Kind != TaskKind::Thread) {
-        dropLine(Ln, "join target is not a thread");
-        return;
-      }
-      if (!States[Target].Ended) {
-        noteRepair(formatString(
-            "join of unended thread %u; synthesized its end", Target));
-        if (!States[Target].Begun)
-          synthBegin(TaskId(Target), Ln);
-        synthEnd(TaskId(Target));
-      }
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-    }
-
-    case OpKind::Wait:
-    case OpKind::Notify:
-      // The HB builder sizes per-monitor arrays by the largest id seen;
-      // a corrupted id must not conjure a multi-gigabyte allocation.
-      if (A0 > Opt.MaxEntityId) {
-        dropLine(Ln, "monitor id out of bounds");
-        return;
-      }
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-
-    case OpKind::Read:
-    case OpKind::Write:
-    case OpKind::PtrRead:
-    case OpKind::PtrWrite:
-      // The detector sizes its frees-by-variable index by the largest
-      // variable id seen.
-      if (A0 > Opt.MaxEntityId) {
-        dropLine(Ln, "variable id out of bounds");
-        return;
-      }
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-
-    case OpKind::Deref:
-    case OpKind::IpcSend:
-    case OpKind::IpcRecv:
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-
-    case OpKind::Branch:
-      if (A0 > 2) {
-        dropLine(Ln, "unknown branch kind");
-        return;
-      }
-      if (A2 > 0xFFFFFFFFull) {
-        dropLine(Ln, "branch target pc out of range");
-        return;
-      }
-      if (!Rec.Method.isValid() || Rec.Method.index() >= T.numMethods()) {
-        dropLine(Ln, "branch outside any known method");
-        return;
-      }
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-
-    case OpKind::RegisterListener:
-    case OpKind::PerformListener: {
-      if (A0 >= SentinelId) {
-        dropLine(Ln, "listener id out of bounds");
-        return;
-      }
-      uint32_t L = static_cast<uint32_t>(A0);
-      if (L >= T.numListeners()) {
-        if (!padListeners(static_cast<uint64_t>(L) + 1)) {
-          dropLine(Ln, formatString(
-                           "listener %u beyond the synthesis budget", L));
-          return;
-        }
-        noteRepair(formatString(
-            "listener %u undeclared; synthesized a placeholder", L));
-      }
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-    }
-
-    case OpKind::LockAcquire:
-      States[TaskRaw].LockStack.push_back(A0);
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-
-    case OpKind::LockRelease: {
-      TaskState &S = States[TaskRaw];
-      if (S.LockStack.empty() || S.LockStack.back() != A0) {
-        bool Held = std::find(S.LockStack.begin(), S.LockStack.end(), A0) !=
-                    S.LockStack.end();
-        if (Held) {
-          noteRepair("release out of order; synthesized releases for "
-                     "inner locks");
-          while (S.LockStack.back() != A0) {
-            synthRecord(Task, OpKind::LockRelease, S.LockStack.back());
-            S.LockStack.pop_back();
-          }
-        } else {
-          noteRepair("release without acquire; synthesized one");
-          synthRecord(Task, OpKind::LockAcquire, A0);
-          S.LockStack.push_back(A0);
-        }
-      }
-      S.LockStack.pop_back();
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-    }
-
-    case OpKind::MethodEnter:
-      if (!SeenFrameIds.insert(A0).second) {
-        dropLine(Ln, "frame id reused");
-        return;
-      }
-      States[TaskRaw].FrameStack.push_back(A0);
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-
-    case OpKind::MethodExit: {
-      TaskState &S = States[TaskRaw];
-      if (S.FrameStack.empty() || S.FrameStack.back() != A0) {
-        bool Open = std::find(S.FrameStack.begin(), S.FrameStack.end(),
-                              A0) != S.FrameStack.end();
-        if (Open) {
-          noteRepair("exit of an outer frame; synthesized exits for inner "
-                     "frames");
-          while (S.FrameStack.back() != A0) {
-            synthRecord(Task, OpKind::MethodExit, S.FrameStack.back());
-            S.FrameStack.pop_back();
-          }
-        } else if (SeenFrameIds.insert(A0).second) {
-          noteRepair("exit without enter; synthesized one");
-          synthRecord(Task, OpKind::MethodEnter, A0);
-          S.FrameStack.push_back(A0);
-        } else {
-          dropLine(Ln, "unmatched method exit");
-          return;
-        }
-      }
-      S.FrameStack.pop_back();
-      admit(Rec, Repaired, RepairNote, Ln);
-      return;
-    }
-    }
-  }
-
-  // --- End of input -----------------------------------------------------
-
-  Status finishImpl(Trace &Out, IngestReport &ReportOut) {
-    if (Finished)
-      return Status::error("TraceReader::finish() called twice");
-    Finished = true;
-
-    if (!Pending.empty()) {
-      Report.TruncatedFinalLine = true;
-      std::string Last;
-      Last.swap(Pending);
-      processLine(std::move(Last));
-    }
-    if (!SeenFirstLine && !Failed) {
-      Report.MissingHeader = true;
-      if (Opt.Strict)
-        hardFail("strict mode: empty input");
-    }
-
-    // Close events the stream left open (trace truncated mid-handler).
-    // Strict mode skips this: an unended task is legal in a validated
-    // trace (the runtime stops logging after a fixed interaction window),
-    // so strict accepts it unchanged.
-    if (!Failed && !Opt.Strict && Opt.RepairTruncation) {
-      for (uint32_t I = 0, E = static_cast<uint32_t>(T.numTasks()); I != E;
-           ++I) {
-        if (!States[I].Begun || States[I].Ended)
-          continue;
-        if (T.taskInfo(TaskId(I)).Kind != TaskKind::Event)
-          continue;
-        incident(0, formatString(
-                        "input ended while event %u was executing; "
-                        "synthesized its terminator",
-                        I));
-        synthEnd(TaskId(I));
-      }
-    }
-
-    // Bound every dormant cross-reference so downstream dense indexing
-    // stays in range even for tasks that never produced a record.
-    if (!Failed && !Opt.Strict) {
-      for (uint32_t I = 0, E = static_cast<uint32_t>(T.numTasks()); I != E;
-           ++I) {
-        TaskInfo &Info = T.taskInfoMutable(TaskId(I));
-        if (Info.Queue.isValid() && Info.Queue.index() >= T.numQueues()) {
-          Info.Queue = QueueId::invalid();
-          if (Info.Kind == TaskKind::Event)
-            Info.Kind = TaskKind::Thread;
-          incident(0, formatString(
-                          "task %u: dangling queue reference cleared", I));
-        }
-        if (Info.Parent.isValid() && Info.Parent.index() >= T.numTasks()) {
-          Info.Parent = TaskId::invalid();
-          incident(0, formatString(
-                          "task %u: dangling parent reference cleared", I));
-        }
-        if (Info.Handler.isValid() &&
-            Info.Handler.index() >= T.numMethods()) {
-          Info.Handler = MethodId::invalid();
-          incident(0, formatString(
-                          "task %u: dangling handler reference cleared",
-                          I));
-        }
-      }
-      for (uint32_t I = 0, E = static_cast<uint32_t>(T.numQueues()); I != E;
-           ++I) {
-        QueueInfo &Info = T.queueInfoMutable(QueueId(I));
-        if (Info.Looper.isValid() && Info.Looper.index() >= T.numTasks()) {
-          Info.Looper = TaskId::invalid();
-          incident(0, formatString(
-                          "queue %u: dangling looper reference cleared",
-                          I));
-        }
-      }
-    }
-
-    if (!Failed && Report.LinesTotal > 0) {
-      double Ratio = static_cast<double>(Report.LinesDropped) /
-                     static_cast<double>(Report.LinesTotal);
-      if (Ratio > Opt.MaxDroppedRatio)
-        hardFail(formatString(
-            "error budget exceeded: dropped %llu of %llu lines "
-            "(%.0f%% > %.0f%% cap)",
-            static_cast<unsigned long long>(Report.LinesDropped),
-            static_cast<unsigned long long>(Report.LinesTotal),
-            Ratio * 100.0, Opt.MaxDroppedRatio * 100.0));
-    }
-
-    ReportOut = std::move(Report);
-    if (Failed)
-      return Fail;
-    Out = std::move(T);
-    return Status::success();
-  }
+  explicit Impl(const SalvageOptions &Options)
+      : Session(wrapOptions(Options)) {}
 };
 
 TraceReader::TraceReader(const SalvageOptions &Options)
@@ -1004,34 +44,24 @@ TraceReader::TraceReader(const SalvageOptions &Options)
 
 TraceReader::~TraceReader() = default;
 
-void TraceReader::feed(std::string_view Chunk) { P->feedImpl(Chunk); }
+void TraceReader::feed(std::string_view Chunk) { P->Session.feed(Chunk); }
 
 Status TraceReader::finish(Trace &Out, IngestReport &ReportOut) {
-  return P->finishImpl(Out, ReportOut);
+  // Preserve the historical double-finish message verbatim.
+  if (P->Finished)
+    return Status::error("TraceReader::finish() called twice");
+  P->Finished = true;
+  return P->Session.finish(Out, ReportOut);
 }
 
 Status cafa::salvageTrace(const std::string &Text, Trace &Out,
                           IngestReport &Report,
                           const SalvageOptions &Options) {
-  TraceReader R(Options);
-  R.feed(Text);
-  return R.finish(Out, Report);
+  return ingestTrace(Text, Out, Report, wrapOptions(Options));
 }
 
 Status cafa::readTraceFileSalvaged(const std::string &Path, Trace &Out,
                                    IngestReport &Report,
                                    const SalvageOptions &Options) {
-  std::ifstream IS(Path, std::ios::binary);
-  if (!IS)
-    return Status::error(
-        formatString("cannot open '%s' for reading", Path.c_str()));
-  TraceReader R(Options);
-  char Buf[1 << 16];
-  while (IS) {
-    IS.read(Buf, sizeof(Buf));
-    std::streamsize N = IS.gcount();
-    if (N > 0)
-      R.feed(std::string_view(Buf, static_cast<size_t>(N)));
-  }
-  return R.finish(Out, Report);
+  return ingestTraceFile(Path, Out, Report, wrapOptions(Options));
 }

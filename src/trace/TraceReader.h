@@ -1,4 +1,4 @@
-//===- trace/TraceReader.h - Streaming salvage trace parser ----*- C++ -*-===//
+//===- trace/TraceReader.h - Deprecated salvage entry points ---*- C++ -*-===//
 //
 // Part of the CAFA reproduction project.
 // SPDX-License-Identifier: MIT
@@ -6,107 +6,52 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A streaming, fault-tolerant reader for the v1 trace text format.
+/// Deprecated forwarding shims for the historical salvage entry points.
 ///
-/// Real logger-device streams pulled off phones arrive truncated (the app
-/// crashed mid-trace), interleaved with foreign log lines, or corrupted in
-/// transit.  parseTrace() aborts on the first offending byte; TraceReader
-/// instead salvages everything that is still well-formed:
+/// The streaming salvage parser that used to live here is now the salvage
+/// mode of cafa::IngestSession (trace/IngestSession.h), which adds sharded
+/// parallel lexing, crash-safe merge checkpoints, and a single options
+/// struct covering both the strict and the salvage pipeline.  The types
+/// the old API traded in (SalvageOptions, IngestDiagnostic, IngestReport)
+/// moved to IngestSession.h unchanged; this header re-exports them via
+/// the include.
 ///
-///  - malformed lines are dropped and parsing resynchronizes at the next
-///    line boundary, under a configurable error budget;
-///  - records that violate a structural invariant are *repaired* when a
-///    sound repair exists (timestamps clamped monotone, missing task
-///    begins/ends synthesized, unbalanced lock/frame pairs rebalanced,
-///    dangling side-table references replaced by placeholder entries) and
-///    dropped otherwise;
-///  - a truncated tail is closed: events left open mid-execution get
-///    synthesized terminator records so the result satisfies every
-///    validateTrace() invariant (modulo ValidateOptions::AllowUnsentEvents
-///    for events whose send line was lost);
-///  - every decision is accounted in a structured IngestReport with the
-///    first N diagnostics, so callers can triage what was lost.
+/// Migration:
+///   TraceReader R(Opt); R.feed(C); R.finish(T, Rep);
+///     -> IngestOptions O; O.Salvage = Opt;
+///        IngestSession S(O); S.feed(C); S.finish(T, Rep);
+///   salvageTrace(Text, T, Rep, Opt)
+///     -> IngestOptions O; O.Salvage = Opt; ingestTrace(Text, T, Rep, O);
+///   readTraceFileSalvaged(Path, T, Rep, Opt)
+///     -> IngestOptions O; O.Salvage = Opt;
+///        ingestTraceFile(Path, T, Rep, O);
 ///
-/// All repairs err on the side of *fewer* happens-before edges and *no*
-/// fabricated accesses: the reader never synthesizes a record kind the
-/// detector can report a race on (only begin/end, lock, and method-frame
-/// bookkeeping records), so a salvaged trace can surface extra candidate
-/// pairs but never a race on data the stream did not contain.
-///
-/// See docs/robustness.md for the salvage policy and its guarantees.
+/// The wrappers pin Threads = 1; the replacement defaults to parallel
+/// ingestion with bit-identical output, so migrating is strictly a
+/// performance upgrade.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CAFA_TRACE_TRACEREADER_H
 #define CAFA_TRACE_TRACEREADER_H
 
+#include "support/Deprecated.h"
 #include "support/Status.h"
+#include "trace/IngestSession.h"
 #include "trace/Trace.h"
 
 #include <memory>
 #include <string>
 #include <string_view>
-#include <vector>
 
 namespace cafa {
 
-/// Tuning knobs for the salvage parser.
-struct SalvageOptions {
-  /// Treat every incident (drop or repair) as fatal: the reader then
-  /// accepts exactly the traces that pass parseTrace() + validateTrace().
-  bool Strict = false;
-  /// Keep at most this many detailed diagnostics in the report (all
-  /// incidents are still counted).
-  uint32_t MaxDiagnostics = 16;
-  /// Error budget, absolute: fail once more than this many lines have
-  /// been dropped.
-  uint64_t MaxDroppedLines = UINT64_MAX;
-  /// Error budget, relative: fail (at finish) when more than this
-  /// fraction of non-blank input lines was dropped.
-  double MaxDroppedRatio = 0.5;
-  /// Cap on placeholder side-table entries synthesized for dangling
-  /// references; lines needing more are dropped instead (guards against
-  /// a corrupted id conjuring a four-billion-entry table).
-  uint32_t MaxSynthesizedEntries = 1 << 16;
-  /// Upper bound on entity ids (monitors, pointer cells) the analyzer
-  /// indexes dense arrays with; records above it are dropped.
-  uint64_t MaxEntityId = 1 << 20;
-  /// Synthesize terminator records for events left open at end of input
-  /// (truncated traces).
-  bool RepairTruncation = true;
-};
-
-/// One noteworthy decision made during salvage.
-struct IngestDiagnostic {
-  size_t LineNo = 0; ///< 1-based input line; 0 for end-of-input repairs.
-  std::string Message;
-};
-
-/// What the salvage parser kept, dropped, and repaired.
-struct IngestReport {
-  uint64_t LinesTotal = 0;            ///< non-blank, non-comment lines seen
-  uint64_t LinesDropped = 0;          ///< lines discarded entirely
-  uint64_t RecordsKept = 0;           ///< input records admitted to the trace
-  uint64_t RecordsRepaired = 0;       ///< admitted after an in-place fixup
-  uint64_t RecordsSynthesized = 0;    ///< bookkeeping records fabricated
-  uint64_t TableEntriesSynthesized = 0; ///< placeholder side-table rows
-  uint64_t UnsentEventBegins = 0;     ///< events admitted without a send
-  bool MissingHeader = false;         ///< no 'cafa-trace v1' first line
-  bool TruncatedFinalLine = false;    ///< input ended without a newline
-  uint64_t IncidentsTotal = 0;        ///< drops + repairs, all categories
-  /// The first SalvageOptions::MaxDiagnostics incidents, with line numbers.
-  std::vector<IngestDiagnostic> Diagnostics;
-
-  /// True when the input parsed without a single drop or repair.
-  bool clean() const { return IncidentsTotal == 0 && !MissingHeader; }
-
-  /// Renders a human-readable multi-line summary, newline-terminated.
-  std::string summary() const;
-};
-
-/// Streaming salvage parser.  Feed the stream in arbitrary chunks, then
-/// finish() to run end-of-input repairs and take the trace.
-class TraceReader {
+/// Streaming salvage parser.  Deprecated: construct an IngestSession in
+/// IngestMode::Salvage instead (same feed/finish shape, adds parallel
+/// lexing and ingest checkpoints).
+class CAFA_DEPRECATED(
+    "use cafa::IngestSession (trace/IngestSession.h); TraceReader is a "
+    "single-threaded shim over it") TraceReader {
 public:
   explicit TraceReader(const SalvageOptions &Options = SalvageOptions());
   ~TraceReader();
@@ -129,12 +74,16 @@ private:
   std::unique_ptr<Impl> P;
 };
 
-/// One-shot convenience wrapper over TraceReader.
+/// One-shot salvage.  Deprecated: use ingestTrace() with
+/// IngestOptions::Salvage carrying \p Options.
+CAFA_DEPRECATED("use cafa::ingestTrace (trace/IngestSession.h)")
 Status salvageTrace(const std::string &Text, Trace &Out,
                     IngestReport &Report,
                     const SalvageOptions &Options = SalvageOptions());
 
-/// Reads \p Path and salvages it, streaming the file in chunks.
+/// One-shot file salvage.  Deprecated: use ingestTraceFile(), which also
+/// honors IngestOptions::Resume for crash-safe re-ingestion.
+CAFA_DEPRECATED("use cafa::ingestTraceFile (trace/IngestSession.h)")
 Status readTraceFileSalvaged(const std::string &Path, Trace &Out,
                              IngestReport &Report,
                              const SalvageOptions &Options = SalvageOptions());

@@ -215,8 +215,9 @@ TEST(DerefDataflowTest, PreciseMatchingRemovesTypeIIIFalsePositive) {
       << renderRaceReport(Heuristic.Report, T);
 
   DerefResolver Resolver(Model.S.module());
-  AnalysisResult Precise =
-      analyzeTrace(T, DetectorOptions(), &Resolver);
+  AnalysisOptions Precise0;
+  Precise0.Resolver = &Resolver;
+  AnalysisResult Precise = analyzeTrace(T, Precise0);
   ASSERT_EQ(Precise.Report.Races.size(), 1u)
       << renderRaceReport(Precise.Report, T);
   // The surviving race is the real bug, not the alias artifact.
@@ -232,7 +233,9 @@ TEST(DerefDataflowTest, Table1TypeIIIColumnDropsToZeroWithResolver) {
     AppModel Model = buildApp(Name);
     Trace T = runScenario(Model.S, RuntimeOptions());
     DerefResolver Resolver(Model.S.module());
-    AnalysisResult R = analyzeTrace(T, DetectorOptions(), &Resolver);
+    AnalysisOptions AO;
+    AO.Resolver = &Resolver;
+    AnalysisResult R = analyzeTrace(T, AO);
     Table1Row Row = evaluateReport(R.Report, Model.Truth, T, Name);
     EXPECT_EQ(Row.FpIII, 0u) << Name;
     EXPECT_EQ(Row.TrueA, Model.PaperRow.TrueA) << Name;

@@ -29,6 +29,13 @@ using namespace cafa;
 
 namespace {
 
+AnalysisOptions withCheckpoint(const DetectorOptions &Det,
+                               const CheckpointOptions &Ckpt) {
+  AnalysisOptions O(Det);
+  O.Checkpoint = Ckpt;
+  return O;
+}
+
 Trace buildAppTrace() {
   apps::AppBuilder App("ckpt");
   App.seedIntraThreadRace("alpha");
@@ -99,7 +106,7 @@ TEST(CheckpointTest, HbDeadlineCutThenResumeIsBitIdentical) {
   Tiny.DeadlineMillis = 1e-6;
   CheckpointOptions Ckpt;
   Ckpt.Directory = Dir;
-  AnalysisResult Cut = analyzeTrace(T, Tiny, Ckpt);
+  AnalysisResult Cut = analyzeTrace(T, withCheckpoint(Tiny, Ckpt));
   ASSERT_TRUE(Cut.Report.Partial);
   EXPECT_EQ(Cut.Report.PartialCause, "hb-deadline");
   EXPECT_TRUE(fileExists(checkpointPath(Dir)));
@@ -107,7 +114,7 @@ TEST(CheckpointTest, HbDeadlineCutThenResumeIsBitIdentical) {
   // Resume without a deadline: the run completes, and both renderings
   // match the uninterrupted run byte for byte.
   Ckpt.Resume = true;
-  AnalysisResult Resumed = analyzeTrace(T, DetectorOptions(), Ckpt);
+  AnalysisResult Resumed = analyzeTrace(T, withCheckpoint(DetectorOptions(), Ckpt));
   EXPECT_TRUE(Resumed.Resume.Attempted);
   EXPECT_TRUE(Resumed.Resume.Resumed) << Resumed.Resume.RejectReason;
   EXPECT_FALSE(Resumed.Report.Partial);
@@ -128,7 +135,7 @@ TEST(CheckpointTest, ResumeDiffsProvisionalRacesAgainstFinalReport) {
   Tiny.DeadlineMillis = 1e-6;
   CheckpointOptions Ckpt;
   Ckpt.Directory = Dir;
-  AnalysisResult Cut = analyzeTrace(T, Tiny, Ckpt);
+  AnalysisResult Cut = analyzeTrace(T, withCheckpoint(Tiny, Ckpt));
   ASSERT_TRUE(Cut.Report.Partial);
 
   // The partial report's races are provisional: the relation was cut,
@@ -145,7 +152,7 @@ TEST(CheckpointTest, ResumeDiffsProvisionalRacesAgainstFinalReport) {
   EXPECT_FALSE(Cut.Report.PartialDetail.empty());
 
   Ckpt.Resume = true;
-  AnalysisResult Resumed = analyzeTrace(T, DetectorOptions(), Ckpt);
+  AnalysisResult Resumed = analyzeTrace(T, withCheckpoint(DetectorOptions(), Ckpt));
   ASSERT_TRUE(Resumed.Resume.Resumed) << Resumed.Resume.RejectReason;
   ASSERT_TRUE(Resumed.Resume.HasBaseline);
   EXPECT_EQ(Resumed.Resume.ConfirmedRaces +
@@ -304,7 +311,7 @@ TEST(CheckpointTest, CorruptSnapshotsAreRejectedWithACleanRestart) {
   Tiny.DeadlineMillis = 1e-6;
   CheckpointOptions Ckpt;
   Ckpt.Directory = Dir;
-  analyzeTrace(T, Tiny, Ckpt);
+  analyzeTrace(T, withCheckpoint(Tiny, Ckpt));
   ASSERT_TRUE(fileExists(Path));
   std::string Good = readFile(Path);
   ASSERT_GT(Good.size(), 40u);
@@ -327,7 +334,7 @@ TEST(CheckpointTest, CorruptSnapshotsAreRejectedWithACleanRestart) {
   };
   for (const Mutation &M : Mutations) {
     writeFile(Path, M.Bytes);
-    AnalysisResult R = analyzeTrace(T, DetectorOptions(), Ckpt);
+    AnalysisResult R = analyzeTrace(T, withCheckpoint(DetectorOptions(), Ckpt));
     EXPECT_TRUE(R.Resume.Attempted) << M.Name;
     EXPECT_FALSE(R.Resume.Resumed) << M.Name;
     EXPECT_FALSE(R.Resume.RejectReason.empty()) << M.Name;
@@ -340,7 +347,7 @@ TEST(CheckpointTest, CorruptSnapshotsAreRejectedWithACleanRestart) {
 
   // Missing snapshot: also a clean start, but flagged differently.
   std::remove(Path.c_str());
-  AnalysisResult R = analyzeTrace(T, DetectorOptions(), Ckpt);
+  AnalysisResult R = analyzeTrace(T, withCheckpoint(DetectorOptions(), Ckpt));
   EXPECT_TRUE(R.Resume.Attempted);
   EXPECT_TRUE(R.Resume.NoSnapshot);
   EXPECT_FALSE(R.Resume.Resumed);
@@ -355,7 +362,7 @@ TEST(CheckpointTest, MismatchedTraceOrOptionsAreRejected) {
   Tiny.DeadlineMillis = 1e-6;
   CheckpointOptions Ckpt;
   Ckpt.Directory = Dir;
-  analyzeTrace(T, Tiny, Ckpt);
+  analyzeTrace(T, withCheckpoint(Tiny, Ckpt));
   ASSERT_TRUE(fileExists(checkpointPath(Dir)));
 
   // A different trace must not adopt this trace's fixpoint.
@@ -367,7 +374,7 @@ TEST(CheckpointTest, MismatchedTraceOrOptionsAreRejected) {
   Trace Other = runScenario(Model.S, RuntimeOptions());
 
   Ckpt.Resume = true;
-  AnalysisResult R = analyzeTrace(Other, DetectorOptions(), Ckpt);
+  AnalysisResult R = analyzeTrace(Other, withCheckpoint(DetectorOptions(), Ckpt));
   EXPECT_FALSE(R.Resume.Resumed);
   EXPECT_NE(R.Resume.RejectReason.find("does not match this trace"),
             std::string::npos)
@@ -376,7 +383,7 @@ TEST(CheckpointTest, MismatchedTraceOrOptionsAreRejected) {
   // Same trace, different semantic options: also rejected.
   DetectorOptions Conv;
   Conv.Hb.Model = OrderingModel::Conventional;
-  AnalysisResult R2 = analyzeTrace(T, Conv, Ckpt);
+  AnalysisResult R2 = analyzeTrace(T, withCheckpoint(Conv, Ckpt));
   EXPECT_FALSE(R2.Resume.Resumed);
   EXPECT_NE(R2.Resume.RejectReason.find("different analysis options"),
             std::string::npos)
@@ -387,7 +394,7 @@ TEST(CheckpointTest, MismatchedTraceOrOptionsAreRejected) {
   DetectorOptions OtherBudget;
   OtherBudget.Hb.Reach = ReachMode::Bfs;
   OtherBudget.Hb.MemLimitBytes = 1 << 20;
-  AnalysisResult R3 = analyzeTrace(T, OtherBudget, Ckpt);
+  AnalysisResult R3 = analyzeTrace(T, withCheckpoint(OtherBudget, Ckpt));
   EXPECT_TRUE(R3.Resume.Resumed) << R3.Resume.RejectReason;
 }
 
@@ -398,7 +405,7 @@ TEST(CheckpointTest, CadenceSavesDuringACleanRunLeaveNoSnapshotBehind) {
   CheckpointOptions Ckpt;
   Ckpt.Directory = Dir;
   Ckpt.EveryMillis = 1e-7; // save at every opportunity
-  AnalysisResult R = analyzeTrace(T, DetectorOptions(), Ckpt);
+  AnalysisResult R = analyzeTrace(T, withCheckpoint(DetectorOptions(), Ckpt));
   EXPECT_FALSE(R.Report.Partial);
   EXPECT_TRUE(R.Resume.SaveError.empty()) << R.Resume.SaveError;
 
