@@ -193,6 +193,122 @@ void sweepIngestThreads(const Trace &Pristine) {
   }
 }
 
+/// Analysis thread-count axis: wall time of the happens-before build
+/// (closure sweeps + rule-engine scans) and the detector pair scan at
+/// 1/2/4/8 analysis threads, with the bit-identity contract checked on
+/// every row -- the rendered JSON report must match the 1-thread
+/// reference byte for byte.  Speedup is relative to the 1-thread run;
+/// rows beyond the machine's core count cannot speed up and say so
+/// honestly.
+void sweepAnalysisThreads(const Trace &T) {
+  std::printf("\nanalysis thread axis (%s records, %u hardware "
+              "threads):\n",
+              withThousandsSep(T.numRecords()).c_str(),
+              std::thread::hardware_concurrency());
+  std::printf("%8s %10s %12s %10s %8s %10s\n", "threads", "hb(ms)",
+              "detect(ms)", "total(ms)", "speedup", "verdict");
+
+  std::string RefJson;
+  double RefHbMs = 0;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    DetectorOptions Opt;
+    Opt.Hb.Threads = Threads;
+
+    // Median-of-three (best-of, really): at bench sizes a stray
+    // scheduler tick would otherwise dominate the row.
+    double BestHb = 0, BestDetect = 0, BestTotal = 0;
+    std::string Json;
+    for (int Rep = 0; Rep != 3; ++Rep) {
+      Timer Total;
+      AnalysisResult R = analyzeTrace(T, Opt);
+      double TotalMs = Total.elapsedWallMillis();
+      if (Rep == 0 || R.HbBuildMillis < BestHb) {
+        BestHb = R.HbBuildMillis;
+        BestDetect = R.DetectMillis;
+        BestTotal = TotalMs;
+        Json = renderRaceReportJson(R.Report, T);
+      }
+    }
+
+    const char *Verdict;
+    if (Threads == 1) {
+      RefJson = std::move(Json);
+      RefHbMs = BestHb;
+      Verdict = "reference";
+    } else {
+      Verdict = Json == RefJson ? "identical" : "DIFFERS";
+    }
+    double Speedup = BestHb > 0 ? RefHbMs / BestHb : 0;
+    std::printf("%8u %10.1f %12.1f %10.1f %7.2fx %10s\n", Threads, BestHb,
+                BestDetect, BestTotal, Speedup, Verdict);
+  }
+}
+
+/// Checkpoint cadence axis: analysis wall time with cadence saves at
+/// several --checkpoint-every settings (0 = checkpointing off), plus a
+/// cut-then-resume row.  The overhead column calibrates the default
+/// cadence documented in EXPERIMENTS.md; the resume row re-checks the
+/// bit-identity contract under a real mid-scan cut.
+void sweepCheckpointCadence(const Trace &T) {
+  std::string Dir = "/tmp/cafa_bench_ckpt";
+  ::system(("mkdir -p " + Dir).c_str());
+
+  DetectorOptions Opt; // defaults
+  Timer BaseTime;
+  AnalysisResult Base = analyzeTrace(T, Opt);
+  double BaseMs = BaseTime.elapsedWallMillis();
+  std::string BaseJson = renderRaceReportJson(Base.Report, T);
+
+  std::printf("\ncheckpoint cadence axis (%s records, baseline "
+              "%.1f ms):\n",
+              withThousandsSep(T.numRecords()).c_str(), BaseMs);
+  std::printf("%12s %12s %10s %10s\n", "cadence(ms)", "analyze(ms)",
+              "overhead", "verdict");
+
+  for (double Every : {5.0, 20.0, 100.0}) {
+    std::remove(checkpointPath(Dir).c_str());
+    AnalysisOptions AOpt(Opt);
+    AOpt.Checkpoint.Directory = Dir;
+    AOpt.Checkpoint.EveryMillis = Every;
+    Timer Time;
+    AnalysisResult R = analyzeTrace(T, AOpt);
+    double Ms = Time.elapsedWallMillis();
+    double Overhead = BaseMs > 0 ? (Ms - BaseMs) / BaseMs * 100 : 0;
+    const char *Verdict =
+        renderRaceReportJson(R.Report, T) == BaseJson ? "identical"
+                                                      : "DIFFERS";
+    std::printf("%12.0f %12.1f %+9.1f%% %10s\n", Every, Ms, Overhead,
+                Verdict);
+  }
+
+  // Cut mid-analysis with a deadline, then resume to completion: the
+  // resumed report must match the uninterrupted baseline byte for byte.
+  std::remove(checkpointPath(Dir).c_str());
+  DetectorOptions Tiny = Opt;
+  Tiny.DeadlineMillis = 1e-6;
+  AnalysisOptions CutOpt(Tiny);
+  CutOpt.Checkpoint.Directory = Dir;
+  Timer CutTime;
+  AnalysisResult Cut = analyzeTrace(T, CutOpt);
+  double CutMs = CutTime.elapsedWallMillis();
+
+  AnalysisOptions ResumeOpt(Opt);
+  ResumeOpt.Checkpoint.Directory = Dir;
+  ResumeOpt.Checkpoint.Resume = true;
+  Timer ResumeTime;
+  AnalysisResult Resumed = analyzeTrace(T, ResumeOpt);
+  double ResumeMs = ResumeTime.elapsedWallMillis();
+  const char *Verdict = !Cut.Report.Partial ? "not-cut"
+                        : renderRaceReportJson(Resumed.Report, T) == BaseJson
+                            ? "identical"
+                            : "DIFFERS";
+  std::printf("%12s %12.1f %+9.1f%% %10s  (cut %.1f ms + resume)\n",
+              "cut+resume", CutMs + ResumeMs,
+              BaseMs > 0 ? (CutMs + ResumeMs - BaseMs) / BaseMs * 100 : 0,
+              Verdict, CutMs);
+  std::remove(checkpointPath(Dir).c_str());
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -234,9 +350,11 @@ int main(int argc, char **argv) {
   Trace T = runScenario(buildSynthetic(2000), RuntimeOptions());
   sweepCorruption(T);
 
-  // Thread axis over the largest swept trace, so the shards are big
-  // enough for the parallel lexers to have real work.
+  // Thread axes over the largest swept trace, so the shards / queue
+  // scans are big enough for the workers to have real work.
   Trace Large = runScenario(buildSynthetic(MaxEvents), RuntimeOptions());
   sweepIngestThreads(Large);
+  sweepAnalysisThreads(Large);
+  sweepCheckpointCadence(Large);
   return 0;
 }

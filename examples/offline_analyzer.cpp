@@ -70,7 +70,7 @@ static int usage(const char *Prog) {
                "usage:\n"
                "  %s record <app> <trace-file>      collect a trace\n"
                "  %s analyze <trace-file> [--json] [--strict|--salvage]\n"
-               "     [--ingest-threads=<n>]\n"
+               "     [--ingest-threads=<n>] [--analysis-threads=<n>]\n"
                "     [--reach=incremental|closure|bfs]\n"
                "     [--mem-limit=<bytes>] [--deadline=<ms>]\n"
                "     [--checkpoint-dir=<dir>] [--checkpoint-every=<ms>]\n"
@@ -121,6 +121,12 @@ int main(int argc, char **argv) {
         if (End == argv[I] + 17 || *End != '\0' || N == 0)
           return usage(argv[0]);
         Ingest.Threads = static_cast<unsigned>(N);
+      } else if (std::strncmp(argv[I], "--analysis-threads=", 19) == 0) {
+        char *End = nullptr;
+        unsigned long N = std::strtoul(argv[I] + 19, &End, 10);
+        if (End == argv[I] + 19 || *End != '\0' || N == 0)
+          return usage(argv[0]);
+        Options.Hb.Threads = static_cast<unsigned>(N);
       } else if (std::strcmp(argv[I], "--reach=incremental") == 0) {
         Options.Hb.Reach = ReachMode::Incremental;
       } else if (std::strcmp(argv[I], "--reach=closure") == 0) {

@@ -18,7 +18,7 @@ namespace {
 /// answers from silently mis-decoded state are the one unacceptable
 /// failure mode.
 constexpr char SnapshotMagic[9] = "CAFACKPT";
-constexpr uint32_t SnapshotVersion = 1;
+constexpr uint32_t SnapshotVersion = 2; // v2: DetectFrontier::FiltersShed
 
 /// Caps on length-prefixed counts, so a corrupt count that slipped past
 /// the checksum cannot drive a multi-gigabyte allocation.  Generous:
@@ -136,6 +136,7 @@ bool getHbFrontier(SnapshotReader &R, HbFrontier &F) {
 void putDetectFrontier(SnapshotWriter &W, const DetectFrontier &F) {
   W.u32(F.UseIdx);
   W.u32(F.FreePos);
+  W.u8(F.FiltersShed ? 1 : 0);
   W.u64(F.Filters.OrderedByHb);
   W.u64(F.Filters.SameTask);
   W.u64(F.Filters.LocksetProtected);
@@ -152,8 +153,11 @@ void putDetectFrontier(SnapshotWriter &W, const DetectFrontier &F) {
 }
 
 bool getDetectFrontier(SnapshotReader &R, DetectFrontier &F) {
-  if (!R.u32(F.UseIdx) || !R.u32(F.FreePos) ||
-      !R.u64(F.Filters.OrderedByHb) || !R.u64(F.Filters.SameTask) ||
+  uint8_t Shed;
+  if (!R.u32(F.UseIdx) || !R.u32(F.FreePos) || !R.u8(Shed) || Shed > 1)
+    return false;
+  F.FiltersShed = Shed != 0;
+  if (!R.u64(F.Filters.OrderedByHb) || !R.u64(F.Filters.SameTask) ||
       !R.u64(F.Filters.LocksetProtected) ||
       !R.u64(F.Filters.IfGuardFiltered) ||
       !R.u64(F.Filters.IntraEventAlloc) ||

@@ -67,8 +67,12 @@ struct RaceReport {
   /// partial report as a clean bill of health.
   bool Partial = false;
   /// Machine-readable cause when Partial is set: "hb-deadline" (the
-  /// fixpoint was cut) or "detect-deadline" (the pair scan was cut).
-  /// The first deadline hit wins.
+  /// fixpoint was cut -- rounds lost), "filters-shed" (the detect
+  /// deadline's first rung dropped the lockset/if-guard filters but the
+  /// scan completed: extra races possible, none missing), or
+  /// "detect-deadline" (the pair scan was cut).  The first deadline hit
+  /// wins, except that "filters-shed" promotes to "detect-deadline"
+  /// when the extended budget also expires.
   std::string PartialCause;
   /// Elaboration of PartialCause, when one exists.  For "hb-deadline"
   /// this names the rule families the cut left short of their fixpoint

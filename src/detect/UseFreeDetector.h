@@ -40,10 +40,17 @@ struct DetectorOptions {
   bool Classify = true;
   /// Graceful degradation: when positive, a wall-clock budget in
   /// milliseconds for the candidate-pair scan, measured from detector
-  /// entry.  On expiry the scan stops and the report comes back with
-  /// Partial = true and PartialCause = "detect-deadline".  analyzeTrace
-  /// treats this as the *whole-pipeline* budget and hands the detector
-  /// whatever the extract and happens-before phases left over.  0 = off.
+  /// entry.  The deadline is a two-rung ladder (docs/robustness.md):
+  /// the first expiry sheds the lockset and if-guard filters for the
+  /// rest of the scan -- cheaper per pair, strictly more races
+  /// reported, never fewer -- flags the report Partial with
+  /// PartialCause = "filters-shed", and extends the budget to 2x so
+  /// the leaner scan can finish.  If even that expires (or no
+  /// sheddable filter is enabled), the scan stops where it stands and
+  /// PartialCause becomes "detect-deadline".  analyzeTrace treats
+  /// DeadlineMillis as the *whole-pipeline* budget and hands the
+  /// detector whatever the extract and happens-before phases left
+  /// over.  0 = off.
   double DeadlineMillis = 0;
 };
 
@@ -58,6 +65,11 @@ struct DetectFrontier {
   /// scanned and is reflected in Races/Filters.
   uint32_t UseIdx = 0;
   uint32_t FreePos = 0;
+  /// The deadline ladder's first rung had already shed the lockset and
+  /// if-guard filters when this frontier was frozen; a resume continues
+  /// with them shed (and the report flagged accordingly), so the
+  /// resumed report equals the uninterrupted shed run's.
+  bool FiltersShed = false;
   FilterCounters Filters;
   /// One reported race, keyed by the trace records of its first dynamic
   /// instance (stable across processes; the full PtrAccess is

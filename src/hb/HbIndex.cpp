@@ -7,6 +7,8 @@
 
 #include "hb/HbIndex.h"
 
+#include "support/WorkerPool.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -195,13 +197,35 @@ struct HbIndex::Builder {
     }
   }
 
-  /// Scratch for applyDerivedRules' chain pruning: Covered[i] marks an
-  /// adjacent conclusion end(i) -> begin(i+1) that holds in the oracle
-  /// or in this round's batch; Run[i] counts consecutive covered links
-  /// starting at i.
-  std::vector<uint8_t> Covered;
-  std::vector<uint32_t> Run;
   uint64_t VisitAtom = 0, SkipAtom = 0, VisitSend = 0, SkipSend = 0;
+
+  /// Worker pool for the parallel analysis mode (HbOptions::Threads),
+  /// lent by HbIndex; nullptr or zero helpers means sequential rounds.
+  WorkerPool *Pool = nullptr;
+
+  /// Per-round frozen context: the oracle (and its inline row array),
+  /// the row-level change flags, and whether exact gained facts drive
+  /// this round.  Frozen for the whole round -- scans only read it --
+  /// which is what makes the per-queue scans safe to run concurrently.
+  const Reachability *RoundOracle = nullptr;
+  const BitVec *RoundRows = nullptr;
+  const uint8_t *RoundChanged = nullptr;
+  bool RoundExact = false;
+
+  /// Output and scratch of one scan unit (a dispatch chunk or one
+  /// queue's pair scan).  Parallel rounds give every unit its own
+  /// ScanOut and merge them in canonical order, so the committed
+  /// proposal stream, counters, and cursors never depend on which
+  /// thread ran what.  Covered[i] marks an adjacent conclusion
+  /// end(i) -> begin(i+1) that holds in the oracle or in this round's
+  /// proposals; Run[i] counts consecutive covered links starting at i.
+  struct ScanOut {
+    std::vector<std::pair<NodeId, NodeId>> Edges;
+    uint64_t Atomicity = 0, Q1 = 0, Q2 = 0, Q3 = 0, Q4 = 0;
+    uint64_t VisitAtom = 0, SkipAtom = 0, VisitSend = 0, SkipSend = 0;
+    std::vector<uint8_t> Covered;
+    std::vector<uint32_t> Run;
+  };
 
   /// Semi-naive scan frontier, one per queue and rule family.  Pairs are
   /// scanned in gap-diagonal order; everything lexicographically below
@@ -332,288 +356,428 @@ struct HbIndex::Builder {
   ///
   /// \returns the edges added this round (already inserted into the
   /// graph), for the oracle's delta path.
+  // -- Scan primitives ---------------------------------------------------
+  // The historical sequential scan's lambdas, hoisted to members so the
+  // parallel mode can run the same code against per-task ScanOut
+  // buffers.  All of them read only the frozen round context and the
+  // pre-round cursors; the only mutation is into the ScanOut (and, for
+  // capped scans, a cursor write on a cap cut -- capped scans only ever
+  // run sequentially).
+
+  bool reaches(NodeId From, NodeId To) const {
+    // Pair scans issue millions of queries per round; closure-backed
+    // oracles expose their rows so the hot path is an inline bit test.
+    return RoundRows ? RoundRows[From.index()].test(To.index())
+                     : RoundOracle->reaches(From, To);
+  }
+
+  /// Did this node's reachable set grow in the last oracle update?
+  /// Conservative on nullptr (no delta information) and invalid nodes.
+  bool rowChanged(NodeId Node) const {
+    return !RoundChanged || !Node.isValid() || RoundChanged[Node.index()];
+  }
+
+  void propose(ScanOut &Out, NodeId From, NodeId To,
+               uint64_t &Counter) const {
+    if (!From.isValid() || !To.isValid())
+      return;
+    if (reaches(From, To))
+      return; // already implied
+    Out.Edges.emplace_back(From, To);
+    ++Counter;
+  }
+
+  // Run[i] = number of consecutive covered links starting at link i;
+  // a window of Gap covered links implies the wide conclusion
+  // end(i) -> begin(i+Gap) by chaining through program order.
+  static void computeRuns(ScanOut &Out, size_t K) {
+    Out.Run.assign(K - 1, 0);
+    for (size_t I = K - 1; I-- > 0;)
+      Out.Run[I] =
+          Out.Covered[I] ? (I + 1 < K - 1 ? Out.Run[I + 1] : 0) + 1 : 0;
+  }
+
+  /// Evaluates one ordered send pair against queue rules 1-4; the
+  /// returned Link tells whether the forward conclusion
+  /// end(e1) -> begin(e2) is covered afterwards.  Only adjacent pairs
+  /// need it (WantLink), so other callers skip its query.
+  bool evalSendPair(ScanOut &Out, const SendOp &S1, const SendOp &S2,
+                    bool WantLink) const {
+    NodeId Begin1 = G.beginNode(S1.Event);
+    NodeId Begin2 = G.beginNode(S2.Event);
+    NodeId End1 = G.endNode(S1.Event);
+    NodeId End2 = G.endNode(S2.Event);
+    bool Link = WantLink && End1.isValid() && Begin2.isValid() &&
+                reaches(End1, Begin2);
+    // All rules require the sends to be ordered; sends appear in
+    // record order so only s1 < s2 (by position) can satisfy it.
+    if (!reaches(S1.Node, S2.Node))
+      return Link;
+    if (!S1.AtFront && !S2.AtFront) {
+      // Rule 1: FIFO among ordered sends when delay1 <= delay2.
+      if (S1.DelayMs <= S2.DelayMs) {
+        propose(Out, End1, Begin2, Out.Q1);
+        Link |= End1.isValid() && Begin2.isValid();
+      }
+    } else if (!S1.AtFront && S2.AtFront) {
+      // Rule 2: the front-enqueued event jumps ahead when it is
+      // enqueued before e1 can begin.
+      if (Begin1.isValid() && reaches(S2.Node, Begin1))
+        propose(Out, End2, Begin1, Out.Q2);
+    } else if (S1.AtFront && !S2.AtFront) {
+      // Rule 3: an already-front event precedes later sends.
+      propose(Out, End1, Begin2, Out.Q3);
+      Link |= End1.isValid() && Begin2.isValid();
+    } else {
+      // Rule 4: later front-send jumps ahead of an earlier
+      // front-send it provably precedes.
+      if (Begin1.isValid() && reaches(S2.Node, Begin1))
+        propose(Out, End2, Begin1, Out.Q4);
+    }
+    return Link;
+  }
+
+  /// Was the pair at (Gap, I) of a queue with K elements evaluated in
+  /// an earlier round?  Unseen pairs are skipped by the dispatch below
+  /// -- the resumed scan reaches them with an oracle that still holds
+  /// the fact (monotone), so nothing is lost.
+  static bool pairSeen(const HbScanCursor &C, size_t K, uint32_t Gap,
+                       uint32_t I) {
+    if (C.Gap >= K)
+      return true; // queue fully scanned at least once
+    if (Gap < 2)
+      return false; // the gap-1 pass still re-evaluates these
+    return Gap < C.Gap || (Gap == C.Gap && I < C.I);
+  }
+
+  /// Semi-naive dispatch over GainedList[Lo, Hi): route every premise
+  /// fact that appeared in the last oracle update to the already-seen
+  /// rule instances it can newly fire.  This stands in for re-scanning
+  /// the seen region of every queue.  Never capped (its volume is the
+  /// fact delta, not a pair quadratic), so parallel chunks of it commit
+  /// unconditionally.
+  void dispatchGained(const std::vector<GainedWord> &GainedList, size_t Lo,
+                      size_t Hi, ScanOut &Out) const {
+    for (size_t GI = Lo; GI != Hi; ++GI) {
+      const GainedWord &GW = GainedList[GI];
+      const NodeRole &U = Roles[GW.From];
+      if (U.K == NodeRole::None)
+        continue;
+      for (uint64_t Bits = GW.Bits; Bits; Bits &= Bits - 1) {
+        uint32_t V =
+            GW.WordIdx * 64 + static_cast<uint32_t>(__builtin_ctzll(Bits));
+        const NodeRole &VR = Roles[V];
+        if (U.K == NodeRole::Begin) {
+          // Atomicity premise begin(eI) < end(eJ) just became true.
+          if (Opt.EnableAtomicityRule && VR.K == NodeRole::End &&
+              VR.Q == U.Q && VR.Pos > U.Pos &&
+              pairSeen(AtomCursor[U.Q], QueueEvents[U.Q].size(),
+                       VR.Pos - U.Pos, U.Pos)) {
+            ++Out.VisitAtom;
+            const std::vector<TaskId> &Events = QueueEvents[U.Q];
+            propose(Out, G.endNode(Events[U.Pos]),
+                    G.beginNode(Events[VR.Pos]), Out.Atomicity);
+          }
+        } else if (U.K == NodeRole::Send && Opt.EnableQueueRules) {
+          // Queue-rule premise s1 < s2 just became true.
+          if (VR.K == NodeRole::Send && VR.Q == U.Q && VR.Pos > U.Pos &&
+              pairSeen(SendCursor[U.Q], QueueSends[U.Q].size(),
+                       VR.Pos - U.Pos, U.Pos)) {
+            ++Out.VisitSend;
+            evalSendPair(Out, QueueSends[U.Q][U.Pos],
+                         QueueSends[U.Q][VR.Pos],
+                         /*WantLink=*/false);
+          }
+          // Rules 2/4 premise s2 < begin(e1) just became true, where
+          // e1 was posted by an earlier send of the same queue.
+          if (VR.SendQ == U.Q && U.Pos > VR.SendPos &&
+              pairSeen(SendCursor[U.Q], QueueSends[U.Q].size(),
+                       U.Pos - VR.SendPos, VR.SendPos)) {
+            ++Out.VisitSend;
+            evalSendPair(Out, QueueSends[U.Q][VR.SendPos],
+                         QueueSends[U.Q][U.Pos],
+                         /*WantLink=*/false);
+          }
+        }
+      }
+    }
+  }
+
+  /// One atomicity queue's gap-diagonal scan into \p Out.  \p Cap is
+  /// the per-round edge cap, compared against Out.Edges.size() (the
+  /// caller passes the round-global accumulator in capped mode); 0
+  /// disables it, which is how the optimistic parallel mode runs --
+  /// the commit step proves the cap could not have fired, or re-runs
+  /// capped.  \returns true when the scan completed (the caller then
+  /// marks the queue fully seen); a cap cut stores the cursor itself.
+  bool scanAtomQueue(size_t Qi, ScanOut &Out, size_t Cap) {
+    const std::vector<TaskId> &Events = QueueEvents[Qi];
+    const size_t K = Events.size();
+    auto chunkFull = [&] { return Cap && Out.Edges.size() >= Cap; };
+    // Gap 1: evaluate adjacent pairs and record the covered links.
+    // Runs in full every round (linear, and Covered must be fresh);
+    // a cap cut here leaves the tail uncovered, which is safe.
+    Out.Covered.assign(K - 1, 0);
+    for (size_t I = 0; I + 1 < K && !chunkFull(); ++I) {
+      NodeId BeginI = G.beginNode(Events[I]);
+      NodeId EndI = G.endNode(Events[I]);
+      NodeId EndJ = G.endNode(Events[I + 1]);
+      NodeId BeginJ = G.beginNode(Events[I + 1]);
+      bool Link =
+          EndI.isValid() && BeginJ.isValid() && reaches(EndI, BeginJ);
+      if (BeginI.isValid() && EndJ.isValid() && BeginJ.isValid() &&
+          reaches(BeginI, EndJ)) {
+        // Atomicity: begin(eI) < end(eJ)  =>  end(eI) < begin(eJ).
+        propose(Out, EndI, BeginJ, Out.Atomicity);
+        Link |= EndI.isValid(); // implied before, or in the batch now
+      }
+      Out.Covered[I] = Link;
+    }
+    computeRuns(Out, K);
+    if (K >= 2 && Out.Run[0] == K - 1)
+      // Every wider conclusion is implied by the covered chain, now
+      // and forever (edges are never removed) -- the whole queue
+      // counts as seen.
+      return true;
+    // With exact fact dispatch the seen region needs no re-scan at
+    // all -- resume where the cap last cut.  Otherwise walk it with
+    // the coarse row-level skip.
+    const size_t CGap = AtomCursor[Qi].Gap, CI = AtomCursor[Qi].I;
+    for (size_t Gap = RoundExact ? CGap : 2; Gap < K; ++Gap) {
+      for (size_t I = (RoundExact && Gap == CGap) ? CI : 0; I + Gap < K;
+           ++I) {
+        if (Out.Run[I] >= Gap) {
+          ++Out.SkipAtom;
+          continue; // conclusion implied by chained covered links
+        }
+        size_t J = I + Gap;
+        NodeId BeginI = G.beginNode(Events[I]);
+        bool Seen = !RoundExact && (Gap < CGap || (Gap == CGap && I < CI));
+        if (Seen) {
+          // The only premise query sources from begin(eI); if its
+          // row did not grow, the pair evaluates as it did before.
+          if (!rowChanged(BeginI)) {
+            ++Out.SkipAtom;
+            continue;
+          }
+        } else if (chunkFull()) {
+          // Everything past the cursor stays unseen.
+          AtomCursor[Qi] = {static_cast<uint32_t>(Gap),
+                            static_cast<uint32_t>(I)};
+          return false;
+        }
+        ++Out.VisitAtom;
+        NodeId EndI = G.endNode(Events[I]);
+        NodeId EndJ = G.endNode(Events[J]);
+        NodeId BeginJ = G.beginNode(Events[J]);
+        if (!BeginI.isValid() || !EndJ.isValid() || !BeginJ.isValid())
+          continue;
+        // Atomicity: begin(eI) < end(eJ)  =>  end(eI) < begin(eJ).
+        if (reaches(BeginI, EndJ))
+          propose(Out, EndI, BeginJ, Out.Atomicity);
+      }
+    }
+    return true;
+  }
+
+  /// One send queue's gap-diagonal scan into \p Out; same cap and
+  /// return contract as scanAtomQueue.
+  bool scanSendQueue(size_t Qi, ScanOut &Out, size_t Cap) {
+    const std::vector<SendOp> &Sends = QueueSends[Qi];
+    const size_t K = Sends.size();
+    auto chunkFull = [&] { return Cap && Out.Edges.size() >= Cap; };
+    // Gap 1: evaluate adjacent pairs and record the covered links.
+    Out.Covered.assign(K - 1, 0);
+    for (size_t A = 0; A + 1 < K && !chunkFull(); ++A)
+      Out.Covered[A] =
+          evalSendPair(Out, Sends[A], Sends[A + 1], /*WantLink=*/true);
+    computeRuns(Out, K);
+    const size_t CGap = SendCursor[Qi].Gap, CI = SendCursor[Qi].I;
+    for (size_t Gap = RoundExact ? CGap : 2; Gap < K; ++Gap) {
+      for (size_t A = (RoundExact && Gap == CGap) ? CI : 0; A + Gap < K;
+           ++A) {
+        const SendOp &S1 = Sends[A];
+        const SendOp &S2 = Sends[A + Gap];
+        // A covered window implies the forward conclusion of rules
+        // 1 and 3; only a front-enqueued s2 (rules 2 and 4, reverse
+        // conclusion) still needs evaluating.
+        if (Out.Run[A] >= Gap && !S2.AtFront) {
+          ++Out.SkipSend;
+          continue;
+        }
+        bool Seen = !RoundExact && (Gap < CGap || (Gap == CGap && A < CI));
+        if (Seen) {
+          // Every premise query sources from s1's or s2's post node;
+          // if neither row grew, the pair evaluates as before.
+          if (!rowChanged(S1.Node) && !rowChanged(S2.Node)) {
+            ++Out.SkipSend;
+            continue;
+          }
+        } else if (chunkFull()) {
+          // Everything past the cursor stays unseen.
+          SendCursor[Qi] = {static_cast<uint32_t>(Gap),
+                            static_cast<uint32_t>(A)};
+          return false;
+        }
+        ++Out.VisitSend;
+        evalSendPair(Out, S1, S2, /*WantLink=*/false);
+      }
+    }
+    return true;
+  }
+
   std::vector<HbEdge>
   applyDerivedRules(const Reachability &Oracle, const uint8_t *ChangedRows,
                     const std::vector<GainedWord> *Gained) {
-    std::vector<std::pair<NodeId, NodeId>> NewEdges;
-    uint64_t Atomicity = 0, Q1 = 0, Q2 = 0, Q3 = 0, Q4 = 0;
     // Keep rounds small: the incremental oracle makes a round-boundary
     // refresh cheap, and the sooner the oracle reflects a chain's
     // adjacent edges, the more wide-gap pairs the next scan skips as
     // implied -- tighter rounds insert strictly fewer redundant edges.
     const size_t ChunkCap = G.numNodes() / 8 + 1024;
 
-    // Pair scans issue millions of queries per round; closure-backed
-    // oracles expose their rows so the hot path is an inline bit test.
-    const BitVec *Rows = Oracle.rowsOrNull();
-    auto reaches = [&](NodeId From, NodeId To) {
-      return Rows ? Rows[From.index()].test(To.index())
-                  : Oracle.reaches(From, To);
+    // Freeze the round context.  Scans only read it (plus the pre-round
+    // cursors), which is what makes per-queue scans independent: each
+    // queue's proposal stream depends on the frozen oracle and its own
+    // cursor only, never on another queue's proposals in this round.
+    RoundOracle = &Oracle;
+    RoundRows = Oracle.rowsOrNull();
+    RoundChanged = ChangedRows;
+    RoundExact = Gained != nullptr;
+    if (Opt.EnableAtomicityRule && AtomCursor.size() != QueueEvents.size())
+      AtomCursor.assign(QueueEvents.size(), {});
+    if (Opt.EnableQueueRules && SendCursor.size() != QueueSends.size())
+      SendCursor.assign(QueueSends.size(), {});
+
+    // A queue participates this round unless exact fact dispatch covers
+    // it (fully seen).
+    auto runsAtom = [&](size_t Qi) {
+      size_t K = QueueEvents[Qi].size();
+      return K >= 2 && !(RoundExact && AtomCursor[Qi].Gap >= K);
     };
-    // Did this node's reachable set grow in the last oracle update?
-    // Conservative on nullptr (no delta information) and invalid nodes.
-    auto rowChanged = [&](NodeId Node) {
-      return !ChangedRows || !Node.isValid() || ChangedRows[Node.index()];
+    auto runsSend = [&](size_t Qi) {
+      size_t K = QueueSends[Qi].size();
+      return K >= 2 && !(RoundExact && SendCursor[Qi].Gap >= K);
+    };
+    auto mergeScan = [](ScanOut &Dst, const ScanOut &Src) {
+      Dst.Edges.insert(Dst.Edges.end(), Src.Edges.begin(), Src.Edges.end());
+      Dst.Atomicity += Src.Atomicity;
+      Dst.Q1 += Src.Q1;
+      Dst.Q2 += Src.Q2;
+      Dst.Q3 += Src.Q3;
+      Dst.Q4 += Src.Q4;
+      Dst.VisitAtom += Src.VisitAtom;
+      Dst.SkipAtom += Src.SkipAtom;
+      Dst.VisitSend += Src.VisitSend;
+      Dst.SkipSend += Src.SkipSend;
     };
 
-    auto propose = [&](NodeId From, NodeId To, uint64_t &Counter) {
-      if (!From.isValid() || !To.isValid())
-        return;
-      if (reaches(From, To))
-        return; // already implied
-      NewEdges.emplace_back(From, To);
-      ++Counter;
-    };
-    auto chunkFull = [&] { return NewEdges.size() >= ChunkCap; };
+    // Main accumulates the round: committed proposals in canonical
+    // (dispatch, atom queues ascending, send queues ascending) order --
+    // exactly the sequential emission order -- plus the counters.
+    ScanOut Main;
 
-    // Run[i] = number of consecutive covered links starting at link i;
-    // a window of Gap covered links implies the wide conclusion
-    // end(i) -> begin(i+Gap) by chaining through program order.
-    auto computeRuns = [&](size_t K) {
-      Run.assign(K - 1, 0);
-      for (size_t I = K - 1; I-- > 0;)
-        Run[I] = Covered[I] ? (I + 1 < K - 1 ? Run[I + 1] : 0) + 1 : 0;
-    };
-
-    // Evaluates one ordered send pair against queue rules 1-4; the
-    // returned Link tells whether the forward conclusion
-    // end(e1) -> begin(e2) is covered afterwards.  Only adjacent pairs
-    // need it (WantLink), so other callers skip its query.
-    auto evalSendPair = [&](const SendOp &S1, const SendOp &S2,
-                            bool WantLink) {
-      NodeId Begin1 = G.beginNode(S1.Event);
-      NodeId Begin2 = G.beginNode(S2.Event);
-      NodeId End1 = G.endNode(S1.Event);
-      NodeId End2 = G.endNode(S2.Event);
-      bool Link = WantLink && End1.isValid() && Begin2.isValid() &&
-                  reaches(End1, Begin2);
-      // All rules require the sends to be ordered; sends appear in
-      // record order so only s1 < s2 (by position) can satisfy it.
-      if (!reaches(S1.Node, S2.Node))
-        return Link;
-      if (!S1.AtFront && !S2.AtFront) {
-        // Rule 1: FIFO among ordered sends when delay1 <= delay2.
-        if (S1.DelayMs <= S2.DelayMs) {
-          propose(End1, Begin2, Q1);
-          Link |= End1.isValid() && Begin2.isValid();
-        }
-      } else if (!S1.AtFront && S2.AtFront) {
-        // Rule 2: the front-enqueued event jumps ahead when it is
-        // enqueued before e1 can begin.
-        if (Begin1.isValid() && reaches(S2.Node, Begin1))
-          propose(End2, Begin1, Q2);
-      } else if (S1.AtFront && !S2.AtFront) {
-        // Rule 3: an already-front event precedes later sends.
-        propose(End1, Begin2, Q3);
-        Link |= End1.isValid() && Begin2.isValid();
-      } else {
-        // Rule 4: later front-send jumps ahead of an earlier
-        // front-send it provably precedes.
-        if (Begin1.isValid() && reaches(S2.Node, Begin1))
-          propose(End2, Begin1, Q4);
+    // The parallel mode needs the inline rows: Reachability::reaches
+    // may mutate per-oracle scratch (BFS), so only row-backed oracles
+    // are safe to query from many threads.
+    bool Parallel = Pool && Pool->helperThreads() > 0 && RoundRows;
+    if (!Parallel) {
+      if (Gained)
+        dispatchGained(*Gained, 0, Gained->size(), Main);
+      if (Opt.EnableAtomicityRule)
+        for (size_t Qi = 0; Qi != QueueEvents.size(); ++Qi)
+          if (runsAtom(Qi) && scanAtomQueue(Qi, Main, ChunkCap))
+            AtomCursor[Qi] = {static_cast<uint32_t>(QueueEvents[Qi].size()),
+                              0};
+      if (Opt.EnableQueueRules)
+        for (size_t Qi = 0; Qi != QueueSends.size(); ++Qi)
+          if (runsSend(Qi) && scanSendQueue(Qi, Main, ChunkCap))
+            SendCursor[Qi] = {static_cast<uint32_t>(QueueSends[Qi].size()),
+                              0};
+    } else {
+      // Optimistic parallel round: run every scan unit uncapped and
+      // concurrently (cursors are frozen -- nothing writes them until
+      // commit), then commit the per-unit buffers sequentially in
+      // canonical order.  A queue is accepted verbatim when even its
+      // full uncapped output keeps the round strictly under the cap:
+      // the capped sequential scan would then never have seen
+      // chunkFull() fire, so the buffers are bit-for-bit what it
+      // produces.  From the first queue where the cap could have
+      // fired, fall back to the real capped sequential scan (the
+      // cheap case: the cap only fires while the fixpoint is young).
+      enum Kind : uint8_t { Dispatch, Atom, Send };
+      struct Unit {
+        Kind K;
+        size_t Index; // queue index, or dispatch chunk begin
+        size_t End;   // dispatch chunk end
+        ScanOut Out;
+      };
+      std::vector<Unit> Units;
+      if (Gained && !Gained->empty()) {
+        size_t Threads = Pool->helperThreads() + 1;
+        size_t Chunk = std::max<size_t>(
+            (Gained->size() + Threads - 1) / Threads, 64);
+        for (size_t Lo = 0; Lo < Gained->size(); Lo += Chunk)
+          Units.push_back(
+              {Dispatch, Lo, std::min(Lo + Chunk, Gained->size()), {}});
       }
-      return Link;
-    };
+      if (Opt.EnableAtomicityRule)
+        for (size_t Qi = 0; Qi != QueueEvents.size(); ++Qi)
+          if (runsAtom(Qi))
+            Units.push_back({Atom, Qi, 0, {}});
+      if (Opt.EnableQueueRules)
+        for (size_t Qi = 0; Qi != QueueSends.size(); ++Qi)
+          if (runsSend(Qi))
+            Units.push_back({Send, Qi, 0, {}});
 
-    // Was the pair at (Gap, I) of a queue with K elements evaluated in
-    // an earlier round?  Unseen pairs are skipped by the dispatch below
-    // -- the resumed scan reaches them with an oracle that still holds
-    // the fact (monotone), so nothing is lost.
-    auto pairSeen = [](const HbScanCursor &C, size_t K, uint32_t Gap,
-                       uint32_t I) {
-      if (C.Gap >= K)
-        return true; // queue fully scanned at least once
-      if (Gap < 2)
-        return false; // the gap-1 pass still re-evaluates these
-      return Gap < C.Gap || (Gap == C.Gap && I < C.I);
-    };
-
-    // Semi-naive dispatch: route every premise fact that appeared in the
-    // last oracle update to the already-seen rule instances it can newly
-    // fire.  This stands in for re-scanning the seen region of every
-    // queue below.
-    if (Gained) {
-      for (const GainedWord &GW : *Gained) {
-        const NodeRole &U = Roles[GW.From];
-        if (U.K == NodeRole::None)
-          continue;
-        for (uint64_t Bits = GW.Bits; Bits; Bits &= Bits - 1) {
-          uint32_t V = GW.WordIdx * 64 +
-                       static_cast<uint32_t>(__builtin_ctzll(Bits));
-          const NodeRole &VR = Roles[V];
-          if (U.K == NodeRole::Begin) {
-            // Atomicity premise begin(eI) < end(eJ) just became true.
-            if (Opt.EnableAtomicityRule && VR.K == NodeRole::End &&
-                VR.Q == U.Q && VR.Pos > U.Pos &&
-                pairSeen(AtomCursor[U.Q], QueueEvents[U.Q].size(),
-                         VR.Pos - U.Pos, U.Pos)) {
-              ++VisitAtom;
-              const std::vector<TaskId> &Events = QueueEvents[U.Q];
-              propose(G.endNode(Events[U.Pos]), G.beginNode(Events[VR.Pos]),
-                      Atomicity);
-            }
-          } else if (U.K == NodeRole::Send && Opt.EnableQueueRules) {
-            // Queue-rule premise s1 < s2 just became true.
-            if (VR.K == NodeRole::Send && VR.Q == U.Q && VR.Pos > U.Pos &&
-                pairSeen(SendCursor[U.Q], QueueSends[U.Q].size(),
-                         VR.Pos - U.Pos, U.Pos)) {
-              ++VisitSend;
-              evalSendPair(QueueSends[U.Q][U.Pos], QueueSends[U.Q][VR.Pos],
-                           /*WantLink=*/false);
-            }
-            // Rules 2/4 premise s2 < begin(e1) just became true, where
-            // e1 was posted by an earlier send of the same queue.
-            if (VR.SendQ == U.Q && U.Pos > VR.SendPos &&
-                pairSeen(SendCursor[U.Q], QueueSends[U.Q].size(),
-                         U.Pos - VR.SendPos, VR.SendPos)) {
-              ++VisitSend;
-              evalSendPair(QueueSends[U.Q][VR.SendPos],
-                           QueueSends[U.Q][U.Pos],
-                           /*WantLink=*/false);
-            }
-          }
+      Pool->parallelFor(Units.size(), [&](size_t UI) {
+        Unit &U = Units[UI];
+        switch (U.K) {
+        case Dispatch:
+          dispatchGained(*Gained, U.Index, U.End, U.Out);
+          break;
+        case Atom:
+          scanAtomQueue(U.Index, U.Out, /*Cap=*/0);
+          break;
+        case Send:
+          scanSendQueue(U.Index, U.Out, /*Cap=*/0);
+          break;
         }
-      }
-    }
+      });
 
-    if (Opt.EnableAtomicityRule) {
-      if (AtomCursor.size() != QueueEvents.size())
-        AtomCursor.assign(QueueEvents.size(), {});
-      for (size_t Qi = 0; Qi != QueueEvents.size(); ++Qi) {
-        const std::vector<TaskId> &Events = QueueEvents[Qi];
-        HbScanCursor &C = AtomCursor[Qi];
-        size_t K = Events.size();
-        if (K < 2)
-          continue;
-        if (Gained && C.Gap >= K)
-          continue; // fully seen: the fact dispatch covers this queue
-        // Gap 1: evaluate adjacent pairs and record the covered links.
-        // Runs in full every round (linear, and Covered must be fresh);
-        // a cap cut here leaves the tail uncovered, which is safe.
-        Covered.assign(K - 1, 0);
-        for (size_t I = 0; I + 1 < K && !chunkFull(); ++I) {
-          NodeId BeginI = G.beginNode(Events[I]);
-          NodeId EndI = G.endNode(Events[I]);
-          NodeId EndJ = G.endNode(Events[I + 1]);
-          NodeId BeginJ = G.beginNode(Events[I + 1]);
-          bool Link = EndI.isValid() && BeginJ.isValid() &&
-                      reaches(EndI, BeginJ);
-          if (BeginI.isValid() && EndJ.isValid() && BeginJ.isValid() &&
-              reaches(BeginI, EndJ)) {
-            // Atomicity: begin(eI) < end(eJ)  =>  end(eI) < begin(eJ).
-            propose(EndI, BeginJ, Atomicity);
-            Link |= EndI.isValid(); // implied before, or in the batch now
-          }
-          Covered[I] = Link;
-        }
-        computeRuns(K);
-        if (K >= 2 && Run[0] == K - 1) {
-          // Every wider conclusion is implied by the covered chain, now
-          // and forever (edges are never removed) -- the whole queue
-          // counts as seen.
-          C = {static_cast<uint32_t>(K), 0};
+      bool Fallback = false;
+      for (Unit &U : Units) {
+        if (U.K == Dispatch) {
+          // Dispatch has no cap checks; its chunks always commit.
+          mergeScan(Main, U.Out);
           continue;
         }
-        bool Cut = false;
-        // With exact fact dispatch the seen region needs no re-scan at
-        // all -- resume where the cap last cut.  Otherwise walk it with
-        // the coarse row-level skip.
-        const size_t CGap = C.Gap, CI = C.I;
-        for (size_t Gap = Gained ? CGap : 2; Gap < K && !Cut; ++Gap) {
-          for (size_t I = (Gained && Gap == CGap) ? CI : 0; I + Gap < K;
-               ++I) {
-            if (Run[I] >= Gap) {
-              ++SkipAtom;
-              continue; // conclusion implied by chained covered links
-            }
-            size_t J = I + Gap;
-            NodeId BeginI = G.beginNode(Events[I]);
-            bool Seen =
-                !Gained && (Gap < CGap || (Gap == CGap && I < CI));
-            if (Seen) {
-              // The only premise query sources from begin(eI); if its
-              // row did not grow, the pair evaluates as it did before.
-              if (!rowChanged(BeginI)) {
-                ++SkipAtom;
-                continue;
-              }
-            } else if (chunkFull()) {
-              C = {static_cast<uint32_t>(Gap), static_cast<uint32_t>(I)};
-              Cut = true;
-              break; // everything past the cursor stays unseen
-            }
-            ++VisitAtom;
-            NodeId EndI = G.endNode(Events[I]);
-            NodeId EndJ = G.endNode(Events[J]);
-            NodeId BeginJ = G.beginNode(Events[J]);
-            if (!BeginI.isValid() || !EndJ.isValid() || !BeginJ.isValid())
-              continue;
-            // Atomicity: begin(eI) < end(eJ)  =>  end(eI) < begin(eJ).
-            if (reaches(BeginI, EndJ))
-              propose(EndI, BeginJ, Atomicity);
-          }
+        size_t K = U.K == Atom ? QueueEvents[U.Index].size()
+                               : QueueSends[U.Index].size();
+        if (!Fallback && Main.Edges.size() + U.Out.Edges.size() < ChunkCap) {
+          mergeScan(Main, U.Out);
+          (U.K == Atom ? AtomCursor : SendCursor)[U.Index] = {
+              static_cast<uint32_t>(K), 0};
+          continue;
         }
-        if (!Cut)
-          C = {static_cast<uint32_t>(K), 0}; // every pair seen at least once
+        Fallback = true;
+        if (U.K == Atom) {
+          if (scanAtomQueue(U.Index, Main, ChunkCap))
+            AtomCursor[U.Index] = {static_cast<uint32_t>(K), 0};
+        } else {
+          if (scanSendQueue(U.Index, Main, ChunkCap))
+            SendCursor[U.Index] = {static_cast<uint32_t>(K), 0};
+        }
       }
     }
 
-    if (Opt.EnableQueueRules) {
-      if (SendCursor.size() != QueueSends.size())
-        SendCursor.assign(QueueSends.size(), {});
-      for (size_t Qi = 0; Qi != QueueSends.size(); ++Qi) {
-        const std::vector<SendOp> &Sends = QueueSends[Qi];
-        HbScanCursor &C = SendCursor[Qi];
-        size_t K = Sends.size();
-        if (K < 2)
-          continue;
-        if (Gained && C.Gap >= K)
-          continue; // fully seen: the fact dispatch covers this queue
-        // Gap 1: evaluate adjacent pairs and record the covered links.
-        Covered.assign(K - 1, 0);
-        for (size_t A = 0; A + 1 < K && !chunkFull(); ++A)
-          Covered[A] =
-              evalSendPair(Sends[A], Sends[A + 1], /*WantLink=*/true);
-        computeRuns(K);
-        bool Cut = false;
-        const size_t CGap = C.Gap, CI = C.I;
-        for (size_t Gap = Gained ? CGap : 2; Gap < K && !Cut; ++Gap) {
-          for (size_t A = (Gained && Gap == CGap) ? CI : 0; A + Gap < K;
-               ++A) {
-            const SendOp &S1 = Sends[A];
-            const SendOp &S2 = Sends[A + Gap];
-            // A covered window implies the forward conclusion of rules
-            // 1 and 3; only a front-enqueued s2 (rules 2 and 4, reverse
-            // conclusion) still needs evaluating.
-            if (Run[A] >= Gap && !S2.AtFront) {
-              ++SkipSend;
-              continue;
-            }
-            bool Seen =
-                !Gained && (Gap < CGap || (Gap == CGap && A < CI));
-            if (Seen) {
-              // Every premise query sources from s1's or s2's post node;
-              // if neither row grew, the pair evaluates as before.
-              if (!rowChanged(S1.Node) && !rowChanged(S2.Node)) {
-                ++SkipSend;
-                continue;
-              }
-            } else if (chunkFull()) {
-              C = {static_cast<uint32_t>(Gap), static_cast<uint32_t>(A)};
-              Cut = true;
-              break; // everything past the cursor stays unseen
-            }
-            ++VisitSend;
-            evalSendPair(S1, S2, /*WantLink=*/false);
-          }
-        }
-        if (!Cut)
-          C = {static_cast<uint32_t>(K), 0}; // every pair seen at least once
-      }
-    }
+    VisitAtom += Main.VisitAtom;
+    SkipAtom += Main.SkipAtom;
+    VisitSend += Main.VisitSend;
+    SkipSend += Main.SkipSend;
 
     // Apply the batch (dedup first: atomicity and queue rules can derive
     // the same event-level edge).
+    std::vector<std::pair<NodeId, NodeId>> &NewEdges = Main.Edges;
     std::sort(NewEdges.begin(), NewEdges.end(),
               [](const std::pair<NodeId, NodeId> &X,
                  const std::pair<NodeId, NodeId> &Y) {
@@ -633,11 +797,11 @@ struct HbIndex::Builder {
       if (G.addEdge(From, To))
         Batch.push_back({From, To});
 
-    Stats.AtomicityEdges += Atomicity;
-    Stats.QueueRule1Edges += Q1;
-    Stats.QueueRule2Edges += Q2;
-    Stats.QueueRule3Edges += Q3;
-    Stats.QueueRule4Edges += Q4;
+    Stats.AtomicityEdges += Main.Atomicity;
+    Stats.QueueRule1Edges += Main.Q1;
+    Stats.QueueRule2Edges += Main.Q2;
+    Stats.QueueRule3Edges += Main.Q3;
+    Stats.QueueRule4Edges += Main.Q4;
     return Batch;
   }
 };
@@ -653,7 +817,16 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
   };
 
   auto TGraph = Now();
+  // Parallel analysis mode: Threads-1 helpers (the constructing thread
+  // participates in every parallelFor), shared by the oracle's
+  // column-strip sweeps and the rule engine's queue scans.  Thread
+  // count is purely a wall-clock knob; reports stay bit-identical
+  // (docs/robustness.md, "Parallel analysis").
+  unsigned Threads = resolveAnalysisThreads(Options.Threads);
+  Pool = std::make_unique<WorkerPool>(Threads > 1 ? Threads - 1 : 0);
+
   Builder B(T, *Graph, Options, Stats);
+  B.Pool = Pool.get();
   B.collect();
   B.addBaseEdges();
 
@@ -684,6 +857,7 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
   for (;;) {
     Reach = makeReachability(*Graph, Mode, Options.MemLimitBytes,
                              /*Defer=*/true);
+    Reach->setWorkerPool(Pool.get());
     bool Ready = false;
     if (R && !R->ClosureRows.empty())
       Ready = Reach->importClosureRows(R->ClosureRows.data(),
@@ -860,6 +1034,10 @@ bool HbIndex::taskOrdered(TaskId E1, TaskId E2) const {
   if (!End1.isValid() || !Begin2.isValid())
     return false;
   return Reach->reaches(End1, Begin2);
+}
+
+bool HbIndex::concurrentQueriesSafe() const {
+  return Reach->rowsOrNull() != nullptr;
 }
 
 size_t HbIndex::memoryBytes() const {

@@ -45,6 +45,8 @@
 
 namespace cafa {
 
+class WorkerPool;
+
 /// Which causality model to build.
 enum class OrderingModel : uint8_t {
   /// The paper's event-aware model.
@@ -80,6 +82,14 @@ struct HbOptions {
   /// candidates, never hide one -- and degradation().DeadlineExceeded
   /// is set so downstream reports get flagged partial.  0 = off.
   double DeadlineMillis = 0;
+  /// Analysis worker threads (the --analysis-threads knob): closure row
+  /// sweeps, rule-premise scans, and the detector's pair scan fan out
+  /// across this many threads.  0 = auto: the CAFA_ANALYSIS_THREADS
+  /// environment variable if set, else hardware concurrency.  Purely a
+  /// wall-clock knob -- every thread count produces bit-identical
+  /// reports (docs/robustness.md, "Parallel analysis"), which is also
+  /// why the checkpoint options digest excludes it.
+  unsigned Threads = 0;
 };
 
 /// What the graceful-degradation ladder actually did while building one
@@ -229,12 +239,24 @@ public:
   /// Approximate analyzer memory (graph + oracle), for scaling benches.
   size_t memoryBytes() const;
 
+  /// True when happensBefore()/ordered() may be issued from several
+  /// threads at once: closure-backed oracles answer from an immutable
+  /// row matrix.  False for the BFS floor, which reuses per-query
+  /// scratch -- callers (the parallel detector scan) must then stay
+  /// sequential.
+  bool concurrentQueriesSafe() const;
+
 private:
   struct Builder;
 
   const Trace &T;
   const TaskIndex &Index;
   std::unique_ptr<HbGraph> Graph;
+  /// Worker pool for the parallel analysis mode (HbOptions::Threads):
+  /// shared by the oracle's column-strip sweeps and the rule engine's
+  /// queue scans.  Holds Threads-1 helpers (the constructing thread
+  /// participates); with 1 thread it is a no-op shell.
+  std::unique_ptr<WorkerPool> Pool;
   std::unique_ptr<Reachability> Reach;
   HbRuleStats Stats;
   HbDegradation Degrade;

@@ -39,6 +39,8 @@
 
 namespace cafa {
 
+class WorkerPool;
+
 /// One happens-before edge, as handed to the delta-aware oracle path.
 struct HbEdge {
   NodeId From;
@@ -156,6 +158,13 @@ public:
                                  size_t /*WordsPerRow*/) {
     return false;
   }
+
+  /// Lends a worker pool for the duration of the oracle's life (nullptr
+  /// detaches).  Closure-based oracles use it to run refresh()/addEdges()
+  /// row sweeps as column strips across the pool -- bit-identical to the
+  /// sequential sweep by construction (see docs/hb-reachability.md).
+  /// Oracles without precomputed state ignore the call.
+  virtual void setWorkerPool(WorkerPool * /*Pool*/) {}
 };
 
 /// Bitset transitive closure, rebuilt from scratch on refresh().
@@ -187,6 +196,7 @@ public:
                          size_t &WordsPerRowOut) const override;
   bool importClosureRows(const uint64_t *Words, size_t NumWords,
                          size_t WordsPerRow) override;
+  void setWorkerPool(WorkerPool *P) override { Pool = P; }
 
   /// Direct row access for cache-friendly pair scans in the rule engine.
   const BitVec &row(NodeId Node) const { return Rows[Node.index()]; }
@@ -200,6 +210,7 @@ private:
   std::vector<BitVec> Rows;
   size_t Budget = 0;
   bool Exceeded = false;
+  WorkerPool *Pool = nullptr;
 };
 
 /// Bitset transitive closure maintained incrementally.
@@ -264,6 +275,7 @@ public:
   const std::vector<GainedWord> *gainedWords() const override {
     return FactsValid ? &Gained : nullptr;
   }
+  void setWorkerPool(WorkerPool *P) override { Pool = P; }
 
   /// Direct row access (same contract as ClosureReachability::row).
   const BitVec &row(NodeId Node) const { return Rows[Node.index()]; }
@@ -272,6 +284,20 @@ private:
   /// Sizes the rows and delta-tracking extras under the budget; false
   /// (with Exceeded set) when they do not fit.  Idempotent.
   bool allocateRows();
+
+  /// Per-strip scratch for the column-parallel delta sweep: strip-local
+  /// dirty flags ("this strip's words of row n grew"), a strip-local
+  /// snapshot row, the strip's gained-word list, all merged
+  /// deterministically after the round barrier.
+  struct StripScratch {
+    std::vector<uint8_t> Dirty;
+    BitVec Snap;
+    std::vector<GainedWord> Gained;
+  };
+
+  /// One strip's share of the delta sweep: words [Lo, Hi) of every row.
+  void sweepStrip(StripScratch &SS, size_t Lo, size_t Hi, uint32_t MaxFrom,
+                  bool Collect);
 
   const HbGraph &G;
   std::vector<BitVec> Rows;
@@ -296,6 +322,8 @@ private:
   std::vector<GainedWord> Gained;
   bool FactsValid = false;
   BitVec SnapRow;
+  WorkerPool *Pool = nullptr;
+  std::vector<StripScratch> Strips;
 };
 
 /// On-demand search with per-task pruning: a visit to node n of task t

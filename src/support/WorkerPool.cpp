@@ -1,0 +1,145 @@
+//===- support/WorkerPool.cpp - Shared lazy-start worker pool -------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/WorkerPool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+using namespace cafa;
+
+/// One parallelFor invocation in flight.  Helpers and the caller claim
+/// task indices from Next; the caller blocks until Finished == NumTasks,
+/// which guarantees every Fn invocation has returned before parallelFor
+/// does (Fn is borrowed by reference).
+struct WorkerPool::Batch {
+  size_t NumTasks = 0;
+  const std::function<void(size_t)> *Fn = nullptr;
+  std::atomic<size_t> Next{0};
+  std::mutex Mu;
+  std::condition_variable Cv;
+  size_t Finished = 0; // guarded by Mu
+
+  void run() {
+    size_t Ran = 0;
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= NumTasks)
+        break;
+      (*Fn)(I);
+      ++Ran;
+    }
+    if (Ran) {
+      std::lock_guard<std::mutex> L(Mu);
+      Finished += Ran;
+      if (Finished == NumTasks)
+        Cv.notify_all();
+    }
+  }
+};
+
+WorkerPool::WorkerPool(unsigned HelperThreads) : Helpers(HelperThreads) {}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Stop = true;
+    Queue.clear(); // discard: callers drain explicitly when jobs matter
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::ensureStartedLocked() {
+  if (!Threads.empty() || Stop)
+    return;
+  Threads.reserve(Helpers);
+  for (unsigned I = 0; I != Helpers; ++I)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+void WorkerPool::workerMain() {
+  std::unique_lock<std::mutex> L(Mu);
+  for (;;) {
+    WorkCv.wait(L, [&] { return Stop || !Queue.empty(); });
+    if (Queue.empty())
+      return; // stopping and drained
+    std::function<void()> Job = std::move(Queue.front());
+    Queue.pop_front();
+    L.unlock();
+    Job();
+    L.lock();
+  }
+}
+
+void WorkerPool::submit(std::function<void()> Job) {
+  if (Helpers == 0) {
+    Job(); // deterministic inline path
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ensureStartedLocked();
+    Queue.push_back(std::move(Job));
+  }
+  WorkCv.notify_one();
+}
+
+void WorkerPool::parallelFor(size_t NumTasks,
+                             const std::function<void(size_t)> &Fn) {
+  if (NumTasks == 0)
+    return;
+  if (Helpers == 0 || NumTasks == 1) {
+    for (size_t I = 0; I != NumTasks; ++I)
+      Fn(I);
+    return;
+  }
+
+  auto B = std::make_shared<Batch>();
+  B->NumTasks = NumTasks;
+  B->Fn = &Fn;
+
+  // At most NumTasks-1 helpers can do useful work (the caller claims
+  // too); a helper that arrives after all tasks are claimed exits
+  // without touching Fn.
+  size_t Enlisted = std::min<size_t>(Helpers, NumTasks - 1);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    ensureStartedLocked();
+    for (size_t I = 0; I != Enlisted; ++I)
+      Queue.push_back([B] { B->run(); });
+  }
+  WorkCv.notify_all();
+
+  B->run(); // caller participates
+
+  std::unique_lock<std::mutex> L(B->Mu);
+  B->Cv.wait(L, [&] { return B->Finished == B->NumTasks; });
+}
+
+unsigned cafa::resolveWorkerThreads(unsigned Requested, const char *EnvVar) {
+  unsigned N = Requested;
+  if (N == 0 && EnvVar) {
+    if (const char *Env = std::getenv(EnvVar)) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Env, &End, 10);
+      if (End != Env && *End == '\0' && V >= 1)
+        N = static_cast<unsigned>(V > 256 ? 256 : V);
+    }
+  }
+  if (N == 0)
+    N = std::thread::hardware_concurrency();
+  if (N == 0)
+    N = 1;
+  return N > 256 ? 256u : N;
+}
+
+unsigned cafa::resolveAnalysisThreads(unsigned Requested) {
+  return resolveWorkerThreads(Requested, "CAFA_ANALYSIS_THREADS");
+}

@@ -1,0 +1,92 @@
+//===- support/WorkerPool.h - Shared lazy-start worker pool ---------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// A small fixed-size thread pool shared by the parallel phases of the
+// pipeline: sharded trace ingestion (trace/IngestSession) and the
+// parallel analysis mode (hb/Reachability row sweeps, the HbIndex rule
+// engine, and the detector pair scan).  Two usage styles:
+//
+//  - submit(): fire-and-forget jobs drained FIFO by the helper threads.
+//    Completion is the caller's business (IngestSession tracks per-job
+//    Done flags under its own lock).  With zero helpers the job runs
+//    inline, which is the deterministic 1-thread path.
+//
+//  - parallelFor(N, Fn): the calling thread *participates*.  Tasks
+//    0..N-1 are claimed from a shared atomic counter by the caller and
+//    up to min(helpers, N-1) helper threads; the call returns only when
+//    every task has finished.  Determinism discipline: callers keep
+//    per-TASK (not per-worker) result buffers and merge them in task
+//    order afterwards, so the output never depends on which thread ran
+//    which task.
+//
+// Threads start lazily on first use and are joined by the destructor;
+// jobs still queued at destruction are discarded (all current callers
+// drain explicitly before tearing the pool down).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_WORKERPOOL_H
+#define CAFA_SUPPORT_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cafa {
+
+class WorkerPool {
+public:
+  /// \p HelperThreads is the number of *extra* threads: 0 means every
+  /// submit() and parallelFor() runs entirely on the calling thread.
+  explicit WorkerPool(unsigned HelperThreads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  unsigned helperThreads() const { return Helpers; }
+
+  /// Enqueues \p Job for a helper thread (runs inline with 0 helpers).
+  void submit(std::function<void()> Job);
+
+  /// Runs Fn(0..NumTasks-1) across the caller plus the helper threads;
+  /// returns when all tasks have completed.  Task claim order is
+  /// nondeterministic -- callers must not encode ordering assumptions in
+  /// Fn beyond "tasks are disjoint".
+  void parallelFor(size_t NumTasks, const std::function<void(size_t)> &Fn);
+
+private:
+  struct Batch;
+
+  void ensureStartedLocked();
+  void workerMain();
+
+  const unsigned Helpers;
+  std::mutex Mu;
+  std::condition_variable WorkCv;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Threads;
+  bool Stop = false;
+};
+
+/// Resolves a requested worker-thread count: 0 consults \p EnvVar, then
+/// std::thread::hardware_concurrency(), then falls back to 1; any result
+/// is capped at 256.  Shared by CAFA_INGEST_THREADS and
+/// CAFA_ANALYSIS_THREADS so both knobs behave identically.
+unsigned resolveWorkerThreads(unsigned Requested, const char *EnvVar);
+
+/// resolveWorkerThreads with the CAFA_ANALYSIS_THREADS environment knob
+/// (the --analysis-threads default).
+unsigned resolveAnalysisThreads(unsigned Requested);
+
+} // namespace cafa
+
+#endif // CAFA_SUPPORT_WORKERPOOL_H

@@ -34,17 +34,16 @@
 
 #include "support/Format.h"
 #include "support/Snapshot.h"
+#include "support/WorkerPool.h"
 #include "trace/SalvageEngine.h"
 
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <fstream>
 #include <map>
 #include <mutex>
-#include <thread>
 
 using namespace cafa;
 
@@ -94,20 +93,7 @@ std::string cafa::ingestCheckpointPath(const std::string &Directory) {
 }
 
 unsigned IngestSession::resolveThreads(unsigned Requested) {
-  unsigned N = Requested;
-  if (N == 0) {
-    if (const char *Env = std::getenv("CAFA_INGEST_THREADS")) {
-      char *End = nullptr;
-      unsigned long V = std::strtoul(Env, &End, 10);
-      if (End != Env && *End == '\0' && V >= 1)
-        N = static_cast<unsigned>(V > 256 ? 256 : V);
-    }
-  }
-  if (N == 0)
-    N = std::thread::hardware_concurrency();
-  if (N == 0)
-    N = 1;
-  return N > 256 ? 256u : N;
+  return resolveWorkerThreads(Requested, "CAFA_INGEST_THREADS");
 }
 
 //===----------------------------------------------------------------------===//
@@ -158,21 +144,19 @@ struct IngestSession::Impl {
     bool Done = false;
   };
 
-  // Worker pool (lazy-started; only used when Threads > 1).
+  // Shared worker pool (lazy-started; helpers only exist when
+  // Threads > 1 -- the 1-thread path lexes inline in dispatchShard).
+  // Mu/DoneCv guard the per-job Done flags and the in-flight window;
+  // the pool itself only moves lexShard calls onto helper threads.
   std::mutex Mu;
-  std::condition_variable WorkCv;
   std::condition_variable DoneCv;
-  std::deque<std::shared_ptr<Job>> WorkQueue;
   std::map<uint64_t, std::shared_ptr<Job>> InFlight;
-  std::vector<std::thread> Workers;
-  bool StopWorkers = false;
+  WorkerPool Pool;
 
   explicit Impl(const IngestOptions &Options)
       : Opt(Options), Threads(IngestSession::resolveThreads(Options.Threads)),
         ShardBytes(Options.ShardBytes ? Options.ShardBytes : 1),
-        Machine(Options.Salvage) {}
-
-  ~Impl() { shutdownWorkers(/*Discard=*/true); }
+        Machine(Options.Salvage), Pool(Threads > 1 ? Threads : 0) {}
 
   bool checkpointEnabled() const { return !Opt.CheckpointDirectory.empty(); }
 
@@ -192,46 +176,6 @@ struct IngestSession::Impl {
     H = fnv1a64Mix(H, Opt.Salvage.RepairTruncation ? 1 : 0);
     H = fnv1a64Mix(H, static_cast<uint64_t>(Opt.Mode));
     return H;
-  }
-
-  // --- Worker pool ------------------------------------------------------
-
-  void startWorkersLocked() {
-    if (!Workers.empty() || StopWorkers)
-      return;
-    Workers.reserve(Threads);
-    for (unsigned I = 0; I != Threads; ++I)
-      Workers.emplace_back([this] { workerMain(); });
-  }
-
-  void workerMain() {
-    std::unique_lock<std::mutex> L(Mu);
-    for (;;) {
-      WorkCv.wait(L, [&] { return StopWorkers || !WorkQueue.empty(); });
-      if (WorkQueue.empty())
-        return; // StopWorkers and nothing left to lex
-      std::shared_ptr<Job> J = WorkQueue.front();
-      WorkQueue.pop_front();
-      L.unlock();
-      ingest::lexShard(J->Text, J->Frag);
-      std::string().swap(J->Text); // free the raw bytes eagerly
-      L.lock();
-      J->Done = true;
-      DoneCv.notify_all();
-    }
-  }
-
-  void shutdownWorkers(bool Discard) {
-    {
-      std::lock_guard<std::mutex> L(Mu);
-      StopWorkers = true;
-      if (Discard)
-        WorkQueue.clear();
-    }
-    WorkCv.notify_all();
-    for (std::thread &W : Workers)
-      W.join();
-    Workers.clear();
   }
 
   // --- Merge ------------------------------------------------------------
@@ -330,20 +274,26 @@ struct IngestSession::Impl {
     }
 
     J->Text = std::move(Text);
-    std::unique_lock<std::mutex> L(Mu);
-    startWorkersLocked();
-    // Backpressure: keep at most ~2 fragments per worker in flight so a
-    // fast reader cannot buffer the whole dump in lexed form.
-    const size_t MaxInFlight = static_cast<size_t>(Threads) * 2 + 2;
-    for (;;) {
-      drainReadyLocked(L);
-      if (InFlight.size() < MaxInFlight)
-        break;
-      DoneCv.wait(L);
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      // Backpressure: keep at most ~2 fragments per worker in flight so
+      // a fast reader cannot buffer the whole dump in lexed form.
+      const size_t MaxInFlight = static_cast<size_t>(Threads) * 2 + 2;
+      for (;;) {
+        drainReadyLocked(L);
+        if (InFlight.size() < MaxInFlight)
+          break;
+        DoneCv.wait(L);
+      }
+      InFlight.emplace(J->Index, J);
     }
-    InFlight.emplace(J->Index, J);
-    WorkQueue.push_back(J);
-    WorkCv.notify_one();
+    Pool.submit([this, J] {
+      ingest::lexShard(J->Text, J->Frag);
+      std::string().swap(J->Text); // free the raw bytes eagerly
+      std::lock_guard<std::mutex> L(Mu);
+      J->Done = true;
+      DoneCv.notify_all();
+    });
   }
 
   /// Cuts as many shards as the buffer allows.  A shard ends at the
@@ -532,7 +482,6 @@ struct IngestSession::Impl {
         DoneCv.wait(L);
       }
     }
-    shutdownWorkers(/*Discard=*/true);
 
     if (AbortRequested)
       return Status::error(formatString(

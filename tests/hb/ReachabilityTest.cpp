@@ -16,6 +16,7 @@
 #include "hb/HbIndex.h"
 
 #include "support/Rng.h"
+#include "support/WorkerPool.h"
 #include "trace/TraceBuilder.h"
 #include "trace/Validate.h"
 
@@ -345,5 +346,89 @@ TEST_P(IncrementalDifferentialTest, OraclesAgreeUnderIncrementalBatches) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds100, IncrementalDifferentialTest,
                          testing::Range<uint64_t>(0, 100));
+
+/// Parallel column-strip parity: the pooled refresh()/addEdges() sweeps
+/// must be bit-identical to the sequential ones -- same rows, same dirty
+/// flags, and the same gained-word stream in the same order (the rule
+/// engine's scan order feeds off it, so "same set, different order"
+/// would not be good enough).
+class StripParityTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(StripParityTest, PooledSweepsMatchSequentialBitForBit) {
+  uint64_t Seed = GetParam();
+  Trace T = randomTrace(Seed * 104729 + 31, 200);
+  ASSERT_TRUE(validateTrace(T).ok());
+  TaskIndex Index(T);
+  HbGraph GSeq(T, Index);
+  HbGraph GPar(T, Index);
+
+  WorkerPool Pool(3); // 4-way sweeps
+  IncrementalClosureReachability Seq(GSeq);
+  IncrementalClosureReachability Par(GPar);
+  Par.setWorkerPool(&Pool);
+
+  uint32_t N = static_cast<uint32_t>(GSeq.numNodes());
+  ASSERT_GT(N, 1u);
+  BitVec AllNodes(N);
+  for (uint32_t I = 0; I != N; ++I)
+    AllNodes.set(I);
+  Seq.setFactFilter(AllNodes, AllNodes);
+  Par.setFactFilter(AllNodes, AllNodes);
+
+  Rng R(Seed ^ 0x9E3779B9ull);
+  for (int Batch = 0; Batch != 5; ++Batch) {
+    std::vector<HbEdge> Edges;
+    for (size_t I = 0, E = 1 + R.below(10); I != E; ++I) {
+      uint32_t A = static_cast<uint32_t>(R.below(N));
+      uint32_t B = static_cast<uint32_t>(R.below(N));
+      if (A == B)
+        continue;
+      if (A > B)
+        std::swap(A, B);
+      GSeq.addEdge(NodeId(A), NodeId(B));
+      GPar.addEdge(NodeId(A), NodeId(B));
+      Edges.push_back({NodeId(A), NodeId(B)});
+    }
+    bool UseDelta = !R.chance(1, 3);
+    if (UseDelta) {
+      Seq.addEdges(Edges);
+      Par.addEdges(Edges);
+    } else {
+      Seq.refresh();
+      Par.refresh();
+    }
+
+    for (uint32_t U = 0; U != N; ++U)
+      for (uint32_t V = 0; V != N; ++V)
+        ASSERT_EQ(Seq.reaches(NodeId(U), NodeId(V)),
+                  Par.reaches(NodeId(U), NodeId(V)))
+            << "seed " << Seed << " batch " << Batch << " " << U << "->"
+            << V;
+
+    if (UseDelta) {
+      const uint8_t *CS = Seq.changedRows(), *CP = Par.changedRows();
+      ASSERT_NE(CS, nullptr);
+      ASSERT_NE(CP, nullptr);
+      for (uint32_t U = 0; U != N; ++U)
+        ASSERT_EQ(CS[U], CP[U])
+            << "seed " << Seed << " batch " << Batch << " row " << U;
+
+      const std::vector<GainedWord> *WS = Seq.gainedWords();
+      const std::vector<GainedWord> *WP = Par.gainedWords();
+      ASSERT_NE(WS, nullptr);
+      ASSERT_NE(WP, nullptr);
+      ASSERT_EQ(WS->size(), WP->size())
+          << "seed " << Seed << " batch " << Batch;
+      for (size_t I = 0; I != WS->size(); ++I) {
+        EXPECT_EQ((*WS)[I].From, (*WP)[I].From) << "word " << I;
+        EXPECT_EQ((*WS)[I].WordIdx, (*WP)[I].WordIdx) << "word " << I;
+        EXPECT_EQ((*WS)[I].Bits, (*WP)[I].Bits) << "word " << I;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StripParityTest,
+                         testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 11, 42));
 
 } // namespace

@@ -174,8 +174,13 @@ TEST(CheckpointTest, DetectScanCutThenResumeIsBitIdentical) {
   HbIndex Hb(T, Index, HbOptions());
   AccessDb Db = extractAccesses(T, Index);
 
+  // Disable the sheddable filters so the deadline ladder's first rung
+  // has nothing to shed and the first expiry cuts the scan outright
+  // (the shed rung itself is covered by DegradationTest).
   DetectorOptions Opt;
   Opt.Classify = false;
+  Opt.LocksetFilter = false;
+  Opt.IfGuardFilter = false;
   RaceReport Clean = detectUseFreeRaces(T, Index, Db, Hb, Opt);
   ASSERT_FALSE(Clean.Partial);
   ASSERT_EQ(Clean.Filters.CandidatePairs, 4900u);
@@ -207,6 +212,69 @@ TEST(CheckpointTest, DetectScanCutThenResumeIsBitIdentical) {
   EXPECT_EQ(renderRaceReportJson(Resumed, T),
             renderRaceReportJson(Clean, T));
   EXPECT_EQ(renderRaceReport(Resumed, T), renderRaceReport(Clean, T));
+}
+
+TEST(CheckpointTest, ShedStateSurvivesDetectCheckpointResume) {
+  // 104x104 = 10816 pairs: the deadline ladder sheds the filters at the
+  // first poll and cuts at the second.  The frontier must carry the
+  // shed flag so a resume keeps scanning with filters shed -- silently
+  // re-enabling them would make the report depend on where the cut
+  // happened to land.
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 4096);
+  TaskId A = TB.addThread("user");
+  TaskId B = TB.addThread("freer");
+  TB.begin(A);
+  for (uint32_t I = 0; I != 104; ++I) {
+    TB.ptrRead(A, 5, 9, M, I);
+    TB.deref(A, 9, DerefKind::Invoke, M, I);
+  }
+  TB.end(A);
+  TB.begin(B);
+  for (uint32_t I = 0; I != 104; ++I)
+    TB.ptrWrite(B, 5, 0, M, 2000 + I);
+  TB.end(B);
+  Trace T = TB.take();
+  TaskIndex Index(T);
+  HbIndex Hb(T, Index, HbOptions());
+  AccessDb Db = extractAccesses(T, Index);
+
+  DetectFrontier Saved;
+  bool Wrote = false;
+  DetectCheckpointing CutCk;
+  CutCk.Save = [&](const DetectFrontier &F) {
+    Saved = F;
+    Wrote = true;
+  };
+  DetectorOptions Tiny;
+  Tiny.Classify = false;
+  Tiny.DeadlineMillis = 1e-6;
+  RaceReport Cut = detectUseFreeRaces(T, Index, Db, Hb, Tiny, &CutCk);
+  ASSERT_TRUE(Cut.Partial);
+  EXPECT_EQ(Cut.PartialCause, "detect-deadline");
+  ASSERT_TRUE(Wrote);
+  EXPECT_TRUE(Saved.FiltersShed);
+
+  // Resume without a deadline: the scan finishes, and the report stays
+  // flagged as a filters-shed run covering every pair.
+  DetectCheckpointing ResumeCk;
+  ResumeCk.Resume = &Saved;
+  DetectorOptions NoLimit;
+  NoLimit.Classify = false;
+  RaceReport Resumed = detectUseFreeRaces(T, Index, Db, Hb, NoLimit, &ResumeCk);
+  EXPECT_TRUE(ResumeCk.ResumeAccepted);
+  ASSERT_TRUE(Resumed.Partial);
+  EXPECT_EQ(Resumed.PartialCause, "filters-shed");
+  EXPECT_EQ(Resumed.Filters.CandidatePairs, 10816u);
+
+  // Nothing found before the cut is lost on resume.
+  for (const UseFreeRace &Race : Cut.Races) {
+    bool Found = false;
+    for (const UseFreeRace &R : Resumed.Races)
+      Found |= R.Use.Method == Race.Use.Method && R.Use.Pc == Race.Use.Pc &&
+               R.Free.Method == Race.Free.Method && R.Free.Pc == Race.Free.Pc;
+    EXPECT_TRUE(Found);
+  }
 }
 
 TEST(CheckpointTest, MidFlightHbFrontierResumesToSameRelation) {

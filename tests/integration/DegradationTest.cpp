@@ -19,6 +19,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 using namespace cafa;
 
 namespace {
@@ -123,25 +126,56 @@ TEST(DegradationTest, BlownHbDeadlineYieldsPartialReport) {
                 Full.Report.Filters.OrderedByHb);
 }
 
-TEST(DegradationTest, BlownDetectDeadlineCutsTheScan) {
-  // Two unordered threads with 70 uses x 70 frees of one pointer cell:
-  // 4900 candidate pairs, comfortably past the detector's 4096-pair
-  // deadline checkpoint.
+/// Two unordered threads with \p N uses x \p N frees of one pointer
+/// cell: N^2 candidate pairs against the detector's ~4096-pair deadline
+/// poll cadence.
+static Trace buildPairGridTrace(uint32_t N) {
   TraceBuilder TB;
-  MethodId M = TB.addMethod("m", 256);
+  MethodId M = TB.addMethod("m", 4096);
   TaskId A = TB.addThread("user");
   TaskId B = TB.addThread("freer");
   TB.begin(A);
-  for (uint32_t I = 0; I != 70; ++I) {
+  for (uint32_t I = 0; I != N; ++I) {
     TB.ptrRead(A, 5, 9, M, I);
     TB.deref(A, 9, DerefKind::Invoke, M, I);
   }
   TB.end(A);
   TB.begin(B);
-  for (uint32_t I = 0; I != 70; ++I)
-    TB.ptrWrite(B, 5, 0, M, 100 + I);
+  for (uint32_t I = 0; I != N; ++I)
+    TB.ptrWrite(B, 5, 0, M, 2000 + I);
   TB.end(B);
-  Trace T = TB.take();
+  return TB.take();
+}
+
+TEST(DegradationTest, BlownDetectDeadlineShedsFiltersFirst) {
+  // 70x70 = 4900 pairs: the first deadline poll (~pair 4096) sheds the
+  // lockset/if-guard filters and doubles the budget; the scan then
+  // finishes before the next poll (~pair 8192), so every pair is
+  // examined and the cause stays "filters-shed".
+  Trace T = buildPairGridTrace(70);
+
+  DetectorOptions Fast;
+  Fast.Classify = false;
+  Fast.DeadlineMillis = 1e-6;
+  RaceReport R = detectUseFreeRaces(T, Fast);
+  ASSERT_TRUE(R.Partial);
+  EXPECT_EQ(R.PartialCause, "filters-shed");
+  EXPECT_EQ(R.Filters.CandidatePairs, 4900u); // the scan completed
+  EXPECT_FALSE(R.PartialDetail.empty());
+
+  // Without a deadline the same trace scans every pair, cleanly.
+  DetectorOptions NoLimit;
+  NoLimit.Classify = false;
+  RaceReport FullR = detectUseFreeRaces(T, NoLimit);
+  EXPECT_FALSE(FullR.Partial);
+  EXPECT_EQ(FullR.Filters.CandidatePairs, 4900u);
+}
+
+TEST(DegradationTest, BlownDetectDeadlineCutsTheScanAfterShedding) {
+  // 104x104 = 10816 pairs: the first poll sheds the filters (rung 1),
+  // and the next poll finds the doubled budget also expired and cuts
+  // the scan (rung 2).
+  Trace T = buildPairGridTrace(104);
 
   DetectorOptions Fast;
   Fast.Classify = false;
@@ -150,14 +184,81 @@ TEST(DegradationTest, BlownDetectDeadlineCutsTheScan) {
   ASSERT_TRUE(R.Partial);
   EXPECT_EQ(R.PartialCause, "detect-deadline");
   EXPECT_GT(R.Filters.CandidatePairs, 0u);
-  EXPECT_LT(R.Filters.CandidatePairs, 4900u); // the scan really stopped
+  EXPECT_LT(R.Filters.CandidatePairs, 10816u); // the scan really stopped
+}
 
-  // Without a deadline the same trace scans every pair.
+TEST(DegradationTest, BlownDetectDeadlineCutsDirectlyWithoutSheddableFilters) {
+  // With the lockset and if-guard filters disabled, rung 1 has nothing
+  // to shed and the first expiry cuts the scan immediately.
+  Trace T = buildPairGridTrace(70);
+
+  DetectorOptions Fast;
+  Fast.Classify = false;
+  Fast.LocksetFilter = false;
+  Fast.IfGuardFilter = false;
+  Fast.DeadlineMillis = 1e-6;
+  RaceReport R = detectUseFreeRaces(T, Fast);
+  ASSERT_TRUE(R.Partial);
+  EXPECT_EQ(R.PartialCause, "detect-deadline");
+  EXPECT_LT(R.Filters.CandidatePairs, 4900u);
+}
+
+TEST(DegradationTest, FilterShedReportsAreASupersetOfCompleteOnes) {
+  // A grid trace plus lockset-protected pairs: the complete run
+  // suppresses the locked races; the shed run (deadline rung 1) must
+  // report every race the complete run reports -- shedding only ever
+  // un-suppresses -- and here strictly more.
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("m", 4096);
+  TaskId A = TB.addThread("user");
+  TaskId B = TB.addThread("freer");
+  TB.begin(A);
+  for (uint32_t I = 0; I != 70; ++I) {
+    TB.ptrRead(A, 5, 9, M, I);
+    TB.deref(A, 9, DerefKind::Invoke, M, I);
+  }
+  // A second cell touched only under a common lock.
+  TB.lockAcquire(A, 77);
+  TB.ptrRead(A, 6, 10, M, 500);
+  TB.deref(A, 10, DerefKind::Invoke, M, 500);
+  TB.lockRelease(A, 77);
+  TB.end(A);
+  TB.begin(B);
+  for (uint32_t I = 0; I != 70; ++I)
+    TB.ptrWrite(B, 5, 0, M, 2000 + I);
+  TB.lockAcquire(B, 77);
+  TB.ptrWrite(B, 6, 0, M, 2500);
+  TB.lockRelease(B, 77);
+  TB.end(B);
+  Trace T = TB.take();
+
   DetectorOptions NoLimit;
   NoLimit.Classify = false;
-  RaceReport FullR = detectUseFreeRaces(T, NoLimit);
-  EXPECT_FALSE(FullR.Partial);
-  EXPECT_EQ(FullR.Filters.CandidatePairs, 4900u);
+  RaceReport Complete = detectUseFreeRaces(T, NoLimit);
+  EXPECT_FALSE(Complete.Partial);
+  EXPECT_GT(Complete.Filters.LocksetProtected, 0u);
+
+  DetectorOptions Fast = NoLimit;
+  Fast.DeadlineMillis = 1e-6;
+  RaceReport Shed = detectUseFreeRaces(T, Fast);
+  ASSERT_TRUE(Shed.Partial);
+  ASSERT_EQ(Shed.PartialCause, "filters-shed");
+  EXPECT_EQ(Shed.Filters.CandidatePairs, Complete.Filters.CandidatePairs);
+
+  auto staticKeys = [](const RaceReport &R) {
+    std::set<std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>> Keys;
+    for (const UseFreeRace &Race : R.Races)
+      Keys.insert({Race.Use.Method.value(), Race.Use.Pc,
+                   Race.Free.Method.value(), Race.Free.Pc});
+    return Keys;
+  };
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t, uint32_t>>
+      CompleteKeys = staticKeys(Complete),
+      ShedKeys = staticKeys(Shed);
+  for (const auto &K : CompleteKeys)
+    EXPECT_TRUE(ShedKeys.count(K));
+  // The lockset-protected race surfaced: strictly more races.
+  EXPECT_GT(ShedKeys.size(), CompleteKeys.size());
 }
 
 TEST(DegradationTest, ReachModeNamesAreStable) {

@@ -1,0 +1,106 @@
+//===- tests/support/WorkerPoolTest.cpp ---------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The worker pool underneath every parallel phase: parallelFor must run
+// every task exactly once and return only after all of them finished,
+// submit must drain FIFO work, and the thread-count resolution must obey
+// the explicit-request > environment > hardware precedence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+using namespace cafa;
+
+namespace {
+
+TEST(WorkerPoolTest, ParallelForRunsEveryTaskExactlyOnce) {
+  for (unsigned Helpers : {0u, 1u, 3u, 7u}) {
+    WorkerPool Pool(Helpers);
+    EXPECT_EQ(Pool.helperThreads(), Helpers);
+    for (size_t N : {0u, 1u, 2u, 5u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> Hits(N);
+      Pool.parallelFor(N, [&](size_t I) { ++Hits[I]; });
+      for (size_t I = 0; I != N; ++I)
+        EXPECT_EQ(Hits[I].load(), 1) << "helpers " << Helpers << " task "
+                                     << I << " of " << N;
+    }
+  }
+}
+
+TEST(WorkerPoolTest, ParallelForIsABarrier) {
+  // Each task writes its slot; the sum read right after parallelFor
+  // returns must already be complete -- the call may not return while a
+  // helper is still mid-task.
+  WorkerPool Pool(3);
+  for (int Round = 0; Round != 50; ++Round) {
+    std::vector<uint64_t> Slots(256, 0);
+    Pool.parallelFor(Slots.size(), [&](size_t I) { Slots[I] = I + 1; });
+    uint64_t Sum = std::accumulate(Slots.begin(), Slots.end(), uint64_t(0));
+    ASSERT_EQ(Sum, uint64_t(256) * 257 / 2) << "round " << Round;
+  }
+}
+
+TEST(WorkerPoolTest, ParallelForNestsWithDisjointPools) {
+  // The detector owns its own pool while HbIndex owns another; nothing
+  // shared, so nesting across distinct pools must be safe.
+  WorkerPool Outer(2);
+  std::atomic<int> Total{0};
+  Outer.parallelFor(4, [&](size_t) {
+    WorkerPool Inner(0); // inline
+    Inner.parallelFor(8, [&](size_t) { ++Total; });
+  });
+  EXPECT_EQ(Total.load(), 32);
+}
+
+TEST(WorkerPoolTest, SubmitRunsInlineWithZeroHelpers) {
+  WorkerPool Pool(0);
+  bool Ran = false;
+  Pool.submit([&] { Ran = true; });
+  // Zero helpers: submit is synchronous by contract.
+  EXPECT_TRUE(Ran);
+}
+
+TEST(WorkerPoolTest, ResolvePrefersExplicitRequest) {
+  ::setenv("CAFA_TEST_POOL_VAR", "7", 1);
+  EXPECT_EQ(resolveWorkerThreads(3, "CAFA_TEST_POOL_VAR"), 3u);
+  EXPECT_EQ(resolveWorkerThreads(0, "CAFA_TEST_POOL_VAR"), 7u);
+  ::unsetenv("CAFA_TEST_POOL_VAR");
+  // With neither a request nor the env var, fall back to hardware
+  // concurrency (at least 1), capped at 256.
+  unsigned Auto = resolveWorkerThreads(0, "CAFA_TEST_POOL_VAR");
+  EXPECT_GE(Auto, 1u);
+  EXPECT_LE(Auto, 256u);
+  EXPECT_EQ(resolveWorkerThreads(100000, "CAFA_TEST_POOL_VAR"), 256u);
+}
+
+TEST(WorkerPoolTest, ResolveIgnoresGarbageEnvValues) {
+  for (const char *Bad : {"", "zero", "-3", "0"}) {
+    ::setenv("CAFA_TEST_POOL_VAR", Bad, 1);
+    unsigned Got = resolveWorkerThreads(0, "CAFA_TEST_POOL_VAR");
+    EXPECT_GE(Got, 1u) << "env value \"" << Bad << "\"";
+    EXPECT_LE(Got, 256u) << "env value \"" << Bad << "\"";
+  }
+  ::unsetenv("CAFA_TEST_POOL_VAR");
+}
+
+TEST(WorkerPoolTest, AnalysisKnobReadsItsEnvVar) {
+  ::setenv("CAFA_ANALYSIS_THREADS", "5", 1);
+  EXPECT_EQ(resolveAnalysisThreads(0), 5u);
+  EXPECT_EQ(resolveAnalysisThreads(2), 2u);
+  ::unsetenv("CAFA_ANALYSIS_THREADS");
+}
+
+} // namespace
