@@ -24,6 +24,7 @@
 #include "support/Format.h"
 #include "support/Timer.h"
 #include "trace/FaultInjector.h"
+#include "trace/TraceBuilder.h"
 #include "trace/IngestSession.h"
 #include "trace/TraceIO.h"
 
@@ -48,6 +49,137 @@ Scenario buildSynthetic(uint64_t Events) {
   App.fillVolumeTo(Events, /*WorkPerTick=*/1);
   Table1Row Dummy;
   return App.finish(Dummy).S;
+}
+
+/// Builds a fully chainable event trace with \p Events event tasks
+/// spread over a handful of loopers: every queue has exactly one
+/// poster (each handler posts its own successor with no delay), so
+/// queue-FIFO order coincides with post order, every consecutive pair
+/// is covered by a post edge, and the happens-before relation is a
+/// union of a few long chains.  This is the shape the chain oracle is
+/// built for -- the greedy cover finds one chain per looper -- and the
+/// shape where the closure-family oracles drown in O(N^2 / 8) row
+/// bytes.  A small cross-looper use/free on one object seeds real
+/// races so the detector scan is exercised, not skipped.
+Trace buildChainable(uint64_t Events) {
+  TraceBuilder TB;
+  MethodId M = TB.addMethod("handler", 128);
+  const uint32_t NumQueues = 4;
+  const uint64_t PerQueue = Events / NumQueues;
+
+  TaskId Main = TB.addThread("main");
+  std::vector<std::vector<TaskId>> Evs(NumQueues);
+  for (uint32_t Q = 0; Q != NumQueues; ++Q) {
+    QueueId Qu = TB.addQueue("looper" + std::to_string(Q));
+    Evs[Q].reserve(PerQueue);
+    for (uint64_t I = 0; I != PerQueue; ++I)
+      Evs[Q].push_back(TB.addEvent("e", Qu));
+  }
+
+  // The main thread seeds each looper's first event; everything after
+  // that is self-posted.
+  TB.begin(Main);
+  for (uint32_t Q = 0; Q != NumQueues; ++Q)
+    TB.send(Main, Evs[Q][0]);
+  TB.end(Main);
+
+  for (uint32_t Q = 0; Q != NumQueues; ++Q) {
+    for (uint64_t I = 0; I != PerQueue; ++I) {
+      TaskId E = Evs[Q][I];
+      TB.begin(E);
+      // Mid-chain accesses to one shared object: looper 0 uses it,
+      // looper 1 frees it.  The pairs sit on different loopers whose
+      // only common ancestor is main, so they race.
+      if (I == PerQueue / 2 && Q == 0) {
+        TB.ptrRead(E, /*Var=*/5, /*Object=*/9, M, 1);
+        TB.deref(E, /*Object=*/9, DerefKind::Invoke, M, 2);
+      }
+      if (I == PerQueue / 2 && Q == 1)
+        TB.ptrWrite(E, /*Var=*/5, /*Object=*/0, M, 3);
+      if (I + 1 != PerQueue)
+        TB.send(E, Evs[Q][I + 1]);
+      TB.end(E);
+    }
+  }
+  return TB.take();
+}
+
+/// Chain-oracle scaling axis ("breaking the quadratic wall" in
+/// EXPERIMENTS.md): analysis cost and happens-before memory under
+/// ReachMode::Chain on chainable traces from 8k up to \p MaxEvents
+/// (default 1M) event tasks.  The bytes/event column is the honesty
+/// check on the O(N * chains) memory claim -- it must stay flat while
+/// events grow 125x.  Rows small enough for the closure-family oracles
+/// also run those and byte-compare the reports: Incremental at <= 8k
+/// (its row bytes pass 2 GB long before 250k), Bfs at <= 100k (its
+/// per-query cost makes the rule scans quadratic past that).
+void sweepChainScaling(uint64_t MaxEvents) {
+  const uint64_t BfsVerifyMax = 100000;
+  const uint64_t IncVerifyMax = 8000;
+
+  std::printf("\nchain-oracle scaling axis (single-poster chainable "
+              "traces, 1 analysis thread):\n");
+  std::printf("%10s %10s %7s %10s %12s %11s %9s %14s\n", "events",
+              "records", "chains", "hb(ms)", "detect(ms)", "hb-mem(MB)",
+              "B/event", "verdict");
+
+  for (uint64_t Events : {uint64_t(8000), uint64_t(100000),
+                          uint64_t(250000), uint64_t(500000),
+                          uint64_t(1000000)}) {
+    if (Events > MaxEvents)
+      break;
+    Trace T = buildChainable(Events);
+
+    DetectorOptions ChainOpt;
+    ChainOpt.Hb.Reach = ReachMode::Chain;
+    AnalysisResult R = analyzeTrace(T, ChainOpt);
+    std::string Json = renderRaceReportJson(R.Report, T);
+
+    std::string Verdict = "reference";
+    std::string CrossModes;
+    if (Events <= BfsVerifyMax) {
+      DetectorOptions BfsOpt;
+      BfsOpt.Hb.Reach = ReachMode::Bfs;
+      AnalysisResult B = analyzeTrace(T, BfsOpt);
+      Verdict = renderRaceReportJson(B.Report, T) == Json ? "=bfs"
+                                                          : "DIFFERS(bfs)";
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf), "  [bfs hb=%.1fms mem=%.1fMB]",
+                    B.HbBuildMillis,
+                    static_cast<double>(B.HbMemoryBytes) / 1e6);
+      CrossModes += Buf;
+      if (Events <= IncVerifyMax) {
+        DetectorOptions IncOpt;
+        IncOpt.Hb.Reach = ReachMode::Incremental;
+        AnalysisResult I = analyzeTrace(T, IncOpt);
+        Verdict += renderRaceReportJson(I.Report, T) == Json
+                       ? ",=incr"
+                       : ",DIFFERS(incr)";
+        std::snprintf(Buf, sizeof(Buf), " [incr hb=%.1fms mem=%.1fMB]",
+                      I.HbBuildMillis,
+                      static_cast<double>(I.HbMemoryBytes) / 1e6);
+        CrossModes += Buf;
+      }
+    }
+
+    double PerEvent =
+        Events ? static_cast<double>(R.HbMemoryBytes) / Events : 0;
+    std::printf("%10s %10s %7zu %10.1f %12.1f %11.1f %9.1f %14s%s\n",
+                withThousandsSep(Events).c_str(),
+                withThousandsSep(T.numRecords()).c_str(),
+                R.Degradation.ChainCount, R.HbBuildMillis, R.DetectMillis,
+                static_cast<double>(R.HbMemoryBytes) / 1e6, PerEvent,
+                Verdict.c_str(),
+                R.Degradation.UsedReach == ReachMode::Chain
+                    ? CrossModes.c_str()
+                    : "  [DOWNGRADED]");
+    if (R.Report.Races.empty())
+      std::printf("%10s seeded race missing -- trace shape regressed\n",
+                  "!!");
+  }
+  std::printf("flat B/event is the O(N * chains) memory contract; "
+              "hb(ms) growth near 1x per 2x events is the near-linear "
+              "claim\n");
 }
 
 /// Corrupted-input axis: how salvage cost, analysis cost, and the
@@ -314,6 +446,9 @@ void sweepCheckpointCadence(const Trace &T) {
 int main(int argc, char **argv) {
   uint64_t MaxEvents = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
                                 : 8000;
+  uint64_t ChainMaxEvents = argc > 2
+                                ? std::strtoull(argv[2], nullptr, 10)
+                                : 1000000;
 
   std::printf("%8s %10s %12s %14s %14s %8s %12s %12s\n", "events",
               "records", "extract(ms)", "hb-rebuild(ms)", "hb-incr(ms)",
@@ -356,5 +491,12 @@ int main(int argc, char **argv) {
   sweepIngestThreads(Large);
   sweepAnalysisThreads(Large);
   sweepCheckpointCadence(Large);
+
+  // Chain-oracle axis on its own trace family, last because it dwarfs
+  // the others in size: the app-shaped synthetic above interleaves
+  // external events, which keeps every oracle at the rule scans'
+  // quadratic floor; the chainable family isolates what the chain
+  // oracle changes ("Breaking the quadratic wall" in EXPERIMENTS.md).
+  sweepChainScaling(ChainMaxEvents);
   return 0;
 }

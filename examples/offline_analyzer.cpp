@@ -16,7 +16,9 @@
 //   $ ./offline_analyzer dot /tmp/zxing.trace            # Graphviz digest
 //
 // --reach selects the happens-before reachability oracle (incremental /
-// closure / bfs; see docs/hb-reachability.md for when to pick which).
+// closure / chain / bfs; see the mode decision table in
+// docs/hb-reachability.md for when to pick which).  Unset, the choice
+// also honors the CAFA_REACH environment variable.
 // Damaged dumps are salvaged by default (--strict insists on a pristine
 // file); --mem-limit=<bytes> and --deadline=<ms> engage the graceful-
 // degradation ladder (docs/robustness.md).
@@ -71,7 +73,7 @@ static int usage(const char *Prog) {
                "  %s record <app> <trace-file>      collect a trace\n"
                "  %s analyze <trace-file> [--json] [--strict|--salvage]\n"
                "     [--ingest-threads=<n>] [--analysis-threads=<n>]\n"
-               "     [--reach=incremental|closure|bfs]\n"
+               "     [--reach=incremental|closure|chain|bfs]\n"
                "     [--mem-limit=<bytes>] [--deadline=<ms>]\n"
                "     [--checkpoint-dir=<dir>] [--checkpoint-every=<ms>]\n"
                "     [--resume]                     analyze\n"
@@ -131,6 +133,8 @@ int main(int argc, char **argv) {
         Options.Hb.Reach = ReachMode::Incremental;
       } else if (std::strcmp(argv[I], "--reach=closure") == 0) {
         Options.Hb.Reach = ReachMode::Closure;
+      } else if (std::strcmp(argv[I], "--reach=chain") == 0) {
+        Options.Hb.Reach = ReachMode::Chain;
       } else if (std::strcmp(argv[I], "--reach=bfs") == 0) {
         Options.Hb.Reach = ReachMode::Bfs;
       } else if (std::strncmp(argv[I], "--mem-limit=", 12) == 0) {

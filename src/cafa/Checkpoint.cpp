@@ -18,7 +18,7 @@ namespace {
 /// answers from silently mis-decoded state are the one unacceptable
 /// failure mode.
 constexpr char SnapshotMagic[9] = "CAFACKPT";
-constexpr uint32_t SnapshotVersion = 2; // v2: DetectFrontier::FiltersShed
+constexpr uint32_t SnapshotVersion = 3; // v3: HbFrontier::ChainState
 
 /// Caps on length-prefixed counts, so a corrupt count that slipped past
 /// the checksum cannot drive a multi-gigabyte allocation.  Generous:
@@ -90,14 +90,18 @@ void putHbFrontier(SnapshotWriter &W, const HbFrontier &F) {
   W.u64(F.RowWords);
   W.u64(F.ClosureRows.size());
   W.u64s(F.ClosureRows.data(), F.ClosureRows.size());
+  W.u64(F.ChainState.size());
+  W.u64s(F.ChainState.data(), F.ChainState.size());
   W.u32(static_cast<uint32_t>(F.UnsaturatedRules.size()));
   for (const std::string &Rule : F.UnsaturatedRules)
     W.str(Rule);
 }
 
 bool getHbFrontier(SnapshotReader &R, HbFrontier &F) {
+  // Auto is a request sentinel, never a built oracle: every value past
+  // Chain is malformed.
   uint8_t Reach, Saturated;
-  if (!R.u8(Reach) || Reach > static_cast<uint8_t>(ReachMode::Incremental) ||
+  if (!R.u8(Reach) || Reach > static_cast<uint8_t>(ReachMode::Chain) ||
       !R.u32(F.RoundsDone) || !R.u8(Saturated) || Saturated > 1 ||
       !getStats(R, F.Stats))
     return false;
@@ -122,6 +126,12 @@ bool getHbFrontier(SnapshotReader &R, HbFrontier &F) {
   F.RowWords = RowWords;
   F.ClosureRows.resize(NumWords);
   if (!R.u64s(F.ClosureRows.data(), NumWords))
+    return false;
+  uint64_t NumChainWords;
+  if (!R.u64(NumChainWords) || NumChainWords > MaxRowWords)
+    return false;
+  F.ChainState.resize(NumChainWords);
+  if (!R.u64s(F.ChainState.data(), NumChainWords))
     return false;
   uint32_t NumRules;
   if (!R.u32(NumRules) || NumRules > MaxRules)

@@ -592,6 +592,20 @@ struct HbIndex::Builder {
       Out.Covered[A] =
           evalSendPair(Out, Sends[A], Sends[A + 1], /*WantLink=*/true);
     computeRuns(Out, K);
+    if (K >= 2 && Out.Run[0] == K - 1) {
+      // Every wider rule-1/3 conclusion is implied by the covered
+      // chain, and the reverse-direction rules 2/4 need a
+      // front-enqueued s2.  A queue with no front sends is therefore
+      // fully implied, now and forever (edges are never removed, and
+      // AtFront is a static property of the send) -- without this the
+      // gap loop below walks K^2/2 pairs just to skip each one, which
+      // is the quadratic wall on long single-poster queues.
+      bool AnyFront = false;
+      for (const SendOp &S : Sends)
+        AnyFront |= S.AtFront;
+      if (!AnyFront)
+        return true;
+    }
     const size_t CGap = SendCursor[Qi].Gap, CI = SendCursor[Qi].I;
     for (size_t Gap = RoundExact ? CGap : 2; Gap < K; ++Gap) {
       for (size_t A = (RoundExact && Gap == CGap) ? CI : 0; A + Gap < K;
@@ -676,10 +690,13 @@ struct HbIndex::Builder {
     // exactly the sequential emission order -- plus the counters.
     ScanOut Main;
 
-    // The parallel mode needs the inline rows: Reachability::reaches
-    // may mutate per-oracle scratch (BFS), so only row-backed oracles
-    // are safe to query from many threads.
-    bool Parallel = Pool && Pool->helperThreads() > 0 && RoundRows;
+    // The parallel mode needs concurrency-safe queries:
+    // Reachability::reaches may mutate per-oracle scratch (BFS, and the
+    // chain oracle's search phase), so only oracles answering from
+    // immutable state -- closure rows or frozen chain clocks -- are safe
+    // to query from many threads.
+    bool Parallel = Pool && Pool->helperThreads() > 0 &&
+                    (RoundRows || RoundOracle->concurrentQueriesSafe());
     if (!Parallel) {
       if (Gained)
         dispatchGained(*Gained, 0, Gained->size(), Main);
@@ -852,7 +869,7 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
   // bit-identical.  BFS keeps no precomputed state and is the
   // always-accepted floor.  A resume with attached closure rows imports
   // them instead of recomputing the O(N^2/64) sweep.
-  ReachMode Mode = Options.Reach;
+  ReachMode Mode = resolveReachMode(Options.Reach);
   Degrade.RequestedReach = Mode;
   for (;;) {
     Reach = makeReachability(*Graph, Mode, Options.MemLimitBytes,
@@ -862,6 +879,9 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
     if (R && !R->ClosureRows.empty())
       Ready = Reach->importClosureRows(R->ClosureRows.data(),
                                        R->ClosureRows.size(), R->RowWords);
+    if (!Ready && R && !R->ChainState.empty())
+      Ready = Reach->importChainState(R->ChainState.data(),
+                                      R->ChainState.size());
     if (!Ready && !Reach->budgetExceeded()) {
       Reach->refresh();
       Ready = !Reach->budgetExceeded();
@@ -869,6 +889,7 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
     if (Ready || Mode == ReachMode::Bfs)
       break;
     Mode = Mode == ReachMode::Incremental ? ReachMode::Closure
+           : Mode == ReachMode::Closure   ? ReachMode::Chain
                                           : ReachMode::Bfs;
   }
   Degrade.DowngradedForMemory = Mode != Degrade.RequestedReach;
@@ -991,6 +1012,11 @@ HbIndex::HbIndex(const Trace &T, const TaskIndex &Index,
       }
     }
   }
+  // The chain oracle's footprint and cover evolve across the fixpoint
+  // (clocks commit the first round the cover collapses under the cap),
+  // so re-measure: degradation() reports the kept oracle's final shape.
+  Degrade.MeasuredReachBytes = Reach->memoryBytes();
+  Degrade.ChainCount = Reach->chainCount();
   SyncKept();
 }
 
@@ -1008,6 +1034,11 @@ HbFrontier HbIndex::exportFrontier() const {
       Words.size() * 8 <= MaxRowBlobBytes) {
     F.ClosureRows = std::move(Words);
     F.RowWords = WordsPerRow;
+  } else if (Words.clear(), Reach->exportChainState(Words) &&
+                                Words.size() * 8 <= MaxRowBlobBytes) {
+    // Chain rung: the decomposition + clock matrix plays the closure
+    // rows' role (and is far smaller -- O(N * chains) words).
+    F.ChainState = std::move(Words);
   }
   return F;
 }
@@ -1037,7 +1068,7 @@ bool HbIndex::taskOrdered(TaskId E1, TaskId E2) const {
 }
 
 bool HbIndex::concurrentQueriesSafe() const {
-  return Reach->rowsOrNull() != nullptr;
+  return Reach->concurrentQueriesSafe();
 }
 
 size_t HbIndex::memoryBytes() const {

@@ -60,7 +60,12 @@ enum class OrderingModel : uint8_t {
 /// ReachMode (the reachability oracle selection) lives in Reachability.h.
 struct HbOptions {
   OrderingModel Model = OrderingModel::Cafa;
-  ReachMode Reach = ReachMode::Incremental;
+  /// Reachability oracle request.  Auto resolves through the CAFA_REACH
+  /// environment variable (request > env > Incremental, mirroring the
+  /// thread knobs' 0 = auto convention; see resolveReachMode).  Tests
+  /// that assert mode-specific ladder behavior pin an explicit mode so
+  /// the env-forced CI legs cannot skew them.
+  ReachMode Reach = ReachMode::Auto;
   bool EnableAtomicityRule = true;
   bool EnableQueueRules = true;
   bool EnableListenerRule = true;
@@ -70,8 +75,9 @@ struct HbOptions {
   /// take several rounds; the cap guards against bugs, not inputs.
   uint32_t MaxFixpointRounds = 64;
   /// Graceful degradation, memory rung: when nonzero, the reachability
-  /// oracle is stepped down the ladder Incremental -> Closure -> Bfs
-  /// until estimateReachabilityMemory() fits under this many bytes.
+  /// oracle is stepped down the ladder Incremental -> Closure -> Chain
+  /// -> Bfs until estimateReachabilityMemory() fits under this many
+  /// bytes.
   /// The oracles answer queries identically, so stepping down changes
   /// build time and memory but never the resulting reports.  0 = off.
   size_t MemLimitBytes = 0;
@@ -110,6 +116,9 @@ struct HbDegradation {
   /// number MemLimitBytes was actually compared against -- not the
   /// estimateReachabilityMemory() over-approximation.
   size_t MeasuredReachBytes = 0;
+  /// Chains in the oracle's final decomposition (0 unless UsedReach is
+  /// Chain).  Informational, for the scaling benches' chain statistics.
+  size_t ChainCount = 0;
   /// Rule families a blown deadline left short of their fixpoint
   /// ("atomicity", "event-queue").  Empty when the fixpoint saturated.
   /// Downstream reporting uses this to say *which* orderings may be
@@ -180,6 +189,13 @@ struct HbFrontier {
   /// recomputes it with refresh(), which is pure time, not lost work.
   size_t RowWords = 0;
   std::vector<uint64_t> ClosureRows;
+  /// Serialized chain decomposition + clocks (ChainReachability's blob;
+  /// empty unless the frontier was cut under ReachMode::Chain with live
+  /// clocks).  Exactly one of ClosureRows/ChainState is ever nonempty.
+  /// A resume under a different mode finds no importable blob and
+  /// recomputes with refresh() -- the "recompute, never reject"
+  /// cross-mode contract (docs/robustness.md).
+  std::vector<uint64_t> ChainState;
   /// Rule families still short of their fixpoint (mirrors
   /// HbDegradation::UnsaturatedRules at the freeze point).
   std::vector<std::string> UnsaturatedRules;
@@ -241,9 +257,10 @@ public:
 
   /// True when happensBefore()/ordered() may be issued from several
   /// threads at once: closure-backed oracles answer from an immutable
-  /// row matrix.  False for the BFS floor, which reuses per-query
-  /// scratch -- callers (the parallel detector scan) must then stay
-  /// sequential.
+  /// row matrix, the chain oracle from an immutable clock matrix (once
+  /// live).  False for the BFS floor and the chain oracle's search
+  /// phase, which reuse per-query scratch -- callers (the parallel
+  /// detector scan) must then stay sequential.
   bool concurrentQueriesSafe() const;
 
 private:

@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 using namespace cafa;
 
@@ -550,19 +552,448 @@ size_t BfsReachability::memoryBytes() const {
   return VisitedPos.capacity() * 4 + VisitedVersion.capacity() * 4;
 }
 
+//===----------------------------------------------------------------------===//
+// ChainReachability
+//===----------------------------------------------------------------------===//
+
+ChainReachability::ChainReachability(const HbGraph &G, size_t BudgetBytes,
+                                     bool Defer)
+    : G(G), Budget(BudgetBytes), Search(G) {
+  if (!Defer)
+    refresh();
+}
+
+void ChainReachability::decompose() {
+  size_t N = G.numNodes();
+  ChainOf.assign(N, Unset);
+  PosInChain.assign(N, 0);
+  ChainNodes.clear();
+  // Greedy path cover: walk ids ascending, start a chain at every
+  // unassigned node, extend along the smallest-id unassigned successor.
+  // Edges point forward in id order, so every chain's members ascend --
+  // which makes a chain's position order its id order, and makes the
+  // walk O(N + E) total.  The cover is a pure function of the adjacency
+  // lists: determinism is what keeps checkpointed clocks byte-stable.
+  for (uint32_t I = 0, E = static_cast<uint32_t>(N); I != E; ++I) {
+    if (ChainOf[I] != Unset)
+      continue;
+    uint32_t C = static_cast<uint32_t>(ChainNodes.size());
+    ChainNodes.emplace_back();
+    uint32_t U = I;
+    for (;;) {
+      ChainOf[U] = C;
+      PosInChain[U] = static_cast<uint32_t>(ChainNodes[C].size());
+      ChainNodes[C].push_back(U);
+      uint32_t NextU = Unset;
+      for (uint32_t S : G.successors(NodeId(U)))
+        if (ChainOf[S] == Unset && S < NextU)
+          NextU = S;
+      if (NextU == Unset)
+        break;
+      U = NextU;
+    }
+  }
+  NumChains = static_cast<uint32_t>(ChainNodes.size());
+}
+
+void ChainReachability::maybeBootstrap() {
+  // The bootstrap is a speed device, never a memory commitment the
+  // caller did not sign off on: engage it only when the embedded
+  // closure's (deliberately pessimistic) estimate fits both the
+  // structural cap and whatever byte budget the ladder probe imposed.
+  size_t Allowance =
+      Budget && Budget < MaxBootstrapBytes ? Budget : MaxBootstrapBytes;
+  if (estimateReachabilityMemory(G.numNodes(), ReachMode::Incremental) >
+      Allowance) {
+    Boot.reset();
+    return;
+  }
+  if (!Boot) {
+    Boot = std::make_unique<IncrementalClosureReachability>(G);
+    Boot->setWorkerPool(Pool);
+    if (HasFilter)
+      Boot->setFactFilter(SrcMask, TgtMask);
+  } else {
+    Boot->refresh();
+  }
+}
+
+size_t ChainReachability::baseBytes() const {
+  size_t Total = ChainOf.capacity() * 4 + PosInChain.capacity() * 4 +
+                 Dirty.capacity() + SortedBatch.capacity() * sizeof(HbEdge) +
+                 SrcMask.memoryBytes() + TgtMask.memoryBytes() +
+                 OldClock.capacity() * 4 + NewTargets.capacity() * 4 +
+                 ChainNodes.capacity() * sizeof(std::vector<uint32_t>) +
+                 Search.memoryBytes();
+  for (const std::vector<uint32_t> &CN : ChainNodes)
+    Total += CN.capacity() * 4;
+  return Total;
+}
+
+bool ChainReachability::buildClocks() {
+  ClocksValid = false;
+  Clocks.clear();
+  Clocks.shrink_to_fit();
+  // Two gates keep the matrix near-linear: the structural cap (a wide
+  // cover means the fixpoint has not yet serialized the queues -- clocks
+  // now would be quadratic-shaped), and the byte budget (the ladder's
+  // measured probe).  Failing either is not an error: the search phase
+  // answers every query correctly in O(N), and a later round re-tries.
+  if (NumChains > MaxChainsForClocks)
+    return false;
+  size_t N = G.numNodes();
+  size_t C = NumChains;
+  if (Budget && baseBytes() + N * C * 4 > Budget)
+    return false;
+  Clocks.assign(N * C, Unset);
+  // Same reverse-topological sweep as the closure rebuild, over clock
+  // rows instead of bitset rows: node I absorbs, per chain, the minimum
+  // of {S's own position} and S's clock row, for each successor S.
+  for (size_t I = N; I-- > 0;) {
+    uint32_t *Row = Clocks.data() + I * C;
+    for (uint32_t S : G.successors(NodeId(static_cast<uint32_t>(I)))) {
+      uint32_t P = PosInChain[S];
+      if (P < Row[ChainOf[S]])
+        Row[ChainOf[S]] = P;
+      const uint32_t *SRow = Clocks.data() + size_t(S) * C;
+      for (size_t K = 0; K != C; ++K)
+        if (SRow[K] < Row[K])
+          Row[K] = SRow[K];
+    }
+  }
+  ClocksValid = true;
+  return true;
+}
+
+void ChainReachability::refresh() {
+  if (Exceeded)
+    return; // the ladder discards this oracle
+  size_t N = G.numNodes();
+  decompose();
+  Dirty.assign(N, 0);
+  if (Budget && baseBytes() > Budget) {
+    // Not even the linear structures fit: unusable, step the ladder.
+    // Release everything so the failed probe leaves no high-water mark.
+    Exceeded = true;
+    ChainOf.clear();
+    ChainOf.shrink_to_fit();
+    PosInChain.clear();
+    PosInChain.shrink_to_fit();
+    ChainNodes.clear();
+    ChainNodes.shrink_to_fit();
+    Dirty.clear();
+    Dirty.shrink_to_fit();
+    Clocks.clear();
+    Clocks.shrink_to_fit();
+    NumChains = 0;
+    ClocksValid = false;
+    Boot.reset();
+    return;
+  }
+  KnownEdges = G.numEdges();
+  if (buildClocks())
+    Boot.reset(); // clocks beat rows: exact deltas at linear memory
+  else
+    maybeBootstrap();
+  // A full rebuild loses track of which rows changed and which facts
+  // appeared (same contract as the incremental closure's refresh()).
+  DirtyValid = false;
+  FactsValid = false;
+}
+
+bool ChainReachability::reaches(NodeId From, NodeId To) const {
+  if (!ClocksValid)
+    return Boot ? Boot->reaches(From, To) : Search.reaches(From, To);
+  // Prefix property: From reaches chain c's member at position p iff its
+  // frontier clock for c is <= p.  A node never reaches itself: every
+  // reachable node has a larger id, and chain members ascend in id, so
+  // Row[chain(From)] > pos(From) always.
+  return Clocks[From.index() * size_t(NumChains) + ChainOf[To.index()]] <=
+         PosInChain[To.index()];
+}
+
+void ChainReachability::addEdges(std::span<const HbEdge> Edges) {
+  // Same drift protocol as the incremental closure: the graph must hold
+  // exactly the edges we know about plus this batch, else rebuild.
+  if (ChainOf.size() != G.numNodes() ||
+      KnownEdges + Edges.size() != G.numEdges()) {
+    refresh();
+    return;
+  }
+  KnownEdges = G.numEdges();
+  bool Collect = ClocksValid && HasFilter &&
+                 SrcMask.size() == G.numNodes() &&
+                 TgtMask.size() == G.numNodes();
+  Gained.clear();
+  FactsValid = Collect; // an empty list is an exact "nothing changed"
+  if (Edges.empty()) {
+    Dirty.assign(G.numNodes(), 0);
+    DirtyValid = true;
+    return;
+  }
+
+  if (!ClocksValid) {
+    // Search phase.  In the bootstrap tier the embedded closure absorbs
+    // the batch (queries, rows, and exact delta reports keep flowing
+    // through it); in the frugal tier queries read live edges and the
+    // batch needs no propagation.  Either way this round's real work is
+    // re-deriving the cover and checking whether it collapsed enough to
+    // commit the clocks.
+    if (Boot)
+      Boot->addEdges(Edges);
+    decompose();
+    if (buildClocks() && Boot) {
+      // Switch round, bootstrapped: adopt the closure's exact delta
+      // report as our own, then release the rows -- the engine sees an
+      // uninterrupted exact-delta stream across the representation
+      // change.
+      if (const uint8_t *BD = Boot->changedRows()) {
+        Dirty.assign(BD, BD + G.numNodes());
+        DirtyValid = true;
+      } else {
+        DirtyValid = false;
+      }
+      if (const std::vector<GainedWord> *BG = Boot->gainedWords()) {
+        Gained = *BG;
+        FactsValid = true;
+      } else {
+        FactsValid = false;
+      }
+      Boot.reset();
+      return;
+    }
+    // Frugal-tier rounds (and a frugal switch round) report no deltas;
+    // the engine treats nullptr as a conservative full re-scan, the
+    // same contract refresh() has.  Bootstrapped non-switch rounds
+    // forward the closure's reports instead (see changedRows()).
+    DirtyValid = false;
+    FactsValid = false;
+    return;
+  }
+
+  // Exact incremental clock update: the same descending dirty-row sweep
+  // as IncrementalClosureReachability::addEdges, with "row grew" now
+  // meaning "some chain clock decreased".  The two conditions are
+  // equivalent (a clock entry decreasing is exactly new nodes becoming
+  // reachable), so the Dirty flags -- and, below, the gained-fact
+  // stream -- come out element-wise identical to the closure oracle's.
+  SortedBatch.assign(Edges.begin(), Edges.end());
+  std::sort(SortedBatch.begin(), SortedBatch.end(),
+            [](const HbEdge &A, const HbEdge &B) { return B.From < A.From; });
+  uint32_t MaxFrom = SortedBatch.front().From.value();
+  Dirty.assign(G.numNodes(), 0);
+  size_t C = NumChains;
+  OldClock.resize(C);
+
+  size_t Next = 0;
+  for (uint32_t I = MaxFrom + 1; I-- > 0;) {
+    uint32_t *Row = Clocks.data() + size_t(I) * C;
+    bool HasBatch =
+        Next != SortedBatch.size() && SortedBatch[Next].From.value() == I;
+    // Snapshot the clock row of a node that may change and whose gained
+    // facts the filter wants (rows only change through a batch edge or a
+    // dirty successor; everything else skips the copy).
+    bool Snap = false;
+    if (Collect && SrcMask.test(I)) {
+      bool MayChange = HasBatch;
+      if (!MayChange)
+        for (uint32_t S : G.successors(NodeId(I)))
+          if (Dirty[S]) {
+            MayChange = true;
+            break;
+          }
+      if (MayChange) {
+        std::copy(Row, Row + C, OldClock.begin());
+        Snap = true;
+      }
+    }
+    bool Changed = false;
+    // Absorb this node's batch edges: the row gains {To} (To's own
+    // position in its chain) union To's clock row, both final -- the
+    // sweep already finalized every node above I.
+    for (; Next != SortedBatch.size() && SortedBatch[Next].From.value() == I;
+         ++Next) {
+      uint32_t To = SortedBatch[Next].To.value();
+      assert(To > I && "HB edges must point forward in trace order");
+      uint32_t P = PosInChain[To];
+      if (P < Row[ChainOf[To]]) {
+        Row[ChainOf[To]] = P;
+        Changed = true;
+      }
+      const uint32_t *TRow = Clocks.data() + size_t(To) * C;
+      for (size_t K = 0; K != C; ++K)
+        if (TRow[K] < Row[K]) {
+          Row[K] = TRow[K];
+          Changed = true;
+        }
+    }
+    // Re-absorb every successor whose row grew earlier in this sweep;
+    // clean successors are already contained by the clock invariant.
+    for (uint32_t S : G.successors(NodeId(I)))
+      if (Dirty[S]) {
+        const uint32_t *SRow = Clocks.data() + size_t(S) * C;
+        for (size_t K = 0; K != C; ++K)
+          if (SRow[K] < Row[K]) {
+            Row[K] = SRow[K];
+            Changed = true;
+          }
+      }
+    Dirty[I] = Changed;
+    if (Snap && Changed) {
+      // Every decreased clock names exactly the newly reachable nodes:
+      // chain K's positions [new, old).  Collect, filter by the target
+      // mask, sort ascending (each node lives in one chain, so there
+      // are no duplicates), and word-pack -- the emission order (rows
+      // descending from the outer loop, words ascending here) is the
+      // closure oracle's snapshot-XOR order, element for element.
+      NewTargets.clear();
+      for (size_t K = 0; K != C; ++K) {
+        if (Row[K] >= OldClock[K])
+          continue;
+        const std::vector<uint32_t> &CN = ChainNodes[K];
+        uint32_t Hi = OldClock[K] == Unset
+                          ? static_cast<uint32_t>(CN.size())
+                          : OldClock[K];
+        for (uint32_t P = Row[K]; P != Hi; ++P)
+          if (TgtMask.test(CN[P]))
+            NewTargets.push_back(CN[P]);
+      }
+      if (!NewTargets.empty()) {
+        std::sort(NewTargets.begin(), NewTargets.end());
+        for (size_t J = 0; J != NewTargets.size();) {
+          uint32_t W = NewTargets[J] >> 6;
+          uint64_t Bits = 0;
+          for (; J != NewTargets.size() && (NewTargets[J] >> 6) == W; ++J)
+            Bits |= uint64_t(1) << (NewTargets[J] & 63);
+          Gained.push_back({I, W, Bits});
+        }
+      }
+    }
+  }
+  DirtyValid = true;
+}
+
+bool ChainReachability::exportChainState(
+    std::vector<uint64_t> &WordsOut) const {
+  if (!ClocksValid)
+    return false; // search phase: nothing worth carrying, resume refreshes
+  size_t N = G.numNodes();
+  auto pack = [&WordsOut](const std::vector<uint32_t> &V) {
+    for (size_t I = 0; I < V.size(); I += 2) {
+      uint64_t W = V[I];
+      if (I + 1 < V.size())
+        W |= uint64_t(V[I + 1]) << 32;
+      WordsOut.push_back(W);
+    }
+  };
+  WordsOut.clear();
+  WordsOut.reserve(3 + (N + 1) / 2 + (Clocks.size() + 1) / 2);
+  WordsOut.push_back(N);
+  WordsOut.push_back(NumChains);
+  WordsOut.push_back(1); // layout flag: chain-of array + clock matrix
+  pack(ChainOf);
+  pack(Clocks);
+  return true;
+}
+
+bool ChainReachability::importChainState(const uint64_t *Words,
+                                         size_t NumWords) {
+  size_t N = G.numNodes();
+  if (NumWords < 3 || Words[0] != N || Words[2] != 1)
+    return false;
+  uint64_t C64 = Words[1];
+  if (N == 0 ? C64 != 0 : (C64 == 0 || C64 > N || C64 > MaxChainsForClocks))
+    return false;
+  uint32_t C = static_cast<uint32_t>(C64);
+  size_t CoWords = (N + 1) / 2;
+  size_t ClWords = (N * size_t(C) + 1) / 2;
+  if (NumWords != 3 + CoWords + ClWords)
+    return false;
+  if (Budget && N * (13 + size_t(C) * 4) > Budget)
+    return false; // does not fit; the caller's refresh() runs search-phase
+  auto unpack = [](const uint64_t *Src, std::vector<uint32_t> &V, size_t Len) {
+    V.resize(Len);
+    for (size_t I = 0; I != Len; ++I) {
+      uint64_t W = Src[I / 2];
+      V[I] = static_cast<uint32_t>(I % 2 ? W >> 32 : W & 0xFFFFFFFFu);
+    }
+  };
+  std::vector<uint32_t> CandChainOf;
+  unpack(Words + 3, CandChainOf, N);
+  for (uint32_t V : CandChainOf)
+    if (V >= C)
+      return false;
+  // Rebuild members/positions from the chain assignment (ids ascending
+  // restores the positional order the exporting run used), then bounds-
+  // check every clock entry against its chain's length.
+  std::vector<std::vector<uint32_t>> CandNodes(C);
+  std::vector<uint32_t> CandPos(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    CandPos[I] = static_cast<uint32_t>(CandNodes[CandChainOf[I]].size());
+    CandNodes[CandChainOf[I]].push_back(I);
+  }
+  std::vector<uint32_t> CandClocks;
+  unpack(Words + 3 + CoWords, CandClocks, N * size_t(C));
+  for (size_t I = 0; I != CandClocks.size(); ++I)
+    if (CandClocks[I] != Unset &&
+        CandClocks[I] >= CandNodes[I % C].size())
+      return false;
+  ChainOf = std::move(CandChainOf);
+  PosInChain = std::move(CandPos);
+  ChainNodes = std::move(CandNodes);
+  Clocks = std::move(CandClocks);
+  NumChains = C;
+  ClocksValid = true;
+  Boot.reset();
+  Dirty.assign(N, 0);
+  // The imported clocks must cover the graph's current edges (the caller
+  // restores graph and clocks from the same checkpoint), and an import
+  // carries no delta history.
+  KnownEdges = G.numEdges();
+  DirtyValid = false;
+  FactsValid = false;
+  return true;
+}
+
+size_t ChainReachability::memoryBytes() const {
+  return baseBytes() + Clocks.capacity() * 4 +
+         Gained.capacity() * sizeof(GainedWord) +
+         (Boot ? Boot->memoryBytes() : 0);
+}
+
+ReachMode cafa::resolveReachMode(ReachMode Requested) {
+  // Request > environment > default, mirroring resolveWorkerThreads'
+  // handling of the thread knobs (0 = auto there, Auto here).
+  if (Requested != ReachMode::Auto)
+    return Requested;
+  if (const char *Env = std::getenv("CAFA_REACH")) {
+    if (std::strcmp(Env, "incremental") == 0)
+      return ReachMode::Incremental;
+    if (std::strcmp(Env, "closure") == 0)
+      return ReachMode::Closure;
+    if (std::strcmp(Env, "chain") == 0)
+      return ReachMode::Chain;
+    if (std::strcmp(Env, "bfs") == 0)
+      return ReachMode::Bfs;
+  }
+  return ReachMode::Incremental;
+}
+
 std::unique_ptr<Reachability> cafa::makeReachability(const HbGraph &G,
                                                      ReachMode Mode,
                                                      size_t BudgetBytes,
                                                      bool Defer) {
-  switch (Mode) {
+  switch (resolveReachMode(Mode)) {
   case ReachMode::Closure:
     return std::make_unique<ClosureReachability>(G, BudgetBytes, Defer);
   case ReachMode::Bfs:
     // No precomputed state: nothing to budget, nothing to defer.
     return std::make_unique<BfsReachability>(G);
+  case ReachMode::Chain:
+    return std::make_unique<ChainReachability>(G, BudgetBytes, Defer);
   case ReachMode::Incremental:
-    return std::make_unique<IncrementalClosureReachability>(G, BudgetBytes,
-                                                            Defer);
+  case ReachMode::Auto: // resolveReachMode never returns Auto
+    break;
   }
   return std::make_unique<IncrementalClosureReachability>(G, BudgetBytes,
                                                           Defer);
@@ -576,6 +1007,10 @@ const char *cafa::reachModeName(ReachMode Mode) {
     return "bfs";
   case ReachMode::Incremental:
     return "incremental";
+  case ReachMode::Chain:
+    return "chain";
+  case ReachMode::Auto:
+    return "auto";
   }
   return "unknown";
 }
@@ -583,14 +1018,26 @@ const char *cafa::reachModeName(ReachMode Mode) {
 size_t cafa::estimateReachabilityMemory(size_t NumNodes, ReachMode Mode) {
   // One closure row is N bits, rounded up to whole 64-bit words.
   size_t RowBytes = ((NumNodes + 63) / 64) * 8;
-  switch (Mode) {
+  switch (resolveReachMode(Mode)) {
   case ReachMode::Closure:
     return NumNodes * RowBytes;
   case ReachMode::Incremental:
+  case ReachMode::Auto: // resolveReachMode never returns Auto
     // Rows, plus the per-node dirty flags, plus the snapshot row and the
     // two fact-filter masks.  Strictly above the Closure estimate, which
     // keeps the degradation ladder monotone.
     return NumNodes * RowBytes + NumNodes + 3 * RowBytes;
+  case ReachMode::Chain: {
+    // Linear structures (chain ids, positions, members, dirty flags,
+    // search scratch, container overhead) at ~48 bytes/node, plus the
+    // clock matrix at the largest shape buildClocks() will ever commit:
+    // 4 bytes per (node, chain) with chains capped structurally.  Errs
+    // high -- the measured cover is usually far narrower than the cap.
+    size_t Cap = NumNodes < ChainReachability::MaxChainsForClocks
+                     ? NumNodes
+                     : size_t(ChainReachability::MaxChainsForClocks);
+    return NumNodes * 48 + NumNodes * 4 * Cap;
+  }
   case ReachMode::Bfs:
     // Per-task visited-position/version scratch plus the worklist; tasks
     // never outnumber nodes, so per-node is a safe upper bound.

@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Three interchangeable reachability oracles over the happens-before DAG
+/// Four interchangeable reachability oracles over the happens-before DAG
 /// (Section 4.2: "to test if two operations are ordered, we simply
 /// perform a reachability test on the happens-before graph"):
 ///
@@ -21,9 +21,16 @@
 ///    queries, but after the initial build each fixpoint round only
 ///    propagates the newly inserted edges backward through the existing
 ///    rows (addEdges), instead of rebuilding all N rows.  The default.
+///  - ChainReachability: greedy path cover of the DAG into chains plus
+///    one min-position clock entry per (node, chain).  O(chains) rows
+///    instead of O(N) bits per row -- near-linear memory on the "few
+///    chains, long chains" shape event-driven traces converge to, with
+///    the same O(1) queries and the same exact delta reports once the
+///    clocks are live (docs/chain-reachability.md).
 ///
 /// See docs/hb-reachability.md for the architecture of this layer, the
-/// complexity trade-offs, and the fixpoint-round delta protocol.
+/// complexity trade-offs (including the mode decision table), and the
+/// fixpoint-round delta protocol.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,6 +65,8 @@ struct GainedWord {
 };
 
 /// Which reachability oracle backs queries and rule evaluation.
+/// Serialized into checkpoints by value -- new modes append, existing
+/// values never renumber.
 enum class ReachMode : uint8_t {
   /// Bitset transitive closure, fully rebuilt every round: O(1) queries,
   /// O(N^2) bits.
@@ -68,7 +77,22 @@ enum class ReachMode : uint8_t {
   /// rounds: O(1) queries, O(N^2) bits, but each round costs only the
   /// backward propagation of that round's delta edges.
   Incremental,
+  /// Chain decomposition with per-node chain clocks: O(1) queries,
+  /// O(N * chains) memory -- near-linear on event-driven traces, where
+  /// looper serialization collapses the saturated DAG into few chains.
+  Chain,
+  /// Not an oracle: "no explicit request".  resolveReachMode() turns it
+  /// into a concrete mode via the CAFA_REACH environment variable
+  /// (request > env > Incremental, mirroring the thread knobs' 0 = auto
+  /// convention).  Never reaches makeReachability() or a checkpoint.
+  Auto,
 };
+
+/// Resolves \p Requested against the CAFA_REACH environment knob: an
+/// explicit request wins; Auto consults CAFA_REACH ("incremental",
+/// "closure", "chain", "bfs"); unset or unrecognized falls back to
+/// Incremental, the default oracle.
+ReachMode resolveReachMode(ReachMode Requested);
 
 /// Answers "is there a path From -> To" on the current graph edges.
 class Reachability {
@@ -158,6 +182,38 @@ public:
                                  size_t /*WordsPerRow*/) {
     return false;
   }
+
+  /// Serializes the chain decomposition + clock matrix for
+  /// checkpointing (the chain-mode analogue of exportClosureRows; the
+  /// two blobs are intentionally *not* interchangeable -- a chain blob
+  /// restored into a closure rung, or vice versa, fails the shape check
+  /// and the resume recomputes with refresh(), which is pure time, not
+  /// lost work; see docs/robustness.md, "Cross-mode resume").  Returns
+  /// false for every oracle without chain clocks.
+  virtual bool exportChainState(std::vector<uint64_t> & /*WordsOut*/) const {
+    return false;
+  }
+
+  /// Restores a blob exported by exportChainState() over a graph with
+  /// identical node/edge content.  Returns false on shape mismatch or
+  /// budget overrun (same contract as importClosureRows).
+  virtual bool importChainState(const uint64_t * /*Words*/,
+                                size_t /*NumWords*/) {
+    return false;
+  }
+
+  /// True when reaches() may be issued from several threads at once.
+  /// The default covers the closure oracles: an immutable row matrix is
+  /// safe to read concurrently.  BfsReachability overrides to false
+  /// (per-query scratch); ChainReachability answers by phase (clock
+  /// lookups are safe, its search fallback is not).  HbIndex's rule
+  /// engine and the detector's parallel pair scan gate on this.
+  virtual bool concurrentQueriesSafe() const { return rowsOrNull() != nullptr; }
+
+  /// Chains in the oracle's current decomposition (0 for oracles that
+  /// do not decompose).  Informational: surfaces in HbDegradation for
+  /// the scaling benches' chain-count statistics.
+  virtual size_t chainCount() const { return 0; }
 
   /// Lends a worker pool for the duration of the oracle's life (nullptr
   /// detaches).  Closure-based oracles use it to run refresh()/addEdges()
@@ -347,6 +403,183 @@ private:
   mutable std::vector<NodeId> Worklist;
 };
 
+/// Chain-decomposition reachability: near-linear memory on the "few
+/// chains, long chains" graphs event-driven traces saturate into.
+///
+/// refresh() greedily covers the DAG with vertex-disjoint *paths*
+/// ("chains"): walk node ids ascending, start a chain at every
+/// unassigned node, extend it along the smallest-id unassigned
+/// successor.  Every chain is a path in the DAG, so reachability into a
+/// chain has the prefix property: if u reaches the chain's member at
+/// position p, it reaches every later member through the chain's own
+/// edges.  One clock entry per (node, chain) therefore captures the
+/// entire closure:
+///
+///   Clock[u][c] = min position in chain c of any node reachable from u
+///                 by a nonempty path        (UNSET if none)
+///   reaches(u, v)  <=>  Clock[u][chain(v)] <= pos(v)
+///
+/// (the mirror image of the backward formulation clock[v][chain(u)] >=
+/// pos(u) -- forward clocks match the successor-list graph layout and
+/// the descending sweep the closure oracles already use).  The clocks
+/// are exact, so addEdges() reports the same changed-row flags and the
+/// same element-wise GainedWord stream as the incremental closure, and
+/// the rule engine's semi-naive rounds consume them unchanged.
+///
+/// The catch: the clock matrix is N x chains, and a *base* graph is
+/// wide -- pending events are mutually unordered until the queue rules
+/// serialize them, so the chain count starts near the event count and
+/// only collapses as the fixpoint saturates.  The oracle is therefore
+/// dual-phase: while the greedy cover needs more than MaxChainsForClocks
+/// chains (or the clocks overrun the byte budget), it runs a *search
+/// phase*; every addEdges() re-derives the cover, and the first round
+/// whose cover fits builds the clocks and switches to exact incremental
+/// updates.
+///
+/// The search phase itself has two tiers, picked once per build:
+///  - Bootstrap (speed): when an incremental-closure row matrix fits
+///    within min(BudgetBytes, MaxBootstrapBytes), the oracle embeds one
+///    and forwards queries, rows, and exact delta reports to it.  Wide
+///    fixpoint rounds then run at full closure speed; the rows are
+///    released the moment the clocks commit (the switch round adopts
+///    the bootstrap's delta report, so even that round stays exact).
+///  - Frugal (memory): otherwise queries go through an embedded pruned
+///    search (BfsReachability) in O(N) memory with no delta reports
+///    (nullptr -- the engine's conservative full-rescan tier).  This is
+///    the tier million-event graphs land in, and it is why the oracle's
+///    steady-state memory claim survives at that scale.
+///
+/// High-water memory is therefore min(BudgetBytes, MaxBootstrapBytes)
+/// during a bootstrapped search phase and O(N * chains-at-switch) <=
+/// N * 4 * MaxChainsForClocks bytes after the clocks commit (always,
+/// in the frugal tier).
+class ChainReachability final : public Reachability {
+public:
+  /// A cover wider than this keeps the oracle in its search phase: the
+  /// clock matrix is only ever committed at <= 4 * MaxChainsForClocks
+  /// bytes per node.  Wide enough that every saturated event-driven
+  /// fixture measured lands orders of magnitude below it, small enough
+  /// that the committed matrix stays near-linear.
+  static constexpr uint32_t MaxChainsForClocks = 128;
+  /// Clock value for "reaches nothing in this chain".
+  static constexpr uint32_t Unset = 0xFFFFFFFFu;
+  /// Structural cap on the search-phase bootstrap rows: the embedded
+  /// incremental closure is only engaged when its estimated footprint
+  /// fits min(BudgetBytes, MaxBootstrapBytes).  Sized to admit every
+  /// app-scale trace in the repository (<= ~20k nodes) while forcing
+  /// million-event graphs into the frugal O(N) tier.
+  static constexpr size_t MaxBootstrapBytes = 64ull << 20;
+
+  /// BudgetBytes/Defer: same contract as ClosureReachability, with one
+  /// refinement: a budget that admits the linear structures but not the
+  /// clock matrix keeps the oracle usable in its search phase instead of
+  /// aborting -- budgetExceeded() fires only when even O(N) does not fit.
+  explicit ChainReachability(const HbGraph &G, size_t BudgetBytes = 0,
+                             bool Defer = false);
+
+  bool reaches(NodeId From, NodeId To) const override;
+  void refresh() override;
+  void addEdges(std::span<const HbEdge> Edges) override;
+  size_t memoryBytes() const override;
+  bool budgetExceeded() const override { return Exceeded; }
+  /// During a bootstrapped search phase the embedded closure's rows are
+  /// lent to the rule engine's inline pair scans, exactly as in
+  /// incremental mode; once the clocks commit there is no row matrix.
+  const BitVec *rowsOrNull() const override {
+    return Boot ? Boot->rowsOrNull() : nullptr;
+  }
+  const uint8_t *changedRows() const override {
+    if (Boot)
+      return Boot->changedRows();
+    return DirtyValid ? Dirty.data() : nullptr;
+  }
+  void setFactFilter(const BitVec &Sources, const BitVec &Targets) override {
+    SrcMask = Sources;
+    TgtMask = Targets;
+    HasFilter = true;
+    FactsValid = false;
+    if (Boot)
+      Boot->setFactFilter(Sources, Targets);
+  }
+  const std::vector<GainedWord> *gainedWords() const override {
+    if (Boot)
+      return Boot->gainedWords();
+    return FactsValid ? &Gained : nullptr;
+  }
+  bool exportChainState(std::vector<uint64_t> &WordsOut) const override;
+  bool importChainState(const uint64_t *Words, size_t NumWords) override;
+  /// Clock lookups are const reads of an immutable matrix, and the
+  /// bootstrap's row matrix is likewise safe; the frugal search tier
+  /// mutates per-query scratch and must stay sequential.
+  bool concurrentQueriesSafe() const override {
+    return ClocksValid || Boot != nullptr;
+  }
+  size_t chainCount() const override { return NumChains; }
+  void setWorkerPool(WorkerPool *P) override {
+    Pool = P;
+    if (Boot)
+      Boot->setWorkerPool(P);
+  }
+
+  /// True once the clock matrix is live (the exact-delta phase).  Tests
+  /// assert this so a policy regression cannot silently demote the
+  /// differential suites to the search phase.
+  bool clocksActive() const { return ClocksValid; }
+
+private:
+  /// Greedy path cover over the graph's current edges; deterministic
+  /// (pure function of the adjacency lists), so checkpointed clocks are
+  /// byte-stable across save/resume.  Chain members ascend in node id.
+  void decompose();
+  /// Engages (or refreshes) the bootstrap closure when its estimated
+  /// footprint fits min(Budget, MaxBootstrapBytes); otherwise releases
+  /// it, leaving the frugal search tier.
+  void maybeBootstrap();
+  /// Commits the N x NumChains clock matrix if the cover and budget
+  /// admit it; otherwise stays in the search phase.  Returns ClocksValid.
+  bool buildClocks();
+  /// Footprint of the always-present linear structures.
+  size_t baseBytes() const;
+
+  const HbGraph &G;
+  size_t Budget = 0;
+  bool Exceeded = false;
+  /// Edges reflected in the decomposition/clocks; addEdges falls back to
+  /// refresh() if the graph drifted (same protocol as the incremental
+  /// closure).
+  size_t KnownEdges = 0;
+
+  uint32_t NumChains = 0;
+  std::vector<uint32_t> ChainOf;    // node -> chain index
+  std::vector<uint32_t> PosInChain; // node -> position within its chain
+  std::vector<std::vector<uint32_t>> ChainNodes; // chain -> members, ascending
+
+  bool ClocksValid = false;
+  std::vector<uint32_t> Clocks; // row-major, N rows of NumChains entries
+
+  /// Delta reporting (identical contract to the incremental closure).
+  std::vector<HbEdge> SortedBatch;
+  std::vector<uint8_t> Dirty;
+  bool DirtyValid = false;
+  BitVec SrcMask, TgtMask;
+  bool HasFilter = false;
+  std::vector<GainedWord> Gained;
+  bool FactsValid = false;
+  std::vector<uint32_t> OldClock;   // pre-sweep snapshot of one clock row
+  std::vector<uint32_t> NewTargets; // newly reachable nodes, for packing
+
+  /// Search-phase query path, frugal tier (reads live edges, per-query
+  /// scratch).
+  BfsReachability Search;
+  /// Search-phase bootstrap tier: an embedded incremental closure that
+  /// serves queries, rows, and exact deltas while the cover is still
+  /// wide.  Engaged only when it fits min(Budget, MaxBootstrapBytes);
+  /// released the moment the clocks commit.  Invariant: Boot is null
+  /// whenever ClocksValid.
+  std::unique_ptr<IncrementalClosureReachability> Boot;
+  WorkerPool *Pool = nullptr;
+};
+
 /// Creates the oracle selected by \p Mode.  \p BudgetBytes, when
 /// nonzero, bounds what a closure-based oracle may allocate (the build
 /// aborts into budgetExceeded() instead of overshooting); BFS carries no
@@ -358,7 +591,7 @@ std::unique_ptr<Reachability> makeReachability(const HbGraph &G,
                                                bool Defer = false);
 
 /// Returns a stable lowercase name for \p Mode ("incremental", "closure",
-/// "bfs"), for CLI flags and degradation diagnostics.
+/// "chain", "bfs", "auto"), for CLI flags and degradation diagnostics.
 const char *reachModeName(ReachMode Mode);
 
 /// Upper-bound estimate of what the \p Mode oracle will allocate for a
@@ -366,8 +599,19 @@ const char *reachModeName(ReachMode Mode);
 /// graceful-degradation ladder (HbOptions::MemLimitBytes) now steps
 /// rungs from the *measured* footprint of a budgeted build (see
 /// makeReachability's BudgetBytes); this estimate remains the planning
-/// aid for sizing limits up front, stays monotone along the ladder
-/// (Bfs < Closure < Incremental), and errs high, never low.
+/// aid for sizing limits up front and errs high, never low.  It is
+/// monotone along the ladder (Bfs < Chain < Closure < Incremental) from
+/// a few thousand nodes up; below that the chain upper bound
+/// (4 * min(N, MaxChainsForClocks) bytes per node) can exceed the
+/// closure's N^2/8 -- the *measured* ladder is what actually picks
+/// rungs, and a budgeted chain build degrades its clocks before
+/// overrunning, so the crossover never misleads it.  The chain figure
+/// is the *steady-state* footprint: an unbudgeted build may transiently
+/// borrow up to ChainReachability::MaxBootstrapBytes of closure rows
+/// during its search phase (released at the clock switch); under a
+/// nonzero budget the bootstrap is only engaged when it fits the
+/// budget, so a budgeted build never overruns this estimate's caller's
+/// limit.
 /// Closure-based modes are dominated by the N x N bit matrix; Bfs keeps
 /// only per-task scratch, bounded above by per-node.
 size_t estimateReachabilityMemory(size_t NumNodes, ReachMode Mode);

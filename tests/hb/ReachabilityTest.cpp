@@ -5,11 +5,12 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Property tests: the three reachability oracles must agree on every
+// Property tests: the four reachability oracles must agree on every
 // query over randomly generated (but structurally valid) traces -- both
 // through the full HbIndex fixpoint and under raw random DAGs with
-// incremental edge batches -- and the happens-before relation must be a
-// strict partial order.
+// incremental edge batches -- the chain oracle's delta reports must be
+// element-wise identical to the incremental closure's, and the
+// happens-before relation must be a strict partial order.
 //
 //===----------------------------------------------------------------------===//
 
@@ -174,6 +175,13 @@ TEST_P(ReachabilityPropertyTest, AllOraclesAgreeOnRandomTraces) {
   HbOptions IncOpt;
   IncOpt.Reach = ReachMode::Incremental;
   HbIndex HbInc(T, Index, IncOpt);
+  HbOptions ChainOpt;
+  ChainOpt.Reach = ReachMode::Chain;
+  ChainOpt.Threads = 1;
+  HbIndex HbChain(T, Index, ChainOpt);
+  HbOptions ChainOpt4 = ChainOpt;
+  ChainOpt4.Threads = 4; // pooled rule scans over frozen chain clocks
+  HbIndex HbChain4(T, Index, ChainOpt4);
 
   Rng R(GetParam() ^ 0xABCDEF);
   uint32_t N = static_cast<uint32_t>(T.numRecords());
@@ -185,6 +193,10 @@ TEST_P(ReachabilityPropertyTest, AllOraclesAgreeOnRandomTraces) {
     EXPECT_EQ(Expected, HbBfs.happensBefore(A, B))
         << "records " << A << " -> " << B;
     EXPECT_EQ(Expected, HbInc.happensBefore(A, B))
+        << "records " << A << " -> " << B;
+    EXPECT_EQ(Expected, HbChain.happensBefore(A, B))
+        << "records " << A << " -> " << B;
+    EXPECT_EQ(Expected, HbChain4.happensBefore(A, B))
         << "records " << A << " -> " << B;
   }
 }
@@ -224,10 +236,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ReachabilityPropertyTest,
 
 /// Differential test of the oracle layer itself: random DAGs (the
 /// program-order skeleton of a random trace) grown by random batches of
-/// forward edges, with the incremental oracle exercising an arbitrary
-/// interleaving of its addEdges delta path and full refresh() rebuilds.
-/// After every batch all three oracles must agree on reaches(u, v) --
-/// the two closures exhaustively, the BFS on a sample.
+/// forward edges, with the incremental and chain oracles exercising an
+/// arbitrary interleaving of their addEdges delta path and full
+/// refresh() rebuilds.  After every batch all four oracles must agree
+/// on reaches(u, v) -- the closures and the chain clocks exhaustively,
+/// the BFS on a sample -- and the chain oracle's delta stream must be
+/// element-wise identical to the incremental closure's.
 class IncrementalDifferentialTest : public testing::TestWithParam<uint64_t> {
 };
 
@@ -241,6 +255,13 @@ TEST_P(IncrementalDifferentialTest, OraclesAgreeUnderIncrementalBatches) {
   ClosureReachability Closure(G);
   BfsReachability Bfs(G);
   IncrementalClosureReachability Inc(G);
+  ChainReachability Chain(G);
+  // The program-order skeleton is a disjoint union of task chains, so
+  // the greedy cover is narrow and the clock matrix must be live; the
+  // assertion keeps a policy regression from silently demoting every
+  // query to the search phase (which would still pass the agreement
+  // checks but void the delta-parity ones).
+  ASSERT_TRUE(Chain.clocksActive()) << "seed " << Seed;
 
   Rng R(Seed ^ 0x5EED5EEDull);
   uint32_t N = static_cast<uint32_t>(G.numNodes());
@@ -253,6 +274,7 @@ TEST_P(IncrementalDifferentialTest, OraclesAgreeUnderIncrementalBatches) {
   for (uint32_t I = 0; I != N; ++I)
     AllNodes.set(I);
   Inc.setFactFilter(AllNodes, AllNodes);
+  Chain.setFactFilter(AllNodes, AllNodes);
 
   for (int Batch = 0; Batch != 4; ++Batch) {
     // Brute-force pre-batch relation, for diffing the delta reports.
@@ -279,25 +301,39 @@ TEST_P(IncrementalDifferentialTest, OraclesAgreeUnderIncrementalBatches) {
 
     Closure.refresh();
     bool UsedDelta = !R.chance(1, 3);
-    if (UsedDelta)
+    if (UsedDelta) {
       Inc.addEdges(Edges);
-    else
+      Chain.addEdges(Edges);
+    } else {
       Inc.refresh(); // interleave full rebuilds with delta updates
+      Chain.refresh();
+    }
+    ASSERT_TRUE(Chain.clocksActive())
+        << "seed " << Seed << " batch " << Batch;
 
-    // The two closure oracles must agree bit for bit.
+    // The closure oracles and the chain clocks must agree bit for bit.
     if (N <= 160) {
       for (uint32_t U = 0; U != N; ++U)
-        for (uint32_t V = 0; V != N; ++V)
+        for (uint32_t V = 0; V != N; ++V) {
           ASSERT_EQ(Closure.reaches(NodeId(U), NodeId(V)),
                     Inc.reaches(NodeId(U), NodeId(V)))
               << "seed " << Seed << " batch " << Batch << " " << U << "->"
               << V;
+          ASSERT_EQ(Closure.reaches(NodeId(U), NodeId(V)),
+                    Chain.reaches(NodeId(U), NodeId(V)))
+              << "seed " << Seed << " batch " << Batch << " " << U << "->"
+              << V;
+        }
     } else {
       for (int Q = 0; Q != 4000; ++Q) {
         uint32_t U = static_cast<uint32_t>(R.below(N));
         uint32_t V = static_cast<uint32_t>(R.below(N));
         ASSERT_EQ(Closure.reaches(NodeId(U), NodeId(V)),
                   Inc.reaches(NodeId(U), NodeId(V)))
+            << "seed " << Seed << " batch " << Batch << " " << U << "->"
+            << V;
+        ASSERT_EQ(Closure.reaches(NodeId(U), NodeId(V)),
+                  Chain.reaches(NodeId(U), NodeId(V)))
             << "seed " << Seed << " batch " << Batch << " " << U << "->"
             << V;
       }
@@ -312,11 +348,39 @@ TEST_P(IncrementalDifferentialTest, OraclesAgreeUnderIncrementalBatches) {
     }
 
     // Delta reports: a full rebuild cannot say what changed; a delta
-    // sweep must report exactly the facts it added.
+    // sweep must report exactly the facts it added.  The chain oracle
+    // promises the *same* delta stream as the incremental closure --
+    // same dirty rows, and gained words element-wise equal, in order
+    // (the rule engine's scan order feeds off the stream, so "same set,
+    // different order" would not be good enough).
     if (!UsedDelta) {
       EXPECT_EQ(Inc.changedRows(), nullptr);
       EXPECT_EQ(Inc.gainedWords(), nullptr);
-    } else if (N <= 160) {
+      EXPECT_EQ(Chain.changedRows(), nullptr);
+      EXPECT_EQ(Chain.gainedWords(), nullptr);
+    } else {
+      const uint8_t *CI = Inc.changedRows(), *CC = Chain.changedRows();
+      ASSERT_NE(CI, nullptr);
+      ASSERT_NE(CC, nullptr);
+      for (uint32_t U = 0; U != N; ++U)
+        ASSERT_EQ(CI[U], CC[U]) << "seed " << Seed << " batch " << Batch
+                                << " dirty row " << U;
+      const std::vector<GainedWord> *GI = Inc.gainedWords();
+      const std::vector<GainedWord> *GC = Chain.gainedWords();
+      ASSERT_NE(GI, nullptr);
+      ASSERT_NE(GC, nullptr);
+      ASSERT_EQ(GI->size(), GC->size())
+          << "seed " << Seed << " batch " << Batch;
+      for (size_t I = 0; I != GI->size(); ++I) {
+        ASSERT_EQ((*GI)[I].From, (*GC)[I].From)
+            << "seed " << Seed << " batch " << Batch << " word " << I;
+        ASSERT_EQ((*GI)[I].WordIdx, (*GC)[I].WordIdx)
+            << "seed " << Seed << " batch " << Batch << " word " << I;
+        ASSERT_EQ((*GI)[I].Bits, (*GC)[I].Bits)
+            << "seed " << Seed << " batch " << Batch << " word " << I;
+      }
+    }
+    if (UsedDelta && N <= 160) {
       const uint8_t *CR = Inc.changedRows();
       const std::vector<GainedWord> *GW = Inc.gainedWords();
       ASSERT_NE(CR, nullptr);
@@ -346,6 +410,82 @@ TEST_P(IncrementalDifferentialTest, OraclesAgreeUnderIncrementalBatches) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds100, IncrementalDifferentialTest,
                          testing::Range<uint64_t>(0, 100));
+
+/// Cross-chain edge storm: many parallel task chains with interleaved
+/// node ids, then dense batches of cross-chain edges.  Every batch
+/// forces the chain oracle to widen clock rows across most chains at
+/// once (the worst case for the incremental min-merge sweep), and the
+/// delta stream must still match the incremental closure word for word.
+TEST(ChainEdgeStormTest, CrossChainBatchesWidenClocksConsistently) {
+  constexpr uint32_t NumThreads = 12, ReadsPerThread = 40;
+  TraceBuilder TB;
+  std::vector<TaskId> Threads;
+  for (uint32_t I = 0; I != NumThreads; ++I)
+    Threads.push_back(TB.addThread("lane" + std::to_string(I)));
+  for (TaskId T : Threads)
+    TB.begin(T);
+  // Round-robin so consecutive node ids belong to different chains.
+  for (uint32_t P = 0; P != ReadsPerThread; ++P)
+    for (TaskId T : Threads)
+      TB.read(T, P % 8);
+  for (TaskId T : Threads)
+    TB.end(T);
+  Trace T = TB.take();
+  ASSERT_TRUE(validateTrace(T).ok());
+  TaskIndex Index(T);
+  HbGraph G(T, Index);
+
+  IncrementalClosureReachability Inc(G);
+  ChainReachability Chain(G);
+  ASSERT_TRUE(Chain.clocksActive());
+  ASSERT_GE(Chain.chainCount(), size_t(NumThreads));
+
+  uint32_t N = static_cast<uint32_t>(G.numNodes());
+  BitVec AllNodes(N);
+  for (uint32_t I = 0; I != N; ++I)
+    AllNodes.set(I);
+  Inc.setFactFilter(AllNodes, AllNodes);
+  Chain.setFactFilter(AllNodes, AllNodes);
+
+  Rng R(0xC4A1Full);
+  for (int Batch = 0; Batch != 8; ++Batch) {
+    std::vector<HbEdge> Edges;
+    for (int I = 0; I != 64; ++I) {
+      // Bias sources early and targets late so a single edge often
+      // improves an entire row of chain clocks at once.
+      uint32_t A = static_cast<uint32_t>(R.below(N / 2));
+      uint32_t B = A + 1 +
+                   static_cast<uint32_t>(R.below(N - A - 1));
+      G.addEdge(NodeId(A), NodeId(B));
+      Edges.push_back({NodeId(A), NodeId(B)});
+    }
+    Inc.addEdges(Edges);
+    Chain.addEdges(Edges);
+    ASSERT_TRUE(Chain.clocksActive()) << "batch " << Batch;
+
+    for (uint32_t U = 0; U != N; ++U)
+      for (uint32_t V = 0; V != N; ++V)
+        ASSERT_EQ(Inc.reaches(NodeId(U), NodeId(V)),
+                  Chain.reaches(NodeId(U), NodeId(V)))
+            << "batch " << Batch << " " << U << "->" << V;
+
+    const uint8_t *CI = Inc.changedRows(), *CC = Chain.changedRows();
+    ASSERT_NE(CI, nullptr);
+    ASSERT_NE(CC, nullptr);
+    for (uint32_t U = 0; U != N; ++U)
+      ASSERT_EQ(CI[U], CC[U]) << "batch " << Batch << " row " << U;
+    const std::vector<GainedWord> *GI = Inc.gainedWords();
+    const std::vector<GainedWord> *GC = Chain.gainedWords();
+    ASSERT_NE(GI, nullptr);
+    ASSERT_NE(GC, nullptr);
+    ASSERT_EQ(GI->size(), GC->size()) << "batch " << Batch;
+    for (size_t I = 0; I != GI->size(); ++I) {
+      ASSERT_EQ((*GI)[I].From, (*GC)[I].From) << "word " << I;
+      ASSERT_EQ((*GI)[I].WordIdx, (*GC)[I].WordIdx) << "word " << I;
+      ASSERT_EQ((*GI)[I].Bits, (*GC)[I].Bits) << "word " << I;
+    }
+  }
+}
 
 /// Parallel column-strip parity: the pooled refresh()/addEdges() sweeps
 /// must be bit-identical to the sequential ones -- same rows, same dirty

@@ -308,6 +308,126 @@ TEST(CheckpointTest, MidFlightHbFrontierResumesToSameRelation) {
   EXPECT_EQ(renderRaceReportJson(A, T), renderRaceReportJson(B, T));
 }
 
+TEST(CheckpointTest, HbDeadlineCutUnderChainResumesBitIdentical) {
+  // Same cut/resume contract as the incremental-mode test above, with
+  // the chain oracle pinned end to end -- and the resumed chain report
+  // must also match a default-oracle clean run, because no oracle choice
+  // is allowed to change a report.
+  Trace T = buildAppTrace();
+  std::string Dir = freshCheckpointDir("hb_cut_chain");
+
+  DetectorOptions ChainDet;
+  ChainDet.Hb.Reach = ReachMode::Chain;
+  AnalysisResult Clean = analyzeTrace(T, ChainDet);
+  ASSERT_FALSE(Clean.Report.Partial);
+  EXPECT_EQ(Clean.Degradation.UsedReach, ReachMode::Chain);
+
+  AnalysisResult Default = analyzeTrace(T, DetectorOptions());
+  EXPECT_EQ(renderRaceReportJson(Clean.Report, T),
+            renderRaceReportJson(Default.Report, T));
+
+  DetectorOptions Tiny = ChainDet;
+  Tiny.DeadlineMillis = 1e-6;
+  CheckpointOptions Ckpt;
+  Ckpt.Directory = Dir;
+  AnalysisResult Cut = analyzeTrace(T, withCheckpoint(Tiny, Ckpt));
+  ASSERT_TRUE(Cut.Report.Partial);
+  EXPECT_TRUE(fileExists(checkpointPath(Dir)));
+
+  Ckpt.Resume = true;
+  AnalysisResult Resumed = analyzeTrace(T, withCheckpoint(ChainDet, Ckpt));
+  EXPECT_TRUE(Resumed.Resume.Resumed) << Resumed.Resume.RejectReason;
+  EXPECT_FALSE(Resumed.Report.Partial);
+  EXPECT_EQ(renderRaceReport(Resumed.Report, T),
+            renderRaceReport(Clean.Report, T));
+  EXPECT_EQ(renderRaceReportJson(Resumed.Report, T),
+            renderRaceReportJson(Clean.Report, T));
+  EXPECT_FALSE(fileExists(checkpointPath(Dir)));
+}
+
+TEST(CheckpointTest, ChainFrontierRoundTripsClocksByteIdentical) {
+  // A saturated chain-mode index exports its decomposition + clock
+  // matrix; a resume adopts it (no recompute) and re-exports the exact
+  // same words.  The closure-rows blob and the chain blob are mutually
+  // exclusive: exactly one is ever populated.
+  Trace T = buildAppTrace();
+  TaskIndex Index(T);
+  HbOptions ChainOpt;
+  ChainOpt.Reach = ReachMode::Chain;
+  HbIndex Clean(T, Index, ChainOpt);
+  ASSERT_TRUE(Clean.saturated());
+  ASSERT_GT(Clean.degradation().ChainCount, 0u);
+  ASSERT_LE(Clean.degradation().ChainCount,
+            size_t(ChainReachability::MaxChainsForClocks));
+
+  HbFrontier F = Clean.exportFrontier();
+  ASSERT_FALSE(F.ChainState.empty()); // clocks are live at saturation
+  EXPECT_TRUE(F.ClosureRows.empty());
+
+  HbCheckpointing Ck;
+  Ck.Resume = &F;
+  HbIndex Resumed(T, Index, ChainOpt, &Ck);
+  EXPECT_TRUE(Resumed.saturated());
+  HbFrontier F2 = Resumed.exportFrontier();
+  EXPECT_EQ(F.ChainState, F2.ChainState); // byte-stable across resume
+
+  AccessDb Db = extractAccesses(T, Index);
+  DetectorOptions Opt;
+  RaceReport A = detectUseFreeRaces(T, Index, Db, Clean, Opt);
+  RaceReport B = detectUseFreeRaces(T, Index, Db, Resumed, Opt);
+  EXPECT_EQ(renderRaceReportJson(A, T), renderRaceReportJson(B, T));
+}
+
+TEST(CheckpointTest, CrossModeResumeRecomputesCleanly) {
+  // A frontier cut under one oracle resumed under another: the foreign
+  // blob fails the importer's shape/type check and the resume
+  // *recomputes* the oracle state from the carried edges -- it never
+  // rejects the resume and never yields a different relation
+  // (docs/robustness.md, "Cross-mode resume").
+  Trace T = buildAppTrace();
+  TaskIndex Index(T);
+
+  // Incremental cut -> chain resume.
+  HbOptions IncCut;
+  IncCut.Reach = ReachMode::Incremental;
+  IncCut.MaxFixpointRounds = 1;
+  HbIndex Stopped(T, Index, IncCut);
+  HbFrontier F = Stopped.exportFrontier();
+  ASSERT_FALSE(F.ClosureRows.empty());
+  ASSERT_TRUE(F.ChainState.empty());
+
+  HbCheckpointing Ck;
+  Ck.Resume = &F;
+  HbOptions ChainOpt;
+  ChainOpt.Reach = ReachMode::Chain;
+  HbIndex ChainResumed(T, Index, ChainOpt, &Ck);
+  EXPECT_TRUE(ChainResumed.saturated());
+
+  // Chain cut -> incremental resume (the mirror image).
+  HbIndex ChainFull(T, Index, ChainOpt);
+  HbFrontier FC = ChainFull.exportFrontier();
+  ASSERT_FALSE(FC.ChainState.empty());
+  HbCheckpointing Ck2;
+  Ck2.Resume = &FC;
+  HbOptions IncOpt;
+  IncOpt.Reach = ReachMode::Incremental;
+  HbIndex IncResumed(T, Index, IncOpt, &Ck2);
+  EXPECT_TRUE(IncResumed.saturated());
+
+  // All four paths agree byte for byte.
+  HbIndex CleanDefault(T, Index, HbOptions());
+  AccessDb Db = extractAccesses(T, Index);
+  DetectorOptions Opt;
+  std::string Ref = renderRaceReportJson(
+      detectUseFreeRaces(T, Index, Db, CleanDefault, Opt), T);
+  EXPECT_EQ(renderRaceReportJson(
+                detectUseFreeRaces(T, Index, Db, ChainResumed, Opt), T),
+            Ref);
+  EXPECT_EQ(renderRaceReportJson(
+                detectUseFreeRaces(T, Index, Db, IncResumed, Opt), T),
+            Ref);
+}
+
 TEST(CheckpointTest, SnapshotSurvivesAnEncodeDecodeRoundTrip) {
   AnalysisSnapshot Snap;
   Snap.TraceFingerprint = 0x1122334455667788ull;
@@ -324,6 +444,7 @@ TEST(CheckpointTest, SnapshotSurvivesAnEncodeDecodeRoundTrip) {
   Snap.Hb.SendCursors = {{8, 5}};
   Snap.Hb.RowWords = 1;
   Snap.Hb.ClosureRows = {0xdeadbeefull, 0x12345678ull};
+  Snap.Hb.ChainState = {10, 3, 1, 0x0000000100000000ull, 0x21ull};
   Snap.Hb.UnsaturatedRules = {"atomicity"};
   Snap.HasDetect = true;
   Snap.Detect.UseIdx = 11;
@@ -354,6 +475,7 @@ TEST(CheckpointTest, SnapshotSurvivesAnEncodeDecodeRoundTrip) {
   EXPECT_EQ(Back.Hb.AtomCursors[0].I, 2u);
   EXPECT_EQ(Back.Hb.RowWords, 1u);
   EXPECT_EQ(Back.Hb.ClosureRows, Snap.Hb.ClosureRows);
+  EXPECT_EQ(Back.Hb.ChainState, Snap.Hb.ChainState);
   ASSERT_EQ(Back.Hb.UnsaturatedRules.size(), 1u);
   EXPECT_EQ(Back.Hb.UnsaturatedRules[0], "atomicity");
   ASSERT_TRUE(Back.HasDetect);

@@ -252,4 +252,46 @@ TEST_F(CrashRecoveryTest, SigkillAtRandomizedPointsResumesByteIdentical) {
   }
 }
 
+TEST_F(CrashRecoveryTest, SigkillUnderChainOracleResumesByteIdentical) {
+  // The SIGKILL sweep again with --reach=chain pinned on every leg: the
+  // chain oracle's decomposition + clock matrix travels through the v3
+  // snapshot and must land a report byte-identical to an uninterrupted
+  // chain run -- which itself must match the default-oracle reference.
+  RunResult Default =
+      runAnalyzer({"analyze", TracePath, "--json"}, freshDir("ckill_def"));
+  RunResult Ref = runAnalyzer({"analyze", TracePath, "--json",
+                               "--reach=chain"},
+                              freshDir("ckill_ref"));
+  ASSERT_FALSE(Ref.Killed);
+  ASSERT_TRUE(Ref.ExitCode == 0 || Ref.ExitCode == 1) << Ref.Err;
+  EXPECT_EQ(Ref.Out, Default.Out); // oracle choice never changes a report
+
+  const int KillDelaysMillis[] = {2, 8, 30};
+  for (int Delay : KillDelaysMillis) {
+    SCOPED_TRACE("kill after " + std::to_string(Delay) + "ms");
+    std::string Dir = freshDir("ckill_" + std::to_string(Delay));
+    RunResult First = runAnalyzer({"analyze", TracePath, "--json",
+                                   "--reach=chain",
+                                   "--checkpoint-dir=" + Dir,
+                                   "--checkpoint-every=1"},
+                                  Dir, Delay);
+    if (!First.Killed) {
+      EXPECT_EQ(First.Out, Ref.Out);
+      continue;
+    }
+
+    RunResult Resumed = runAnalyzer({"analyze", TracePath, "--json",
+                                     "--reach=chain",
+                                     "--checkpoint-dir=" + Dir,
+                                     "--checkpoint-every=1", "--resume"},
+                                    Dir);
+    ASSERT_FALSE(Resumed.Killed);
+    EXPECT_TRUE(Resumed.ExitCode == 4 || Resumed.ExitCode == Ref.ExitCode)
+        << "exit " << Resumed.ExitCode << "\n"
+        << Resumed.Err;
+    EXPECT_EQ(Resumed.Out, Ref.Out) << Resumed.Err;
+    EXPECT_FALSE(snapshotExists(Dir));
+  }
+}
+
 } // namespace

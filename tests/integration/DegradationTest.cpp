@@ -19,7 +19,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <string>
 #include <tuple>
 
 using namespace cafa;
@@ -44,17 +46,30 @@ TEST(DegradationTest, EstimatesAreMonotoneAlongTheLadder) {
     size_t Bfs = estimateReachabilityMemory(N, ReachMode::Bfs);
     EXPECT_LT(Bfs, Clo) << N;
     EXPECT_LT(Clo, Inc) << N;
+    // Chain sits between Bfs and Closure only once the quadratic closure
+    // estimate overtakes the O(N * MaxChainsForClocks) clock matrix --
+    // roughly N > 4500.  Below that the ladder's Closure -> Chain step
+    // is still sound: the chain oracle refuses the clock matrix under a
+    // tight budget and serves queries from its linear search phase.
+    size_t Cha = estimateReachabilityMemory(N, ReachMode::Chain);
+    EXPECT_LT(Bfs, Cha) << N;
+    if (N >= 5000)
+      EXPECT_LT(Cha, Clo) << N;
   }
 }
 
 TEST(DegradationTest, MemoryCeilingFallsBackToBfsBitIdentical) {
   Trace T = buildAppTrace();
 
-  AnalysisResult Full = analyzeTrace(T, DetectorOptions());
+  // Pin the request: this test asserts which rung the ladder lands on,
+  // so the CAFA_REACH-forced CI legs must not redirect the default.
+  DetectorOptions Pinned;
+  Pinned.Hb.Reach = ReachMode::Incremental;
+  AnalysisResult Full = analyzeTrace(T, Pinned);
   EXPECT_EQ(Full.Degradation.UsedReach, ReachMode::Incremental);
   EXPECT_FALSE(Full.Degradation.degraded());
 
-  DetectorOptions Tiny;
+  DetectorOptions Tiny = Pinned;
   Tiny.Hb.MemLimitBytes = 1; // nothing closure-shaped fits
   AnalysisResult Lim = analyzeTrace(T, Tiny);
   EXPECT_EQ(Lim.Degradation.RequestedReach, ReachMode::Incremental);
@@ -79,11 +94,12 @@ TEST(DegradationTest, MemoryCeilingUsesMiddleRungWhenItFits) {
   // that admits Closure but not Incremental (the incremental estimate is
   // strictly larger by construction).
   HbOptions Free;
+  Free.Reach = ReachMode::Incremental; // ladder assertions: pin the request
   HbIndex Unlimited(T, Index, Free);
   size_t N = Unlimited.graph().numNodes();
   ASSERT_GT(N, 0u);
 
-  HbOptions Capped;
+  HbOptions Capped = Free;
   Capped.MemLimitBytes = estimateReachabilityMemory(N, ReachMode::Closure);
   HbIndex Limited(T, Index, Capped);
   EXPECT_EQ(Limited.degradation().UsedReach, ReachMode::Closure);
@@ -95,6 +111,45 @@ TEST(DegradationTest, MemoryCeilingUsesMiddleRungWhenItFits) {
   DetectorOptions DOpt;
   DOpt.Classify = false;
   RaceReport A = detectUseFreeRaces(T, Index, Db, Unlimited, DOpt);
+  RaceReport B = detectUseFreeRaces(T, Index, Db, Limited, DOpt);
+  EXPECT_EQ(renderRaceReportJson(A, T), renderRaceReportJson(B, T));
+}
+
+TEST(DegradationTest, MemoryCeilingUsesChainRungWhenClosureDoesNotFit) {
+  // A trace big enough that the chain oracle's measured footprint sits
+  // well below the closure bitset: a budget between the two makes the
+  // ladder walk Incremental -> Closure -> Chain and stop there.
+  apps::AppBuilder App("degrade-chain");
+  App.seedIntraThreadRace("alpha");
+  App.seedInterThreadRace("beta");
+  App.fillVolumeTo(2500);
+  Table1Row Dummy;
+  apps::AppModel Model = App.finish(Dummy);
+  Trace T = runScenario(Model.S, RuntimeOptions());
+  TaskIndex Index(T);
+
+  HbOptions ChainOpt;
+  ChainOpt.Reach = ReachMode::Chain;
+  HbIndex ChainIdx(T, Index, ChainOpt);
+  size_t ChainBytes = ChainIdx.degradation().MeasuredReachBytes;
+  HbOptions CloOpt;
+  CloOpt.Reach = ReachMode::Closure;
+  HbIndex CloIdx(T, Index, CloOpt);
+  size_t CloBytes = CloIdx.degradation().MeasuredReachBytes;
+  ASSERT_LT(ChainBytes, CloBytes); // the rung is meaningful at this size
+
+  HbOptions Capped;
+  Capped.Reach = ReachMode::Incremental;
+  Capped.MemLimitBytes = ChainBytes + (CloBytes - ChainBytes) / 2;
+  HbIndex Limited(T, Index, Capped);
+  EXPECT_EQ(Limited.degradation().UsedReach, ReachMode::Chain);
+  EXPECT_TRUE(Limited.degradation().DowngradedForMemory);
+
+  // Downgrading never changes the relation, hence never the report.
+  AccessDb Db = extractAccesses(T, Index);
+  DetectorOptions DOpt;
+  DOpt.Classify = false;
+  RaceReport A = detectUseFreeRaces(T, Index, Db, ChainIdx, DOpt);
   RaceReport B = detectUseFreeRaces(T, Index, Db, Limited, DOpt);
   EXPECT_EQ(renderRaceReportJson(A, T), renderRaceReportJson(B, T));
 }
@@ -265,6 +320,41 @@ TEST(DegradationTest, ReachModeNamesAreStable) {
   EXPECT_STREQ(reachModeName(ReachMode::Incremental), "incremental");
   EXPECT_STREQ(reachModeName(ReachMode::Closure), "closure");
   EXPECT_STREQ(reachModeName(ReachMode::Bfs), "bfs");
+  EXPECT_STREQ(reachModeName(ReachMode::Chain), "chain");
+  EXPECT_STREQ(reachModeName(ReachMode::Auto), "auto");
+}
+
+TEST(DegradationTest, ReachModeResolvesRequestOverEnvOverDefault) {
+  // Save whatever the surrounding CI leg exported so this test cannot
+  // leak state into its neighbours.
+  const char *Old = std::getenv("CAFA_REACH");
+  std::string Saved = Old ? Old : "";
+  bool Had = Old != nullptr;
+
+  setenv("CAFA_REACH", "chain", 1);
+  EXPECT_EQ(resolveReachMode(ReachMode::Auto), ReachMode::Chain);
+  // An explicit request always wins over the environment.
+  EXPECT_EQ(resolveReachMode(ReachMode::Bfs), ReachMode::Bfs);
+  EXPECT_EQ(resolveReachMode(ReachMode::Incremental),
+            ReachMode::Incremental);
+
+  setenv("CAFA_REACH", "closure", 1);
+  EXPECT_EQ(resolveReachMode(ReachMode::Auto), ReachMode::Closure);
+  setenv("CAFA_REACH", "bfs", 1);
+  EXPECT_EQ(resolveReachMode(ReachMode::Auto), ReachMode::Bfs);
+  setenv("CAFA_REACH", "incremental", 1);
+  EXPECT_EQ(resolveReachMode(ReachMode::Auto), ReachMode::Incremental);
+
+  // Unknown values and an unset variable both fall back to the default.
+  setenv("CAFA_REACH", "nonsense", 1);
+  EXPECT_EQ(resolveReachMode(ReachMode::Auto), ReachMode::Incremental);
+  unsetenv("CAFA_REACH");
+  EXPECT_EQ(resolveReachMode(ReachMode::Auto), ReachMode::Incremental);
+
+  if (Had)
+    setenv("CAFA_REACH", Saved.c_str(), 1);
+  else
+    unsetenv("CAFA_REACH");
 }
 
 } // namespace
