@@ -1,0 +1,170 @@
+//===- bench/fleet_scaling.cpp - Fleet batch wall-clock vs workers ------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The fleet supervisor's two cost axes (EXPERIMENTS.md "Supervised
+// fleet batches"):
+//
+//  1. Batch wall-clock vs worker count: the same multi-trace batch run
+//     at --workers=1/2/4.  Workers are whole processes, so the scaling
+//     ceiling is the host's core count -- on a single-core box the
+//     sweep measures supervisor overhead, not parallel speedup, and
+//     the printout says so.  The aggregate JSON must be byte-identical
+//     at every width (the determinism contract).
+//
+//  2. Retry overhead: every worker SIGKILLed once after its first
+//     snapshot (--chaos-kill-after-save), so every job completes on
+//     attempt 2 by *resuming* the dead worker's checkpoint.  The
+//     difference against the fault-free batch prices one crash+resume
+//     cycle per job; without checkpoint reuse it would price a full
+//     re-analysis per job.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppKit.h"
+#include "fleet/Fleet.h"
+#include "rt/Runtime.h"
+#include "support/Format.h"
+#include "trace/TraceIO.h"
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <vector>
+
+using namespace cafa;
+using namespace cafa::apps;
+
+namespace {
+
+/// Records \p Count traces with distinct race populations.
+std::vector<std::string> recordCorpus(const std::string &Dir,
+                                      size_t Count) {
+  static const char *Apps[] = {"zxing", "todolist", "browser", "music"};
+  std::vector<std::string> Paths;
+  Table1Row Dummy;
+  for (size_t I = 0; I < Count; ++I) {
+    AppBuilder App(formatString("fleetbench_%zu", I));
+    App.seedIntraThreadRace(formatString("intra%zu", I));
+    if (I % 2)
+      App.seedInterThreadRace(formatString("inter%zu", I));
+    App.fillVolumeTo(800 + 200 * (I % 4));
+    AppModel Model = App.finish(Dummy);
+    Trace T = runScenario(Model.S, RuntimeOptions());
+    std::string Path =
+        Dir + "/" + formatString("%s_%zu.trace", Apps[I % 4], I);
+    if (!writeTraceFile(T, Path).ok()) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      std::exit(1);
+    }
+    Paths.push_back(Path);
+  }
+  return Paths;
+}
+
+std::vector<FleetJob> makeBatch(const std::vector<std::string> &Corpus,
+                                size_t Jobs) {
+  std::vector<FleetJob> Batch;
+  for (size_t I = 0; I < Jobs; ++I) {
+    FleetJob Job;
+    Job.Id = formatString("j%02zu", I);
+    Job.TracePath = Corpus[I % Corpus.size()];
+    Batch.push_back(Job);
+  }
+  return Batch;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Analyzer =
+      argc > 1 ? argv[1] : std::string(CAFA_FLEET_ANALYZER_PATH);
+  std::string Scratch = "/tmp/cafa_fleet_bench";
+  ::mkdir(Scratch.c_str(), 0755);
+
+  const size_t NumJobs = 12;
+  std::printf("host cores: %u (worker scaling is bounded by this)\n\n",
+              std::thread::hardware_concurrency());
+  std::vector<std::string> Corpus = recordCorpus(Scratch, 4);
+  std::vector<FleetJob> Batch = makeBatch(Corpus, NumJobs);
+
+  // --- Axis 1: wall-clock vs worker count -------------------------------
+  std::printf("batch of %zu jobs, fault-free\n", NumJobs);
+  std::printf("%8s %14s %10s %8s\n", "workers", "wall(ms)", "speedup",
+              "races");
+  std::string RefJson;
+  double BaseMillis = 0;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    FleetOptions Options;
+    Options.AnalyzerPath = Analyzer;
+    Options.CheckpointRoot =
+        Scratch + formatString("/w%u.fleet", Workers);
+    Options.Workers = Workers;
+    FleetResult Result;
+    if (Status S = runFleet(Batch, Options, Result); !S.ok()) {
+      std::fprintf(stderr, "fleet failed: %s\n", S.message().c_str());
+      return 1;
+    }
+    if (RefJson.empty()) {
+      RefJson = Result.AggregateJson;
+      BaseMillis = Result.WallMillis;
+    } else if (Result.AggregateJson != RefJson) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: aggregate differs at "
+                   "--workers=%u\n",
+                   Workers);
+      return 1;
+    }
+    std::printf("%8u %14.1f %9.2fx %8zu\n", Workers, Result.WallMillis,
+                BaseMillis / Result.WallMillis, Result.DistinctRaces);
+  }
+  std::printf("aggregate JSON byte-identical across all widths: yes\n\n");
+
+  // --- Axis 2: one crash + resume per job -------------------------------
+  std::printf("batch of %zu jobs, every worker killed after its first "
+              "snapshot\n",
+              NumJobs);
+  FleetOptions Chaos;
+  Chaos.AnalyzerPath = Analyzer;
+  Chaos.CheckpointRoot = Scratch + "/chaos.fleet";
+  Chaos.Workers = 2;
+  Chaos.CheckpointEveryMillis = 1;
+  Chaos.Backoff.InitialMillis = 0; // price the resume, not the sleep
+  Chaos.ChaosArgsForAttempt =
+      [](const FleetJob &, unsigned Attempt) -> std::vector<std::string> {
+    if (Attempt == 1)
+      return {"--chaos-kill-after-save"};
+    return {};
+  };
+  FleetResult ChaosResult;
+  if (Status S = runFleet(Batch, Chaos, ChaosResult); !S.ok()) {
+    std::fprintf(stderr, "fleet failed: %s\n", S.message().c_str());
+    return 1;
+  }
+  FleetOptions Clean = Chaos;
+  Clean.CheckpointRoot = Scratch + "/clean.fleet";
+  Clean.ChaosArgsForAttempt = nullptr;
+  FleetResult CleanResult;
+  if (Status S = runFleet(Batch, Clean, CleanResult); !S.ok()) {
+    std::fprintf(stderr, "fleet failed: %s\n", S.message().c_str());
+    return 1;
+  }
+  std::printf("%22s %14s %10s %18s\n", "", "wall(ms)", "retries",
+              "resumedCompletions");
+  std::printf("%22s %14.1f %10u %18u\n", "fault-free",
+              CleanResult.WallMillis, CleanResult.Retries,
+              CleanResult.ResumedCompletions);
+  std::printf("%22s %14.1f %10u %18u\n", "crash+resume per job",
+              ChaosResult.WallMillis, ChaosResult.Retries,
+              ChaosResult.ResumedCompletions);
+  std::printf("retry overhead: %.1f%% (each retry resumes its "
+              "predecessor's snapshot; a restart-from-scratch policy "
+              "would approach +100%%)\n",
+              100.0 * (ChaosResult.WallMillis - CleanResult.WallMillis) /
+                  CleanResult.WallMillis);
+  return 0;
+}

@@ -1,0 +1,201 @@
+//===- examples/cafa_fleet.cpp - Supervised batch analysis driver -------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Thin driver over the fleet supervisor (src/fleet/): takes a manifest
+// of trace files, runs each analysis as an isolated offline_analyzer
+// child process, and emits one aggregate cross-trace report.
+//
+//   $ ./cafa_fleet run nightly.manifest --workers=4 --json
+//
+// Faults are contained per job: a worker that crashes or OOMs is
+// retried with capped jittered backoff and *resumes from its own
+// checkpoint sub-directory*; a hung worker is killed by the watchdog; a
+// job that keeps failing lands in a terminal failed:<cause> state while
+// the rest of the batch completes.  See docs/fleet.md.
+//
+// Exit codes (triage-friendly, one step up from offline_analyzer's):
+//   0  every job done, no races anywhere
+//   1  every job done, races reported
+//   2  usage / manifest / setup error (no batch ran)
+//   3  batch completed but some jobs degraded (partial reports)
+//   5  batch completed but some jobs failed terminally
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Fleet.h"
+#include "trace/Manifest.h"
+
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+using namespace cafa;
+
+static int usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s run <manifest> [options]\n"
+      "manifest: one job per line, '<trace-path>' or '<id> <trace-path>'\n"
+      "          ('#' comments; relative paths resolve against the\n"
+      "          manifest's directory)\n"
+      "options:\n"
+      "  --analyzer=<path>        offline_analyzer binary (default: next\n"
+      "                           to this binary; CAFA_ANALYZER overrides)\n"
+      "  --checkpoint-root=<dir>  per-job state root (default:\n"
+      "                           <manifest>.fleet)\n"
+      "  --workers=<n>            concurrent worker processes (default 1)\n"
+      "  --max-attempts=<n>       attempts per job (default 3)\n"
+      "  --watchdog=<ms>          kill a worker running longer (default off)\n"
+      "  --rlimit-as=<bytes>      RLIMIT_AS jail per worker (default off)\n"
+      "  --mem-limit=<bytes>      soft worker mem limit, attempt 1\n"
+      "  --deadline=<ms>          soft worker deadline, attempt 1\n"
+      "  --checkpoint-every=<ms>  worker snapshot cadence (default 10)\n"
+      "  --backoff-initial=<ms>   first retry delay (default 100)\n"
+      "  --backoff-max=<ms>       retry delay cap (default 30000)\n"
+      "  --seed=<n>               backoff jitter seed (default 0x5EEDCAFA)\n"
+      "  --analysis-threads=<n> / --ingest-threads=<n>  forwarded\n"
+      "  --strict                 forwarded (salvage incidents fail jobs)\n"
+      "  --json                   aggregate report as JSON on stdout\n"
+      "exit codes: 0 all done no races, 1 all done races, 2 usage error,\n"
+      "            3 some jobs partial, 5 some jobs failed\n",
+      Prog);
+  return 2;
+}
+
+/// offline_analyzer next to this binary, via /proc/self/exe.
+static std::string defaultAnalyzerPath() {
+  char Buf[PATH_MAX];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return "";
+  Buf[N] = '\0';
+  std::string Self(Buf);
+  size_t Slash = Self.find_last_of('/');
+  if (Slash == std::string::npos)
+    return "";
+  return Self.substr(0, Slash) + "/offline_analyzer";
+}
+
+int main(int argc, char **argv) {
+  if (argc < 3 || std::strcmp(argv[1], "run") != 0)
+    return usage(argv[0]);
+  const std::string ManifestPath = argv[2];
+
+  FleetOptions Options;
+  bool Json = false;
+  if (const char *Env = std::getenv("CAFA_ANALYZER"))
+    Options.AnalyzerPath = Env;
+
+  auto numArg = [](const char *Arg, const char *Prefix,
+                   unsigned long long &Out) {
+    size_t Len = std::strlen(Prefix);
+    if (std::strncmp(Arg, Prefix, Len) != 0)
+      return false;
+    char *End = nullptr;
+    Out = std::strtoull(Arg + Len, &End, 0);
+    return End != Arg + Len && *End == '\0';
+  };
+  auto doubleArg = [](const char *Arg, const char *Prefix, double &Out) {
+    size_t Len = std::strlen(Prefix);
+    if (std::strncmp(Arg, Prefix, Len) != 0)
+      return false;
+    char *End = nullptr;
+    Out = std::strtod(Arg + Len, &End);
+    return End != Arg + Len && *End == '\0';
+  };
+
+  for (int I = 3; I != argc; ++I) {
+    const char *Arg = argv[I];
+    unsigned long long N = 0;
+    double D = 0;
+    if (std::strcmp(Arg, "--json") == 0)
+      Json = true;
+    else if (std::strcmp(Arg, "--strict") == 0)
+      Options.Strict = true;
+    else if (std::strncmp(Arg, "--analyzer=", 11) == 0)
+      Options.AnalyzerPath = Arg + 11;
+    else if (std::strncmp(Arg, "--checkpoint-root=", 18) == 0)
+      Options.CheckpointRoot = Arg + 18;
+    else if (numArg(Arg, "--workers=", N) && N > 0)
+      Options.Workers = static_cast<unsigned>(N);
+    else if (numArg(Arg, "--max-attempts=", N) && N > 0)
+      Options.MaxAttempts = static_cast<unsigned>(N);
+    else if (doubleArg(Arg, "--watchdog=", D))
+      Options.WatchdogMillis = D;
+    else if (numArg(Arg, "--rlimit-as=", N))
+      Options.RlimitBytes = static_cast<size_t>(N);
+    else if (numArg(Arg, "--mem-limit=", N))
+      Options.MemLimitBytes = static_cast<size_t>(N);
+    else if (doubleArg(Arg, "--deadline=", D))
+      Options.DeadlineMillis = D;
+    else if (doubleArg(Arg, "--checkpoint-every=", D))
+      Options.CheckpointEveryMillis = D;
+    else if (doubleArg(Arg, "--backoff-initial=", D))
+      Options.Backoff.InitialMillis = D;
+    else if (doubleArg(Arg, "--backoff-max=", D))
+      Options.Backoff.MaxMillis = D;
+    else if (numArg(Arg, "--seed=", N))
+      Options.Backoff.Seed = N;
+    else if (numArg(Arg, "--analysis-threads=", N) && N > 0)
+      Options.AnalysisThreads = static_cast<unsigned>(N);
+    else if (numArg(Arg, "--ingest-threads=", N) && N > 0)
+      Options.IngestThreads = static_cast<unsigned>(N);
+    else
+      return usage(argv[0]);
+  }
+
+  if (Options.AnalyzerPath.empty())
+    Options.AnalyzerPath = defaultAnalyzerPath();
+  if (Options.CheckpointRoot.empty())
+    Options.CheckpointRoot = ManifestPath + ".fleet";
+
+  std::vector<ManifestEntry> Entries;
+  if (Status S = readManifestFile(ManifestPath, Entries); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    return 2;
+  }
+  if (Entries.empty()) {
+    std::fprintf(stderr, "error: manifest %s names no jobs\n",
+                 ManifestPath.c_str());
+    return 2;
+  }
+  std::vector<FleetJob> Jobs;
+  Jobs.reserve(Entries.size());
+  for (const ManifestEntry &Entry : Entries) {
+    FleetJob Job;
+    Job.Id = Entry.Id;
+    Job.TracePath = Entry.TracePath;
+    Jobs.push_back(std::move(Job));
+  }
+
+  std::fprintf(stderr, "fleet: %zu job(s), %u worker(s), analyzer %s\n",
+               Jobs.size(), Options.Workers,
+               Options.AnalyzerPath.c_str());
+  FleetResult Result;
+  if (Status S = runFleet(Jobs, Options, Result); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.message().c_str());
+    return 2;
+  }
+
+  // Aggregate to stdout; the per-job narrative to stderr.
+  std::fprintf(stderr, "%s", Result.AggregateText.c_str());
+  std::fprintf(stderr, "fleet wall time: %.1f ms\n", Result.WallMillis);
+  if (Json)
+    std::printf("%s", Result.AggregateJson.c_str());
+  else
+    std::printf("%s", Result.AggregateText.c_str());
+
+  if (Result.Failed > 0)
+    return 5;
+  if (Result.Partial > 0)
+    return 3;
+  return Result.DistinctRaces > 0 ? 1 : 0;
+}

@@ -49,6 +49,14 @@
 //   4  clean analysis resumed from a checkpoint and completed (races
 //      or not -- the report says; distinguishes "finished the
 //      interrupted job" for orchestrating scripts)
+// The full contract is pinned by tests/integration/ExitCodesTest and
+// documented in docs/robustness.md §6; the fleet supervisor's retry
+// policy (docs/fleet.md) keys off exactly these codes.
+//
+// The --chaos-* flags are fault-injection hooks for the fleet chaos
+// suite (worker hang / crash-after-checkpoint / OOM); they exist so
+// supervisor tests can script worker failures deterministically and
+// have no effect on analysis results.
 //
 //===----------------------------------------------------------------------===//
 
@@ -60,9 +68,14 @@
 #include "trace/TraceIO.h"
 #include "trace/Validate.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sys/stat.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
 
 using namespace cafa;
 using namespace cafa::apps;
@@ -77,6 +90,9 @@ static int usage(const char *Prog) {
                "     [--mem-limit=<bytes>] [--deadline=<ms>]\n"
                "     [--checkpoint-dir=<dir>] [--checkpoint-every=<ms>]\n"
                "     [--resume]                     analyze\n"
+               "     [--chaos-hang-ms=<n> | --chaos-kill-after-save |\n"
+               "      --chaos-alloc-mb=<n>]  fault hooks for the fleet\n"
+               "                             chaos suite (docs/fleet.md)\n"
                "  %s dot <trace-file>               task-order Graphviz\n"
                "exit codes: 0 no races, 1 races, 2 unreadable input,\n"
                "            3 degraded/partial analysis,\n"
@@ -110,6 +126,9 @@ int main(int argc, char **argv) {
     DetectorOptions Options;
     IngestOptions Ingest;
     CheckpointOptions Ckpt;
+    unsigned long ChaosHangMillis = 0;
+    bool ChaosKillAfterSave = false;
+    unsigned long ChaosAllocMb = 0;
     for (int I = 3; I != argc; ++I) {
       if (std::strcmp(argv[I], "--json") == 0) {
         Json = true;
@@ -148,9 +167,20 @@ int main(int argc, char **argv) {
         Ckpt.EveryMillis = std::strtod(argv[I] + 19, nullptr);
       } else if (std::strcmp(argv[I], "--resume") == 0) {
         Ckpt.Resume = true;
+      } else if (std::strncmp(argv[I], "--chaos-hang-ms=", 16) == 0) {
+        ChaosHangMillis = std::strtoul(argv[I] + 16, nullptr, 10);
+      } else if (std::strcmp(argv[I], "--chaos-kill-after-save") == 0) {
+        ChaosKillAfterSave = true;
+      } else if (std::strncmp(argv[I], "--chaos-alloc-mb=", 17) == 0) {
+        ChaosAllocMb = std::strtoul(argv[I] + 17, nullptr, 10);
       } else {
         return usage(argv[0]);
       }
+    }
+    if (ChaosKillAfterSave && !Ckpt.enabled()) {
+      std::fprintf(stderr, "error: --chaos-kill-after-save needs "
+                           "--checkpoint-dir=<dir>\n");
+      return 2;
     }
     if ((Ckpt.Resume || Ckpt.EveryMillis > 0) && !Ckpt.enabled()) {
       std::fprintf(stderr, "error: --resume/--checkpoint-every need "
@@ -195,6 +225,33 @@ int main(int argc, char **argv) {
     if (Status S = validateTrace(T, VOpt); !S.ok()) {
       std::fprintf(stderr, "invalid trace: %s\n", S.message().c_str());
       return 2;
+    }
+
+    // Chaos hooks (fleet chaos suite; see the file header).  The hang
+    // and allocation land *before* analyzeTrace so --deadline cannot
+    // mask them: a hung worker looks hung, an OOM-jailed worker dies on
+    // the allocation.
+    std::vector<char> ChaosBallast;
+    if (ChaosAllocMb > 0) {
+      ChaosBallast.resize(static_cast<size_t>(ChaosAllocMb) << 20);
+      // Touch every page so the jail sees committed memory, not just a
+      // reservation.
+      for (size_t I = 0; I < ChaosBallast.size(); I += 4096)
+        ChaosBallast[I] = 0x5A;
+    }
+    if (ChaosHangMillis > 0)
+      ::usleep(ChaosHangMillis * 1000);
+    if (ChaosKillAfterSave) {
+      // Die the way a real worker crash does: SIGKILL mid-analysis, but
+      // only once a snapshot exists on disk -- the scenario where
+      // "retry is resume" must hold.  The watcher polls for the
+      // atomically-renamed snapshot file.
+      std::thread([Path = checkpointPath(Ckpt.Directory)] {
+        struct stat St;
+        while (::stat(Path.c_str(), &St) != 0)
+          ::usleep(1000);
+        ::kill(::getpid(), SIGKILL);
+      }).detach();
     }
 
     AnalysisOptions AOpt(Options);

@@ -1,0 +1,477 @@
+//===- cafa/FleetReport.cpp - Cross-trace race aggregation --------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cafa/FleetReport.h"
+
+#include "cafa/ReportJson.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+using namespace cafa;
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON reader
+//===----------------------------------------------------------------------===//
+//
+// The fleet only ever parses JSON this project itself emitted
+// (renderRaceReportJson), so a small strict reader is enough; it still
+// parses arbitrary well-formed JSON so schema growth on the emitter side
+// cannot break older supervisors.
+
+namespace {
+
+struct JsonValue {
+  enum Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind K = Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+
+  /// Returns the named object field, or null when absent.
+  const JsonValue *field(const char *Name) const {
+    for (const auto &[Key, Value] : Fields)
+      if (Key == Name)
+        return &Value;
+    return nullptr;
+  }
+};
+
+class JsonReader {
+public:
+  JsonReader(const std::string &Text) : Text(Text) {}
+
+  Status parse(JsonValue &Out) {
+    Status S = value(Out);
+    if (!S.ok())
+      return S;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing bytes after JSON value");
+    return Status::success();
+  }
+
+private:
+  Status fail(const std::string &Why) {
+    return Status::error(
+        formatString("report JSON byte %zu: %s", Pos, Why.c_str()));
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  Status value(JsonValue &Out) {
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return object(Out);
+    if (C == '[')
+      return array(Out);
+    if (C == '"') {
+      Out.K = JsonValue::String;
+      return string(Out.Str);
+    }
+    if (C == 't' || C == 'f')
+      return boolean(Out);
+    if (C == 'n') {
+      if (Text.compare(Pos, 4, "null") != 0)
+        return fail("bad literal");
+      Pos += 4;
+      Out.K = JsonValue::Null;
+      return Status::success();
+    }
+    return number(Out);
+  }
+
+  Status object(JsonValue &Out) {
+    Out.K = JsonValue::Object;
+    ++Pos; // '{'
+    if (eat('}'))
+      return Status::success();
+    for (;;) {
+      skipSpace();
+      std::string Key;
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      if (Status S = string(Key); !S.ok())
+        return S;
+      if (!eat(':'))
+        return fail("expected ':'");
+      JsonValue V;
+      if (Status S = value(V); !S.ok())
+        return S;
+      Out.Fields.emplace_back(std::move(Key), std::move(V));
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        return Status::success();
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  Status array(JsonValue &Out) {
+    Out.K = JsonValue::Array;
+    ++Pos; // '['
+    if (eat(']'))
+      return Status::success();
+    for (;;) {
+      JsonValue V;
+      if (Status S = value(V); !S.ok())
+        return S;
+      Out.Items.push_back(std::move(V));
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        return Status::success();
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Status string(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Status::success();
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad \\u escape");
+        }
+        // Our emitter only produces \u00xx for control bytes; decode
+        // the Latin-1 range and reject the rest rather than guessing
+        // at UTF-16 surrogate handling we never emit.
+        if (Code > 0xFF)
+          return fail("unsupported \\u escape beyond U+00FF");
+        Out.push_back(static_cast<char>(Code));
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status boolean(JsonValue &Out) {
+    Out.K = JsonValue::Bool;
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Out.B = true;
+      Pos += 4;
+      return Status::success();
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Out.B = false;
+      Pos += 5;
+      return Status::success();
+    }
+    return fail("bad literal");
+  }
+
+  Status number(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    Out.K = JsonValue::Number;
+    Out.Num = std::strtod(Text.c_str() + Start, nullptr);
+    return Status::success();
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+/// Reads one "use"/"free" access object into the string/pc pair.
+Status readAccess(const JsonValue &Access, std::string &Method,
+                  uint32_t &Pc, std::string &Task) {
+  const JsonValue *M = Access.field("method");
+  const JsonValue *P = Access.field("pc");
+  if (!M || M->K != JsonValue::String || !P || P->K != JsonValue::Number)
+    return Status::error("race access missing method/pc");
+  Method = M->Str;
+  Pc = static_cast<uint32_t>(P->Num);
+  if (const JsonValue *T = Access.field("task");
+      T && T->K == JsonValue::String)
+    Task = T->Str;
+  return Status::success();
+}
+
+} // namespace
+
+Status cafa::parseRaceReportJson(const std::string &Json,
+                                 ParsedRaceReport &Out) {
+  Out = ParsedRaceReport();
+  JsonValue Root;
+  if (Status S = JsonReader(Json).parse(Root); !S.ok())
+    return S;
+  if (Root.K != JsonValue::Object)
+    return Status::error("report JSON is not an object");
+
+  ParsedRaceReport Report;
+  if (const JsonValue *Partial = Root.field("partial");
+      Partial && Partial->K == JsonValue::Bool)
+    Report.Partial = Partial->B;
+  if (const JsonValue *Cause = Root.field("partialCause");
+      Cause && Cause->K == JsonValue::String)
+    Report.PartialCause = Cause->Str;
+
+  const JsonValue *Races = Root.field("races");
+  if (!Races || Races->K != JsonValue::Array)
+    return Status::error("report JSON has no races array");
+  for (const JsonValue &Entry : Races->Items) {
+    if (Entry.K != JsonValue::Object)
+      return Status::error("race entry is not an object");
+    const JsonValue *Use = Entry.field("use");
+    const JsonValue *Free = Entry.field("free");
+    if (!Use || !Free)
+      return Status::error("race entry missing use/free");
+    ParsedRace Race;
+    if (Status S = readAccess(*Use, Race.UseMethod, Race.UsePc,
+                              Race.UseTask);
+        !S.ok())
+      return S;
+    if (Status S = readAccess(*Free, Race.FreeMethod, Race.FreePc,
+                              Race.FreeTask);
+        !S.ok())
+      return S;
+    if (const JsonValue *Cat = Entry.field("category");
+        Cat && Cat->K == JsonValue::String)
+      Race.Category = Cat->Str;
+    if (const JsonValue *Dyn = Entry.field("dynamicCount");
+        Dyn && Dyn->K == JsonValue::Number)
+      Race.DynamicCount = static_cast<uint32_t>(Dyn->Num);
+    Report.Races.push_back(std::move(Race));
+  }
+  Out = std::move(Report);
+  return Status::success();
+}
+
+//===----------------------------------------------------------------------===//
+// FleetAggregator
+//===----------------------------------------------------------------------===//
+
+void FleetAggregator::addJob(const FleetJobStatus &Job,
+                             const ParsedRaceReport *Report) {
+  FleetJobStatus Row = Job;
+  Row.Races = Report ? Report->Races.size() : 0;
+  JobRows.push_back(Row);
+  if (!Report)
+    return;
+  for (const ParsedRace &Race : Report->Races) {
+    std::array<uint32_t, 4> Key = {
+        Methods.intern(Race.UseMethod).value(), Race.UsePc,
+        Methods.intern(Race.FreeMethod).value(), Race.FreePc};
+    auto [It, Inserted] = Merged.try_emplace(Key);
+    MergedRace &M = It->second;
+    if (Inserted) {
+      M.UseMethod = StrId(Key[0]);
+      M.UsePc = Race.UsePc;
+      M.FreeMethod = StrId(Key[2]);
+      M.FreePc = Race.FreePc;
+      M.Category = Race.Category;
+      M.FromPartial = true;
+    }
+    M.Jobs += 1;
+    M.DynamicCount += Race.DynamicCount;
+    M.FromPartial = M.FromPartial && Report->Partial;
+    if (M.Exemplars.size() < MaxExemplars)
+      M.Exemplars.push_back(Job.TracePath);
+  }
+}
+
+size_t FleetAggregator::numPartialJobs() const {
+  size_t N = 0;
+  for (const FleetJobStatus &Row : JobRows)
+    N += Row.Partial ? 1 : 0;
+  return N;
+}
+
+std::vector<const FleetAggregator::MergedRace *>
+FleetAggregator::sortedRaces() const {
+  std::vector<const MergedRace *> Out;
+  Out.reserve(Merged.size());
+  for (const auto &[Key, Race] : Merged)
+    Out.push_back(&Race);
+  // Lexicographic static-key order: independent of both job order and
+  // interner insertion order, so the rendering is deterministic across
+  // any completion interleaving.
+  std::sort(Out.begin(), Out.end(),
+            [this](const MergedRace *A, const MergedRace *B) {
+              const std::string &AU = Methods.str(A->UseMethod);
+              const std::string &BU = Methods.str(B->UseMethod);
+              if (AU != BU)
+                return AU < BU;
+              if (A->UsePc != B->UsePc)
+                return A->UsePc < B->UsePc;
+              const std::string &AF = Methods.str(A->FreeMethod);
+              const std::string &BF = Methods.str(B->FreeMethod);
+              if (AF != BF)
+                return AF < BF;
+              return A->FreePc < B->FreePc;
+            });
+  return Out;
+}
+
+std::string FleetAggregator::renderJson() const {
+  std::ostringstream OS;
+  OS << "{\n  \"jobs\": [";
+  bool First = true;
+  unsigned Done = 0, Partial = 0, Failed = 0, Retries = 0, Resumed = 0;
+  for (const FleetJobStatus &Row : JobRows) {
+    OS << (First ? "\n" : ",\n");
+    First = false;
+    OS << formatString(
+        "    {\"id\": \"%s\", \"trace\": \"%s\", \"state\": \"%s\", "
+        "\"exitCode\": %d, \"attempts\": %u, \"resumed\": %s, "
+        "\"partial\": %s, \"races\": %zu}",
+        jsonEscape(Row.Id).c_str(), jsonEscape(Row.TracePath).c_str(),
+        jsonEscape(Row.State).c_str(), Row.ExitCode, Row.Attempts,
+        Row.Resumed ? "true" : "false", Row.Partial ? "true" : "false",
+        Row.Races);
+    if (Row.State.rfind("failed:", 0) == 0)
+      ++Failed;
+    else if (Row.Partial)
+      ++Partial;
+    else
+      ++Done;
+    Retries += Row.Attempts > 0 ? Row.Attempts - 1 : 0;
+    Resumed += Row.Resumed ? 1 : 0;
+  }
+  OS << "\n  ],\n";
+  OS << formatString(
+      "  \"summary\": {\"jobs\": %zu, \"done\": %u, \"partial\": %u, "
+      "\"failed\": %u, \"retries\": %u, \"resumedCompletions\": %u, "
+      "\"distinctRaces\": %zu},\n",
+      JobRows.size(), Done, Partial, Failed, Retries, Resumed,
+      Merged.size());
+  OS << "  \"races\": [";
+  First = true;
+  for (const MergedRace *Race : sortedRaces()) {
+    OS << (First ? "\n" : ",\n");
+    First = false;
+    OS << formatString(
+        "    {\"useMethod\": \"%s\", \"usePc\": %u, \"freeMethod\": "
+        "\"%s\", \"freePc\": %u,\n"
+        "     \"category\": \"%s\", \"jobs\": %u, \"dynamicCount\": "
+        "%llu%s,\n     \"exemplars\": [",
+        jsonEscape(Methods.str(Race->UseMethod)).c_str(), Race->UsePc,
+        jsonEscape(Methods.str(Race->FreeMethod)).c_str(), Race->FreePc,
+        jsonEscape(Race->Category).c_str(), Race->Jobs,
+        static_cast<unsigned long long>(Race->DynamicCount),
+        Race->FromPartial ? ", \"fromPartialOnly\": true" : "");
+    for (size_t I = 0; I < Race->Exemplars.size(); ++I)
+      OS << (I ? ", " : "") << '"' << jsonEscape(Race->Exemplars[I])
+         << '"';
+    OS << "]}";
+  }
+  OS << "\n  ]\n}\n";
+  return OS.str();
+}
+
+std::string FleetAggregator::renderText() const {
+  std::ostringstream OS;
+  unsigned Done = 0, Partial = 0, Failed = 0, Retries = 0, Resumed = 0;
+  for (const FleetJobStatus &Row : JobRows) {
+    if (Row.State.rfind("failed:", 0) == 0)
+      ++Failed;
+    else if (Row.Partial)
+      ++Partial;
+    else
+      ++Done;
+    Retries += Row.Attempts > 0 ? Row.Attempts - 1 : 0;
+    Resumed += Row.Resumed ? 1 : 0;
+  }
+  OS << formatString(
+      "fleet: %zu job(s): %u done, %u partial, %u failed; %u retr%s, "
+      "%u resumed completion(s)\n",
+      JobRows.size(), Done, Partial, Failed, Retries,
+      Retries == 1 ? "y" : "ies", Resumed);
+  for (const FleetJobStatus &Row : JobRows)
+    OS << formatString("  %-24s %-14s attempts=%u exit=%d races=%zu%s\n",
+                       Row.Id.c_str(), Row.State.c_str(), Row.Attempts,
+                       Row.ExitCode, Row.Races,
+                       Row.Resumed ? " (resumed)" : "");
+  OS << formatString("distinct races across fleet: %zu\n", Merged.size());
+  for (const MergedRace *Race : sortedRaces()) {
+    OS << formatString(
+        "  [%s] use %s+%u / free %s+%u: %u job(s), %llu dynamic%s\n",
+        Race->Category.c_str(), Methods.str(Race->UseMethod).c_str(),
+        Race->UsePc, Methods.str(Race->FreeMethod).c_str(), Race->FreePc,
+        Race->Jobs, static_cast<unsigned long long>(Race->DynamicCount),
+        Race->FromPartial ? " (partial reports only)" : "");
+    for (const std::string &Exemplar : Race->Exemplars)
+      OS << "      exemplar: " << Exemplar << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,171 @@
+//===- fleet/Fleet.h - Supervised batch analysis ---------------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet supervisor: runs a batch of trace analyses as isolated
+/// child processes (fork/exec of offline_analyzer) and guarantees the
+/// batch completes with a deterministic aggregate report even when
+/// individual workers crash, hang, or exhaust memory.
+///
+/// Robustness moves up one level here.  PR 2 survived a corrupt record,
+/// PR 3 survived a SIGKILL; the fleet survives *workers*: a per-job
+/// watchdog kills hung children, failed attempts retry with capped
+/// jittered backoff (support/Backoff.h), and -- the key reuse -- every
+/// job owns a checkpoint sub-directory, so a retry *resumes from the
+/// dead worker's last snapshot* instead of restarting.  PR 3's
+/// crash-safety is the fleet's scheduling primitive, not a recovery
+/// trick.
+///
+/// Repeated failures descend the degradation ladder: each retry passes a
+/// tighter --deadline / --mem-limit so the worker sheds work gracefully
+/// (a partial report) before the hard limits (watchdog, RLIMIT_AS jail)
+/// kill it again.  A job that exhausts its attempts lands in a terminal
+/// "failed:<cause>" state; the batch never wedges.  See docs/fleet.md
+/// for the full state machine and policy tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_FLEET_FLEET_H
+#define CAFA_FLEET_FLEET_H
+
+#include "cafa/FleetReport.h"
+#include "support/Backoff.h"
+#include "support/Status.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cafa {
+
+/// One analysis job in the batch.
+struct FleetJob {
+  std::string Id;        ///< unique, filesystem-safe (Manifest.h rules)
+  std::string TracePath; ///< trace file handed to the worker
+  /// RLIMIT_AS jail for this job's workers; 0 inherits
+  /// FleetOptions::RlimitBytes.
+  size_t RlimitBytes = 0;
+  /// Extra analyzer arguments appended on every attempt.
+  std::vector<std::string> ExtraArgs;
+};
+
+/// One worker attempt, for diagnostics and chaos-test pinning.
+struct FleetAttempt {
+  unsigned Attempt = 1;   ///< 1-based
+  int ExitCode = -1;      ///< valid when the worker exited
+  bool Signaled = false;
+  int Signal = 0;
+  bool TimedOut = false;  ///< the watchdog killed it
+  double WallMillis = 0;
+  double BackoffMillis = 0; ///< delay scheduled before the next attempt
+  /// Why the attempt was not accepted ("hung", "oom", "crash",
+  /// "unreadable", "spawn", "exit<code>"); empty for accepted attempts.
+  std::string Cause;
+  /// The exact worker command line, for replay and escalation pinning.
+  std::string Command;
+};
+
+/// Terminal outcome of one job.
+struct FleetJobResult {
+  std::string Id;
+  std::string TracePath;
+  /// "done" | "done:partial" | "failed:<cause>".
+  std::string State;
+  int FinalExitCode = -1;
+  unsigned Attempts = 0;
+  /// Some accepted attempt completed from a checkpoint (exit 4): the
+  /// retry really did resume the dead worker's analysis.
+  bool Resumed = false;
+  bool Partial = false;
+  /// stdout of the accepted attempt (the per-job JSON report); empty
+  /// for failed jobs.
+  std::string ReportJson;
+  /// Parse of ReportJson when ParseOk.
+  ParsedRaceReport Parsed;
+  bool ParseOk = false;
+  std::vector<FleetAttempt> History;
+};
+
+/// Supervisor configuration.
+struct FleetOptions {
+  /// Path to the offline_analyzer binary (exec'd directly).
+  std::string AnalyzerPath;
+  /// Root directory for per-job state.  Each job gets its own
+  /// sub-directory <root>/<job-id>/ holding its checkpoint snapshots
+  /// and captured worker streams, so concurrent jobs can never collide
+  /// on a snapshot file.
+  std::string CheckpointRoot;
+  /// Concurrent worker processes.
+  unsigned Workers = 1;
+  /// Attempts per job before the terminal failed state.
+  unsigned MaxAttempts = 3;
+  /// Wall-clock budget per attempt; a worker still running after this
+  /// is SIGKILLed and the attempt classified "hung".  0 disables.
+  double WatchdogMillis = 0;
+  /// --checkpoint-every forwarded to workers (0 omits the flag;
+  /// deadline cuts still snapshot).
+  double CheckpointEveryMillis = 10;
+  /// Default RLIMIT_AS jail for workers; 0 = no jail.
+  size_t RlimitBytes = 0;
+  /// Baseline soft limits passed to attempt 1 (0 omits the flag).
+  /// Retries tighten these -- see deadlineForAttempt/memLimitForAttempt.
+  double DeadlineMillis = 0;
+  size_t MemLimitBytes = 0;
+  /// Forwarded to workers when nonzero.
+  unsigned AnalysisThreads = 0;
+  unsigned IngestThreads = 0;
+  /// --strict ingestion.
+  bool Strict = false;
+  /// Retry-delay schedule; each job derives its own deterministic
+  /// stream from (Backoff.Seed, job index).
+  BackoffPolicy Backoff;
+  /// Exemplar trace paths kept per aggregated race.
+  unsigned MaxExemplars = 3;
+  /// Chaos hook (tests only): extra analyzer args for (job, attempt).
+  std::function<std::vector<std::string>(const FleetJob &, unsigned)>
+      ChaosArgsForAttempt;
+};
+
+/// What the whole batch did.
+struct FleetResult {
+  /// One entry per job, in input (manifest) order.
+  std::vector<FleetJobResult> Jobs;
+  /// The merged cross-trace report (cafa/FleetReport.h).
+  std::string AggregateJson;
+  std::string AggregateText;
+  unsigned Done = 0;
+  unsigned Partial = 0;
+  unsigned Failed = 0;
+  unsigned Retries = 0;
+  /// Jobs where a retry completed from a checkpoint (exit 4) -- the
+  /// chaos suite's "retry is resume" accounting.
+  unsigned ResumedCompletions = 0;
+  size_t DistinctRaces = 0;
+  double WallMillis = 0;
+};
+
+/// The checkpoint/stream sub-directory runFleet uses for one job.
+std::string fleetJobDir(const std::string &Root, const std::string &JobId);
+
+/// The soft limits the escalation ladder passes to attempt \p Attempt
+/// (1-based).  Exposed for tests pinning the descent.
+double fleetDeadlineForAttempt(const FleetOptions &Options,
+                               unsigned Attempt);
+size_t fleetMemLimitForAttempt(const FleetOptions &Options,
+                               unsigned Attempt,
+                               size_t JobRlimitBytes);
+
+/// Runs the batch to completion.  Fails fast (before starting any
+/// worker) on an empty/duplicate job list, a missing analyzer binary,
+/// or an unusable checkpoint root; individual worker failures never
+/// fail the batch -- they land in per-job terminal states.
+Status runFleet(const std::vector<FleetJob> &Jobs,
+                const FleetOptions &Options, FleetResult &Result);
+
+} // namespace cafa
+
+#endif // CAFA_FLEET_FLEET_H

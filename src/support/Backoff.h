@@ -1,0 +1,93 @@
+//===- support/Backoff.h - Capped jittered exponential backoff -*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Retry-delay schedule for supervisors that restart crashed or hung
+/// workers: exponential growth from an initial delay, a hard cap, and
+/// subtractive jitter so a fleet of failing jobs does not retry in
+/// lockstep (the classic thundering-herd problem).
+///
+/// Determinism matters here as everywhere else in CAFA: the jitter comes
+/// from a seeded support/Rng, so two Backoff instances constructed with
+/// the same policy emit the same delay sequence on every platform.  The
+/// fleet supervisor seeds each job's Backoff from (fleet seed, job
+/// index), which keeps chaos-test schedules replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_BACKOFF_H
+#define CAFA_SUPPORT_BACKOFF_H
+
+#include "support/Rng.h"
+
+namespace cafa {
+
+/// Tuning for one Backoff schedule.
+struct BackoffPolicy {
+  /// Delay before the first retry, in milliseconds.  0 selects the
+  /// zero-sleep fast path: every delay is exactly 0 and the jitter RNG
+  /// is never consulted (tests retry instantly and stay deterministic
+  /// regardless of seed).
+  double InitialMillis = 100.0;
+  /// Hard ceiling applied after growth and before jitter; no returned
+  /// delay ever exceeds it.
+  double MaxMillis = 30000.0;
+  /// Growth factor between consecutive retries.
+  double Multiplier = 2.0;
+  /// Fraction of the grown delay eligible to be jittered *away*:
+  /// the returned delay is uniform in [base*(1-JitterFraction), base].
+  /// Subtractive jitter keeps the cap exact.  0 disables jitter.
+  double JitterFraction = 0.5;
+  /// Seed for the jitter stream.
+  uint64_t Seed = 0x5EEDCAFAull;
+};
+
+/// Produces the delay schedule for one retried job.
+class Backoff {
+public:
+  explicit Backoff(const BackoffPolicy &P = BackoffPolicy())
+      : Policy(P), Jitter(P.Seed) {}
+
+  /// Returns the delay (milliseconds) to wait before the next retry and
+  /// advances the schedule.
+  double nextDelayMillis() {
+    double Base = Policy.InitialMillis;
+    // Multiply step by step instead of pow() so a long failure streak
+    // saturates at the cap instead of overflowing.
+    for (unsigned I = 0; I < Attempt && Base < Policy.MaxMillis; ++I)
+      Base *= Policy.Multiplier;
+    if (Base > Policy.MaxMillis)
+      Base = Policy.MaxMillis;
+    ++Attempt;
+    if (Base <= 0)
+      return 0; // zero-sleep fast path: no RNG draw
+    if (Policy.JitterFraction > 0) {
+      constexpr uint64_t Grain = 1u << 20;
+      double U = static_cast<double>(Jitter.below(Grain)) /
+                 static_cast<double>(Grain); // uniform in [0, 1)
+      Base -= Base * Policy.JitterFraction * U;
+    }
+    return Base;
+  }
+
+  /// Number of delays handed out so far.
+  unsigned attempts() const { return Attempt; }
+
+  /// Restarts the growth ladder.  The jitter stream keeps advancing --
+  /// a reset schedule stays deterministic but does not replay the same
+  /// jitter values.
+  void reset() { Attempt = 0; }
+
+private:
+  BackoffPolicy Policy;
+  Rng Jitter;
+  unsigned Attempt = 0;
+};
+
+} // namespace cafa
+
+#endif // CAFA_SUPPORT_BACKOFF_H

@@ -1,0 +1,114 @@
+//===- support/Subprocess.cpp - Supervised child processes --------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace cafa;
+
+namespace {
+
+/// Opens \p Path for truncating write and dup2s it onto \p TargetFd.
+/// Child-side only; on failure the child proceeds with the inherited
+/// stream (the supervisor still sees the exit status, which is what the
+/// retry policy keys off).
+void redirectInChild(const std::string &Path, int TargetFd) {
+  if (Path.empty())
+    return;
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return;
+  ::dup2(Fd, TargetFd);
+  ::close(Fd);
+}
+
+void decodeStatus(int Raw, SubprocessExit &Exit) {
+  Exit.Exited = WIFEXITED(Raw);
+  Exit.ExitCode = Exit.Exited ? WEXITSTATUS(Raw) : -1;
+  Exit.Signaled = WIFSIGNALED(Raw);
+  Exit.Signal = Exit.Signaled ? WTERMSIG(Raw) : 0;
+}
+
+} // namespace
+
+Status Subprocess::start(const SubprocessOptions &Options) {
+  if (Options.Argv.empty())
+    return Status::error("subprocess needs a program to run");
+  if (Pid > 0)
+    return Status::error("subprocess already started");
+
+  pid_t Child = ::fork();
+  if (Child < 0)
+    return Status::error(std::string("fork failed: ") +
+                         std::strerror(errno));
+  if (Child == 0) {
+    if (Options.MemLimitBytes > 0) {
+      struct rlimit Lim;
+      Lim.rlim_cur = Options.MemLimitBytes;
+      Lim.rlim_max = Options.MemLimitBytes;
+      ::setrlimit(RLIMIT_AS, &Lim);
+    }
+    redirectInChild(Options.StdoutPath, STDOUT_FILENO);
+    redirectInChild(Options.StderrPath, STDERR_FILENO);
+    std::vector<char *> Argv;
+    Argv.reserve(Options.Argv.size() + 1);
+    for (const std::string &A : Options.Argv)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    ::execv(Argv[0], Argv.data());
+    _exit(127);
+  }
+  Pid = Child;
+  Reaped = false;
+  Exit = SubprocessExit();
+  return Status::success();
+}
+
+bool Subprocess::poll() {
+  if (Pid <= 0)
+    return false;
+  if (Reaped)
+    return true;
+  int Raw = 0;
+  pid_t Done = ::waitpid(Pid, &Raw, WNOHANG);
+  if (Done != Pid)
+    return false;
+  decodeStatus(Raw, Exit);
+  Reaped = true;
+  return true;
+}
+
+const SubprocessExit &Subprocess::wait() {
+  if (Pid > 0 && !Reaped) {
+    int Raw = 0;
+    // Retry on EINTR so a stray signal in the supervisor does not leak
+    // a zombie.
+    while (::waitpid(Pid, &Raw, 0) < 0 && errno == EINTR) {
+    }
+    decodeStatus(Raw, Exit);
+    Reaped = true;
+  }
+  return Exit;
+}
+
+void Subprocess::kill(int Sig) {
+  if (Pid > 0 && !Reaped)
+    ::kill(Pid, Sig);
+}
+
+void Subprocess::abandon() {
+  if (Pid > 0 && !Reaped) {
+    ::kill(Pid, SIGKILL);
+    wait();
+  }
+}

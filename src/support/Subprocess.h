@@ -1,0 +1,96 @@
+//===- support/Subprocess.h - Supervised child processes -------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fork/exec wrapper for supervisors that isolate work in child
+/// processes: redirect stdout/stderr to files, optionally jail the child
+/// under RLIMIT_AS, poll without blocking, and kill hung children.  The
+/// destructor never leaks a running child -- an abandoned subprocess is
+/// SIGKILLed and reaped.
+///
+/// Used by the fleet supervisor (src/fleet/) to run one analysis per
+/// trace with crash/hang/OOM isolation; see docs/fleet.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_SUBPROCESS_H
+#define CAFA_SUPPORT_SUBPROCESS_H
+
+#include "support/Status.h"
+
+#include <csignal>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace cafa {
+
+/// How to launch one child process.
+struct SubprocessOptions {
+  /// Argv[0] is the program path, exec'd directly (no PATH search).
+  std::vector<std::string> Argv;
+  /// Redirect the child's stdout/stderr into these files (truncated);
+  /// empty inherits the parent's stream.
+  std::string StdoutPath;
+  std::string StderrPath;
+  /// When nonzero, setrlimit(RLIMIT_AS) in the child before exec: an
+  /// allocation past this ceiling fails inside the child instead of
+  /// taking the supervisor down with it.  (Incompatible with ASan,
+  /// which reserves terabytes of shadow address space.)
+  size_t MemLimitBytes = 0;
+};
+
+/// How a child ended.
+struct SubprocessExit {
+  bool Exited = false;   ///< child called exit(); ExitCode is valid
+  int ExitCode = -1;
+  bool Signaled = false; ///< child died on a signal; Signal is valid
+  int Signal = 0;
+};
+
+/// One supervised child process.
+class Subprocess {
+public:
+  Subprocess() = default;
+  ~Subprocess() { abandon(); }
+
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+
+  /// Forks and execs.  Failure to reach exec in the child surfaces as
+  /// exit code 127 (the shell convention), not as a Status.
+  Status start(const SubprocessOptions &Options);
+
+  /// True between a successful start() and the reap of the exit status.
+  bool running() const { return Pid > 0 && !Reaped; }
+
+  /// Non-blocking: reaps the child if it has ended.  Returns true once
+  /// the exit status is available via exitInfo().
+  bool poll();
+
+  /// Blocks until the child ends, then returns the exit status.
+  const SubprocessExit &wait();
+
+  /// Sends \p Sig to the child (default SIGKILL).  The caller still
+  /// polls/waits to reap.
+  void kill(int Sig = SIGKILL);
+
+  const SubprocessExit &exitInfo() const { return Exit; }
+  pid_t pid() const { return Pid; }
+
+private:
+  /// SIGKILL + reap if still running (destructor path).
+  void abandon();
+
+  pid_t Pid = -1;
+  bool Reaped = false;
+  SubprocessExit Exit;
+};
+
+} // namespace cafa
+
+#endif // CAFA_SUPPORT_SUBPROCESS_H

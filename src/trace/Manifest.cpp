@@ -1,0 +1,129 @@
+//===- trace/Manifest.cpp - Fleet batch manifest parsing ----------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Manifest.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace cafa;
+
+namespace {
+
+bool isIdChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '.' ||
+         C == '_' || C == '-';
+}
+
+/// Strips directories and the trailing extension from \p Path.
+std::string baseNameSansExt(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  std::string Base =
+      Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  size_t Dot = Base.find_last_of('.');
+  if (Dot != std::string::npos && Dot > 0)
+    Base = Base.substr(0, Dot);
+  return Base;
+}
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return S.substr(B, E - B + 1);
+}
+
+} // namespace
+
+std::string cafa::sanitizeJobId(const std::string &Candidate) {
+  if (Candidate.empty())
+    return "_";
+  std::string Out;
+  Out.reserve(Candidate.size());
+  for (char C : Candidate)
+    Out.push_back(isIdChar(C) ? C : '_');
+  return Out;
+}
+
+std::string cafa::deriveJobId(size_t Index, const std::string &TracePath) {
+  return formatString("j%03zu_%s", Index + 1,
+                      sanitizeJobId(baseNameSansExt(TracePath)).c_str());
+}
+
+Status cafa::parseManifest(const std::string &Text,
+                           const std::string &BaseDir,
+                           std::vector<ManifestEntry> &Out) {
+  Out.clear();
+  std::vector<ManifestEntry> Entries;
+  std::set<std::string> SeenIds;
+  std::istringstream In(Text);
+  std::string RawLine;
+  size_t LineNo = 0;
+  while (std::getline(In, RawLine)) {
+    ++LineNo;
+    // A trailing "# ..." comments out the rest of the line.
+    size_t Hash = RawLine.find('#');
+    std::string Line =
+        trim(Hash == std::string::npos ? RawLine : RawLine.substr(0, Hash));
+    if (Line.empty())
+      continue;
+
+    // One token: a trace path.  Two tokens: explicit id, then path.
+    // Paths may not contain whitespace (the format is line-oriented and
+    // deliberately shell-friendly).
+    std::istringstream Tokens(Line);
+    std::string First, Second, Extra;
+    Tokens >> First >> Second >> Extra;
+    if (!Extra.empty())
+      return Status::error(formatString(
+          "manifest line %zu: expected '<path>' or '<id> <path>', got "
+          "extra token '%s'",
+          LineNo, Extra.c_str()));
+
+    ManifestEntry Entry;
+    if (Second.empty()) {
+      Entry.TracePath = First;
+      Entry.Id = deriveJobId(Entries.size(), First);
+    } else {
+      for (char C : First)
+        if (!isIdChar(C))
+          return Status::error(formatString(
+              "manifest line %zu: job id '%s' contains '%c'; ids are "
+              "restricted to [A-Za-z0-9._-]",
+              LineNo, First.c_str(), C));
+      Entry.Id = First;
+      Entry.TracePath = Second;
+    }
+    if (!SeenIds.insert(Entry.Id).second)
+      return Status::error(formatString(
+          "manifest line %zu: duplicate job id '%s'", LineNo,
+          Entry.Id.c_str()));
+    if (!BaseDir.empty() && Entry.TracePath[0] != '/')
+      Entry.TracePath = BaseDir + "/" + Entry.TracePath;
+    Entries.push_back(std::move(Entry));
+  }
+  Out = std::move(Entries);
+  return Status::success();
+}
+
+Status cafa::readManifestFile(const std::string &Path,
+                              std::vector<ManifestEntry> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Status::error("cannot open manifest " + Path);
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  size_t Slash = Path.find_last_of('/');
+  std::string BaseDir =
+      Slash == std::string::npos ? "" : Path.substr(0, Slash);
+  return parseManifest(Text, BaseDir, Out);
+}

@@ -1,0 +1,66 @@
+//===- trace/Manifest.h - Fleet batch manifest parsing ---------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the manifest format the fleet supervisor consumes: a text file
+/// naming one analysis job per line,
+///
+/// \code
+///   # comment / blank lines ignored
+///   traces/zxing-run1.trace              # job id derived from the path
+///   nightly_todolist traces/todo.trace   # explicit job id, then path
+/// \endcode
+///
+/// Job ids become checkpoint sub-directory names, so they are restricted
+/// to [A-Za-z0-9._-] and must be unique within one manifest.  The same
+/// trace path may appear under several ids (e.g. re-analysis under
+/// different budgets).  Relative trace paths resolve against the
+/// manifest's own directory, so a manifest can ship alongside its
+/// corpus.  See docs/fleet.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_TRACE_MANIFEST_H
+#define CAFA_TRACE_MANIFEST_H
+
+#include "support/Status.h"
+
+#include <string>
+#include <vector>
+
+namespace cafa {
+
+/// One job named by a manifest.
+struct ManifestEntry {
+  std::string Id;        ///< unique, filesystem-safe
+  std::string TracePath; ///< resolved trace file path
+};
+
+/// Returns \p Candidate with every character outside [A-Za-z0-9._-]
+/// replaced by '_' (empty input comes back as "_").
+std::string sanitizeJobId(const std::string &Candidate);
+
+/// Derives the default id for the \p Index-th manifest line naming
+/// \p TracePath: "j<index+1, 3 digits>_<sanitized basename sans
+/// extension>".  The index prefix keeps repeated paths unique.
+std::string deriveJobId(size_t Index, const std::string &TracePath);
+
+/// Parses manifest \p Text.  Relative trace paths are prefixed with
+/// \p BaseDir (empty leaves them as written).  Fails on malformed lines,
+/// invalid explicit ids, and duplicate ids; on failure \p Out is left
+/// empty.
+Status parseManifest(const std::string &Text, const std::string &BaseDir,
+                     std::vector<ManifestEntry> &Out);
+
+/// Reads and parses the manifest file at \p Path; relative trace paths
+/// resolve against the manifest's directory.
+Status readManifestFile(const std::string &Path,
+                        std::vector<ManifestEntry> &Out);
+
+} // namespace cafa
+
+#endif // CAFA_TRACE_MANIFEST_H

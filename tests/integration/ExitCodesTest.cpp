@@ -1,0 +1,189 @@
+//===- tests/integration/ExitCodesTest.cpp ------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Pins offline_analyzer's exit-code contract.  The fleet supervisor's
+// retry policy keys off these codes (docs/robustness.md section 6,
+// docs/fleet.md), so a renumbering that would silently change fleet
+// behaviour must fail here first:
+//
+//   0  analysis completed, no races
+//   1  analysis completed, races reported
+//   2  usage error / unreadable trace (permanent -- fleet never retries)
+//   3  deadline hit, degraded partial report (accepted as done:partial)
+//   4  resumed from a checkpoint and completed (counts toward the
+//      fleet's ResumedCompletions accounting)
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppKit.h"
+#include "cafa/Checkpoint.h"
+#include "rt/Runtime.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace cafa;
+
+namespace {
+
+struct ExitRun {
+  int ExitCode = -1;
+  std::string Out;
+  std::string Err;
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+ExitRun runAnalyzer(const std::vector<std::string> &Args,
+                    const std::string &ScratchDir) {
+  ExitRun R;
+  std::string OutPath = ScratchDir + "/ec_stdout";
+  std::string ErrPath = ScratchDir + "/ec_stderr";
+  pid_t Pid = ::fork();
+  if (Pid == 0) {
+    std::freopen(OutPath.c_str(), "wb", stdout);
+    std::freopen(ErrPath.c_str(), "wb", stderr);
+    std::vector<char *> Argv;
+    Argv.push_back(const_cast<char *>(OFFLINE_ANALYZER_PATH));
+    for (const std::string &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    ::execv(OFFLINE_ANALYZER_PATH, Argv.data());
+    _exit(127);
+  }
+  int Status = 0;
+  ::waitpid(Pid, &Status, 0);
+  if (WIFEXITED(Status))
+    R.ExitCode = WEXITSTATUS(Status);
+  R.Out = slurp(OutPath);
+  R.Err = slurp(ErrPath);
+  return R;
+}
+
+class ExitCodesTest : public testing::Test {
+protected:
+  static std::string Scratch;
+  static std::string RacyTrace;  // exits 1
+  static std::string CleanTrace; // exits 0
+
+  static void SetUpTestSuite() {
+    Scratch = testing::TempDir() + "/cafa_exit_codes";
+    ::mkdir(Scratch.c_str(), 0755);
+    Table1Row Dummy;
+
+    {
+      apps::AppBuilder App("racy");
+      App.seedIntraThreadRace("alpha");
+      App.fillVolumeTo(400);
+      apps::AppModel Model = App.finish(Dummy);
+      Trace T = runScenario(Model.S, RuntimeOptions());
+      RacyTrace = Scratch + "/racy.trace";
+      ASSERT_TRUE(writeTraceFile(T, RacyTrace).ok());
+    }
+    {
+      apps::AppBuilder App("clean");
+      App.addGuardedCommutativePair("quiet"); // well-synchronized only
+      apps::AppModel Model = App.finish(Dummy);
+      Trace T = runScenario(Model.S, RuntimeOptions());
+      CleanTrace = Scratch + "/clean.trace";
+      ASSERT_TRUE(writeTraceFile(T, CleanTrace).ok());
+    }
+  }
+};
+
+std::string ExitCodesTest::Scratch;
+std::string ExitCodesTest::RacyTrace;
+std::string ExitCodesTest::CleanTrace;
+
+TEST_F(ExitCodesTest, Exit0CleanTraceNoRaces) {
+  ExitRun R = runAnalyzer({"analyze", CleanTrace}, Scratch);
+  EXPECT_EQ(R.ExitCode, 0) << R.Err;
+  EXPECT_NE(R.Out.find("0 use-free race(s)"), std::string::npos) << R.Out;
+}
+
+TEST_F(ExitCodesTest, Exit1RacesReported) {
+  ExitRun R = runAnalyzer({"analyze", RacyTrace}, Scratch);
+  EXPECT_EQ(R.ExitCode, 1) << R.Err;
+}
+
+TEST_F(ExitCodesTest, Exit2UsageAndUnreadableTrace) {
+  // No arguments: usage error.
+  ExitRun Usage = runAnalyzer({}, Scratch);
+  EXPECT_EQ(Usage.ExitCode, 2);
+  // The usage text documents the whole contract, including the chaos
+  // hooks the fleet chaos suite drives.
+  for (const char *Needle :
+       {"0 no races", "1 races", "2 unreadable input",
+        "3 degraded/partial analysis",
+        "4 resumed from checkpoint and completed", "--chaos-hang-ms",
+        "--chaos-kill-after-save", "--chaos-alloc-mb"})
+    EXPECT_NE(Usage.Err.find(Needle), std::string::npos)
+        << "usage text lost: " << Needle;
+
+  // Missing file.
+  ExitRun Missing =
+      runAnalyzer({"analyze", Scratch + "/nope.trace"}, Scratch);
+  EXPECT_EQ(Missing.ExitCode, 2) << Missing.Err;
+
+  // Garbage bytes: unreadable, permanent, never retried by the fleet.
+  std::string Garbage = Scratch + "/garbage.trace";
+  {
+    std::ofstream Out(Garbage, std::ios::binary);
+    Out << "this is not a CAFA trace\n";
+  }
+  ExitRun Bad = runAnalyzer({"analyze", Garbage}, Scratch);
+  EXPECT_EQ(Bad.ExitCode, 2) << Bad.Err;
+
+  // Chaos hooks are opt-in and validated: --chaos-kill-after-save is
+  // meaningless without a checkpoint dir to watch.
+  ExitRun Chaos =
+      runAnalyzer({"analyze", RacyTrace, "--chaos-kill-after-save"},
+                  Scratch);
+  EXPECT_EQ(Chaos.ExitCode, 2) << Chaos.Err;
+}
+
+TEST_F(ExitCodesTest, Exit3DeadlineDegradesToPartial) {
+  std::string Dir = Scratch + "/deg";
+  ::mkdir(Dir.c_str(), 0755);
+  ExitRun R = runAnalyzer({"analyze", RacyTrace, "--json",
+                           "--deadline=0.000001",
+                           "--checkpoint-dir=" + Dir},
+                          Scratch);
+  EXPECT_EQ(R.ExitCode, 3) << R.Err;
+  EXPECT_NE(R.Out.find("\"partial\": true"), std::string::npos) << R.Out;
+}
+
+TEST_F(ExitCodesTest, Exit4ResumeFromCheckpointCompletes) {
+  std::string Dir = Scratch + "/res";
+  ::mkdir(Dir.c_str(), 0755);
+  ExitRun Cut = runAnalyzer({"analyze", RacyTrace, "--json",
+                             "--deadline=0.000001",
+                             "--checkpoint-dir=" + Dir},
+                            Scratch);
+  ASSERT_EQ(Cut.ExitCode, 3) << Cut.Err;
+  ExitRun Resumed = runAnalyzer({"analyze", RacyTrace, "--json",
+                                 "--checkpoint-dir=" + Dir, "--resume"},
+                                Scratch);
+  EXPECT_EQ(Resumed.ExitCode, 4) << Resumed.Err;
+  EXPECT_NE(Resumed.Err.find("resumed from checkpoint"),
+            std::string::npos)
+      << Resumed.Err;
+}
+
+} // namespace

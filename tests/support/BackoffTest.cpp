@@ -1,0 +1,131 @@
+//===- tests/support/BackoffTest.cpp ------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The retry-delay schedule the fleet supervisor leans on: exponential
+// growth, a hard cap no jittered delay may pierce, bit-determinism
+// under a seeded Rng, and the zero-sleep fast path chaos tests use to
+// retry instantly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace cafa;
+
+namespace {
+
+TEST(BackoffTest, GrowsExponentiallyWithoutJitter) {
+  BackoffPolicy P;
+  P.InitialMillis = 10;
+  P.MaxMillis = 1000;
+  P.Multiplier = 2.0;
+  P.JitterFraction = 0; // exact schedule
+  Backoff B(P);
+  EXPECT_DOUBLE_EQ(B.nextDelayMillis(), 10);
+  EXPECT_DOUBLE_EQ(B.nextDelayMillis(), 20);
+  EXPECT_DOUBLE_EQ(B.nextDelayMillis(), 40);
+  EXPECT_DOUBLE_EQ(B.nextDelayMillis(), 80);
+  EXPECT_EQ(B.attempts(), 4u);
+}
+
+TEST(BackoffTest, CapIsRespectedEvenOnLongFailureStreaks) {
+  BackoffPolicy P;
+  P.InitialMillis = 100;
+  P.MaxMillis = 1500;
+  P.Multiplier = 3.0;
+  P.JitterFraction = 0.5;
+  Backoff B(P);
+  // 200 attempts would overflow pow(); the schedule must saturate.
+  for (int I = 0; I < 200; ++I) {
+    double D = B.nextDelayMillis();
+    EXPECT_LE(D, P.MaxMillis) << "attempt " << I;
+    EXPECT_GE(D, 0) << "attempt " << I;
+  }
+  // Once saturated, jitter still keeps delays in [cap/2, cap].
+  double Tail = B.nextDelayMillis();
+  EXPECT_GE(Tail, P.MaxMillis * (1 - P.JitterFraction));
+  EXPECT_LE(Tail, P.MaxMillis);
+}
+
+TEST(BackoffTest, JitterNeverInflatesADelay) {
+  // Subtractive jitter: every delay lands in [base*(1-j), base] where
+  // base is the unjittered schedule value.
+  BackoffPolicy Exact;
+  Exact.InitialMillis = 50;
+  Exact.MaxMillis = 10000;
+  Exact.JitterFraction = 0;
+  BackoffPolicy Jittered = Exact;
+  Jittered.JitterFraction = 0.25;
+  Backoff Ref(Exact), B(Jittered);
+  for (int I = 0; I < 12; ++I) {
+    double Base = Ref.nextDelayMillis();
+    double D = B.nextDelayMillis();
+    EXPECT_LE(D, Base) << "attempt " << I;
+    EXPECT_GE(D, Base * 0.75) << "attempt " << I;
+  }
+}
+
+TEST(BackoffTest, DeterministicUnderSeededRng) {
+  BackoffPolicy P;
+  P.Seed = 0xFEEDF00Dull;
+  auto Draw = [&P] {
+    Backoff B(P);
+    std::vector<double> Delays;
+    for (int I = 0; I < 16; ++I)
+      Delays.push_back(B.nextDelayMillis());
+    return Delays;
+  };
+  // Same policy, same seed: the jittered sequence replays exactly.
+  EXPECT_EQ(Draw(), Draw());
+
+  // A different seed decorrelates (the fleet derives one per job so a
+  // batch of failing jobs does not retry in lockstep).
+  BackoffPolicy Q = P;
+  Q.Seed = P.Seed + 1;
+  Backoff A(P), B(Q);
+  bool Differs = false;
+  for (int I = 0; I < 16; ++I)
+    Differs |= A.nextDelayMillis() != B.nextDelayMillis();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(BackoffTest, ZeroInitialIsTheZeroSleepFastPath) {
+  BackoffPolicy P;
+  P.InitialMillis = 0;
+  Backoff B(P);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_DOUBLE_EQ(B.nextDelayMillis(), 0) << "attempt " << I;
+  EXPECT_EQ(B.attempts(), 8u);
+
+  // The fast path must not consult the RNG: two instances with
+  // *different* seeds emit identical (all-zero) schedules, so chaos
+  // tests that retry instantly stay deterministic regardless of seed.
+  BackoffPolicy Q = P;
+  Q.Seed = P.Seed ^ 0xABCDEFull;
+  Backoff C(P), D(Q);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(C.nextDelayMillis(), D.nextDelayMillis());
+}
+
+TEST(BackoffTest, ResetRestartsTheGrowthLadder) {
+  BackoffPolicy P;
+  P.InitialMillis = 10;
+  P.JitterFraction = 0;
+  Backoff B(P);
+  B.nextDelayMillis();
+  B.nextDelayMillis();
+  ASSERT_EQ(B.attempts(), 2u);
+  B.reset();
+  EXPECT_EQ(B.attempts(), 0u);
+  EXPECT_DOUBLE_EQ(B.nextDelayMillis(), 10); // back at the initial delay
+}
+
+} // namespace

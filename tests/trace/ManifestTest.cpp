@@ -1,0 +1,96 @@
+//===- tests/trace/ManifestTest.cpp -------------------------------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The fleet manifest grammar: derived vs explicit job ids, comment and
+// blank-line handling, relative-path resolution against a base
+// directory, and the error cases (extra tokens, invalid ids, duplicate
+// ids) that must fail the whole parse rather than drop lines silently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Manifest.h"
+
+#include <gtest/gtest.h>
+
+using namespace cafa;
+
+namespace {
+
+TEST(ManifestTest, SanitizeJobIdReplacesUnsafeCharacters) {
+  EXPECT_EQ(sanitizeJobId("nightly_run-1.v2"), "nightly_run-1.v2");
+  EXPECT_EQ(sanitizeJobId("a/b c*d"), "a_b_c_d");
+  EXPECT_EQ(sanitizeJobId(""), "_");
+}
+
+TEST(ManifestTest, DeriveJobIdUsesIndexAndBasename) {
+  EXPECT_EQ(deriveJobId(0, "traces/zxing-run1.trace"), "j001_zxing-run1");
+  EXPECT_EQ(deriveJobId(11, "/abs/path/todo.trace"), "j012_todo");
+  // The index prefix keeps repeated paths unique.
+  EXPECT_NE(deriveJobId(0, "a.trace"), deriveJobId(1, "a.trace"));
+}
+
+TEST(ManifestTest, ParsesDerivedAndExplicitIds) {
+  std::vector<ManifestEntry> Entries;
+  ASSERT_TRUE(parseManifest("# nightly corpus\n"
+                            "\n"
+                            "traces/zxing.trace\n"
+                            "  todo_hot   traces/todo.trace   \n"
+                            "traces/zxing.trace\n",
+                            "", Entries)
+                  .ok());
+  ASSERT_EQ(Entries.size(), 3u);
+  EXPECT_EQ(Entries[0].Id, "j001_zxing");
+  EXPECT_EQ(Entries[0].TracePath, "traces/zxing.trace");
+  EXPECT_EQ(Entries[1].Id, "todo_hot");
+  EXPECT_EQ(Entries[1].TracePath, "traces/todo.trace");
+  // Same path twice is fine -- the ids differ.
+  EXPECT_EQ(Entries[2].Id, "j003_zxing");
+}
+
+TEST(ManifestTest, RelativePathsResolveAgainstBaseDir) {
+  std::vector<ManifestEntry> Entries;
+  ASSERT_TRUE(parseManifest("rel.trace\n"
+                            "abs /abs/fixed.trace\n",
+                            "/corpus/night", Entries)
+                  .ok());
+  ASSERT_EQ(Entries.size(), 2u);
+  EXPECT_EQ(Entries[0].TracePath, "/corpus/night/rel.trace");
+  EXPECT_EQ(Entries[1].TracePath, "/abs/fixed.trace"); // left as written
+}
+
+TEST(ManifestTest, RejectsMalformedLines) {
+  std::vector<ManifestEntry> Entries;
+  // Three tokens: ambiguous, refuse rather than guess.
+  Status S = parseManifest("id path.trace extra\n", "", Entries);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("extra token"), std::string::npos)
+      << S.message();
+  EXPECT_TRUE(Entries.empty());
+
+  // Explicit ids become directory names; reject unsafe characters
+  // instead of silently rewriting what the user asked for.
+  S = parseManifest("bad/id path.trace\n", "", Entries);
+  EXPECT_FALSE(S.ok());
+  EXPECT_TRUE(Entries.empty());
+}
+
+TEST(ManifestTest, RejectsDuplicateIds) {
+  std::vector<ManifestEntry> Entries;
+  Status S = parseManifest("same a.trace\nsame b.trace\n", "", Entries);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.message().find("duplicate"), std::string::npos)
+      << S.message();
+  EXPECT_TRUE(Entries.empty());
+}
+
+TEST(ManifestTest, MissingFileIsAnError) {
+  std::vector<ManifestEntry> Entries;
+  EXPECT_FALSE(
+      readManifestFile("/nonexistent/dir/none.manifest", Entries).ok());
+}
+
+} // namespace
