@@ -1,0 +1,140 @@
+//===- bench/store_scaling.cpp - Race-store journal cost axes -----------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The persistent race store's three cost axes (EXPERIMENTS.md
+// "Analysis daemon and race store"):
+//
+//  1. Append latency: every appendJob() is one framed record fsync'd
+//     before the call returns -- the durability the daemon's
+//     acknowledged-results contract is built on.  This axis prices
+//     that fsync.
+//
+//  2. Replay (open) cost vs journal size: a restarted daemon replays
+//     the whole journal before serving; this must stay linear and
+//     cheap out to journals far larger than a nightly batch.
+//
+//  3. Compaction and render: the full rewrite and the cross-trace
+//     aggregate, both of which the daemon serves while jobs run.
+//
+// Renders from the replayed store are checked byte-identical to the
+// writer's, so the bench doubles as a large-scale round-trip test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cafa/RaceStore.h"
+#include "support/Format.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+
+using namespace cafa;
+
+namespace {
+
+double nowMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A done row whose report carries a few races drawn from a small pool,
+/// so the aggregate exercises both merging (shared races) and growth
+/// (per-job races).
+void syntheticJob(size_t Index, FleetJobStatus &Row,
+                  ParsedRaceReport &Report) {
+  Row = FleetJobStatus();
+  Row.Id = formatString("job%06zu", Index);
+  Row.TracePath = formatString("/corpus/user%06zu.trace", Index);
+  Row.State = "done";
+  Row.Attempts = 1;
+  Row.ExitCode = 1;
+  Report = ParsedRaceReport();
+  for (size_t R = 0; R < 3; ++R) {
+    ParsedRace Race;
+    size_t Pool = (Index * 3 + R) % 64; // 64 distinct static races
+    Race.UseMethod = formatString("View$%zu.draw", Pool);
+    Race.UsePc = static_cast<uint32_t>(100 + Pool);
+    Race.UseTask = "ui";
+    Race.FreeMethod = formatString("Activity$%zu.onDestroy", Pool);
+    Race.FreePc = static_cast<uint32_t>(200 + Pool);
+    Race.FreeTask = "lifecycle";
+    Race.Category = Pool % 2 ? "a" : "b";
+    Race.DynamicCount = static_cast<uint32_t>(1 + Index % 5);
+    Report.Races.push_back(Race);
+  }
+}
+
+} // namespace
+
+int main() {
+  std::string Scratch = "/tmp/cafa_store_bench";
+  ::mkdir(Scratch.c_str(), 0755);
+
+  std::printf("%8s %12s %14s %12s %14s %12s %12s\n", "jobs",
+              "journal(MB)", "append(us/op)", "replay(ms)",
+              "compact(ms)", "render(ms)", "races");
+  for (size_t Jobs : {1000u, 4000u, 16000u}) {
+    std::string Path = formatString("%s/n%zu.journal", Scratch.c_str(),
+                                    Jobs);
+    std::remove(Path.c_str());
+
+    RaceStore Writer;
+    if (!Writer.open(Path).ok()) {
+      std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    double T0 = nowMillis();
+    for (size_t I = 0; I < Jobs; ++I) {
+      FleetJobStatus Row;
+      ParsedRaceReport Report;
+      syntheticJob(I, Row, Report);
+      if (!Writer.appendJob(Row, &Report).ok()) {
+        std::fprintf(stderr, "append %zu failed\n", I);
+        return 1;
+      }
+    }
+    double AppendMicros = (nowMillis() - T0) * 1000.0 / Jobs;
+
+    double T1 = nowMillis();
+    RaceStore Replayed;
+    if (!Replayed.open(Path).ok() || Replayed.numJobs() != Jobs) {
+      std::fprintf(stderr, "replay of %s failed\n", Path.c_str());
+      return 1;
+    }
+    double ReplayMillis = nowMillis() - T1;
+
+    double T2 = nowMillis();
+    if (!Replayed.compact().ok()) {
+      std::fprintf(stderr, "compact of %s failed\n", Path.c_str());
+      return 1;
+    }
+    double CompactMillis = nowMillis() - T2;
+
+    double T3 = nowMillis();
+    std::string Json = Replayed.renderJson();
+    double RenderMillis = nowMillis() - T3;
+    if (Json != Writer.renderJson()) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: replayed render differs "
+                   "at %zu jobs\n",
+                   Jobs);
+      return 1;
+    }
+
+    RaceStore::Stats S = Replayed.stats();
+    std::printf("%8zu %12.2f %14.1f %12.1f %14.1f %12.1f %12zu\n", Jobs,
+                S.JournalBytes / (1024.0 * 1024.0), AppendMicros,
+                ReplayMillis, CompactMillis, RenderMillis,
+                S.DistinctRaces);
+  }
+  std::printf("\nreplayed renders byte-identical to the writer's at "
+              "every size: yes\n");
+  return 0;
+}

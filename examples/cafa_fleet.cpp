@@ -17,19 +17,29 @@
 // job that keeps failing lands in a terminal failed:<cause> state while
 // the rest of the batch completes.  See docs/fleet.md.
 //
+// SIGTERM/SIGINT drain the batch instead of killing it mid-write:
+// running workers are checkpoint-killed, unfinished jobs land in the
+// "interrupted" state, and the aggregate for whatever *did* complete is
+// still emitted (flagged with the interrupted count).  Re-running the
+// same manifest against the same checkpoint root resumes the
+// interrupted jobs.
+//
 // Exit codes (triage-friendly, one step up from offline_analyzer's):
 //   0  every job done, no races anywhere
 //   1  every job done, races reported
 //   2  usage / manifest / setup error (no batch ran)
 //   3  batch completed but some jobs degraded (partial reports)
 //   5  batch completed but some jobs failed terminally
+//   6  batch interrupted by a signal (unfinished jobs are resumable)
 //
 //===----------------------------------------------------------------------===//
 
 #include "fleet/Fleet.h"
+#include "support/DurableFile.h"
 #include "trace/Manifest.h"
 
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,12 +73,23 @@ static int usage(const char *Prog) {
       "  --seed=<n>               backoff jitter seed (default 0x5EEDCAFA)\n"
       "  --analysis-threads=<n> / --ingest-threads=<n>  forwarded\n"
       "  --strict                 forwarded (salvage incidents fail jobs)\n"
+      "  --worker-arg=<arg>       extra analyzer argument, passed to every\n"
+      "                           worker (repeatable)\n"
+      "  --output=<path>          also write the aggregate there, durably\n"
+      "                           (atomic tmp+fsync+rename; JSON with\n"
+      "                           --json, text otherwise)\n"
       "  --json                   aggregate report as JSON on stdout\n"
       "exit codes: 0 all done no races, 1 all done races, 2 usage error,\n"
-      "            3 some jobs partial, 5 some jobs failed\n",
+      "            3 some jobs partial, 5 some jobs failed,\n"
+      "            6 interrupted by signal (unfinished jobs resumable)\n",
       Prog);
   return 2;
 }
+
+// SIGTERM/SIGINT request a drain; the supervisor polls the flag between
+// ticks (FleetOptions::StopFlag), so the handler only sets it.
+static volatile std::sig_atomic_t StopRequested = 0;
+static void onStopSignal(int) { StopRequested = 1; }
 
 /// offline_analyzer next to this binary, via /proc/self/exe.
 static std::string defaultAnalyzerPath() {
@@ -91,6 +112,8 @@ int main(int argc, char **argv) {
 
   FleetOptions Options;
   bool Json = false;
+  std::string OutputPath;
+  std::vector<std::string> WorkerArgs;
   if (const char *Env = std::getenv("CAFA_ANALYZER"))
     Options.AnalyzerPath = Env;
 
@@ -148,6 +171,10 @@ int main(int argc, char **argv) {
       Options.AnalysisThreads = static_cast<unsigned>(N);
     else if (numArg(Arg, "--ingest-threads=", N) && N > 0)
       Options.IngestThreads = static_cast<unsigned>(N);
+    else if (std::strncmp(Arg, "--worker-arg=", 13) == 0)
+      WorkerArgs.push_back(Arg + 13);
+    else if (std::strncmp(Arg, "--output=", 9) == 0)
+      OutputPath = Arg + 9;
     else
       return usage(argv[0]);
   }
@@ -173,8 +200,13 @@ int main(int argc, char **argv) {
     FleetJob Job;
     Job.Id = Entry.Id;
     Job.TracePath = Entry.TracePath;
+    Job.ExtraArgs = WorkerArgs;
     Jobs.push_back(std::move(Job));
   }
+
+  std::signal(SIGTERM, onStopSignal);
+  std::signal(SIGINT, onStopSignal);
+  Options.StopFlag = &StopRequested;
 
   std::fprintf(stderr, "fleet: %zu job(s), %u worker(s), analyzer %s\n",
                Jobs.size(), Options.Workers,
@@ -185,14 +217,32 @@ int main(int argc, char **argv) {
     return 2;
   }
 
-  // Aggregate to stdout; the per-job narrative to stderr.
+  // Aggregate to stdout; the per-job narrative to stderr.  An
+  // interrupted batch still reports everything that completed.
   std::fprintf(stderr, "%s", Result.AggregateText.c_str());
   std::fprintf(stderr, "fleet wall time: %.1f ms\n", Result.WallMillis);
+  if (Result.WasInterrupted)
+    std::fprintf(stderr,
+                 "fleet: interrupted by signal; %u job(s) unfinished "
+                 "(resumable via the same checkpoint root)\n",
+                 Result.Interrupted);
   if (Json)
     std::printf("%s", Result.AggregateJson.c_str());
   else
     std::printf("%s", Result.AggregateText.c_str());
+  if (!OutputPath.empty()) {
+    // Durable: a crash right here must leave the previous aggregate (or
+    // none), never a torn file a dashboard would half-parse.
+    const std::string &Body =
+        Json ? Result.AggregateJson : Result.AggregateText;
+    if (Status S = durableWrite(OutputPath, Body); !S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      return 2;
+    }
+  }
 
+  if (Result.WasInterrupted)
+    return 6;
   if (Result.Failed > 0)
     return 5;
   if (Result.Partial > 0)

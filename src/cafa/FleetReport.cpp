@@ -387,7 +387,8 @@ std::string FleetAggregator::renderJson() const {
   std::ostringstream OS;
   OS << "{\n  \"jobs\": [";
   bool First = true;
-  unsigned Done = 0, Partial = 0, Failed = 0, Retries = 0, Resumed = 0;
+  unsigned Done = 0, Partial = 0, Failed = 0, Interrupted = 0;
+  unsigned Retries = 0, Resumed = 0;
   for (const FleetJobStatus &Row : JobRows) {
     OS << (First ? "\n" : ",\n");
     First = false;
@@ -401,6 +402,8 @@ std::string FleetAggregator::renderJson() const {
         Row.Races);
     if (Row.State.rfind("failed:", 0) == 0)
       ++Failed;
+    else if (Row.State == "interrupted")
+      ++Interrupted;
     else if (Row.Partial)
       ++Partial;
     else
@@ -409,12 +412,17 @@ std::string FleetAggregator::renderJson() const {
     Resumed += Row.Resumed ? 1 : 0;
   }
   OS << "\n  ],\n";
+  // "interrupted" appears only when nonzero so uninterrupted batches
+  // keep their pinned byte-identical schema.
+  std::string InterruptedField =
+      Interrupted > 0 ? formatString(", \"interrupted\": %u", Interrupted)
+                      : std::string();
   OS << formatString(
       "  \"summary\": {\"jobs\": %zu, \"done\": %u, \"partial\": %u, "
-      "\"failed\": %u, \"retries\": %u, \"resumedCompletions\": %u, "
+      "\"failed\": %u%s, \"retries\": %u, \"resumedCompletions\": %u, "
       "\"distinctRaces\": %zu},\n",
-      JobRows.size(), Done, Partial, Failed, Retries, Resumed,
-      Merged.size());
+      JobRows.size(), Done, Partial, Failed, InterruptedField.c_str(),
+      Retries, Resumed, Merged.size());
   OS << "  \"races\": [";
   First = true;
   for (const MergedRace *Race : sortedRaces()) {
@@ -441,10 +449,13 @@ std::string FleetAggregator::renderJson() const {
 
 std::string FleetAggregator::renderText() const {
   std::ostringstream OS;
-  unsigned Done = 0, Partial = 0, Failed = 0, Retries = 0, Resumed = 0;
+  unsigned Done = 0, Partial = 0, Failed = 0, Interrupted = 0;
+  unsigned Retries = 0, Resumed = 0;
   for (const FleetJobStatus &Row : JobRows) {
     if (Row.State.rfind("failed:", 0) == 0)
       ++Failed;
+    else if (Row.State == "interrupted")
+      ++Interrupted;
     else if (Row.Partial)
       ++Partial;
     else
@@ -452,11 +463,16 @@ std::string FleetAggregator::renderText() const {
     Retries += Row.Attempts > 0 ? Row.Attempts - 1 : 0;
     Resumed += Row.Resumed ? 1 : 0;
   }
+  // Interrupted jobs are called out only when present, keeping the
+  // common-case header byte-stable for the chaos pins.
+  std::string InterruptedField =
+      Interrupted > 0 ? formatString(", %u interrupted", Interrupted)
+                      : std::string();
   OS << formatString(
-      "fleet: %zu job(s): %u done, %u partial, %u failed; %u retr%s, "
+      "fleet: %zu job(s): %u done, %u partial, %u failed%s; %u retr%s, "
       "%u resumed completion(s)\n",
-      JobRows.size(), Done, Partial, Failed, Retries,
-      Retries == 1 ? "y" : "ies", Resumed);
+      JobRows.size(), Done, Partial, Failed, InterruptedField.c_str(),
+      Retries, Retries == 1 ? "y" : "ies", Resumed);
   for (const FleetJobStatus &Row : JobRows)
     OS << formatString("  %-24s %-14s attempts=%u exit=%d races=%zu%s\n",
                        Row.Id.c_str(), Row.State.c_str(), Row.Attempts,

@@ -66,8 +66,10 @@ Status parseRaceReportJson(const std::string &Json, ParsedRaceReport &Out);
 struct FleetJobStatus {
   std::string Id;
   std::string TracePath;
-  /// Terminal supervisor state: "done", "done:partial", or
-  /// "failed:<cause>" (docs/fleet.md lists the causes).
+  /// Terminal supervisor state: "done", "done:partial",
+  /// "failed:<cause>" (docs/fleet.md lists the causes), or
+  /// "interrupted" (the batch was stopped before this job finished;
+  /// its checkpoint remains resumable).
   std::string State;
   unsigned Attempts = 0;
   int ExitCode = -1;

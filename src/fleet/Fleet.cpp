@@ -16,6 +16,13 @@
 // forks, polls, and kills, so there is no shared mutable state to
 // race on and the aggregate is assembled sequentially in input order.
 //
+// The state machine lives in FleetEngine so two callers can pump it:
+// runFleet (batch mode: add every job, tick until all terminal) and the
+// analysis daemon (src/server/), which injects jobs while earlier ones
+// are still running.  An interrupt (signal-driven in both callers)
+// lands every unfinished job in the terminal "interrupted" state with
+// its checkpoint directory intact, so the work is resumable.
+//
 //===----------------------------------------------------------------------===//
 
 #include "fleet/Fleet.h"
@@ -26,6 +33,7 @@
 
 #include <csignal>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <set>
@@ -72,12 +80,14 @@ const char *signalName(int Sig) {
   }
 }
 
-/// Supervisor-side state of one job.
+/// Supervisor-side state of one job.  Owns the spec and the result so
+/// the engine can accept jobs incrementally without a stable external
+/// array to point into.
 struct JobRun {
   enum class Phase { Pending, Running, Backoff, Terminal };
 
-  const FleetJob *Spec = nullptr;
-  FleetJobResult *Result = nullptr;
+  FleetJob Spec;
+  FleetJobResult Result;
   Phase State = Phase::Pending;
   /// Fresh object per attempt so exit state is unambiguous.
   std::unique_ptr<Subprocess> Child;
@@ -194,16 +204,16 @@ void startAttempt(JobRun &Run, const FleetOptions &Options) {
         static_cast<uint64_t>(Options.WatchdogMillis * 1e6);
 
   SubprocessOptions SubOpts;
-  SubOpts.Argv = workerArgv(Options, *Run.Spec, Run.Dir, Run.Attempt);
+  SubOpts.Argv = workerArgv(Options, Run.Spec, Run.Dir, Run.Attempt);
   SubOpts.StdoutPath = Run.StdoutPath;
   SubOpts.StderrPath = Run.StderrPath;
-  SubOpts.MemLimitBytes = Run.Spec->RlimitBytes > 0 ? Run.Spec->RlimitBytes
-                                                    : Options.RlimitBytes;
+  SubOpts.MemLimitBytes = Run.Spec.RlimitBytes > 0 ? Run.Spec.RlimitBytes
+                                                   : Options.RlimitBytes;
 
   FleetAttempt Attempt;
   Attempt.Attempt = Run.Attempt;
   Attempt.Command = joinCommand(SubOpts.Argv);
-  Run.Result->History.push_back(Attempt);
+  Run.Result.History.push_back(Attempt);
 
   Run.Child = std::make_unique<Subprocess>();
   // A fork-time failure (fd/process exhaustion) leaves the child
@@ -216,7 +226,7 @@ void startAttempt(JobRun &Run, const FleetOptions &Options) {
 /// report is accepted (job terminal in a done state).
 bool classifyAttempt(JobRun &Run, const FleetOptions &Options,
                      const SubprocessExit &Exit) {
-  FleetAttempt &Attempt = Run.Result->History.back();
+  FleetAttempt &Attempt = Run.Result.History.back();
   Attempt.WallMillis =
       static_cast<double>(wallTimeNanos() - Run.AttemptStartNanos) / 1e6;
   Attempt.ExitCode = Exit.Exited ? Exit.ExitCode : -1;
@@ -224,7 +234,7 @@ bool classifyAttempt(JobRun &Run, const FleetOptions &Options,
   Attempt.Signal = Exit.Signal;
   Attempt.TimedOut = Run.KilledByWatchdog;
 
-  FleetJobResult &Result = *Run.Result;
+  FleetJobResult &Result = Run.Result;
   if (Exit.Exited) {
     switch (Exit.ExitCode) {
     case ExitNoRaces:
@@ -255,8 +265,8 @@ bool classifyAttempt(JobRun &Run, const FleetOptions &Options,
       break;
     }
   } else if (Exit.Signaled) {
-    size_t Rlimit = Run.Spec->RlimitBytes > 0 ? Run.Spec->RlimitBytes
-                                              : Options.RlimitBytes;
+    size_t Rlimit = Run.Spec.RlimitBytes > 0 ? Run.Spec.RlimitBytes
+                                             : Options.RlimitBytes;
     if (Run.KilledByWatchdog)
       Attempt.Cause = "hung";
     else if (Exit.Signal == SIGABRT && Rlimit > 0)
@@ -274,25 +284,257 @@ bool classifyAttempt(JobRun &Run, const FleetOptions &Options,
 
 } // namespace
 
+//===----------------------------------------------------------------------===//
+// FleetEngine
+//===----------------------------------------------------------------------===//
+
+struct FleetEngine::Impl {
+  FleetOptions Options;
+  /// deque, not vector: addJob() while step() has children running must
+  /// not move JobRun objects (each owns a live Subprocess).
+  std::deque<JobRun> Runs;
+  std::set<std::string> Ids;
+  size_t Terminal = 0;
+  size_t Running = 0;
+  bool SetupDone = false;
+  bool Launching = true;
+  bool Interrupted = false;
+  unsigned MaxAttempts = 1;
+  unsigned Workers = 1;
+};
+
+FleetEngine::FleetEngine(const FleetOptions &Options)
+    : I(std::make_unique<Impl>()) {
+  I->Options = Options;
+  I->MaxAttempts = Options.MaxAttempts > 0 ? Options.MaxAttempts : 1;
+  I->Workers = Options.Workers > 0 ? Options.Workers : 1;
+}
+
+FleetEngine::~FleetEngine() {
+  // Never leak workers past the engine: a caller that abandons the
+  // batch (error path, daemon teardown) must not leave orphans running.
+  for (JobRun &Run : I->Runs)
+    if (Run.State == JobRun::Phase::Running && Run.Child &&
+        Run.Child->running())
+      Run.Child->kill(SIGKILL);
+}
+
+Status FleetEngine::setup() {
+  if (I->Options.AnalyzerPath.empty())
+    return Status::error("fleet needs an analyzer binary path");
+  if (::access(I->Options.AnalyzerPath.c_str(), X_OK) != 0)
+    return Status::error("analyzer binary not executable: " +
+                         I->Options.AnalyzerPath);
+  if (I->Options.CheckpointRoot.empty())
+    return Status::error("fleet needs a checkpoint root directory");
+  ::mkdir(I->Options.CheckpointRoot.c_str(), 0755);
+  struct stat St;
+  if (::stat(I->Options.CheckpointRoot.c_str(), &St) != 0 ||
+      !S_ISDIR(St.st_mode))
+    return Status::error("cannot create checkpoint root " +
+                         I->Options.CheckpointRoot);
+  I->SetupDone = true;
+  return Status::success();
+}
+
+Status FleetEngine::addJob(const FleetJob &Job) {
+  if (!I->SetupDone)
+    return Status::error("fleet engine used before setup()");
+  if (Job.Id.empty())
+    return Status::error("fleet job with empty id");
+  if (!I->Ids.insert(Job.Id).second)
+    return Status::error("duplicate fleet job id '" + Job.Id + "'");
+
+  size_t Index = I->Runs.size();
+  I->Runs.emplace_back();
+  JobRun &Run = I->Runs.back();
+  Run.Spec = Job;
+  Run.Result.Id = Job.Id;
+  Run.Result.TracePath = Job.TracePath;
+  Run.Dir = fleetJobDir(I->Options.CheckpointRoot, Job.Id);
+  ::mkdir(Run.Dir.c_str(), 0755);
+  Run.StdoutPath = Run.Dir + "/stdout";
+  Run.StderrPath = Run.Dir + "/stderr";
+  BackoffPolicy Policy = I->Options.Backoff;
+  // Decorrelate the jobs' jitter streams deterministically.
+  Policy.Seed = I->Options.Backoff.Seed + Index * 0x9E3779B97F4A7C15ull;
+  Run.Delays = Backoff(Policy);
+
+  // An interrupt already in effect applies to late arrivals too: the
+  // job is terminal before it ever starts, checkpoint dir untouched.
+  if (I->Interrupted) {
+    Run.Result.State = "interrupted";
+    Run.State = JobRun::Phase::Terminal;
+    ++I->Terminal;
+  }
+  return Status::success();
+}
+
+void FleetEngine::step() {
+  uint64_t Now = wallTimeNanos();
+
+  // Launch phase: fill free worker slots in input order so scheduling
+  // is reproducible given identical fault timings.
+  if (I->Launching) {
+    for (JobRun &Run : I->Runs) {
+      if (I->Running >= I->Workers)
+        break;
+      bool Ready =
+          Run.State == JobRun::Phase::Pending ||
+          (Run.State == JobRun::Phase::Backoff && Now >= Run.NotBeforeNanos);
+      if (!Ready)
+        continue;
+      startAttempt(Run, I->Options);
+      ++I->Running;
+    }
+  }
+
+  // Reap/watchdog phase.
+  for (JobRun &Run : I->Runs) {
+    if (Run.State != JobRun::Phase::Running)
+      continue;
+    bool Finished;
+    SubprocessExit Exit;
+    if (!Run.Child->running()) {
+      // start() failed at fork time: synthesize the spawn failure.
+      Finished = true;
+      Exit.Exited = true;
+      Exit.ExitCode = ExitSpawnFailure;
+    } else if (Run.Child->poll()) {
+      Finished = true;
+      Exit = Run.Child->exitInfo();
+    } else {
+      if (Run.WatchdogNanos != 0 && Now >= Run.WatchdogNanos &&
+          !Run.KilledByWatchdog) {
+        Run.KilledByWatchdog = true;
+        Run.Child->kill(SIGKILL);
+      }
+      Finished = false;
+    }
+    if (!Finished)
+      continue;
+
+    --I->Running;
+    FleetJobResult &JobResult = Run.Result;
+    JobResult.Attempts = Run.Attempt;
+    if (classifyAttempt(Run, I->Options, Exit)) {
+      // A worker that finished before an interrupt's SIGKILL landed
+      // still counts: its report is complete and is accepted as usual.
+      JobResult.FinalExitCode = Exit.ExitCode;
+      JobResult.ReportJson = readFileOrEmpty(Run.StdoutPath);
+      JobResult.ParseOk =
+          parseRaceReportJson(JobResult.ReportJson, JobResult.Parsed)
+              .ok();
+      Run.State = JobRun::Phase::Terminal;
+      ++I->Terminal;
+      continue;
+    }
+    if (I->Interrupted) {
+      // The kill we sent (or a coincident failure) during interrupt:
+      // no retry, the job parks as resumable.
+      JobResult.State = "interrupted";
+      JobResult.FinalExitCode = Exit.Exited ? Exit.ExitCode : -1;
+      Run.State = JobRun::Phase::Terminal;
+      ++I->Terminal;
+      continue;
+    }
+    const std::string &Cause = JobResult.History.back().Cause;
+    bool Permanent = Cause == "unreadable" || Cause == "spawn";
+    if (Permanent || Run.Attempt >= I->MaxAttempts) {
+      JobResult.State = "failed:" + Cause;
+      JobResult.FinalExitCode = Exit.Exited ? Exit.ExitCode : -1;
+      Run.State = JobRun::Phase::Terminal;
+      ++I->Terminal;
+      continue;
+    }
+    double DelayMillis = Run.Delays.nextDelayMillis();
+    JobResult.History.back().BackoffMillis = DelayMillis;
+    Run.NotBeforeNanos =
+        wallTimeNanos() + static_cast<uint64_t>(DelayMillis * 1e6);
+    Run.State = JobRun::Phase::Backoff;
+  }
+}
+
+void FleetEngine::stopLaunching() { I->Launching = false; }
+
+void FleetEngine::interrupt() {
+  if (I->Interrupted)
+    return;
+  I->Interrupted = true;
+  I->Launching = false;
+  for (JobRun &Run : I->Runs) {
+    switch (Run.State) {
+    case JobRun::Phase::Running:
+      // SIGKILL now; the next step() reaps it into "interrupted" (or
+      // accepts the report if the worker won the race and exited).
+      if (Run.Child && Run.Child->running())
+        Run.Child->kill(SIGKILL);
+      break;
+    case JobRun::Phase::Pending:
+    case JobRun::Phase::Backoff:
+      Run.Result.State = "interrupted";
+      Run.Result.Attempts = Run.Attempt;
+      Run.State = JobRun::Phase::Terminal;
+      ++I->Terminal;
+      break;
+    case JobRun::Phase::Terminal:
+      break;
+    }
+  }
+}
+
+bool FleetEngine::interrupted() const { return I->Interrupted; }
+
+bool FleetEngine::allTerminal() const {
+  return I->Terminal == I->Runs.size();
+}
+
+size_t FleetEngine::numJobs() const { return I->Runs.size(); }
+
+size_t FleetEngine::numTerminal() const { return I->Terminal; }
+
+size_t FleetEngine::numRunning() const { return I->Running; }
+
+bool FleetEngine::hasJob(const std::string &Id) const {
+  return I->Ids.count(Id) != 0;
+}
+
+const FleetJob &FleetEngine::job(size_t Index) const {
+  return I->Runs[Index].Spec;
+}
+
+const FleetJobResult &FleetEngine::result(size_t Index) const {
+  return I->Runs[Index].Result;
+}
+
+const char *FleetEngine::phase(size_t Index) const {
+  switch (I->Runs[Index].State) {
+  case JobRun::Phase::Pending:
+    return "pending";
+  case JobRun::Phase::Running:
+    return "running";
+  case JobRun::Phase::Backoff:
+    return "backoff";
+  case JobRun::Phase::Terminal:
+    return "terminal";
+  }
+  return "terminal";
+}
+
+const FleetOptions &FleetEngine::options() const { return I->Options; }
+
+//===----------------------------------------------------------------------===//
+// runFleet
+//===----------------------------------------------------------------------===//
+
 Status cafa::runFleet(const std::vector<FleetJob> &Jobs,
                       const FleetOptions &Options, FleetResult &Result) {
   Result = FleetResult();
   if (Jobs.empty())
     return Status::error("fleet batch is empty");
-  if (Options.AnalyzerPath.empty())
-    return Status::error("fleet needs an analyzer binary path");
-  if (::access(Options.AnalyzerPath.c_str(), X_OK) != 0)
-    return Status::error("analyzer binary not executable: " +
-                         Options.AnalyzerPath);
-  if (Options.CheckpointRoot.empty())
-    return Status::error("fleet needs a checkpoint root directory");
-  ::mkdir(Options.CheckpointRoot.c_str(), 0755);
-  struct stat St;
-  if (::stat(Options.CheckpointRoot.c_str(), &St) != 0 ||
-      !S_ISDIR(St.st_mode))
-    return Status::error("cannot create checkpoint root " +
-                         Options.CheckpointRoot);
   {
+    // Validate the whole list before creating any per-job state so a
+    // bad manifest fails without side effects beyond the root mkdir.
     std::set<std::string> Ids;
     for (const FleetJob &Job : Jobs) {
       if (Job.Id.empty())
@@ -303,106 +545,26 @@ Status cafa::runFleet(const std::vector<FleetJob> &Jobs,
   }
 
   Timer BatchTimer;
-  const unsigned MaxAttempts =
-      Options.MaxAttempts > 0 ? Options.MaxAttempts : 1;
-  const unsigned Workers = Options.Workers > 0 ? Options.Workers : 1;
+  FleetEngine Engine(Options);
+  if (Status S = Engine.setup(); !S.ok())
+    return S;
+  for (const FleetJob &Job : Jobs)
+    if (Status S = Engine.addJob(Job); !S.ok())
+      return S;
 
-  Result.Jobs.resize(Jobs.size());
-  std::vector<JobRun> Runs(Jobs.size());
-  for (size_t I = 0; I < Jobs.size(); ++I) {
-    JobRun &Run = Runs[I];
-    Run.Spec = &Jobs[I];
-    Run.Result = &Result.Jobs[I];
-    Run.Result->Id = Jobs[I].Id;
-    Run.Result->TracePath = Jobs[I].TracePath;
-    Run.Dir = fleetJobDir(Options.CheckpointRoot, Jobs[I].Id);
-    ::mkdir(Run.Dir.c_str(), 0755);
-    Run.StdoutPath = Run.Dir + "/stdout";
-    Run.StderrPath = Run.Dir + "/stderr";
-    BackoffPolicy Policy = Options.Backoff;
-    // Decorrelate the jobs' jitter streams deterministically.
-    Policy.Seed = Options.Backoff.Seed + I * 0x9E3779B97F4A7C15ull;
-    Run.Delays = Backoff(Policy);
-  }
-
-  size_t Terminal = 0;
-  size_t Running = 0;
-  while (Terminal < Runs.size()) {
-    uint64_t Now = wallTimeNanos();
-
-    // Launch phase: fill free worker slots in input order so scheduling
-    // is reproducible given identical fault timings.
-    for (JobRun &Run : Runs) {
-      if (Running >= Workers)
-        break;
-      bool Ready =
-          Run.State == JobRun::Phase::Pending ||
-          (Run.State == JobRun::Phase::Backoff && Now >= Run.NotBeforeNanos);
-      if (!Ready)
-        continue;
-      startAttempt(Run, Options);
-      ++Running;
-    }
-
-    // Reap/watchdog phase.
-    for (JobRun &Run : Runs) {
-      if (Run.State != JobRun::Phase::Running)
-        continue;
-      bool Finished;
-      SubprocessExit Exit;
-      if (!Run.Child->running()) {
-        // start() failed at fork time: synthesize the spawn failure.
-        Finished = true;
-        Exit.Exited = true;
-        Exit.ExitCode = ExitSpawnFailure;
-      } else if (Run.Child->poll()) {
-        Finished = true;
-        Exit = Run.Child->exitInfo();
-      } else {
-        if (Run.WatchdogNanos != 0 && Now >= Run.WatchdogNanos &&
-            !Run.KilledByWatchdog) {
-          Run.KilledByWatchdog = true;
-          Run.Child->kill(SIGKILL);
-        }
-        Finished = false;
-      }
-      if (!Finished)
-        continue;
-
-      --Running;
-      FleetJobResult &JobResult = *Run.Result;
-      JobResult.Attempts = Run.Attempt;
-      if (classifyAttempt(Run, Options, Exit)) {
-        JobResult.FinalExitCode = Exit.ExitCode;
-        JobResult.ReportJson = readFileOrEmpty(Run.StdoutPath);
-        JobResult.ParseOk =
-            parseRaceReportJson(JobResult.ReportJson, JobResult.Parsed)
-                .ok();
-        Run.State = JobRun::Phase::Terminal;
-        ++Terminal;
-        continue;
-      }
-      const std::string &Cause = JobResult.History.back().Cause;
-      bool Permanent = Cause == "unreadable" || Cause == "spawn";
-      if (Permanent || Run.Attempt >= MaxAttempts) {
-        JobResult.State = "failed:" + Cause;
-        JobResult.FinalExitCode = Exit.Exited ? Exit.ExitCode : -1;
-        Run.State = JobRun::Phase::Terminal;
-        ++Terminal;
-        continue;
-      }
-      double DelayMillis = Run.Delays.nextDelayMillis();
-      JobResult.History.back().BackoffMillis = DelayMillis;
-      Run.NotBeforeNanos =
-          wallTimeNanos() + static_cast<uint64_t>(DelayMillis * 1e6);
-      Run.State = JobRun::Phase::Backoff;
-    }
-
-    if (Terminal < Runs.size())
+  while (!Engine.allTerminal()) {
+    if (Options.StopFlag && *Options.StopFlag)
+      Engine.interrupt();
+    Engine.step();
+    if (!Engine.allTerminal())
       ::usleep(500);
   }
 
   // Aggregate in input order.
+  Result.Jobs.reserve(Jobs.size());
+  for (size_t Index = 0; Index < Jobs.size(); ++Index)
+    Result.Jobs.push_back(Engine.result(Index));
+
   FleetAggregator Aggregator(Options.MaxExemplars);
   for (const FleetJobResult &Job : Result.Jobs) {
     FleetJobStatus Row;
@@ -417,6 +579,8 @@ Status cafa::runFleet(const std::vector<FleetJob> &Jobs,
 
     if (Job.State.rfind("failed:", 0) == 0)
       ++Result.Failed;
+    else if (Job.State == "interrupted")
+      ++Result.Interrupted;
     else if (Job.Partial)
       ++Result.Partial;
     else
@@ -424,6 +588,7 @@ Status cafa::runFleet(const std::vector<FleetJob> &Jobs,
     Result.Retries += Job.Attempts > 0 ? Job.Attempts - 1 : 0;
     Result.ResumedCompletions += Job.Resumed ? 1 : 0;
   }
+  Result.WasInterrupted = Engine.interrupted();
   Result.DistinctRaces = Aggregator.numDistinctRaces();
   Result.AggregateJson = Aggregator.renderJson();
   Result.AggregateText = Aggregator.renderText();

@@ -36,7 +36,9 @@
 #include "support/Backoff.h"
 #include "support/Status.h"
 
+#include <csignal>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,7 +75,10 @@ struct FleetAttempt {
 struct FleetJobResult {
   std::string Id;
   std::string TracePath;
-  /// "done" | "done:partial" | "failed:<cause>".
+  /// "done" | "done:partial" | "failed:<cause>" | "interrupted".
+  /// "interrupted" means the supervisor was asked to stop before the job
+  /// finished; its checkpoint directory is intact, so resubmitting the
+  /// job against the same checkpoint root resumes it.
   std::string State;
   int FinalExitCode = -1;
   unsigned Attempts = 0;
@@ -128,6 +133,12 @@ struct FleetOptions {
   /// Chaos hook (tests only): extra analyzer args for (job, attempt).
   std::function<std::vector<std::string>(const FleetJob &, unsigned)>
       ChaosArgsForAttempt;
+  /// When non-null, polled once per supervision tick.  A nonzero value
+  /// interrupts the batch: no further launches, running workers are
+  /// killed (their checkpoints survive), and every unfinished job lands
+  /// in the terminal "interrupted" state.  Signal handlers set the flag;
+  /// sig_atomic_t keeps the read async-signal-safe.
+  const volatile std::sig_atomic_t *StopFlag = nullptr;
 };
 
 /// What the whole batch did.
@@ -144,6 +155,11 @@ struct FleetResult {
   /// Jobs where a retry completed from a checkpoint (exit 4) -- the
   /// chaos suite's "retry is resume" accounting.
   unsigned ResumedCompletions = 0;
+  /// Jobs cut short by FleetOptions::StopFlag; their checkpoints remain
+  /// resumable.
+  unsigned Interrupted = 0;
+  /// The batch ended via StopFlag rather than by finishing every job.
+  bool WasInterrupted = false;
   size_t DistinctRaces = 0;
   double WallMillis = 0;
 };
@@ -159,10 +175,79 @@ size_t fleetMemLimitForAttempt(const FleetOptions &Options,
                                unsigned Attempt,
                                size_t JobRlimitBytes);
 
+/// The re-entrant core of the supervisor: the same launch/reap/backoff
+/// state machine runFleet runs to completion, exposed incrementally so
+/// a long-lived caller (the analysis daemon, src/server/) can inject
+/// jobs while earlier ones are still running and pump the loop from its
+/// own event loop.
+///
+/// Usage: construct, setup(), then any interleaving of addJob() and
+/// step() -- step() performs one supervision tick (launch into free
+/// worker slots, reap/watchdog running children) and never blocks, so
+/// the caller owns the cadence.  interrupt() is the drain-hard path:
+/// running workers are SIGKILLed (checkpoints survive) and every
+/// unfinished job lands in the terminal "interrupted" state.
+class FleetEngine {
+public:
+  explicit FleetEngine(const FleetOptions &Options);
+  ~FleetEngine();
+  FleetEngine(const FleetEngine &) = delete;
+  FleetEngine &operator=(const FleetEngine &) = delete;
+
+  /// Validates the analyzer binary and creates the checkpoint root.
+  /// Must succeed before the first addJob().
+  Status setup();
+
+  /// Adds one job to the batch.  Legal at any time after setup(),
+  /// including while other jobs run -- this is what makes the engine a
+  /// daemon building block.  Fails on an empty or duplicate id.
+  Status addJob(const FleetJob &Job);
+
+  /// One supervision tick: launch pending/ready jobs into free worker
+  /// slots (input order), then reap finished children and fire
+  /// watchdogs.  Non-blocking; callers sleep between ticks.
+  void step();
+
+  /// Stops launching new attempts (graceful drain).  Running workers
+  /// keep running to completion; pending/backoff jobs stay queued.
+  /// One-way: launching never resumes on this engine.
+  void stopLaunching();
+
+  /// Hard drain: stopLaunching() plus SIGKILL for running workers and
+  /// immediate terminal "interrupted" state for every job that has not
+  /// finished.  Idempotent.  Checkpoint directories survive, so the
+  /// jobs are resumable by a later batch over the same root.
+  void interrupt();
+
+  bool interrupted() const;
+  bool allTerminal() const;
+  size_t numJobs() const;
+  size_t numTerminal() const;
+  size_t numRunning() const;
+  bool hasJob(const std::string &Id) const;
+
+  /// The job spec / result / live phase at submission index \p I.
+  /// result() is final once phase() returns "terminal"; phase() is one
+  /// of "pending" | "running" | "backoff" | "terminal".
+  const FleetJob &job(size_t I) const;
+  const FleetJobResult &result(size_t I) const;
+  const char *phase(size_t I) const;
+
+  const FleetOptions &options() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
 /// Runs the batch to completion.  Fails fast (before starting any
 /// worker) on an empty/duplicate job list, a missing analyzer binary,
 /// or an unusable checkpoint root; individual worker failures never
 /// fail the batch -- they land in per-job terminal states.
+///
+/// Implemented on FleetEngine: all jobs are added up front, then the
+/// loop ticks until every job is terminal, polling
+/// FleetOptions::StopFlag between ticks.
 Status runFleet(const std::vector<FleetJob> &Jobs,
                 const FleetOptions &Options, FleetResult &Result);
 

@@ -1,0 +1,101 @@
+//===- server/Server.h - Analysis daemon over a Unix socket ----*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analysis-as-a-service: a long-running daemon that wraps the fleet
+/// supervision loop (fleet/FleetEngine) behind a Unix-domain-socket
+/// control plane.  Traces are submitted while earlier ones run; each
+/// job executes as the same isolated, watchdog'd, checkpoint-resuming
+/// offline_analyzer worker the batch supervisor uses, and every
+/// terminal outcome is appended to a persistent cross-trace store
+/// (cafa/RaceStore) that accumulates across daemon restarts.
+///
+/// Protocol: one newline-terminated command per connection; the daemon
+/// replies and closes.  Commands: submit / status / report / drain /
+/// compact / ping -- docs/server.md specifies request and response
+/// grammar, lifecycle, and the exit-code contract.
+///
+/// Lifecycle: the loop is single-threaded (the same "concurrency lives
+/// in the children" design as runFleet), pumping the engine and the
+/// socket alternately.  A `drain` command stops admission and finishes
+/// every queued job (exit 0).  SIGTERM/SIGINT drain *fast*: stop
+/// launching, give running workers a grace window to finish, then
+/// checkpoint-kill the rest; jobs cut short stay out of the store and
+/// resume when resubmitted to a restarted daemon (exit 6 when anything
+/// was cut short, else 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SERVER_SERVER_H
+#define CAFA_SERVER_SERVER_H
+
+#include "fleet/Fleet.h"
+#include "support/Status.h"
+
+#include <csignal>
+#include <string>
+
+namespace cafa {
+
+/// Daemon exit codes (pinned by tests/integration/ExitCodesTest).
+enum ServerExitCode {
+  ServerExitClean = 0,       ///< drained with nothing left undone
+  ServerExitUsage = 2,       ///< bad flags or setup failure
+  ServerExitInterrupted = 6, ///< drained, but jobs were cut short
+                             ///< (their checkpoints remain resumable)
+};
+
+struct ServerOptions {
+  /// Unix-domain socket the control plane listens on.  A stale file
+  /// from a killed predecessor is unlinked at bind time.
+  std::string SocketPath;
+  /// RaceStore journal path (created on first open).
+  std::string StorePath;
+  /// Worker supervision config, exactly as for runFleet.  The daemon
+  /// re-adopts orphaned checkpoint directories under
+  /// Fleet.CheckpointRoot: a resubmitted job id resumes whatever
+  /// snapshot a dead daemon's worker left there.
+  FleetOptions Fleet;
+  /// Admission control: submissions are refused ("err queue-full")
+  /// while this many jobs are queued or running.
+  size_t MaxQueue = 64;
+  /// Signal-drain grace: how long running workers may keep going after
+  /// SIGTERM/SIGINT before they are checkpoint-killed.  0 kills
+  /// immediately.
+  double DrainGraceMillis = 5000;
+};
+
+/// The daemon.  Construct, setup(), then run() until a drain command or
+/// signal ends the loop; run() returns the process exit code.
+class Server {
+public:
+  explicit Server(const ServerOptions &Options);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Opens (replaying) the store, validates the fleet config, binds the
+  /// socket.  Nothing runs yet.
+  Status setup();
+
+  /// The event loop.  \p StopFlag is set by the signal handlers;
+  /// a nonzero value starts the fast drain described above.
+  int run(const volatile std::sig_atomic_t *StopFlag);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+/// Client side: sends one \p Command to the daemon at \p SocketPath and
+/// returns the full response.  Used by `cafa_server ctl` and the tests.
+Status serverRequest(const std::string &SocketPath,
+                     const std::string &Command, std::string &Response);
+
+} // namespace cafa
+
+#endif // CAFA_SERVER_SERVER_H

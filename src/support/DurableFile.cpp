@@ -1,0 +1,77 @@
+//===- support/DurableFile.cpp - Crash-durable file writes --------------------===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DurableFile.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+using namespace cafa;
+
+Status cafa::durableWrite(const std::string &Path, std::string_view Data) {
+  // Temp file in the same directory so the final rename cannot cross a
+  // filesystem boundary (rename is only atomic within one).
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Status::error("cannot create '" + Tmp + "'");
+  bool Ok = std::fwrite(Data.data(), 1, Data.size(), F) == Data.size();
+  Ok = std::fflush(F) == 0 && Ok;
+#if defined(__unix__) || defined(__APPLE__)
+  // Durability before visibility: the data must be on disk before the
+  // rename publishes it, or a crash could leave a named-but-empty file.
+  Ok = fsync(fileno(F)) == 0 && Ok;
+#endif
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return Status::error("cannot write '" + Tmp + "'");
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Status::error("cannot rename '" + Tmp + "' to '" + Path + "'");
+  }
+  return Status::success();
+}
+
+Status cafa::durableAppend(const std::string &Path, std::string_view Data) {
+#if defined(__unix__) || defined(__APPLE__)
+  // O_APPEND so every write lands at the current end even if another
+  // handle grew the file since open.
+  int Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (Fd < 0)
+    return Status::error("cannot open '" + Path + "' for append");
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      ::close(Fd);
+      return Status::error("cannot append to '" + Path + "'");
+    }
+    Off += static_cast<size_t>(N);
+  }
+  bool Synced = ::fsync(Fd) == 0;
+  bool Closed = ::close(Fd) == 0;
+  if (!Synced || !Closed)
+    return Status::error("cannot sync '" + Path + "'");
+  return Status::success();
+#else
+  std::FILE *F = std::fopen(Path.c_str(), "ab");
+  if (!F)
+    return Status::error("cannot open '" + Path + "' for append");
+  bool Ok = std::fwrite(Data.data(), 1, Data.size(), F) == Data.size();
+  Ok = std::fflush(F) == 0 && Ok;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok)
+    return Status::error("cannot append to '" + Path + "'");
+  return Status::success();
+#endif
+}

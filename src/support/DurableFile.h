@@ -1,0 +1,49 @@
+//===- support/DurableFile.h - Crash-durable file writes -------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two durable-write primitives every persistent artifact in this
+/// project is built on:
+///
+///  - \ref durableWrite publishes a whole file atomically: the bytes go
+///    to a sibling ".tmp" file, are flushed and fsync'd, and only then
+///    renamed over the destination.  A crash at any point leaves either
+///    the old file or the new one on disk -- never a torn hybrid.
+///    Checkpoint snapshots (support/Snapshot), fleet aggregate outputs
+///    (cafa_fleet --output), and race-store compactions all write
+///    through here.
+///
+///  - \ref durableAppend extends an append-only journal: the bytes are
+///    written at the end of the file and fsync'd before the call
+///    returns.  A crash can tear the *appended suffix* (that is what
+///    per-record checksums and replay-time truncation are for --
+///    cafa/RaceStore), but never damages the previously synced prefix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_DURABLEFILE_H
+#define CAFA_SUPPORT_DURABLEFILE_H
+
+#include "support/Status.h"
+
+#include <string_view>
+
+namespace cafa {
+
+/// Atomically replaces the file at \p Path with \p Data via sibling
+/// temp file + fsync + rename.  The temp file lives in the same
+/// directory so the rename cannot cross a filesystem boundary.
+Status durableWrite(const std::string &Path, std::string_view Data);
+
+/// Appends \p Data to the file at \p Path (creating it if absent) and
+/// fsyncs before returning, so an acknowledged append survives a
+/// subsequent crash or power cut.
+Status durableAppend(const std::string &Path, std::string_view Data);
+
+} // namespace cafa
+
+#endif // CAFA_SUPPORT_DURABLEFILE_H

@@ -7,13 +7,11 @@
 
 #include "support/Snapshot.h"
 
+#include "support/DurableFile.h"
+
 #include <bit>
 #include <cstdio>
 #include <cstring>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
 
 using namespace cafa;
 
@@ -77,30 +75,7 @@ Status SnapshotWriter::writeFileAtomic(const std::string &Path,
   appendLe(Framed, Buf.size(), 8);
   appendLe(Framed, fnv1a64(Buf.data(), Buf.size()), 8);
   Framed.append(Buf);
-
-  // Temp file in the same directory so the final rename cannot cross a
-  // filesystem boundary (rename is only atomic within one).
-  std::string Tmp = Path + ".tmp";
-  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
-  if (!F)
-    return Status::error("cannot create '" + Tmp + "'");
-  bool Ok = std::fwrite(Framed.data(), 1, Framed.size(), F) == Framed.size();
-  Ok = std::fflush(F) == 0 && Ok;
-#if defined(__unix__) || defined(__APPLE__)
-  // Durability before visibility: the data must be on disk before the
-  // rename publishes it, or a crash could leave a named-but-empty file.
-  Ok = fsync(fileno(F)) == 0 && Ok;
-#endif
-  Ok = std::fclose(F) == 0 && Ok;
-  if (!Ok) {
-    std::remove(Tmp.c_str());
-    return Status::error("cannot write '" + Tmp + "'");
-  }
-  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
-    std::remove(Tmp.c_str());
-    return Status::error("cannot rename '" + Tmp + "' to '" + Path + "'");
-  }
-  return Status::success();
+  return durableWrite(Path, Framed);
 }
 
 Status SnapshotReader::loadFile(const std::string &Path, const char *Magic,

@@ -87,6 +87,14 @@ public:
   Status loadFile(const std::string &Path, const char *Magic,
                   uint32_t Version);
 
+  /// Adopts an already-verified payload held in memory, for callers
+  /// that frame records themselves (e.g. the race-store journal, whose
+  /// per-record checksums are checked before decoding).
+  void setPayload(std::string Bytes) {
+    Payload = std::move(Bytes);
+    Pos = 0;
+  }
+
   bool u8(uint8_t &V);
   bool u32(uint32_t &V);
   bool u64(uint64_t &V);

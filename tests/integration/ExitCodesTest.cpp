@@ -17,6 +17,12 @@
 //   4  resumed from a checkpoint and completed (counts toward the
 //      fleet's ResumedCompletions accounting)
 //
+// Also pins the cafa_server daemon's contract (docs/server.md): every
+// flag, setup, or connection failure exits 2 before any state changes,
+// and the usage text keeps documenting the 0/2/6 serve codes.  The
+// daemon's happy-path codes (0 drained clean, 6 cut short by a signal)
+// are exercised with a live daemon in ServerTest.
+//
 //===----------------------------------------------------------------------===//
 
 #include "apps/AppKit.h"
@@ -50,8 +56,8 @@ std::string slurp(const std::string &Path) {
                      std::istreambuf_iterator<char>());
 }
 
-ExitRun runAnalyzer(const std::vector<std::string> &Args,
-                    const std::string &ScratchDir) {
+ExitRun runTool(const char *Binary, const std::vector<std::string> &Args,
+                const std::string &ScratchDir) {
   ExitRun R;
   std::string OutPath = ScratchDir + "/ec_stdout";
   std::string ErrPath = ScratchDir + "/ec_stderr";
@@ -60,11 +66,11 @@ ExitRun runAnalyzer(const std::vector<std::string> &Args,
     std::freopen(OutPath.c_str(), "wb", stdout);
     std::freopen(ErrPath.c_str(), "wb", stderr);
     std::vector<char *> Argv;
-    Argv.push_back(const_cast<char *>(OFFLINE_ANALYZER_PATH));
+    Argv.push_back(const_cast<char *>(Binary));
     for (const std::string &A : Args)
       Argv.push_back(const_cast<char *>(A.c_str()));
     Argv.push_back(nullptr);
-    ::execv(OFFLINE_ANALYZER_PATH, Argv.data());
+    ::execv(Binary, Argv.data());
     _exit(127);
   }
   int Status = 0;
@@ -74,6 +80,11 @@ ExitRun runAnalyzer(const std::vector<std::string> &Args,
   R.Out = slurp(OutPath);
   R.Err = slurp(ErrPath);
   return R;
+}
+
+ExitRun runAnalyzer(const std::vector<std::string> &Args,
+                    const std::string &ScratchDir) {
+  return runTool(OFFLINE_ANALYZER_PATH, Args, ScratchDir);
 }
 
 class ExitCodesTest : public testing::Test {
@@ -184,6 +195,55 @@ TEST_F(ExitCodesTest, Exit4ResumeFromCheckpointCompletes) {
   EXPECT_NE(Resumed.Err.find("resumed from checkpoint"),
             std::string::npos)
       << Resumed.Err;
+}
+
+TEST_F(ExitCodesTest, ServerUsageAndSetupErrorsExitTwo) {
+  // No arguments / unknown subcommand: usage, exit 2, and the usage
+  // text keeps documenting the serve and ctl contracts the other
+  // suites rely on.
+  ExitRun Usage = runTool(CAFA_SERVER_PATH, {}, Scratch);
+  EXPECT_EQ(Usage.ExitCode, 2);
+  for (const char *Needle :
+       {"serve --socket=<path> --store=<path>", "ctl <socket> <command>",
+        "submit <id> <trace>", "drain", "--max-queue",
+        "--drain-grace", "0 drained clean, 2 usage/setup error",
+        "6 drained with jobs cut short"})
+    EXPECT_NE(Usage.Err.find(Needle), std::string::npos)
+        << "usage text lost: " << Needle;
+  EXPECT_EQ(runTool(CAFA_SERVER_PATH, {"bogus"}, Scratch).ExitCode, 2);
+
+  // serve without the mandatory flags, or with an unknown one.
+  EXPECT_EQ(runTool(CAFA_SERVER_PATH, {"serve"}, Scratch).ExitCode, 2);
+  EXPECT_EQ(runTool(CAFA_SERVER_PATH,
+                    {"serve", "--socket=" + Scratch + "/s.sock"},
+                    Scratch)
+                .ExitCode,
+            2)
+      << "missing --store must not start a daemon";
+  EXPECT_EQ(runTool(CAFA_SERVER_PATH,
+                    {"serve", "--socket=" + Scratch + "/s.sock",
+                     "--store=" + Scratch + "/s.journal", "--frob"},
+                    Scratch)
+                .ExitCode,
+            2);
+
+  // Setup failures (unbindable socket path) exit 2 before the loop
+  // ever runs.
+  ExitRun Bind = runTool(
+      CAFA_SERVER_PATH,
+      {"serve", "--socket=" + Scratch + "/no/such/dir/s.sock",
+       "--store=" + Scratch + "/never.journal"},
+      Scratch);
+  EXPECT_EQ(Bind.ExitCode, 2) << Bind.Err;
+
+  // ctl: too few arguments is usage; an unreachable daemon is a
+  // connection failure.  Both exit 2 (a daemon *refusal* exits 1,
+  // pinned with a live daemon in ServerTest).
+  EXPECT_EQ(runTool(CAFA_SERVER_PATH, {"ctl"}, Scratch).ExitCode, 2);
+  ExitRun NoDaemon = runTool(
+      CAFA_SERVER_PATH, {"ctl", Scratch + "/no-daemon.sock", "ping"},
+      Scratch);
+  EXPECT_EQ(NoDaemon.ExitCode, 2) << NoDaemon.Err;
 }
 
 } // namespace

@@ -445,4 +445,94 @@ TEST_F(FleetChaosTest, DriverRunsAManifestEndToEnd) {
   EXPECT_NE(Err.find("1 failed"), std::string::npos) << Err;
 }
 
+/// SIGTERM mid-batch: the driver must stop cleanly with exit 6, mark
+/// the unfinished jobs "interrupted", and still emit (and durably
+/// write) the aggregate for the partial batch.
+TEST_F(FleetChaosTest, DriverSigtermDrainsToExitSix) {
+  // Pid-unique: the test polls for j1's worker-stdout file as the
+  // "batch is running" signal, so a leftover from an earlier run
+  // would fire the SIGTERM before the driver even starts.
+  std::string Dir = Scratch + "/sigterm_" + std::to_string(::getpid());
+  ::mkdir(Dir.c_str(), 0755);
+  std::string ManifestPath = Dir + "/batch.manifest";
+  {
+    std::ofstream Out(ManifestPath);
+    Out << "j1 " << CleanTrace << "\n"
+        << "j2 " << CleanTrace << "\n";
+  }
+  std::string OutPath = Dir + "/stdout";
+  std::string ErrPath = Dir + "/stderr";
+  std::string AggPath = Dir + "/agg.json";
+  std::string Root = Dir + "/fleet";
+
+  // Every worker hangs far beyond the test: j1 wedges mid-analysis,
+  // j2 never launches (one worker slot).
+  const std::string Analyzer = "--analyzer=" OFFLINE_ANALYZER_PATH;
+  const std::string RootArg = "--checkpoint-root=" + Root;
+  const std::string OutputArg = "--output=" + AggPath;
+  pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    std::freopen(OutPath.c_str(), "wb", stdout);
+    std::freopen(ErrPath.c_str(), "wb", stderr);
+    const char *Argv[] = {CAFA_FLEET_PATH,
+                          "run",
+                          ManifestPath.c_str(),
+                          Analyzer.c_str(),
+                          RootArg.c_str(),
+                          OutputArg.c_str(),
+                          "--workers=1",
+                          "--worker-arg=--chaos-hang-ms=60000",
+                          "--json",
+                          nullptr};
+    ::execv(CAFA_FLEET_PATH, const_cast<char **>(Argv));
+    _exit(127);
+  }
+
+  // No fixed sleeps: j1's worker creates its stdout capture file the
+  // moment it is spawned -- that is the "batch is genuinely running"
+  // signal to send SIGTERM on.
+  std::string J1Stdout = fleetJobDir(Root, "j1") + "/stdout";
+  struct stat St;
+  for (int Tick = 0; Tick < 30 * 100 && ::stat(J1Stdout.c_str(), &St);
+       ++Tick)
+    ::usleep(10 * 1000);
+  ASSERT_EQ(::stat(J1Stdout.c_str(), &St), 0) << slurp(ErrPath);
+  ASSERT_EQ(::kill(Pid, SIGTERM), 0);
+
+  int Status = 0;
+  ::waitpid(Pid, &Status, 0);
+  ASSERT_TRUE(WIFEXITED(Status)) << "driver must drain, not die";
+  EXPECT_EQ(WEXITSTATUS(Status), 6) << slurp(ErrPath);
+
+  // The aggregate still came out -- stdout and the durable --output
+  // copy agree -- flagged with the interrupted count.
+  std::string Json = slurp(OutPath);
+  EXPECT_EQ(Json, slurp(AggPath));
+  EXPECT_NE(Json.find("\"interrupted\": 2"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"state\": \"interrupted\""), std::string::npos);
+  std::string Err = slurp(ErrPath);
+  EXPECT_NE(Err.find("interrupted by signal"), std::string::npos) << Err;
+
+  // The wedged worker did not outlive the drain: its checkpoint dir
+  // remains (resumable), but the batch is over and nothing holds the
+  // trace open.  A second, unsignalled run over the same manifest and
+  // root completes normally.
+  pid_t Pid2 = ::fork();
+  ASSERT_GE(Pid2, 0);
+  if (Pid2 == 0) {
+    std::freopen(OutPath.c_str(), "wb", stdout);
+    std::freopen(ErrPath.c_str(), "wb", stderr);
+    const char *Argv[] = {CAFA_FLEET_PATH,  "run",
+                          ManifestPath.c_str(), Analyzer.c_str(),
+                          RootArg.c_str(),  "--workers=1",
+                          "--json",         nullptr};
+    ::execv(CAFA_FLEET_PATH, const_cast<char **>(Argv));
+    _exit(127);
+  }
+  ::waitpid(Pid2, &Status, 0);
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0) << slurp(ErrPath);
+}
+
 } // namespace
