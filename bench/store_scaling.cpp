@@ -48,16 +48,16 @@ double nowMillis() {
 /// so the aggregate exercises both merging (shared races) and growth
 /// (per-job races).
 void syntheticJob(size_t Index, FleetJobStatus &Row,
-                  ParsedRaceReport &Report) {
+                  RaceDocument &Report) {
   Row = FleetJobStatus();
   Row.Id = formatString("job%06zu", Index);
   Row.TracePath = formatString("/corpus/user%06zu.trace", Index);
   Row.State = "done";
   Row.Attempts = 1;
   Row.ExitCode = 1;
-  Report = ParsedRaceReport();
+  Report = RaceDocument();
   for (size_t R = 0; R < 3; ++R) {
-    ParsedRace Race;
+    RaceRecord Race;
     size_t Pool = (Index * 3 + R) % 64; // 64 distinct static races
     Race.UseMethod = formatString("View$%zu.draw", Pool);
     Race.UsePc = static_cast<uint32_t>(100 + Pool);
@@ -93,7 +93,7 @@ int main() {
     double T0 = nowMillis();
     for (size_t I = 0; I < Jobs; ++I) {
       FleetJobStatus Row;
-      ParsedRaceReport Report;
+      RaceDocument Report;
       syntheticJob(I, Row, Report);
       if (!Writer.appendJob(Row, &Report).ok()) {
         std::fprintf(stderr, "append %zu failed\n", I);

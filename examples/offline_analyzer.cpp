@@ -63,6 +63,7 @@
 #include "apps/Apps.h"
 #include "cafa/Cafa.h"
 #include "cafa/ReportJson.h"
+#include "confirm/Confirm.h"
 #include "hb/DotExport.h"
 #include "trace/IngestSession.h"
 #include "trace/TraceIO.h"
@@ -90,6 +91,7 @@ static int usage(const char *Prog) {
                "     [--mem-limit=<bytes>] [--deadline=<ms>]\n"
                "     [--checkpoint-dir=<dir>] [--checkpoint-every=<ms>]\n"
                "     [--resume]                     analyze\n"
+               "     [--confirm[=<n>] --app=<name>] replay-confirm races\n"
                "     [--chaos-hang-ms=<n> | --chaos-kill-after-save |\n"
                "      --chaos-alloc-mb=<n>]  fault hooks for the fleet\n"
                "                             chaos suite (docs/fleet.md)\n"
@@ -129,6 +131,9 @@ int main(int argc, char **argv) {
     unsigned long ChaosHangMillis = 0;
     bool ChaosKillAfterSave = false;
     unsigned long ChaosAllocMb = 0;
+    bool Confirm = false;
+    unsigned ConfirmBound = 0; // 0 = auto (CAFA_CONFIRM, else 4)
+    std::string AppName;
     for (int I = 3; I != argc; ++I) {
       if (std::strcmp(argv[I], "--json") == 0) {
         Json = true;
@@ -167,6 +172,17 @@ int main(int argc, char **argv) {
         Ckpt.EveryMillis = std::strtod(argv[I] + 19, nullptr);
       } else if (std::strcmp(argv[I], "--resume") == 0) {
         Ckpt.Resume = true;
+      } else if (std::strcmp(argv[I], "--confirm") == 0) {
+        Confirm = true;
+      } else if (std::strncmp(argv[I], "--confirm=", 10) == 0) {
+        char *End = nullptr;
+        unsigned long N = std::strtoul(argv[I] + 10, &End, 10);
+        if (End == argv[I] + 10 || *End != '\0' || N == 0)
+          return usage(argv[0]);
+        Confirm = true;
+        ConfirmBound = static_cast<unsigned>(N);
+      } else if (std::strncmp(argv[I], "--app=", 6) == 0) {
+        AppName = argv[I] + 6;
       } else if (std::strncmp(argv[I], "--chaos-hang-ms=", 16) == 0) {
         ChaosHangMillis = std::strtoul(argv[I] + 16, nullptr, 10);
       } else if (std::strcmp(argv[I], "--chaos-kill-after-save") == 0) {
@@ -186,6 +202,22 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "error: --resume/--checkpoint-every need "
                            "--checkpoint-dir=<dir>\n");
       return 2;
+    }
+    if (Confirm) {
+      // Confirmation replays the scenario; traces do not carry their
+      // app model, so the caller must say which one produced the trace.
+      if (AppName.empty()) {
+        std::fprintf(stderr, "error: --confirm needs --app=<name> (the "
+                             "trace does not name its scenario)\n");
+        return 2;
+      }
+      bool Known = false;
+      for (const std::string &Name : appNames())
+        Known = Known || Name == AppName;
+      if (!Known) {
+        std::fprintf(stderr, "error: unknown app '%s'\n", AppName.c_str());
+        return usage(argv[0]);
+      }
     }
 
     // The ingest checkpoint shares the analysis checkpoint directory:
@@ -307,8 +339,25 @@ int main(int argc, char **argv) {
                    R.ExtractMillis, R.HbBuildMillis,
                    R.HbStats.FixpointRounds, R.DetectMillis);
     }
-    std::printf("%s", Json ? renderRaceReportJson(R.Report, T).c_str()
-                           : renderRaceReport(R.Report, T).c_str());
+    RaceDocument Doc = buildRaceDocument(R.Report, T);
+    if (Confirm) {
+      AppModel Model = buildApp(AppName);
+      ConfirmOptions COpt;
+      COpt.MaxSchedules = ConfirmBound;
+      COpt.Threads = Options.Hb.Threads;
+      ConfirmSummary CSum = confirmRaces(Model.S, T, R.Report, COpt);
+      applyConfirmVerdicts(CSum, Doc);
+      std::fprintf(stderr,
+                   "confirm: %u confirmed, %u infeasible, %u unconfirmed "
+                   "(%llu replay(s))\n",
+                   CSum.Confirmed, CSum.Infeasible, CSum.Unconfirmed,
+                   static_cast<unsigned long long>(CSum.SchedulesRun));
+      for (size_t I = 0; I < CSum.PerRace.size(); ++I)
+        std::fprintf(stderr, "confirm #%zu: %s\n", I + 1,
+                     CSum.PerRace[I].Detail.c_str());
+    }
+    std::printf("%s", Json ? renderRaceReportJson(Doc).c_str()
+                           : renderRaceReportText(Doc).c_str());
     if (R.Report.Partial || !Ingested.clean())
       return 3;
     if (Res.Resumed)

@@ -5,9 +5,6 @@
 //
 //===----------------------------------------------------------------------===//
 
-// This TU implements the deprecated analyzeTrace forwarders.
-#define CAFA_NO_DEPRECATION_WARNINGS
-
 #include "cafa/Cafa.h"
 
 #include "support/Timer.h"
@@ -18,24 +15,6 @@
 #include <tuple>
 
 using namespace cafa;
-
-AnalysisResult cafa::analyzeTrace(const Trace &T,
-                                  const DetectorOptions &Options,
-                                  const DerefResolver *Resolver) {
-  AnalysisOptions AO(Options);
-  AO.Resolver = Resolver;
-  return analyzeTrace(T, AO);
-}
-
-AnalysisResult cafa::analyzeTrace(const Trace &T,
-                                  const DetectorOptions &Options,
-                                  const CheckpointOptions &CkptOpt,
-                                  const DerefResolver *Resolver) {
-  AnalysisOptions AO(Options);
-  AO.Checkpoint = CkptOpt;
-  AO.Resolver = Resolver;
-  return analyzeTrace(T, AO);
-}
 
 AnalysisResult cafa::analyzeTrace(const Trace &T,
                                   const AnalysisOptions &Analysis) {

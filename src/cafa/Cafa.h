@@ -29,7 +29,6 @@
 #include "detect/GroundTruth.h"
 #include "detect/UseFreeDetector.h"
 #include "rt/Runtime.h"
-#include "support/Deprecated.h"
 #include "trace/TraceStats.h"
 
 namespace cafa {
@@ -92,17 +91,6 @@ struct AnalysisOptions {
 /// snapshot is deleted once the analysis completes cleanly.
 AnalysisResult analyzeTrace(const Trace &T,
                             const AnalysisOptions &Options = AnalysisOptions());
-
-/// Deprecated: pass the resolver via AnalysisOptions::Resolver.
-CAFA_DEPRECATED("pass the resolver in AnalysisOptions::Resolver")
-AnalysisResult analyzeTrace(const Trace &T, const DetectorOptions &Options,
-                            const DerefResolver *Resolver);
-
-/// Deprecated: pass the checkpoint config via AnalysisOptions::Checkpoint.
-CAFA_DEPRECATED("pass the checkpoint config in AnalysisOptions::Checkpoint")
-AnalysisResult analyzeTrace(const Trace &T, const DetectorOptions &Options,
-                            const CheckpointOptions &Ckpt,
-                            const DerefResolver *Resolver = nullptr);
 
 /// Runs scenario + analysis end to end.  \p Truth, when non-null, is
 /// joined into a Table 1 row stored in \p RowOut.

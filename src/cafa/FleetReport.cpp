@@ -11,324 +11,18 @@
 #include "support/Format.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
 #include <sstream>
 
 using namespace cafa;
 
-//===----------------------------------------------------------------------===//
-// Minimal JSON reader
-//===----------------------------------------------------------------------===//
-//
-// The fleet only ever parses JSON this project itself emitted
-// (renderRaceReportJson), so a small strict reader is enough; it still
-// parses arbitrary well-formed JSON so schema growth on the emitter side
-// cannot break older supervisors.
-
-namespace {
-
-struct JsonValue {
-  enum Kind : uint8_t { Null, Bool, Number, String, Array, Object };
-  Kind K = Null;
-  bool B = false;
-  double Num = 0;
-  std::string Str;
-  std::vector<JsonValue> Items;
-  std::vector<std::pair<std::string, JsonValue>> Fields;
-
-  /// Returns the named object field, or null when absent.
-  const JsonValue *field(const char *Name) const {
-    for (const auto &[Key, Value] : Fields)
-      if (Key == Name)
-        return &Value;
-    return nullptr;
-  }
-};
-
-class JsonReader {
-public:
-  JsonReader(const std::string &Text) : Text(Text) {}
-
-  Status parse(JsonValue &Out) {
-    Status S = value(Out);
-    if (!S.ok())
-      return S;
-    skipSpace();
-    if (Pos != Text.size())
-      return fail("trailing bytes after JSON value");
-    return Status::success();
-  }
-
-private:
-  Status fail(const std::string &Why) {
-    return Status::error(
-        formatString("report JSON byte %zu: %s", Pos, Why.c_str()));
-  }
-
-  void skipSpace() {
-    while (Pos < Text.size() &&
-           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
-            Text[Pos] == '\r'))
-      ++Pos;
-  }
-
-  bool eat(char C) {
-    skipSpace();
-    if (Pos < Text.size() && Text[Pos] == C) {
-      ++Pos;
-      return true;
-    }
-    return false;
-  }
-
-  Status value(JsonValue &Out) {
-    skipSpace();
-    if (Pos >= Text.size())
-      return fail("unexpected end of input");
-    char C = Text[Pos];
-    if (C == '{')
-      return object(Out);
-    if (C == '[')
-      return array(Out);
-    if (C == '"') {
-      Out.K = JsonValue::String;
-      return string(Out.Str);
-    }
-    if (C == 't' || C == 'f')
-      return boolean(Out);
-    if (C == 'n') {
-      if (Text.compare(Pos, 4, "null") != 0)
-        return fail("bad literal");
-      Pos += 4;
-      Out.K = JsonValue::Null;
-      return Status::success();
-    }
-    return number(Out);
-  }
-
-  Status object(JsonValue &Out) {
-    Out.K = JsonValue::Object;
-    ++Pos; // '{'
-    if (eat('}'))
-      return Status::success();
-    for (;;) {
-      skipSpace();
-      std::string Key;
-      if (Pos >= Text.size() || Text[Pos] != '"')
-        return fail("expected object key");
-      if (Status S = string(Key); !S.ok())
-        return S;
-      if (!eat(':'))
-        return fail("expected ':'");
-      JsonValue V;
-      if (Status S = value(V); !S.ok())
-        return S;
-      Out.Fields.emplace_back(std::move(Key), std::move(V));
-      if (eat(','))
-        continue;
-      if (eat('}'))
-        return Status::success();
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  Status array(JsonValue &Out) {
-    Out.K = JsonValue::Array;
-    ++Pos; // '['
-    if (eat(']'))
-      return Status::success();
-    for (;;) {
-      JsonValue V;
-      if (Status S = value(V); !S.ok())
-        return S;
-      Out.Items.push_back(std::move(V));
-      if (eat(','))
-        continue;
-      if (eat(']'))
-        return Status::success();
-      return fail("expected ',' or ']'");
-    }
-  }
-
-  Status string(std::string &Out) {
-    ++Pos; // opening quote
-    Out.clear();
-    while (Pos < Text.size()) {
-      char C = Text[Pos++];
-      if (C == '"')
-        return Status::success();
-      if (C != '\\') {
-        Out.push_back(C);
-        continue;
-      }
-      if (Pos >= Text.size())
-        break;
-      char E = Text[Pos++];
-      switch (E) {
-      case '"':
-      case '\\':
-      case '/':
-        Out.push_back(E);
-        break;
-      case 'n':
-        Out.push_back('\n');
-        break;
-      case 't':
-        Out.push_back('\t');
-        break;
-      case 'r':
-        Out.push_back('\r');
-        break;
-      case 'b':
-        Out.push_back('\b');
-        break;
-      case 'f':
-        Out.push_back('\f');
-        break;
-      case 'u': {
-        if (Pos + 4 > Text.size())
-          return fail("truncated \\u escape");
-        unsigned Code = 0;
-        for (int I = 0; I < 4; ++I) {
-          char H = Text[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= static_cast<unsigned>(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            Code |= static_cast<unsigned>(H - 'a' + 10);
-          else if (H >= 'A' && H <= 'F')
-            Code |= static_cast<unsigned>(H - 'A' + 10);
-          else
-            return fail("bad \\u escape");
-        }
-        // Our emitter only produces \u00xx for control bytes; decode
-        // the Latin-1 range and reject the rest rather than guessing
-        // at UTF-16 surrogate handling we never emit.
-        if (Code > 0xFF)
-          return fail("unsupported \\u escape beyond U+00FF");
-        Out.push_back(static_cast<char>(Code));
-        break;
-      }
-      default:
-        return fail("unknown escape");
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  Status boolean(JsonValue &Out) {
-    Out.K = JsonValue::Bool;
-    if (Text.compare(Pos, 4, "true") == 0) {
-      Out.B = true;
-      Pos += 4;
-      return Status::success();
-    }
-    if (Text.compare(Pos, 5, "false") == 0) {
-      Out.B = false;
-      Pos += 5;
-      return Status::success();
-    }
-    return fail("bad literal");
-  }
-
-  Status number(JsonValue &Out) {
-    size_t Start = Pos;
-    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
-      ++Pos;
-    while (Pos < Text.size() &&
-           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
-            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
-            Text[Pos] == '-' || Text[Pos] == '+'))
-      ++Pos;
-    if (Pos == Start)
-      return fail("expected a value");
-    Out.K = JsonValue::Number;
-    Out.Num = std::strtod(Text.c_str() + Start, nullptr);
-    return Status::success();
-  }
-
-  const std::string &Text;
-  size_t Pos = 0;
-};
-
-/// Reads one "use"/"free" access object into the string/pc pair.
-Status readAccess(const JsonValue &Access, std::string &Method,
-                  uint32_t &Pc, std::string &Task) {
-  const JsonValue *M = Access.field("method");
-  const JsonValue *P = Access.field("pc");
-  if (!M || M->K != JsonValue::String || !P || P->K != JsonValue::Number)
-    return Status::error("race access missing method/pc");
-  Method = M->Str;
-  Pc = static_cast<uint32_t>(P->Num);
-  if (const JsonValue *T = Access.field("task");
-      T && T->K == JsonValue::String)
-    Task = T->Str;
-  return Status::success();
-}
-
-} // namespace
-
-Status cafa::parseRaceReportJson(const std::string &Json,
-                                 ParsedRaceReport &Out) {
-  Out = ParsedRaceReport();
-  JsonValue Root;
-  if (Status S = JsonReader(Json).parse(Root); !S.ok())
-    return S;
-  if (Root.K != JsonValue::Object)
-    return Status::error("report JSON is not an object");
-
-  ParsedRaceReport Report;
-  if (const JsonValue *Partial = Root.field("partial");
-      Partial && Partial->K == JsonValue::Bool)
-    Report.Partial = Partial->B;
-  if (const JsonValue *Cause = Root.field("partialCause");
-      Cause && Cause->K == JsonValue::String)
-    Report.PartialCause = Cause->Str;
-
-  const JsonValue *Races = Root.field("races");
-  if (!Races || Races->K != JsonValue::Array)
-    return Status::error("report JSON has no races array");
-  for (const JsonValue &Entry : Races->Items) {
-    if (Entry.K != JsonValue::Object)
-      return Status::error("race entry is not an object");
-    const JsonValue *Use = Entry.field("use");
-    const JsonValue *Free = Entry.field("free");
-    if (!Use || !Free)
-      return Status::error("race entry missing use/free");
-    ParsedRace Race;
-    if (Status S = readAccess(*Use, Race.UseMethod, Race.UsePc,
-                              Race.UseTask);
-        !S.ok())
-      return S;
-    if (Status S = readAccess(*Free, Race.FreeMethod, Race.FreePc,
-                              Race.FreeTask);
-        !S.ok())
-      return S;
-    if (const JsonValue *Cat = Entry.field("category");
-        Cat && Cat->K == JsonValue::String)
-      Race.Category = Cat->Str;
-    if (const JsonValue *Dyn = Entry.field("dynamicCount");
-        Dyn && Dyn->K == JsonValue::Number)
-      Race.DynamicCount = static_cast<uint32_t>(Dyn->Num);
-    Report.Races.push_back(std::move(Race));
-  }
-  Out = std::move(Report);
-  return Status::success();
-}
-
-//===----------------------------------------------------------------------===//
-// FleetAggregator
-//===----------------------------------------------------------------------===//
-
 void FleetAggregator::addJob(const FleetJobStatus &Job,
-                             const ParsedRaceReport *Report) {
+                             const RaceDocument *Report) {
   FleetJobStatus Row = Job;
   Row.Races = Report ? Report->Races.size() : 0;
   JobRows.push_back(Row);
   if (!Report)
     return;
-  for (const ParsedRace &Race : Report->Races) {
+  for (const RaceRecord &Race : Report->Races) {
     std::array<uint32_t, 4> Key = {
         Methods.intern(Race.UseMethod).value(), Race.UsePc,
         Methods.intern(Race.FreeMethod).value(), Race.FreePc};
@@ -345,6 +39,7 @@ void FleetAggregator::addJob(const FleetJobStatus &Job,
     M.Jobs += 1;
     M.DynamicCount += Race.DynamicCount;
     M.FromPartial = M.FromPartial && Report->Partial;
+    M.Verdict = mergeConfirmVerdicts(M.Verdict, Race.Verdict);
     if (M.Exemplars.size() < MaxExemplars)
       M.Exemplars.push_back(Job.TracePath);
   }
@@ -428,15 +123,23 @@ std::string FleetAggregator::renderJson() const {
   for (const MergedRace *Race : sortedRaces()) {
     OS << (First ? "\n" : ",\n");
     First = false;
+    // Like "interrupted" above: the verdict appears only once some job
+    // confirmed, so pre-confirmation aggregates keep their pinned bytes.
+    std::string ConfirmField =
+        Race->Verdict == ConfirmVerdict::None
+            ? std::string()
+            : formatString(", \"confirm\": \"%s\"",
+                           confirmVerdictName(Race->Verdict));
     OS << formatString(
         "    {\"useMethod\": \"%s\", \"usePc\": %u, \"freeMethod\": "
         "\"%s\", \"freePc\": %u,\n"
         "     \"category\": \"%s\", \"jobs\": %u, \"dynamicCount\": "
-        "%llu%s,\n     \"exemplars\": [",
+        "%llu%s%s,\n     \"exemplars\": [",
         jsonEscape(Methods.str(Race->UseMethod)).c_str(), Race->UsePc,
         jsonEscape(Methods.str(Race->FreeMethod)).c_str(), Race->FreePc,
         jsonEscape(Race->Category).c_str(), Race->Jobs,
         static_cast<unsigned long long>(Race->DynamicCount),
+        ConfirmField.c_str(),
         Race->FromPartial ? ", \"fromPartialOnly\": true" : "");
     for (size_t I = 0; I < Race->Exemplars.size(); ++I)
       OS << (I ? ", " : "") << '"' << jsonEscape(Race->Exemplars[I])
@@ -480,11 +183,16 @@ std::string FleetAggregator::renderText() const {
                        Row.Resumed ? " (resumed)" : "");
   OS << formatString("distinct races across fleet: %zu\n", Merged.size());
   for (const MergedRace *Race : sortedRaces()) {
+    std::string ConfirmField =
+        Race->Verdict == ConfirmVerdict::None
+            ? std::string()
+            : formatString(", %s", confirmVerdictName(Race->Verdict));
     OS << formatString(
-        "  [%s] use %s+%u / free %s+%u: %u job(s), %llu dynamic%s\n",
+        "  [%s] use %s+%u / free %s+%u: %u job(s), %llu dynamic%s%s\n",
         Race->Category.c_str(), Methods.str(Race->UseMethod).c_str(),
         Race->UsePc, Methods.str(Race->FreeMethod).c_str(), Race->FreePc,
         Race->Jobs, static_cast<unsigned long long>(Race->DynamicCount),
+        ConfirmField.c_str(),
         Race->FromPartial ? " (partial reports only)" : "");
     for (const std::string &Exemplar : Race->Exemplars)
       OS << "      exemplar: " << Exemplar << "\n";

@@ -6,13 +6,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The fleet supervisor's cross-trace report: per-job analysis reports
-/// (the JSON emitted by renderRaceReportJson) are parsed back and merged
-/// by *static race identity* -- the (use method, use pc, free method,
-/// free pc) tuple that already deduplicates dynamic instances within one
-/// trace -- so the same race reported from a million users' traces
-/// collapses into one aggregate entry with an occurrence count and
-/// exemplar trace paths, instead of being re-triaged once per trace.
+/// The fleet supervisor's cross-trace report: per-job RaceDocument
+/// values (worker JSON parsed once, by ReportJson's parseRaceReportJson)
+/// are merged by *static race identity* -- the (use method, use pc,
+/// free method, free pc) tuple that already deduplicates dynamic
+/// instances within one trace -- so the same race reported from a
+/// million users' traces collapses into one aggregate entry with an
+/// occurrence count, the best confirmation verdict seen, and exemplar
+/// trace paths, instead of being re-triaged once per trace.
 ///
 /// The aggregate is deterministic by construction: jobs appear in
 /// manifest order, merged races in lexicographic static-key order, and
@@ -25,6 +26,7 @@
 #ifndef CAFA_CAFA_FLEETREPORT_H
 #define CAFA_CAFA_FLEETREPORT_H
 
+#include "cafa/RaceRecord.h"
 #include "support/Status.h"
 #include "support/StringInterner.h"
 
@@ -35,32 +37,6 @@
 #include <vector>
 
 namespace cafa {
-
-/// One race read back from a per-job JSON report.  Methods and tasks are
-/// carried as strings: the aggregator runs in the supervisor process and
-/// has no Trace object to resolve ids against.
-struct ParsedRace {
-  std::string UseMethod;
-  uint32_t UsePc = 0;
-  std::string UseTask;
-  std::string FreeMethod;
-  uint32_t FreePc = 0;
-  std::string FreeTask;
-  std::string Category; ///< "a" / "b" / "c"
-  uint32_t DynamicCount = 1;
-};
-
-/// The fields of renderRaceReportJson the fleet consumes.
-struct ParsedRaceReport {
-  std::vector<ParsedRace> Races;
-  bool Partial = false;
-  std::string PartialCause;
-};
-
-/// Parses the JSON emitted by renderRaceReportJson.  Tolerates unknown
-/// fields (schema growth) but fails on malformed JSON or missing race
-/// keys; on failure \p Out is left empty.
-Status parseRaceReportJson(const std::string &Json, ParsedRaceReport &Out);
 
 /// Per-job metadata carried into the aggregate.
 struct FleetJobStatus {
@@ -90,7 +66,7 @@ public:
   /// Records \p Job and merges \p Report's races (null for jobs that
   /// produced no report, i.e. terminal failures).  Call in manifest
   /// order -- job rows and exemplar lists preserve insertion order.
-  void addJob(const FleetJobStatus &Job, const ParsedRaceReport *Report);
+  void addJob(const FleetJobStatus &Job, const RaceDocument *Report);
 
   /// Distinct static races across all merged reports.
   size_t numDistinctRaces() const { return Merged.size(); }
@@ -115,6 +91,9 @@ private:
     uint32_t Jobs = 0;            ///< jobs whose report contains this race
     uint64_t DynamicCount = 0;    ///< summed across jobs
     bool FromPartial = false;     ///< seen only in partial reports so far
+    /// Best confirmation evidence across jobs (mergeConfirmVerdicts);
+    /// None until some job ran confirmation.
+    ConfirmVerdict Verdict = ConfirmVerdict::None;
     std::vector<std::string> Exemplars; ///< first MaxExemplars trace paths
   };
 

@@ -86,15 +86,18 @@ std::string encodeRecord(const StoredJob &Job) {
     W.u8(Job.Report.Partial ? 1 : 0);
     W.str(Job.Report.PartialCause);
     W.u32(static_cast<uint32_t>(Job.Report.Races.size()));
-    for (const ParsedRace &Race : Job.Report.Races) {
+    for (const RaceRecord &Race : Job.Report.Races) {
       W.str(Race.UseMethod);
       W.u32(Race.UsePc);
       W.str(Race.UseTask);
+      W.u32(Race.UseRecord);
       W.str(Race.FreeMethod);
       W.u32(Race.FreePc);
       W.str(Race.FreeTask);
+      W.u32(Race.FreeRecord);
       W.str(Race.Category);
       W.u32(Race.DynamicCount);
+      W.u8(static_cast<uint8_t>(Race.Verdict));
     }
   }
 
@@ -130,12 +133,18 @@ bool decodeRecord(std::string Payload, StoredJob &Out) {
     Job.Report.Partial = ReportPartial != 0;
     Job.Report.Races.reserve(NumRaces);
     for (uint32_t I = 0; I != NumRaces; ++I) {
-      ParsedRace Race;
+      RaceRecord Race;
+      uint8_t Verdict;
       if (!R.str(Race.UseMethod) || !R.u32(Race.UsePc) ||
-          !R.str(Race.UseTask) || !R.str(Race.FreeMethod) ||
-          !R.u32(Race.FreePc) || !R.str(Race.FreeTask) ||
-          !R.str(Race.Category) || !R.u32(Race.DynamicCount))
+          !R.str(Race.UseTask) || !R.u32(Race.UseRecord) ||
+          !R.str(Race.FreeMethod) || !R.u32(Race.FreePc) ||
+          !R.str(Race.FreeTask) || !R.u32(Race.FreeRecord) ||
+          !R.str(Race.Category) || !R.u32(Race.DynamicCount) ||
+          !R.u8(Verdict))
         return false;
+      if (Verdict > static_cast<uint8_t>(ConfirmVerdict::Unconfirmed))
+        return false; // checksum ok but not a verdict: treat as corrupt
+      Race.Verdict = static_cast<ConfirmVerdict>(Verdict);
       Job.Report.Races.push_back(std::move(Race));
     }
     Job.Row.Races = Job.Report.Races.size();
@@ -170,9 +179,10 @@ uint64_t RaceStore::schemaFingerprint() {
   // encodeRecord) must change this string, bumping the fingerprint so
   // old journals are refused instead of mis-decoded.
   static const char Schema[] =
-      "racestore.v1:id,trace,state,attempts:u32,exit:i64,resumed:u8,"
+      "racestore.v2:id,trace,state,attempts:u32,exit:i64,resumed:u8,"
       "partial:u8,report?{partial:u8,cause,races[use,usePc:u32,useTask,"
-      "free,freePc:u32,freeTask,category,dynamic:u32]}";
+      "useRec:u32,free,freePc:u32,freeTask,freeRec:u32,category,"
+      "dynamic:u32,confirm:u8]}";
   return fnv1a64(Schema, sizeof(Schema) - 1);
 }
 
@@ -282,7 +292,7 @@ Status RaceStore::replay(const std::string &Data) {
 }
 
 Status RaceStore::appendJob(const FleetJobStatus &Row,
-                            const ParsedRaceReport *Report) {
+                            const RaceDocument *Report) {
   if (!Open)
     return Status::error("race store is not open");
   if (Row.Id.empty())

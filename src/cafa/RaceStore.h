@@ -57,7 +57,7 @@ namespace cafa {
 /// it (raw operational fields) plus the parsed report when one exists.
 struct StoredJob {
   FleetJobStatus Row;
-  ParsedRaceReport Report;
+  RaceDocument Report;
   bool HasReport = false;
 };
 
@@ -103,7 +103,7 @@ public:
   /// Rejects duplicate ids and the non-final "interrupted" state (an
   /// interrupted job is resumable work, not a result).
   Status appendJob(const FleetJobStatus &Row,
-                   const ParsedRaceReport *Report);
+                   const RaceDocument *Report);
 
   bool hasJob(const std::string &Id) const;
   size_t numJobs() const { return Jobs.size(); }

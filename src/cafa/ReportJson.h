@@ -6,15 +6,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// JSON rendering of race reports and Table 1 rows, for CI pipelines and
-/// downstream tooling that consumes CAFA's findings programmatically.
+/// Rendering and parsing of race reports in the shared RaceDocument
+/// model (cafa/RaceRecord.h), for CI pipelines and downstream tooling
+/// that consumes CAFA's findings programmatically.  This is the single
+/// place race JSON is produced or interpreted -- the fleet supervisor
+/// and the race store consume RaceDocument values, never raw JSON.
 /// The schema is flat and stable:
 ///
 /// \code
 /// {
 ///   "races": [ { "category": "a", "dynamicCount": 1,
-///                "use":  {"method": "...", "pc": 3, "task": "..."},
-///                "free": {"method": "...", "pc": 7, "task": "..."} } ],
+///                "use":  {"method": "...", "pc": 3, "task": "...",
+///                         "record": 12},
+///                "free": {"method": "...", "pc": 7, "task": "...",
+///                         "record": 30} } ],
 ///   "filters": { "candidates": 10, "orderedByHb": 2, ... },
 ///   "partial": false
 /// }
@@ -28,21 +33,48 @@
 ///   "partialCause": "detect-deadline"
 /// \endcode
 ///
+/// When confirmation ran (offline_analyzer --confirm), each race gains a
+/// "confirm" field with its verdict:
+///
+/// \code
+///   {"category": "a", "dynamicCount": 1, "confirm": "confirmed", ...}
+/// \endcode
+///
+/// Reports that never went through confirmation render without the
+/// field, byte-identical to pre-confirmation builds.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CAFA_CAFA_REPORTJSON_H
 #define CAFA_CAFA_REPORTJSON_H
 
+#include "cafa/RaceRecord.h"
 #include "detect/GroundTruth.h"
 #include "detect/RaceReport.h"
+#include "support/Status.h"
 
 #include <string>
 #include <vector>
 
 namespace cafa {
 
+/// Renders a race document as JSON.
+std::string renderRaceReportJson(const RaceDocument &Doc);
+
 /// Renders a race report as JSON (names resolved against \p T).
+/// Equivalent to renderRaceReportJson(buildRaceDocument(Report, T)).
 std::string renderRaceReportJson(const RaceReport &Report, const Trace &T);
+
+/// Renders a race document for humans.  For a verdict-free document
+/// this is byte-identical to renderRaceReport(Report, T) on the report
+/// the document was built from; verdicts append a per-race marker.
+std::string renderRaceReportText(const RaceDocument &Doc);
+
+/// Parses the JSON emitted by renderRaceReportJson back into a
+/// document.  Tolerates unknown fields (schema growth) but fails on
+/// malformed JSON or missing race keys; on failure \p Out is left
+/// empty.
+Status parseRaceReportJson(const std::string &Json, RaceDocument &Out);
 
 /// Renders Table 1 rows as a JSON array.
 std::string renderTable1Json(const std::vector<Table1Row> &Rows);

@@ -27,6 +27,7 @@
 
 #include "fleet/Fleet.h"
 
+#include "cafa/ReportJson.h"
 #include "support/Format.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"

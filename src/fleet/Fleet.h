@@ -90,7 +90,7 @@ struct FleetJobResult {
   /// for failed jobs.
   std::string ReportJson;
   /// Parse of ReportJson when ParseOk.
-  ParsedRaceReport Parsed;
+  RaceDocument Parsed;
   bool ParseOk = false;
   std::vector<FleetAttempt> History;
 };

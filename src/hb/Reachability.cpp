@@ -7,12 +7,14 @@
 
 #include "hb/Reachability.h"
 
+#include "support/Resolve.h"
 #include "support/WorkerPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 using namespace cafa;
 
@@ -962,21 +964,22 @@ size_t ChainReachability::memoryBytes() const {
 }
 
 ReachMode cafa::resolveReachMode(ReachMode Requested) {
-  // Request > environment > default, mirroring resolveWorkerThreads'
-  // handling of the thread knobs (0 = auto there, Auto here).
-  if (Requested != ReachMode::Auto)
-    return Requested;
-  if (const char *Env = std::getenv("CAFA_REACH")) {
-    if (std::strcmp(Env, "incremental") == 0)
-      return ReachMode::Incremental;
-    if (std::strcmp(Env, "closure") == 0)
-      return ReachMode::Closure;
-    if (std::strcmp(Env, "chain") == 0)
-      return ReachMode::Chain;
-    if (std::strcmp(Env, "bfs") == 0)
-      return ReachMode::Bfs;
-  }
-  return ReachMode::Incremental;
+  // Request > environment > default via the shared precedence template
+  // (0 = auto for the thread knobs, Auto here).
+  return resolveRequestEnv<ReachMode>(
+      Requested, ReachMode::Auto, "CAFA_REACH",
+      [](const char *Env) -> std::optional<ReachMode> {
+        if (std::strcmp(Env, "incremental") == 0)
+          return ReachMode::Incremental;
+        if (std::strcmp(Env, "closure") == 0)
+          return ReachMode::Closure;
+        if (std::strcmp(Env, "chain") == 0)
+          return ReachMode::Chain;
+        if (std::strcmp(Env, "bfs") == 0)
+          return ReachMode::Bfs;
+        return std::nullopt;
+      },
+      [] { return ReachMode::Incremental; });
 }
 
 std::unique_ptr<Reachability> cafa::makeReachability(const HbGraph &G,

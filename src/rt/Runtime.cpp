@@ -124,6 +124,17 @@ struct SchedItem {
 
 } // namespace
 
+/// One ScheduleConstraint being tracked during a run: the picks plus
+/// the task indices they resolved to (at task creation) and whether the
+/// hold has been released.
+struct TrackedConstraint {
+  TaskPick Held;
+  TaskPick After;
+  int64_t HeldTask = -1;  ///< resolved task index, -1 until created
+  int64_t AfterTask = -1; ///< resolved task index, -1 until created
+  bool Released = false;
+};
+
 struct Runtime::Impl {
   const Scenario &S;
   const Module &M;
@@ -147,9 +158,26 @@ struct Runtime::Impl {
   Status Failure;
   bool TraceTaken = false;
 
+  /// Schedule-override state.  Constraints resolve their picks to task
+  /// indices as tasks are created; held thread starts park here until
+  /// their after-task completes.
+  std::vector<TrackedConstraint> Constraints;
+  /// Next creation ordinal per entry-method id (only maintained when
+  /// constraints exist -- the counters are pure bookkeeping).
+  std::vector<uint32_t> EntryOrdinals;
+  std::vector<uint32_t> ParkedThreads;
+
   Impl(const Scenario &S, const RuntimeOptions &Opt)
       : S(S), M(S.module()), Opt(Opt), Heap(M),
-        Logger(Opt.Tracing && Opt.MirrorStream) {}
+        Logger(Opt.Tracing && Opt.MirrorStream) {
+    Constraints.reserve(Opt.Schedule.Constraints.size());
+    for (const ScheduleConstraint &C : Opt.Schedule.Constraints) {
+      TrackedConstraint TC;
+      TC.Held = C.Held;
+      TC.After = C.After;
+      Constraints.push_back(TC);
+    }
+  }
 
   // --- Scheduling primitives --------------------------------------------
 
@@ -171,6 +199,83 @@ struct Runtime::Impl {
       return;
     Q.ScheduledPollTime = At;
     push(At, ItemKind::Poll, QueueIdx);
+  }
+
+  // --- Schedule overrides -----------------------------------------------
+
+  bool isHeld(uint32_t TaskIdx) const {
+    for (const TrackedConstraint &C : Constraints)
+      if (!C.Released && C.HeldTask == static_cast<int64_t>(TaskIdx))
+        return true;
+    return false;
+  }
+
+  /// Resolves constraint picks against the task being created at
+  /// \p Index with entry \p Entry.
+  void resolvePicks(uint32_t Index, MethodId Entry) {
+    if (Constraints.empty() || !Entry.isValid())
+      return;
+    if (EntryOrdinals.size() <= Entry.index())
+      EntryOrdinals.resize(Entry.index() + 1, 0);
+    uint32_t Ord = EntryOrdinals[Entry.index()]++;
+    for (TrackedConstraint &C : Constraints) {
+      if (C.Held.Entry == Entry && C.Held.Ordinal == Ord)
+        C.HeldTask = Index;
+      if (C.After.Entry == Entry && C.After.Ordinal == Ord)
+        C.AfterTask = Index;
+    }
+  }
+
+  /// Re-dispatches work a hold release (or expiry) may have unblocked:
+  /// parked thread starts whose holds cleared, and idle queues whose
+  /// head may have been a skipped held entry.
+  void reviveAfterRelease(uint64_t Now) {
+    for (size_t I = 0; I != ParkedThreads.size();) {
+      uint32_t Idx = ParkedThreads[I];
+      if (isHeld(Idx)) {
+        ++I;
+        continue;
+      }
+      RtTask &T = Tasks[Idx];
+      T.Time = std::max(T.Time, Now);
+      push(T.Time, ItemKind::StartThread, Idx);
+      ParkedThreads.erase(ParkedThreads.begin() +
+                          static_cast<ptrdiff_t>(I));
+    }
+    for (uint32_t Q = 0, E = static_cast<uint32_t>(Queues.size()); Q != E;
+         ++Q)
+      if (!Queues[Q].Busy && !Queues[Q].Entries.empty())
+        schedulePoll(Q, Now);
+  }
+
+  /// Releases every constraint waiting on \p DoneTaskIdx.
+  void releaseConstraintsFor(uint32_t DoneTaskIdx, uint64_t Now) {
+    bool AnyReleased = false;
+    for (TrackedConstraint &C : Constraints)
+      if (!C.Released && C.AfterTask == static_cast<int64_t>(DoneTaskIdx)) {
+        C.Released = true;
+        AnyReleased = true;
+      }
+    if (AnyReleased)
+      reviveAfterRelease(Now);
+  }
+
+  /// Called when the run quiesced with constraints still unreleased:
+  /// their after-tasks can no longer complete (unmatched pick or hold
+  /// cycle), so the holds expire and the parked work drains under the
+  /// default order.  Returns true if anything was revived.
+  bool expireHolds(uint64_t Now) {
+    bool AnyExpired = false;
+    for (TrackedConstraint &C : Constraints)
+      if (!C.Released) {
+        C.Released = true;
+        ++Stats.ScheduleHoldsExpired;
+        AnyExpired = true;
+      }
+    if (!AnyExpired)
+      return false;
+    reviveAfterRelease(Now);
+    return !Heap_.empty();
   }
 
   // --- Trace emission -----------------------------------------------------
@@ -215,6 +320,7 @@ struct Runtime::Impl {
     T.IsLooper = IsLooper;
     T.FromListener = FromListener;
     ++Stats.TasksCreated;
+    resolvePicks(Index, Entry);
 
     if (Opt.Tracing) {
       TaskInfo Info;
@@ -298,6 +404,7 @@ struct Runtime::Impl {
       Q.Busy = false;
       schedulePoll(T.Queue.value(), T.Time);
     }
+    releaseConstraintsFor(TaskIdx, T.Time);
   }
 
   void wake(uint32_t TaskIdx, uint64_t Now) {
@@ -314,6 +421,9 @@ struct Runtime::Impl {
   void throwNpe(uint32_t TaskIdx) {
     RtTask &T = Tasks[TaskIdx];
     ++Stats.NullPointerExceptions;
+    if (!T.Frames.empty())
+      Stats.NpeSites.push_back(
+          {T.Frames.back().Method, T.Frames.back().Pc});
     while (!T.Frames.empty()) {
       emit(T, OpKind::MethodExit, T.Frames.back().FrameId, /*Throw=*/1);
       T.Frames.pop_back();
@@ -340,7 +450,11 @@ struct Runtime::Impl {
       return;
     // Pick the first entry in queue order whose time constraint elapsed
     // (Section 2.1: ready events are processed in the order queued).
+    // Held entries are skipped in place -- they keep their queue
+    // position and become eligible when their constraint releases.
     for (auto It = Q.Entries.begin(); It != Q.Entries.end(); ++It) {
+      if (isHeld(It->TaskIndex))
+        continue;
       if (It->ReadyTime <= Now) {
         uint32_t TaskIdx = It->TaskIndex;
         Q.Entries.erase(It);
@@ -349,11 +463,16 @@ struct Runtime::Impl {
         return;
       }
     }
-    // Nothing ready yet: wake up when the earliest entry becomes ready.
+    // Nothing ready yet: wake up when the earliest dispatchable entry
+    // becomes ready.  Held entries must not drive the wakeup -- a poll
+    // re-armed at a held entry's elapsed ReadyTime would spin; their
+    // release re-polls the queue instead.
     uint64_t Earliest = UINT64_MAX;
     for (const QueueEntry &E : Q.Entries)
-      Earliest = std::min(Earliest, E.ReadyTime);
-    schedulePoll(QueueIdx, Earliest);
+      if (!isHeld(E.TaskIndex))
+        Earliest = std::min(Earliest, E.ReadyTime);
+    if (Earliest != UINT64_MAX)
+      schedulePoll(QueueIdx, Earliest);
   }
 
   // --- Interpretation ------------------------------------------------------
@@ -943,6 +1062,11 @@ Status Runtime::Impl::runAll() {
   Timer CpuTimer;
   uint64_t LastTime = 0;
 
+  // The drain loop runs to quiescence; if schedule-override holds are
+  // still pending then (their after-task never completed), they expire
+  // and the revived work drains under the default order -- an override
+  // can reorder a run but never wedge it.
+  do {
   while (!Heap_.empty()) {
     SchedItem Item = Heap_.top();
     Heap_.pop();
@@ -967,6 +1091,12 @@ Status Runtime::Impl::runAll() {
       poll(Item.Index, Item.Time);
       break;
     case ItemKind::StartThread:
+      if (isHeld(Item.Index)) {
+        // Parked until the constraint's after-task completes (or the
+        // hold expires at quiescence).
+        ParkedThreads.push_back(Item.Index);
+        break;
+      }
       startThread(Item.Index, Item.Time);
       break;
     case ItemKind::Step: {
@@ -1000,6 +1130,7 @@ Status Runtime::Impl::runAll() {
     }
     }
   }
+  } while (expireHolds(LastTime));
 
   // Quiescence: close looper tasks and count stragglers.
   Stats.SimEndMicros = LastTime;

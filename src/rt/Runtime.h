@@ -39,6 +39,40 @@
 
 namespace cafa {
 
+/// Names one dynamic task by (entry method, creation ordinal): the
+/// Ordinal'th task created with entry \p Entry, counting from 0 in
+/// creation order.  Trace task ids equal creation order and the trace's
+/// task table records each task's entry handler, so a pick computed
+/// from a trace selects the same dynamic task when the same scenario is
+/// re-run -- this is how the confirmation subsystem names "the event
+/// that freed" without a task-id channel between runs.
+struct TaskPick {
+  MethodId Entry;
+  uint32_t Ordinal = 0;
+};
+
+/// One schedule-override constraint: do not start (dispatch) task
+/// \p Held until task \p After has run to completion.  Held events stay
+/// in their queue while later entries run -- exactly the reordering a
+/// real looper exhibits when an earlier message carries a longer delay.
+struct ScheduleConstraint {
+  TaskPick Held;
+  TaskPick After;
+};
+
+/// A set of hold-until constraints applied to one run.  Scheduling
+/// still depends only on the scenario and the options (this struct is
+/// part of the options), so the determinism contract holds: two runs
+/// with the same scenario and the same override execute the identical
+/// interleaving, traced or not.  Constraints that can never release
+/// (the after-task never ends) expire at quiescence instead of
+/// deadlocking the run -- see RuntimeStats::ScheduleHoldsExpired.
+struct ScheduleOverride {
+  std::vector<ScheduleConstraint> Constraints;
+
+  bool empty() const { return Constraints.empty(); }
+};
+
 /// Knobs controlling one simulated run.
 struct RuntimeOptions {
   /// Collect a trace (the "customized ROM"); false = stock ROM baseline.
@@ -58,6 +92,10 @@ struct RuntimeOptions {
   uint32_t ForkLatencyMicros = 100;
   /// Simulated Binder dispatch latency in microseconds.
   uint32_t RpcLatencyMicros = 300;
+  /// Hold-until constraints reordering task dispatch (empty = the
+  /// default schedule).  Part of the options, so the determinism
+  /// contract extends to overridden runs.
+  ScheduleOverride Schedule;
 };
 
 /// Counters reported after a run.
@@ -74,6 +112,21 @@ struct RuntimeStats {
   uint64_t SimEndMicros = 0;
   /// Host CPU nanoseconds consumed inside run().
   uint64_t HostCpuNanos = 0;
+  /// Schedule-override constraints still unreleased when the run
+  /// otherwise quiesced; their holds were expired so the remaining work
+  /// could drain (the after-task never completed -- a pick that matched
+  /// nothing, or a hold cycle).
+  uint64_t ScheduleHoldsExpired = 0;
+  /// The faulting instruction of each NPE thrown, in throw order: the
+  /// (method, pc) of the frame that dereferenced null.  This is the
+  /// instruction whose Deref record the access extractor matches, so a
+  /// confirmation replay can test "did the predicted use crash" by
+  /// exact site rather than by counting exceptions.
+  struct NpeSite {
+    MethodId Method;
+    uint32_t Pc = 0;
+  };
+  std::vector<NpeSite> NpeSites;
 };
 
 /// The simulator.  Typical use:

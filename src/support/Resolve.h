@@ -1,0 +1,60 @@
+//===- support/Resolve.h - Request/env/default precedence ------*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One template for the request > environment > default precedence every
+/// CAFA knob follows (thread counts, the reachability oracle, the
+/// confirmation bound): an explicit request always wins; when the
+/// request is the knob's "auto" sentinel, a well-formed environment
+/// variable decides; otherwise the built-in default applies.  The
+/// environment never overrides an explicit request, so mode-pinning
+/// tests stay pinned even under CI legs that force a knob fleet-wide.
+///
+/// The per-knob resolvers (resolveWorkerThreads, resolveReachMode,
+/// resolveConfirmBound) are thin wrappers supplying the sentinel, the
+/// variable name, and the parse/default callables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_SUPPORT_RESOLVE_H
+#define CAFA_SUPPORT_RESOLVE_H
+
+#include <cstdlib>
+#include <optional>
+
+namespace cafa {
+
+/// Resolves one knob with request > environment > default precedence.
+///
+/// \param Requested   the caller's value.
+/// \param AutoValue   the sentinel meaning "caller did not choose".
+/// \param EnvVar      environment variable consulted for auto requests
+///                    (null disables the environment layer).
+/// \param Parse       callable std::optional<T>(const char *): parses the
+///                    environment string; std::nullopt rejects it (a
+///                    malformed variable falls through to the default,
+///                    it never poisons the knob).
+/// \param Default     callable T(): the value when neither the request
+///                    nor the environment decided.
+template <typename T, typename ParseFn, typename DefaultFn>
+T resolveRequestEnv(T Requested, T AutoValue, const char *EnvVar,
+                    ParseFn Parse, DefaultFn Default) {
+  if (!(Requested == AutoValue))
+    return Requested;
+  if (EnvVar) {
+    if (const char *Env = std::getenv(EnvVar)) {
+      std::optional<T> Parsed = Parse(Env);
+      if (Parsed)
+        return *Parsed;
+    }
+  }
+  return Default();
+}
+
+} // namespace cafa
+
+#endif // CAFA_SUPPORT_RESOLVE_H

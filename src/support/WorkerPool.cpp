@@ -7,9 +7,12 @@
 
 #include "support/WorkerPool.h"
 
+#include "support/Resolve.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 
 using namespace cafa;
 
@@ -124,19 +127,19 @@ void WorkerPool::parallelFor(size_t NumTasks,
 }
 
 unsigned cafa::resolveWorkerThreads(unsigned Requested, const char *EnvVar) {
-  unsigned N = Requested;
-  if (N == 0 && EnvVar) {
-    if (const char *Env = std::getenv(EnvVar)) {
-      char *End = nullptr;
-      unsigned long V = std::strtoul(Env, &End, 10);
-      if (End != Env && *End == '\0' && V >= 1)
-        N = static_cast<unsigned>(V > 256 ? 256 : V);
-    }
-  }
-  if (N == 0)
-    N = std::thread::hardware_concurrency();
-  if (N == 0)
-    N = 1;
+  unsigned N = resolveRequestEnv<unsigned>(
+      Requested, 0, EnvVar,
+      [](const char *Env) -> std::optional<unsigned> {
+        char *End = nullptr;
+        unsigned long V = std::strtoul(Env, &End, 10);
+        if (End != Env && *End == '\0' && V >= 1)
+          return static_cast<unsigned>(V > 256 ? 256 : V);
+        return std::nullopt;
+      },
+      [] {
+        unsigned HW = std::thread::hardware_concurrency();
+        return HW == 0 ? 1u : HW;
+      });
   return N > 256 ? 256u : N;
 }
 

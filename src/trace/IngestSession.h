@@ -9,10 +9,10 @@
 /// The single public entry point for turning trace text into a Trace.
 ///
 /// IngestSession subsumes the three historical entry points (parseTrace,
-/// TraceReader, salvageTrace — all still available as deprecated thin
-/// wrappers): configure an IngestOptions, feed the stream in arbitrary
-/// chunks (or point it at a file), then finish() to receive the Trace and
-/// a structured IngestReport.
+/// TraceReader, salvageTrace — their deprecated wrapper shims have since
+/// been deleted): configure an IngestOptions, feed the stream in
+/// arbitrary chunks (or point it at a file), then finish() to receive
+/// the Trace and a structured IngestReport.
 ///
 /// Two ingestion modes:
 ///  - IngestMode::Salvage (default): the fault-tolerant repair pipeline
@@ -60,7 +60,8 @@ namespace cafa {
 /// Tuning knobs for the salvage parser.
 struct SalvageOptions {
   /// Treat every incident (drop or repair) as fatal: the reader then
-  /// accepts exactly the traces that pass parseTrace() + validateTrace().
+  /// accepts exactly the traces that pass IngestMode::Parse +
+  /// validateTrace().
   bool Strict = false;
   /// Keep at most this many detailed diagnostics in the report (all
   /// incidents are still counted).

@@ -224,8 +224,8 @@ private:
   void handleRec(const LexedLine &L, size_t Ln);
 };
 
-/// Strict parser implementation shared by IngestMode::Parse and the
-/// deprecated parseTrace() wrapper (defined in TraceIO.cpp).
+/// Strict parser implementation behind IngestMode::Parse and
+/// readTraceFile() (defined in TraceIO.cpp).
 Status parseTraceImpl(const std::string &Text, Trace &Out);
 
 } // namespace ingest

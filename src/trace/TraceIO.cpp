@@ -5,9 +5,6 @@
 //
 //===----------------------------------------------------------------------===//
 
-// This TU defines the deprecated parseTrace() forwarder.
-#define CAFA_NO_DEPRECATION_WARNINGS
-
 #include "trace/TraceIO.h"
 
 #include "support/Format.h"
@@ -215,10 +212,6 @@ Status cafa::ingest::parseTraceImpl(const std::string &Text, Trace &Out) {
   }
   Out = std::move(Parsed);
   return Status::success();
-}
-
-Status cafa::parseTrace(const std::string &Text, Trace &Out) {
-  return ingest::parseTraceImpl(Text, Out);
 }
 
 Status cafa::writeTraceFile(const Trace &T, const std::string &Path) {

@@ -17,7 +17,6 @@
 #ifndef CAFA_TRACE_TRACEIO_H
 #define CAFA_TRACE_TRACEIO_H
 
-#include "support/Deprecated.h"
 #include "support/Status.h"
 #include "trace/Trace.h"
 
@@ -31,16 +30,6 @@ std::string serializeTrace(const Trace &T);
 /// Serializes one record as a single line (no trailing newline).  Exposed
 /// separately because the logging tracer streams records incrementally.
 std::string serializeRecordLine(const TraceRecord &Rec);
-
-/// Parses text produced by serializeTrace().  On success *Out is
-/// replaced; on failure *Out is left exactly as the caller passed it
-/// (strong guarantee) and the Status describes the first offending line.
-/// Deprecated: use ingestTrace() with IngestMode::Parse
-/// (trace/IngestSession.h), which runs the same strict parser behind the
-/// unified ingestion API and also fills an IngestReport.
-CAFA_DEPRECATED("use cafa::ingestTrace with IngestMode::Parse "
-                "(trace/IngestSession.h)")
-Status parseTrace(const std::string &Text, Trace &Out);
 
 /// Writes the serialized trace to \p Path.
 Status writeTraceFile(const Trace &T, const std::string &Path);

@@ -7,7 +7,7 @@
 ///
 /// \file
 /// Internal helpers shared by the strict parser (TraceIO.cpp) and the
-/// salvage parser (TraceReader.cpp): the v1 magic line, name escaping,
+/// salvage engine (SalvageEngine.cpp): the v1 magic line, name escaping,
 /// tokenization and bounded integer parsing.  Not installed; include only
 /// from src/trace.
 ///

@@ -46,7 +46,7 @@ std::string analyzedJson(const char *Name, RaceReport *ReportOut = nullptr) {
 TEST(FleetReportTest, RoundTripsRenderRaceReportJson) {
   RaceReport Report;
   std::string Json = analyzedJson("roundtrip", &Report);
-  ParsedRaceReport Parsed;
+  RaceDocument Parsed;
   ASSERT_TRUE(parseRaceReportJson(Json, Parsed).ok());
   ASSERT_EQ(Parsed.Races.size(), Report.Races.size());
   EXPECT_FALSE(Parsed.Partial);
@@ -54,7 +54,7 @@ TEST(FleetReportTest, RoundTripsRenderRaceReportJson) {
   // Every race the analysis reported must come back with its static key
   // intact (method names resolved, pcs exact, category preserved).
   bool SawAlpha = false, SawBeta = false;
-  for (const ParsedRace &R : Parsed.Races) {
+  for (const RaceRecord &R : Parsed.Races) {
     EXPECT_FALSE(R.UseMethod.empty());
     EXPECT_FALSE(R.FreeMethod.empty());
     EXPECT_TRUE(R.Category == "a" || R.Category == "b" ||
@@ -69,7 +69,7 @@ TEST(FleetReportTest, RoundTripsRenderRaceReportJson) {
 }
 
 TEST(FleetReportTest, ParsesPartialFlagAndCause) {
-  ParsedRaceReport Parsed;
+  RaceDocument Parsed;
   ASSERT_TRUE(parseRaceReportJson("{\n  \"races\": [],\n"
                                   "  \"partial\": true,\n"
                                   "  \"partialCause\": \"hb-deadline\"\n}\n",
@@ -81,7 +81,7 @@ TEST(FleetReportTest, ParsesPartialFlagAndCause) {
 }
 
 TEST(FleetReportTest, RejectsMalformedJson) {
-  ParsedRaceReport Parsed;
+  RaceDocument Parsed;
   EXPECT_FALSE(parseRaceReportJson("", Parsed).ok());
   EXPECT_FALSE(parseRaceReportJson("{\"races\": [", Parsed).ok());
   EXPECT_FALSE(parseRaceReportJson("not json at all", Parsed).ok());
@@ -93,7 +93,7 @@ TEST(FleetReportTest, RejectsMalformedJson) {
 }
 
 TEST(FleetReportTest, ToleratesUnknownFields) {
-  ParsedRaceReport Parsed;
+  RaceDocument Parsed;
   ASSERT_TRUE(parseRaceReportJson(
                   "{\"futureField\": {\"nested\": [1, 2.5, true, null]},\n"
                   " \"races\": [{\"category\": \"b\", \"dynamicCount\": 7,\n"
@@ -112,11 +112,11 @@ TEST(FleetReportTest, ToleratesUnknownFields) {
 }
 
 /// Hand-built parsed report with one race keyed (Use, UsePc, Free, FreePc).
-ParsedRaceReport oneRace(const char *Use, uint32_t UsePc, const char *Free,
+RaceDocument oneRace(const char *Use, uint32_t UsePc, const char *Free,
                          uint32_t FreePc, uint32_t Dyn = 1,
                          bool Partial = false) {
-  ParsedRaceReport R;
-  ParsedRace Race;
+  RaceDocument R;
+  RaceRecord Race;
   Race.UseMethod = Use;
   Race.UsePc = UsePc;
   Race.FreeMethod = Free;
@@ -141,10 +141,10 @@ FleetJobStatus job(const char *Id, const char *Trace) {
 TEST(FleetReportTest, MergesByStaticKeyAcrossJobs) {
   FleetAggregator Agg(/*MaxExemplars=*/2);
   // Same static race from three jobs, a distinct one from the second.
-  ParsedRaceReport A = oneRace("useM", 1, "freeM", 2, 3);
-  ParsedRaceReport B = oneRace("useM", 1, "freeM", 2, 4);
+  RaceDocument A = oneRace("useM", 1, "freeM", 2, 3);
+  RaceDocument B = oneRace("useM", 1, "freeM", 2, 4);
   B.Races.push_back(oneRace("other", 5, "freeM", 2).Races[0]);
-  ParsedRaceReport C = oneRace("useM", 1, "freeM", 2);
+  RaceDocument C = oneRace("useM", 1, "freeM", 2);
   Agg.addJob(job("j1", "a.trace"), &A);
   Agg.addJob(job("j2", "b.trace"), &B);
   Agg.addJob(job("j3", "c.trace"), &C);
@@ -167,15 +167,40 @@ TEST(FleetReportTest, MergesByStaticKeyAcrossJobs) {
   EXPECT_NE(Json.find("\"distinctRaces\": 2"), std::string::npos);
 }
 
+TEST(FleetReportTest, AggregatesBestConfirmVerdictAcrossJobs) {
+  // The same static race triaged differently by different jobs: one
+  // budget-exhausted, one crash-reproduced.  The aggregate must carry
+  // the best evidence (the crash), per mergeConfirmVerdicts.
+  RaceDocument Unconfirmed = oneRace("useM", 1, "freeM", 2);
+  Unconfirmed.Races[0].Verdict = ConfirmVerdict::Unconfirmed;
+  RaceDocument Confirmed = oneRace("useM", 1, "freeM", 2);
+  Confirmed.Races[0].Verdict = ConfirmVerdict::Confirmed;
+
+  FleetAggregator Agg;
+  Agg.addJob(job("j1", "a.trace"), &Unconfirmed);
+  Agg.addJob(job("j2", "b.trace"), &Confirmed);
+  std::string Json = Agg.renderJson();
+  EXPECT_NE(Json.find("\"confirm\": \"confirmed\""), std::string::npos)
+      << Json;
+  EXPECT_EQ(Json.find("unconfirmed"), std::string::npos) << Json;
+  EXPECT_NE(Agg.renderText().find("confirmed"), std::string::npos);
+
+  // Verdict-free aggregates keep their pinned pre-confirmation bytes.
+  RaceDocument Plain = oneRace("useM", 1, "freeM", 2);
+  FleetAggregator NoVerdicts;
+  NoVerdicts.addJob(job("j1", "a.trace"), &Plain);
+  EXPECT_EQ(NoVerdicts.renderJson().find("\"confirm\""), std::string::npos);
+}
+
 TEST(FleetReportTest, RenderOrderIsKeyOrderNotArrivalOrder) {
   // The same job/report mapping fed twice, with the races inside the
   // report in opposite orders -- so the two interners number the
   // methods differently.  The rendered JSON must be byte-identical:
   // merged races sort by the lexicographic static key, not by the
   // interner ids arrival order happened to assign.
-  ParsedRaceReport Fwd = oneRace("zz_use", 1, "zz_free", 1);
+  RaceDocument Fwd = oneRace("zz_use", 1, "zz_free", 1);
   Fwd.Races.push_back(oneRace("aa_use", 1, "aa_free", 1).Races[0]);
-  ParsedRaceReport Rev;
+  RaceDocument Rev;
   Rev.Races.push_back(Fwd.Races[1]);
   Rev.Races.push_back(Fwd.Races[0]);
 
@@ -191,7 +216,7 @@ TEST(FleetReportTest, RenderOrderIsKeyOrderNotArrivalOrder) {
 TEST(FleetReportTest, PartialProvenanceTracksContainingReports) {
   // A race seen *only* in partial reports is flagged; once any complete
   // report contains it, the flag drops.
-  ParsedRaceReport P1 = oneRace("useM", 1, "freeM", 2, 1, /*Partial=*/true);
+  RaceDocument P1 = oneRace("useM", 1, "freeM", 2, 1, /*Partial=*/true);
   FleetAggregator OnlyPartial;
   FleetJobStatus J1 = job("j1", "a.trace");
   J1.State = "done:partial";
@@ -202,7 +227,7 @@ TEST(FleetReportTest, PartialProvenanceTracksContainingReports) {
             std::string::npos);
 
   FleetAggregator Mixed;
-  ParsedRaceReport Full = oneRace("useM", 1, "freeM", 2);
+  RaceDocument Full = oneRace("useM", 1, "freeM", 2);
   Mixed.addJob(J1, &P1);
   Mixed.addJob(job("j2", "b.trace"), &Full);
   EXPECT_EQ(Mixed.renderJson().find("\"fromPartialOnly\""),
@@ -216,7 +241,7 @@ TEST(FleetReportTest, FailedJobsAppearWithoutContributingRaces) {
   Failed.ExitCode = -1;
   Failed.Attempts = 3;
   Agg.addJob(Failed, nullptr); // terminal failure: no report to merge
-  ParsedRaceReport Ok = oneRace("useM", 1, "freeM", 2);
+  RaceDocument Ok = oneRace("useM", 1, "freeM", 2);
   Agg.addJob(job("ok", "y.trace"), &Ok);
 
   EXPECT_EQ(Agg.numDistinctRaces(), 1u);

@@ -15,6 +15,7 @@
 #include "apps/Apps.h"
 #include "cafa/Cafa.h"
 #include "ir/IrBuilder.h"
+#include "trace/IngestSession.h"
 #include "trace/TraceIO.h"
 #include "trace/Validate.h"
 
@@ -165,7 +166,10 @@ TEST(PipelineTest, SerializedAppTraceValidates) {
   std::string Text = serializeTrace(T);
   EXPECT_GT(Text.size(), 100'000u);
   Trace Parsed;
-  ASSERT_TRUE(parseTrace(Text, Parsed).ok());
+  IngestOptions Strict;
+  Strict.Mode = IngestMode::Parse;
+  IngestReport Report;
+  ASSERT_TRUE(ingestTrace(Text, Parsed, Report, Strict).ok());
   EXPECT_TRUE(validateTrace(Parsed).ok());
   EXPECT_EQ(Parsed.numRecords(), T.numRecords());
 }

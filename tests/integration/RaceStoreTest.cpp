@@ -64,14 +64,14 @@ protected:
 
   /// A done row with a one-race report.
   static void doneJob(const std::string &Id, FleetJobStatus &Row,
-                      ParsedRaceReport &Report) {
+                      RaceDocument &Report) {
     Row = FleetJobStatus();
     Row.Id = Id;
     Row.TracePath = "/traces/" + Id + ".trace";
     Row.State = "done";
     Row.Attempts = 1;
     Row.ExitCode = 1;
-    ParsedRace Race;
+    RaceRecord Race;
     Race.UseMethod = "View.draw";
     Race.UsePc = 12;
     Race.UseTask = "ui";
@@ -80,7 +80,7 @@ protected:
     Race.FreeTask = "lifecycle";
     Race.Category = "a";
     Race.DynamicCount = 2;
-    Report = ParsedRaceReport();
+    Report = RaceDocument();
     Report.Races.push_back(Race);
   }
 
@@ -93,7 +93,7 @@ protected:
     SizeAfter.push_back(Store.stats().JournalBytes);
     for (int I = 0; I < N; ++I) {
       FleetJobStatus Row;
-      ParsedRaceReport Report;
+      RaceDocument Report;
       doneJob("job" + std::to_string(I), Row, Report);
       ASSERT_TRUE(Store.appendJob(Row, &Report).ok());
       SizeAfter.push_back(Store.stats().JournalBytes);
@@ -109,7 +109,7 @@ TEST_F(RaceStoreTest, AppendReplayRoundTrip) {
     EXPECT_EQ(Store.numJobs(), 0u);
 
     FleetJobStatus Row;
-    ParsedRaceReport Report;
+    RaceDocument Report;
     doneJob("alpha", Row, Report);
     Row.Resumed = true; // raw operational fields must round-trip
     Row.ExitCode = 4;
@@ -179,7 +179,7 @@ TEST_F(RaceStoreTest, TornAppendTruncatesToLastValidPrefix) {
     ASSERT_EQ(::stat(Path.c_str(), &St), 0);
     EXPECT_EQ(static_cast<size_t>(St.st_size), SizeAfter[2]);
     FleetJobStatus Row;
-    ParsedRaceReport Report;
+    RaceDocument Report;
     doneJob("job2", Row, Report);
     ASSERT_TRUE(Store.appendJob(Row, &Report).ok());
   }
@@ -293,7 +293,7 @@ TEST_F(RaceStoreTest, CompactionIsByteDeterministic) {
   ASSERT_TRUE(ARec.open(PathA).ok());
   ASSERT_TRUE(ARec.stats().RecoveredTail);
   FleetJobStatus Row;
-  ParsedRaceReport Report;
+  RaceDocument Report;
   doneJob("job2", Row, Report);
   ASSERT_TRUE(ARec.appendJob(Row, &Report).ok());
   ASSERT_TRUE(ARec.compact().ok());
@@ -311,10 +311,44 @@ TEST_F(RaceStoreTest, CompactionIsByteDeterministic) {
   EXPECT_EQ(Replayed.numJobs(), 3u);
 }
 
+TEST_F(RaceStoreTest, ConfirmVerdictRoundTripsThroughJournal) {
+  std::string Path = Scratch + "/verdict.journal";
+  {
+    RaceStore Store;
+    ASSERT_TRUE(Store.open(Path).ok());
+    FleetJobStatus Row;
+    RaceDocument Report;
+    doneJob("triaged", Row, Report);
+    Report.Races[0].Verdict = ConfirmVerdict::Confirmed;
+    RaceRecord Refuted = Report.Races[0];
+    Refuted.UsePc = 99; // distinct static site
+    Refuted.Verdict = ConfirmVerdict::Infeasible;
+    Report.Races.push_back(Refuted);
+    ASSERT_TRUE(Store.appendJob(Row, &Report).ok());
+  }
+  RaceStore Replayed;
+  ASSERT_TRUE(Replayed.open(Path).ok());
+  ASSERT_EQ(Replayed.numJobs(), 1u);
+  const StoredJob &Job = Replayed.jobs()[0];
+  ASSERT_EQ(Job.Report.Races.size(), 2u);
+  EXPECT_EQ(Job.Report.Races[0].Verdict, ConfirmVerdict::Confirmed);
+  EXPECT_EQ(Job.Report.Races[1].Verdict, ConfirmVerdict::Infeasible);
+  // The verdict flows into the rendered aggregate...
+  EXPECT_NE(Replayed.renderJson().find("\"confirm\": \"confirmed\""),
+            std::string::npos);
+  EXPECT_NE(Replayed.renderJson().find("\"confirm\": \"infeasible\""),
+            std::string::npos);
+  // ...while a verdict-free journal keeps its pre-confirmation bytes.
+  RaceStore Plain;
+  std::vector<size_t> Sizes;
+  seedStore(Scratch + "/plain.journal", 1, Plain, Sizes);
+  EXPECT_EQ(Plain.renderJson().find("\"confirm\""), std::string::npos);
+}
+
 TEST_F(RaceStoreTest, RejectsDuplicatesInterruptedAndUnopened) {
   RaceStore Unopened;
   FleetJobStatus Row;
-  ParsedRaceReport Report;
+  RaceDocument Report;
   doneJob("x", Row, Report);
   EXPECT_FALSE(Unopened.appendJob(Row, &Report).ok());
 
@@ -346,7 +380,7 @@ TEST_F(RaceStoreTest, RenderNormalizesOperationalHistoryAway) {
   ASSERT_TRUE(B.open(Scratch + "/norm_b.journal").ok());
 
   FleetJobStatus Row;
-  ParsedRaceReport Report;
+  RaceDocument Report;
   doneJob("resumed", Row, Report);
   Row.ExitCode = 4;
   Row.Resumed = true;
@@ -382,7 +416,7 @@ TEST_F(RaceStoreTest, RenderSortsByJobIdNotInsertionOrder) {
   ASSERT_TRUE(Backward.open(Scratch + "/order_b.journal").ok());
 
   FleetJobStatus Row;
-  ParsedRaceReport Report;
+  RaceDocument Report;
   for (const char *Id : {"aaa", "mmm", "zzz"}) {
     doneJob(Id, Row, Report);
     ASSERT_TRUE(Forward.appendJob(Row, &Report).ok());

@@ -23,9 +23,9 @@
 
 #include "apps/AppKit.h"
 #include "cafa/Cafa.h"
+#include "trace/IngestSession.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
-#include "trace/TraceReader.h"
 #include "trace/Validate.h"
 
 #include <gtest/gtest.h>
@@ -37,6 +37,22 @@
 using namespace cafa;
 
 namespace {
+
+/// Salvage one text through the unified ingestion API.
+Status salvage(const std::string &Text, Trace &Out, IngestReport &Report,
+               const SalvageOptions &Opt = SalvageOptions()) {
+  IngestOptions IO;
+  IO.Salvage = Opt;
+  return ingestTrace(Text, Out, Report, IO);
+}
+
+/// Strict parse (IngestMode::Parse) through the same API.
+Status parseStrict(const std::string &Text, Trace &Out) {
+  IngestOptions Opt;
+  Opt.Mode = IngestMode::Parse;
+  IngestReport Report;
+  return ingestTrace(Text, Out, Report, Opt);
+}
 
 /// A compact hand-built trace exercising every record kind and every
 /// side table, so mutations can hit every parser code path.
@@ -113,7 +129,7 @@ void runPipelineOn(const std::string &Text, const std::string &What) {
   Opt.MaxDroppedRatio = 1.0; // the no-crash sweep disables the budget
   Trace T;
   IngestReport Report;
-  Status S = salvageTrace(Text, T, Report, Opt);
+  Status S = salvage(Text, T, Report, Opt);
   ASSERT_TRUE(S.ok()) << What << ": " << S.message() << "\n"
                       << Report.summary();
 
@@ -171,7 +187,7 @@ std::string recordKey(const TraceRecord &R) {
 TEST(FaultInjectionTest, SingleLineCorruptionLosesOnlyThatRecord) {
   std::string Base = buildKitchenSinkText();
   Trace Original;
-  ASSERT_TRUE(parseTrace(Base, Original).ok());
+  ASSERT_TRUE(parseStrict(Base, Original).ok());
 
   // Split into lines and corrupt each record line in turn.  (Corrupting
   // a directive line shifts every later implicit id and legitimately
@@ -199,7 +215,7 @@ TEST(FaultInjectionTest, SingleLineCorruptionLosesOnlyThatRecord) {
 
     Trace T;
     IngestReport Report;
-    ASSERT_TRUE(salvageTrace(Mutated, T, Report).ok()) << Lines[I];
+    ASSERT_TRUE(salvage(Mutated, T, Report).ok()) << Lines[I];
     EXPECT_EQ(Report.LinesDropped, 1u) << Lines[I];
 
     // Every original record except (at most) the corrupted one must be
@@ -231,7 +247,7 @@ TEST(FaultInjectionTest, TruncationMidEventStillAnalyzable) {
 
   Trace T;
   IngestReport Report;
-  ASSERT_TRUE(salvageTrace(Truncated, T, Report).ok())
+  ASSERT_TRUE(salvage(Truncated, T, Report).ok())
       << Report.summary();
   EXPECT_TRUE(Report.TruncatedFinalLine);
   EXPECT_GT(Report.RecordsSynthesized, 0u); // the open event was closed
@@ -254,11 +270,11 @@ TEST(FaultInjectionTest, StrictModeAcceptsExactlyPristineInput) {
 
   Trace Clean;
   IngestReport CleanReport;
-  ASSERT_TRUE(salvageTrace(Base, Clean, CleanReport, Strict).ok());
+  ASSERT_TRUE(salvage(Base, Clean, CleanReport, Strict).ok());
   EXPECT_TRUE(CleanReport.clean());
 
   Trace Parsed;
-  ASSERT_TRUE(parseTrace(Base, Parsed).ok());
+  ASSERT_TRUE(parseStrict(Base, Parsed).ok());
   EXPECT_EQ(Clean.numRecords(), Parsed.numRecords());
 
   // Any corruption that actually lands must be rejected in strict mode,
@@ -267,8 +283,8 @@ TEST(FaultInjectionTest, StrictModeAcceptsExactlyPristineInput) {
   ASSERT_NE(F.Text, Base);
   Trace T;
   IngestReport Report;
-  EXPECT_FALSE(salvageTrace(F.Text, T, Report, Strict).ok());
-  EXPECT_TRUE(salvageTrace(F.Text, T, Report).ok());
+  EXPECT_FALSE(salvage(F.Text, T, Report, Strict).ok());
+  EXPECT_TRUE(salvage(F.Text, T, Report).ok());
 }
 
 TEST(FaultInjectionTest, DroppedLineBudgetFailsIngestion) {
@@ -280,7 +296,7 @@ TEST(FaultInjectionTest, DroppedLineBudgetFailsIngestion) {
   NoDrops.MaxDroppedLines = 0;
   Trace T;
   IngestReport Report;
-  EXPECT_FALSE(salvageTrace(F.Text, T, Report, NoDrops).ok());
+  EXPECT_FALSE(salvage(F.Text, T, Report, NoDrops).ok());
   EXPECT_GE(Report.LinesDropped, 1u);
 }
 
@@ -294,7 +310,7 @@ TEST(FaultInjectionTest, DroppedRatioBudgetFailsIngestion) {
   Tight.MaxDroppedRatio = 0.01;
   Trace T;
   IngestReport Report;
-  EXPECT_FALSE(salvageTrace(Text, T, Report, Tight).ok());
+  EXPECT_FALSE(salvage(Text, T, Report, Tight).ok());
 }
 
 TEST(FaultInjectionTest, InjectorIsDeterministic) {
@@ -323,7 +339,7 @@ TEST(FaultInjectionTest, DiagnosticsAreCappedButCounted) {
   Opt.MaxDroppedRatio = 1.0;
   Trace T;
   IngestReport Report;
-  ASSERT_TRUE(salvageTrace(Text, T, Report, Opt).ok());
+  ASSERT_TRUE(salvage(Text, T, Report, Opt).ok());
   EXPECT_LE(Report.Diagnostics.size(), 2u);
   EXPECT_GE(Report.IncidentsTotal, 8u);
   for (const IngestDiagnostic &D : Report.Diagnostics)

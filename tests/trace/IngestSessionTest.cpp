@@ -9,19 +9,15 @@
 // of IngestSession are bit-identical at every thread count and every
 // shard size -- on pristine dumps, on every damaged fixture, and on 100
 // randomized FaultInjector corruptions with shard boundaries landing
-// mid-record.  Plus the deprecated wrappers (TraceReader, salvageTrace,
-// parseTrace) staying byte-equivalent to the API they forward to.
+// mid-record.  Plus the strict Parse mode honouring its strong error
+// guarantee (the output Trace is untouched on failure).
 //
 //===----------------------------------------------------------------------===//
-
-// This suite intentionally pins the deprecated wrappers' behaviour.
-#define CAFA_NO_DEPRECATION_WARNINGS
 
 #include "trace/FaultInjector.h"
 #include "trace/IngestSession.h"
 #include "trace/TraceBuilder.h"
 #include "trace/TraceIO.h"
-#include "trace/TraceReader.h"
 
 #include <gtest/gtest.h>
 
@@ -338,65 +334,38 @@ TEST(IngestSessionTest, ResolveThreadsHonorsEnvironment) {
     ::unsetenv("CAFA_INGEST_THREADS");
 }
 
-TEST(IngestSessionTest, ParseModeMatchesParseTrace) {
+TEST(IngestSessionTest, ParseModeIsStrict) {
   std::string Good = buildRichTraceText(5);
   std::string Bad = injectFault(Good, FaultKind::GarbageLine, 11).Text;
 
-  for (const std::string &Text : {Good, Bad}) {
-    Trace ViaParse;
-    Status SP = parseTrace(Text, ViaParse);
+  IngestOptions O;
+  O.Mode = IngestMode::Parse;
 
-    IngestOptions O;
-    O.Mode = IngestMode::Parse;
-    Trace ViaIngest;
-    IngestReport R;
-    Status SI = ingestTrace(Text, ViaIngest, R, O);
-
-    ASSERT_EQ(SP.ok(), SI.ok());
-    if (SP.ok()) {
-      EXPECT_EQ(serializeTrace(ViaParse), serializeTrace(ViaIngest));
-      EXPECT_EQ(R.RecordsKept, ViaIngest.numRecords());
-      EXPECT_TRUE(R.clean());
-    } else {
-      EXPECT_EQ(SP.message(), SI.message());
-    }
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Deprecated wrappers stay byte-equivalent
-//===----------------------------------------------------------------------===//
-
-TEST(IngestSessionTest, DeprecatedWrappersMatchIngestSession) {
-  std::string Text = buildRichTraceText(15);
-  Text = injectFault(Text, FaultKind::CorruptField, 99).Text;
-  Text = injectFault(Text, FaultKind::DropLine, 100).Text;
-
-  IngestOutcome Ref = runIngest(Text, 1, UINT64_MAX);
-
+  // A pristine dump parses cleanly and keeps every record.
   {
     Trace T;
     IngestReport R;
-    Status St = salvageTrace(Text, T, R);
-    ASSERT_EQ(St.ok(), Ref.Ok);
-    if (St.ok())
-      EXPECT_EQ(serializeTrace(T), Ref.SerializedTrace);
-    EXPECT_EQ(R.summary(), Ref.ReportSummary);
+    ASSERT_TRUE(ingestTrace(Good, T, R, O).ok());
+    EXPECT_EQ(R.RecordsKept, T.numRecords());
+    EXPECT_TRUE(R.clean());
   }
+
+  // A damaged dump fails at the first offending byte, leaving the output
+  // Trace untouched (strong guarantee) — while the default salvage mode
+  // still repairs the same text.
   {
-    TraceReader Reader;
-    for (size_t I = 0; I < Text.size(); I += 37)
-      Reader.feed(std::string_view(Text).substr(I, 37));
     Trace T;
     IngestReport R;
-    Status St = Reader.finish(T, R);
-    ASSERT_EQ(St.ok(), Ref.Ok);
-    if (St.ok())
-      EXPECT_EQ(serializeTrace(T), Ref.SerializedTrace);
-    EXPECT_EQ(R.summary(), Ref.ReportSummary);
+    Status St = ingestTrace(Bad, T, R, O);
+    ASSERT_FALSE(St.ok());
+    EXPECT_NE(St.message().find("trace line"), std::string::npos);
+    EXPECT_EQ(T.numRecords(), 0u);
+    EXPECT_EQ(T.numTasks(), 0u);
 
-    Status Again = Reader.finish(T, R);
-    EXPECT_FALSE(Again.ok());
-    EXPECT_EQ(Again.message(), "TraceReader::finish() called twice");
+    Trace Repaired;
+    IngestReport SalvageReport;
+    EXPECT_TRUE(ingestTrace(Bad, Repaired, SalvageReport).ok());
+    EXPECT_GT(Repaired.numRecords(), 0u);
+    EXPECT_FALSE(SalvageReport.clean());
   }
 }

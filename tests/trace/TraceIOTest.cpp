@@ -8,6 +8,7 @@
 #include "trace/TraceIO.h"
 
 #include "support/Rng.h"
+#include "trace/IngestSession.h"
 #include "trace/TraceBuilder.h"
 #include "trace/Validate.h"
 
@@ -18,6 +19,15 @@
 using namespace cafa;
 
 namespace {
+
+/// Strict parse through the unified ingestion API (IngestMode::Parse):
+/// fails on the first offending byte, leaving \p Out untouched.
+Status parseStrict(const std::string &Text, Trace &Out) {
+  IngestOptions Opt;
+  Opt.Mode = IngestMode::Parse;
+  IngestReport Report;
+  return ingestTrace(Text, Out, Report, Opt);
+}
 
 Trace makeSampleTrace() {
   TraceBuilder TB;
@@ -94,7 +104,7 @@ TEST(TraceIOTest, SerializeParseRoundTrip) {
   Trace Original = makeSampleTrace();
   std::string Text = serializeTrace(Original);
   Trace Parsed;
-  Status S = parseTrace(Text, Parsed);
+  Status S = parseStrict(Text, Parsed);
   ASSERT_TRUE(S.ok()) << S.message();
   expectTracesEqual(Original, Parsed);
 }
@@ -112,21 +122,21 @@ TEST(TraceIOTest, FileRoundTrip) {
 
 TEST(TraceIOTest, MissingHeaderRejected) {
   Trace Out;
-  Status S = parseTrace("not a trace\n", Out);
+  Status S = parseStrict("not a trace\n", Out);
   EXPECT_FALSE(S.ok());
   EXPECT_NE(S.message().find("header"), std::string::npos);
 }
 
 TEST(TraceIOTest, UnknownDirectiveRejected) {
   Trace Out;
-  Status S = parseTrace("cafa-trace v1\nbogus 1 2 3\n", Out);
+  Status S = parseStrict("cafa-trace v1\nbogus 1 2 3\n", Out);
   EXPECT_FALSE(S.ok());
   EXPECT_NE(S.message().find("unknown directive"), std::string::npos);
 }
 
 TEST(TraceIOTest, MalformedRecLineRejected) {
   Trace Out;
-  Status S = parseTrace("cafa-trace v1\n"
+  Status S = parseStrict("cafa-trace v1\n"
                         "task 0 thread t - 4294967295 4294967295 "
                         "4294967295 0 0 0 4294967295 0\n"
                         "rec 0 rd 0\n",
@@ -136,7 +146,7 @@ TEST(TraceIOTest, MalformedRecLineRejected) {
 
 TEST(TraceIOTest, RecForUndeclaredTaskRejected) {
   Trace Out;
-  Status S = parseTrace(
+  Status S = parseStrict(
       "cafa-trace v1\nrec 5 rd 4294967295 0 0 0 0 1\n", Out);
   EXPECT_FALSE(S.ok());
   EXPECT_NE(S.message().find("undeclared task"), std::string::npos);
@@ -144,14 +154,14 @@ TEST(TraceIOTest, RecForUndeclaredTaskRejected) {
 
 TEST(TraceIOTest, NonDenseIdsRejected) {
   Trace Out;
-  Status S = parseTrace("cafa-trace v1\nmethod 3 foo 10\n", Out);
+  Status S = parseStrict("cafa-trace v1\nmethod 3 foo 10\n", Out);
   EXPECT_FALSE(S.ok());
   EXPECT_NE(S.message().find("dense"), std::string::npos);
 }
 
 TEST(TraceIOTest, CommentsAndBlankLinesIgnored) {
   Trace Out;
-  Status S = parseTrace("cafa-trace v1\n\n# a comment\n", Out);
+  Status S = parseStrict("cafa-trace v1\n\n# a comment\n", Out);
   EXPECT_TRUE(S.ok()) << S.message();
   EXPECT_EQ(Out.numRecords(), 0u);
 }
@@ -162,7 +172,7 @@ TEST(TraceIOTest, NameEscapingSurvivesSpacesAndBackslashes) {
   TB.addMethod("weird\\name", 1);
   std::string Text = serializeTrace(TB.trace());
   Trace Parsed;
-  ASSERT_TRUE(parseTrace(Text, Parsed).ok());
+  ASSERT_TRUE(parseStrict(Text, Parsed).ok());
   EXPECT_EQ(Parsed.names().str(Parsed.queueInfo(QueueId(0)).Name),
             "queue with spaces");
   EXPECT_EQ(Parsed.methodName(MethodId(0)), "weird\\name");
@@ -175,17 +185,17 @@ TEST(TraceIOTest, ReadMissingFileFails) {
 }
 
 TEST(TraceIOTest, ParseFailureLeavesOutputUntouched) {
-  // parseTrace documents the strong error guarantee: on failure the
+  // IngestMode::Parse documents the strong error guarantee: on failure the
   // output trace is exactly what the caller passed in, never a
   // half-parsed hybrid.
   Trace Out = makeSampleTrace();
   std::string Bad =
       serializeTrace(Out) + "rec 0 rd not-a-number 0 0 0 0 99\n";
-  ASSERT_FALSE(parseTrace(Bad, Out).ok());
+  ASSERT_FALSE(parseStrict(Bad, Out).ok());
   expectTracesEqual(Out, makeSampleTrace());
 
   // Same contract when the header itself is missing.
-  ASSERT_FALSE(parseTrace("not a trace\n", Out).ok());
+  ASSERT_FALSE(parseStrict("not a trace\n", Out).ok());
   expectTracesEqual(Out, makeSampleTrace());
 }
 
@@ -271,13 +281,13 @@ Trace makeRandomTrace(uint64_t Seed) {
 }
 
 TEST(TraceIOTest, RandomizedRoundTripIsIdentity) {
-  // The property pin: parseTrace(serializeTrace(T)) == T over 100
+  // The property pin: parseStrict(serializeTrace(T)) == T over 100
   // randomized traces covering every record kind, full-range values,
   // sentinel ids, and names with spaces and backslashes.
   for (uint64_t Seed = 0; Seed != 100; ++Seed) {
     Trace Original = makeRandomTrace(Seed);
     Trace Parsed;
-    Status S = parseTrace(serializeTrace(Original), Parsed);
+    Status S = parseStrict(serializeTrace(Original), Parsed);
     ASSERT_TRUE(S.ok()) << "seed " << Seed << ": " << S.message();
     expectTracesEqual(Original, Parsed);
     if (::testing::Test::HasFatalFailure() ||
