@@ -13,12 +13,18 @@
 //   $ ./offline_analyzer analyze /tmp/zxing.trace        # analyze later
 //   $ ./offline_analyzer analyze /tmp/zxing.trace --json # CI-friendly
 //   $ ./offline_analyzer analyze /tmp/zxing.trace --reach=closure
+//   $ ./offline_analyzer analyze /tmp/big.trace --window=65536
 //   $ ./offline_analyzer dot /tmp/zxing.trace            # Graphviz digest
 //
 // --reach selects the happens-before reachability oracle (incremental /
 // closure / chain / bfs; see the mode decision table in
 // docs/hb-reachability.md for when to pick which).  Unset, the choice
 // also honors the CAFA_REACH environment variable.
+// --window=<records> runs the windowed streaming detector scan
+// (docs/windowed-analysis.md): bounded resident overlay, byte-identical
+// report.  Unset, CAFA_WINDOW decides; --window=off pins the batch scan
+// even under memory pressure.  The stats block (stderr) reports the
+// process peak RSS and the window overlay's high-water mark.
 // Damaged dumps are salvaged by default (--strict insists on a pristine
 // file); --mem-limit=<bytes> and --deadline=<ms> engage the graceful-
 // degradation ladder (docs/robustness.md).
@@ -73,6 +79,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sys/resource.h>
 #include <sys/stat.h>
 #include <thread>
 #include <unistd.h>
@@ -88,6 +95,7 @@ static int usage(const char *Prog) {
                "  %s analyze <trace-file> [--json] [--strict|--salvage]\n"
                "     [--ingest-threads=<n>] [--analysis-threads=<n>]\n"
                "     [--reach=incremental|closure|chain|bfs]\n"
+               "     [--window=<records>|--window=off]\n"
                "     [--mem-limit=<bytes>] [--deadline=<ms>]\n"
                "     [--checkpoint-dir=<dir>] [--checkpoint-every=<ms>]\n"
                "     [--resume]                     analyze\n"
@@ -161,6 +169,14 @@ int main(int argc, char **argv) {
         Options.Hb.Reach = ReachMode::Chain;
       } else if (std::strcmp(argv[I], "--reach=bfs") == 0) {
         Options.Hb.Reach = ReachMode::Bfs;
+      } else if (std::strcmp(argv[I], "--window=off") == 0) {
+        Options.WindowEvents = DetectorOptions::WindowOff;
+      } else if (std::strncmp(argv[I], "--window=", 9) == 0) {
+        char *End = nullptr;
+        unsigned long long N = std::strtoull(argv[I] + 9, &End, 10);
+        if (End == argv[I] + 9 || *End != '\0' || N == 0)
+          return usage(argv[0]);
+        Options.WindowEvents = N;
       } else if (std::strncmp(argv[I], "--mem-limit=", 12) == 0) {
         Options.Hb.MemLimitBytes =
             std::strtoull(argv[I] + 12, nullptr, 10);
@@ -224,6 +240,15 @@ int main(int argc, char **argv) {
     // one --checkpoint-dir covers the whole pipeline.
     Ingest.CheckpointDirectory = Ckpt.Directory;
     Ingest.Resume = Ckpt.Resume;
+
+    // A non-windowed run slurps the whole input; pre-check its size
+    // against --mem-limit so an oversized dump fails with a usage error
+    // up front instead of OOMing mid-ingest.  A windowed run streams
+    // from the mapping, so the budget applies to the overlay instead.
+    if (Options.Hb.MemLimitBytes > 0 &&
+        resolveWindowEvents(Options.WindowEvents) ==
+            DetectorOptions::WindowOff)
+      Ingest.MaxInputBytes = Options.Hb.MemLimitBytes;
 
     Trace T;
     IngestReport Ingested;
@@ -327,17 +352,56 @@ int main(int argc, char **argv) {
                    "--mem-limit (results unaffected)\n",
                    reachModeName(R.Degradation.RequestedReach),
                    reachModeName(R.Degradation.UsedReach));
+    if (R.WindowEventsUsed)
+      std::fprintf(stderr,
+                   "note: windowed scan (window %llu records%s; results "
+                   "unaffected)\n",
+                   static_cast<unsigned long long>(R.WindowEventsUsed),
+                   R.WindowShedByMemory ? ", engaged by --mem-limit" : "");
     if (R.Report.Partial)
       std::fprintf(stderr, "warning: partial analysis (%s)\n",
                    R.Report.PartialCause.c_str());
+    // Peak RSS covers the whole process (trace included); the overlay
+    // high-water is the windowed scan's own resident analysis state.
+    struct rusage Usage;
+    ::getrusage(RUSAGE_SELF, &Usage);
+    unsigned long long PeakRssBytes =
+        static_cast<unsigned long long>(Usage.ru_maxrss) * 1024ull;
     if (!Json) {
       std::fprintf(stderr, "%s",
                    renderTraceStats(R.TraceStatistics).c_str());
       std::fprintf(stderr,
                    "analysis: extract %.1f ms, happens-before %.1f ms "
-                   "(%u fixpoint rounds), detect %.1f ms\n\n",
+                   "(%u fixpoint rounds), detect %.1f ms\n",
                    R.ExtractMillis, R.HbBuildMillis,
                    R.HbStats.FixpointRounds, R.DetectMillis);
+      std::fprintf(stderr,
+                   "memory: peak rss %llu bytes, happens-before %zu bytes",
+                   PeakRssBytes, R.HbMemoryBytes);
+      if (R.WindowEventsUsed)
+        std::fprintf(stderr,
+                     ", window overlay high-water %zu bytes (%zu "
+                     "reachability rows x %u chains, retained %zu bytes)",
+                     R.WindowedDetect.OverlayHighWaterBytes,
+                     R.WindowedDetect.ReachHighWaterRows,
+                     R.WindowedDetect.Chains,
+                     R.WindowedDetect.RetainedHighWaterBytes);
+      std::fprintf(stderr, "\n\n");
+    } else {
+      // One machine-readable stats line on stderr; stdout stays the
+      // report alone so byte-compare harnesses are unaffected.
+      std::fprintf(stderr,
+                   "{\"stats\":{\"peak_rss_bytes\":%llu,"
+                   "\"hb_bytes\":%zu,\"window_events\":%llu,"
+                   "\"overlay_high_water_bytes\":%zu,"
+                   "\"reach_high_water_rows\":%zu,\"chains\":%u,"
+                   "\"retained_high_water_bytes\":%zu}}\n",
+                   PeakRssBytes, R.HbMemoryBytes,
+                   static_cast<unsigned long long>(R.WindowEventsUsed),
+                   R.WindowedDetect.OverlayHighWaterBytes,
+                   R.WindowedDetect.ReachHighWaterRows,
+                   R.WindowedDetect.Chains,
+                   R.WindowedDetect.RetainedHighWaterBytes);
     }
     RaceDocument Doc = buildRaceDocument(R.Report, T);
     if (Confirm) {

@@ -80,6 +80,14 @@ bool pipelineOnce(const std::string &Text) {
   Opt.DeadlineMillis = 50;
   AnalysisResult R = analyzeTrace(T, Opt);
   (void)R;
+
+  // Same trace through the windowed streaming scan at a deliberately
+  // tiny sweep cadence: salvaged traces are exactly the hostile shapes
+  // (quiet tasks, dangling events, mid-record damage) where the
+  // per-task retirement horizons and push pruning earn their keep.
+  Opt.WindowEvents = 16;
+  AnalysisResult W = analyzeTrace(T, Opt);
+  (void)W;
   return true;
 }
 

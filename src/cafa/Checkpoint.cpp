@@ -18,7 +18,7 @@ namespace {
 /// answers from silently mis-decoded state are the one unacceptable
 /// failure mode.
 constexpr char SnapshotMagic[9] = "CAFACKPT";
-constexpr uint32_t SnapshotVersion = 3; // v3: HbFrontier::ChainState
+constexpr uint32_t SnapshotVersion = 4; // v4: windowed detect frontier
 
 /// Caps on length-prefixed counts, so a corrupt count that slipped past
 /// the checksum cannot drive a multi-gigabyte allocation.  Generous:
@@ -27,6 +27,7 @@ constexpr uint64_t MaxEdges = uint64_t(1) << 32;
 constexpr uint64_t MaxCursors = uint64_t(1) << 28;
 constexpr uint64_t MaxRowWords = uint64_t(1) << 32;
 constexpr uint64_t MaxRaces = uint64_t(1) << 24;
+constexpr uint64_t MaxSurvivors = uint64_t(1) << 28;
 constexpr uint32_t MaxRules = 16;
 
 void putStats(SnapshotWriter &W, const HbRuleStats &S) {
@@ -162,6 +163,57 @@ void putDetectFrontier(SnapshotWriter &W, const DetectFrontier &F) {
   }
 }
 
+void putWindowedDetectFrontier(SnapshotWriter &W,
+                               const WindowedDetectFrontier &F) {
+  W.u32(F.CursorRecord);
+  W.u64(F.PairsDoneAtCursor);
+  W.u8(F.FiltersShed ? 1 : 0);
+  W.u64(F.Filters.OrderedByHb);
+  W.u64(F.Filters.SameTask);
+  W.u64(F.Filters.LocksetProtected);
+  W.u64(F.Filters.IfGuardFiltered);
+  W.u64(F.Filters.IntraEventAlloc);
+  W.u64(F.Filters.CandidatePairs);
+  W.u64(F.Survivors.size());
+  for (const WindowedDetectFrontier::SurvivorEntry &S : F.Survivors) {
+    W.u32(S.UseOrd);
+    W.u32(S.FreeOrd);
+    W.u32(S.UseRecord);
+    W.u32(S.FreeRecord);
+    W.u32(S.UseMethod);
+    W.u32(S.UsePc);
+    W.u32(S.FreeMethod);
+    W.u32(S.FreePc);
+    W.u8(S.SameLooper);
+  }
+}
+
+bool getWindowedDetectFrontier(SnapshotReader &R,
+                               WindowedDetectFrontier &F) {
+  uint8_t Shed;
+  if (!R.u32(F.CursorRecord) || !R.u64(F.PairsDoneAtCursor) ||
+      !R.u8(Shed) || Shed > 1)
+    return false;
+  F.FiltersShed = Shed != 0;
+  if (!R.u64(F.Filters.OrderedByHb) || !R.u64(F.Filters.SameTask) ||
+      !R.u64(F.Filters.LocksetProtected) ||
+      !R.u64(F.Filters.IfGuardFiltered) ||
+      !R.u64(F.Filters.IntraEventAlloc) ||
+      !R.u64(F.Filters.CandidatePairs))
+    return false;
+  uint64_t N;
+  if (!R.u64(N) || N > MaxSurvivors)
+    return false;
+  F.Survivors.resize(N);
+  for (WindowedDetectFrontier::SurvivorEntry &S : F.Survivors)
+    if (!R.u32(S.UseOrd) || !R.u32(S.FreeOrd) || !R.u32(S.UseRecord) ||
+        !R.u32(S.FreeRecord) || !R.u32(S.UseMethod) || !R.u32(S.UsePc) ||
+        !R.u32(S.FreeMethod) || !R.u32(S.FreePc) || !R.u8(S.SameLooper) ||
+        S.SameLooper > 1)
+      return false;
+  return true;
+}
+
 bool getDetectFrontier(SnapshotReader &R, DetectFrontier &F) {
   uint8_t Shed;
   if (!R.u32(F.UseIdx) || !R.u32(F.FreePos) || !R.u8(Shed) || Shed > 1)
@@ -240,6 +292,9 @@ Status cafa::saveAnalysisSnapshot(const AnalysisSnapshot &Snap,
   W.u8(Snap.HasDetect ? 1 : 0);
   if (Snap.HasDetect)
     putDetectFrontier(W, Snap.Detect);
+  W.u8(Snap.HasWindowedDetect ? 1 : 0);
+  if (Snap.HasWindowedDetect)
+    putWindowedDetectFrontier(W, Snap.WindowedDetect);
   W.u8(Snap.HasPartialRaces ? 1 : 0);
   if (Snap.HasPartialRaces) {
     W.u32(static_cast<uint32_t>(Snap.PartialRaces.size()));
@@ -263,7 +318,7 @@ Status cafa::loadAnalysisSnapshot(AnalysisSnapshot &Snap,
   auto Malformed = [] {
     return Status::error("snapshot payload malformed");
   };
-  uint8_t Phase, HasDetect, HasPartial;
+  uint8_t Phase, HasDetect, HasWindowed, HasPartial;
   if (!R.u64(Snap.TraceFingerprint) || !R.u64(Snap.NumRecords) ||
       !R.u64(Snap.OptionsDigest) || !R.u8(Phase) ||
       Phase > static_cast<uint8_t>(SnapshotPhase::Detect))
@@ -275,6 +330,12 @@ Status cafa::loadAnalysisSnapshot(AnalysisSnapshot &Snap,
     return Malformed();
   Snap.HasDetect = HasDetect != 0;
   if (Snap.HasDetect && !getDetectFrontier(R, Snap.Detect))
+    return Malformed();
+  if (!R.u8(HasWindowed) || HasWindowed > 1)
+    return Malformed();
+  Snap.HasWindowedDetect = HasWindowed != 0;
+  if (Snap.HasWindowedDetect &&
+      !getWindowedDetectFrontier(R, Snap.WindowedDetect))
     return Malformed();
   if (!R.u8(HasPartial) || HasPartial > 1)
     return Malformed();

@@ -89,6 +89,13 @@ struct AnalysisSnapshot {
   HbFrontier Hb;
   bool HasDetect = false;
   DetectFrontier Detect;
+  /// The detect phase was the windowed streaming scan; the snapshot
+  /// carries its frontier instead of (never alongside) the batch one.
+  /// Cross-mode resume recomputes rather than rejects: a batch run
+  /// finding a windowed frontier (or vice versa) adopts the Hb frontier
+  /// and redoes detection from scratch in its own mode.
+  bool HasWindowedDetect = false;
+  WindowedDetectFrontier WindowedDetect;
   /// Races of the partial report this snapshot accompanied, for the
   /// confirmed/retracted diff on resume.  Only final partial-result
   /// snapshots carry these.
@@ -136,8 +143,9 @@ uint64_t traceFingerprint(const Trace &T);
 /// Digest of the options that change analysis *results*: the causality
 /// model, rule toggles, round cap, filters, classification, and whether
 /// a deref resolver was attached.  Deliberately excludes pure
-/// time/memory knobs (Reach, MemLimitBytes, DeadlineMillis) -- those
-/// change how fast the same answer arrives, and a snapshot taken under
+/// time/memory knobs (Reach, MemLimitBytes, DeadlineMillis, and the
+/// windowed-scan cadence WindowEvents) -- those change how fast and in
+/// how much memory the same answer arrives, and a snapshot taken under
 /// one budget must remain resumable under another.
 uint64_t detectorOptionsDigest(const DetectorOptions &Options,
                                bool HasResolver);

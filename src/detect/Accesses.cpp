@@ -38,13 +38,36 @@ struct TaskScan {
   std::vector<std::unordered_map<uint32_t, LastRead>> FrameReadsByPc;
 };
 
+/// Accumulates the streamed items into an AccessDb (the batch path).
+class DbSink final : public AccessSink {
+public:
+  explicit DbSink(AccessDb &Db) : Db(Db) {}
+  void onUse(PtrAccess Use, size_t) override {
+    Db.Uses.push_back(std::move(Use));
+  }
+  void onFree(PtrAccess Free) override {
+    Db.Frees.push_back(std::move(Free));
+  }
+  void onAlloc(PtrAccess Alloc) override {
+    Db.Allocs.push_back(std::move(Alloc));
+  }
+  void onBranch(GuardBranch Br) override {
+    Db.Branches.push_back(std::move(Br));
+  }
+
+private:
+  AccessDb &Db;
+};
+
 } // namespace
 
-AccessDb cafa::extractAccesses(const Trace &T, const TaskIndex &Index,
-                               const DerefResolver *Resolver) {
-  AccessDb Db;
+AccessSink::~AccessSink() = default;
+
+StreamExtractCounts cafa::streamAccesses(const Trace &T,
+                                         const DerefResolver *Resolver,
+                                         AccessSink &Sink) {
   std::vector<TaskScan> Scans(T.numTasks());
-  // Read record index -> index into Db.Uses (deduplicates promotions).
+  // Read record indices already promoted (first dereference wins).
   std::unordered_map<uint32_t, size_t> UseByReadRecord;
   uint64_t TotalReads = 0;
 
@@ -62,8 +85,9 @@ AccessDb cafa::extractAccesses(const Trace &T, const TaskIndex &Index,
     Use.Frame = LR.Frame;
     Use.DerefRecord = DerefRecord;
     Use.Lockset = LR.Lockset;
-    UseByReadRecord.emplace(LR.Record, Db.Uses.size());
-    Db.Uses.push_back(std::move(Use));
+    size_t Ordinal = UseByReadRecord.size();
+    UseByReadRecord.emplace(LR.Record, Ordinal);
+    Sink.onUse(std::move(Use), Ordinal);
   };
 
   // Looks up the read matched by a querying site, preferring the static
@@ -85,6 +109,7 @@ AccessDb cafa::extractAccesses(const Trace &T, const TaskIndex &Index,
     return It == Scan.ReadsByObject.end() ? nullptr : &It->second;
   };
 
+  StreamExtractCounts Counts;
   for (uint32_t I = 0, E = static_cast<uint32_t>(T.numRecords()); I != E;
        ++I) {
     const TraceRecord &Rec = T.record(I);
@@ -122,6 +147,8 @@ AccessDb cafa::extractAccesses(const Trace &T, const TaskIndex &Index,
       LR.Frame = Scan.FrameStack.empty() ? 0 : Scan.FrameStack.back();
       LR.Lockset = Scan.LockStack;
       std::sort(LR.Lockset.begin(), LR.Lockset.end());
+      Sink.onPtrRead(I, Rec.Task, LR.Var, LR.Method, LR.Pc, LR.Frame,
+                     LR.Lockset);
       if (!Scan.FrameReadsByPc.empty())
         Scan.FrameReadsByPc.back()[Rec.Pc] = LR;
       Scan.ReadsByObject[Obj] = std::move(LR);
@@ -139,16 +166,16 @@ AccessDb cafa::extractAccesses(const Trace &T, const TaskIndex &Index,
       Acc.Lockset = Scan.LockStack;
       std::sort(Acc.Lockset.begin(), Acc.Lockset.end());
       if (Rec.isFree())
-        Db.Frees.push_back(std::move(Acc));
+        Sink.onFree(std::move(Acc));
       else
-        Db.Allocs.push_back(std::move(Acc));
+        Sink.onAlloc(std::move(Acc));
       break;
     }
 
     case OpKind::Deref: {
       const LastRead *LR = matchSite(Scan, Rec, Rec.Arg0);
       if (!LR) {
-        ++Db.UnmatchedDerefs;
+        ++Counts.UnmatchedDerefs;
         break;
       }
       promoteUse(*LR, Rec.Task, I);
@@ -166,15 +193,28 @@ AccessDb cafa::extractAccesses(const Trace &T, const TaskIndex &Index,
       Br.Frame = Scan.FrameStack.empty() ? 0 : Scan.FrameStack.back();
       if (const LastRead *LR = matchSite(Scan, Rec, Rec.Arg1))
         Br.Var = LR->Var;
-      Db.Branches.push_back(std::move(Br));
+      Sink.onBranch(std::move(Br));
       break;
     }
 
     default:
       break;
     }
+    if (!Sink.onRecordDone(I))
+      break;
   }
 
-  Db.UnmatchedReads = TotalReads - Db.Uses.size();
+  Counts.UnmatchedReads = TotalReads - UseByReadRecord.size();
+  return Counts;
+}
+
+AccessDb cafa::extractAccesses(const Trace &T, const TaskIndex &Index,
+                               const DerefResolver *Resolver) {
+  (void)Index;
+  AccessDb Db;
+  DbSink Sink(Db);
+  StreamExtractCounts Counts = streamAccesses(T, Resolver, Sink);
+  Db.UnmatchedReads = Counts.UnmatchedReads;
+  Db.UnmatchedDerefs = Counts.UnmatchedDerefs;
   return Db;
 }

@@ -79,6 +79,61 @@ struct AccessDb {
   uint64_t UnmatchedDerefs = 0;
 };
 
+/// Streaming consumer of extracted accesses.  Callbacks fire during one
+/// forward scan of the records: onFree/onAlloc/onBranch at their own
+/// record in record order; onUse at the *dereference* record that
+/// promotes the read (so uses arrive in promotion order -- exactly the
+/// order of AccessDb::Uses -- and Use.Record is NOT monotone across
+/// calls); onPtrRead at every non-null pointer read in record order
+/// (passed by field so the common case copies nothing -- the windowed
+/// scan uses it to reconstruct a use *at its read record*, where pairs
+/// against earlier frees are admitted); onRecordDone after each
+/// record's extraction work, which is the windowed scan's admission
+/// cursor -- returning false stops the scan (deadline cut).
+/// UseOrdinal counts promotions and equals the use's index in the
+/// batch AccessDb::Uses.
+class AccessSink {
+public:
+  virtual ~AccessSink();
+  virtual void onUse(PtrAccess Use, size_t UseOrdinal) {
+    (void)Use;
+    (void)UseOrdinal;
+  }
+  virtual void onFree(PtrAccess Free) { (void)Free; }
+  virtual void onAlloc(PtrAccess Alloc) { (void)Alloc; }
+  virtual void onBranch(GuardBranch Br) { (void)Br; }
+  virtual void onPtrRead(uint32_t Record, TaskId Task, VarId Var,
+                         MethodId Method, uint32_t Pc, uint64_t Frame,
+                         const std::vector<uint32_t> &SortedLockset) {
+    (void)Record;
+    (void)Task;
+    (void)Var;
+    (void)Method;
+    (void)Pc;
+    (void)Frame;
+    (void)SortedLockset;
+  }
+  virtual bool onRecordDone(uint32_t Record) {
+    (void)Record;
+    return true;
+  }
+};
+
+/// Tail counters of one streaming extraction.
+struct StreamExtractCounts {
+  uint64_t UnmatchedReads = 0;
+  uint64_t UnmatchedDerefs = 0;
+};
+
+/// Single-pass streaming extraction: runs the same scan as
+/// extractAccesses but hands every extracted item to \p Sink instead of
+/// accumulating an AccessDb, so windowed analyses never hold the full
+/// access tables resident.  extractAccesses is this function plus an
+/// accumulating sink; the two are byte-identical by construction.
+StreamExtractCounts streamAccesses(const Trace &T,
+                                   const DerefResolver *Resolver,
+                                   AccessSink &Sink);
+
 /// Scans \p T once and extracts all high-level accesses.
 ///
 /// When \p Resolver is provided (the Section 6.3 static-dataflow

@@ -52,7 +52,23 @@ struct DetectorOptions {
   /// detector whatever the extract and happens-before phases left
   /// over.  0 = off.
   double DeadlineMillis = 0;
+  /// Windowed streaming scan (docs/windowed-analysis.md).  0 = auto:
+  /// the CAFA_WINDOW environment variable decides; when it is unset
+  /// the batch scan runs, unless analyzeTrace sheds to the windowed
+  /// scan under memory pressure.  WindowOff pins the batch scan
+  /// regardless of the environment.  Any other value runs the
+  /// windowed scan with retirement sweeps every WindowEvents records.
+  /// The two scans emit byte-identical reports; the window trades
+  /// resident overlay memory for a second extraction pass.
+  uint64_t WindowEvents = 0;
+  /// Sentinel for WindowEvents: never use the windowed scan.
+  static constexpr uint64_t WindowOff = ~0ull;
 };
+
+/// Resolves DetectorOptions::WindowEvents with request > environment
+/// (CAFA_WINDOW, a positive record count) > default (WindowOff)
+/// precedence.
+uint64_t resolveWindowEvents(uint64_t Requested);
 
 /// Everything needed to freeze the candidate-pair scan at a pair
 /// boundary and restore it in another process.  The scan order
@@ -97,6 +113,82 @@ struct DetectCheckpointing {
   const DetectFrontier *Resume = nullptr;
   bool ResumeAccepted = false;
 };
+
+/// Frozen state of the windowed streaming scan (WindowedScan.cpp) at a
+/// pair boundary.  Unlike the batch DetectFrontier, races are not yet
+/// committed when the scan freezes -- dedup and classification run once
+/// at the end over the survivor set -- so the frontier carries the
+/// surviving pairs instead, identified by their stable use/free
+/// ordinals (positions in promotion/record order, identical across
+/// processes by construction).
+struct WindowedDetectFrontier {
+  /// First record whose admitted pairs are not fully processed.
+  uint32_t CursorRecord = 0;
+  /// Pairs admitted at CursorRecord that were already processed (the
+  /// within-record enumeration order -- retained-bucket insertion
+  /// order -- is deterministic, so a count is a cursor).
+  uint64_t PairsDoneAtCursor = 0;
+  bool FiltersShed = false;
+  FilterCounters Filters;
+  /// One surviving pair.  Records and sites ride along for validation
+  /// and for rebuilding the dedup key without the access bodies.
+  struct SurvivorEntry {
+    uint32_t UseOrd = 0, FreeOrd = 0;
+    uint32_t UseRecord = 0, FreeRecord = 0;
+    uint32_t UseMethod = 0, UsePc = 0, FreeMethod = 0, FreePc = 0;
+    uint8_t SameLooper = 0;
+  };
+  std::vector<SurvivorEntry> Survivors;
+};
+
+/// Checkpoint hooks for the windowed scan; same contract as
+/// DetectCheckpointing (cadence saves, save on deadline cut, validated
+/// resume that silently restarts from scratch on mismatch).
+struct WindowedDetectCheckpointing {
+  double EveryMillis = 0;
+  std::function<void(const WindowedDetectFrontier &)> Save;
+  const WindowedDetectFrontier *Resume = nullptr;
+  bool ResumeAccepted = false;
+};
+
+/// Observability counters of one windowed scan, surfaced in the
+/// analyzer's stats block and the scaling bench.
+struct WindowedDetectStats {
+  /// Retirement sweep cadence actually used (records).
+  uint64_t WindowEvents = 0;
+  /// Chain count of the frontier reachability rows.
+  uint32_t Chains = 0;
+  /// Peak simultaneously-live reachability rows / their bytes.
+  size_t ReachHighWaterRows = 0;
+  size_t ReachHighWaterBytes = 0;
+  /// Peak bytes of retained (not yet retired) accesses and branches.
+  size_t RetainedHighWaterBytes = 0;
+  /// Peak of the combined analysis overlay (rows + retained accesses),
+  /// sampled at every insertion and sweep.
+  size_t OverlayHighWaterBytes = 0;
+  /// Extraction tallies.  The windowed path never materializes an
+  /// AccessDb, so analyzeTrace fills its trace stats from these.
+  uint64_t NumUses = 0, NumFrees = 0, NumAllocs = 0, NumBranches = 0;
+  uint64_t UnmatchedReads = 0, UnmatchedDerefs = 0;
+};
+
+/// Windowed streaming detection over a *final* (post-fixpoint) \p Hb:
+/// two extraction passes (a counting pre-pass deriving retention
+/// horizons, then the scan itself), pairs evaluated as their later
+/// access streams by, accesses retired once no future counterpart can
+/// pair with them.  Emits a report byte-identical to the batch
+/// detectUseFreeRaces at every window size -- the window is only the
+/// retirement sweep cadence -- while never holding the full access
+/// tables or a full reachability closure resident.  \p WindowEvents
+/// must be a concrete cadence (not 0/WindowOff; callers resolve
+/// first).  \p Index is only consulted for the conventional-model
+/// classification pass.
+RaceReport detectUseFreeRacesWindowed(
+    const Trace &T, const TaskIndex &Index, const HbIndex &Hb,
+    const DetectorOptions &Options, uint64_t WindowEvents,
+    const DerefResolver *Resolver = nullptr,
+    WindowedDetectStats *Stats = nullptr,
+    WindowedDetectCheckpointing *Ckpt = nullptr);
 
 /// Runs the full CAFA pipeline on \p T: extract accesses, build the
 /// causality model, detect and filter use-free races, classify.

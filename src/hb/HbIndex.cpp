@@ -1071,6 +1071,10 @@ bool HbIndex::concurrentQueriesSafe() const {
   return Reach->concurrentQueriesSafe();
 }
 
+void HbIndex::shedOracle() {
+  Reach = makeReachability(*Graph, ReachMode::Bfs);
+}
+
 size_t HbIndex::memoryBytes() const {
   size_t Adj = 0;
   for (uint32_t I = 0, E = static_cast<uint32_t>(Graph->numNodes()); I != E;

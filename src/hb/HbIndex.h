@@ -252,6 +252,16 @@ public:
   /// only the edges and cursors and a resume recomputes the rows.
   HbFrontier exportFrontier() const;
 
+  /// Swaps the reachability oracle for the BFS floor, releasing its
+  /// precomputed state (closure rows or chain clocks).  For callers
+  /// that are done with bulk ordering queries -- the windowed detector
+  /// answers them from its own frontier rows -- but keep the index
+  /// alive for the graph and occasional queries.  All oracles answer
+  /// identically, so happensBefore() stays correct, just slower; export
+  /// any frontier blob first, the shed oracle has none to attach.
+  /// degradation() keeps reporting the build-time provenance.
+  void shedOracle();
+
   /// Approximate analyzer memory (graph + oracle), for scaling benches.
   size_t memoryBytes() const;
 

@@ -555,6 +555,43 @@ size_t BfsReachability::memoryBytes() const {
 }
 
 //===----------------------------------------------------------------------===//
+// Chain cover
+//===----------------------------------------------------------------------===//
+
+void cafa::greedyChainCover(const HbGraph &G, ChainCover &Out) {
+  size_t N = G.numNodes();
+  Out.ChainOf.assign(N, ChainCover::Unassigned);
+  Out.PosInChain.assign(N, 0);
+  Out.ChainNodes.clear();
+  // Greedy path cover: walk ids ascending, start a chain at every
+  // unassigned node, extend along the smallest-id unassigned successor.
+  // Edges point forward in id order, so every chain's members ascend --
+  // which makes a chain's position order its id order, and makes the
+  // walk O(N + E) total.  The cover is a pure function of the adjacency
+  // lists: determinism is what keeps checkpointed clocks byte-stable
+  // and lets the windowed frontier recompute the very same cover.
+  for (uint32_t I = 0, E = static_cast<uint32_t>(N); I != E; ++I) {
+    if (Out.ChainOf[I] != ChainCover::Unassigned)
+      continue;
+    uint32_t C = static_cast<uint32_t>(Out.ChainNodes.size());
+    Out.ChainNodes.emplace_back();
+    uint32_t U = I;
+    for (;;) {
+      Out.ChainOf[U] = C;
+      Out.PosInChain[U] = static_cast<uint32_t>(Out.ChainNodes[C].size());
+      Out.ChainNodes[C].push_back(U);
+      uint32_t NextU = ChainCover::Unassigned;
+      for (uint32_t S : G.successors(NodeId(U)))
+        if (Out.ChainOf[S] == ChainCover::Unassigned && S < NextU)
+          NextU = S;
+      if (NextU == ChainCover::Unassigned)
+        break;
+      U = NextU;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // ChainReachability
 //===----------------------------------------------------------------------===//
 
@@ -566,35 +603,14 @@ ChainReachability::ChainReachability(const HbGraph &G, size_t BudgetBytes,
 }
 
 void ChainReachability::decompose() {
-  size_t N = G.numNodes();
-  ChainOf.assign(N, Unset);
-  PosInChain.assign(N, 0);
-  ChainNodes.clear();
-  // Greedy path cover: walk ids ascending, start a chain at every
-  // unassigned node, extend along the smallest-id unassigned successor.
-  // Edges point forward in id order, so every chain's members ascend --
-  // which makes a chain's position order its id order, and makes the
-  // walk O(N + E) total.  The cover is a pure function of the adjacency
-  // lists: determinism is what keeps checkpointed clocks byte-stable.
-  for (uint32_t I = 0, E = static_cast<uint32_t>(N); I != E; ++I) {
-    if (ChainOf[I] != Unset)
-      continue;
-    uint32_t C = static_cast<uint32_t>(ChainNodes.size());
-    ChainNodes.emplace_back();
-    uint32_t U = I;
-    for (;;) {
-      ChainOf[U] = C;
-      PosInChain[U] = static_cast<uint32_t>(ChainNodes[C].size());
-      ChainNodes[C].push_back(U);
-      uint32_t NextU = Unset;
-      for (uint32_t S : G.successors(NodeId(U)))
-        if (ChainOf[S] == Unset && S < NextU)
-          NextU = S;
-      if (NextU == Unset)
-        break;
-      U = NextU;
-    }
-  }
+  ChainCover Cover;
+  Cover.ChainOf = std::move(ChainOf);
+  Cover.PosInChain = std::move(PosInChain);
+  Cover.ChainNodes = std::move(ChainNodes);
+  greedyChainCover(G, Cover);
+  ChainOf = std::move(Cover.ChainOf);
+  PosInChain = std::move(Cover.PosInChain);
+  ChainNodes = std::move(Cover.ChainNodes);
   NumChains = static_cast<uint32_t>(ChainNodes.size());
 }
 

@@ -94,6 +94,32 @@ enum class ReachMode : uint8_t {
 /// Incremental, the default oracle.
 ReachMode resolveReachMode(ReachMode Requested);
 
+/// A greedy path cover of the happens-before DAG into chains.  Every
+/// node belongs to exactly one chain; a chain's members ascend in node
+/// id, and consecutive members are connected by graph edges, so earlier
+/// members reach later members (the chain-prefix property both the
+/// ChainReachability clocks and the windowed frontier summaries rely
+/// on).  Produced by greedyChainCover(); a pure function of the
+/// adjacency lists, so it is identical wherever it is recomputed.
+struct ChainCover {
+  /// Sentinel in ChainOf while the cover is being built; never present
+  /// in a finished cover.
+  static constexpr uint32_t Unassigned = 0xFFFFFFFFu;
+  std::vector<uint32_t> ChainOf;     ///< node id -> chain index
+  std::vector<uint32_t> PosInChain;  ///< node id -> position in its chain
+  std::vector<std::vector<uint32_t>> ChainNodes; ///< chain -> node ids
+  uint32_t numChains() const {
+    return static_cast<uint32_t>(ChainNodes.size());
+  }
+};
+
+/// Computes the canonical greedy path cover of \p G: walk ids
+/// ascending, start a chain at every unassigned node, extend along the
+/// smallest-id unassigned successor.  O(N + E).  Shared by
+/// ChainReachability (forward clocks) and hb/WindowedReach (backward
+/// frontier clocks) so the two provably agree on the decomposition.
+void greedyChainCover(const HbGraph &G, ChainCover &Out);
+
 /// Answers "is there a path From -> To" on the current graph edges.
 class Reachability {
 public:

@@ -1,0 +1,153 @@
+//===- hb/WindowedReach.h - Streaming frontier reachability ----*- C++ -*-===//
+//
+// Part of the CAFA reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded-memory reachability for the windowed detector scan
+/// (docs/windowed-analysis.md).
+///
+/// ChainReachability keeps one *forward* clock row per node for the
+/// whole run: Clock[u][c] = min position in chain c that u reaches --
+/// O(N * chains) resident.  The windowed scan walks records in
+/// admission order and only ever asks "is the earlier access ordered
+/// with the one I am admitting *now*", so it needs the mirror-image
+/// *backward* formulation instead, and only for nodes near the
+/// admission frontier:
+///
+///   Row[v][c] = 1 + max position in chain c over all nodes u with a
+///               nonempty path u -> v   (0 when no such node)
+///
+///   reaches(u, v)  <=>  Row[v][chainOf(u)] >= posInChain(u) + 1
+///
+/// over the same greedy chain cover as the chain oracle
+/// (greedyChainCover -- shared code, so the two provably agree).  The
+/// <=> holds because a chain is a path: every earlier chain member
+/// reaches every later one, so "max position reached from" summarizes
+/// exactly the set of chain prefixes that reach v.
+///
+/// Rows are computed by a forward push: admitting node w (all its
+/// predecessors have smaller ids, hence earlier records, hence are
+/// already admitted) folds w's row plus w's own (chain, pos) into the
+/// row of its earliest successor on each chain -- later same-chain
+/// successors receive the facts transitively along the chain path, so
+/// a saturated graph's redundant long edges never materialize rows
+/// (see admit()).  A row is therefore *final* the moment its node is
+/// admitted.  Retirement exploits that every query targets
+/// lastNodeAtOrBefore(L) with L at the admission cursor, and that
+/// lastNodeAtOrBefore resolves *within L's own task*: node v of task t
+/// answers queries exactly for the task-t records in [record(v),
+/// record of t's next node), so
+///
+///   RetireAt[v] = the last record (up to the query horizon) whose
+///                 lastNodeAtOrBefore is v, or record(v) if none is
+///
+/// computed in the constructor by replaying that resolution over every
+/// record.  The floor at the node's own record keeps a row alive
+/// through its admission, where it still has to push to its
+/// successors; after that, a successor's row -- allocated eagerly by
+/// the push -- carries the facts forward.  Because a quiet task's last
+/// node outlives busier tasks' later nodes, RetireAt is not monotone
+/// in the id; the retirement sweep instead walks ids presorted by
+/// horizon, which is still a single pointer walk per advance.
+///
+/// Live rows track the frontier width (the latest node plus every
+/// future node already targeted by a long edge), not the trace length:
+/// the overlay memory is O(live-rows * chains), and the high-water
+/// mark is exported for the analyzer's stats block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CAFA_HB_WINDOWEDREACH_H
+#define CAFA_HB_WINDOWEDREACH_H
+
+#include "hb/HbGraph.h"
+#include "hb/Reachability.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cafa {
+
+/// Streaming backward chain-clock oracle over a *final* (post-fixpoint)
+/// happens-before graph.  Not an implementation of the Reachability
+/// interface on purpose: it answers only frontier-ordered queries, and
+/// the type system should keep it out of the rule engine.
+class WindowedReach {
+public:
+  /// \p QueryHorizon is the last record index that can appear as the
+  /// *later* element of a candidate pair (0 when nothing is ever
+  /// queried).  The final node's row is held exactly until the cursor
+  /// passes it.
+  WindowedReach(const HbGraph &G, uint32_t QueryHorizon);
+
+  /// Admits every node with record <= \p RecordCursor and frees every
+  /// row whose retirement horizon lies strictly before it; retirement
+  /// interleaves with admission, so a coarse cursor jump holds the
+  /// frontier's rows, not the jump's.  Cursors must be non-decreasing
+  /// across calls.
+  void advanceTo(uint32_t RecordCursor);
+
+  /// HbIndex::ordered() for a cross-task record pair, valid once
+  /// advanceTo(max(A, B)) has run with max(A, B) at the admission
+  /// cursor.  Exact: for cross-task records the later one can never
+  /// reach back to the earlier one (every edge points forward in
+  /// record order), so ordered() collapses to
+  /// reaches(firstNodeAtOrAfter(min), lastNodeAtOrBefore(max)) -- the
+  /// query shape the backward rows answer in O(1).
+  bool orderedCrossTask(uint32_t A, uint32_t B) const;
+
+  uint32_t numChains() const { return NumChains; }
+  /// Currently live frontier rows.
+  size_t liveRows() const { return LiveRowCount; }
+  /// Current overlay footprint: live rows plus the O(N) cover arrays.
+  size_t memoryBytes() const;
+  /// Peak count of simultaneously live rows over the whole scan.
+  size_t highWaterRows() const { return HighWaterRows; }
+  /// Peak overlay bytes attributable to rows (high-water rows * row
+  /// width) -- the number the stats block and bench report.
+  size_t highWaterRowBytes() const {
+    return HighWaterRows * NumChains * sizeof(uint32_t);
+  }
+
+private:
+  void admit(uint32_t Node);
+  uint32_t *rowFor(uint32_t Node);
+  void freeRow(uint32_t Node);
+
+  const HbGraph &G;
+  ChainCover Cover;
+  uint32_t NumChains = 0;
+
+  /// Last record index whose query can still target each node's row
+  /// (per-task targeting: not monotone in the node id).
+  std::vector<uint32_t> RetireAt;
+  /// Node ids sorted by ascending RetireAt; retirement walks this.
+  std::vector<uint32_t> RetireOrder;
+  uint32_t RetirePtr = 0; ///< first RetireOrder position not yet retired
+
+  /// Node -> slot index into Rows (slot * NumChains), -1 = no live row
+  /// (before any predecessor pushed, or after retirement -- an absent
+  /// row reads as all-zero, i.e. "nothing reaches this node").
+  std::vector<int32_t> RowSlot;
+  std::vector<uint32_t> Rows; ///< slot arena, NumChains words per slot
+  std::vector<int32_t> FreeSlots;
+
+  /// Push-pruning scratch (see admit()): per-chain epoch stamp, the
+  /// earliest successor seen on that chain this admission, and the
+  /// chains the current admission touched.
+  std::vector<uint64_t> ChainEpoch;
+  std::vector<uint32_t> BestSuccOfChain;
+  std::vector<uint32_t> TouchedChains;
+  uint64_t Epoch = 0;
+
+  uint32_t NextAdmit = 0; ///< first node id not yet admitted
+  size_t LiveRowCount = 0;
+  size_t HighWaterRows = 0;
+};
+
+} // namespace cafa
+
+#endif // CAFA_HB_WINDOWEDREACH_H

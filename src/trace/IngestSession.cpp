@@ -33,6 +33,7 @@
 #include "trace/IngestSession.h"
 
 #include "support/Format.h"
+#include "support/MappedFile.h"
 #include "support/Snapshot.h"
 #include "support/WorkerPool.h"
 #include "trace/SalvageEngine.h"
@@ -112,12 +113,19 @@ struct IngestSession::Impl {
   bool AnyInput = false;
   char LastByte = '\n';
 
-  // Parse mode buffers the whole input; the strict parser is not
-  // incremental (it has the strong whole-input guarantee instead).
+  // Parse mode hands the whole input to the strict parser at finish();
+  // a single mapped file stays a borrowed view (ParseView), any other
+  // input shape is accumulated in ParseBuffer.
   std::string ParseBuffer;
+  std::string_view ParseView;
 
-  // Bytes fed but not yet cut into a shard.
+  // Bytes fed but not yet cut into a shard.  The mmap path bypasses
+  // this entirely for full shards and only copies the sub-shard tail.
   std::string Buffer;
+
+  // Mappings backing zero-copy shard views; they must outlive every
+  // in-flight lex job, so they are retired only with the session.
+  std::vector<MappedFile> Mappings;
 
   // Sequential cut-time bookkeeping: hash/offset of everything already
   // cut into shards (== the merged prefix once those shards merge).
@@ -133,13 +141,16 @@ struct IngestSession::Impl {
   bool WroteSnapshot = false;
   bool AbortRequested = false;
 
-  /// One shard travelling through the pool.
+  /// One shard travelling through the pool.  Text is the bytes to lex:
+  /// a borrowed view into a MappedFile for the zero-copy file path, or
+  /// a view of Owned for the streamed feed() path.
   struct Job {
     uint64_t Index = 0;
     uint64_t Bytes = 0;
     uint64_t EndHash = 0;   ///< prefix hash through this shard
     uint64_t EndOffset = 0; ///< prefix bytes through this shard
-    std::string Text;
+    std::string_view Text;
+    std::string Owned; ///< backing storage when the bytes are not mapped
     ingest::ShardFragment Frag;
     bool Done = false;
   };
@@ -258,22 +269,22 @@ struct IngestSession::Impl {
 
   // --- Sharding ---------------------------------------------------------
 
-  void dispatchShard(std::string Text) {
-    auto J = std::make_shared<Job>();
+  /// Hashes, lexes (inline or on the pool), and merges one shard whose
+  /// Text view (and Owned backing, if any) is already set.
+  void dispatchShard(std::shared_ptr<Job> J) {
     J->Index = NextIndex++;
-    J->Bytes = Text.size();
-    DispatchHash = fnv1a64(Text.data(), Text.size(), DispatchHash);
-    DispatchOffset += Text.size();
+    J->Bytes = J->Text.size();
+    DispatchHash = fnv1a64(J->Text.data(), J->Text.size(), DispatchHash);
+    DispatchOffset += J->Text.size();
     J->EndHash = DispatchHash;
     J->EndOffset = DispatchOffset;
 
     if (Threads <= 1) {
-      ingest::lexShard(Text, J->Frag);
+      ingest::lexShard(J->Text, J->Frag);
       applyJob(*J);
       return;
     }
 
-    J->Text = std::move(Text);
     {
       std::unique_lock<std::mutex> L(Mu);
       // Backpressure: keep at most ~2 fragments per worker in flight so
@@ -289,11 +300,28 @@ struct IngestSession::Impl {
     }
     Pool.submit([this, J] {
       ingest::lexShard(J->Text, J->Frag);
-      std::string().swap(J->Text); // free the raw bytes eagerly
+      J->Text = {};
+      std::string().swap(J->Owned); // free any copied bytes eagerly
       std::lock_guard<std::mutex> L(Mu);
       J->Done = true;
       DoneCv.notify_all();
     });
+  }
+
+  /// Streamed-path shard: the session owns the bytes.
+  void dispatchOwnedShard(std::string Text) {
+    auto J = std::make_shared<Job>();
+    J->Owned = std::move(Text);
+    J->Text = J->Owned;
+    dispatchShard(std::move(J));
+  }
+
+  /// Zero-copy shard: \p Text borrows from a mapping in Mappings, which
+  /// outlives the pool, so no copy is ever made.
+  void dispatchMappedShard(std::string_view Text) {
+    auto J = std::make_shared<Job>();
+    J->Text = Text;
+    dispatchShard(std::move(J));
   }
 
   /// Cuts as many shards as the buffer allows.  A shard ends at the
@@ -320,9 +348,29 @@ struct IngestSession::Impl {
           return;
         CutEnd = Buffer.size();
       }
-      dispatchShard(Buffer.substr(0, CutEnd));
+      dispatchOwnedShard(Buffer.substr(0, CutEnd));
       Buffer.erase(0, CutEnd);
     }
+  }
+
+  /// Zero-copy twin of cutShards over a read-only mapping: cuts the
+  /// *same* shard boundaries (first newline at or past ShardBytes --
+  /// a pure function of the bytes, so cut points, hashes, and merge
+  /// order are bit-identical to the streamed path) directly as views
+  /// into \p Data.  Returns the uncut sub-shard tail, which the caller
+  /// copies into Buffer so later feed() chunks see an unchanged stream.
+  std::string_view cutMappedShards(std::string_view Data) {
+    while (!Machine.failed() && !AbortRequested &&
+           Data.size() >= ShardBytes) {
+      size_t NL = Data.find('\n', static_cast<size_t>(ShardBytes - 1));
+      if (NL == std::string_view::npos)
+        return Data; // a longer-than-shard line: wait for its newline
+      dispatchMappedShard(Data.substr(0, NL + 1));
+      Data.remove_prefix(NL + 1);
+    }
+    if (Machine.failed() || AbortRequested)
+      return {}; // hard-failed: drop the remaining stream
+    return Data;
   }
 
   // --- Input ------------------------------------------------------------
@@ -333,6 +381,7 @@ struct IngestSession::Impl {
     AnyInput = true;
     LastByte = Chunk.back();
     if (Opt.Mode == IngestMode::Parse) {
+      materializeParseView();
       ParseBuffer.append(Chunk);
       return;
     }
@@ -340,6 +389,45 @@ struct IngestSession::Impl {
       return; // hard-failed: drop the remaining stream, keep LastByte
     Buffer.append(Chunk);
     cutShards(/*Final=*/false);
+  }
+
+  /// Collapses a borrowed Parse-mode view into ParseBuffer so further
+  /// chunks can be appended (the single-mapped-file fast path is gone
+  /// the moment the input stops being exactly one file).
+  void materializeParseView() {
+    if (ParseView.empty())
+      return;
+    ParseBuffer.assign(ParseView);
+    ParseView = {};
+  }
+
+  /// feedImpl twin for a mapped file: full shards are dispatched as
+  /// borrowed views (no copy), only the sub-shard tail lands in Buffer.
+  void feedMapped(std::string_view Data) {
+    if (Finished || Data.empty())
+      return;
+    const bool FirstInput = !AnyInput;
+    AnyInput = true;
+    LastByte = Data.back();
+    if (Opt.Mode == IngestMode::Parse) {
+      if (FirstInput && ParseBuffer.empty()) {
+        ParseView = Data; // whole input = this mapping: parse in place
+      } else {
+        materializeParseView();
+        ParseBuffer.append(Data);
+      }
+      return;
+    }
+    if (Machine.failed() || AbortRequested)
+      return;
+    if (!Buffer.empty()) {
+      // Mixed with raw feed(): a shard straddles the copied tail and
+      // the mapping, so fall back to the copying path for this file.
+      Buffer.append(Data);
+      cutShards(/*Final=*/false);
+      return;
+    }
+    Buffer.assign(cutMappedShards(Data));
   }
 
   void rejectResume(std::string Reason) {
@@ -351,36 +439,91 @@ struct IngestSession::Impl {
     IS.seekg(0, std::ios::beg);
   }
 
-  /// Attempts to restore merge state from an ingest snapshot, leaving
-  /// \p IS positioned after the covered prefix on success and rewound to
-  /// the start on rejection.  Rejections always fall back to a clean
-  /// full restart; a resume can therefore never produce a wrong merge,
-  /// only save or not save work.
-  void tryResume(std::ifstream &IS) {
+  /// Loads the ingest snapshot and checks its header against this
+  /// session's options.  Returns false with the outcome recorded when
+  /// there is no usable snapshot.
+  bool loadSnapshotHeader(SnapshotReader &R, uint64_t &PrefixBytes,
+                          uint64_t &PrefixHash, uint64_t &Shards) {
     const std::string Path = ingestCheckpointPath(Opt.CheckpointDirectory);
     {
       std::ifstream Probe(Path, std::ios::binary);
       if (!Probe) {
         Resume.NoSnapshot = true;
-        return;
+        return false;
       }
     }
-    SnapshotReader R;
     Status S = R.loadFile(Path, IngestSnapshotMagic, IngestSnapshotVersion);
     if (!S.ok()) {
       rejectResume(S.message());
-      return;
+      return false;
     }
-    uint64_t Digest, PrefixBytes, PrefixHash, Shards;
+    uint64_t Digest;
     if (!R.u64(Digest) || !R.u64(PrefixBytes) || !R.u64(PrefixHash) ||
         !R.u64(Shards)) {
       rejectResume("ingest snapshot header malformed");
-      return;
+      return false;
     }
     if (Digest != optionsDigest()) {
       rejectResume("ingest options changed since the snapshot was taken");
-      return;
+      return false;
     }
+    return true;
+  }
+
+  /// Installs the restored machine state.  Shared tail of the two
+  /// resume paths once the prefix hash has been verified.
+  bool acceptResume(SnapshotReader &R, uint64_t PrefixBytes,
+                    uint64_t PrefixHash, uint64_t Shards, char PrefixLast) {
+    ingest::SalvageMachine Restored(Opt.Salvage);
+    if (!Restored.decodeState(R) || !R.atEnd()) {
+      rejectResume("ingest snapshot payload corrupt");
+      return false;
+    }
+    Machine = std::move(Restored);
+    Resume.Resumed = true;
+    Resume.BytesSkipped = PrefixBytes;
+    Resume.ShardsSkipped = Shards;
+    DispatchHash = PrefixHash;
+    DispatchOffset = PrefixBytes;
+    TotalShardsMerged = Shards;
+    if (PrefixBytes > 0) {
+      AnyInput = true;
+      LastByte = PrefixLast;
+    }
+    return true;
+  }
+
+  /// Mapped-file resume: re-hashes the claimed prefix straight out of
+  /// the mapping.  Returns the prefix length to skip (0 when not
+  /// resuming).  Rejections fall back to a clean full restart; a
+  /// resume can never produce a wrong merge, only save or not save
+  /// work.
+  uint64_t tryResumeMapped(std::string_view Data) {
+    SnapshotReader R;
+    uint64_t PrefixBytes, PrefixHash, Shards;
+    if (!loadSnapshotHeader(R, PrefixBytes, PrefixHash, Shards))
+      return 0;
+    if (PrefixBytes > Data.size()) {
+      rejectResume("ingest snapshot covers more input than the file holds");
+      return 0;
+    }
+    if (fnv1a64(Data.data(), PrefixBytes, FnvSeed) != PrefixHash) {
+      rejectResume("input prefix does not match the ingest snapshot");
+      return 0;
+    }
+    char PrefixLast = PrefixBytes > 0 ? Data[PrefixBytes - 1] : '\n';
+    if (!acceptResume(R, PrefixBytes, PrefixHash, Shards, PrefixLast))
+      return 0;
+    return PrefixBytes;
+  }
+
+  /// Buffered-stream resume, leaving \p IS positioned after the covered
+  /// prefix on success and rewound to the start on rejection.
+  void tryResume(std::ifstream &IS) {
+    SnapshotReader R;
+    uint64_t PrefixBytes, PrefixHash, Shards;
+    if (!loadSnapshotHeader(R, PrefixBytes, PrefixHash, Shards))
+      return;
 
     // Re-hash the file prefix the snapshot claims to cover.
     uint64_t H = FnvSeed;
@@ -409,43 +552,68 @@ struct IngestSession::Impl {
       return;
     }
 
-    ingest::SalvageMachine Restored(Opt.Salvage);
-    if (!Restored.decodeState(R) || !R.atEnd()) {
+    if (!acceptResume(R, PrefixBytes, PrefixHash, Shards, PrefixLast))
       rewindStream(IS);
-      rejectResume("ingest snapshot payload corrupt");
-      return;
-    }
+  }
 
-    Machine = std::move(Restored);
-    Resume.Resumed = true;
-    Resume.BytesSkipped = PrefixBytes;
-    Resume.ShardsSkipped = Shards;
-    DispatchHash = PrefixHash;
-    DispatchOffset = PrefixBytes;
-    TotalShardsMerged = Shards;
-    if (PrefixBytes > 0) {
-      AnyInput = true;
-      LastByte = PrefixLast;
+  bool resumeWanted() const {
+    return Opt.Resume && checkpointEnabled() &&
+           Opt.Mode == IngestMode::Salvage;
+  }
+
+  /// True when the resume gate passes (a resume needs the file to be
+  /// the session's whole input, or the prefix hash is meaningless).
+  bool resumeGate() {
+    Resume.Attempted = true;
+    if (UsedRawFeed || AnyInput) {
+      rejectResume("resume requires the file to be the session's only "
+                   "input");
+      return false;
     }
+    return true;
   }
 
   Status feedFileImpl(const std::string &Path) {
     if (Finished)
       return Status::error("IngestSession::feedFile() after finish()");
+
+    // Budget pre-flight: refuse a regular file that exceeds the input
+    // budget up front -- a clean usage error beats an OOM kill halfway
+    // through the slurp.  Non-regular inputs (pipes) have no size to
+    // check and stream as before.
+    if (Opt.MaxInputBytes) {
+      int64_t Size = MappedFile::regularFileSize(Path);
+      if (Size >= 0 && static_cast<uint64_t>(Size) > Opt.MaxInputBytes)
+        return Status::error(formatString(
+            "input '%s' is %llu bytes, over the %llu-byte memory budget; "
+            "use --window to stream it or raise the memory limit",
+            Path.c_str(), static_cast<unsigned long long>(Size),
+            static_cast<unsigned long long>(Opt.MaxInputBytes)));
+    }
+
+    // Fast path: map the file and lex shards straight out of the page
+    // cache -- the byte stream is never copied into a resident string.
+    MappedFile MF;
+    if (MF.open(Path) == MappedFile::Outcome::Mapped) {
+      Mappings.push_back(std::move(MF));
+      std::string_view Data = Mappings.back().contents();
+      uint64_t Skip = 0;
+      if (resumeWanted() && resumeGate())
+        Skip = tryResumeMapped(Data);
+      feedMapped(Data.substr(Skip));
+      return Status::success();
+    }
+
+    // Buffered fallback: pipes, devices, empty files, files a mapping
+    // attempt rejected.  Missing files surface their error here, with
+    // the same message either way.
     std::ifstream IS(Path, std::ios::binary);
     if (!IS)
       return Status::error(
           formatString("cannot open '%s' for reading", Path.c_str()));
 
-    if (Opt.Resume && checkpointEnabled() &&
-        Opt.Mode == IngestMode::Salvage) {
-      Resume.Attempted = true;
-      if (UsedRawFeed || AnyInput)
-        rejectResume("resume requires the file to be the session's only "
-                     "input");
-      else
-        tryResume(IS);
-    }
+    if (resumeWanted() && resumeGate())
+      tryResume(IS);
 
     char Buf[1 << 16];
     while (IS) {
@@ -466,7 +634,9 @@ struct IngestSession::Impl {
 
     if (Opt.Mode == IngestMode::Parse) {
       ReportOut = IngestReport();
-      Status S = ingest::parseTraceImpl(ParseBuffer, Out);
+      Status S = ingest::parseTraceImpl(
+          ParseView.empty() ? std::string_view(ParseBuffer) : ParseView,
+          Out);
       if (S.ok())
         ReportOut.RecordsKept = Out.numRecords();
       return S;

@@ -154,6 +154,13 @@ struct IngestOptions {
   /// Testing hook: abort the merge with an error after this many shards
   /// (0 = disabled).  Simulates a crash mid-merge deterministically.
   uint32_t DebugAbortAfterShards = 0;
+
+  /// Input size budget in bytes (0 = unlimited).  feedFile() fstat's the
+  /// target and fails up front with a usage error when a regular file
+  /// exceeds the budget, instead of letting a non-windowed analysis OOM
+  /// halfway through the slurp.  Drivers set this from --mem-limit when
+  /// no streaming window is active.
+  uint64_t MaxInputBytes = 0;
 };
 
 /// What happened when IngestOptions::Resume asked for a resume.

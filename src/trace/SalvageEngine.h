@@ -226,7 +226,7 @@ private:
 
 /// Strict parser implementation behind IngestMode::Parse and
 /// readTraceFile() (defined in TraceIO.cpp).
-Status parseTraceImpl(const std::string &Text, Trace &Out);
+Status parseTraceImpl(std::string_view Text, Trace &Out);
 
 } // namespace ingest
 } // namespace cafa

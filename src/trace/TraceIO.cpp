@@ -76,22 +76,49 @@ Status lineError(size_t LineNo, const char *What) {
       formatString("trace line %zu: %s", LineNo, What));
 }
 
+/// getline-equivalent splitting over a borrowed view, so the parser can
+/// run directly on an mmap'd file without first copying the bytes into
+/// a stream.  Yields lines without their '\n'; a final unterminated
+/// line is yielded too, and a trailing '\n' does not produce an empty
+/// extra line -- exactly std::getline's behavior.
+class LineSplitter {
+public:
+  explicit LineSplitter(std::string_view Text) : Rest(Text) {}
+
+  bool next(std::string &LineOut) {
+    if (Rest.empty())
+      return false;
+    size_t NL = Rest.find('\n');
+    if (NL == std::string_view::npos) {
+      LineOut.assign(Rest);
+      Rest = {};
+    } else {
+      LineOut.assign(Rest.substr(0, NL));
+      Rest.remove_prefix(NL + 1);
+    }
+    return true;
+  }
+
+private:
+  std::string_view Rest;
+};
+
 } // namespace
 
-Status cafa::ingest::parseTraceImpl(const std::string &Text, Trace &Out) {
+Status cafa::ingest::parseTraceImpl(std::string_view Text, Trace &Out) {
   // Strong guarantee: parse into a local trace and hand it over only on
   // success, so a failure leaves *Out exactly as the caller passed it.
   Trace Parsed;
-  std::istringstream IS(Text);
+  LineSplitter IS(Text);
   std::string Line;
   size_t LineNo = 0;
 
-  if (!std::getline(IS, Line) || Line != MagicLine)
+  if (!IS.next(Line) || Line != MagicLine)
     return Status::error("missing or unrecognized trace header; expected "
                          "'cafa-trace v1'");
   ++LineNo;
 
-  while (std::getline(IS, Line)) {
+  while (IS.next(Line)) {
     ++LineNo;
     if (Line.empty() || Line[0] == '#')
       continue;
